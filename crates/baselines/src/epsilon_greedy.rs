@@ -1,0 +1,181 @@
+//! ε-greedy: explore uniformly with probability ε, otherwise exploit the
+//! empirically best arm. Both a fixed and a `c/t`-decaying schedule are
+//! supported.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use netband_core::estimator::RunningMean;
+use netband_core::SinglePlayPolicy;
+use netband_env::SinglePlayFeedback;
+
+use crate::ArmId;
+
+/// Exploration schedule for [`EpsilonGreedy`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Schedule {
+    /// Constant exploration probability.
+    Fixed(f64),
+    /// `ε_t = min(1, c / t)` — the classic decaying schedule.
+    Decaying {
+        /// Numerator `c` of the schedule.
+        c: f64,
+    },
+}
+
+/// The ε-greedy policy.
+#[derive(Debug, Clone)]
+pub struct EpsilonGreedy {
+    estimates: Vec<RunningMean>,
+    schedule: Schedule,
+    rng: StdRng,
+    seed: u64,
+}
+
+impl EpsilonGreedy {
+    /// Fixed-ε policy with the given exploration probability and RNG seed.
+    pub fn new(num_arms: usize, epsilon: f64, seed: u64) -> Self {
+        EpsilonGreedy {
+            estimates: vec![RunningMean::new(); num_arms],
+            schedule: Schedule::Fixed(epsilon.clamp(0.0, 1.0)),
+            rng: StdRng::seed_from_u64(seed),
+            seed,
+        }
+    }
+
+    /// Decaying-ε policy (`ε_t = min(1, c/t)`).
+    pub fn decaying(num_arms: usize, c: f64, seed: u64) -> Self {
+        EpsilonGreedy {
+            estimates: vec![RunningMean::new(); num_arms],
+            schedule: Schedule::Decaying { c: c.max(0.0) },
+            rng: StdRng::seed_from_u64(seed),
+            seed,
+        }
+    }
+
+    /// Number of arms.
+    pub fn num_arms(&self) -> usize {
+        self.estimates.len()
+    }
+
+    /// The exploration probability at time `t`.
+    pub fn epsilon(&self, t: usize) -> f64 {
+        match self.schedule {
+            Schedule::Fixed(e) => e,
+            Schedule::Decaying { c } => (c / t.max(1) as f64).min(1.0),
+        }
+    }
+
+    fn best_empirical(&self) -> ArmId {
+        // Unpulled arms count as mean 0 here; the exploration step is what
+        // discovers them. Ties break towards the smallest arm index.
+        let mut best = 0;
+        let mut best_mean = f64::NEG_INFINITY;
+        for arm in 0..self.num_arms() {
+            let mean = self.estimates[arm].mean();
+            if mean > best_mean {
+                best_mean = mean;
+                best = arm;
+            }
+        }
+        best
+    }
+}
+
+impl SinglePlayPolicy for EpsilonGreedy {
+    fn name(&self) -> &'static str {
+        "EpsilonGreedy"
+    }
+
+    fn select_arm(&mut self, t: usize) -> ArmId {
+        debug_assert!(self.num_arms() > 0);
+        if self.rng.gen::<f64>() < self.epsilon(t) {
+            self.rng.gen_range(0..self.num_arms())
+        } else {
+            self.best_empirical()
+        }
+    }
+
+    fn update(&mut self, _t: usize, feedback: &SinglePlayFeedback) {
+        if feedback.arm < self.estimates.len() {
+            self.estimates[feedback.arm].update(feedback.direct_reward);
+        }
+    }
+
+    fn reset(&mut self) {
+        for est in &mut self.estimates {
+            est.reset();
+        }
+        self.rng = StdRng::seed_from_u64(self.seed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netband_env::{ArmSet, NetworkedBandit};
+    use netband_graph::generators;
+
+    fn run(policy: &mut EpsilonGreedy, n: usize, seed: u64) -> Vec<ArmId> {
+        let graph = generators::edgeless(5);
+        let arms = ArmSet::bernoulli(&[0.1, 0.2, 0.3, 0.4, 0.9]);
+        let bandit = NetworkedBandit::new(graph, arms).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut pulls = Vec::with_capacity(n);
+        for t in 1..=n {
+            let arm = policy.select_arm(t);
+            let fb = bandit.pull_single(arm, &mut rng);
+            policy.update(t, &fb);
+            pulls.push(arm);
+        }
+        pulls
+    }
+
+    #[test]
+    fn decaying_schedule_shrinks() {
+        let policy = EpsilonGreedy::decaying(5, 5.0, 0);
+        assert_eq!(policy.epsilon(1), 1.0);
+        assert!((policy.epsilon(10) - 0.5).abs() < 1e-12);
+        assert!(policy.epsilon(1000) < 0.01);
+    }
+
+    #[test]
+    fn fixed_schedule_is_constant_and_clamped() {
+        let policy = EpsilonGreedy::new(5, 0.2, 0);
+        assert_eq!(policy.epsilon(1), 0.2);
+        assert_eq!(policy.epsilon(9999), 0.2);
+        assert_eq!(EpsilonGreedy::new(3, 7.0, 0).epsilon(1), 1.0);
+    }
+
+    #[test]
+    fn mostly_exploits_the_best_arm_with_decaying_schedule() {
+        let mut policy = EpsilonGreedy::decaying(5, 10.0, 42);
+        let pulls = run(&mut policy, 3000, 1);
+        let tail = pulls[2000..].iter().filter(|&&a| a == 4).count();
+        assert!(tail > 700, "tail best pulls {tail}/1000");
+    }
+
+    #[test]
+    fn pure_greedy_never_explores_after_start() {
+        let mut policy = EpsilonGreedy::new(3, 0.0, 7);
+        // With epsilon 0 the policy always picks the empirically best arm, which
+        // starts as arm 0 (all means 0, ties to the first).
+        for t in 1..=10 {
+            assert_eq!(policy.select_arm(t), 0);
+        }
+    }
+
+    #[test]
+    fn reset_restores_seed_and_estimates() {
+        let mut policy = EpsilonGreedy::new(5, 0.3, 123);
+        let first: Vec<ArmId> = (1..=20).map(|t| policy.select_arm(t)).collect();
+        policy.reset();
+        let second: Vec<ArmId> = (1..=20).map(|t| policy.select_arm(t)).collect();
+        assert_eq!(first, second, "reset must replay the same RNG stream");
+    }
+
+    #[test]
+    fn name_is_reported() {
+        assert_eq!(EpsilonGreedy::new(2, 0.1, 0).name(), "EpsilonGreedy");
+    }
+}

@@ -1,0 +1,169 @@
+//! EXP3 — exponential weights for exploration and exploitation (Auer et al.).
+//!
+//! An adversarial-bandit baseline included to contrast stochastic-optimal index
+//! policies with a worst-case-optimal one on the paper's stochastic workloads.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use netband_core::SinglePlayPolicy;
+use netband_env::SinglePlayFeedback;
+
+use crate::ArmId;
+
+/// The EXP3 policy with exploration parameter `gamma`.
+#[derive(Debug, Clone)]
+pub struct Exp3 {
+    weights: Vec<f64>,
+    gamma: f64,
+    rng: StdRng,
+    seed: u64,
+    /// Probabilities used at the last selection (needed for the importance-
+    /// weighted update).
+    last_probs: Vec<f64>,
+}
+
+impl Exp3 {
+    /// Creates EXP3 over `num_arms` arms with exploration rate `gamma ∈ (0, 1]`.
+    pub fn new(num_arms: usize, gamma: f64, seed: u64) -> Self {
+        Exp3 {
+            weights: vec![1.0; num_arms],
+            gamma: gamma.clamp(1e-6, 1.0),
+            rng: StdRng::seed_from_u64(seed),
+            seed,
+            last_probs: vec![1.0 / num_arms.max(1) as f64; num_arms],
+        }
+    }
+
+    /// Number of arms.
+    pub fn num_arms(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// The current sampling distribution over arms.
+    pub fn probabilities(&self) -> Vec<f64> {
+        let k = self.num_arms() as f64;
+        let total: f64 = self.weights.iter().sum();
+        self.weights
+            .iter()
+            .map(|w| (1.0 - self.gamma) * w / total + self.gamma / k)
+            .collect()
+    }
+}
+
+impl SinglePlayPolicy for Exp3 {
+    fn name(&self) -> &'static str {
+        "EXP3"
+    }
+
+    fn select_arm(&mut self, _t: usize) -> ArmId {
+        debug_assert!(self.num_arms() > 0);
+        let probs = self.probabilities();
+        self.last_probs = probs.clone();
+        let mut ticket = self.rng.gen::<f64>();
+        for (arm, p) in probs.iter().enumerate() {
+            if ticket < *p {
+                return arm;
+            }
+            ticket -= p;
+        }
+        self.num_arms() - 1
+    }
+
+    fn update(&mut self, _t: usize, feedback: &SinglePlayFeedback) {
+        let arm = feedback.arm;
+        if arm >= self.weights.len() {
+            return;
+        }
+        let p = self.last_probs.get(arm).copied().unwrap_or(1.0).max(1e-12);
+        let estimated = feedback.direct_reward / p;
+        let k = self.num_arms() as f64;
+        self.weights[arm] *= (self.gamma * estimated / k).exp();
+        // Guard against weight overflow over very long runs by renormalising.
+        let max_w = self.weights.iter().cloned().fold(0.0_f64, f64::max);
+        if max_w > 1e100 {
+            for w in &mut self.weights {
+                *w /= max_w;
+            }
+        }
+    }
+
+    fn reset(&mut self) {
+        for w in &mut self.weights {
+            *w = 1.0;
+        }
+        let k = self.num_arms().max(1) as f64;
+        self.last_probs = vec![1.0 / k; self.num_arms()];
+        self.rng = StdRng::seed_from_u64(self.seed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netband_env::{ArmSet, NetworkedBandit};
+    use netband_graph::generators;
+
+    #[test]
+    fn probabilities_sum_to_one_and_include_exploration_floor() {
+        let policy = Exp3::new(4, 0.2, 0);
+        let probs = policy.probabilities();
+        assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        for p in probs {
+            assert!(p >= 0.2 / 4.0 - 1e-12);
+        }
+    }
+
+    #[test]
+    fn weights_grow_for_rewarding_arms() {
+        let mut policy = Exp3::new(3, 0.3, 1);
+        for t in 1..=100 {
+            let arm = policy.select_arm(t);
+            let reward = if arm == 2 { 1.0 } else { 0.0 };
+            policy.update(
+                t,
+                &SinglePlayFeedback {
+                    arm,
+                    direct_reward: reward,
+                    side_reward: reward,
+                    observations: vec![(arm, reward)],
+                },
+            );
+        }
+        let probs = policy.probabilities();
+        assert!(probs[2] > probs[0] && probs[2] > probs[1], "probs {probs:?}");
+    }
+
+    #[test]
+    fn plays_the_best_arm_most_often_on_easy_instances() {
+        let graph = generators::edgeless(3);
+        let arms = ArmSet::bernoulli(&[0.1, 0.2, 0.9]);
+        let bandit = NetworkedBandit::new(graph, arms).unwrap();
+        let mut policy = Exp3::new(3, 0.1, 5);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0usize; 3];
+        for t in 1..=5000 {
+            let arm = policy.select_arm(t);
+            counts[arm] += 1;
+            let fb = bandit.pull_single(arm, &mut rng);
+            policy.update(t, &fb);
+        }
+        assert!(counts[2] > counts[0] && counts[2] > counts[1], "{counts:?}");
+    }
+
+    #[test]
+    fn reset_replays_the_same_stream() {
+        let mut policy = Exp3::new(5, 0.2, 77);
+        let first: Vec<ArmId> = (1..=15).map(|t| policy.select_arm(t)).collect();
+        policy.reset();
+        let second: Vec<ArmId> = (1..=15).map(|t| policy.select_arm(t)).collect();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn gamma_is_clamped_and_name_reported() {
+        let policy = Exp3::new(2, 5.0, 0);
+        assert!(policy.gamma <= 1.0);
+        assert_eq!(policy.name(), "EXP3");
+    }
+}

@@ -1,0 +1,218 @@
+//! KL-UCB (Garivier & Cappé) for Bernoulli-like rewards in `[0, 1]`.
+//!
+//! A stronger distribution-dependent single-play baseline than UCB1: the upper
+//! confidence bound is the largest mean `q` whose binary KL divergence from the
+//! empirical mean stays within `(ln t + c·ln ln t) / T_i`. Like the other
+//! baselines it ignores side observations.
+
+use netband_core::estimator::RunningMean;
+use netband_core::SinglePlayPolicy;
+use netband_env::SinglePlayFeedback;
+
+use crate::ArmId;
+
+/// Binary Kullback–Leibler divergence `kl(p, q)` with the usual conventions at
+/// the boundary.
+pub fn bernoulli_kl(p: f64, q: f64) -> f64 {
+    let p = p.clamp(0.0, 1.0);
+    let q = q.clamp(1e-12, 1.0 - 1e-12);
+    let term = |a: f64, b: f64| {
+        if a <= 0.0 {
+            0.0
+        } else {
+            a * (a / b).ln()
+        }
+    };
+    term(p, q) + term(1.0 - p, 1.0 - q)
+}
+
+/// Largest `q ≥ p` such that `kl(p, q) ≤ bound`, found by bisection.
+pub fn kl_upper_bound(p: f64, bound: f64) -> f64 {
+    if bound <= 0.0 {
+        return p.clamp(0.0, 1.0);
+    }
+    let mut lo = p.clamp(0.0, 1.0);
+    let mut hi = 1.0;
+    for _ in 0..64 {
+        let mid = 0.5 * (lo + hi);
+        if bernoulli_kl(p, mid) > bound {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    lo
+}
+
+/// The KL-UCB policy.
+#[derive(Debug, Clone)]
+pub struct KlUcb {
+    estimates: Vec<RunningMean>,
+    /// The `c` constant of the exploration term `ln t + c·ln ln t` (0 in the
+    /// simplified variant, 3 in the original analysis).
+    c: f64,
+}
+
+impl KlUcb {
+    /// KL-UCB over `num_arms` arms with the standard `c = 3` exploration term.
+    pub fn new(num_arms: usize) -> Self {
+        KlUcb {
+            estimates: vec![RunningMean::new(); num_arms],
+            c: 3.0,
+        }
+    }
+
+    /// KL-UCB with a custom `c` constant.
+    pub fn with_constant(num_arms: usize, c: f64) -> Self {
+        KlUcb {
+            estimates: vec![RunningMean::new(); num_arms],
+            c: c.max(0.0),
+        }
+    }
+
+    /// Number of arms.
+    pub fn num_arms(&self) -> usize {
+        self.estimates.len()
+    }
+
+    /// Number of pulls of an arm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arm` is out of range.
+    pub fn pull_count(&self, arm: ArmId) -> u64 {
+        self.estimates[arm].count()
+    }
+
+    /// The KL-UCB index of an arm at time `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arm` is out of range.
+    pub fn index(&self, arm: ArmId, t: usize) -> f64 {
+        let est = &self.estimates[arm];
+        if est.count() == 0 {
+            return f64::INFINITY;
+        }
+        let t = t.max(2) as f64;
+        let exploration = (t.ln() + self.c * t.ln().ln().max(0.0)) / est.count() as f64;
+        kl_upper_bound(est.mean(), exploration)
+    }
+}
+
+impl SinglePlayPolicy for KlUcb {
+    fn name(&self) -> &'static str {
+        "KL-UCB"
+    }
+
+    fn select_arm(&mut self, t: usize) -> ArmId {
+        (0..self.num_arms())
+            .max_by(|&a, &b| {
+                self.index(a, t)
+                    .partial_cmp(&self.index(b, t))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .unwrap_or(0)
+    }
+
+    fn update(&mut self, _t: usize, feedback: &SinglePlayFeedback) {
+        if feedback.arm < self.estimates.len() {
+            self.estimates[feedback.arm].update(feedback.direct_reward);
+        }
+    }
+
+    fn reset(&mut self) {
+        for est in &mut self.estimates {
+            est.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netband_env::{ArmSet, NetworkedBandit};
+    use netband_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn kl_divergence_properties() {
+        assert_eq!(bernoulli_kl(0.5, 0.5), 0.0);
+        assert!(bernoulli_kl(0.2, 0.8) > 0.0);
+        // Symmetric arguments are not symmetric in KL, but both positive.
+        assert!(bernoulli_kl(0.8, 0.2) > 0.0);
+        // Boundary p values are handled.
+        assert!(bernoulli_kl(0.0, 0.5).is_finite());
+        assert!(bernoulli_kl(1.0, 0.5).is_finite());
+    }
+
+    #[test]
+    fn kl_upper_bound_brackets_the_mean() {
+        let p = 0.3;
+        let q = kl_upper_bound(p, 0.2);
+        assert!(q >= p);
+        assert!(q <= 1.0);
+        assert!(bernoulli_kl(p, q) <= 0.2 + 1e-6);
+        // Zero budget returns the mean itself.
+        assert_eq!(kl_upper_bound(0.4, 0.0), 0.4);
+        // Large budget saturates near 1.
+        assert!(kl_upper_bound(0.4, 100.0) > 0.999);
+    }
+
+    #[test]
+    fn index_is_infinite_before_first_pull_and_shrinks_with_pulls() {
+        let mut policy = KlUcb::new(2);
+        assert_eq!(policy.index(0, 10), f64::INFINITY);
+        let fb = |reward| SinglePlayFeedback {
+            arm: 0,
+            direct_reward: reward,
+            side_reward: reward,
+            observations: vec![(0, reward)],
+        };
+        policy.update(1, &fb(0.5));
+        let once = policy.index(0, 1000);
+        for t in 2..=60 {
+            policy.update(t, &fb(0.5));
+        }
+        assert!(policy.index(0, 1000) < once);
+        assert!(policy.index(0, 1000) >= 0.5);
+    }
+
+    #[test]
+    fn converges_to_the_best_arm() {
+        let graph = generators::edgeless(5);
+        let arms = ArmSet::bernoulli(&[0.1, 0.2, 0.3, 0.4, 0.9]);
+        let bandit = NetworkedBandit::new(graph, arms).unwrap();
+        let mut policy = KlUcb::new(5);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut tail_best = 0;
+        for t in 1..=3000 {
+            let arm = policy.select_arm(t);
+            if t > 2000 && arm == 4 {
+                tail_best += 1;
+            }
+            let fb = bandit.pull_single(arm, &mut rng);
+            policy.update(t, &fb);
+        }
+        assert!(tail_best > 900, "best arm pulled only {tail_best}/1000");
+    }
+
+    #[test]
+    fn reset_and_name() {
+        let mut policy = KlUcb::with_constant(3, 0.0);
+        policy.update(
+            1,
+            &SinglePlayFeedback {
+                arm: 1,
+                direct_reward: 1.0,
+                side_reward: 1.0,
+                observations: vec![(1, 1.0)],
+            },
+        );
+        assert_eq!(policy.pull_count(1), 1);
+        policy.reset();
+        assert_eq!(policy.pull_count(1), 0);
+        assert_eq!(policy.name(), "KL-UCB");
+    }
+}

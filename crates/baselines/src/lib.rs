@@ -1,0 +1,61 @@
+//! Baseline bandit policies used as comparators.
+//!
+//! The paper's evaluation (Section VII) compares DFL-SSO against **MOSS**
+//! (Audibert & Bubeck's distribution-free policy), and its related-work section
+//! positions the combinatorial algorithms against UCB-style single-play learners
+//! and CUCB/LLR-style combinatorial learners. This crate implements those
+//! comparators — none of them exploit side observations, which is exactly what
+//! the comparison is meant to show.
+//!
+//! Single-play baselines (implement [`netband_core::SinglePlayPolicy`]):
+//!
+//! * [`moss::Moss`] — the anytime MOSS index used in Fig. 3.
+//! * [`ucb::Ucb1`], [`ucb::UcbTuned`] — classic UCB variants.
+//! * [`epsilon_greedy::EpsilonGreedy`] — fixed or decaying exploration rate.
+//! * [`thompson::ThompsonBernoulli`] — Beta–Bernoulli Thompson sampling.
+//! * [`exp3::Exp3`] — the adversarial-bandit exponential-weights baseline.
+//! * [`random::RandomSingle`] — uniform random play (sanity floor).
+//!
+//! Combinatorial baselines (implement [`netband_core::CombinatorialPolicy`]):
+//!
+//! * [`cucb::Cucb`] — combinatorial UCB with a per-arm UCB1 index and an exact
+//!   oracle (Chen et al. style).
+//! * [`llr::Llr`] — Gai et al.'s Learning with Linear Rewards index.
+//! * [`naive_comarm::NaiveComArmMoss`] — treats every feasible strategy as an
+//!   independent arm and runs MOSS over them, ignoring all structure (the
+//!   "exponential regret" strawman discussed in Section VII).
+//! * [`random::RandomCombinatorial`] — uniform random feasible strategy.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod comb_epsilon;
+pub mod cucb;
+pub mod epsilon_greedy;
+pub mod exp3;
+pub mod klucb;
+pub mod llr;
+pub mod moss;
+pub mod naive_comarm;
+pub mod random;
+pub mod softmax;
+pub mod thompson;
+pub mod ucb;
+pub mod ucbv;
+
+pub use comb_epsilon::CombEpsilonGreedy;
+pub use cucb::Cucb;
+pub use epsilon_greedy::EpsilonGreedy;
+pub use exp3::Exp3;
+pub use klucb::KlUcb;
+pub use llr::Llr;
+pub use moss::Moss;
+pub use naive_comarm::NaiveComArmMoss;
+pub use random::{RandomCombinatorial, RandomSingle};
+pub use softmax::Softmax;
+pub use thompson::ThompsonBernoulli;
+pub use ucb::{Ucb1, UcbTuned};
+pub use ucbv::UcbV;
+
+/// Identifier of an arm; re-exported for convenience.
+pub type ArmId = netband_graph::ArmId;

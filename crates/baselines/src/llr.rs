@@ -1,0 +1,166 @@
+//! LLR — Learning with Linear Rewards (Gai, Krishnamachari & Jain).
+//!
+//! The distribution-dependent combinatorial baseline the paper cites for
+//! combinatorial play without side bonus: a per-arm index
+//! `X̄_i + sqrt((M + 1) · ln t / T_i)` where `M` is the maximum strategy size,
+//! combined with an exact oracle over the feasible family. Only the played
+//! arms are updated.
+
+use netband_core::estimator::RunningMean;
+use netband_core::CombinatorialPolicy;
+use netband_env::feasible::FeasibleSet;
+use netband_env::{CombinatorialFeedback, StrategyFamily};
+use netband_graph::RelationGraph;
+
+use crate::ArmId;
+
+/// The LLR policy.
+#[derive(Debug, Clone)]
+pub struct Llr {
+    graph: RelationGraph,
+    family: StrategyFamily,
+    estimates: Vec<RunningMean>,
+}
+
+impl Llr {
+    /// Creates LLR for the given relation graph and feasible family.
+    pub fn new(graph: RelationGraph, family: StrategyFamily) -> Self {
+        let k = graph.num_vertices();
+        Llr {
+            graph,
+            family,
+            estimates: vec![RunningMean::new(); k],
+        }
+    }
+
+    /// Number of arms.
+    pub fn num_arms(&self) -> usize {
+        self.estimates.len()
+    }
+
+    /// Number of times an arm has been played.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arm` is out of range.
+    pub fn play_count(&self, arm: ArmId) -> u64 {
+        self.estimates[arm].count()
+    }
+
+    /// The LLR per-arm index at time `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arm` is out of range.
+    pub fn arm_index(&self, arm: ArmId, t: usize) -> f64 {
+        let est = &self.estimates[arm];
+        let m = self.family.max_size().max(1) as f64;
+        if est.count() == 0 {
+            return 2.0 + ((m + 1.0) * (t.max(1) as f64).ln()).sqrt();
+        }
+        est.mean() + ((m + 1.0) * (t.max(1) as f64).ln() / est.count() as f64).sqrt()
+    }
+}
+
+impl CombinatorialPolicy for Llr {
+    fn name(&self) -> &'static str {
+        "LLR"
+    }
+
+    fn select_strategy(&mut self, t: usize) -> Vec<ArmId> {
+        let weights: Vec<f64> = (0..self.num_arms()).map(|i| self.arm_index(i, t)).collect();
+        self.family
+            .argmax_by_arm_weights(&weights, &self.graph)
+            .expect("LLR requires a non-empty feasible family")
+    }
+
+    fn update(&mut self, _t: usize, feedback: &CombinatorialFeedback) {
+        for &arm in &feedback.strategy {
+            if let Some(&(_, reward)) = feedback.observations.iter().find(|&&(a, _)| a == arm) {
+                if arm < self.estimates.len() {
+                    self.estimates[arm].update(reward);
+                }
+            }
+        }
+    }
+
+    fn reset(&mut self) {
+        for est in &mut self.estimates {
+            est.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netband_env::{ArmSet, NetworkedBandit};
+    use netband_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn index_scales_with_strategy_size() {
+        let graph = generators::edgeless(4);
+        let small = Llr::new(graph.clone(), StrategyFamily::at_most_m(4, 1));
+        let large = Llr::new(graph, StrategyFamily::at_most_m(4, 4));
+        // Same (empty) state, larger M → larger exploration bonus.
+        assert!(large.arm_index(0, 100) > small.arm_index(0, 100));
+    }
+
+    #[test]
+    fn converges_to_the_best_pair() {
+        let graph = generators::edgeless(5);
+        let arms = ArmSet::bernoulli(&[0.1, 0.2, 0.3, 0.85, 0.9]);
+        let family = StrategyFamily::exactly_m(5, 2);
+        let bandit = NetworkedBandit::new(graph.clone(), arms).unwrap();
+        let mut policy = Llr::new(graph, family);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut best = 0;
+        for t in 1..=5000 {
+            let s = policy.select_strategy(t);
+            if t > 4000 && s == [3, 4] {
+                best += 1;
+            }
+            let fb = bandit.pull_strategy(&s, &mut rng).unwrap();
+            policy.update(t, &fb);
+        }
+        assert!(best > 700, "best pair selected only {best}/1000");
+    }
+
+    #[test]
+    fn only_played_arms_are_updated() {
+        let graph = generators::star(4);
+        let family = StrategyFamily::at_most_m(4, 2);
+        let bandit =
+            NetworkedBandit::new(graph.clone(), ArmSet::linear_bernoulli(4)).unwrap();
+        let mut policy = Llr::new(graph, family);
+        let mut rng = StdRng::seed_from_u64(2);
+        let fb = bandit.pull_strategy(&[1, 2], &mut rng).unwrap();
+        policy.update(1, &fb);
+        assert_eq!(policy.play_count(1), 1);
+        assert_eq!(policy.play_count(2), 1);
+        assert_eq!(policy.play_count(0), 0);
+        assert_eq!(policy.play_count(3), 0);
+    }
+
+    #[test]
+    fn reset_and_name() {
+        let graph = generators::edgeless(2);
+        let mut policy = Llr::new(graph, StrategyFamily::at_most_m(2, 1));
+        policy.update(
+            1,
+            &CombinatorialFeedback {
+                strategy: vec![0],
+                observation_set: vec![0],
+                direct_reward: 1.0,
+                side_reward: 1.0,
+                observations: vec![(0, 1.0)],
+            },
+        );
+        assert_eq!(policy.play_count(0), 1);
+        policy.reset();
+        assert_eq!(policy.play_count(0), 0);
+        assert_eq!(policy.name(), "LLR");
+    }
+}

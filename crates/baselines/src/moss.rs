@@ -1,0 +1,190 @@
+//! MOSS — Minimax Optimal Strategy in the Stochastic case (Audibert & Bubeck).
+//!
+//! This is the baseline the paper compares DFL-SSO against in Fig. 3. Unlike
+//! DFL-SSO it updates its estimate only from the pulled arm's *direct* reward:
+//! side observations are ignored, which is exactly the handicap the comparison
+//! is designed to expose.
+
+use netband_core::estimator::{moss_index, RunningMean};
+use netband_core::SinglePlayPolicy;
+use netband_env::SinglePlayFeedback;
+
+use crate::ArmId;
+
+/// The MOSS policy over `K` independent arms.
+///
+/// Two variants are provided: the **anytime** variant uses the current time slot
+/// `t` in the index (matching Equation (5) without side observation, and the
+/// variant simulated by the paper), while the **horizon-aware** variant plugs in
+/// a fixed horizon `n` as in the original MOSS paper.
+#[derive(Debug, Clone)]
+pub struct Moss {
+    estimates: Vec<RunningMean>,
+    /// `Some(n)` for the horizon-aware variant, `None` for the anytime variant.
+    horizon: Option<usize>,
+}
+
+impl Moss {
+    /// Anytime MOSS over `num_arms` arms.
+    pub fn new(num_arms: usize) -> Self {
+        Moss {
+            estimates: vec![RunningMean::new(); num_arms],
+            horizon: None,
+        }
+    }
+
+    /// Horizon-aware MOSS: the index uses the fixed horizon `n` instead of the
+    /// current time slot.
+    pub fn with_horizon(num_arms: usize, horizon: usize) -> Self {
+        Moss {
+            estimates: vec![RunningMean::new(); num_arms],
+            horizon: Some(horizon.max(1)),
+        }
+    }
+
+    /// Number of arms `K`.
+    pub fn num_arms(&self) -> usize {
+        self.estimates.len()
+    }
+
+    /// Number of times an arm has been pulled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arm` is out of range.
+    pub fn pull_count(&self, arm: ArmId) -> u64 {
+        self.estimates[arm].count()
+    }
+
+    /// The MOSS index of an arm at time `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arm` is out of range.
+    pub fn index(&self, arm: ArmId, t: usize) -> f64 {
+        let est = &self.estimates[arm];
+        let time = self.horizon.unwrap_or(t);
+        moss_index(est.mean(), est.count(), time, self.num_arms())
+    }
+}
+
+impl SinglePlayPolicy for Moss {
+    fn name(&self) -> &'static str {
+        "MOSS"
+    }
+
+    fn select_arm(&mut self, t: usize) -> ArmId {
+        debug_assert!(self.num_arms() > 0, "cannot select from zero arms");
+        (0..self.num_arms())
+            .max_by(|&a, &b| {
+                self.index(a, t)
+                    .partial_cmp(&self.index(b, t))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .unwrap_or(0)
+    }
+
+    fn update(&mut self, _t: usize, feedback: &SinglePlayFeedback) {
+        // MOSS ignores side observations: only the pulled arm's direct reward is
+        // folded in.
+        if feedback.arm < self.estimates.len() {
+            self.estimates[feedback.arm].update(feedback.direct_reward);
+        }
+    }
+
+    fn reset(&mut self) {
+        for est in &mut self.estimates {
+            est.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netband_env::{ArmSet, NetworkedBandit};
+    use netband_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn run(policy: &mut Moss, bandit: &NetworkedBandit, n: usize, seed: u64) -> Vec<ArmId> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut pulls = Vec::with_capacity(n);
+        for t in 1..=n {
+            let arm = policy.select_arm(t);
+            let fb = bandit.pull_single(arm, &mut rng);
+            policy.update(t, &fb);
+            pulls.push(arm);
+        }
+        pulls
+    }
+
+    #[test]
+    fn ignores_side_observations() {
+        let graph = generators::complete(4);
+        let bandit =
+            NetworkedBandit::new(graph, ArmSet::linear_bernoulli(4)).unwrap();
+        let mut policy = Moss::new(4);
+        let mut rng = StdRng::seed_from_u64(1);
+        let fb = bandit.pull_single(0, &mut rng);
+        policy.update(1, &fb);
+        assert_eq!(policy.pull_count(0), 1);
+        for arm in 1..4 {
+            assert_eq!(policy.pull_count(arm), 0, "arm {arm} should be untouched");
+        }
+    }
+
+    #[test]
+    fn explores_every_arm_once_first() {
+        let graph = generators::edgeless(5);
+        let bandit = NetworkedBandit::new(graph, ArmSet::linear_bernoulli(5)).unwrap();
+        let mut policy = Moss::new(5);
+        let pulls = run(&mut policy, &bandit, 5, 2);
+        let mut sorted = pulls;
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 5);
+    }
+
+    #[test]
+    fn converges_to_the_best_arm() {
+        let graph = generators::edgeless(5);
+        let arms = ArmSet::bernoulli(&[0.1, 0.2, 0.3, 0.4, 0.9]);
+        let bandit = NetworkedBandit::new(graph, arms).unwrap();
+        let mut policy = Moss::new(5);
+        let pulls = run(&mut policy, &bandit, 3000, 3);
+        let tail_best = pulls[2000..].iter().filter(|&&a| a == 4).count();
+        assert!(tail_best > 850, "best arm pulled only {tail_best}/1000");
+    }
+
+    #[test]
+    fn horizon_variant_uses_fixed_horizon() {
+        let mut anytime = Moss::new(3);
+        let mut horizon = Moss::with_horizon(3, 10_000);
+        let fb = SinglePlayFeedback {
+            arm: 0,
+            direct_reward: 0.5,
+            side_reward: 0.5,
+            observations: vec![(0, 0.5)],
+        };
+        anytime.update(1, &fb);
+        horizon.update(1, &fb);
+        // Early in the run the horizon-aware index is larger because n >> t.
+        assert!(horizon.index(0, 2) > anytime.index(0, 2));
+    }
+
+    #[test]
+    fn reset_clears_counts() {
+        let graph = generators::edgeless(3);
+        let bandit = NetworkedBandit::new(graph, ArmSet::linear_bernoulli(3)).unwrap();
+        let mut policy = Moss::new(3);
+        run(&mut policy, &bandit, 10, 4);
+        policy.reset();
+        assert!((0..3).all(|a| policy.pull_count(a) == 0));
+    }
+
+    #[test]
+    fn name_is_moss() {
+        assert_eq!(Moss::new(2).name(), "MOSS");
+    }
+}

@@ -1,0 +1,202 @@
+//! The "naive com-arm" baseline: treat every feasible strategy as an independent
+//! arm and run MOSS over them, ignoring both the additive reward structure and
+//! side observation.
+//!
+//! Section VII of the paper points out that this approach carries a regret bound
+//! of `49·sqrt(n|F|)` (exponential in the number of variables when `|F|` is),
+//! which is exactly what makes the structural exploitation of DFL-CSO/DFL-CSR
+//! worthwhile. It is included so the experiments can show that gap empirically.
+
+use netband_core::estimator::{moss_index, RunningMean};
+use netband_core::CombinatorialPolicy;
+use netband_env::CombinatorialFeedback;
+
+use crate::ArmId;
+
+/// MOSS over an explicitly enumerated feasible set, one estimator per com-arm.
+#[derive(Debug, Clone)]
+pub struct NaiveComArmMoss {
+    strategies: Vec<Vec<ArmId>>,
+    estimates: Vec<RunningMean>,
+    /// Reward scale (the largest strategy size), used to keep estimates in
+    /// `[0, 1]`.
+    scale: f64,
+    /// Which com-arm was selected last (rewards are only credited to it).
+    last_selected: Option<usize>,
+}
+
+impl NaiveComArmMoss {
+    /// Creates the policy over an explicit feasible set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `strategies` is empty.
+    pub fn new(strategies: Vec<Vec<ArmId>>) -> Self {
+        assert!(
+            !strategies.is_empty(),
+            "NaiveComArmMoss requires a non-empty feasible set"
+        );
+        let strategies: Vec<Vec<ArmId>> = strategies
+            .into_iter()
+            .map(|mut s| {
+                s.sort_unstable();
+                s.dedup();
+                s
+            })
+            .collect();
+        let scale = strategies.iter().map(Vec::len).max().unwrap_or(1).max(1) as f64;
+        let num = strategies.len();
+        NaiveComArmMoss {
+            strategies,
+            estimates: vec![RunningMean::new(); num],
+            scale,
+            last_selected: None,
+        }
+    }
+
+    /// Number of com-arms `|F|`.
+    pub fn num_strategies(&self) -> usize {
+        self.strategies.len()
+    }
+
+    /// Number of times a com-arm has been played.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is out of range.
+    pub fn play_count(&self, x: usize) -> u64 {
+        self.estimates[x].count()
+    }
+
+    /// The MOSS index of com-arm `x` at time `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is out of range.
+    pub fn index(&self, x: usize, t: usize) -> f64 {
+        let est = &self.estimates[x];
+        moss_index(est.mean(), est.count(), t, self.num_strategies())
+    }
+}
+
+impl CombinatorialPolicy for NaiveComArmMoss {
+    fn name(&self) -> &'static str {
+        "NaiveComArm-MOSS"
+    }
+
+    fn select_strategy(&mut self, t: usize) -> Vec<ArmId> {
+        let x = (0..self.num_strategies())
+            .max_by(|&a, &b| {
+                self.index(a, t)
+                    .partial_cmp(&self.index(b, t))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .unwrap_or(0);
+        self.last_selected = Some(x);
+        self.strategies[x].clone()
+    }
+
+    fn update(&mut self, _t: usize, feedback: &CombinatorialFeedback) {
+        // Credit the reward to the com-arm that was actually selected; if update
+        // is called without a prior selection (e.g. replayed feedback), locate
+        // the strategy by value.
+        let x = self
+            .last_selected
+            .take()
+            .or_else(|| self.strategies.iter().position(|s| *s == feedback.strategy));
+        if let Some(x) = x {
+            self.estimates[x].update(feedback.direct_reward / self.scale);
+        }
+    }
+
+    fn reset(&mut self) {
+        for est in &mut self.estimates {
+            est.reset();
+        }
+        self.last_selected = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netband_env::feasible::FeasibleSet;
+    use netband_env::{ArmSet, NetworkedBandit, StrategyFamily};
+    use netband_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn explores_every_com_arm_before_repeating() {
+        let graph = generators::edgeless(4);
+        let family = StrategyFamily::exactly_m(4, 2);
+        let strategies = family.enumerate(&graph).unwrap();
+        let num = strategies.len();
+        let bandit = NetworkedBandit::new(graph, ArmSet::linear_bernoulli(4)).unwrap();
+        let mut policy = NaiveComArmMoss::new(strategies);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = std::collections::BTreeSet::new();
+        for t in 1..=num {
+            let s = policy.select_strategy(t);
+            seen.insert(s.clone());
+            let fb = bandit.pull_strategy(&s, &mut rng).unwrap();
+            policy.update(t, &fb);
+        }
+        assert_eq!(seen.len(), num);
+    }
+
+    #[test]
+    fn converges_much_slower_than_structured_learning_would() {
+        // Not a statement about another policy — just that the naive learner does
+        // eventually find the best com-arm on a tiny instance.
+        let graph = generators::edgeless(4);
+        let arms = ArmSet::bernoulli(&[0.1, 0.2, 0.8, 0.9]);
+        let family = StrategyFamily::exactly_m(4, 2);
+        let strategies = family.enumerate(&graph).unwrap();
+        let bandit = NetworkedBandit::new(graph, arms).unwrap();
+        let mut policy = NaiveComArmMoss::new(strategies);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut best = 0;
+        for t in 1..=4000 {
+            let s = policy.select_strategy(t);
+            if t > 3000 && s == [2, 3] {
+                best += 1;
+            }
+            let fb = bandit.pull_strategy(&s, &mut rng).unwrap();
+            policy.update(t, &fb);
+        }
+        assert!(best > 600, "best com-arm selected only {best}/1000");
+    }
+
+    #[test]
+    fn update_by_value_when_no_selection_recorded() {
+        let mut policy = NaiveComArmMoss::new(vec![vec![0], vec![1]]);
+        policy.update(
+            1,
+            &CombinatorialFeedback {
+                strategy: vec![1],
+                observation_set: vec![1],
+                direct_reward: 1.0,
+                side_reward: 1.0,
+                observations: vec![(1, 1.0)],
+            },
+        );
+        assert_eq!(policy.play_count(1), 1);
+        assert_eq!(policy.play_count(0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty feasible set")]
+    fn rejects_empty_family() {
+        let _ = NaiveComArmMoss::new(vec![]);
+    }
+
+    #[test]
+    fn reset_and_name() {
+        let mut policy = NaiveComArmMoss::new(vec![vec![0], vec![1]]);
+        policy.select_strategy(1);
+        policy.reset();
+        assert_eq!(policy.play_count(0), 0);
+        assert_eq!(policy.name(), "NaiveComArm-MOSS");
+    }
+}

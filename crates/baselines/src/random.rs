@@ -1,0 +1,138 @@
+//! Uniform-random policies — the sanity floor every learning policy must beat.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use netband_core::{CombinatorialPolicy, SinglePlayPolicy};
+use netband_env::{CombinatorialFeedback, SinglePlayFeedback};
+
+use crate::ArmId;
+
+/// Pulls an arm uniformly at random every time slot.
+#[derive(Debug, Clone)]
+pub struct RandomSingle {
+    num_arms: usize,
+    rng: StdRng,
+    seed: u64,
+}
+
+impl RandomSingle {
+    /// Creates the policy over `num_arms` arms with the given RNG seed.
+    pub fn new(num_arms: usize, seed: u64) -> Self {
+        RandomSingle {
+            num_arms,
+            rng: StdRng::seed_from_u64(seed),
+            seed,
+        }
+    }
+}
+
+impl SinglePlayPolicy for RandomSingle {
+    fn name(&self) -> &'static str {
+        "Random"
+    }
+
+    fn select_arm(&mut self, _t: usize) -> ArmId {
+        debug_assert!(self.num_arms > 0);
+        self.rng.gen_range(0..self.num_arms.max(1))
+    }
+
+    fn update(&mut self, _t: usize, _feedback: &SinglePlayFeedback) {}
+
+    fn reset(&mut self) {
+        self.rng = StdRng::seed_from_u64(self.seed);
+    }
+}
+
+/// Pulls a uniformly random strategy from an explicitly enumerated feasible set.
+#[derive(Debug, Clone)]
+pub struct RandomCombinatorial {
+    strategies: Vec<Vec<ArmId>>,
+    rng: StdRng,
+    seed: u64,
+}
+
+impl RandomCombinatorial {
+    /// Creates the policy over an explicit feasible set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `strategies` is empty — a combinatorial policy must have at
+    /// least one feasible strategy to play.
+    pub fn new(strategies: Vec<Vec<ArmId>>, seed: u64) -> Self {
+        assert!(
+            !strategies.is_empty(),
+            "RandomCombinatorial requires a non-empty feasible set"
+        );
+        RandomCombinatorial {
+            strategies,
+            rng: StdRng::seed_from_u64(seed),
+            seed,
+        }
+    }
+
+    /// Number of feasible strategies.
+    pub fn num_strategies(&self) -> usize {
+        self.strategies.len()
+    }
+}
+
+impl CombinatorialPolicy for RandomCombinatorial {
+    fn name(&self) -> &'static str {
+        "RandomCombinatorial"
+    }
+
+    fn select_strategy(&mut self, _t: usize) -> Vec<ArmId> {
+        let idx = self.rng.gen_range(0..self.strategies.len());
+        self.strategies[idx].clone()
+    }
+
+    fn update(&mut self, _t: usize, _feedback: &CombinatorialFeedback) {}
+
+    fn reset(&mut self) {
+        self.rng = StdRng::seed_from_u64(self.seed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_single_covers_all_arms() {
+        let mut policy = RandomSingle::new(5, 3);
+        let mut seen = std::collections::BTreeSet::new();
+        for t in 1..=200 {
+            seen.insert(policy.select_arm(t));
+        }
+        assert_eq!(seen.len(), 5);
+        assert_eq!(policy.name(), "Random");
+    }
+
+    #[test]
+    fn random_single_reset_replays() {
+        let mut policy = RandomSingle::new(7, 11);
+        let a: Vec<ArmId> = (1..=30).map(|t| policy.select_arm(t)).collect();
+        policy.reset();
+        let b: Vec<ArmId> = (1..=30).map(|t| policy.select_arm(t)).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn random_combinatorial_only_plays_feasible_strategies() {
+        let feasible = vec![vec![0], vec![1, 2], vec![3]];
+        let mut policy = RandomCombinatorial::new(feasible.clone(), 5);
+        for t in 1..=100 {
+            let s = policy.select_strategy(t);
+            assert!(feasible.contains(&s), "{s:?} not in the feasible set");
+        }
+        assert_eq!(policy.num_strategies(), 3);
+        assert_eq!(policy.name(), "RandomCombinatorial");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty feasible set")]
+    fn random_combinatorial_rejects_empty_family() {
+        let _ = RandomCombinatorial::new(vec![], 0);
+    }
+}

@@ -1,0 +1,199 @@
+//! Softmax (Boltzmann) exploration.
+//!
+//! Plays arm `i` with probability proportional to `exp(X̄_i / τ)`; the
+//! temperature `τ` can be fixed or annealed as `τ_0 / ln(t + 1)`. A classic
+//! randomized single-play baseline that, like the others, ignores side
+//! observations.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use netband_core::estimator::RunningMean;
+use netband_core::SinglePlayPolicy;
+use netband_env::SinglePlayFeedback;
+
+use crate::ArmId;
+
+/// Temperature schedule for [`Softmax`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Temperature {
+    /// Constant temperature.
+    Fixed(f64),
+    /// `τ_t = τ_0 / ln(t + 1)` — cools down over time so the policy becomes
+    /// greedy in the limit.
+    Annealed {
+        /// Initial temperature `τ_0`.
+        tau0: f64,
+    },
+}
+
+/// The softmax / Boltzmann exploration policy.
+#[derive(Debug, Clone)]
+pub struct Softmax {
+    estimates: Vec<RunningMean>,
+    temperature: Temperature,
+    rng: StdRng,
+    seed: u64,
+}
+
+impl Softmax {
+    /// Fixed-temperature softmax.
+    pub fn new(num_arms: usize, tau: f64, seed: u64) -> Self {
+        Softmax {
+            estimates: vec![RunningMean::new(); num_arms],
+            temperature: Temperature::Fixed(tau.max(1e-6)),
+            rng: StdRng::seed_from_u64(seed),
+            seed,
+        }
+    }
+
+    /// Annealed softmax (`τ_t = τ_0 / ln(t + 1)`).
+    pub fn annealed(num_arms: usize, tau0: f64, seed: u64) -> Self {
+        Softmax {
+            estimates: vec![RunningMean::new(); num_arms],
+            temperature: Temperature::Annealed { tau0: tau0.max(1e-6) },
+            rng: StdRng::seed_from_u64(seed),
+            seed,
+        }
+    }
+
+    /// Number of arms.
+    pub fn num_arms(&self) -> usize {
+        self.estimates.len()
+    }
+
+    /// The temperature in effect at time `t`.
+    pub fn temperature_at(&self, t: usize) -> f64 {
+        match self.temperature {
+            Temperature::Fixed(tau) => tau,
+            Temperature::Annealed { tau0 } => {
+                let denom = ((t + 1) as f64).ln().max(1e-6);
+                (tau0 / denom).max(1e-6)
+            }
+        }
+    }
+
+    /// The Boltzmann distribution over arms at time `t`.
+    pub fn probabilities(&self, t: usize) -> Vec<f64> {
+        let tau = self.temperature_at(t);
+        // Subtract the maximum for numerical stability.
+        let max_mean = self
+            .estimates
+            .iter()
+            .map(RunningMean::mean)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let weights: Vec<f64> = self
+            .estimates
+            .iter()
+            .map(|e| ((e.mean() - max_mean) / tau).exp())
+            .collect();
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 || !total.is_finite() {
+            let k = self.num_arms().max(1) as f64;
+            return vec![1.0 / k; self.num_arms()];
+        }
+        weights.into_iter().map(|w| w / total).collect()
+    }
+}
+
+impl SinglePlayPolicy for Softmax {
+    fn name(&self) -> &'static str {
+        "Softmax"
+    }
+
+    fn select_arm(&mut self, t: usize) -> ArmId {
+        debug_assert!(self.num_arms() > 0);
+        let probs = self.probabilities(t);
+        let mut ticket = self.rng.gen::<f64>();
+        for (arm, p) in probs.iter().enumerate() {
+            if ticket < *p {
+                return arm;
+            }
+            ticket -= p;
+        }
+        self.num_arms() - 1
+    }
+
+    fn update(&mut self, _t: usize, feedback: &SinglePlayFeedback) {
+        if feedback.arm < self.estimates.len() {
+            self.estimates[feedback.arm].update(feedback.direct_reward);
+        }
+    }
+
+    fn reset(&mut self) {
+        for est in &mut self.estimates {
+            est.reset();
+        }
+        self.rng = StdRng::seed_from_u64(self.seed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netband_env::{ArmSet, NetworkedBandit};
+    use netband_graph::generators;
+
+    #[test]
+    fn probabilities_are_a_distribution() {
+        let policy = Softmax::new(5, 0.1, 0);
+        let probs = policy.probabilities(1);
+        assert_eq!(probs.len(), 5);
+        assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        // With no observations all arms are equally likely.
+        assert!(probs.iter().all(|&p| (p - 0.2).abs() < 1e-9));
+    }
+
+    #[test]
+    fn lower_temperature_concentrates_on_the_best_empirical_arm() {
+        let feedback = |arm, reward| SinglePlayFeedback {
+            arm,
+            direct_reward: reward,
+            side_reward: reward,
+            observations: vec![(arm, reward)],
+        };
+        let mut hot = Softmax::new(2, 1.0, 0);
+        let mut cold = Softmax::new(2, 0.01, 0);
+        for t in 1..=20 {
+            for p in [&mut hot, &mut cold] {
+                p.update(t, &feedback(0, 1.0));
+                p.update(t, &feedback(1, 0.0));
+            }
+        }
+        assert!(cold.probabilities(21)[0] > hot.probabilities(21)[0]);
+        assert!(cold.probabilities(21)[0] > 0.99);
+    }
+
+    #[test]
+    fn annealed_temperature_decreases() {
+        let policy = Softmax::annealed(3, 1.0, 0);
+        assert!(policy.temperature_at(10) > policy.temperature_at(10_000));
+    }
+
+    #[test]
+    fn mostly_plays_the_best_arm_on_easy_instances() {
+        let graph = generators::edgeless(3);
+        let arms = ArmSet::bernoulli(&[0.1, 0.5, 0.9]);
+        let bandit = NetworkedBandit::new(graph, arms).unwrap();
+        let mut policy = Softmax::annealed(3, 0.3, 3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut counts = [0usize; 3];
+        for t in 1..=4000 {
+            let arm = policy.select_arm(t);
+            counts[arm] += 1;
+            let fb = bandit.pull_single(arm, &mut rng);
+            policy.update(t, &fb);
+        }
+        assert!(counts[2] > counts[0] + counts[1], "{counts:?}");
+    }
+
+    #[test]
+    fn reset_replays_the_same_stream_and_name() {
+        let mut policy = Softmax::new(4, 0.2, 9);
+        let a: Vec<ArmId> = (1..=20).map(|t| policy.select_arm(t)).collect();
+        policy.reset();
+        let b: Vec<ArmId> = (1..=20).map(|t| policy.select_arm(t)).collect();
+        assert_eq!(a, b);
+        assert_eq!(policy.name(), "Softmax");
+    }
+}

@@ -1,0 +1,284 @@
+//! UCB1 and UCB-Tuned (Auer, Cesa-Bianchi & Fischer).
+//!
+//! Distribution-dependent single-play baselines. Like MOSS they learn only from
+//! the pulled arm's direct reward.
+
+use netband_core::estimator::RunningMean;
+use netband_core::SinglePlayPolicy;
+use netband_env::SinglePlayFeedback;
+
+use crate::ArmId;
+
+/// Per-arm state shared by the two UCB variants (mean, count, sum of squares).
+#[derive(Debug, Clone, Default)]
+struct UcbArm {
+    mean: RunningMean,
+    sum_sq: f64,
+}
+
+impl UcbArm {
+    fn update(&mut self, x: f64) {
+        self.mean.update(x);
+        self.sum_sq += x * x;
+    }
+    fn variance_estimate(&self) -> f64 {
+        let n = self.mean.count() as f64;
+        if n == 0.0 {
+            return 0.0;
+        }
+        (self.sum_sq / n - self.mean.mean() * self.mean.mean()).max(0.0)
+    }
+    fn reset(&mut self) {
+        self.mean.reset();
+        self.sum_sq = 0.0;
+    }
+}
+
+/// Classic UCB1: index `X̄_i + sqrt(2 ln t / T_i)`.
+#[derive(Debug, Clone)]
+pub struct Ucb1 {
+    arms: Vec<UcbArm>,
+}
+
+impl Ucb1 {
+    /// UCB1 over `num_arms` arms.
+    pub fn new(num_arms: usize) -> Self {
+        Ucb1 {
+            arms: vec![UcbArm::default(); num_arms],
+        }
+    }
+
+    /// Number of arms.
+    pub fn num_arms(&self) -> usize {
+        self.arms.len()
+    }
+
+    /// Number of pulls of an arm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arm` is out of range.
+    pub fn pull_count(&self, arm: ArmId) -> u64 {
+        self.arms[arm].mean.count()
+    }
+
+    /// The UCB1 index of an arm at time `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arm` is out of range.
+    pub fn index(&self, arm: ArmId, t: usize) -> f64 {
+        let a = &self.arms[arm];
+        if a.mean.count() == 0 {
+            return f64::INFINITY;
+        }
+        let t = t.max(1) as f64;
+        a.mean.mean() + (2.0 * t.ln() / a.mean.count() as f64).sqrt()
+    }
+}
+
+impl SinglePlayPolicy for Ucb1 {
+    fn name(&self) -> &'static str {
+        "UCB1"
+    }
+
+    fn select_arm(&mut self, t: usize) -> ArmId {
+        (0..self.num_arms())
+            .max_by(|&a, &b| {
+                self.index(a, t)
+                    .partial_cmp(&self.index(b, t))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .unwrap_or(0)
+    }
+
+    fn update(&mut self, _t: usize, feedback: &SinglePlayFeedback) {
+        if feedback.arm < self.arms.len() {
+            self.arms[feedback.arm].update(feedback.direct_reward);
+        }
+    }
+
+    fn reset(&mut self) {
+        for a in &mut self.arms {
+            a.reset();
+        }
+    }
+}
+
+/// UCB-Tuned: the exploration width is scaled by an empirical-variance term,
+/// `min(1/4, V_i(T_i))`, which is usually much tighter than UCB1 for Bernoulli
+/// rewards.
+#[derive(Debug, Clone)]
+pub struct UcbTuned {
+    arms: Vec<UcbArm>,
+}
+
+impl UcbTuned {
+    /// UCB-Tuned over `num_arms` arms.
+    pub fn new(num_arms: usize) -> Self {
+        UcbTuned {
+            arms: vec![UcbArm::default(); num_arms],
+        }
+    }
+
+    /// Number of arms.
+    pub fn num_arms(&self) -> usize {
+        self.arms.len()
+    }
+
+    /// The UCB-Tuned index of an arm at time `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arm` is out of range.
+    pub fn index(&self, arm: ArmId, t: usize) -> f64 {
+        let a = &self.arms[arm];
+        let count = a.mean.count();
+        if count == 0 {
+            return f64::INFINITY;
+        }
+        let t = t.max(1) as f64;
+        let count_f = count as f64;
+        let v = a.variance_estimate() + (2.0 * t.ln() / count_f).sqrt();
+        a.mean.mean() + (t.ln() / count_f * v.min(0.25)).sqrt()
+    }
+}
+
+impl SinglePlayPolicy for UcbTuned {
+    fn name(&self) -> &'static str {
+        "UCB-Tuned"
+    }
+
+    fn select_arm(&mut self, t: usize) -> ArmId {
+        (0..self.num_arms())
+            .max_by(|&a, &b| {
+                self.index(a, t)
+                    .partial_cmp(&self.index(b, t))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .unwrap_or(0)
+    }
+
+    fn update(&mut self, _t: usize, feedback: &SinglePlayFeedback) {
+        if feedback.arm < self.arms.len() {
+            self.arms[feedback.arm].update(feedback.direct_reward);
+        }
+    }
+
+    fn reset(&mut self) {
+        for a in &mut self.arms {
+            a.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netband_env::{ArmSet, NetworkedBandit};
+    use netband_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn run<P: SinglePlayPolicy>(
+        policy: &mut P,
+        bandit: &NetworkedBandit,
+        n: usize,
+        seed: u64,
+    ) -> Vec<ArmId> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut pulls = Vec::with_capacity(n);
+        for t in 1..=n {
+            let arm = policy.select_arm(t);
+            let fb = bandit.pull_single(arm, &mut rng);
+            policy.update(t, &fb);
+            pulls.push(arm);
+        }
+        pulls
+    }
+
+    fn test_bandit() -> NetworkedBandit {
+        let graph = generators::edgeless(5);
+        NetworkedBandit::new(graph, ArmSet::bernoulli(&[0.1, 0.2, 0.3, 0.4, 0.9])).unwrap()
+    }
+
+    #[test]
+    fn ucb1_converges_to_best_arm() {
+        let bandit = test_bandit();
+        let mut policy = Ucb1::new(5);
+        let pulls = run(&mut policy, &bandit, 3000, 1);
+        let tail = pulls[2000..].iter().filter(|&&a| a == 4).count();
+        assert!(tail > 800, "UCB1 best-arm tail pulls {tail}/1000");
+    }
+
+    #[test]
+    fn ucb_tuned_converges_to_best_arm() {
+        let bandit = test_bandit();
+        let mut policy = UcbTuned::new(5);
+        let pulls = run(&mut policy, &bandit, 3000, 2);
+        let tail = pulls[2000..].iter().filter(|&&a| a == 4).count();
+        assert!(tail > 800, "UCB-Tuned best-arm tail pulls {tail}/1000");
+    }
+
+    #[test]
+    fn indices_are_infinite_before_first_pull() {
+        let policy = Ucb1::new(3);
+        assert_eq!(policy.index(0, 1), f64::INFINITY);
+        let tuned = UcbTuned::new(3);
+        assert_eq!(tuned.index(2, 1), f64::INFINITY);
+    }
+
+    #[test]
+    fn ucb1_index_shrinks_with_pulls() {
+        let mut policy = Ucb1::new(2);
+        let fb = |arm, reward| SinglePlayFeedback {
+            arm,
+            direct_reward: reward,
+            side_reward: reward,
+            observations: vec![(arm, reward)],
+        };
+        policy.update(1, &fb(0, 0.5));
+        let once = policy.index(0, 100);
+        for t in 2..=50 {
+            policy.update(t, &fb(0, 0.5));
+        }
+        assert!(policy.index(0, 100) < once);
+    }
+
+    #[test]
+    fn ucb_tuned_variance_estimate_is_zero_for_constant_rewards() {
+        let mut policy = UcbTuned::new(1);
+        for t in 1..=20 {
+            policy.update(
+                t,
+                &SinglePlayFeedback {
+                    arm: 0,
+                    direct_reward: 0.7,
+                    side_reward: 0.7,
+                    observations: vec![(0, 0.7)],
+                },
+            );
+        }
+        assert!(policy.arms[0].variance_estimate() < 1e-9);
+    }
+
+    #[test]
+    fn reset_and_names() {
+        let mut u1 = Ucb1::new(2);
+        let mut ut = UcbTuned::new(2);
+        assert_eq!(u1.name(), "UCB1");
+        assert_eq!(ut.name(), "UCB-Tuned");
+        let fb = SinglePlayFeedback {
+            arm: 0,
+            direct_reward: 1.0,
+            side_reward: 1.0,
+            observations: vec![(0, 1.0)],
+        };
+        u1.update(1, &fb);
+        ut.update(1, &fb);
+        u1.reset();
+        ut.reset();
+        assert_eq!(u1.pull_count(0), 0);
+        assert_eq!(ut.index(0, 1), f64::INFINITY);
+    }
+}

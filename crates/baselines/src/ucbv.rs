@@ -1,0 +1,212 @@
+//! UCB-V (Audibert, Munos & Szepesvári): a variance-aware upper confidence
+//! bound using an empirical-Bernstein exploration term.
+//!
+//! Included because the paper's arms are Bernoulli with means spread over
+//! `[0, 1]`: low-variance arms (means near 0 or 1) get much tighter confidence
+//! intervals under UCB-V than under UCB1, making it a stronger
+//! distribution-dependent single-play comparator. Like every baseline it
+//! ignores side observations.
+
+use netband_core::SinglePlayPolicy;
+use netband_env::SinglePlayFeedback;
+
+use crate::ArmId;
+
+/// Per-arm sufficient statistics (count, mean, mean of squares).
+#[derive(Debug, Clone, Copy, Default)]
+struct ArmStats {
+    count: u64,
+    mean: f64,
+    mean_sq: f64,
+}
+
+impl ArmStats {
+    fn update(&mut self, x: f64) {
+        self.count += 1;
+        let n = self.count as f64;
+        self.mean += (x - self.mean) / n;
+        self.mean_sq += (x * x - self.mean_sq) / n;
+    }
+
+    fn variance(&self) -> f64 {
+        (self.mean_sq - self.mean * self.mean).max(0.0)
+    }
+
+    fn reset(&mut self) {
+        *self = ArmStats::default();
+    }
+}
+
+/// The UCB-V policy with exploration function `E(t) = ζ·ln t`.
+#[derive(Debug, Clone)]
+pub struct UcbV {
+    arms: Vec<ArmStats>,
+    /// Exploration scale ζ (the analysis uses ζ ≥ 1; 1.2 is a common default).
+    zeta: f64,
+    /// The Bernstein constants `b` (reward range) and `c` of the original paper;
+    /// rewards here live in `[0, 1]`, so `b = 1`.
+    c: f64,
+}
+
+impl UcbV {
+    /// UCB-V over `num_arms` arms with the standard constants (ζ = 1.2, c = 1).
+    pub fn new(num_arms: usize) -> Self {
+        UcbV {
+            arms: vec![ArmStats::default(); num_arms],
+            zeta: 1.2,
+            c: 1.0,
+        }
+    }
+
+    /// UCB-V with custom exploration constants.
+    pub fn with_constants(num_arms: usize, zeta: f64, c: f64) -> Self {
+        UcbV {
+            arms: vec![ArmStats::default(); num_arms],
+            zeta: zeta.max(0.0),
+            c: c.max(0.0),
+        }
+    }
+
+    /// Number of arms.
+    pub fn num_arms(&self) -> usize {
+        self.arms.len()
+    }
+
+    /// Number of pulls of an arm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arm` is out of range.
+    pub fn pull_count(&self, arm: ArmId) -> u64 {
+        self.arms[arm].count
+    }
+
+    /// Empirical variance estimate of an arm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arm` is out of range.
+    pub fn variance_estimate(&self, arm: ArmId) -> f64 {
+        self.arms[arm].variance()
+    }
+
+    /// The UCB-V index of an arm at time `t`:
+    /// `X̄ + sqrt(2 V̄ E(t) / s) + 3 b c E(t) / s` with `E(t) = ζ ln t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arm` is out of range.
+    pub fn index(&self, arm: ArmId, t: usize) -> f64 {
+        let a = &self.arms[arm];
+        if a.count == 0 {
+            return f64::INFINITY;
+        }
+        let s = a.count as f64;
+        let exploration = self.zeta * (t.max(2) as f64).ln();
+        a.mean + (2.0 * a.variance() * exploration / s).sqrt() + 3.0 * self.c * exploration / s
+    }
+}
+
+impl SinglePlayPolicy for UcbV {
+    fn name(&self) -> &'static str {
+        "UCB-V"
+    }
+
+    fn select_arm(&mut self, t: usize) -> ArmId {
+        (0..self.num_arms())
+            .max_by(|&a, &b| {
+                self.index(a, t)
+                    .partial_cmp(&self.index(b, t))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .unwrap_or(0)
+    }
+
+    fn update(&mut self, _t: usize, feedback: &SinglePlayFeedback) {
+        if feedback.arm < self.arms.len() {
+            self.arms[feedback.arm].update(feedback.direct_reward);
+        }
+    }
+
+    fn reset(&mut self) {
+        for a in &mut self.arms {
+            a.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netband_env::{ArmSet, NetworkedBandit};
+    use netband_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fb(arm: ArmId, reward: f64) -> SinglePlayFeedback {
+        SinglePlayFeedback {
+            arm,
+            direct_reward: reward,
+            side_reward: reward,
+            observations: vec![(arm, reward)],
+        }
+    }
+
+    #[test]
+    fn statistics_track_mean_and_variance() {
+        let mut policy = UcbV::new(1);
+        for &x in &[0.0, 1.0, 0.0, 1.0] {
+            policy.update(1, &fb(0, x));
+        }
+        assert_eq!(policy.pull_count(0), 4);
+        assert!((policy.variance_estimate(0) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_variance_arms_get_tighter_indices() {
+        let mut noisy = UcbV::new(1);
+        let mut constant = UcbV::new(1);
+        for i in 0..40 {
+            noisy.update(i + 1, &fb(0, if i % 2 == 0 { 0.0 } else { 1.0 }));
+            constant.update(i + 1, &fb(0, 0.5));
+        }
+        // Same empirical mean (0.5), but the constant arm's bonus is smaller.
+        assert!(constant.index(0, 1000) < noisy.index(0, 1000));
+    }
+
+    #[test]
+    fn unpulled_arms_are_explored_first() {
+        let policy = UcbV::new(3);
+        assert_eq!(policy.index(2, 10), f64::INFINITY);
+    }
+
+    #[test]
+    fn converges_to_the_best_arm() {
+        let graph = generators::edgeless(5);
+        let arms = ArmSet::bernoulli(&[0.1, 0.2, 0.3, 0.4, 0.9]);
+        let bandit = NetworkedBandit::new(graph, arms).unwrap();
+        let mut policy = UcbV::new(5);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut tail_best = 0;
+        for t in 1..=4000 {
+            let arm = policy.select_arm(t);
+            if t > 3000 && arm == 4 {
+                tail_best += 1;
+            }
+            let feedback = bandit.pull_single(arm, &mut rng);
+            policy.update(t, &feedback);
+        }
+        assert!(tail_best > 800, "best arm pulled only {tail_best}/1000");
+    }
+
+    #[test]
+    fn reset_and_name_and_custom_constants() {
+        let mut policy = UcbV::with_constants(2, 2.0, 0.5);
+        policy.update(1, &fb(0, 1.0));
+        assert_eq!(policy.pull_count(0), 1);
+        policy.reset();
+        assert_eq!(policy.pull_count(0), 0);
+        assert_eq!(policy.name(), "UCB-V");
+        assert_eq!(policy.index(0, 5), f64::INFINITY);
+    }
+}

@@ -1,0 +1,26 @@
+//! Ablation A bench: the density sweep at reduced scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use netband_bench::bench_scale;
+use netband_experiments::ablation_density::{run, DensityConfig};
+
+fn bench_density(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_density");
+    group.sample_size(10);
+    let config = DensityConfig {
+        num_arms: 25,
+        densities: vec![0.1, 0.5, 0.9],
+        scale: bench_scale(),
+        base_seed: 7_100,
+    };
+    group.bench_function("density_sweep", |b| {
+        b.iter(|| {
+            let rows = run(&config);
+            std::hint::black_box(rows.len());
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_density);
+criterion_main!(benches);

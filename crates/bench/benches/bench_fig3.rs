@@ -1,0 +1,25 @@
+//! Figure 3 bench: MOSS vs DFL-SSO on the paper's random workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use netband_bench::bench_scale;
+use netband_experiments::fig3::{run, Fig3Config};
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3");
+    group.sample_size(10);
+    let config = Fig3Config {
+        num_arms: 50,
+        scale: bench_scale(),
+        ..Fig3Config::default()
+    };
+    group.bench_function("moss_vs_dfl_sso", |b| {
+        b.iter(|| {
+            let result = run(&config);
+            std::hint::black_box(result.dfl_sso.final_regret_mean());
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Figure 4 bench: DFL-CSO under sparse and dense relation graphs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use netband_bench::bench_scale;
+use netband_experiments::fig4::{run, Fig4Config};
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4");
+    group.sample_size(10);
+    let config = Fig4Config {
+        num_arms: 10,
+        scale: bench_scale(),
+        ..Fig4Config::default()
+    };
+    group.bench_function("dfl_cso_sparse_vs_dense", |b| {
+        b.iter(|| {
+            let result = run(&config);
+            std::hint::black_box(result.dense.final_regret_mean());
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Figure 5 bench: DFL-SSR on the paper's random workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use netband_bench::bench_scale;
+use netband_experiments::fig5::{run, Fig5Config};
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5");
+    group.sample_size(10);
+    let config = Fig5Config {
+        num_arms: 50,
+        include_baselines: false,
+        scale: bench_scale(),
+        ..Fig5Config::default()
+    };
+    group.bench_function("dfl_ssr", |b| {
+        b.iter(|| {
+            let result = run(&config);
+            std::hint::black_box(result.dfl_ssr.final_regret_mean());
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

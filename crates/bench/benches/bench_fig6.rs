@@ -1,0 +1,27 @@
+//! Figure 6 bench: DFL-CSR with the at-most-M oracle.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use netband_bench::bench_scale;
+use netband_experiments::fig6::{run, Fig6Config};
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6");
+    group.sample_size(10);
+    let config = Fig6Config {
+        num_arms: 12,
+        max_strategy_size: 2,
+        include_baselines: false,
+        scale: bench_scale(),
+        ..Fig6Config::default()
+    };
+    group.bench_function("dfl_csr", |b| {
+        b.iter(|| {
+            let result = run(&config);
+            std::hint::black_box(result.dfl_csr.final_regret_mean());
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Micro-benchmarks of the core primitives: the MOSS index, clique covers,
+//! strategy-graph construction, the combinatorial oracles, and environment
+//! pulls.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netband_core::estimator::moss_index;
+use netband_core::{DflSso, SinglePlayPolicy};
+use netband_env::feasible::FeasibleSet;
+use netband_env::{ArmSet, NetworkedBandit, StrategyFamily};
+use netband_graph::{generators, greedy_clique_cover, StrategyRelationGraph};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_index(c: &mut Criterion) {
+    c.bench_function("moss_index", |b| {
+        b.iter(|| std::hint::black_box(moss_index(0.42, 17, 9_999, 100)))
+    });
+}
+
+fn bench_clique_cover(c: &mut Criterion) {
+    let mut group = c.benchmark_group("greedy_clique_cover");
+    for &(n, p) in &[(100usize, 0.3f64), (100, 0.6), (200, 0.3)] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let graph = generators::erdos_renyi(n, p, &mut rng);
+        group.bench_with_input(BenchmarkId::new("er", format!("n{n}_p{p}")), &graph, |b, g| {
+            b.iter(|| std::hint::black_box(greedy_clique_cover(g).len()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_strategy_graph(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let graph = generators::erdos_renyi(14, 0.3, &mut rng);
+    let family = StrategyFamily::independent_sets(2);
+    let strategies = family.enumerate(&graph).unwrap();
+    c.bench_function("strategy_relation_graph_build", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                StrategyRelationGraph::build(&graph, strategies.clone()).num_strategies(),
+            )
+        })
+    });
+}
+
+fn bench_oracle(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let graph = generators::erdos_renyi(20, 0.3, &mut rng);
+    let family = StrategyFamily::at_most_m(20, 3);
+    let weights: Vec<f64> = (0..20).map(|i| (i as f64) / 20.0).collect();
+    c.bench_function("oracle_argmax_neighborhood", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                family
+                    .argmax_by_neighborhood_weights(&weights, &graph)
+                    .unwrap()
+                    .len(),
+            )
+        })
+    });
+}
+
+fn bench_policy_step(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    let graph = generators::erdos_renyi(100, 0.3, &mut rng);
+    let bandit =
+        NetworkedBandit::new(graph.clone(), ArmSet::random_bernoulli(100, &mut rng)).unwrap();
+    c.bench_function("dfl_sso_select_pull_update", |b| {
+        let mut policy = DflSso::new(graph.clone());
+        let mut t = 0usize;
+        b.iter(|| {
+            t += 1;
+            let arm = policy.select_arm(t);
+            let fb = bandit.pull_single(arm, &mut rng);
+            policy.update(t, &fb);
+            std::hint::black_box(arm)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_index,
+    bench_clique_cover,
+    bench_strategy_graph,
+    bench_oracle,
+    bench_policy_step
+);
+criterion_main!(benches);

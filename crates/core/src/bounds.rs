@@ -1,0 +1,124 @@
+//! Closed-form evaluation of the paper's regret bounds (Theorems 1–4).
+//!
+//! These functions let the experiment harness print the theoretical bound next
+//! to the measured regret (EXPERIMENTS.md reports both), and power the
+//! `bounds` binary that sweeps the bounds over `n`, `K`, `C`, and `N`.
+
+/// Theorem 1: regret of DFL-SSO after `n` slots over `K` arms whose induced
+/// high-gap subgraph admits a clique cover of size `clique_cover`.
+///
+/// `R_n ≤ 15.94 · sqrt(nK) + 0.74 · C · sqrt(n / K)`
+pub fn theorem1_dfl_sso(n: usize, num_arms: usize, clique_cover: usize) -> f64 {
+    let n = n as f64;
+    let k = (num_arms.max(1)) as f64;
+    15.94 * (n * k).sqrt() + 0.74 * clique_cover as f64 * (n / k).sqrt()
+}
+
+/// Theorem 2: regret of DFL-CSO after `n` slots over `|F|` com-arms whose
+/// strategy relation graph admits a clique cover of size `clique_cover`.
+///
+/// `R_n ≤ 15.94 · sqrt(n |F|) + 0.74 · C · sqrt(n / |F|)`
+pub fn theorem2_dfl_cso(n: usize, num_strategies: usize, clique_cover: usize) -> f64 {
+    theorem1_dfl_sso(n, num_strategies, clique_cover)
+}
+
+/// The distribution-free bound of plain MOSS over `k` candidates, `49·sqrt(nk)`,
+/// quoted by the paper as the comparison point for Theorem 2 ("the regret bound
+/// would be 49·sqrt(n|F|)").
+pub fn moss_bound(n: usize, k: usize) -> f64 {
+    49.0 * ((n * k.max(1)) as f64).sqrt()
+}
+
+/// Theorem 3: regret of DFL-SSR after `n` slots over `K` arms.
+///
+/// `R_n ≤ 49 · K · sqrt(nK)`
+pub fn theorem3_dfl_ssr(n: usize, num_arms: usize) -> f64 {
+    let k = num_arms.max(1) as f64;
+    49.0 * k * ((n as f64) * k).sqrt()
+}
+
+/// Theorem 4: regret of DFL-CSR after `n` slots over `K` arms with maximum
+/// observation-set size `N = max_x |Y_x|`.
+///
+/// `R_n ≤ NK + (sqrt(eK) + 8(1+N)N³)·n^{2/3} + (1 + 4·sqrt(K)·N²/e)·N²·K·n^{5/6}`
+pub fn theorem4_dfl_csr(n: usize, num_arms: usize, max_observation_set: usize) -> f64 {
+    let n = n as f64;
+    let k = num_arms.max(1) as f64;
+    let big_n = max_observation_set.max(1) as f64;
+    let e = std::f64::consts::E;
+    big_n * k
+        + ((e * k).sqrt() + 8.0 * (1.0 + big_n) * big_n.powi(3)) * n.powf(2.0 / 3.0)
+        + (1.0 + 4.0 * k.sqrt() * big_n * big_n / e) * big_n * big_n * k * n.powf(5.0 / 6.0)
+}
+
+/// Whether a bound certifies *zero regret* in the paper's sense
+/// (`R_n / n → 0`): evaluates `bound(n)/n` at a large horizon and at a horizon
+/// ten times larger and checks that the average regret decreased.
+pub fn certifies_zero_regret(bound: impl Fn(usize) -> f64, horizon: usize) -> bool {
+    let horizon = horizon.max(10);
+    let early = bound(horizon) / horizon as f64;
+    let late = bound(horizon * 10) / (horizon * 10) as f64;
+    late < early
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn theorem1_matches_hand_computation() {
+        // n = 10_000, K = 100, C = 20:
+        // 15.94·sqrt(1e6) + 0.74·20·sqrt(100) = 15_940 + 148.
+        let bound = theorem1_dfl_sso(10_000, 100, 20);
+        assert!((bound - (15_940.0 + 148.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn theorem2_equals_theorem1_with_strategies_substituted() {
+        assert_eq!(theorem2_dfl_cso(5_000, 37, 5), theorem1_dfl_sso(5_000, 37, 5));
+    }
+
+    #[test]
+    fn moss_bound_is_larger_than_theorem2_for_modest_cover() {
+        // The paper's claim: 15.94·sqrt(n|F|) + 0.74·C·sqrt(n/|F|) < 49·sqrt(n|F|)
+        // whenever C is not astronomically large.
+        let n = 10_000;
+        let f = 200;
+        assert!(theorem2_dfl_cso(n, f, f) < moss_bound(n, f));
+    }
+
+    #[test]
+    fn theorem3_matches_hand_computation() {
+        // 49 · 10 · sqrt(1000·10) = 490·100 = 49_000.
+        let bound = theorem3_dfl_ssr(1_000, 10);
+        assert!((bound - 49_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn theorem4_is_monotone_in_n_k_and_big_n() {
+        let base = theorem4_dfl_csr(10_000, 20, 5);
+        assert!(theorem4_dfl_csr(20_000, 20, 5) > base);
+        assert!(theorem4_dfl_csr(10_000, 40, 5) > base);
+        assert!(theorem4_dfl_csr(10_000, 20, 10) > base);
+        assert!(base > 0.0);
+    }
+
+    #[test]
+    fn all_bounds_certify_zero_regret() {
+        assert!(certifies_zero_regret(|n| theorem1_dfl_sso(n, 100, 30), 10_000));
+        assert!(certifies_zero_regret(|n| theorem2_dfl_cso(n, 500, 100), 10_000));
+        assert!(certifies_zero_regret(|n| theorem3_dfl_ssr(n, 100), 10_000));
+        // Theorem 4 grows like n^{5/6}, still sublinear.
+        assert!(certifies_zero_regret(|n| theorem4_dfl_csr(n, 20, 6), 10_000));
+        // A linear "bound" does not certify zero regret.
+        assert!(!certifies_zero_regret(|n| 0.5 * n as f64, 10_000));
+    }
+
+    #[test]
+    fn degenerate_sizes_do_not_panic() {
+        assert!(theorem1_dfl_sso(0, 0, 0) >= 0.0);
+        assert!(theorem3_dfl_ssr(0, 0) >= 0.0);
+        assert!(theorem4_dfl_csr(0, 0, 0) >= 0.0);
+        assert!(moss_bound(0, 0) >= 0.0);
+    }
+}

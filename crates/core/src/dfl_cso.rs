@@ -1,0 +1,284 @@
+//! DFL-CSO — Distribution-Free Learning for Combinatorial-play with Side
+//! Observation (Algorithm 2 of the paper).
+//!
+//! The combinatorial problem is converted to a single-play problem over
+//! "com-arms": every feasible strategy `s_x ∈ F` becomes a vertex of the
+//! **strategy relation graph** `SG(F, L)` (see
+//! [`netband_graph::StrategyRelationGraph`]), and Algorithm 1's machinery is
+//! applied to it. Playing `s_x` reveals the reward of every arm in
+//! `Y_x = ∪_{i ∈ s_x} N_i`, hence the realised reward of every strategy whose
+//! component arms are contained in `Y_x` — exactly the neighbours of `s_x` in
+//! `SG` — so their estimates are updated too.
+//!
+//! Rewards of a com-arm live in `[0, M]` (a strategy has at most `M` arms), so
+//! the policy normalises them by `M` internally to keep the MOSS index on the
+//! `[0, 1]` scale assumed by the analysis; the normalisation is an
+//! implementation detail invisible to callers.
+
+use std::collections::HashMap;
+
+use netband_env::CombinatorialFeedback;
+use netband_graph::strategy::StrategyId;
+use netband_graph::StrategyRelationGraph;
+
+use crate::estimator::{moss_index, RunningMean};
+use crate::policy::CombinatorialPolicy;
+use crate::ArmId;
+
+/// The DFL-CSO policy (Algorithm 2), operating on an explicitly enumerated
+/// feasible strategy set.
+#[derive(Debug, Clone)]
+pub struct DflCso {
+    strategy_graph: StrategyRelationGraph,
+    estimates: Vec<RunningMean>,
+    /// Normalisation constant: the largest strategy size in `F` (at least 1).
+    scale: f64,
+    /// Index of the com-arm pulled at the current time slot; used to attribute
+    /// feedback to the correct strategy when updating.
+    last_selected: Option<StrategyId>,
+}
+
+impl DflCso {
+    /// Creates the policy from a pre-built strategy relation graph.
+    pub fn new(strategy_graph: StrategyRelationGraph) -> Self {
+        let num = strategy_graph.num_strategies();
+        let scale = strategy_graph
+            .strategies()
+            .iter()
+            .map(Vec::len)
+            .max()
+            .unwrap_or(1)
+            .max(1) as f64;
+        DflCso {
+            strategy_graph,
+            estimates: vec![RunningMean::new(); num],
+            scale,
+            last_selected: None,
+        }
+    }
+
+    /// Convenience constructor: builds the strategy relation graph from an arm
+    /// relation graph and an explicit feasible set.
+    pub fn from_strategies(
+        arm_graph: &netband_graph::RelationGraph,
+        strategies: Vec<Vec<ArmId>>,
+    ) -> Self {
+        DflCso::new(StrategyRelationGraph::build(arm_graph, strategies))
+    }
+
+    /// Number of com-arms `|F|`.
+    pub fn num_strategies(&self) -> usize {
+        self.estimates.len()
+    }
+
+    /// The underlying strategy relation graph.
+    pub fn strategy_graph(&self) -> &StrategyRelationGraph {
+        &self.strategy_graph
+    }
+
+    /// Observation count `O_x` of a com-arm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is out of range.
+    pub fn observation_count(&self, x: StrategyId) -> u64 {
+        self.estimates[x].count()
+    }
+
+    /// Empirical mean reward of a com-arm (denormalised back to the `[0, M]`
+    /// scale).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is out of range.
+    pub fn empirical_mean(&self, x: StrategyId) -> f64 {
+        self.estimates[x].mean() * self.scale
+    }
+
+    /// The index value (Equation 42) of com-arm `x` at time `t`, on the
+    /// normalised `[0, 1]` reward scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is out of range.
+    pub fn index(&self, x: StrategyId, t: usize) -> f64 {
+        let est = &self.estimates[x];
+        moss_index(est.mean(), est.count(), t, self.num_strategies())
+    }
+
+    /// The com-arm that would be selected at time `t` (without mutating state).
+    pub fn best_strategy_index(&self, t: usize) -> Option<StrategyId> {
+        (0..self.num_strategies()).max_by(|&a, &b| {
+            self.index(a, t)
+                .partial_cmp(&self.index(b, t))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+    }
+}
+
+impl CombinatorialPolicy for DflCso {
+    fn name(&self) -> &'static str {
+        "DFL-CSO"
+    }
+
+    fn select_strategy(&mut self, t: usize) -> Vec<ArmId> {
+        let x = self
+            .best_strategy_index(t)
+            .expect("DFL-CSO requires a non-empty feasible strategy set");
+        self.last_selected = Some(x);
+        self.strategy_graph.strategy(x).to_vec()
+    }
+
+    fn update(&mut self, _t: usize, feedback: &CombinatorialFeedback) {
+        // Build a lookup of the revealed samples, then update every com-arm whose
+        // component arms are fully observed (the pulled com-arm and its SG
+        // neighbours).
+        let samples: HashMap<ArmId, f64> = feedback.observations.iter().copied().collect();
+        let observed_arms: Vec<ArmId> = feedback.observations.iter().map(|&(a, _)| a).collect();
+        for x in self.strategy_graph.strategies_observable_from(&observed_arms) {
+            let reward: f64 = self
+                .strategy_graph
+                .strategy(x)
+                .iter()
+                .map(|arm| samples.get(arm).copied().unwrap_or(0.0))
+                .sum();
+            self.estimates[x].update(reward / self.scale);
+        }
+        self.last_selected = None;
+    }
+
+    fn reset(&mut self) {
+        for est in &mut self.estimates {
+            est.reset();
+        }
+        self.last_selected = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netband_env::{ArmSet, FeasibleSet, NetworkedBandit, StrategyFamily};
+    use netband_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// The Fig. 2 instance: path 0-1-2-3, independent sets of size ≤ 2.
+    fn fig2_policy_and_bandit(means: &[f64]) -> (DflCso, NetworkedBandit) {
+        let graph = generators::path(4);
+        let family = StrategyFamily::independent_sets(2);
+        let strategies = family.enumerate(&graph).unwrap();
+        let policy = DflCso::from_strategies(&graph, strategies);
+        let bandit = NetworkedBandit::new(graph, ArmSet::bernoulli(means)).unwrap();
+        (policy, bandit)
+    }
+
+    fn run(
+        policy: &mut DflCso,
+        bandit: &NetworkedBandit,
+        n: usize,
+        seed: u64,
+    ) -> Vec<Vec<ArmId>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut pulls = Vec::with_capacity(n);
+        for t in 1..=n {
+            let s = policy.select_strategy(t);
+            let fb = bandit.pull_strategy(&s, &mut rng).unwrap();
+            policy.update(t, &fb);
+            pulls.push(s);
+        }
+        pulls
+    }
+
+    #[test]
+    fn fig2_has_seven_com_arms() {
+        let (policy, _) = fig2_policy_and_bandit(&[0.2, 0.5, 0.3, 0.6]);
+        assert_eq!(policy.num_strategies(), 7);
+        assert_eq!(policy.name(), "DFL-CSO");
+    }
+
+    #[test]
+    fn unobserved_com_arms_are_explored_first() {
+        let (mut policy, bandit) = fig2_policy_and_bandit(&[0.2, 0.5, 0.3, 0.6]);
+        // Pull once: every com-arm whose component arms lie inside the
+        // observation set gets its estimate updated; the rest keep infinite
+        // index and must be chosen next.
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = policy.select_strategy(1);
+        let fb = bandit.pull_strategy(&s, &mut rng).unwrap();
+        policy.update(1, &fb);
+        let next = policy.best_strategy_index(2).unwrap();
+        assert_eq!(policy.observation_count(next), 0);
+    }
+
+    #[test]
+    fn side_observation_updates_neighbouring_com_arms() {
+        let (mut policy, bandit) = fig2_policy_and_bandit(&[0.2, 0.5, 0.3, 0.6]);
+        let mut rng = StdRng::seed_from_u64(3);
+        // Strategy {1} (com-arm index 3 in the enumeration order of
+        // independent_sets_up_to: [{0},{0,2},{0,3},{1},{1,3},{2},{3}]).
+        let fb = bandit.pull_strategy(&[1], &mut rng).unwrap();
+        policy.update(1, &fb);
+        // Y_{1} = {0,1,2}; observable com-arms: {0}, {0,2}, {1}, {2}.
+        assert_eq!(policy.observation_count(0), 1); // {0}
+        assert_eq!(policy.observation_count(1), 1); // {0,2}
+        assert_eq!(policy.observation_count(2), 0); // {0,3} needs arm 3
+        assert_eq!(policy.observation_count(3), 1); // {1}
+        assert_eq!(policy.observation_count(4), 0); // {1,3}
+        assert_eq!(policy.observation_count(5), 1); // {2}
+        assert_eq!(policy.observation_count(6), 0); // {3}
+    }
+
+    #[test]
+    fn converges_to_the_best_strategy() {
+        // Means chosen so the unique best independent set of size ≤ 2 is {1,3}
+        // with expected reward 1.5.
+        let (mut policy, bandit) = fig2_policy_and_bandit(&[0.2, 0.9, 0.3, 0.6]);
+        let pulls = run(&mut policy, &bandit, 4000, 9);
+        let best_count = pulls[3000..].iter().filter(|s| s.as_slice() == [1, 3]).count();
+        assert!(
+            best_count > 900,
+            "best strategy pulled only {best_count}/1000 times in the tail"
+        );
+    }
+
+    #[test]
+    fn empirical_means_are_denormalised() {
+        let (mut policy, bandit) = fig2_policy_and_bandit(&[1.0, 1.0, 1.0, 1.0]);
+        let mut rng = StdRng::seed_from_u64(4);
+        // All rewards are deterministically 1 (Bernoulli(1)), so the two-arm
+        // strategy {1,3} has reward exactly 2.
+        let fb = bandit.pull_strategy(&[1, 3], &mut rng).unwrap();
+        policy.update(1, &fb);
+        assert!((policy.empirical_mean(4) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_clears_all_estimates() {
+        let (mut policy, bandit) = fig2_policy_and_bandit(&[0.2, 0.5, 0.3, 0.6]);
+        run(&mut policy, &bandit, 20, 5);
+        policy.reset();
+        for x in 0..policy.num_strategies() {
+            assert_eq!(policy.observation_count(x), 0);
+        }
+    }
+
+    #[test]
+    fn works_on_dense_graphs_where_everything_is_observed() {
+        let graph = generators::complete(5);
+        let family = StrategyFamily::at_most_m(5, 2);
+        let strategies = family.enumerate(&graph).unwrap();
+        let mut policy = DflCso::from_strategies(&graph, strategies);
+        let bandit =
+            NetworkedBandit::new(graph, ArmSet::bernoulli(&[0.1, 0.2, 0.3, 0.4, 0.9])).unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        let s = policy.select_strategy(1);
+        let fb = bandit.pull_strategy(&s, &mut rng).unwrap();
+        policy.update(1, &fb);
+        // On a complete graph a single pull observes every arm, hence every
+        // com-arm.
+        for x in 0..policy.num_strategies() {
+            assert_eq!(policy.observation_count(x), 1, "com-arm {x}");
+        }
+    }
+}

@@ -1,0 +1,286 @@
+//! DFL-CSR — Distribution-Free Learning for Combinatorial-play with Side Reward
+//! (Algorithm 4 of the paper).
+//!
+//! The reward of a strategy `s_x` is the sum of the rewards of *all* arms in its
+//! observation set `Y_x = ∪_{i ∈ s_x} N_i`. Learning per com-arm would blow up
+//! with `|F|`, so Algorithm 4 learns the direct reward of the individual arms
+//! and, at each time slot, hands the per-arm indices
+//!
+//! ```text
+//! w_i(t) = X̄_i + sqrt( max(ln(t^{2/3} / (K · O_i)), 0) / O_i )
+//! ```
+//!
+//! to a combinatorial oracle that returns the feasible strategy maximising
+//! `Σ_{i ∈ Y_x} w_i(t)` (Equation 47). The paper assumes this per-round
+//! optimisation can be solved optimally; we use the oracles of
+//! [`netband_env::feasible`], which are exact on enumerable families and greedy
+//! (max-coverage) otherwise.
+
+use netband_env::feasible::FeasibleSet;
+use netband_env::{CombinatorialFeedback, StrategyFamily};
+use netband_graph::RelationGraph;
+
+use crate::estimator::{csr_index, RunningMean};
+use crate::policy::CombinatorialPolicy;
+use crate::ArmId;
+
+/// The DFL-CSR policy (Algorithm 4).
+#[derive(Debug, Clone)]
+pub struct DflCsr {
+    graph: RelationGraph,
+    family: StrategyFamily,
+    estimates: Vec<RunningMean>,
+    /// Cached enumeration of `(strategy, Y_x)` pairs when the family is small
+    /// enough to enumerate; lets the per-round oracle avoid recomputing the
+    /// observation sets at every time slot.
+    enumerated: Option<Vec<(Vec<ArmId>, Vec<ArmId>)>>,
+}
+
+impl DflCsr {
+    /// Creates the policy for the given relation graph and feasible family.
+    pub fn new(graph: RelationGraph, family: StrategyFamily) -> Self {
+        let k = graph.num_vertices();
+        let enumerated = family.enumerate(&graph).map(|strategies| {
+            strategies
+                .into_iter()
+                .map(|s| {
+                    let y = graph.closed_neighborhood_of_set(&s);
+                    (s, y)
+                })
+                .collect()
+        });
+        DflCsr {
+            graph,
+            family,
+            estimates: vec![RunningMean::new(); k],
+            enumerated,
+        }
+    }
+
+    /// Number of arms `K`.
+    pub fn num_arms(&self) -> usize {
+        self.estimates.len()
+    }
+
+    /// The relation graph this policy was built for.
+    pub fn graph(&self) -> &RelationGraph {
+        &self.graph
+    }
+
+    /// The feasible strategy family the per-round oracle optimises over.
+    pub fn family(&self) -> &StrategyFamily {
+        &self.family
+    }
+
+    /// Observation count `O_i` of an arm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arm` is out of range.
+    pub fn observation_count(&self, arm: ArmId) -> u64 {
+        self.estimates[arm].count()
+    }
+
+    /// Empirical mean `X̄_i` of an arm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arm` is out of range.
+    pub fn empirical_mean(&self, arm: ArmId) -> f64 {
+        self.estimates[arm].mean()
+    }
+
+    /// The per-arm index `w_i(t)` of Equation (47).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arm` is out of range.
+    pub fn arm_index(&self, arm: ArmId, t: usize) -> f64 {
+        let est = &self.estimates[arm];
+        csr_index(est.mean(), est.count(), t, self.num_arms())
+    }
+
+    /// The full per-arm index vector at time `t`.
+    pub fn index_vector(&self, t: usize) -> Vec<f64> {
+        (0..self.num_arms()).map(|i| self.arm_index(i, t)).collect()
+    }
+}
+
+impl CombinatorialPolicy for DflCsr {
+    fn name(&self) -> &'static str {
+        "DFL-CSR"
+    }
+
+    fn select_strategy(&mut self, t: usize) -> Vec<ArmId> {
+        let weights = self.index_vector(t);
+        if let Some(enumerated) = &self.enumerated {
+            // Fast path: the feasible set was enumerated at construction, so the
+            // per-round optimisation is a linear scan over cached (s_x, Y_x).
+            let best = enumerated
+                .iter()
+                .max_by(|(_, ya), (_, yb)| {
+                    let wa: f64 = ya.iter().map(|&i| weights[i]).sum();
+                    let wb: f64 = yb.iter().map(|&i| weights[i]).sum();
+                    wa.partial_cmp(&wb).unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .map(|(s, _)| s.clone());
+            if let Some(s) = best {
+                return s;
+            }
+        }
+        self.family
+            .argmax_by_neighborhood_weights(&weights, &self.graph)
+            .expect("DFL-CSR requires a non-empty feasible strategy family")
+    }
+
+    fn update(&mut self, _t: usize, feedback: &CombinatorialFeedback) {
+        for &(arm, reward) in &feedback.observations {
+            if arm < self.estimates.len() {
+                self.estimates[arm].update(reward);
+            }
+        }
+    }
+
+    fn reset(&mut self) {
+        for est in &mut self.estimates {
+            est.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netband_env::{ArmSet, NetworkedBandit};
+    use netband_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn run(
+        policy: &mut DflCsr,
+        bandit: &NetworkedBandit,
+        n: usize,
+        seed: u64,
+    ) -> Vec<Vec<ArmId>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut pulls = Vec::with_capacity(n);
+        for t in 1..=n {
+            let s = policy.select_strategy(t);
+            let fb = bandit.pull_strategy(&s, &mut rng).unwrap();
+            policy.update(t, &fb);
+            pulls.push(s);
+        }
+        pulls
+    }
+
+    #[test]
+    fn selected_strategies_are_always_feasible() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let graph = generators::erdos_renyi(8, 0.3, &mut rng);
+        let family = StrategyFamily::at_most_m(8, 3);
+        let arms = ArmSet::random_bernoulli(8, &mut rng);
+        let bandit = NetworkedBandit::new(graph.clone(), arms).unwrap();
+        let mut policy = DflCsr::new(graph.clone(), family.clone());
+        for s in run(&mut policy, &bandit, 200, 2) {
+            assert!(family.contains(&s, &graph), "infeasible strategy {s:?}");
+        }
+    }
+
+    #[test]
+    fn updates_every_observed_arm() {
+        let graph = generators::star(5);
+        let family = StrategyFamily::at_most_m(5, 1);
+        let bandit =
+            NetworkedBandit::new(graph.clone(), ArmSet::linear_bernoulli(5)).unwrap();
+        let mut policy = DflCsr::new(graph, family);
+        let mut rng = StdRng::seed_from_u64(3);
+        let fb = bandit.pull_strategy(&[0], &mut rng).unwrap();
+        policy.update(1, &fb);
+        for arm in 0..5 {
+            assert_eq!(policy.observation_count(arm), 1);
+        }
+    }
+
+    #[test]
+    fn converges_to_the_best_coverage_strategy() {
+        // Path of 6 arms, strategies of at most 2 arms. Means make the
+        // middle-heavy coverage optimal; check that the policy's tail choices
+        // attain (close to) the optimal expected side reward.
+        let graph = generators::path(6);
+        let arms = ArmSet::bernoulli(&[0.3, 0.8, 0.3, 0.3, 0.8, 0.3]);
+        let family = StrategyFamily::at_most_m(6, 2);
+        let bandit = NetworkedBandit::new(graph.clone(), arms).unwrap();
+        let optimal = bandit.best_strategy_side_mean(&family);
+        let mut policy = DflCsr::new(graph, family);
+        let pulls = run(&mut policy, &bandit, 5000, 7);
+        let tail_mean: f64 = pulls[4000..]
+            .iter()
+            .map(|s| bandit.strategy_side_mean(s))
+            .sum::<f64>()
+            / 1000.0;
+        assert!(
+            optimal - tail_mean < 0.15,
+            "tail expected side reward {tail_mean} vs optimal {optimal}"
+        );
+    }
+
+    #[test]
+    fn unobserved_arms_are_prioritised_by_the_index() {
+        let graph = generators::edgeless(4);
+        let family = StrategyFamily::at_most_m(4, 1);
+        let mut policy = DflCsr::new(graph.clone(), family);
+        let bandit =
+            NetworkedBandit::new(graph, ArmSet::bernoulli(&[0.9, 0.1, 0.1, 0.1])).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        // After the first pull, the three unobserved arms must be visited before
+        // any arm is repeated (their index dominates any observed index).
+        let mut seen = std::collections::BTreeSet::new();
+        for t in 1..=4 {
+            let s = policy.select_strategy(t);
+            seen.insert(s[0]);
+            let fb = bandit.pull_strategy(&s, &mut rng).unwrap();
+            policy.update(t, &fb);
+        }
+        assert_eq!(seen.len(), 4, "first 4 pulls should cover all arms");
+    }
+
+    #[test]
+    fn works_with_independent_set_constraints() {
+        let graph = generators::path(5);
+        let family = StrategyFamily::independent_sets(2);
+        let arms = ArmSet::bernoulli(&[0.5, 0.6, 0.7, 0.6, 0.5]);
+        let bandit = NetworkedBandit::new(graph.clone(), arms).unwrap();
+        let mut policy = DflCsr::new(graph.clone(), family.clone());
+        for s in run(&mut policy, &bandit, 100, 8) {
+            assert!(graph.is_independent_set(&s), "not independent: {s:?}");
+            assert!(s.len() <= 2);
+        }
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let graph = generators::complete(4);
+        let family = StrategyFamily::at_most_m(4, 2);
+        let bandit =
+            NetworkedBandit::new(graph.clone(), ArmSet::linear_bernoulli(4)).unwrap();
+        let mut policy = DflCsr::new(graph, family);
+        run(&mut policy, &bandit, 20, 9);
+        policy.reset();
+        for arm in 0..4 {
+            assert_eq!(policy.observation_count(arm), 0);
+            assert_eq!(policy.empirical_mean(arm), 0.0);
+        }
+    }
+
+    #[test]
+    fn name_and_accessors() {
+        let graph = generators::path(3);
+        let family = StrategyFamily::at_most_m(3, 2);
+        let policy = DflCsr::new(graph.clone(), family.clone());
+        assert_eq!(policy.name(), "DFL-CSR");
+        assert_eq!(policy.num_arms(), 3);
+        assert_eq!(policy.graph(), &graph);
+        assert_eq!(policy.family(), &family);
+        assert_eq!(policy.index_vector(1).len(), 3);
+    }
+}

@@ -1,0 +1,254 @@
+//! DFL-SSR — Distribution-Free Learning for Single-play with Side Reward
+//! (Algorithm 3 of the paper).
+//!
+//! Under side reward, pulling arm `i` collects `B_{i,t} = Σ_{j ∈ N_i} X_{j,t}`,
+//! so the quantity to learn is the *neighbourhood sum* of every arm, not its
+//! direct reward. Observations of the component arms arrive asynchronously
+//! (different neighbours are refreshed by different pulls), so the paper tracks,
+//! per arm, a dedicated side-reward observation counter `Ob_i` that only
+//! advances when the *least frequently observed* member of `N_i` is refreshed —
+//! i.e. `Ob_i = min_{j ∈ N_i} O_j` — and an estimate `B̄_i` of the neighbourhood
+//! sum.
+//!
+//! The update lines of Algorithm 3 in the arXiv text contain typos (they are
+//! no-ops read literally); per DESIGN.md we implement the estimate the analysis
+//! uses: `B̄_i = Σ_{j ∈ N_i} X̄_j`, i.e. the sum of the per-arm running means,
+//! with `Ob_i = min_{j ∈ N_i} O_j` as the effective sample count. Because
+//! `B_{i,t} ∈ [0, K]`, the index normalises the estimate by `K` to stay on the
+//! `[0, 1]` scale assumed by the MOSS analysis (Theorem 3 rescales the bound by
+//! `K` for the same reason).
+
+use netband_env::SinglePlayFeedback;
+use netband_graph::RelationGraph;
+
+use crate::estimator::{moss_index, RunningMean};
+use crate::policy::SinglePlayPolicy;
+use crate::ArmId;
+
+/// The DFL-SSR policy (Algorithm 3).
+#[derive(Debug, Clone)]
+pub struct DflSsr {
+    graph: RelationGraph,
+    /// Per-arm direct-observation estimates (`O_i`, `X̄_i`).
+    arm_estimates: Vec<RunningMean>,
+    /// Closed neighbourhoods, precomputed.
+    neighborhoods: Vec<Vec<ArmId>>,
+}
+
+impl DflSsr {
+    /// Creates the policy for the given relation graph.
+    pub fn new(graph: RelationGraph) -> Self {
+        let neighborhoods: Vec<Vec<ArmId>> = graph
+            .vertices()
+            .map(|v| graph.closed_neighborhood(v))
+            .collect();
+        let k = graph.num_vertices();
+        DflSsr {
+            graph,
+            arm_estimates: vec![RunningMean::new(); k],
+            neighborhoods,
+        }
+    }
+
+    /// Number of arms `K`.
+    pub fn num_arms(&self) -> usize {
+        self.arm_estimates.len()
+    }
+
+    /// The relation graph this policy was built for.
+    pub fn graph(&self) -> &RelationGraph {
+        &self.graph
+    }
+
+    /// Direct-observation count `O_i` of an arm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arm` is out of range.
+    pub fn observation_count(&self, arm: ArmId) -> u64 {
+        self.arm_estimates[arm].count()
+    }
+
+    /// Side-reward observation count `Ob_i = min_{j ∈ N_i} O_j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arm` is out of range.
+    pub fn side_observation_count(&self, arm: ArmId) -> u64 {
+        self.neighborhoods[arm]
+            .iter()
+            .map(|&j| self.arm_estimates[j].count())
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Side-reward estimate `B̄_i = Σ_{j ∈ N_i} X̄_j` (on the raw `[0, K]` scale).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arm` is out of range.
+    pub fn side_reward_estimate(&self, arm: ArmId) -> f64 {
+        self.neighborhoods[arm]
+            .iter()
+            .map(|&j| self.arm_estimates[j].mean())
+            .sum()
+    }
+
+    /// The index value (Equation 45) of an arm at time `t`, on the normalised
+    /// `[0, 1]` reward scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arm` is out of range.
+    pub fn index(&self, arm: ArmId, t: usize) -> f64 {
+        let k = self.num_arms().max(1);
+        let count = self.side_observation_count(arm);
+        let normalised_mean = self.side_reward_estimate(arm) / k as f64;
+        moss_index(normalised_mean, count, t, k)
+    }
+}
+
+impl SinglePlayPolicy for DflSsr {
+    fn name(&self) -> &'static str {
+        "DFL-SSR"
+    }
+
+    fn select_arm(&mut self, t: usize) -> ArmId {
+        debug_assert!(self.num_arms() > 0, "cannot select from zero arms");
+        (0..self.num_arms())
+            .max_by(|&a, &b| {
+                self.index(a, t)
+                    .partial_cmp(&self.index(b, t))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .unwrap_or(0)
+    }
+
+    fn update(&mut self, _t: usize, feedback: &SinglePlayFeedback) {
+        for &(arm, reward) in &feedback.observations {
+            if arm < self.arm_estimates.len() {
+                self.arm_estimates[arm].update(reward);
+            }
+        }
+    }
+
+    fn reset(&mut self) {
+        for est in &mut self.arm_estimates {
+            est.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netband_env::{ArmSet, NetworkedBandit};
+    use netband_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn run(policy: &mut DflSsr, bandit: &NetworkedBandit, n: usize, seed: u64) -> Vec<ArmId> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut pulls = Vec::with_capacity(n);
+        for t in 1..=n {
+            let arm = policy.select_arm(t);
+            let fb = bandit.pull_single(arm, &mut rng);
+            policy.update(t, &fb);
+            pulls.push(arm);
+        }
+        pulls
+    }
+
+    #[test]
+    fn side_observation_counter_tracks_least_observed_neighbour() {
+        // Path 0-1-2: pulling arm 0 observes {0,1}; Ob_1 stays 0 until arm 2 is
+        // also observed.
+        let graph = generators::path(3);
+        let bandit =
+            NetworkedBandit::new(graph.clone(), ArmSet::bernoulli(&[0.5, 0.5, 0.5])).unwrap();
+        let mut policy = DflSsr::new(graph);
+        let mut rng = StdRng::seed_from_u64(1);
+        let fb = bandit.pull_single(0, &mut rng);
+        policy.update(1, &fb);
+        assert_eq!(policy.observation_count(0), 1);
+        assert_eq!(policy.observation_count(1), 1);
+        assert_eq!(policy.observation_count(2), 0);
+        assert_eq!(policy.side_observation_count(0), 1); // N_0 = {0,1} both seen
+        assert_eq!(policy.side_observation_count(1), 0); // N_1 = {0,1,2}, arm 2 unseen
+        assert_eq!(policy.side_observation_count(2), 0);
+        // Observing arm 2 completes N_1.
+        let fb2 = bandit.pull_single(2, &mut rng);
+        policy.update(2, &fb2);
+        assert_eq!(policy.side_observation_count(1), 1);
+    }
+
+    #[test]
+    fn side_reward_estimate_is_sum_of_means() {
+        let graph = generators::path(3);
+        let bandit =
+            NetworkedBandit::new(graph.clone(), ArmSet::bernoulli(&[1.0, 1.0, 1.0])).unwrap();
+        let mut policy = DflSsr::new(graph);
+        let mut rng = StdRng::seed_from_u64(2);
+        let fb = bandit.pull_single(1, &mut rng); // observes all three arms
+        policy.update(1, &fb);
+        assert!((policy.side_reward_estimate(1) - 3.0).abs() < 1e-12);
+        assert!((policy.side_reward_estimate(0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn selects_the_arm_with_best_neighbourhood_not_best_mean() {
+        // Arm 1 has the best direct mean, but arm 2's neighbourhood {1,2,3} has
+        // the best total mean — DFL-SSR must converge to arm 2.
+        let graph = generators::path(4);
+        let arms = ArmSet::bernoulli(&[0.2, 0.9, 0.4, 0.6]);
+        let bandit = NetworkedBandit::new(graph.clone(), arms).unwrap();
+        assert_eq!(bandit.best_single_side_arm(), Some(2));
+        let mut policy = DflSsr::new(graph);
+        let pulls = run(&mut policy, &bandit, 4000, 3);
+        let tail_best = pulls[3000..].iter().filter(|&&a| a == 2).count();
+        assert!(tail_best > 850, "arm 2 pulled only {tail_best}/1000 in the tail");
+    }
+
+    #[test]
+    fn unobserved_neighbourhoods_have_infinite_index() {
+        let graph = generators::path(3);
+        let policy = DflSsr::new(graph);
+        assert_eq!(policy.index(0, 5), f64::INFINITY);
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let graph = generators::complete(4);
+        let bandit =
+            NetworkedBandit::new(graph.clone(), ArmSet::linear_bernoulli(4)).unwrap();
+        let mut policy = DflSsr::new(graph);
+        run(&mut policy, &bandit, 30, 4);
+        policy.reset();
+        for arm in 0..4 {
+            assert_eq!(policy.observation_count(arm), 0);
+            assert_eq!(policy.side_observation_count(arm), 0);
+            assert_eq!(policy.side_reward_estimate(arm), 0.0);
+        }
+    }
+
+    #[test]
+    fn edgeless_graph_reduces_to_learning_direct_rewards() {
+        // With no edges, B_i = X_i, so DFL-SSR should find the best direct arm.
+        let graph = generators::edgeless(5);
+        let arms = ArmSet::bernoulli(&[0.1, 0.2, 0.3, 0.4, 0.9]);
+        let bandit = NetworkedBandit::new(graph.clone(), arms).unwrap();
+        let mut policy = DflSsr::new(graph);
+        let pulls = run(&mut policy, &bandit, 3000, 5);
+        let tail_best = pulls[2000..].iter().filter(|&&a| a == 4).count();
+        assert!(tail_best > 850, "arm 4 pulled only {tail_best}/1000 in the tail");
+    }
+
+    #[test]
+    fn name_and_accessors() {
+        let graph = generators::star(4);
+        let policy = DflSsr::new(graph.clone());
+        assert_eq!(policy.name(), "DFL-SSR");
+        assert_eq!(policy.num_arms(), 4);
+        assert_eq!(policy.graph(), &graph);
+    }
+}

@@ -1,0 +1,197 @@
+//! Running-mean estimators and the MOSS-style confidence index.
+//!
+//! Every algorithm in the paper maintains, for each arm (or com-arm), the number
+//! of times its reward has been observed and the running average of those
+//! observations, and ranks candidates by a MOSS-style upper-confidence index
+//! `mean + sqrt(log⁺(t / (K · count)) / count)`.
+
+use serde::{Deserialize, Serialize};
+
+/// `log⁺(x) = max(ln x, 0)`, the truncated logarithm used by MOSS-style indices.
+///
+/// Defined as 0 for non-positive inputs.
+pub fn log_plus(x: f64) -> f64 {
+    if x <= 1.0 {
+        0.0
+    } else {
+        x.ln()
+    }
+}
+
+/// An incrementally updated sample mean.
+///
+/// # Example
+///
+/// ```
+/// use netband_core::estimator::RunningMean;
+///
+/// let mut m = RunningMean::new();
+/// m.update(1.0);
+/// m.update(0.0);
+/// assert_eq!(m.count(), 2);
+/// assert_eq!(m.mean(), 0.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct RunningMean {
+    count: u64,
+    mean: f64,
+}
+
+impl RunningMean {
+    /// A fresh estimator with no observations.
+    pub fn new() -> Self {
+        RunningMean { count: 0, mean: 0.0 }
+    }
+
+    /// Number of observations folded in so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Current sample mean (0 before the first observation).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Returns `true` if no observation has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Folds one observation into the mean.
+    pub fn update(&mut self, value: f64) {
+        self.count += 1;
+        self.mean += (value - self.mean) / self.count as f64;
+    }
+
+    /// Resets the estimator to its initial state.
+    pub fn reset(&mut self) {
+        self.count = 0;
+        self.mean = 0.0;
+    }
+}
+
+/// The MOSS-style index `mean + sqrt(log⁺(t / (k · count)) / count)`.
+///
+/// * `mean`, `count` — the running estimate of the candidate;
+/// * `t` — the current time slot (1-based);
+/// * `k` — the number of candidates competing for play (arms `K`, or com-arms
+///   `|F|` in Algorithm 2).
+///
+/// Candidates with `count == 0` get `f64::INFINITY` so they are explored first,
+/// which matches the usual initialisation of MOSS/UCB implementations.
+pub fn moss_index(mean: f64, count: u64, t: usize, k: usize) -> f64 {
+    if count == 0 {
+        return f64::INFINITY;
+    }
+    let count_f = count as f64;
+    let k_f = k.max(1) as f64;
+    mean + (log_plus(t as f64 / (k_f * count_f)) / count_f).sqrt()
+}
+
+/// The DFL-CSR per-arm index of Equation (47):
+/// `mean + sqrt(max(ln(t^{2/3} / (K · count)), 0) / count)`.
+///
+/// For unobserved arms (`count == 0`) the index is a finite value strictly
+/// larger than any observed arm's index at the same `t`, so that the
+/// combinatorial oracle (which sums indices) keeps producing finite totals while
+/// still prioritising exploration of unobserved arms.
+pub fn csr_index(mean: f64, count: u64, t: usize, k: usize) -> f64 {
+    let t_pow = (t.max(1) as f64).powf(2.0 / 3.0);
+    if count == 0 {
+        // Upper bound of any observed index at time t, plus a margin.
+        return 1.0 + (log_plus(t_pow) + 1.0).sqrt();
+    }
+    let count_f = count as f64;
+    let k_f = k.max(1) as f64;
+    mean + (log_plus(t_pow / (k_f * count_f)) / count_f).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_plus_truncates_at_zero() {
+        assert_eq!(log_plus(0.5), 0.0);
+        assert_eq!(log_plus(0.0), 0.0);
+        assert_eq!(log_plus(-3.0), 0.0);
+        assert_eq!(log_plus(1.0), 0.0);
+        assert!((log_plus(std::f64::consts::E) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn running_mean_matches_batch_mean() {
+        let data = [0.3, 0.9, 0.1, 0.5, 0.7, 0.2];
+        let mut m = RunningMean::new();
+        for &x in &data {
+            m.update(x);
+        }
+        let batch = data.iter().sum::<f64>() / data.len() as f64;
+        assert_eq!(m.count(), data.len() as u64);
+        assert!((m.mean() - batch).abs() < 1e-12);
+    }
+
+    #[test]
+    fn running_mean_reset() {
+        let mut m = RunningMean::new();
+        assert!(m.is_empty());
+        m.update(1.0);
+        assert!(!m.is_empty());
+        m.reset();
+        assert!(m.is_empty());
+        assert_eq!(m.mean(), 0.0);
+    }
+
+    #[test]
+    fn moss_index_prefers_unobserved() {
+        assert_eq!(moss_index(0.5, 0, 10, 5), f64::INFINITY);
+        assert!(moss_index(0.5, 1, 10, 5).is_finite());
+    }
+
+    #[test]
+    fn moss_index_decreases_with_count() {
+        let t = 10_000;
+        let k = 10;
+        let few = moss_index(0.5, 5, t, k);
+        let many = moss_index(0.5, 500, t, k);
+        assert!(few > many);
+        // With enough observations the bonus vanishes (log⁺ truncation).
+        let saturated = moss_index(0.5, 10_000, t, k);
+        assert_eq!(saturated, 0.5);
+    }
+
+    #[test]
+    fn moss_index_increases_with_time() {
+        let early = moss_index(0.5, 10, 100, 10);
+        let late = moss_index(0.5, 10, 100_000, 10);
+        assert!(late > early);
+    }
+
+    #[test]
+    fn moss_index_handles_degenerate_k() {
+        // k = 0 must not divide by zero.
+        let idx = moss_index(0.5, 10, 100, 0);
+        assert!(idx.is_finite());
+    }
+
+    #[test]
+    fn csr_index_unobserved_dominates_observed() {
+        for &t in &[1usize, 10, 1_000, 100_000] {
+            let unobserved = csr_index(0.0, 0, t, 10);
+            // The largest possible observed index has mean 1 and count 1.
+            let best_observed = csr_index(1.0, 1, t, 10);
+            assert!(
+                unobserved > best_observed,
+                "t={t}: unobserved {unobserved} <= observed {best_observed}"
+            );
+            assert!(unobserved.is_finite());
+        }
+    }
+
+    #[test]
+    fn csr_index_decays_with_count() {
+        let t = 10_000;
+        assert!(csr_index(0.5, 2, t, 10) > csr_index(0.5, 200, t, 10));
+    }
+}

@@ -1,0 +1,287 @@
+//! The neighbourhood-exploitation heuristics sketched in the paper's conclusion
+//! (Section IX, "future works").
+//!
+//! The paper proposes: *"at each time slot, instead of playing the selected
+//! arm/strategy with maximum index value (Equation (5), (42)), we will play the
+//! arm/strategy that has maximum experimental average observation among the
+//! neighbors of `I_t`. Therefore, we ensure that the received reward is better
+//! than the one with maximum index value."*
+//!
+//! [`DflSsoGreedyNeighbor`] implements that idea for the single-play /
+//! side-observation case: the MOSS-style index still decides *which
+//! neighbourhood to explore* (so the exploration guarantees of Algorithm 1 keep
+//! driving the observation counters), but the arm actually pulled is the member
+//! of that closed neighbourhood with the highest empirical mean — the pull is
+//! "redirected" to the empirically best neighbour. Because side observation
+//! reveals the whole neighbourhood either way, the information collected is
+//! identical; only the collected reward changes.
+//!
+//! [`DflSsrGreedyNeighbor`] applies the same redirection to the side-reward
+//! case, using the neighbourhood-sum estimates of Algorithm 3.
+//!
+//! The `ablation_heuristic` experiment in `netband-experiments` measures how
+//! much the redirection helps in practice.
+
+use netband_env::SinglePlayFeedback;
+use netband_graph::RelationGraph;
+
+use crate::dfl_sso::DflSso;
+use crate::dfl_ssr::DflSsr;
+use crate::policy::SinglePlayPolicy;
+use crate::ArmId;
+
+/// DFL-SSO with the Section IX redirection: explore by index, pull the
+/// empirically best arm of the selected neighbourhood.
+#[derive(Debug, Clone)]
+pub struct DflSsoGreedyNeighbor {
+    inner: DflSso,
+    neighborhoods: Vec<Vec<ArmId>>,
+}
+
+impl DflSsoGreedyNeighbor {
+    /// Creates the heuristic policy for the given relation graph.
+    pub fn new(graph: RelationGraph) -> Self {
+        let neighborhoods = graph
+            .vertices()
+            .map(|v| graph.closed_neighborhood(v))
+            .collect();
+        DflSsoGreedyNeighbor {
+            inner: DflSso::new(graph),
+            neighborhoods,
+        }
+    }
+
+    /// Number of arms `K`.
+    pub fn num_arms(&self) -> usize {
+        self.inner.num_arms()
+    }
+
+    /// The underlying DFL-SSO state (estimates and counters).
+    pub fn inner(&self) -> &DflSso {
+        &self.inner
+    }
+
+    /// Redirects an index-selected arm to the empirically best member of its
+    /// closed neighbourhood.
+    ///
+    /// The redirection only fires when every arm in the selected neighbourhood
+    /// has been observed at least once: if the index picked this arm *because*
+    /// some neighbour is still unexplored, redirecting away would defeat that
+    /// exploration (and can deadlock the side-reward variant), so the original
+    /// selection is kept in that case.
+    fn redirect(&self, selected: ArmId) -> ArmId {
+        if self.neighborhoods[selected]
+            .iter()
+            .any(|&candidate| self.inner.observation_count(candidate) == 0)
+        {
+            return selected;
+        }
+        let mut best = selected;
+        let mut best_mean = f64::NEG_INFINITY;
+        for &candidate in &self.neighborhoods[selected] {
+            let mean = self.inner.empirical_mean(candidate);
+            if mean > best_mean {
+                best_mean = mean;
+                best = candidate;
+            }
+        }
+        best
+    }
+}
+
+impl SinglePlayPolicy for DflSsoGreedyNeighbor {
+    fn name(&self) -> &'static str {
+        "DFL-SSO+GN"
+    }
+
+    fn select_arm(&mut self, t: usize) -> ArmId {
+        let selected = self.inner.select_arm(t);
+        self.redirect(selected)
+    }
+
+    fn update(&mut self, t: usize, feedback: &SinglePlayFeedback) {
+        self.inner.update(t, feedback);
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset();
+    }
+}
+
+/// DFL-SSR with the Section IX redirection: explore by the side-reward index,
+/// pull the neighbour whose *own* neighbourhood-sum estimate is largest.
+#[derive(Debug, Clone)]
+pub struct DflSsrGreedyNeighbor {
+    inner: DflSsr,
+    neighborhoods: Vec<Vec<ArmId>>,
+}
+
+impl DflSsrGreedyNeighbor {
+    /// Creates the heuristic policy for the given relation graph.
+    pub fn new(graph: RelationGraph) -> Self {
+        let neighborhoods = graph
+            .vertices()
+            .map(|v| graph.closed_neighborhood(v))
+            .collect();
+        DflSsrGreedyNeighbor {
+            inner: DflSsr::new(graph),
+            neighborhoods,
+        }
+    }
+
+    /// Number of arms `K`.
+    pub fn num_arms(&self) -> usize {
+        self.inner.num_arms()
+    }
+
+    /// The underlying DFL-SSR state.
+    pub fn inner(&self) -> &DflSsr {
+        &self.inner
+    }
+
+    /// Same guard as the SSO variant: only redirect when the selected
+    /// neighbourhood is fully observed, so the redirection never cancels the
+    /// exploration the index asked for.
+    fn redirect(&self, selected: ArmId) -> ArmId {
+        if self.neighborhoods[selected]
+            .iter()
+            .any(|&candidate| self.inner.observation_count(candidate) == 0)
+        {
+            return selected;
+        }
+        let mut best = selected;
+        let mut best_estimate = f64::NEG_INFINITY;
+        for &candidate in &self.neighborhoods[selected] {
+            let estimate = self.inner.side_reward_estimate(candidate);
+            if estimate > best_estimate {
+                best_estimate = estimate;
+                best = candidate;
+            }
+        }
+        best
+    }
+}
+
+impl SinglePlayPolicy for DflSsrGreedyNeighbor {
+    fn name(&self) -> &'static str {
+        "DFL-SSR+GN"
+    }
+
+    fn select_arm(&mut self, t: usize) -> ArmId {
+        let selected = self.inner.select_arm(t);
+        self.redirect(selected)
+    }
+
+    fn update(&mut self, t: usize, feedback: &SinglePlayFeedback) {
+        self.inner.update(t, feedback);
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netband_env::{ArmSet, NetworkedBandit};
+    use netband_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn run<P: SinglePlayPolicy>(
+        policy: &mut P,
+        bandit: &NetworkedBandit,
+        n: usize,
+        seed: u64,
+    ) -> Vec<ArmId> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut pulls = Vec::with_capacity(n);
+        for t in 1..=n {
+            let arm = policy.select_arm(t);
+            let fb = bandit.pull_single(arm, &mut rng);
+            policy.update(t, &fb);
+            pulls.push(arm);
+        }
+        pulls
+    }
+
+    #[test]
+    fn redirection_prefers_the_observed_best_neighbour() {
+        // Star graph: pulling the hub observes everyone; afterwards, whenever the
+        // index selects the hub, the heuristic should redirect to the best leaf.
+        let graph = generators::star(5);
+        let arms = ArmSet::bernoulli(&[0.1, 0.2, 0.3, 0.4, 0.95]);
+        let bandit = NetworkedBandit::new(graph.clone(), arms).unwrap();
+        let mut policy = DflSsoGreedyNeighbor::new(graph);
+        let pulls = run(&mut policy, &bandit, 500, 1);
+        let best_tail = pulls[300..].iter().filter(|&&a| a == 4).count();
+        assert!(best_tail > 150, "arm 4 pulled only {best_tail}/200 in the tail");
+    }
+
+    #[test]
+    fn redirection_keeps_unobserved_selections() {
+        let graph = generators::edgeless(3);
+        let mut policy = DflSsoGreedyNeighbor::new(graph);
+        // Nothing observed yet: the first selection must be left untouched (it is
+        // the forced-exploration pick of the base algorithm).
+        let first = policy.select_arm(1);
+        assert!(first < 3);
+    }
+
+    #[test]
+    fn heuristic_never_does_much_worse_than_the_base_policy() {
+        // On a random workload the redirected policy's realised reward should be
+        // at least comparable to plain DFL-SSO (the paper argues it should be
+        // better; at minimum it must not collapse).
+        let mut rng = StdRng::seed_from_u64(5);
+        let graph = generators::erdos_renyi(20, 0.4, &mut rng);
+        let arms = ArmSet::random_bernoulli(20, &mut rng);
+        let bandit = NetworkedBandit::new(graph.clone(), arms).unwrap();
+        let mut base = DflSso::new(graph.clone());
+        let mut heuristic = DflSsoGreedyNeighbor::new(graph);
+        let base_pulls = run(&mut base, &bandit, 2000, 9);
+        let heur_pulls = run(&mut heuristic, &bandit, 2000, 9);
+        let value = |pulls: &[ArmId]| -> f64 {
+            pulls[500..].iter().map(|&a| bandit.means()[a]).sum()
+        };
+        assert!(
+            value(&heur_pulls) >= 0.95 * value(&base_pulls),
+            "heuristic tail value {} vs base {}",
+            value(&heur_pulls),
+            value(&base_pulls)
+        );
+    }
+
+    #[test]
+    fn ssr_variant_targets_the_best_neighbourhood() {
+        let graph = generators::path(4);
+        let arms = ArmSet::bernoulli(&[0.2, 0.9, 0.4, 0.6]);
+        let bandit = NetworkedBandit::new(graph.clone(), arms).unwrap();
+        assert_eq!(bandit.best_single_side_arm(), Some(2));
+        let mut policy = DflSsrGreedyNeighbor::new(graph);
+        let pulls = run(&mut policy, &bandit, 3000, 3);
+        let tail_best = pulls[2000..].iter().filter(|&&a| a == 2).count();
+        assert!(tail_best > 700, "arm 2 pulled only {tail_best}/1000 in the tail");
+    }
+
+    #[test]
+    fn reset_and_accessors() {
+        let graph = generators::complete(4);
+        let bandit =
+            NetworkedBandit::new(graph.clone(), ArmSet::linear_bernoulli(4)).unwrap();
+        let mut sso = DflSsoGreedyNeighbor::new(graph.clone());
+        let mut ssr = DflSsrGreedyNeighbor::new(graph);
+        assert_eq!(sso.name(), "DFL-SSO+GN");
+        assert_eq!(ssr.name(), "DFL-SSR+GN");
+        assert_eq!(sso.num_arms(), 4);
+        assert_eq!(ssr.num_arms(), 4);
+        run(&mut sso, &bandit, 20, 2);
+        run(&mut ssr, &bandit, 20, 2);
+        assert!(sso.inner().observation_count(0) > 0);
+        sso.reset();
+        ssr.reset();
+        assert_eq!(sso.inner().observation_count(0), 0);
+        assert_eq!(ssr.inner().observation_count(0), 0);
+    }
+}

@@ -1,0 +1,80 @@
+//! The learning policies of *Networked Stochastic Multi-Armed Bandits with
+//! Combinatorial Strategies* (Tang & Zhou, ICDCS 2017).
+//!
+//! The paper studies a decision maker facing `K` arms connected by a relation
+//! graph: pulling an arm also yields a *side bonus* — an observation or a
+//! reward — for the arm's neighbours. Crossing the play mode
+//! (single / combinatorial) with the bonus type (observation / reward) gives
+//! four scenarios, each with its own distribution-free, zero-regret policy:
+//!
+//! | Scenario | Policy | Module |
+//! |---|---|---|
+//! | Single-play, side observation | DFL-SSO (Algorithm 1) | [`dfl_sso`] |
+//! | Combinatorial-play, side observation | DFL-CSO (Algorithm 2) | [`dfl_cso`] |
+//! | Single-play, side reward | DFL-SSR (Algorithm 3) | [`dfl_ssr`] |
+//! | Combinatorial-play, side reward | DFL-CSR (Algorithm 4) | [`dfl_csr`] |
+//!
+//! The shared machinery lives in [`estimator`] (running means and MOSS-style
+//! indices) and [`policy`] (the [`SinglePlayPolicy`] / [`CombinatorialPolicy`]
+//! traits that the simulation engine drives). The closed-form regret bounds of
+//! Theorems 1–4 are evaluated by [`bounds`].
+//!
+//! # Quickstart
+//!
+//! ```
+//! use netband_core::prelude::*;
+//! use netband_env::{ArmSet, NetworkedBandit};
+//! use netband_graph::generators;
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = StdRng::seed_from_u64(42);
+//! let graph = generators::erdos_renyi(20, 0.3, &mut rng);
+//! let bandit = NetworkedBandit::new(graph.clone(), ArmSet::random_bernoulli(20, &mut rng))?;
+//! let mut policy = DflSso::new(graph);
+//!
+//! let mut total_reward = 0.0;
+//! for t in 1..=1_000 {
+//!     let arm = policy.select_arm(t);
+//!     let feedback = bandit.pull_single(arm, &mut rng);
+//!     total_reward += feedback.direct_reward;
+//!     policy.update(t, &feedback);
+//! }
+//! assert!(total_reward > 0.0);
+//! # Ok::<(), netband_env::EnvError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bounds;
+pub mod dfl_cso;
+pub mod dfl_csr;
+pub mod dfl_sso;
+pub mod dfl_ssr;
+pub mod estimator;
+pub mod heuristics;
+pub mod policy;
+
+pub use dfl_cso::DflCso;
+pub use dfl_csr::DflCsr;
+pub use dfl_sso::DflSso;
+pub use dfl_ssr::DflSsr;
+pub use heuristics::{DflSsoGreedyNeighbor, DflSsrGreedyNeighbor};
+pub use policy::{CombinatorialPolicy, SinglePlayPolicy};
+
+/// Identifier of an arm; re-exported from `netband-graph`.
+pub type ArmId = netband_graph::ArmId;
+
+/// Convenient glob import for downstream code and examples.
+pub mod prelude {
+    pub use crate::bounds;
+    pub use crate::dfl_cso::DflCso;
+    pub use crate::dfl_csr::DflCsr;
+    pub use crate::dfl_sso::DflSso;
+    pub use crate::dfl_ssr::DflSsr;
+    pub use crate::estimator::{csr_index, log_plus, moss_index, RunningMean};
+    pub use crate::heuristics::{DflSsoGreedyNeighbor, DflSsrGreedyNeighbor};
+    pub use crate::policy::{CombinatorialPolicy, SinglePlayPolicy};
+    pub use crate::ArmId;
+}

@@ -1,0 +1,129 @@
+//! Policy traits shared by the paper's algorithms and the baselines.
+//!
+//! The simulation engine drives policies through these two traits. The contract
+//! is the "pull then learn" loop of Section II: at time slot `t` the policy
+//! proposes an arm (or a strategy), the environment returns feedback, and the
+//! policy folds whatever part of that feedback it is allowed to use into its
+//! internal state.
+//!
+//! Policies that ignore side observations (e.g. plain MOSS or UCB1) simply use
+//! only the entry of `observations` corresponding to the pulled arm.
+
+use netband_env::{CombinatorialFeedback, SinglePlayFeedback};
+
+use crate::ArmId;
+
+/// A policy that pulls one arm per time slot (single-play scenarios SSO / SSR).
+pub trait SinglePlayPolicy: Send {
+    /// A short human-readable name used in reports and plots (e.g. `"DFL-SSO"`).
+    fn name(&self) -> &'static str;
+
+    /// Selects the arm to pull at time slot `t` (1-based).
+    fn select_arm(&mut self, t: usize) -> ArmId;
+
+    /// Observes the feedback of the pull selected at this time slot.
+    fn update(&mut self, t: usize, feedback: &SinglePlayFeedback);
+
+    /// Resets the policy to its initial state (a fresh replication).
+    fn reset(&mut self);
+}
+
+/// A policy that pulls a combinatorial strategy per time slot (CSO / CSR).
+pub trait CombinatorialPolicy: Send {
+    /// A short human-readable name used in reports and plots (e.g. `"DFL-CSR"`).
+    fn name(&self) -> &'static str;
+
+    /// Selects the strategy to pull at time slot `t` (1-based).
+    ///
+    /// The returned strategy must be feasible for the family the policy was
+    /// constructed with; the environment rejects empty or out-of-range
+    /// strategies.
+    fn select_strategy(&mut self, t: usize) -> Vec<ArmId>;
+
+    /// Observes the feedback of the pull selected at this time slot.
+    fn update(&mut self, t: usize, feedback: &CombinatorialFeedback);
+
+    /// Resets the policy to its initial state (a fresh replication).
+    fn reset(&mut self);
+}
+
+impl<P: SinglePlayPolicy + ?Sized> SinglePlayPolicy for Box<P> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn select_arm(&mut self, t: usize) -> ArmId {
+        (**self).select_arm(t)
+    }
+    fn update(&mut self, t: usize, feedback: &SinglePlayFeedback) {
+        (**self).update(t, feedback)
+    }
+    fn reset(&mut self) {
+        (**self).reset()
+    }
+}
+
+impl<P: CombinatorialPolicy + ?Sized> CombinatorialPolicy for Box<P> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn select_strategy(&mut self, t: usize) -> Vec<ArmId> {
+        (**self).select_strategy(t)
+    }
+    fn update(&mut self, t: usize, feedback: &CombinatorialFeedback) {
+        (**self).update(t, feedback)
+    }
+    fn reset(&mut self) {
+        (**self).reset()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A minimal single-play policy used to check the Box forwarding impls.
+    struct RoundRobin {
+        k: usize,
+        next: usize,
+        updates: usize,
+    }
+
+    impl SinglePlayPolicy for RoundRobin {
+        fn name(&self) -> &'static str {
+            "RoundRobin"
+        }
+        fn select_arm(&mut self, _t: usize) -> ArmId {
+            let arm = self.next;
+            self.next = (self.next + 1) % self.k;
+            arm
+        }
+        fn update(&mut self, _t: usize, _feedback: &SinglePlayFeedback) {
+            self.updates += 1;
+        }
+        fn reset(&mut self) {
+            self.next = 0;
+            self.updates = 0;
+        }
+    }
+
+    #[test]
+    fn boxed_policies_forward_all_methods() {
+        let mut boxed: Box<dyn SinglePlayPolicy> = Box::new(RoundRobin {
+            k: 3,
+            next: 0,
+            updates: 0,
+        });
+        assert_eq!(boxed.name(), "RoundRobin");
+        assert_eq!(boxed.select_arm(1), 0);
+        assert_eq!(boxed.select_arm(2), 1);
+        let fb = SinglePlayFeedback {
+            arm: 1,
+            direct_reward: 0.5,
+            side_reward: 0.5,
+            observations: vec![(1, 0.5)],
+        };
+        boxed.update(2, &fb);
+        boxed.reset();
+        assert_eq!(boxed.select_arm(3), 0);
+    }
+}

@@ -1,0 +1,57 @@
+//! Stochastic networked-bandit environments.
+//!
+//! This crate is the "machine" side of the reproduction of *Networked Stochastic
+//! Multi-Armed Bandits with Combinatorial Strategies* (Tang & Zhou, ICDCS 2017):
+//! bounded reward distributions, arm sets, the four feedback models
+//! (single/combinatorial play × side observation/side reward), feasible strategy
+//! families, and the combinatorial oracles the learning policies call.
+//!
+//! * [`distributions`] — reward distributions with support in `[0, 1]`
+//!   (Bernoulli, uniform, Beta, truncated Gaussian, point mass, discrete),
+//!   implemented from scratch on top of `rand`.
+//! * [`arms`] — arm sets: a vector of distributions plus convenience
+//!   constructors for the workloads used in the paper's simulations.
+//! * [`bandit`] — [`NetworkedBandit`], the environment that couples an arm set
+//!   with a relation graph and produces the side-observation / side-reward
+//!   feedback of Section II.
+//! * [`feasible`] — feasible strategy families (`F`) and combinatorial oracles
+//!   (exact and greedy) for combinatorial play.
+//!
+//! # Example
+//!
+//! ```
+//! use netband_env::arms::ArmSet;
+//! use netband_env::bandit::NetworkedBandit;
+//! use netband_graph::generators;
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let graph = generators::erdos_renyi(10, 0.3, &mut rng);
+//! let arms = ArmSet::bernoulli(&[0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95]);
+//! let bandit = NetworkedBandit::new(graph, arms).unwrap();
+//!
+//! let feedback = bandit.pull_single(3, &mut rng);
+//! assert_eq!(feedback.arm, 3);
+//! // Side observation: the sample of every neighbour of arm 3 is revealed.
+//! assert!(feedback.observations.iter().any(|&(arm, _)| arm == 3));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arms;
+pub mod bandit;
+pub mod distributions;
+pub mod feasible;
+pub mod workloads;
+
+pub use arms::ArmSet;
+pub use bandit::{CombinatorialFeedback, EnvError, NetworkedBandit, SinglePlayFeedback};
+pub use distributions::RewardDistribution;
+pub use feasible::{FeasibleSet, StrategyFamily};
+pub use workloads::Workload;
+
+/// Identifier of an arm; re-exported from `netband-graph` so downstream code
+/// needs only one import.
+pub type ArmId = netband_graph::ArmId;

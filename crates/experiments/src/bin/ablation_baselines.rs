@@ -1,0 +1,18 @@
+//! Ablation B: DFL-SSO against the wider single-play baseline zoo.
+//!
+//! Usage: `cargo run --release -p netband-experiments --bin ablation_baselines [-- --quick]`
+
+use netband_experiments::ablation_baselines::{report, run, BaselinesConfig};
+use netband_experiments::Scale;
+
+fn main() {
+    let mut config = BaselinesConfig::default();
+    let scale = Scale::from_env();
+    if scale.horizon < config.scale.horizon {
+        config.scale = scale;
+        config.arm_counts = vec![20, 50];
+    }
+    eprintln!("running baseline ablation with {config:?}");
+    let rows = run(&config);
+    println!("{}", report(&rows));
+}

@@ -1,0 +1,17 @@
+//! Ablation C: clique-cover structure vs measured DFL-SSO regret and the Theorem 1 bound.
+//!
+//! Usage: `cargo run --release -p netband-experiments --bin ablation_cliques [-- --quick]`
+
+use netband_experiments::ablation_cliques::{report, run, CliquesConfig};
+use netband_experiments::Scale;
+
+fn main() {
+    let mut config = CliquesConfig::default();
+    let scale = Scale::from_env();
+    if scale.horizon < config.scale.horizon {
+        config.scale = scale;
+    }
+    eprintln!("running clique ablation with {config:?}");
+    let rows = run(&config);
+    println!("{}", report(&rows));
+}

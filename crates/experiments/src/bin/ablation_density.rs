@@ -1,0 +1,17 @@
+//! Ablation A: regret of DFL-SSO (vs MOSS) as a function of relation-graph density.
+//!
+//! Usage: `cargo run --release -p netband-experiments --bin ablation_density [-- --quick]`
+
+use netband_experiments::ablation_density::{report, run, DensityConfig};
+use netband_experiments::Scale;
+
+fn main() {
+    let mut config = DensityConfig::default();
+    let scale = Scale::from_env();
+    if scale.horizon < config.scale.horizon {
+        config.scale = scale;
+    }
+    eprintln!("running density ablation with {config:?}");
+    let rows = run(&config);
+    println!("{}", report(&rows));
+}

@@ -1,0 +1,17 @@
+//! Ablation D: the Section IX greedy-neighbour redirection vs the base DFL policies.
+//!
+//! Usage: `cargo run --release -p netband-experiments --bin ablation_heuristic [-- --quick]`
+
+use netband_experiments::ablation_heuristic::{report, run, HeuristicConfig};
+use netband_experiments::Scale;
+
+fn main() {
+    let mut config = HeuristicConfig::default();
+    let scale = Scale::from_env();
+    if scale.horizon < config.scale.horizon {
+        config.scale = scale;
+    }
+    eprintln!("running heuristic ablation with {config:?}");
+    let rows = run(&config);
+    println!("{}", report(&rows));
+}

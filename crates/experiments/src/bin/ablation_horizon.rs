@@ -1,0 +1,18 @@
+//! Ablation E: cumulative regret vs horizon — the zero-regret (sublinear growth) check.
+//!
+//! Usage: `cargo run --release -p netband-experiments --bin ablation_horizon [-- --quick]`
+
+use netband_experiments::ablation_horizon::{report, run, HorizonConfig};
+use netband_experiments::Scale;
+
+fn main() {
+    let mut config = HorizonConfig::default();
+    let scale = Scale::from_env();
+    if scale.horizon < 10_000 && std::env::args().any(|a| a == "--quick" || a == "-q") {
+        config.horizons = vec![200, 400, 800, 1_600];
+        config.replications = scale.replications;
+    }
+    eprintln!("running horizon ablation with {config:?}");
+    let result = run(&config);
+    println!("{}", report(&result));
+}

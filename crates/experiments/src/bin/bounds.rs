@@ -1,0 +1,11 @@
+//! Evaluates the Theorem 1–4 regret bounds over sweeps of n, K and graph density.
+//!
+//! Usage: `cargo run --release -p netband-experiments --bin bounds`
+
+use netband_experiments::bounds_exp::{report, run, BoundsConfig};
+
+fn main() {
+    let config = BoundsConfig::default();
+    let rows = run(&config);
+    println!("{}", report(&rows));
+}

@@ -1,0 +1,38 @@
+//! Reproduces Fig. 3: MOSS vs DFL-SSO (expected and accumulated regret).
+//!
+//! Usage: `cargo run --release -p netband-experiments --bin fig3 [-- --quick]`
+
+use netband_experiments::fig3::{run, Fig3Config};
+use netband_experiments::Scale;
+use netband_sim::export::write_csv;
+use std::path::Path;
+
+fn main() {
+    let config = Fig3Config {
+        scale: Scale::from_env(),
+        ..Fig3Config::default()
+    };
+    eprintln!("running Fig. 3 with {config:?}");
+    let result = run(&config);
+    println!("{}", result.report());
+    println!(
+        "DFL-SSO beats MOSS on accumulated regret: {}",
+        result.dfl_beats_moss()
+    );
+    let path = Path::new("target/experiments/fig3.csv");
+    let t: Vec<f64> = (1..=result.dfl_sso.horizon).map(|x| x as f64).collect();
+    if let Err(err) = write_csv(
+        path,
+        &[
+            ("t", &t),
+            ("dfl_sso_expected", &result.dfl_sso.expected_regret),
+            ("moss_expected", &result.moss.expected_regret),
+            ("dfl_sso_accumulated", &result.dfl_sso.accumulated_regret),
+            ("moss_accumulated", &result.moss.accumulated_regret),
+        ],
+    ) {
+        eprintln!("failed to write {}: {err}", path.display());
+    } else {
+        eprintln!("wrote {}", path.display());
+    }
+}

@@ -1,0 +1,33 @@
+//! Reproduces Fig. 4: DFL-CSO under sparse (p=0.3) and dense (p=0.6) graphs.
+//!
+//! Usage: `cargo run --release -p netband-experiments --bin fig4 [-- --quick]`
+
+use netband_experiments::fig4::{run, Fig4Config};
+use netband_experiments::Scale;
+use netband_sim::export::write_csv;
+use std::path::Path;
+
+fn main() {
+    let config = Fig4Config {
+        scale: Scale::from_env(),
+        ..Fig4Config::default()
+    };
+    eprintln!("running Fig. 4 with {config:?}");
+    let result = run(&config);
+    println!("{}", result.report());
+    println!("dense beats sparse: {}", result.dense_beats_sparse());
+    let path = Path::new("target/experiments/fig4.csv");
+    let t: Vec<f64> = (1..=result.sparse.horizon).map(|x| x as f64).collect();
+    if let Err(err) = write_csv(
+        path,
+        &[
+            ("t", &t),
+            ("sparse_expected", &result.sparse.expected_regret),
+            ("dense_expected", &result.dense.expected_regret),
+        ],
+    ) {
+        eprintln!("failed to write {}: {err}", path.display());
+    } else {
+        eprintln!("wrote {}", path.display());
+    }
+}

@@ -1,0 +1,33 @@
+//! Reproduces Fig. 5: expected regret of DFL-SSR.
+//!
+//! Usage: `cargo run --release -p netband-experiments --bin fig5 [-- --quick]`
+
+use netband_experiments::fig5::{run, Fig5Config};
+use netband_experiments::Scale;
+use netband_sim::export::write_csv;
+use std::path::Path;
+
+fn main() {
+    let config = Fig5Config {
+        scale: Scale::from_env(),
+        ..Fig5Config::default()
+    };
+    eprintln!("running Fig. 5 with {config:?}");
+    let result = run(&config);
+    println!("{}", result.report());
+    println!("expected regret trends to zero: {}", result.regret_trends_to_zero());
+    let path = Path::new("target/experiments/fig5.csv");
+    let t: Vec<f64> = (1..=result.dfl_ssr.horizon).map(|x| x as f64).collect();
+    if let Err(err) = write_csv(
+        path,
+        &[
+            ("t", &t),
+            ("dfl_ssr_expected", &result.dfl_ssr.expected_regret),
+            ("dfl_ssr_accumulated", &result.dfl_ssr.accumulated_regret),
+        ],
+    ) {
+        eprintln!("failed to write {}: {err}", path.display());
+    } else {
+        eprintln!("wrote {}", path.display());
+    }
+}

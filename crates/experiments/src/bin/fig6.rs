@@ -1,0 +1,33 @@
+//! Reproduces Fig. 6: expected regret of DFL-CSR.
+//!
+//! Usage: `cargo run --release -p netband-experiments --bin fig6 [-- --quick]`
+
+use netband_experiments::fig6::{run, Fig6Config};
+use netband_experiments::Scale;
+use netband_sim::export::write_csv;
+use std::path::Path;
+
+fn main() {
+    let config = Fig6Config {
+        scale: Scale::from_env(),
+        ..Fig6Config::default()
+    };
+    eprintln!("running Fig. 6 with {config:?}");
+    let result = run(&config);
+    println!("{}", result.report());
+    println!("expected regret trends to zero: {}", result.regret_trends_to_zero());
+    let path = Path::new("target/experiments/fig6.csv");
+    let t: Vec<f64> = (1..=result.dfl_csr.horizon).map(|x| x as f64).collect();
+    if let Err(err) = write_csv(
+        path,
+        &[
+            ("t", &t),
+            ("dfl_csr_expected", &result.dfl_csr.expected_regret),
+            ("dfl_csr_accumulated", &result.dfl_csr.accumulated_regret),
+        ],
+    ) {
+        eprintln!("failed to write {}: {err}", path.display());
+    } else {
+        eprintln!("wrote {}", path.display());
+    }
+}

@@ -1,0 +1,221 @@
+//! Figure 6 — expected regret of DFL-CSR (combinatorial-play with side reward).
+//!
+//! Paper setting: combinatorial play where the collected reward is the sum over
+//! the strategy's whole observation set `Y_x` and regret is measured against
+//! `σ_1` (Equation 4); the expected regret converges to 0. The paper does not
+//! state `K` or the constraint for this figure; we use an at-most-`M` family —
+//! the "place up to m advertisements" constraint from the paper's introduction —
+//! over a 20-arm random graph, which keeps the exact oracle cheap.
+
+use serde::{Deserialize, Serialize};
+
+use netband_baselines::Cucb;
+use netband_core::DflCsr;
+use netband_env::StrategyFamily;
+use netband_sim::export::columns_to_csv;
+use netband_sim::replicate::aggregate;
+use netband_sim::runner::{run_combinatorial, CombinatorialScenario};
+use netband_sim::{AveragedRun, RunResult};
+
+use crate::common::{paper_workload, Scale};
+use crate::report::{expected_regret_table, summary_line};
+
+/// Configuration of the Fig. 6 experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Fig6Config {
+    /// Number of arms `K`.
+    pub num_arms: usize,
+    /// Edge probability of the Erdős–Rényi relation graph.
+    pub edge_prob: f64,
+    /// Cardinality cap `M` of the at-most-`M` feasible family.
+    pub max_strategy_size: usize,
+    /// Horizon and replication count.
+    pub scale: Scale,
+    /// Base RNG seed.
+    pub base_seed: u64,
+    /// Also run CUCB (which optimises the direct reward and ignores coverage)
+    /// under the same CSR regret, as an extension for context.
+    pub include_baselines: bool,
+}
+
+impl Default for Fig6Config {
+    fn default() -> Self {
+        Fig6Config {
+            num_arms: 20,
+            edge_prob: 0.3,
+            max_strategy_size: 3,
+            scale: Scale::full(),
+            base_seed: 6_001,
+            include_baselines: true,
+        }
+    }
+}
+
+/// The averaged curves of Fig. 6.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig6Result {
+    /// DFL-CSR (Algorithm 4).
+    pub dfl_csr: AveragedRun,
+    /// Optional baselines under the same CSR regret.
+    pub baselines: Vec<AveragedRun>,
+}
+
+impl Fig6Result {
+    /// `true` when the time-averaged regret decreases from early to late in the
+    /// run — the paper's "converges to 0" claim.
+    pub fn regret_trends_to_zero(&self) -> bool {
+        crate::common::trends_to_zero(&self.dfl_csr.expected_regret)
+    }
+
+    /// Human-readable report.
+    pub fn report(&self) -> String {
+        let mut runs: Vec<&AveragedRun> = vec![&self.dfl_csr];
+        runs.extend(self.baselines.iter());
+        let mut out = String::from("Figure 6 — DFL-CSR expected regret\n");
+        for run in &runs {
+            out.push_str(&summary_line(run));
+            out.push('\n');
+        }
+        out.push('\n');
+        out.push_str(&expected_regret_table(&runs, 20));
+        out
+    }
+
+    /// CSV of the expected-regret curves.
+    pub fn csv(&self) -> String {
+        let t: Vec<f64> = (1..=self.dfl_csr.horizon).map(|x| x as f64).collect();
+        let mut columns: Vec<(&str, &[f64])> = vec![
+            ("t", &t),
+            ("dfl_csr_expected", &self.dfl_csr.expected_regret),
+            ("dfl_csr_accumulated", &self.dfl_csr.accumulated_regret),
+        ];
+        for baseline in &self.baselines {
+            columns.push((baseline.policy.as_str(), &baseline.expected_regret));
+        }
+        columns_to_csv(&columns)
+    }
+}
+
+/// Runs the Fig. 6 experiment.
+pub fn run(config: &Fig6Config) -> Fig6Result {
+    let family = StrategyFamily::at_most_m(config.num_arms, config.max_strategy_size);
+    let mut dfl_runs: Vec<RunResult> = Vec::with_capacity(config.scale.replications);
+    let mut cucb_runs: Vec<RunResult> = Vec::new();
+    for rep in 0..config.scale.replications {
+        let seed = config.base_seed + rep as u64;
+        let bandit = paper_workload(config.num_arms, config.edge_prob, seed);
+        let run_seed = seed.wrapping_mul(0xC2B2_AE35);
+        let mut dfl = DflCsr::new(bandit.graph().clone(), family.clone());
+        dfl_runs.push(
+            run_combinatorial(
+                &bandit,
+                &family,
+                &mut dfl,
+                CombinatorialScenario::SideReward,
+                config.scale.horizon,
+                run_seed,
+            )
+            .expect("DFL-CSR only proposes feasible strategies"),
+        );
+        if config.include_baselines {
+            let mut cucb = Cucb::new(bandit.graph().clone(), family.clone());
+            cucb_runs.push(
+                run_combinatorial(
+                    &bandit,
+                    &family,
+                    &mut cucb,
+                    CombinatorialScenario::SideReward,
+                    config.scale.horizon,
+                    run_seed,
+                )
+                .expect("CUCB only proposes feasible strategies"),
+            );
+        }
+    }
+    let mut baselines = Vec::new();
+    if config.include_baselines {
+        baselines.push(aggregate(&cucb_runs));
+    }
+    Fig6Result {
+        dfl_csr: aggregate(&dfl_runs),
+        baselines,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config() -> Fig6Config {
+        Fig6Config {
+            num_arms: 10,
+            edge_prob: 0.3,
+            max_strategy_size: 2,
+            scale: Scale {
+                horizon: 2_000,
+                replications: 3,
+            },
+            base_seed: 41,
+            include_baselines: true,
+        }
+    }
+
+    #[test]
+    fn fig6_regret_trends_to_zero() {
+        let result = run(&quick_config());
+        assert!(result.regret_trends_to_zero());
+    }
+
+    #[test]
+    fn fig6_dfl_csr_beats_coverage_blind_cucb() {
+        let result = run(&quick_config());
+        let cucb = result
+            .baselines
+            .iter()
+            .find(|b| b.policy == "CUCB")
+            .expect("baselines requested");
+        assert!(
+            result.dfl_csr.final_regret_mean() <= cucb.final_regret_mean(),
+            "DFL-CSR {} vs CUCB {}",
+            result.dfl_csr.final_regret_mean(),
+            cucb.final_regret_mean()
+        );
+    }
+
+    #[test]
+    fn fig6_report_and_csv_render() {
+        let result = run(&Fig6Config {
+            num_arms: 8,
+            include_baselines: false,
+            scale: Scale {
+                horizon: 120,
+                replications: 2,
+            },
+            ..quick_config()
+        });
+        assert!(result.report().contains("Figure 6"));
+        assert!(result.csv().starts_with("t,dfl_csr_expected"));
+        assert!(result.baselines.is_empty());
+    }
+
+    #[test]
+    fn fig6_is_deterministic() {
+        let cfg = Fig6Config {
+            num_arms: 8,
+            scale: Scale {
+                horizon: 100,
+                replications: 2,
+            },
+            ..quick_config()
+        };
+        assert_eq!(run(&cfg), run(&cfg));
+    }
+
+    #[test]
+    fn default_matches_design_doc() {
+        let cfg = Fig6Config::default();
+        assert_eq!(cfg.num_arms, 20);
+        assert_eq!(cfg.max_strategy_size, 3);
+        assert_eq!(cfg.scale.horizon, 10_000);
+    }
+}

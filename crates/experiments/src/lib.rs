@@ -1,0 +1,41 @@
+//! Experiment harness reproducing the evaluation section of *Networked
+//! Stochastic Multi-Armed Bandits with Combinatorial Strategies* (Tang & Zhou,
+//! ICDCS 2017).
+//!
+//! The paper's evaluation (Section VII) consists of four figures; there are no
+//! numeric result tables (Table I is a notation glossary). Each figure has a
+//! module, a binary, and a Criterion bench:
+//!
+//! | Experiment | Module | Binary | What it shows |
+//! |---|---|---|---|
+//! | Fig. 3(a)/(b) | [`fig3`] | `fig3` | MOSS vs DFL-SSO, expected and accumulated regret |
+//! | Fig. 4(a)/(b) | [`fig4`] | `fig4` | DFL-CSO on sparse (p=0.3) vs dense (p=0.6) relation graphs |
+//! | Fig. 5 | [`fig5`] | `fig5` | DFL-SSR expected regret → 0 |
+//! | Fig. 6 | [`fig6`] | `fig6` | DFL-CSR expected regret → 0 |
+//! | Theorems 1–4 | [`bounds_exp`] | `bounds` | closed-form bounds vs graph structure |
+//! | Ablation A | [`ablation_density`] | `ablation_density` | regret vs relation-graph density |
+//! | Ablation B | [`ablation_baselines`] | `ablation_baselines` | DFL-SSO vs the baseline zoo |
+//! | Ablation C | [`ablation_cliques`] | `ablation_cliques` | clique-cover structure vs measured regret |
+//!
+//! Every binary accepts `--quick` (or `NETBAND_QUICK=1`) to run at smoke-test
+//! scale; the default matches the paper's horizon of 10 000 slots. Results are
+//! printed as fixed-width tables and, where applicable, written as CSV under
+//! `target/experiments/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation_baselines;
+pub mod ablation_cliques;
+pub mod ablation_density;
+pub mod ablation_heuristic;
+pub mod ablation_horizon;
+pub mod bounds_exp;
+pub mod common;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod report;
+
+pub use common::Scale;

@@ -1,0 +1,118 @@
+//! Reporting helpers: compact textual rendering of regret curves.
+
+use netband_sim::export::format_table;
+use netband_sim::stats::downsample;
+use netband_sim::AveragedRun;
+
+/// Renders several averaged runs as a downsampled table of their expected
+/// (time-averaged) regret, one column per policy — the textual analogue of the
+/// paper's figures.
+pub fn expected_regret_table(runs: &[&AveragedRun], points: usize) -> String {
+    curve_table(runs, points, |run| run.expected_regret.clone(), "expected regret R_t / t")
+}
+
+/// Renders several averaged runs as a downsampled table of their accumulated
+/// regret.
+pub fn accumulated_regret_table(runs: &[&AveragedRun], points: usize) -> String {
+    curve_table(runs, points, |run| run.accumulated_regret.clone(), "accumulated regret R_t")
+}
+
+fn curve_table(
+    runs: &[&AveragedRun],
+    points: usize,
+    curve: impl Fn(&AveragedRun) -> Vec<f64>,
+    title: &str,
+) -> String {
+    if runs.is_empty() {
+        return format!("({title}: no runs)\n");
+    }
+    let curves: Vec<Vec<f64>> = runs.iter().map(|r| curve(r)).collect();
+    let sampled: Vec<Vec<(usize, f64)>> = curves.iter().map(|c| downsample(c, points)).collect();
+    let anchor = sampled
+        .iter()
+        .max_by_key(|s| s.len())
+        .cloned()
+        .unwrap_or_default();
+    let mut headers: Vec<String> = vec!["t".to_owned()];
+    headers.extend(runs.iter().map(|r| r.policy.clone()));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut rows = Vec::new();
+    for (row_idx, &(t_idx, _)) in anchor.iter().enumerate() {
+        let mut row = vec![format!("{}", t_idx + 1)];
+        for s in &sampled {
+            let value = s
+                .get(row_idx)
+                .map(|&(_, v)| v)
+                .or_else(|| s.last().map(|&(_, v)| v))
+                .unwrap_or(0.0);
+            row.push(format!("{value:.4}"));
+        }
+        rows.push(row);
+    }
+    format!("{title}\n{}", format_table(&header_refs, &rows))
+}
+
+/// One-line summary of an averaged run: final accumulated and expected regret
+/// with the spread over replications.
+pub fn summary_line(run: &AveragedRun) -> String {
+    format!(
+        "{:<20} R_n = {:>10.2} ± {:>8.2}   R_n/n = {:>8.4}   ({} reps, n = {})",
+        run.policy,
+        run.final_regret_mean(),
+        run.final_regret_std(),
+        run.final_expected_regret(),
+        run.replications,
+        run.horizon
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_run(name: &str, horizon: usize) -> AveragedRun {
+        AveragedRun {
+            policy: name.to_owned(),
+            replications: 2,
+            horizon,
+            expected_regret: (0..horizon).map(|t| 1.0 / (t + 1) as f64).collect(),
+            accumulated_regret: (0..horizon).map(|t| (t + 1) as f64).collect(),
+            accumulated_std: vec![0.0; horizon],
+            expected_pseudo_regret: vec![0.0; horizon],
+            final_regrets: vec![horizon as f64, horizon as f64],
+            mean_total_reward: 10.0,
+        }
+    }
+
+    #[test]
+    fn expected_regret_table_has_one_column_per_policy() {
+        let a = fake_run("DFL-SSO", 100);
+        let b = fake_run("MOSS", 100);
+        let table = expected_regret_table(&[&a, &b], 5);
+        assert!(table.contains("DFL-SSO"));
+        assert!(table.contains("MOSS"));
+        assert!(table.lines().count() >= 7, "{table}");
+    }
+
+    #[test]
+    fn accumulated_regret_table_renders() {
+        let a = fake_run("DFL-CSO", 50);
+        let table = accumulated_regret_table(&[&a], 4);
+        assert!(table.contains("accumulated"));
+        assert!(table.contains("50"));
+    }
+
+    #[test]
+    fn empty_run_list_is_handled() {
+        let table = expected_regret_table(&[], 5);
+        assert!(table.contains("no runs"));
+    }
+
+    #[test]
+    fn summary_line_contains_key_numbers() {
+        let run = fake_run("DFL-SSR", 10);
+        let line = summary_line(&run);
+        assert!(line.contains("DFL-SSR"));
+        assert!(line.contains("n = 10"));
+    }
+}

@@ -1,0 +1,292 @@
+//! Graph colouring and exact minimum clique covers.
+//!
+//! A clique cover of `G` is a proper colouring of the complement graph, so good
+//! colouring heuristics translate directly into tighter constants for the
+//! Theorem 1 / Theorem 2 bounds. This module provides:
+//!
+//! * [`greedy_coloring`] — sequential colouring in a caller-supplied order;
+//! * [`dsatur_coloring`] — the DSATUR heuristic (usually fewer colours than
+//!   naive greedy);
+//! * [`exact_chromatic_number`] — branch-and-bound exact colouring for small
+//!   graphs;
+//! * [`dsatur_clique_cover`] / [`exact_minimum_clique_cover`] — the
+//!   corresponding clique covers of `G` via its complement.
+
+use crate::clique::CliqueCover;
+use crate::graph::RelationGraph;
+use crate::ArmId;
+
+/// Sequential (greedy) colouring in the given vertex order. Returns the colour
+/// of every vertex; colours are `0..num_colours`.
+///
+/// Vertices missing from `order` are coloured after the listed ones, in index
+/// order; duplicates are ignored.
+pub fn greedy_coloring(graph: &RelationGraph, order: &[ArmId]) -> Vec<usize> {
+    let n = graph.num_vertices();
+    let mut colors = vec![usize::MAX; n];
+    let mut seen = vec![false; n];
+    let full_order: Vec<ArmId> = order
+        .iter()
+        .copied()
+        .filter(|&v| v < n)
+        .chain(0..n)
+        .filter(|&v| {
+            if seen[v] {
+                false
+            } else {
+                seen[v] = true;
+                true
+            }
+        })
+        .collect();
+    for v in full_order {
+        let mut used: Vec<bool> = vec![false; n.max(1)];
+        for &u in graph.neighbors(v) {
+            if colors[u] != usize::MAX {
+                used[colors[u]] = true;
+            }
+        }
+        let color = (0..).find(|&c| c >= used.len() || !used[c]).unwrap_or(0);
+        colors[v] = color;
+    }
+    colors
+}
+
+/// DSATUR colouring: always colour next the vertex with the highest saturation
+/// (number of distinct colours among its neighbours), breaking ties by degree.
+pub fn dsatur_coloring(graph: &RelationGraph) -> Vec<usize> {
+    let n = graph.num_vertices();
+    let mut colors = vec![usize::MAX; n];
+    for _ in 0..n {
+        // Pick the uncoloured vertex with the highest saturation.
+        let v = (0..n)
+            .filter(|&v| colors[v] == usize::MAX)
+            .max_by_key(|&v| {
+                let mut neighbour_colors: Vec<usize> = graph
+                    .neighbors(v)
+                    .iter()
+                    .filter_map(|&u| (colors[u] != usize::MAX).then_some(colors[u]))
+                    .collect();
+                neighbour_colors.sort_unstable();
+                neighbour_colors.dedup();
+                (neighbour_colors.len(), graph.degree(v), std::cmp::Reverse(v))
+            });
+        let Some(v) = v else { break };
+        let mut used = vec![false; n.max(1)];
+        for &u in graph.neighbors(v) {
+            if colors[u] != usize::MAX {
+                used[colors[u]] = true;
+            }
+        }
+        colors[v] = (0..).find(|&c| c >= used.len() || !used[c]).unwrap_or(0);
+    }
+    colors
+}
+
+/// Number of colours used by a colouring (0 for an empty graph).
+pub fn num_colors(colors: &[usize]) -> usize {
+    colors
+        .iter()
+        .filter(|&&c| c != usize::MAX)
+        .map(|&c| c + 1)
+        .max()
+        .unwrap_or(0)
+}
+
+/// Checks that a colouring is proper (no edge joins two vertices of the same
+/// colour and every vertex is coloured).
+pub fn is_proper_coloring(graph: &RelationGraph, colors: &[usize]) -> bool {
+    if colors.len() != graph.num_vertices() {
+        return false;
+    }
+    if colors.iter().any(|&c| c == usize::MAX) {
+        return false;
+    }
+    graph.edges().all(|(u, v)| colors[u] != colors[v])
+}
+
+/// Exact chromatic number by branch and bound, seeded with the DSATUR upper
+/// bound. Intended for graphs of up to ~20 vertices (tests, small strategy
+/// graphs); larger inputs still terminate but may take exponential time.
+pub fn exact_chromatic_number(graph: &RelationGraph) -> usize {
+    let n = graph.num_vertices();
+    if n == 0 {
+        return 0;
+    }
+    let mut best = num_colors(&dsatur_coloring(graph));
+    let mut colors = vec![usize::MAX; n];
+    // Order vertices by decreasing degree for stronger pruning.
+    let mut order: Vec<ArmId> = (0..n).collect();
+    order.sort_by_key(|&v| std::cmp::Reverse(graph.degree(v)));
+
+    fn solve(
+        graph: &RelationGraph,
+        order: &[ArmId],
+        idx: usize,
+        used_colors: usize,
+        colors: &mut Vec<usize>,
+        best: &mut usize,
+    ) {
+        if used_colors >= *best {
+            return; // cannot improve
+        }
+        if idx == order.len() {
+            *best = used_colors;
+            return;
+        }
+        let v = order[idx];
+        let mut forbidden = vec![false; used_colors + 1];
+        for &u in graph.neighbors(v) {
+            if colors[u] != usize::MAX && colors[u] <= used_colors {
+                if colors[u] < forbidden.len() {
+                    forbidden[colors[u]] = true;
+                }
+            }
+        }
+        // Try existing colours first, then (at most) one new colour.
+        for c in 0..used_colors {
+            if !forbidden[c] {
+                colors[v] = c;
+                solve(graph, order, idx + 1, used_colors, colors, best);
+                colors[v] = usize::MAX;
+            }
+        }
+        colors[v] = used_colors;
+        solve(graph, order, idx + 1, used_colors + 1, colors, best);
+        colors[v] = usize::MAX;
+    }
+
+    solve(graph, &order, 0, 0, &mut colors, &mut best);
+    best
+}
+
+/// Clique cover obtained from a DSATUR colouring of the complement graph.
+pub fn dsatur_clique_cover(graph: &RelationGraph) -> CliqueCover {
+    let complement = graph.complement();
+    let colors = dsatur_coloring(&complement);
+    cover_from_coloring(&colors)
+}
+
+/// Exact minimum clique cover (exact colouring of the complement). Exponential;
+/// use only on small graphs.
+pub fn exact_minimum_clique_cover_size(graph: &RelationGraph) -> usize {
+    exact_chromatic_number(&graph.complement())
+}
+
+fn cover_from_coloring(colors: &[usize]) -> CliqueCover {
+    let k = num_colors(colors);
+    let mut classes: Vec<Vec<ArmId>> = vec![Vec::new(); k];
+    for (v, &c) in colors.iter().enumerate() {
+        if c != usize::MAX {
+            classes[c].push(v);
+        }
+    }
+    classes.retain(|c| !c.is_empty());
+    CliqueCover::new(classes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clique::greedy_clique_cover;
+    use crate::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn greedy_coloring_is_proper() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for &p in &[0.2, 0.5, 0.8] {
+            let g = generators::erdos_renyi(25, p, &mut rng);
+            let order: Vec<usize> = (0..25).collect();
+            let colors = greedy_coloring(&g, &order);
+            assert!(is_proper_coloring(&g, &colors), "p={p}");
+        }
+    }
+
+    #[test]
+    fn greedy_coloring_handles_partial_and_duplicate_orders() {
+        let g = generators::path(5);
+        let colors = greedy_coloring(&g, &[4, 4, 2, 99]);
+        assert!(is_proper_coloring(&g, &colors));
+    }
+
+    #[test]
+    fn dsatur_is_proper_and_never_worse_than_max_degree_plus_one() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = generators::erdos_renyi(30, 0.4, &mut rng);
+        let colors = dsatur_coloring(&g);
+        assert!(is_proper_coloring(&g, &colors));
+        assert!(num_colors(&colors) <= g.max_degree() + 1);
+    }
+
+    #[test]
+    fn chromatic_numbers_of_known_graphs() {
+        assert_eq!(exact_chromatic_number(&generators::complete(5)), 5);
+        assert_eq!(exact_chromatic_number(&generators::edgeless(5)), 1);
+        assert_eq!(exact_chromatic_number(&generators::path(6)), 2);
+        // Odd cycle needs 3 colours, even cycle needs 2.
+        assert_eq!(exact_chromatic_number(&generators::cycle(5)), 3);
+        assert_eq!(exact_chromatic_number(&generators::cycle(6)), 2);
+        assert_eq!(exact_chromatic_number(&RelationGraph::empty(0)), 0);
+    }
+
+    #[test]
+    fn exact_is_never_above_dsatur() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..5 {
+            let g = generators::erdos_renyi(12, 0.4, &mut rng);
+            let exact = exact_chromatic_number(&g);
+            let dsatur = num_colors(&dsatur_coloring(&g));
+            assert!(exact <= dsatur, "exact {exact} vs dsatur {dsatur}");
+            assert!(exact >= 1);
+        }
+    }
+
+    #[test]
+    fn dsatur_clique_cover_is_valid_and_competitive_with_greedy() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for &p in &[0.3, 0.6, 0.9] {
+            let g = generators::erdos_renyi(20, p, &mut rng);
+            let cover = dsatur_clique_cover(&g);
+            assert!(cover.is_valid_for(&g), "invalid cover at p={p}");
+            // Not necessarily smaller than greedy on every instance, but never
+            // absurdly larger.
+            let greedy = greedy_clique_cover(&g).len();
+            assert!(cover.len() <= greedy + 3, "dsatur {} vs greedy {}", cover.len(), greedy);
+        }
+    }
+
+    #[test]
+    fn exact_cover_size_bounds_the_heuristics_below() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..5 {
+            let g = generators::erdos_renyi(10, 0.5, &mut rng);
+            let exact = exact_minimum_clique_cover_size(&g);
+            assert!(exact <= greedy_clique_cover(&g).len());
+            assert!(exact <= dsatur_clique_cover(&g).len());
+            assert!(exact >= 1);
+        }
+    }
+
+    #[test]
+    fn cover_sizes_of_known_graphs() {
+        assert_eq!(exact_minimum_clique_cover_size(&generators::complete(6)), 1);
+        assert_eq!(exact_minimum_clique_cover_size(&generators::edgeless(6)), 6);
+        assert_eq!(
+            exact_minimum_clique_cover_size(&generators::disjoint_cliques(3, 3)),
+            3
+        );
+        // A path 0-1-2-3 can be covered by the two edges.
+        assert_eq!(exact_minimum_clique_cover_size(&generators::path(4)), 2);
+    }
+
+    #[test]
+    fn improper_colorings_are_rejected() {
+        let g = generators::path(3);
+        assert!(!is_proper_coloring(&g, &[0, 0, 1]));
+        assert!(!is_proper_coloring(&g, &[0, 1]));
+        assert!(!is_proper_coloring(&g, &[0, usize::MAX, 1]));
+        assert!(is_proper_coloring(&g, &[0, 1, 0]));
+    }
+}

@@ -1,0 +1,341 @@
+//! Random and structured relation-graph generators.
+//!
+//! The paper's simulations use "randomly generated" relation graphs where arms
+//! are "uniformly and randomly connected" with a given probability — i.e.
+//! Erdős–Rényi graphs. The other families here are used by the examples, the
+//! ablations, and the property tests: social-network-like preferential-attachment
+//! graphs, random geometric graphs (similarity networks), and structured graphs
+//! with known clique covers.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::graph::RelationGraph;
+use crate::ArmId;
+
+/// Erdős–Rényi graph `G(n, p)`: every pair of distinct arms is connected
+/// independently with probability `p`.
+///
+/// `p` is clamped to `[0, 1]`. This is the generator behind Figures 3–6 of the
+/// paper ("arms are uniformly and randomly connected with probability ...").
+pub fn erdos_renyi<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> RelationGraph {
+    let p = p.clamp(0.0, 1.0);
+    let mut g = RelationGraph::empty(n);
+    if p <= 0.0 {
+        return g;
+    }
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if p >= 1.0 || rng.gen::<f64>() < p {
+                g.add_edge(u, v).expect("generated edges are valid");
+            }
+        }
+    }
+    g
+}
+
+/// Complete graph `K_n`: every arm observes every other arm.
+pub fn complete(n: usize) -> RelationGraph {
+    let mut g = RelationGraph::empty(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            g.add_edge(u, v).expect("generated edges are valid");
+        }
+    }
+    g
+}
+
+/// Edgeless graph: the networked problem degenerates to the classical MAB.
+pub fn edgeless(n: usize) -> RelationGraph {
+    RelationGraph::empty(n)
+}
+
+/// Star graph with `n` vertices: vertex 0 is the hub connected to all others.
+///
+/// Models a "celebrity" user whose promotions are observed by every follower.
+pub fn star(n: usize) -> RelationGraph {
+    let mut g = RelationGraph::empty(n);
+    for v in 1..n {
+        g.add_edge(0, v).expect("generated edges are valid");
+    }
+    g
+}
+
+/// Path graph `0 - 1 - 2 - … - (n-1)`.
+pub fn path(n: usize) -> RelationGraph {
+    let mut g = RelationGraph::empty(n);
+    for v in 1..n {
+        g.add_edge(v - 1, v).expect("generated edges are valid");
+    }
+    g
+}
+
+/// Cycle graph (a path with the two endpoints joined); requires `n >= 3` to have
+/// the closing edge, smaller sizes fall back to a path.
+pub fn cycle(n: usize) -> RelationGraph {
+    let mut g = path(n);
+    if n >= 3 {
+        g.add_edge(n - 1, 0).expect("generated edges are valid");
+    }
+    g
+}
+
+/// Disjoint union of `num_cliques` cliques of size `clique_size`.
+///
+/// The greedy clique cover of this graph has exactly `num_cliques` cliques, which
+/// makes it the canonical workload for exercising the `C`-dependent term of the
+/// Theorem 1 bound.
+pub fn disjoint_cliques(num_cliques: usize, clique_size: usize) -> RelationGraph {
+    let n = num_cliques * clique_size;
+    let mut g = RelationGraph::empty(n);
+    for c in 0..num_cliques {
+        let base = c * clique_size;
+        for i in 0..clique_size {
+            for j in (i + 1)..clique_size {
+                g.add_edge(base + i, base + j)
+                    .expect("generated edges are valid");
+            }
+        }
+    }
+    g
+}
+
+/// Random geometric graph: arms are placed uniformly at random in the unit
+/// square and connected when their Euclidean distance is below `radius`.
+///
+/// Models similarity networks ("items whose feature vectors are close inform
+/// each other").
+pub fn random_geometric<R: Rng + ?Sized>(n: usize, radius: f64, rng: &mut R) -> RelationGraph {
+    let points: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+    let mut g = RelationGraph::empty(n);
+    let r2 = radius * radius;
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let dx = points[u].0 - points[v].0;
+            let dy = points[u].1 - points[v].1;
+            if dx * dx + dy * dy <= r2 {
+                g.add_edge(u, v).expect("generated edges are valid");
+            }
+        }
+    }
+    g
+}
+
+/// Barabási–Albert preferential-attachment graph.
+///
+/// Starts from a clique on `m.max(1)` seed vertices; every subsequent vertex
+/// attaches to `m` existing vertices chosen with probability proportional to
+/// their degree (plus one, so isolated seeds can still be chosen). Produces the
+/// heavy-tailed degree distributions typical of online social networks, the
+/// motivating application of the paper.
+pub fn barabasi_albert<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> RelationGraph {
+    let m = m.max(1);
+    let mut g = RelationGraph::empty(n);
+    if n == 0 {
+        return g;
+    }
+    let seed = m.min(n);
+    for u in 0..seed {
+        for v in (u + 1)..seed {
+            g.add_edge(u, v).expect("generated edges are valid");
+        }
+    }
+    for v in seed..n {
+        // Sample m distinct targets weighted by (degree + 1).
+        let mut targets: Vec<ArmId> = Vec::with_capacity(m);
+        let mut attempts = 0usize;
+        while targets.len() < m.min(v) && attempts < 50 * m {
+            attempts += 1;
+            let total: usize = (0..v).map(|u| g.degree(u) + 1).sum();
+            let mut ticket = rng.gen_range(0..total);
+            let mut chosen = 0;
+            for u in 0..v {
+                let w = g.degree(u) + 1;
+                if ticket < w {
+                    chosen = u;
+                    break;
+                }
+                ticket -= w;
+            }
+            if !targets.contains(&chosen) {
+                targets.push(chosen);
+            }
+        }
+        for u in targets {
+            g.add_edge(u, v).expect("generated edges are valid");
+        }
+    }
+    g
+}
+
+/// Planted-partition ("community") graph: vertices are split into `communities`
+/// equal-size groups; intra-community edges appear with probability `p_in`,
+/// inter-community edges with probability `p_out`.
+pub fn planted_partition<R: Rng + ?Sized>(
+    n: usize,
+    communities: usize,
+    p_in: f64,
+    p_out: f64,
+    rng: &mut R,
+) -> RelationGraph {
+    let communities = communities.max(1);
+    let p_in = p_in.clamp(0.0, 1.0);
+    let p_out = p_out.clamp(0.0, 1.0);
+    let mut g = RelationGraph::empty(n);
+    let community_of = |v: usize| v * communities / n.max(1);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let p = if community_of(u) == community_of(v) {
+                p_in
+            } else {
+                p_out
+            };
+            if p > 0.0 && (p >= 1.0 || rng.gen::<f64>() < p) {
+                g.add_edge(u, v).expect("generated edges are valid");
+            }
+        }
+    }
+    g
+}
+
+/// A random graph with exactly `num_edges` edges chosen uniformly among all
+/// vertex pairs (the `G(n, M)` model).
+pub fn gnm<R: Rng + ?Sized>(n: usize, num_edges: usize, rng: &mut R) -> RelationGraph {
+    let mut pairs: Vec<(ArmId, ArmId)> = Vec::with_capacity(n.saturating_mul(n.saturating_sub(1)) / 2);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            pairs.push((u, v));
+        }
+    }
+    pairs.shuffle(rng);
+    let take = num_edges.min(pairs.len());
+    RelationGraph::from_edges(n, &pairs[..take])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn erdos_renyi_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g0 = erdos_renyi(20, 0.0, &mut rng);
+        assert_eq!(g0.num_edges(), 0);
+        let g1 = erdos_renyi(20, 1.0, &mut rng);
+        assert_eq!(g1.num_edges(), 20 * 19 / 2);
+        // Out-of-range probabilities are clamped.
+        let g2 = erdos_renyi(10, 7.0, &mut rng);
+        assert_eq!(g2.num_edges(), 10 * 9 / 2);
+        let g3 = erdos_renyi(10, -3.0, &mut rng);
+        assert_eq!(g3.num_edges(), 0);
+    }
+
+    #[test]
+    fn erdos_renyi_density_tracks_p() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let g = erdos_renyi(200, 0.3, &mut rng);
+        assert!((g.density() - 0.3).abs() < 0.03, "density {}", g.density());
+    }
+
+    #[test]
+    fn erdos_renyi_is_deterministic_under_seed() {
+        let g1 = erdos_renyi(50, 0.4, &mut StdRng::seed_from_u64(7));
+        let g2 = erdos_renyi(50, 0.4, &mut StdRng::seed_from_u64(7));
+        assert_eq!(g1, g2);
+    }
+
+    #[test]
+    fn complete_star_path_cycle_shapes() {
+        assert_eq!(complete(6).num_edges(), 15);
+        let s = star(5);
+        assert_eq!(s.num_edges(), 4);
+        assert_eq!(s.degree(0), 4);
+        assert_eq!(s.degree(3), 1);
+        let p = path(5);
+        assert_eq!(p.num_edges(), 4);
+        assert_eq!(p.degree(0), 1);
+        assert_eq!(p.degree(2), 2);
+        let c = cycle(5);
+        assert_eq!(c.num_edges(), 5);
+        assert!(c.vertices().all(|v| c.degree(v) == 2));
+        // Degenerate sizes.
+        assert_eq!(cycle(2).num_edges(), 1);
+        assert_eq!(cycle(1).num_edges(), 0);
+        assert_eq!(star(0).num_vertices(), 0);
+        assert_eq!(complete(1).num_edges(), 0);
+    }
+
+    #[test]
+    fn edgeless_is_classical_mab() {
+        let g = edgeless(12);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.max_closed_neighborhood(), 1);
+    }
+
+    #[test]
+    fn disjoint_cliques_structure() {
+        let g = disjoint_cliques(3, 4);
+        assert_eq!(g.num_vertices(), 12);
+        assert_eq!(g.num_edges(), 3 * 6);
+        assert!(g.is_clique(&[0, 1, 2, 3]));
+        assert!(g.is_clique(&[4, 5, 6, 7]));
+        assert!(!g.has_edge(0, 4));
+        assert_eq!(g.connected_components().len(), 3);
+    }
+
+    #[test]
+    fn random_geometric_radius_extremes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g_all = random_geometric(15, 2.0, &mut rng);
+        assert_eq!(g_all.num_edges(), 15 * 14 / 2);
+        let g_none = random_geometric(15, 0.0, &mut rng);
+        assert_eq!(g_none.num_edges(), 0);
+    }
+
+    #[test]
+    fn barabasi_albert_connects_and_grows_hubs() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let g = barabasi_albert(60, 2, &mut rng);
+        assert_eq!(g.num_vertices(), 60);
+        assert!(g.is_connected());
+        // Preferential attachment should produce at least one hub vertex.
+        assert!(g.max_degree() >= 5, "max degree {}", g.max_degree());
+    }
+
+    #[test]
+    fn barabasi_albert_degenerate_sizes() {
+        let mut rng = StdRng::seed_from_u64(11);
+        assert_eq!(barabasi_albert(0, 2, &mut rng).num_vertices(), 0);
+        assert_eq!(barabasi_albert(1, 2, &mut rng).num_edges(), 0);
+        let g = barabasi_albert(2, 3, &mut rng);
+        assert_eq!(g.num_vertices(), 2);
+    }
+
+    #[test]
+    fn planted_partition_prefers_intra_community_edges() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = planted_partition(60, 3, 0.9, 0.05, &mut rng);
+        let mut intra = 0usize;
+        let mut inter = 0usize;
+        for (u, v) in g.edges() {
+            if u / 20 == v / 20 {
+                intra += 1;
+            } else {
+                inter += 1;
+            }
+        }
+        assert!(intra > inter * 2, "intra={intra} inter={inter}");
+    }
+
+    #[test]
+    fn gnm_has_exact_edge_count() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let g = gnm(20, 30, &mut rng);
+        assert_eq!(g.num_edges(), 30);
+        // Requesting more edges than possible saturates.
+        let g_full = gnm(5, 1000, &mut rng);
+        assert_eq!(g_full.num_edges(), 10);
+    }
+}

@@ -1,0 +1,287 @@
+//! Independent-set machinery.
+//!
+//! The paper's running combinatorial example (Fig. 2, Section IV) is the maximum
+//! weighted independent set problem: the feasible strategy set `F` is the family
+//! of independent sets of the relation graph. This module enumerates bounded-size
+//! independent sets (to build explicit feasible sets for DFL-CSO) and provides a
+//! greedy weighted-independent-set heuristic plus an exact brute-force solver for
+//! small graphs (used as the combinatorial oracle and in tests).
+
+use crate::graph::RelationGraph;
+use crate::ArmId;
+
+/// Enumerates all non-empty independent sets of size at most `max_size`.
+///
+/// Sets are returned sorted internally and ordered lexicographically. On dense
+/// constraints the number of independent sets can still be exponential — callers
+/// can bound the output with `limit`.
+pub fn independent_sets_up_to(
+    graph: &RelationGraph,
+    max_size: usize,
+    limit: Option<usize>,
+) -> Vec<Vec<ArmId>> {
+    let n = graph.num_vertices();
+    let mut out: Vec<Vec<ArmId>> = Vec::new();
+    let mut current: Vec<ArmId> = Vec::new();
+    fn recurse(
+        graph: &RelationGraph,
+        start: ArmId,
+        max_size: usize,
+        limit: Option<usize>,
+        current: &mut Vec<ArmId>,
+        out: &mut Vec<Vec<ArmId>>,
+    ) {
+        if let Some(lim) = limit {
+            if out.len() >= lim {
+                return;
+            }
+        }
+        if current.len() == max_size {
+            return;
+        }
+        for v in start..graph.num_vertices() {
+            if current.iter().all(|&u| !graph.has_edge(u, v)) {
+                current.push(v);
+                out.push(current.clone());
+                recurse(graph, v + 1, max_size, limit, current, out);
+                current.pop();
+                if let Some(lim) = limit {
+                    if out.len() >= lim {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+    if max_size > 0 && n > 0 {
+        recurse(graph, 0, max_size, limit, &mut current, &mut out);
+    }
+    out
+}
+
+/// All *maximal* independent sets (independent sets not contained in a larger
+/// one), computed as the maximal cliques of the complement graph.
+///
+/// Intended for small graphs.
+pub fn maximal_independent_sets(graph: &RelationGraph, limit: Option<usize>) -> Vec<Vec<ArmId>> {
+    crate::clique::maximal_cliques(&graph.complement(), limit)
+}
+
+/// Greedy maximum-weight independent set: repeatedly picks the remaining vertex
+/// with the highest weight and discards its neighbours.
+///
+/// `weights[v]` is the weight of vertex `v`; missing entries count as 0.
+/// Deterministic: ties are broken towards the smaller vertex id.
+pub fn greedy_max_weight_independent_set(graph: &RelationGraph, weights: &[f64]) -> Vec<ArmId> {
+    let n = graph.num_vertices();
+    let weight = |v: usize| weights.get(v).copied().unwrap_or(0.0);
+    let mut available = vec![true; n];
+    let mut chosen: Vec<ArmId> = Vec::new();
+    loop {
+        let best = (0..n)
+            .filter(|&v| available[v])
+            .max_by(|&a, &b| {
+                weight(a)
+                    .partial_cmp(&weight(b))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(b.cmp(&a))
+            });
+        match best {
+            Some(v) => {
+                chosen.push(v);
+                available[v] = false;
+                for &u in graph.neighbors(v) {
+                    available[u] = false;
+                }
+            }
+            None => break,
+        }
+    }
+    chosen.sort_unstable();
+    chosen
+}
+
+/// Exact maximum-weight independent set by exhaustive search.
+///
+/// Exponential in the number of vertices; used as the combinatorial oracle on the
+/// small instances the paper simulates and to validate the greedy heuristic in
+/// tests. `max_size` optionally caps the cardinality of the returned set.
+pub fn exact_max_weight_independent_set(
+    graph: &RelationGraph,
+    weights: &[f64],
+    max_size: Option<usize>,
+) -> Vec<ArmId> {
+    let n = graph.num_vertices();
+    let weight = |v: usize| weights.get(v).copied().unwrap_or(0.0);
+    let cap = max_size.unwrap_or(n);
+    let mut best: Vec<ArmId> = Vec::new();
+    let mut best_weight = 0.0_f64;
+    let mut current: Vec<ArmId> = Vec::new();
+
+    fn recurse(
+        graph: &RelationGraph,
+        start: ArmId,
+        cap: usize,
+        weight: &dyn Fn(usize) -> f64,
+        current: &mut Vec<ArmId>,
+        current_weight: f64,
+        best: &mut Vec<ArmId>,
+        best_weight: &mut f64,
+    ) {
+        if current_weight > *best_weight {
+            *best_weight = current_weight;
+            *best = current.clone();
+        }
+        if current.len() == cap {
+            return;
+        }
+        for v in start..graph.num_vertices() {
+            if current.iter().all(|&u| !graph.has_edge(u, v)) {
+                current.push(v);
+                recurse(
+                    graph,
+                    v + 1,
+                    cap,
+                    weight,
+                    current,
+                    current_weight + weight(v),
+                    best,
+                    best_weight,
+                );
+                current.pop();
+            }
+        }
+    }
+
+    recurse(
+        graph,
+        0,
+        cap,
+        &weight,
+        &mut current,
+        0.0,
+        &mut best,
+        &mut best_weight,
+    );
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// The 4-arm graph from Fig. 2 of the paper: edges 1-2, 2-3, 3-4 (0-indexed:
+    /// 0-1, 1-2, 2-3).
+    fn fig2_graph() -> RelationGraph {
+        RelationGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)])
+    }
+
+    #[test]
+    fn fig2_feasible_set_matches_paper() {
+        // The paper lists 7 feasible strategies (independent sets):
+        // {1},{2},{3},{4},{1,3},{1,4},{2,4} → 0-indexed below.
+        let g = fig2_graph();
+        let sets = independent_sets_up_to(&g, 2, None);
+        let expected: Vec<Vec<usize>> = vec![
+            vec![0],
+            vec![0, 2],
+            vec![0, 3],
+            vec![1],
+            vec![1, 3],
+            vec![2],
+            vec![3],
+        ];
+        assert_eq!(sets, expected);
+    }
+
+    #[test]
+    fn independent_sets_respect_limit_and_size() {
+        let g = fig2_graph();
+        let sets = independent_sets_up_to(&g, 1, None);
+        assert_eq!(sets.len(), 4);
+        let limited = independent_sets_up_to(&g, 2, Some(3));
+        assert_eq!(limited.len(), 3);
+        let none = independent_sets_up_to(&g, 0, None);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn independent_sets_of_edgeless_graph_are_all_subsets() {
+        let g = generators::edgeless(4);
+        let sets = independent_sets_up_to(&g, 4, None);
+        // 2^4 - 1 non-empty subsets.
+        assert_eq!(sets.len(), 15);
+        let sets2 = independent_sets_up_to(&g, 2, None);
+        // 4 singletons + 6 pairs.
+        assert_eq!(sets2.len(), 10);
+    }
+
+    #[test]
+    fn independent_sets_of_complete_graph_are_singletons() {
+        let g = generators::complete(5);
+        let sets = independent_sets_up_to(&g, 3, None);
+        assert_eq!(sets.len(), 5);
+        assert!(sets.iter().all(|s| s.len() == 1));
+    }
+
+    #[test]
+    fn all_enumerated_sets_are_independent() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = generators::erdos_renyi(12, 0.4, &mut rng);
+        for set in independent_sets_up_to(&g, 3, None) {
+            assert!(g.is_independent_set(&set), "{set:?} is not independent");
+        }
+    }
+
+    #[test]
+    fn maximal_independent_sets_of_path() {
+        let g = generators::path(4); // 0-1-2-3
+        let sets = maximal_independent_sets(&g, None);
+        assert_eq!(sets, vec![vec![0, 2], vec![0, 3], vec![1, 3]]);
+    }
+
+    #[test]
+    fn greedy_matches_exact_on_easy_instances() {
+        let g = generators::path(5);
+        let weights = vec![1.0, 10.0, 1.0, 1.0, 10.0];
+        let greedy = greedy_max_weight_independent_set(&g, &weights);
+        let exact = exact_max_weight_independent_set(&g, &weights, None);
+        let sum = |s: &[usize]| s.iter().map(|&v| weights[v]).sum::<f64>();
+        assert_eq!(sum(&greedy), sum(&exact));
+        assert_eq!(exact, vec![1, 4]);
+    }
+
+    #[test]
+    fn exact_oracle_never_worse_than_greedy() {
+        let mut rng = StdRng::seed_from_u64(77);
+        for _ in 0..10 {
+            let g = generators::erdos_renyi(10, 0.4, &mut rng);
+            let weights: Vec<f64> = (0..10).map(|_| rng.gen::<f64>()).collect();
+            let greedy = greedy_max_weight_independent_set(&g, &weights);
+            let exact = exact_max_weight_independent_set(&g, &weights, None);
+            let sum = |s: &[usize]| s.iter().map(|&v| weights[v]).sum::<f64>();
+            assert!(g.is_independent_set(&greedy));
+            assert!(g.is_independent_set(&exact));
+            assert!(sum(&exact) >= sum(&greedy) - 1e-12);
+        }
+    }
+
+    #[test]
+    fn exact_oracle_respects_cardinality_cap() {
+        let g = generators::edgeless(6);
+        let weights = vec![1.0; 6];
+        let capped = exact_max_weight_independent_set(&g, &weights, Some(2));
+        assert_eq!(capped.len(), 2);
+    }
+
+    #[test]
+    fn empty_graph_edge_cases() {
+        let g = RelationGraph::empty(0);
+        assert!(independent_sets_up_to(&g, 3, None).is_empty());
+        assert!(greedy_max_weight_independent_set(&g, &[]).is_empty());
+        assert!(exact_max_weight_independent_set(&g, &[], None).is_empty());
+    }
+}

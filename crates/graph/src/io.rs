@@ -1,0 +1,236 @@
+//! Plain-text import/export of relation graphs.
+//!
+//! A library users adopt needs a way to get their *own* relation graphs in and
+//! out: this module reads and writes the ubiquitous whitespace-separated
+//! edge-list format (one `u v` pair per line, `#` comments, isolated vertices
+//! implied by a header line `K <num_vertices>`), and exports Graphviz DOT for
+//! visual inspection of experiment instances.
+
+use std::fmt::Write as _;
+
+use crate::graph::{GraphError, RelationGraph};
+
+/// Errors produced while parsing an edge list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// A line did not contain exactly two vertex ids (or a valid header).
+    MalformedLine {
+        /// 1-based line number.
+        line: usize,
+        /// The offending content.
+        content: String,
+    },
+    /// A vertex id could not be parsed as an unsigned integer.
+    InvalidVertex {
+        /// 1-based line number.
+        line: usize,
+        /// The offending token.
+        token: String,
+    },
+    /// The edge was structurally invalid (self-loop or out of range).
+    InvalidEdge {
+        /// 1-based line number.
+        line: usize,
+        /// The underlying graph error.
+        source: GraphError,
+    },
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::MalformedLine { line, content } => {
+                write!(f, "line {line}: expected `u v` or `K n`, got `{content}`")
+            }
+            ParseError::InvalidVertex { line, token } => {
+                write!(f, "line {line}: `{token}` is not a vertex id")
+            }
+            ParseError::InvalidEdge { line, source } => {
+                write!(f, "line {line}: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Serialises a graph as an edge list with a `K <n>` header.
+///
+/// The output round-trips through [`parse_edge_list`], including isolated
+/// vertices.
+pub fn to_edge_list(graph: &RelationGraph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# netband relation graph: {graph}");
+    let _ = writeln!(out, "K {}", graph.num_vertices());
+    for (u, v) in graph.edges() {
+        let _ = writeln!(out, "{u} {v}");
+    }
+    out
+}
+
+/// Parses an edge list.
+///
+/// Accepted lines: blank lines, `# comments`, a `K <n>` header fixing the
+/// vertex count, and `u v` edges. Without a header the vertex count is
+/// `max(u, v) + 1` over all edges.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first offending line.
+pub fn parse_edge_list(text: &str) -> Result<RelationGraph, ParseError> {
+    let mut declared: Option<usize> = None;
+    let mut edges: Vec<(usize, usize, usize)> = Vec::new(); // (u, v, line)
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        match tokens.as_slice() {
+            ["K" | "k", n] => {
+                let n = n.parse::<usize>().map_err(|_| ParseError::InvalidVertex {
+                    line: line_no,
+                    token: (*n).to_owned(),
+                })?;
+                declared = Some(declared.map_or(n, |d| d.max(n)));
+            }
+            [a, b] => {
+                let parse = |token: &str| {
+                    token.parse::<usize>().map_err(|_| ParseError::InvalidVertex {
+                        line: line_no,
+                        token: token.to_owned(),
+                    })
+                };
+                edges.push((parse(a)?, parse(b)?, line_no));
+            }
+            _ => {
+                return Err(ParseError::MalformedLine {
+                    line: line_no,
+                    content: line.to_owned(),
+                })
+            }
+        }
+    }
+    let implied = edges
+        .iter()
+        .map(|&(u, v, _)| u.max(v) + 1)
+        .max()
+        .unwrap_or(0);
+    let n = declared.unwrap_or(0).max(implied);
+    let mut graph = RelationGraph::empty(n);
+    for (u, v, line) in edges {
+        graph
+            .add_edge(u, v)
+            .map_err(|source| ParseError::InvalidEdge { line, source })?;
+    }
+    Ok(graph)
+}
+
+/// Serialises a graph in Graphviz DOT format (undirected).
+pub fn to_dot(graph: &RelationGraph, name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "graph {} {{", sanitize_dot_id(name));
+    for v in graph.vertices() {
+        let _ = writeln!(out, "    {v};");
+    }
+    for (u, v) in graph.edges() {
+        let _ = writeln!(out, "    {u} -- {v};");
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn sanitize_dot_id(name: &str) -> String {
+    let cleaned: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .collect();
+    if cleaned.is_empty() || cleaned.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        format!("g_{cleaned}")
+    } else {
+        cleaned
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn edge_list_round_trips_including_isolated_vertices() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut g = generators::erdos_renyi(12, 0.3, &mut rng);
+        // Force an isolated vertex.
+        let isolated: Vec<usize> = g.neighbors(11).to_vec();
+        for v in isolated {
+            g.remove_edge(11, v);
+        }
+        let text = to_edge_list(&g);
+        let parsed = parse_edge_list(&text).unwrap();
+        assert_eq!(parsed, g);
+    }
+
+    #[test]
+    fn parse_accepts_comments_blanks_and_no_header() {
+        let text = "# a triangle\n\n0 1\n1 2\n0 2\n";
+        let g = parse_edge_list(text).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert!(g.is_clique(&[0, 1, 2]));
+    }
+
+    #[test]
+    fn parse_header_extends_the_vertex_count() {
+        let g = parse_edge_list("K 6\n0 1\n").unwrap();
+        assert_eq!(g.num_vertices(), 6);
+        assert_eq!(g.num_edges(), 1);
+        // The larger of header and implied count wins.
+        let g2 = parse_edge_list("K 2\n0 5\n").unwrap();
+        assert_eq!(g2.num_vertices(), 6);
+    }
+
+    #[test]
+    fn parse_empty_input_gives_the_empty_graph() {
+        let g = parse_edge_list("").unwrap();
+        assert_eq!(g.num_vertices(), 0);
+        let g2 = parse_edge_list("# nothing here\n").unwrap();
+        assert!(g2.is_empty());
+    }
+
+    #[test]
+    fn parse_reports_errors_with_line_numbers() {
+        let err = parse_edge_list("0 1\nnot an edge line\n").unwrap_err();
+        assert!(matches!(err, ParseError::MalformedLine { line: 2, .. }));
+        assert!(err.to_string().contains("line 2"));
+
+        let err = parse_edge_list("0 x\n").unwrap_err();
+        assert!(matches!(err, ParseError::InvalidVertex { line: 1, .. }));
+
+        let err = parse_edge_list("3 3\n").unwrap_err();
+        assert!(matches!(err, ParseError::InvalidEdge { line: 1, .. }));
+    }
+
+    #[test]
+    fn duplicate_edges_are_tolerated() {
+        let g = parse_edge_list("0 1\n1 0\n0 1\n").unwrap();
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn dot_output_lists_every_vertex_and_edge() {
+        let g = generators::path(3);
+        let dot = to_dot(&g, "my graph 1");
+        assert!(dot.starts_with("graph my_graph_1 {"));
+        assert!(dot.contains("0 -- 1;"));
+        assert!(dot.contains("1 -- 2;"));
+        assert!(dot.contains("    2;"));
+        assert!(dot.trim_end().ends_with('}'));
+        // Identifiers that start with a digit get prefixed.
+        assert!(to_dot(&g, "1abc").starts_with("graph g_1abc"));
+        assert!(to_dot(&g, "").starts_with("graph g_ "));
+    }
+}

@@ -1,0 +1,58 @@
+//! Relation-graph substrate for networked multi-armed bandits.
+//!
+//! The paper *Networked Stochastic Multi-Armed Bandits with Combinatorial
+//! Strategies* (Tang & Zhou, ICDCS 2017) models the correlation between arms with
+//! an undirected **relation graph** `G = (V, E)`: pulling an arm yields a side
+//! bonus (an observation or a reward) for every arm in its closed neighbourhood.
+//!
+//! This crate provides everything the learning policies and their analysis need
+//! from that graph:
+//!
+//! * [`RelationGraph`] — a compact undirected graph over `K` arms with
+//!   neighbourhood queries, induced subgraphs, and connectivity helpers.
+//! * [`generators`] — random and structured graph families (Erdős–Rényi,
+//!   Barabási–Albert, random geometric, stars, paths, cliques, …) used by the
+//!   simulation workloads.
+//! * [`clique`] — greedy clique covers and Bron–Kerbosch maximal-clique
+//!   enumeration; the clique-cover size `C` appears directly in the Theorem 1 and
+//!   Theorem 2 regret bounds.
+//! * [`independent`] — independent-set machinery used to build the combinatorial
+//!   feasible strategy sets of Section IV (Fig. 2 of the paper).
+//! * [`strategy`] — the **strategy relation graph** `SG(F, L)` construction that
+//!   converts combinatorial play with side observation into single play over
+//!   com-arms (Algorithm 2).
+//!
+//! # Example
+//!
+//! ```
+//! use netband_graph::{RelationGraph, clique::greedy_clique_cover};
+//!
+//! // A 5-arm relation graph: a triangle {0,1,2} plus an edge {3,4}.
+//! let g = RelationGraph::from_edges(5, &[(0, 1), (1, 2), (0, 2), (3, 4)]);
+//! assert_eq!(g.closed_neighborhood(1), vec![0, 1, 2]);
+//!
+//! let cover = greedy_clique_cover(&g);
+//! assert!(cover.len() <= 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clique;
+pub mod coloring;
+pub mod generators;
+pub mod graph;
+pub mod independent;
+pub mod io;
+pub mod metrics;
+pub mod strategy;
+
+pub use clique::{greedy_clique_cover, CliqueCover};
+pub use graph::{GraphError, RelationGraph};
+pub use metrics::{metrics, GraphMetrics};
+pub use strategy::StrategyRelationGraph;
+
+/// Identifier of an arm (a vertex of the relation graph).
+///
+/// Arms are always indexed densely as `0..K`.
+pub type ArmId = usize;

@@ -1,0 +1,142 @@
+//! Export helpers: CSV serialisation and fixed-width console tables.
+//!
+//! The experiment binaries print both a human-readable table (for the terminal)
+//! and CSV (for regenerating the paper's figures with any plotting tool).
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Serialises named, equally long columns as CSV with a header row.
+///
+/// Shorter columns are padded with empty cells so ragged data never silently
+/// truncates longer columns.
+pub fn columns_to_csv(columns: &[(&str, &[f64])]) -> String {
+    let mut out = String::new();
+    let header: Vec<&str> = columns.iter().map(|(name, _)| *name).collect();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    let rows = columns.iter().map(|(_, col)| col.len()).max().unwrap_or(0);
+    for row in 0..rows {
+        let cells: Vec<String> = columns
+            .iter()
+            .map(|(_, col)| {
+                col.get(row)
+                    .map(|v| format!("{v}"))
+                    .unwrap_or_default()
+            })
+            .collect();
+        out.push_str(&cells.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes [`columns_to_csv`] output to a file, creating parent directories.
+///
+/// # Errors
+///
+/// Propagates any I/O error from creating directories or writing the file.
+pub fn write_csv(path: &Path, columns: &[(&str, &[f64])]) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    fs::write(path, columns_to_csv(columns))
+}
+
+/// Formats rows as a fixed-width text table with a header.
+///
+/// Every row is padded/truncated to the number of header cells.
+pub fn format_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for c in 0..cols {
+            if let Some(cell) = row.get(c) {
+                widths[c] = widths[c].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let write_row = |out: &mut String, cells: &[String]| {
+        let mut parts = Vec::with_capacity(cols);
+        for c in 0..cols {
+            let cell = cells.get(c).cloned().unwrap_or_default();
+            parts.push(format!("{:width$}", cell, width = widths[c]));
+        }
+        let _ = writeln!(out, "| {} |", parts.join(" | "));
+    };
+    write_row(
+        &mut out,
+        &headers.iter().map(|h| h.to_string()).collect::<Vec<_>>(),
+    );
+    let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    let _ = writeln!(out, "|-{}-|", sep.join("-|-"));
+    for row in rows {
+        write_row(&mut out, row);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = columns_to_csv(&[("t", &[1.0, 2.0]), ("regret", &[0.5, 0.25])]);
+        let lines: Vec<&str> = csv.trim().lines().collect();
+        assert_eq!(lines[0], "t,regret");
+        assert_eq!(lines[1], "1,0.5");
+        assert_eq!(lines[2], "2,0.25");
+    }
+
+    #[test]
+    fn csv_pads_ragged_columns() {
+        let csv = columns_to_csv(&[("a", &[1.0]), ("b", &[2.0, 3.0])]);
+        let lines: Vec<&str> = csv.trim().lines().collect();
+        assert_eq!(lines[2], ",3");
+    }
+
+    #[test]
+    fn csv_of_empty_columns_is_just_a_header() {
+        let csv = columns_to_csv(&[("a", &[]), ("b", &[])]);
+        assert_eq!(csv.trim(), "a,b");
+        let empty = columns_to_csv(&[]);
+        assert_eq!(empty.trim(), "");
+    }
+
+    #[test]
+    fn write_csv_creates_directories_and_roundtrips() {
+        let dir = std::env::temp_dir().join("netband_export_test");
+        let path = dir.join("nested").join("out.csv");
+        write_csv(&path, &[("x", &[1.0, 2.0])]).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.starts_with("x\n1\n2"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn table_is_aligned() {
+        let table = format_table(
+            &["policy", "regret"],
+            &[
+                vec!["MOSS".to_owned(), "1234.5".to_owned()],
+                vec!["DFL-SSO".to_owned(), "56.7".to_owned()],
+            ],
+        );
+        let lines: Vec<&str> = table.trim().lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("policy"));
+        assert!(lines[2].contains("MOSS"));
+        // All rows have the same width.
+        assert_eq!(lines[0].len(), lines[3].len());
+    }
+
+    #[test]
+    fn table_handles_missing_cells() {
+        let table = format_table(&["a", "b"], &[vec!["only-a".to_owned()]]);
+        assert!(table.contains("only-a"));
+    }
+}

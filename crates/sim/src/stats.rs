@@ -1,0 +1,156 @@
+//! Small statistics helpers used by the replication layer and the experiment
+//! reports.
+
+/// Arithmetic mean (0 for an empty slice).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Sample standard deviation (`n − 1` denominator; 0 for fewer than two points).
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let var = xs.iter().map(|&x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64;
+    var.sqrt()
+}
+
+/// Standard error of the mean.
+pub fn sem(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        std_dev(xs) / (xs.len() as f64).sqrt()
+    }
+}
+
+/// A symmetric 95% normal-approximation confidence interval `(lo, hi)` around
+/// the mean.
+pub fn confidence_interval95(xs: &[f64]) -> (f64, f64) {
+    let m = mean(xs);
+    let half = 1.96 * sem(xs);
+    (m - half, m + half)
+}
+
+/// Point-wise mean of several equally long series.
+///
+/// # Panics
+///
+/// Panics if the series have different lengths.
+pub fn mean_series(series: &[Vec<f64>]) -> Vec<f64> {
+    if series.is_empty() {
+        return Vec::new();
+    }
+    let len = series[0].len();
+    assert!(
+        series.iter().all(|s| s.len() == len),
+        "all series must have the same length"
+    );
+    (0..len)
+        .map(|i| series.iter().map(|s| s[i]).sum::<f64>() / series.len() as f64)
+        .collect()
+}
+
+/// Point-wise sample standard deviation of several equally long series.
+///
+/// # Panics
+///
+/// Panics if the series have different lengths.
+pub fn std_series(series: &[Vec<f64>]) -> Vec<f64> {
+    if series.is_empty() {
+        return Vec::new();
+    }
+    let len = series[0].len();
+    assert!(
+        series.iter().all(|s| s.len() == len),
+        "all series must have the same length"
+    );
+    (0..len)
+        .map(|i| {
+            let column: Vec<f64> = series.iter().map(|s| s[i]).collect();
+            std_dev(&column)
+        })
+        .collect()
+}
+
+/// Picks `points` approximately evenly spaced samples `(index, value)` from a
+/// series (always including the last point). Used to print long regret curves
+/// as compact tables.
+pub fn downsample(series: &[f64], points: usize) -> Vec<(usize, f64)> {
+    if series.is_empty() || points == 0 {
+        return Vec::new();
+    }
+    let points = points.min(series.len());
+    let mut out = Vec::with_capacity(points);
+    for p in 1..=points {
+        let idx = (p * series.len()) / points - 1;
+        out.push((idx, series[idx]));
+    }
+    out.dedup_by_key(|&mut (i, _)| i);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std_of_known_data() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        assert!((std_dev(&xs) - 2.138089935299395).abs() < 1e-12);
+        assert!(sem(&xs) > 0.0);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(std_dev(&[]), 0.0);
+        assert_eq!(std_dev(&[3.0]), 0.0);
+        assert_eq!(sem(&[]), 0.0);
+        let (lo, hi) = confidence_interval95(&[]);
+        assert_eq!((lo, hi), (0.0, 0.0));
+    }
+
+    #[test]
+    fn confidence_interval_brackets_the_mean() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let (lo, hi) = confidence_interval95(&xs);
+        assert!(lo < 3.0 && 3.0 < hi);
+    }
+
+    #[test]
+    fn mean_and_std_series_are_pointwise() {
+        let series = vec![vec![1.0, 2.0, 3.0], vec![3.0, 2.0, 1.0]];
+        assert_eq!(mean_series(&series), vec![2.0, 2.0, 2.0]);
+        let stds = std_series(&series);
+        assert!((stds[0] - std_dev(&[1.0, 3.0])).abs() < 1e-12);
+        assert!(stds[1].abs() < 1e-12);
+        assert!(mean_series(&[]).is_empty());
+        assert!(std_series(&[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "same length")]
+    fn mean_series_rejects_ragged_input() {
+        mean_series(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    fn downsample_includes_last_point_and_respects_count() {
+        let series: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let sampled = downsample(&series, 10);
+        assert_eq!(sampled.len(), 10);
+        assert_eq!(sampled.last(), Some(&(99, 99.0)));
+        assert!(downsample(&series, 0).is_empty());
+        assert!(downsample(&[], 5).is_empty());
+        // Requesting more points than available returns every point once.
+        let small = downsample(&[1.0, 2.0], 10);
+        assert_eq!(small, vec![(0, 1.0), (1, 2.0)]);
+    }
+}

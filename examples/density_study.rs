@@ -1,0 +1,55 @@
+//! How much is side observation worth? A density study.
+//!
+//! Theorem 1 bounds DFL-SSO's regret by `15.94·sqrt(nK) + 0.74·C·sqrt(n/K)`,
+//! where `C` is a clique cover of the (high-gap part of the) relation graph:
+//! denser graphs → more side observation → smaller `C` → faster learning. This
+//! example sweeps the edge probability of the relation graph and prints, for
+//! each density, the greedy clique-cover size, the measured regret of DFL-SSO
+//! and of MOSS on the same sample path, and the Theorem 1 bound.
+//!
+//! Run with: `cargo run --release --example density_study`
+
+use netband::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), netband::env::EnvError> {
+    let num_arms = 40;
+    let horizon = 3_000;
+    let densities = [0.0, 0.1, 0.25, 0.5, 0.75, 1.0];
+
+    println!(
+        "{:>8} {:>14} {:>14} {:>12} {:>14}",
+        "density", "clique cover", "DFL-SSO R_n", "MOSS R_n", "Thm 1 bound"
+    );
+    for (i, &p) in densities.iter().enumerate() {
+        let mut rng = StdRng::seed_from_u64(100 + i as u64);
+        let graph = generators::erdos_renyi(num_arms, p, &mut rng);
+        let arms = ArmSet::random_bernoulli(num_arms, &mut rng);
+        let bandit = NetworkedBandit::new(graph.clone(), arms)?;
+        let cover = greedy_clique_cover(&graph).len();
+
+        let mut dfl = DflSso::new(graph.clone());
+        let mut moss = Moss::new(num_arms);
+        let results = run_single_coupled(
+            &bandit,
+            &mut [&mut dfl, &mut moss],
+            SingleScenario::SideObservation,
+            horizon,
+            500 + i as u64,
+        );
+        println!(
+            "{:>8.2} {:>14} {:>14.1} {:>12.1} {:>14.0}",
+            p,
+            cover,
+            results[0].total_regret(),
+            results[1].total_regret(),
+            bounds::theorem1_dfl_sso(horizon, num_arms, cover)
+        );
+    }
+    println!(
+        "\nAs the relation graph densifies, the clique cover shrinks and DFL-SSO's regret\n\
+         falls towards zero, while MOSS (blind to side observations) stays flat."
+    );
+    Ok(())
+}

@@ -1,0 +1,82 @@
+//! # netband — networked stochastic multi-armed bandits with combinatorial strategies
+//!
+//! A from-scratch Rust reproduction of *Networked Stochastic Multi-Armed Bandits
+//! with Combinatorial Strategies* (Shaojie Tang & Yaqin Zhou, ICDCS 2017,
+//! arXiv:1503.06169).
+//!
+//! The paper studies a decision maker facing `K` arms whose correlation is
+//! captured by an undirected **relation graph**: pulling an arm also yields a
+//! *side bonus* (an observation, or an actual reward) for the arm's neighbours.
+//! Crossing the play mode (single arm / combinatorial strategy) with the bonus
+//! type (observation / reward) gives four scenarios, each solved by a
+//! distribution-free zero-regret policy: **DFL-SSO**, **DFL-CSO**, **DFL-SSR**
+//! and **DFL-CSR**.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`graph`] — relation graphs, generators, clique covers, strategy relation
+//!   graphs (`netband-graph`).
+//! * [`env`] — reward distributions, arm sets, the networked environment and
+//!   the combinatorial oracles (`netband-env`).
+//! * [`core`] — the four DFL policies, the policy traits, and the Theorem 1–4
+//!   bounds (`netband-core`).
+//! * [`baselines`] — MOSS, UCB1, UCB-Tuned, ε-greedy, Thompson sampling, EXP3,
+//!   CUCB, LLR and friends (`netband-baselines`).
+//! * [`sim`] — the simulation engine: runners, regret traces, replication,
+//!   statistics and export (`netband-sim`).
+//! * [`experiments`] — the harness that regenerates every figure of the paper's
+//!   evaluation section (`netband-experiments`).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use netband::prelude::*;
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! // 1. A relation graph over 20 arms (an online social network, say) and
+//! //    Bernoulli arms with unknown means.
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let graph = netband::graph::generators::erdos_renyi(20, 0.3, &mut rng);
+//! let arms = ArmSet::random_bernoulli(20, &mut rng);
+//! let bandit = NetworkedBandit::new(graph.clone(), arms)?;
+//!
+//! // 2. The paper's Algorithm 1: single play with side observation.
+//! let mut policy = DflSso::new(graph);
+//!
+//! // 3. Run it and measure regret with the simulation engine.
+//! let result = run_single(&bandit, &mut policy, SingleScenario::SideObservation, 2_000, 42);
+//! assert!(result.average_regret() < 0.5);
+//! # Ok::<(), netband::env::EnvError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use netband_baselines as baselines;
+pub use netband_core as core;
+pub use netband_env as env;
+pub use netband_experiments as experiments;
+pub use netband_graph as graph;
+pub use netband_sim as sim;
+
+/// One-stop import for examples and downstream applications.
+pub mod prelude {
+    pub use netband_baselines::{
+        Cucb, EpsilonGreedy, Exp3, KlUcb, Llr, Moss, Softmax, ThompsonBernoulli, Ucb1,
+    };
+    pub use netband_core::prelude::*;
+    pub use netband_env::{
+        ArmSet, CombinatorialFeedback, FeasibleSet, NetworkedBandit, SinglePlayFeedback,
+        StrategyFamily,
+    };
+    pub use netband_env::workloads::Workload;
+    pub use netband_graph::{
+        generators, greedy_clique_cover, metrics, GraphMetrics, RelationGraph,
+        StrategyRelationGraph,
+    };
+    pub use netband_sim::{
+        replicate, run_combinatorial, run_single, run_single_coupled, AveragedRun,
+        CombinatorialScenario, ReplicationConfig, RunResult, SingleScenario,
+    };
+}

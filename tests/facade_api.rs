@@ -1,0 +1,71 @@
+//! Smoke tests of the facade crate: everything a downstream user needs is
+//! reachable through `netband::...` and the prelude.
+
+use netband::prelude::*;
+
+#[test]
+fn prelude_exports_cover_the_main_types() {
+    // Graph substrate.
+    let graph = RelationGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+    assert_eq!(greedy_clique_cover(&graph).len(), 2);
+
+    // Environment.
+    let arms = ArmSet::linear_bernoulli(4);
+    let bandit = NetworkedBandit::new(graph.clone(), arms).unwrap();
+    assert_eq!(bandit.num_arms(), 4);
+
+    // Policies (paper + baselines).
+    let _sso = DflSso::new(graph.clone());
+    let _ssr = DflSsr::new(graph.clone());
+    let _csr = DflCsr::new(graph.clone(), StrategyFamily::at_most_m(4, 2));
+    let _moss = Moss::new(4);
+    let _ucb = Ucb1::new(4);
+    let _thompson = ThompsonBernoulli::new(4, 0);
+    let _eps = EpsilonGreedy::decaying(4, 5.0, 0);
+    let _exp3 = Exp3::new(4, 0.1, 0);
+    let _cucb = Cucb::new(graph.clone(), StrategyFamily::at_most_m(4, 2));
+    let _llr = Llr::new(graph, StrategyFamily::at_most_m(4, 2));
+
+    // Bounds.
+    assert!(bounds::theorem1_dfl_sso(1_000, 4, 2) > 0.0);
+}
+
+#[test]
+fn fully_qualified_paths_work_too() {
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(1);
+    let graph = netband::graph::generators::star(6);
+    let arms = netband::env::ArmSet::random_bernoulli(6, &mut rng);
+    let bandit = netband::env::NetworkedBandit::new(graph.clone(), arms).unwrap();
+    let mut policy = netband::core::DflSso::new(graph);
+    let result = netband::sim::run_single(
+        &bandit,
+        &mut policy,
+        netband::sim::SingleScenario::SideObservation,
+        200,
+        2,
+    );
+    assert_eq!(result.horizon, 200);
+}
+
+#[test]
+fn experiment_modules_are_reachable_and_runnable_at_tiny_scale() {
+    let cfg = netband::experiments::fig3::Fig3Config {
+        num_arms: 8,
+        edge_prob: 0.5,
+        scale: netband::experiments::Scale {
+            horizon: 60,
+            replications: 2,
+        },
+        base_seed: 1,
+    };
+    let result = netband::experiments::fig3::run(&cfg);
+    assert_eq!(result.dfl_sso.horizon, 60);
+
+    let rows = netband::experiments::bounds_exp::run(&netband::experiments::bounds_exp::BoundsConfig {
+        horizons: vec![100],
+        arm_counts: vec![8],
+        edge_probs: vec![0.3],
+        seed: 1,
+    });
+    assert_eq!(rows.len(), 1);
+}

@@ -1,0 +1,192 @@
+//! Failure-injection and degenerate-configuration tests: the library must
+//! behave predictably on empty graphs, single arms, point-mass rewards, huge
+//! strategies, invalid pulls, and other corners a downstream user will
+//! eventually hit.
+
+use netband::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn mismatched_graph_and_arms_are_rejected() {
+    let graph = generators::path(4);
+    let arms = ArmSet::bernoulli(&[0.5; 3]);
+    let err = NetworkedBandit::new(graph, arms).unwrap_err();
+    assert!(err.to_string().contains("4 vertices"));
+}
+
+#[test]
+fn out_of_range_pulls_are_rejected_not_panicking() {
+    let graph = generators::path(3);
+    let bandit = NetworkedBandit::new(graph, ArmSet::linear_bernoulli(3)).unwrap();
+    let mut rng = StdRng::seed_from_u64(0);
+    assert!(bandit.try_pull_single(3, &mut rng).is_err());
+    assert!(bandit.pull_strategy(&[0, 5], &mut rng).is_err());
+    assert!(bandit.pull_strategy(&[], &mut rng).is_err());
+}
+
+#[test]
+fn point_mass_rewards_give_exactly_zero_regret_once_converged() {
+    // Deterministic rewards: after the forced exploration, DFL-SSO must lock
+    // onto the best arm and accumulate no further regret.
+    let graph = generators::complete(5);
+    let arms: ArmSet = [0.1, 0.3, 0.5, 0.7, 0.9]
+        .into_iter()
+        .map(netband::env::distributions::Distribution::point_mass)
+        .collect();
+    let bandit = NetworkedBandit::new(graph.clone(), arms).unwrap();
+    let mut policy = DflSso::new(graph);
+    let result = run_single(&bandit, &mut policy, SingleScenario::SideObservation, 200, 1);
+    // On a complete graph one pull observes everything, so at most the first
+    // pull can be suboptimal.
+    assert!(result.trace.total_pseudo() <= 0.8 + 1e-9);
+    let tail: f64 = result.trace.pseudo()[1..].iter().sum();
+    assert!(tail.abs() < 1e-9, "tail pseudo-regret {tail}");
+}
+
+#[test]
+fn identical_arms_mean_every_policy_has_zero_pseudo_regret() {
+    let graph = generators::erdos_renyi(10, 0.5, &mut StdRng::seed_from_u64(3));
+    let arms = ArmSet::bernoulli(&[0.4; 10]);
+    let bandit = NetworkedBandit::new(graph.clone(), arms).unwrap();
+    let mut policy = DflSso::new(graph);
+    let result = run_single(&bandit, &mut policy, SingleScenario::SideObservation, 300, 4);
+    assert!(result.trace.total_pseudo().abs() < 1e-9);
+}
+
+#[test]
+fn strategy_family_with_m_larger_than_k_still_works() {
+    let graph = generators::edgeless(3);
+    let family = StrategyFamily::at_most_m(3, 10);
+    let bandit = NetworkedBandit::new(graph.clone(), ArmSet::linear_bernoulli(3)).unwrap();
+    let mut policy = DflCsr::new(graph.clone(), family.clone());
+    let result = run_combinatorial(
+        &bandit,
+        &family,
+        &mut policy,
+        CombinatorialScenario::SideReward,
+        200,
+        5,
+    )
+    .unwrap();
+    // The best strategy is all three arms; the policy should find it quickly.
+    assert!(result.average_regret() < 0.5);
+}
+
+#[test]
+fn exactly_m_with_infeasible_m_yields_an_empty_family() {
+    let graph = generators::edgeless(3);
+    let family = StrategyFamily::exactly_m(3, 7);
+    assert_eq!(family.enumerate(&graph).unwrap().len(), 0);
+    assert!(family.argmax_by_arm_weights(&[1.0, 1.0, 1.0], &graph).is_none());
+}
+
+#[test]
+fn single_arm_combinatorial_instance() {
+    let graph = generators::edgeless(1);
+    let family = StrategyFamily::at_most_m(1, 1);
+    let bandit = NetworkedBandit::new(graph.clone(), ArmSet::bernoulli(&[0.6])).unwrap();
+    let mut policy = DflCsr::new(graph, family.clone());
+    let result = run_combinatorial(
+        &bandit,
+        &family,
+        &mut policy,
+        CombinatorialScenario::SideReward,
+        100,
+        6,
+    )
+    .unwrap();
+    assert!(result.trace.total_pseudo().abs() < 1e-9);
+}
+
+#[test]
+fn disconnected_graphs_are_handled_by_all_policies() {
+    let graph = generators::disjoint_cliques(3, 4);
+    let arms = ArmSet::linear_bernoulli(12);
+    let bandit = NetworkedBandit::new(graph.clone(), arms).unwrap();
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut sso = DflSso::new(graph.clone());
+    let mut ssr = DflSsr::new(graph.clone());
+    for t in 1..=100 {
+        for policy in [&mut sso as &mut dyn SinglePlayPolicy, &mut ssr] {
+            let arm = policy.select_arm(t);
+            assert!(arm < 12);
+            let fb = bandit.pull_single(arm, &mut rng);
+            policy.update(t, &fb);
+        }
+    }
+}
+
+#[test]
+fn workload_presets_run_end_to_end() {
+    let mut rng = StdRng::seed_from_u64(8);
+    let promo = netband::env::workloads::social_promotion(30, 3, &mut rng);
+    let mut policy = DflSsr::new(promo.bandit.graph().clone());
+    let result = run_single(&promo.bandit, &mut policy, SingleScenario::SideReward, 500, 9);
+    assert_eq!(result.trace.len(), 500);
+
+    let ads = netband::env::workloads::online_advertising(20, 2, &mut rng);
+    let family = ads.family().clone();
+    let mut policy = DflCsr::new(ads.bandit.graph().clone(), family.clone());
+    let result = run_combinatorial(
+        &ads.bandit,
+        &family,
+        &mut policy,
+        CombinatorialScenario::SideReward,
+        500,
+        10,
+    )
+    .unwrap();
+    assert!(result.total_reward > 0.0);
+
+    let radio = netband::env::workloads::channel_access(12, 2, 0.3, &mut rng);
+    let family = radio.family().clone();
+    let strategies = family.enumerate(radio.bandit.graph()).unwrap();
+    let mut policy = DflCso::from_strategies(radio.bandit.graph(), strategies);
+    let result = run_combinatorial(
+        &radio.bandit,
+        &family,
+        &mut policy,
+        CombinatorialScenario::SideObservation,
+        500,
+        11,
+    )
+    .unwrap();
+    assert!(result.trace.pseudo().iter().all(|&r| r >= -1e-9));
+}
+
+#[test]
+fn extreme_graph_shapes_do_not_break_the_heuristic_policies() {
+    for graph in [
+        generators::star(10),
+        generators::complete(10),
+        generators::edgeless(10),
+        generators::cycle(10),
+    ] {
+        let arms = ArmSet::linear_bernoulli(10);
+        let bandit = NetworkedBandit::new(graph.clone(), arms).unwrap();
+        let mut gn = DflSsoGreedyNeighbor::new(graph);
+        let result = run_single(&bandit, &mut gn, SingleScenario::SideObservation, 300, 12);
+        assert_eq!(result.trace.len(), 300);
+        assert!(result.average_regret() < 1.0);
+    }
+}
+
+#[test]
+fn exp3_and_softmax_survive_very_long_runs_without_overflow() {
+    let graph = generators::edgeless(3);
+    let bandit = NetworkedBandit::new(graph, ArmSet::bernoulli(&[0.0, 0.5, 1.0])).unwrap();
+    let mut exp3 = Exp3::new(3, 0.9, 1);
+    let mut softmax = netband::baselines::Softmax::new(3, 0.01, 1);
+    let mut rng = StdRng::seed_from_u64(13);
+    for t in 1..=20_000 {
+        for policy in [&mut exp3 as &mut dyn SinglePlayPolicy, &mut softmax] {
+            let arm = policy.select_arm(t);
+            let fb = bandit.pull_single(arm, &mut rng);
+            policy.update(t, &fb);
+        }
+    }
+    // If weights overflowed, selections would become NaN-driven and constant 0.
+    let arm = exp3.select_arm(20_001);
+    assert!(arm < 3);
+}

@@ -1,0 +1,91 @@
+//! Integration tests of the graph-analysis machinery that supports the
+//! Theorem 1 / Theorem 2 constants: clique covers versus colourings versus the
+//! exact optimum, and the structural metrics used to characterise experiment
+//! instances.
+
+use netband::graph::coloring::{
+    dsatur_clique_cover, exact_minimum_clique_cover_size, is_proper_coloring, dsatur_coloring,
+    num_colors,
+};
+use netband::graph::metrics::{clustering_coefficient, degree_histogram, metrics};
+use netband::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn cover_hierarchy_exact_le_dsatur_and_greedy() {
+    let mut rng = StdRng::seed_from_u64(1);
+    for &p in &[0.2, 0.5, 0.8] {
+        let g = generators::erdos_renyi(12, p, &mut rng);
+        let exact = exact_minimum_clique_cover_size(&g);
+        let dsatur = dsatur_clique_cover(&g);
+        let greedy = greedy_clique_cover(&g);
+        assert!(dsatur.is_valid_for(&g));
+        assert!(greedy.is_valid_for(&g));
+        assert!(exact <= dsatur.len(), "p={p}");
+        assert!(exact <= greedy.len(), "p={p}");
+        // The Theorem 1 bound evaluated with a smaller cover is tighter.
+        let n = 10_000;
+        assert!(
+            bounds::theorem1_dfl_sso(n, 12, exact) <= bounds::theorem1_dfl_sso(n, 12, greedy.len())
+        );
+    }
+}
+
+#[test]
+fn metrics_summarise_the_paper_workload_sensibly() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let g = generators::erdos_renyi(100, 0.3, &mut rng);
+    let m = metrics(&g);
+    assert_eq!(m.num_vertices, 100);
+    assert!((m.density - 0.3).abs() < 0.05);
+    // ER(100, 0.3) is connected with overwhelming probability.
+    assert_eq!(m.num_components, 1);
+    assert!(m.diameter <= 4);
+    // Transitivity of an ER graph is close to p.
+    assert!((m.clustering_coefficient - 0.3).abs() < 0.08);
+    assert_eq!(degree_histogram(&g).iter().sum::<usize>(), 100);
+}
+
+#[test]
+fn side_observation_strength_correlates_with_metrics() {
+    // Denser graphs: larger mean degree, smaller cover, lower DFL-SSO regret.
+    let mut rng = StdRng::seed_from_u64(3);
+    let sparse = generators::erdos_renyi(40, 0.1, &mut rng);
+    let dense = generators::erdos_renyi(40, 0.7, &mut rng);
+    assert!(metrics(&dense).mean_degree > metrics(&sparse).mean_degree);
+    assert!(greedy_clique_cover(&dense).len() < greedy_clique_cover(&sparse).len());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn dsatur_colourings_are_proper_on_random_graphs(seed in 0u64..10_000, p in 0.0f64..1.0) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::erdos_renyi(14, p, &mut rng);
+        let colors = dsatur_coloring(&g);
+        prop_assert!(is_proper_coloring(&g, &colors));
+        prop_assert!(num_colors(&colors) <= g.max_degree() + 1);
+    }
+
+    #[test]
+    fn clustering_coefficient_is_in_unit_interval(seed in 0u64..10_000, p in 0.0f64..1.0) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::erdos_renyi(12, p, &mut rng);
+        let c = clustering_coefficient(&g);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&c));
+    }
+
+    #[test]
+    fn metrics_agree_with_direct_graph_queries(seed in 0u64..10_000, p in 0.0f64..1.0) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::erdos_renyi(10, p, &mut rng);
+        let m = metrics(&g);
+        prop_assert_eq!(m.num_edges, g.num_edges());
+        prop_assert_eq!(m.max_degree, g.max_degree());
+        prop_assert_eq!(m.num_components, g.connected_components().len());
+        prop_assert!(m.degeneracy <= m.max_degree);
+    }
+}

@@ -1,0 +1,193 @@
+//! Cross-crate property-based tests (proptest) on the invariants the paper's
+//! analysis relies on: clique covers, strategy relation graphs, oracle
+//! optimality, index monotonicity, feasibility of policy decisions, and regret
+//! accounting.
+
+use netband::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy that produces a random relation graph as (num_vertices, edge list).
+fn arb_graph(max_vertices: usize) -> impl Strategy<Value = RelationGraph> {
+    (2usize..=max_vertices).prop_flat_map(|n| {
+        proptest::collection::vec((0..n, 0..n), 0..(n * 2)).prop_map(move |pairs| {
+            let edges: Vec<(usize, usize)> =
+                pairs.into_iter().filter(|&(u, v)| u != v).collect();
+            RelationGraph::from_edges(n, &edges)
+        })
+    })
+}
+
+fn arb_weights(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.0f64..1.0, len..=len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn greedy_clique_cover_is_always_valid(graph in arb_graph(16)) {
+        let cover = greedy_clique_cover(&graph);
+        prop_assert!(cover.is_valid_for(&graph));
+        prop_assert!(cover.len() <= graph.num_vertices());
+        // A cover can never use fewer cliques than K / (max clique size found).
+        let max_size = cover.max_clique_size().max(1);
+        prop_assert!(cover.len() * max_size >= graph.num_vertices());
+    }
+
+    #[test]
+    fn closed_neighborhoods_are_sorted_and_contain_self(graph in arb_graph(16)) {
+        for v in graph.vertices() {
+            let n = graph.closed_neighborhood(v);
+            prop_assert!(n.contains(&v));
+            prop_assert!(n.windows(2).all(|w| w[0] < w[1]));
+            prop_assert_eq!(n.len(), graph.degree(v) + 1);
+        }
+    }
+
+    #[test]
+    fn strategy_relation_graph_is_symmetric_and_consistent(graph in arb_graph(10)) {
+        let family = StrategyFamily::independent_sets(2);
+        let strategies = family.enumerate(&graph).unwrap();
+        let sg = StrategyRelationGraph::build(&graph, strategies);
+        for x in 0..sg.num_strategies() {
+            // Y_x contains the component arms.
+            for arm in sg.strategy(x) {
+                prop_assert!(sg.observation_set(x).contains(arm));
+            }
+            for &y in sg.neighbors(x) {
+                // Neighbourhood in SG means mutual observability.
+                prop_assert!(sg.strategy(x).iter().all(|a| sg.observation_set(y).contains(a)));
+                prop_assert!(sg.strategy(y).iter().all(|a| sg.observation_set(x).contains(a)));
+                // Symmetry.
+                prop_assert!(sg.neighbors(y).contains(&x));
+            }
+        }
+    }
+
+    #[test]
+    fn oracles_match_brute_force_on_small_instances(
+        graph in arb_graph(8),
+        weights in arb_weights(8),
+    ) {
+        let k = graph.num_vertices();
+        let weights = &weights[..k];
+        for family in [
+            StrategyFamily::at_most_m(k, 2),
+            StrategyFamily::exactly_m(k, 2.min(k)),
+            StrategyFamily::independent_sets(2),
+        ] {
+            let Some(all) = family.enumerate(&graph) else { continue };
+            if all.is_empty() { continue; }
+            // Direct-weight oracle.
+            let fast = family.argmax_by_arm_weights(weights, &graph).unwrap();
+            let direct = |s: &[usize]| s.iter().map(|&i| weights[i]).sum::<f64>();
+            let best_direct = all.iter().map(|s| direct(s)).fold(f64::MIN, f64::max);
+            prop_assert!((direct(&fast) - best_direct).abs() < 1e-9);
+            // Neighbourhood-weight oracle.
+            let fast_cov = family.argmax_by_neighborhood_weights(weights, &graph).unwrap();
+            let coverage = |s: &[usize]| graph
+                .closed_neighborhood_of_set(s)
+                .iter()
+                .map(|&i| weights[i])
+                .sum::<f64>();
+            let best_cov = all.iter().map(|s| coverage(s)).fold(f64::MIN, f64::max);
+            prop_assert!((coverage(&fast_cov) - best_cov).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn running_mean_equals_batch_mean(values in proptest::collection::vec(0.0f64..1.0, 1..200)) {
+        let mut rm = RunningMean::new();
+        for &v in &values {
+            rm.update(v);
+        }
+        let batch = values.iter().sum::<f64>() / values.len() as f64;
+        prop_assert!((rm.mean() - batch).abs() < 1e-9);
+        prop_assert_eq!(rm.count(), values.len() as u64);
+    }
+
+    #[test]
+    fn moss_index_is_monotone_in_mean_and_antitone_in_count(
+        mean_a in 0.0f64..1.0,
+        mean_b in 0.0f64..1.0,
+        count in 1u64..1000,
+        t in 1usize..100_000,
+    ) {
+        let k = 10;
+        // Monotone in the empirical mean.
+        let lo = moss_index(mean_a.min(mean_b), count, t, k);
+        let hi = moss_index(mean_a.max(mean_b), count, t, k);
+        prop_assert!(hi >= lo);
+        // Non-increasing in the observation count (same mean).
+        let few = moss_index(mean_a, count, t, k);
+        let more = moss_index(mean_a, count + 10, t, k);
+        prop_assert!(more <= few + 1e-12);
+    }
+
+    #[test]
+    fn dfl_policies_only_propose_feasible_strategies(
+        seed in 0u64..1000,
+        edge_prob in 0.0f64..1.0,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let graph = generators::erdos_renyi(8, edge_prob, &mut rng);
+        let arms = ArmSet::random_bernoulli(8, &mut rng);
+        let bandit = NetworkedBandit::new(graph.clone(), arms).unwrap();
+        let family = StrategyFamily::independent_sets(2);
+        let mut policy = DflCsr::new(graph.clone(), family.clone());
+        for t in 1..=30 {
+            let s = policy.select_strategy(t);
+            prop_assert!(family.contains(&s, &graph), "infeasible {:?}", s);
+            let fb = bandit.pull_strategy(&s, &mut rng).unwrap();
+            policy.update(t, &fb);
+        }
+    }
+
+    #[test]
+    fn regret_trace_invariants(
+        seed in 0u64..500,
+        horizon in 1usize..400,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let graph = generators::erdos_renyi(6, 0.4, &mut rng);
+        let arms = ArmSet::random_bernoulli(6, &mut rng);
+        let bandit = NetworkedBandit::new(graph.clone(), arms).unwrap();
+        let mut policy = DflSso::new(graph);
+        let result = run_single(&bandit, &mut policy, SingleScenario::SideObservation, horizon, seed);
+        // Pseudo-regret per round is within [0, 1] for direct rewards in [0, 1].
+        prop_assert!(result.trace.pseudo().iter().all(|&r| (-1e-9..=1.0 + 1e-9).contains(&r)));
+        // Realised regret per round is within [-1, 1].
+        prop_assert!(result.trace.realised().iter().all(|&r| (-1.0 - 1e-9..=1.0 + 1e-9).contains(&r)));
+        // Cumulative regret is consistent with the per-round records.
+        let cum = result.trace.cumulative();
+        prop_assert!((cum.last().copied().unwrap_or(0.0) - result.total_regret()).abs() < 1e-9);
+        // Reward + regret = horizon × optimal.
+        let total = result.total_reward + result.total_regret();
+        prop_assert!((total - result.optimal_mean * horizon as f64).abs() < 1e-6);
+    }
+
+    #[test]
+    fn environment_feedback_is_consistent(
+        seed in 0u64..500,
+        edge_prob in 0.0f64..1.0,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let graph = generators::erdos_renyi(7, edge_prob, &mut rng);
+        let arms = ArmSet::random_bernoulli(7, &mut rng);
+        let bandit = NetworkedBandit::new(graph.clone(), arms).unwrap();
+        let samples = bandit.sample_rewards(&mut rng);
+        for arm in 0..7 {
+            let fb = bandit.feedback_single_from_samples(arm, &samples);
+            // Direct reward is the pulled arm's sample.
+            prop_assert_eq!(fb.direct_reward, samples[arm]);
+            // Observations are exactly the closed neighbourhood.
+            let observed: Vec<usize> = fb.observations.iter().map(|&(a, _)| a).collect();
+            prop_assert_eq!(observed, graph.closed_neighborhood(arm));
+            // Side reward is the sum of the observed samples.
+            let sum: f64 = fb.observations.iter().map(|&(_, x)| x).sum();
+            prop_assert!((fb.side_reward - sum).abs() < 1e-12);
+        }
+    }
+}
