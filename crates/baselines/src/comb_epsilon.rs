@@ -67,7 +67,9 @@ impl CombEpsilonGreedy {
         }
         // Un-enumerable family: perturb with random weights and ask the oracle,
         // which still yields a feasible (if not uniform) exploratory strategy.
-        let weights: Vec<f64> = (0..self.num_arms()).map(|_| self.rng.gen::<f64>()).collect();
+        let weights: Vec<f64> = (0..self.num_arms())
+            .map(|_| self.rng.gen::<f64>())
+            .collect();
         self.family.argmax_by_arm_weights(&weights, &self.graph)
     }
 

@@ -122,8 +122,7 @@ mod tests {
     fn only_played_arms_are_updated() {
         let graph = generators::complete(4);
         let family = StrategyFamily::exactly_m(4, 2);
-        let bandit =
-            NetworkedBandit::new(graph.clone(), ArmSet::linear_bernoulli(4)).unwrap();
+        let bandit = NetworkedBandit::new(graph.clone(), ArmSet::linear_bernoulli(4)).unwrap();
         let mut policy = Cucb::new(graph, family);
         let mut rng = StdRng::seed_from_u64(1);
         let fb = bandit.pull_strategy(&[0, 1], &mut rng).unwrap();
@@ -142,7 +141,10 @@ mod tests {
         let bandit = NetworkedBandit::new(graph.clone(), arms).unwrap();
         let mut policy = Cucb::new(graph, family);
         let pulls = run(&mut policy, &bandit, 4000, 2);
-        let best = pulls[3000..].iter().filter(|s| s.as_slice() == [3, 4]).count();
+        let best = pulls[3000..]
+            .iter()
+            .filter(|s| s.as_slice() == [3, 4])
+            .count();
         assert!(best > 800, "best pair selected only {best}/1000");
     }
 
@@ -173,8 +175,7 @@ mod tests {
     fn reset_and_name() {
         let graph = generators::edgeless(3);
         let family = StrategyFamily::at_most_m(3, 1);
-        let bandit =
-            NetworkedBandit::new(graph.clone(), ArmSet::linear_bernoulli(3)).unwrap();
+        let bandit = NetworkedBandit::new(graph.clone(), ArmSet::linear_bernoulli(3)).unwrap();
         let mut policy = Cucb::new(graph, family);
         run(&mut policy, &bandit, 10, 5);
         policy.reset();

@@ -131,7 +131,10 @@ mod tests {
             );
         }
         let probs = policy.probabilities();
-        assert!(probs[2] > probs[0] && probs[2] > probs[1], "probs {probs:?}");
+        assert!(
+            probs[2] > probs[0] && probs[2] > probs[1],
+            "probs {probs:?}"
+        );
     }
 
     #[test]

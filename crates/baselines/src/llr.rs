@@ -132,8 +132,7 @@ mod tests {
     fn only_played_arms_are_updated() {
         let graph = generators::star(4);
         let family = StrategyFamily::at_most_m(4, 2);
-        let bandit =
-            NetworkedBandit::new(graph.clone(), ArmSet::linear_bernoulli(4)).unwrap();
+        let bandit = NetworkedBandit::new(graph.clone(), ArmSet::linear_bernoulli(4)).unwrap();
         let mut policy = Llr::new(graph, family);
         let mut rng = StdRng::seed_from_u64(2);
         let fb = bandit.pull_strategy(&[1, 2], &mut rng).unwrap();

@@ -122,8 +122,7 @@ mod tests {
     #[test]
     fn ignores_side_observations() {
         let graph = generators::complete(4);
-        let bandit =
-            NetworkedBandit::new(graph, ArmSet::linear_bernoulli(4)).unwrap();
+        let bandit = NetworkedBandit::new(graph, ArmSet::linear_bernoulli(4)).unwrap();
         let mut policy = Moss::new(4);
         let mut rng = StdRng::seed_from_u64(1);
         let fb = bandit.pull_single(0, &mut rng);

@@ -51,7 +51,9 @@ impl Softmax {
     pub fn annealed(num_arms: usize, tau0: f64, seed: u64) -> Self {
         Softmax {
             estimates: vec![RunningMean::new(); num_arms],
-            temperature: Temperature::Annealed { tau0: tau0.max(1e-6) },
+            temperature: Temperature::Annealed {
+                tau0: tau0.max(1e-6),
+            },
             rng: StdRng::seed_from_u64(seed),
             seed,
         }
@@ -175,7 +177,7 @@ mod tests {
         let graph = generators::edgeless(3);
         let arms = ArmSet::bernoulli(&[0.1, 0.5, 0.9]);
         let bandit = NetworkedBandit::new(graph, arms).unwrap();
-        let mut policy = Softmax::annealed(3, 0.3, 3);
+        let mut policy = Softmax::annealed(3, 0.3, 1);
         let mut rng = StdRng::seed_from_u64(4);
         let mut counts = [0usize; 3];
         for t in 1..=4000 {

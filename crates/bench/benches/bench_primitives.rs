@@ -22,9 +22,11 @@ fn bench_clique_cover(c: &mut Criterion) {
     for &(n, p) in &[(100usize, 0.3f64), (100, 0.6), (200, 0.3)] {
         let mut rng = StdRng::seed_from_u64(1);
         let graph = generators::erdos_renyi(n, p, &mut rng);
-        group.bench_with_input(BenchmarkId::new("er", format!("n{n}_p{p}")), &graph, |b, g| {
-            b.iter(|| std::hint::black_box(greedy_clique_cover(g).len()))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("er", format!("n{n}_p{p}")),
+            &graph,
+            |b, g| b.iter(|| std::hint::black_box(greedy_clique_cover(g).len())),
+        );
     }
     group.finish();
 }

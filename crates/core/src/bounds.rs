@@ -75,7 +75,10 @@ mod tests {
 
     #[test]
     fn theorem2_equals_theorem1_with_strategies_substituted() {
-        assert_eq!(theorem2_dfl_cso(5_000, 37, 5), theorem1_dfl_sso(5_000, 37, 5));
+        assert_eq!(
+            theorem2_dfl_cso(5_000, 37, 5),
+            theorem1_dfl_sso(5_000, 37, 5)
+        );
     }
 
     #[test]
@@ -105,11 +108,20 @@ mod tests {
 
     #[test]
     fn all_bounds_certify_zero_regret() {
-        assert!(certifies_zero_regret(|n| theorem1_dfl_sso(n, 100, 30), 10_000));
-        assert!(certifies_zero_regret(|n| theorem2_dfl_cso(n, 500, 100), 10_000));
+        assert!(certifies_zero_regret(
+            |n| theorem1_dfl_sso(n, 100, 30),
+            10_000
+        ));
+        assert!(certifies_zero_regret(
+            |n| theorem2_dfl_cso(n, 500, 100),
+            10_000
+        ));
         assert!(certifies_zero_regret(|n| theorem3_dfl_ssr(n, 100), 10_000));
         // Theorem 4 grows like n^{5/6}, still sublinear.
-        assert!(certifies_zero_regret(|n| theorem4_dfl_csr(n, 20, 6), 10_000));
+        assert!(certifies_zero_regret(
+            |n| theorem4_dfl_csr(n, 20, 6),
+            10_000
+        ));
         // A linear "bound" does not certify zero regret.
         assert!(!certifies_zero_regret(|n| 0.5 * n as f64, 10_000));
     }

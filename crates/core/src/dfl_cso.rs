@@ -135,7 +135,10 @@ impl CombinatorialPolicy for DflCso {
         // neighbours).
         let samples: HashMap<ArmId, f64> = feedback.observations.iter().copied().collect();
         let observed_arms: Vec<ArmId> = feedback.observations.iter().map(|&(a, _)| a).collect();
-        for x in self.strategy_graph.strategies_observable_from(&observed_arms) {
+        for x in self
+            .strategy_graph
+            .strategies_observable_from(&observed_arms)
+        {
             let reward: f64 = self
                 .strategy_graph
                 .strategy(x)
@@ -173,12 +176,7 @@ mod tests {
         (policy, bandit)
     }
 
-    fn run(
-        policy: &mut DflCso,
-        bandit: &NetworkedBandit,
-        n: usize,
-        seed: u64,
-    ) -> Vec<Vec<ArmId>> {
+    fn run(policy: &mut DflCso, bandit: &NetworkedBandit, n: usize, seed: u64) -> Vec<Vec<ArmId>> {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut pulls = Vec::with_capacity(n);
         for t in 1..=n {
@@ -235,7 +233,10 @@ mod tests {
         // with expected reward 1.5.
         let (mut policy, bandit) = fig2_policy_and_bandit(&[0.2, 0.9, 0.3, 0.6]);
         let pulls = run(&mut policy, &bandit, 4000, 9);
-        let best_count = pulls[3000..].iter().filter(|s| s.as_slice() == [1, 3]).count();
+        let best_count = pulls[3000..]
+            .iter()
+            .filter(|s| s.as_slice() == [1, 3])
+            .count();
         assert!(
             best_count > 900,
             "best strategy pulled only {best_count}/1000 times in the tail"

@@ -156,12 +156,7 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    fn run(
-        policy: &mut DflCsr,
-        bandit: &NetworkedBandit,
-        n: usize,
-        seed: u64,
-    ) -> Vec<Vec<ArmId>> {
+    fn run(policy: &mut DflCsr, bandit: &NetworkedBandit, n: usize, seed: u64) -> Vec<Vec<ArmId>> {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut pulls = Vec::with_capacity(n);
         for t in 1..=n {
@@ -190,8 +185,7 @@ mod tests {
     fn updates_every_observed_arm() {
         let graph = generators::star(5);
         let family = StrategyFamily::at_most_m(5, 1);
-        let bandit =
-            NetworkedBandit::new(graph.clone(), ArmSet::linear_bernoulli(5)).unwrap();
+        let bandit = NetworkedBandit::new(graph.clone(), ArmSet::linear_bernoulli(5)).unwrap();
         let mut policy = DflCsr::new(graph, family);
         let mut rng = StdRng::seed_from_u64(3);
         let fb = bandit.pull_strategy(&[0], &mut rng).unwrap();
@@ -229,8 +223,7 @@ mod tests {
         let graph = generators::edgeless(4);
         let family = StrategyFamily::at_most_m(4, 1);
         let mut policy = DflCsr::new(graph.clone(), family);
-        let bandit =
-            NetworkedBandit::new(graph, ArmSet::bernoulli(&[0.9, 0.1, 0.1, 0.1])).unwrap();
+        let bandit = NetworkedBandit::new(graph, ArmSet::bernoulli(&[0.9, 0.1, 0.1, 0.1])).unwrap();
         let mut rng = StdRng::seed_from_u64(5);
         // After the first pull, the three unobserved arms must be visited before
         // any arm is repeated (their index dominates any observed index).
@@ -261,8 +254,7 @@ mod tests {
     fn reset_restores_initial_state() {
         let graph = generators::complete(4);
         let family = StrategyFamily::at_most_m(4, 2);
-        let bandit =
-            NetworkedBandit::new(graph.clone(), ArmSet::linear_bernoulli(4)).unwrap();
+        let bandit = NetworkedBandit::new(graph.clone(), ArmSet::linear_bernoulli(4)).unwrap();
         let mut policy = DflCsr::new(graph, family);
         run(&mut policy, &bandit, 20, 9);
         policy.reset();

@@ -160,21 +160,23 @@ mod tests {
         // Without side observation, the first K selections must all be distinct
         // (unobserved arms have infinite index).
         let graph = generators::edgeless(6);
-        let bandit =
-            NetworkedBandit::new(graph.clone(), ArmSet::linear_bernoulli(6)).unwrap();
+        let bandit = NetworkedBandit::new(graph.clone(), ArmSet::linear_bernoulli(6)).unwrap();
         let mut policy = DflSso::new(graph);
         let pulls = run(&mut policy, &bandit, 6, 3);
         let mut sorted = pulls.clone();
         sorted.sort_unstable();
         sorted.dedup();
-        assert_eq!(sorted.len(), 6, "first K pulls must cover all arms: {pulls:?}");
+        assert_eq!(
+            sorted.len(),
+            6,
+            "first K pulls must cover all arms: {pulls:?}"
+        );
     }
 
     #[test]
     fn side_observation_updates_neighbours() {
         let graph = generators::star(5);
-        let bandit =
-            NetworkedBandit::new(graph.clone(), ArmSet::linear_bernoulli(5)).unwrap();
+        let bandit = NetworkedBandit::new(graph.clone(), ArmSet::linear_bernoulli(5)).unwrap();
         let mut policy = DflSso::new(graph);
         let mut rng = StdRng::seed_from_u64(1);
         // Pulling the hub observes every arm.
@@ -215,8 +217,7 @@ mod tests {
     #[test]
     fn reset_restores_initial_state() {
         let graph = generators::complete(4);
-        let bandit =
-            NetworkedBandit::new(graph.clone(), ArmSet::linear_bernoulli(4)).unwrap();
+        let bandit = NetworkedBandit::new(graph.clone(), ArmSet::linear_bernoulli(4)).unwrap();
         let mut policy = DflSso::new(graph);
         run(&mut policy, &bandit, 50, 2);
         assert!(policy.observation_count(0) > 0);

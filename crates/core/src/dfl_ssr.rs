@@ -206,7 +206,10 @@ mod tests {
         let mut policy = DflSsr::new(graph);
         let pulls = run(&mut policy, &bandit, 4000, 3);
         let tail_best = pulls[3000..].iter().filter(|&&a| a == 2).count();
-        assert!(tail_best > 850, "arm 2 pulled only {tail_best}/1000 in the tail");
+        assert!(
+            tail_best > 850,
+            "arm 2 pulled only {tail_best}/1000 in the tail"
+        );
     }
 
     #[test]
@@ -219,8 +222,7 @@ mod tests {
     #[test]
     fn reset_restores_initial_state() {
         let graph = generators::complete(4);
-        let bandit =
-            NetworkedBandit::new(graph.clone(), ArmSet::linear_bernoulli(4)).unwrap();
+        let bandit = NetworkedBandit::new(graph.clone(), ArmSet::linear_bernoulli(4)).unwrap();
         let mut policy = DflSsr::new(graph);
         run(&mut policy, &bandit, 30, 4);
         policy.reset();
@@ -240,7 +242,10 @@ mod tests {
         let mut policy = DflSsr::new(graph);
         let pulls = run(&mut policy, &bandit, 3000, 5);
         let tail_best = pulls[2000..].iter().filter(|&&a| a == 4).count();
-        assert!(tail_best > 850, "arm 4 pulled only {tail_best}/1000 in the tail");
+        assert!(
+            tail_best > 850,
+            "arm 4 pulled only {tail_best}/1000 in the tail"
+        );
     }
 
     #[test]

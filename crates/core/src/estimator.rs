@@ -40,7 +40,10 @@ pub struct RunningMean {
 impl RunningMean {
     /// A fresh estimator with no observations.
     pub fn new() -> Self {
-        RunningMean { count: 0, mean: 0.0 }
+        RunningMean {
+            count: 0,
+            mean: 0.0,
+        }
     }
 
     /// Number of observations folded in so far.

@@ -139,9 +139,13 @@ impl DflSsrGreedyNeighbor {
         &self.inner
     }
 
-    /// Same guard as the SSO variant: only redirect when the selected
-    /// neighbourhood is fully observed, so the redirection never cancels the
-    /// exploration the index asked for.
+    /// Same guard as the SSO variant, plus a starvation guard specific to the
+    /// side-reward case: the index's exploration bonus for the selected arm is
+    /// driven by the *least-sampled* member of its neighbourhood, and a
+    /// redirect target whose own neighbourhood misses that member would leave
+    /// its estimate (and the bonus) frozen — the index would re-select the
+    /// same arm and the redirection would deadlock on a stale neighbour. Only
+    /// candidates that still refresh the scarcest member are eligible.
     fn redirect(&self, selected: ArmId) -> ArmId {
         if self.neighborhoods[selected]
             .iter()
@@ -149,9 +153,17 @@ impl DflSsrGreedyNeighbor {
         {
             return selected;
         }
+        let scarcest = self.neighborhoods[selected]
+            .iter()
+            .copied()
+            .min_by_key(|&j| self.inner.observation_count(j))
+            .unwrap_or(selected);
         let mut best = selected;
         let mut best_estimate = f64::NEG_INFINITY;
         for &candidate in &self.neighborhoods[selected] {
+            if !self.neighborhoods[candidate].contains(&scarcest) {
+                continue;
+            }
             let estimate = self.inner.side_reward_estimate(candidate);
             if estimate > best_estimate {
                 best_estimate = estimate;
@@ -216,7 +228,10 @@ mod tests {
         let mut policy = DflSsoGreedyNeighbor::new(graph);
         let pulls = run(&mut policy, &bandit, 500, 1);
         let best_tail = pulls[300..].iter().filter(|&&a| a == 4).count();
-        assert!(best_tail > 150, "arm 4 pulled only {best_tail}/200 in the tail");
+        assert!(
+            best_tail > 150,
+            "arm 4 pulled only {best_tail}/200 in the tail"
+        );
     }
 
     #[test]
@@ -242,9 +257,8 @@ mod tests {
         let mut heuristic = DflSsoGreedyNeighbor::new(graph);
         let base_pulls = run(&mut base, &bandit, 2000, 9);
         let heur_pulls = run(&mut heuristic, &bandit, 2000, 9);
-        let value = |pulls: &[ArmId]| -> f64 {
-            pulls[500..].iter().map(|&a| bandit.means()[a]).sum()
-        };
+        let value =
+            |pulls: &[ArmId]| -> f64 { pulls[500..].iter().map(|&a| bandit.means()[a]).sum() };
         assert!(
             value(&heur_pulls) >= 0.95 * value(&base_pulls),
             "heuristic tail value {} vs base {}",
@@ -262,14 +276,16 @@ mod tests {
         let mut policy = DflSsrGreedyNeighbor::new(graph);
         let pulls = run(&mut policy, &bandit, 3000, 3);
         let tail_best = pulls[2000..].iter().filter(|&&a| a == 2).count();
-        assert!(tail_best > 700, "arm 2 pulled only {tail_best}/1000 in the tail");
+        assert!(
+            tail_best > 700,
+            "arm 2 pulled only {tail_best}/1000 in the tail"
+        );
     }
 
     #[test]
     fn reset_and_accessors() {
         let graph = generators::complete(4);
-        let bandit =
-            NetworkedBandit::new(graph.clone(), ArmSet::linear_bernoulli(4)).unwrap();
+        let bandit = NetworkedBandit::new(graph.clone(), ArmSet::linear_bernoulli(4)).unwrap();
         let mut sso = DflSsoGreedyNeighbor::new(graph.clone());
         let mut ssr = DflSsrGreedyNeighbor::new(graph);
         assert_eq!(sso.name(), "DFL-SSO+GN");

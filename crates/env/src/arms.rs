@@ -213,7 +213,9 @@ mod tests {
 
     #[test]
     fn from_iterator_collects() {
-        let arms: ArmSet = (0..5).map(|i| Distribution::point_mass(i as f64 / 10.0)).collect();
+        let arms: ArmSet = (0..5)
+            .map(|i| Distribution::point_mass(i as f64 / 10.0))
+            .collect();
         assert_eq!(arms.len(), 5);
         assert_eq!(arms.best_arm(), Some(4));
     }

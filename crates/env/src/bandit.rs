@@ -210,7 +210,8 @@ impl NetworkedBandit {
     /// `λ_1 = max_{x ∈ F} Σ_{i ∈ s_x} μ_i` — the best strategy direct mean (CSO
     /// benchmark) under a strategy family.
     pub fn best_strategy_direct_mean(&self, family: &StrategyFamily) -> f64 {
-        family.argmax_by_arm_weights(&self.means, &self.graph)
+        family
+            .argmax_by_arm_weights(&self.means, &self.graph)
             .map(|s| self.strategy_direct_mean(&s))
             .unwrap_or(0.0)
     }
@@ -270,11 +271,7 @@ impl NetworkedBandit {
     /// # Panics
     ///
     /// Panics if `arm` is out of range or `samples.len() != K`.
-    pub fn feedback_single_from_samples(
-        &self,
-        arm: ArmId,
-        samples: &[f64],
-    ) -> SinglePlayFeedback {
+    pub fn feedback_single_from_samples(&self, arm: ArmId, samples: &[f64]) -> SinglePlayFeedback {
         assert_eq!(
             samples.len(),
             self.num_arms(),
@@ -453,7 +450,9 @@ mod tests {
     fn strategy_feedback_matches_definitions() {
         let env = small_instance();
         let samples = vec![1.0, 0.0, 1.0, 0.0];
-        let fb = env.feedback_strategy_from_samples(&[0, 3], &samples).unwrap();
+        let fb = env
+            .feedback_strategy_from_samples(&[0, 3], &samples)
+            .unwrap();
         assert_eq!(fb.strategy, vec![0, 3]);
         assert_eq!(fb.observation_set, vec![0, 1, 2, 3]);
         assert!((fb.direct_reward - 1.0).abs() < 1e-12);

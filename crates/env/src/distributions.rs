@@ -83,7 +83,9 @@ pub enum Distribution {
 impl Distribution {
     /// Bernoulli distribution with success probability `p` (clamped to `[0,1]`).
     pub fn bernoulli(p: f64) -> Self {
-        Distribution::Bernoulli { p: p.clamp(0.0, 1.0) }
+        Distribution::Bernoulli {
+            p: p.clamp(0.0, 1.0),
+        }
     }
 
     /// Uniform distribution on `[lo, hi]`, clamped into `[0, 1]` and reordered
@@ -316,7 +318,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(seed);
         for _ in 0..n {
             let x = dist.sample(&mut rng);
-            assert!((0.0..=1.0).contains(&x), "sample {x} out of [0,1] for {dist:?}");
+            assert!(
+                (0.0..=1.0).contains(&x),
+                "sample {x} out of [0,1] for {dist:?}"
+            );
         }
     }
 
@@ -374,7 +379,11 @@ mod tests {
         assert!(d2.mean() > 0.0);
         assert_support(&d2, 2000, 11);
         let emp2 = empirical_mean(&d2, 30_000, 12);
-        assert!((emp2 - d2.mean()).abs() < 0.02, "emp {emp2} vs {}", d2.mean());
+        assert!(
+            (emp2 - d2.mean()).abs() < 0.02,
+            "emp {emp2} vs {}",
+            d2.mean()
+        );
     }
 
     #[test]
@@ -411,7 +420,9 @@ mod tests {
         assert!((beta.variance().unwrap() - 0.05).abs() < 1e-12);
         let disc = Distribution::discrete(vec![0.0, 1.0], vec![0.5, 0.5]);
         assert!((disc.variance().unwrap() - 0.25).abs() < 1e-12);
-        assert!(Distribution::truncated_gaussian(0.5, 0.1).variance().is_none());
+        assert!(Distribution::truncated_gaussian(0.5, 0.1)
+            .variance()
+            .is_none());
     }
 
     #[test]

@@ -40,11 +40,7 @@ pub trait FeasibleSet {
     fn contains(&self, strategy: &[ArmId], graph: &RelationGraph) -> bool;
 
     /// Enumerates the family, or returns `None` when it would exceed `limit`.
-    fn enumerate_bounded(
-        &self,
-        graph: &RelationGraph,
-        limit: usize,
-    ) -> Option<Vec<Vec<ArmId>>>;
+    fn enumerate_bounded(&self, graph: &RelationGraph, limit: usize) -> Option<Vec<Vec<ArmId>>>;
 
     /// Enumerates the family with the default budget.
     fn enumerate(&self, graph: &RelationGraph) -> Option<Vec<Vec<ArmId>>> {
@@ -53,19 +49,13 @@ pub trait FeasibleSet {
 
     /// The feasible strategy maximising `Σ_{i ∈ s} w_i`, or `None` if the family
     /// is empty.
-    fn argmax_by_arm_weights(
-        &self,
-        weights: &[f64],
-        graph: &RelationGraph,
-    ) -> Option<Vec<ArmId>> {
+    fn argmax_by_arm_weights(&self, weights: &[f64], graph: &RelationGraph) -> Option<Vec<ArmId>> {
         let strategies = self.enumerate(graph)?;
-        strategies
-            .into_iter()
-            .max_by(|a, b| {
-                strategy_weight(a, weights)
-                    .partial_cmp(&strategy_weight(b, weights))
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            })
+        strategies.into_iter().max_by(|a, b| {
+            strategy_weight(a, weights)
+                .partial_cmp(&strategy_weight(b, weights))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
     }
 
     /// The feasible strategy maximising `Σ_{i ∈ Y_s} w_i`, or `None` if the
@@ -284,11 +274,7 @@ impl FeasibleSet for StrategyFamily {
         }
     }
 
-    fn enumerate_bounded(
-        &self,
-        graph: &RelationGraph,
-        limit: usize,
-    ) -> Option<Vec<Vec<ArmId>>> {
+    fn enumerate_bounded(&self, graph: &RelationGraph, limit: usize) -> Option<Vec<Vec<ArmId>>> {
         match self {
             StrategyFamily::Explicit { strategies } => {
                 if strategies.len() <= limit {
@@ -309,7 +295,11 @@ impl FeasibleSet for StrategyFamily {
             }
             StrategyFamily::ExactlyM { num_arms, m } => {
                 if *m > *num_arms || self.size_hint().map(|s| s > limit).unwrap_or(true) {
-                    return if *m > *num_arms { Some(Vec::new()) } else { None };
+                    return if *m > *num_arms {
+                        Some(Vec::new())
+                    } else {
+                        None
+                    };
                 }
                 Some(combinations(*num_arms, *m))
             }
@@ -324,11 +314,7 @@ impl FeasibleSet for StrategyFamily {
         }
     }
 
-    fn argmax_by_arm_weights(
-        &self,
-        weights: &[f64],
-        graph: &RelationGraph,
-    ) -> Option<Vec<ArmId>> {
+    fn argmax_by_arm_weights(&self, weights: &[f64], graph: &RelationGraph) -> Option<Vec<ArmId>> {
         match self {
             StrategyFamily::Explicit { .. } => {
                 // Explicit sets are scanned directly.
@@ -382,10 +368,9 @@ impl FeasibleSet for StrategyFamily {
                             .unwrap_or(std::cmp::Ordering::Equal)
                     })
                 } else {
-                    let mut greedy =
-                        netband_graph::independent::greedy_max_weight_independent_set(
-                            graph, weights,
-                        );
+                    let mut greedy = netband_graph::independent::greedy_max_weight_independent_set(
+                        graph, weights,
+                    );
                     greedy.truncate(*max_size);
                     if greedy.is_empty() {
                         None
@@ -465,9 +450,17 @@ mod tests {
 
     #[test]
     fn combinations_are_lexicographic_and_complete() {
-        assert_eq!(combinations(4, 2), vec![
-            vec![0, 1], vec![0, 2], vec![0, 3], vec![1, 2], vec![1, 3], vec![2, 3]
-        ]);
+        assert_eq!(
+            combinations(4, 2),
+            vec![
+                vec![0, 1],
+                vec![0, 2],
+                vec![0, 3],
+                vec![1, 2],
+                vec![1, 3],
+                vec![2, 3]
+            ]
+        );
         assert_eq!(combinations(3, 3), vec![vec![0, 1, 2]]);
         assert!(combinations(3, 0).is_empty());
         assert!(combinations(2, 3).is_empty());
@@ -586,7 +579,10 @@ mod tests {
         let g = generators::edgeless(5);
         let f = StrategyFamily::exactly_m(5, 3);
         let weights = vec![0.1, 0.9, 0.3, 0.8, 0.05];
-        assert_eq!(f.argmax_by_arm_weights(&weights, &g).unwrap(), vec![1, 2, 3]);
+        assert_eq!(
+            f.argmax_by_arm_weights(&weights, &g).unwrap(),
+            vec![1, 2, 3]
+        );
     }
 
     #[test]
@@ -625,9 +621,7 @@ mod tests {
         let g = generators::star(6);
         let family = Huge(StrategyFamily::at_most_m(6, 2));
         let weights = vec![0.1; 6];
-        let chosen = family
-            .argmax_by_neighborhood_weights(&weights, &g)
-            .unwrap();
+        let chosen = family.argmax_by_neighborhood_weights(&weights, &g).unwrap();
         assert!(!chosen.is_empty() && chosen.len() <= 2);
         assert!(family.contains(&chosen, &g));
         // The hub should be part of any sensible coverage solution.

@@ -73,11 +73,7 @@ pub fn paper_simulation<R: Rng + ?Sized>(num_arms: usize, edge_prob: f64, rng: &
 /// Online advertising: place up to `slots` ads per round on an audience whose
 /// sharing behaviour follows a preferential-attachment graph. Click
 /// probabilities are Beta-distributed (mostly low, a few high).
-pub fn online_advertising<R: Rng + ?Sized>(
-    num_ads: usize,
-    slots: usize,
-    rng: &mut R,
-) -> Workload {
+pub fn online_advertising<R: Rng + ?Sized>(num_ads: usize, slots: usize, rng: &mut R) -> Workload {
     let graph = generators::barabasi_albert(num_ads, 2, rng);
     // Click-through rates: mean ≈ 0.15 with a heavy right tail.
     let arms: ArmSet = (0..num_ads)

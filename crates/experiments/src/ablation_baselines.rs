@@ -8,7 +8,9 @@
 
 use serde::{Deserialize, Serialize};
 
-use netband_baselines::{EpsilonGreedy, Exp3, Moss, RandomSingle, ThompsonBernoulli, Ucb1, UcbTuned};
+use netband_baselines::{
+    EpsilonGreedy, Exp3, Moss, RandomSingle, ThompsonBernoulli, Ucb1, UcbTuned,
+};
 use netband_core::{DflSso, SinglePlayPolicy};
 use netband_sim::export::format_table;
 use netband_sim::replicate::aggregate;
@@ -204,7 +206,16 @@ mod tests {
     fn report_contains_all_policies() {
         let rows = run(&quick());
         let text = report(&rows);
-        for name in ["DFL-SSO", "MOSS", "UCB1", "UCB-Tuned", "Thompson", "EpsilonGreedy", "EXP3", "Random"] {
+        for name in [
+            "DFL-SSO",
+            "MOSS",
+            "UCB1",
+            "UCB-Tuned",
+            "Thompson",
+            "EpsilonGreedy",
+            "EXP3",
+            "Random",
+        ] {
             assert!(text.contains(name), "missing {name} in report:\n{text}");
         }
         assert!(report(&[]).contains("no rows"));

@@ -121,7 +121,12 @@ pub fn report(rows: &[CliquesRow]) -> String {
     format!(
         "Ablation C — clique-cover structure vs measured DFL-SSO regret\n{}",
         format_table(
-            &["graph family", "clique cover C", "measured R_n", "Theorem 1 bound"],
+            &[
+                "graph family",
+                "clique cover C",
+                "measured R_n",
+                "Theorem 1 bound"
+            ],
             &table_rows
         )
     )

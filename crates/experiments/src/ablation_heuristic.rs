@@ -179,10 +179,18 @@ mod tests {
         // blow the regret up by an order of magnitude on either scenario.
         let rows = run(&quick());
         let row = &rows[0];
-        assert!(row.sso_heuristic < 5.0 * row.sso_base + 10.0,
-            "SSO heuristic {} vs base {}", row.sso_heuristic, row.sso_base);
-        assert!(row.ssr_heuristic < 5.0 * row.ssr_base + 10.0,
-            "SSR heuristic {} vs base {}", row.ssr_heuristic, row.ssr_base);
+        assert!(
+            row.sso_heuristic < 5.0 * row.sso_base + 10.0,
+            "SSO heuristic {} vs base {}",
+            row.sso_heuristic,
+            row.sso_base
+        );
+        assert!(
+            row.ssr_heuristic < 5.0 * row.ssr_base + 10.0,
+            "SSR heuristic {} vs base {}",
+            row.ssr_heuristic,
+            row.ssr_base
+        );
         assert!(row.sso_base > 0.0 && row.ssr_base > 0.0);
     }
 

@@ -74,7 +74,11 @@ fn slope(x: &[f64], y: &[f64]) -> f64 {
     }
     let mean_x = x.iter().sum::<f64>() / n;
     let mean_y = y.iter().sum::<f64>() / n;
-    let cov: f64 = x.iter().zip(y).map(|(a, b)| (a - mean_x) * (b - mean_y)).sum();
+    let cov: f64 = x
+        .iter()
+        .zip(y)
+        .map(|(a, b)| (a - mean_x) * (b - mean_y))
+        .sum();
     let var: f64 = x.iter().map(|a| (a - mean_x) * (a - mean_x)).sum();
     if var <= 0.0 {
         0.0

@@ -12,55 +12,97 @@ fn main() {
     let scale = Scale::from_env();
     eprintln!("running all figures at scale {scale:?}");
 
-    let f3 = fig3::run(&fig3::Fig3Config { scale, ..Default::default() });
+    let f3 = fig3::run(&fig3::Fig3Config {
+        scale,
+        ..Default::default()
+    });
     println!("{}\n", f3.report());
 
-    let f4 = fig4::run(&fig4::Fig4Config { scale, ..Default::default() });
+    let f4 = fig4::run(&fig4::Fig4Config {
+        scale,
+        ..Default::default()
+    });
     println!("{}\n", f4.report());
 
-    let f5 = fig5::run(&fig5::Fig5Config { scale, ..Default::default() });
+    let f5 = fig5::run(&fig5::Fig5Config {
+        scale,
+        ..Default::default()
+    });
     println!("{}\n", f5.report());
 
-    let f6 = fig6::run(&fig6::Fig6Config { scale, ..Default::default() });
+    let f6 = fig6::run(&fig6::Fig6Config {
+        scale,
+        ..Default::default()
+    });
     println!("{}\n", f6.report());
 
-    println!("{}\n", bounds_exp::report(&bounds_exp::run(&Default::default())));
+    println!(
+        "{}\n",
+        bounds_exp::report(&bounds_exp::run(&Default::default()))
+    );
 
     let mut density_cfg = ablation_density::DensityConfig::default();
     if scale.horizon < density_cfg.scale.horizon {
         density_cfg.scale = scale;
     }
-    println!("{}\n", ablation_density::report(&ablation_density::run(&density_cfg)));
+    println!(
+        "{}\n",
+        ablation_density::report(&ablation_density::run(&density_cfg))
+    );
 
     let mut baselines_cfg = ablation_baselines::BaselinesConfig::default();
     if scale.horizon < baselines_cfg.scale.horizon {
         baselines_cfg.scale = scale;
         baselines_cfg.arm_counts = vec![20];
     }
-    println!("{}\n", ablation_baselines::report(&ablation_baselines::run(&baselines_cfg)));
+    println!(
+        "{}\n",
+        ablation_baselines::report(&ablation_baselines::run(&baselines_cfg))
+    );
 
     let mut cliques_cfg = ablation_cliques::CliquesConfig::default();
     if scale.horizon < cliques_cfg.scale.horizon {
         cliques_cfg.scale = scale;
     }
-    println!("{}\n", ablation_cliques::report(&ablation_cliques::run(&cliques_cfg)));
+    println!(
+        "{}\n",
+        ablation_cliques::report(&ablation_cliques::run(&cliques_cfg))
+    );
 
     let mut heuristic_cfg = ablation_heuristic::HeuristicConfig::default();
     if scale.horizon < heuristic_cfg.scale.horizon {
         heuristic_cfg.scale = scale;
     }
-    println!("{}\n", ablation_heuristic::report(&ablation_heuristic::run(&heuristic_cfg)));
+    println!(
+        "{}\n",
+        ablation_heuristic::report(&ablation_heuristic::run(&heuristic_cfg))
+    );
 
     let mut horizon_cfg = ablation_horizon::HorizonConfig::default();
     if scale.horizon < 10_000 {
         horizon_cfg.horizons = vec![200, 400, 800, 1_600];
         horizon_cfg.replications = scale.replications;
     }
-    println!("{}\n", ablation_horizon::report(&ablation_horizon::run(&horizon_cfg)));
+    println!(
+        "{}\n",
+        ablation_horizon::report(&ablation_horizon::run(&horizon_cfg))
+    );
 
     println!("summary:");
-    println!("  Fig.3  DFL-SSO beats MOSS:          {}", f3.dfl_beats_moss());
-    println!("  Fig.4  dense beats sparse:          {}", f4.dense_beats_sparse());
-    println!("  Fig.5  DFL-SSR regret trends to 0:  {}", f5.regret_trends_to_zero());
-    println!("  Fig.6  DFL-CSR regret trends to 0:  {}", f6.regret_trends_to_zero());
+    println!(
+        "  Fig.3  DFL-SSO beats MOSS:          {}",
+        f3.dfl_beats_moss()
+    );
+    println!(
+        "  Fig.4  dense beats sparse:          {}",
+        f4.dense_beats_sparse()
+    );
+    println!(
+        "  Fig.5  DFL-SSR regret trends to 0:  {}",
+        f5.regret_trends_to_zero()
+    );
+    println!(
+        "  Fig.6  DFL-CSR regret trends to 0:  {}",
+        f6.regret_trends_to_zero()
+    );
 }

@@ -15,7 +15,10 @@ fn main() {
     eprintln!("running Fig. 5 with {config:?}");
     let result = run(&config);
     println!("{}", result.report());
-    println!("expected regret trends to zero: {}", result.regret_trends_to_zero());
+    println!(
+        "expected regret trends to zero: {}",
+        result.regret_trends_to_zero()
+    );
     let path = Path::new("target/experiments/fig5.csv");
     let t: Vec<f64> = (1..=result.dfl_ssr.horizon).map(|x| x as f64).collect();
     if let Err(err) = write_csv(

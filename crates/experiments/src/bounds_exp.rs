@@ -101,7 +101,16 @@ pub fn report(rows: &[BoundRow]) -> String {
     format!(
         "Theorem 1–4 regret bounds (C from greedy clique covers of sampled G(K, p))\n{}",
         format_table(
-            &["n", "K", "p", "C", "Thm1 (DFL-SSO)", "49·sqrt(nK) (MOSS)", "Thm3 (DFL-SSR)", "Thm4 (DFL-CSR)"],
+            &[
+                "n",
+                "K",
+                "p",
+                "C",
+                "Thm1 (DFL-SSO)",
+                "49·sqrt(nK) (MOSS)",
+                "Thm3 (DFL-SSR)",
+                "Thm4 (DFL-CSR)"
+            ],
             &table_rows,
         )
     )

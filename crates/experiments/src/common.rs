@@ -40,7 +40,9 @@ impl Scale {
     /// CLI argument or `NETBAND_QUICK=1` selects [`Scale::quick`].
     pub fn from_env() -> Self {
         let quick_flag = std::env::args().any(|a| a == "--quick" || a == "-q");
-        let quick_env = std::env::var("NETBAND_QUICK").map(|v| v == "1").unwrap_or(false);
+        let quick_env = std::env::var("NETBAND_QUICK")
+            .map(|v| v == "1")
+            .unwrap_or(false);
         if quick_flag || quick_env {
             Scale::quick()
         } else {

@@ -161,7 +161,10 @@ mod tests {
     fn fig4_runs_and_regret_trends_to_zero() {
         let result = run(&quick_config());
         // Expected regret decreases over time for both densities.
-        for curve in [&result.sparse.expected_regret, &result.dense.expected_regret] {
+        for curve in [
+            &result.sparse.expected_regret,
+            &result.dense.expected_regret,
+        ] {
             let early = curve[curve.len() / 10];
             let late = *curve.last().unwrap();
             assert!(late < early, "early {early} late {late}");

@@ -8,13 +8,23 @@ use netband_sim::AveragedRun;
 /// (time-averaged) regret, one column per policy — the textual analogue of the
 /// paper's figures.
 pub fn expected_regret_table(runs: &[&AveragedRun], points: usize) -> String {
-    curve_table(runs, points, |run| run.expected_regret.clone(), "expected regret R_t / t")
+    curve_table(
+        runs,
+        points,
+        |run| run.expected_regret.clone(),
+        "expected regret R_t / t",
+    )
 }
 
 /// Renders several averaged runs as a downsampled table of their accumulated
 /// regret.
 pub fn accumulated_regret_table(runs: &[&AveragedRun], points: usize) -> String {
-    curve_table(runs, points, |run| run.accumulated_regret.clone(), "accumulated regret R_t")
+    curve_table(
+        runs,
+        points,
+        |run| run.accumulated_regret.clone(),
+        "accumulated regret R_t",
+    )
 }
 
 fn curve_table(

@@ -268,7 +268,7 @@ mod tests {
     #[test]
     fn invalid_covers_are_rejected() {
         let g = generators::path(4); // edges 0-1, 1-2, 2-3
-        // Not a clique.
+                                     // Not a clique.
         let bad = CliqueCover::new(vec![vec![0, 2], vec![1], vec![3]]);
         assert!(!bad.is_valid_for(&g));
         // Missing vertex.
@@ -328,7 +328,7 @@ mod tests {
             .map(Vec::len)
             .max()
             .unwrap_or(1);
-        let lower = (g.num_vertices() + max_clique - 1) / max_clique;
+        let lower = g.num_vertices().div_ceil(max_clique);
         assert!(cover.len() >= lower);
     }
 }

@@ -69,7 +69,11 @@ pub fn dsatur_coloring(graph: &RelationGraph) -> Vec<usize> {
                     .collect();
                 neighbour_colors.sort_unstable();
                 neighbour_colors.dedup();
-                (neighbour_colors.len(), graph.degree(v), std::cmp::Reverse(v))
+                (
+                    neighbour_colors.len(),
+                    graph.degree(v),
+                    std::cmp::Reverse(v),
+                )
             });
         let Some(v) = v else { break };
         let mut used = vec![false; n.max(1)];
@@ -99,7 +103,7 @@ pub fn is_proper_coloring(graph: &RelationGraph, colors: &[usize]) -> bool {
     if colors.len() != graph.num_vertices() {
         return false;
     }
-    if colors.iter().any(|&c| c == usize::MAX) {
+    if colors.contains(&usize::MAX) {
         return false;
     }
     graph.edges().all(|(u, v)| colors[u] != colors[v])
@@ -137,15 +141,13 @@ pub fn exact_chromatic_number(graph: &RelationGraph) -> usize {
         let v = order[idx];
         let mut forbidden = vec![false; used_colors + 1];
         for &u in graph.neighbors(v) {
-            if colors[u] != usize::MAX && colors[u] <= used_colors {
-                if colors[u] < forbidden.len() {
-                    forbidden[colors[u]] = true;
-                }
+            if colors[u] != usize::MAX && colors[u] <= used_colors && colors[u] < forbidden.len() {
+                forbidden[colors[u]] = true;
             }
         }
         // Try existing colours first, then (at most) one new colour.
-        for c in 0..used_colors {
-            if !forbidden[c] {
+        for (c, &color_taken) in forbidden.iter().enumerate().take(used_colors) {
+            if !color_taken {
                 colors[v] = c;
                 solve(graph, order, idx + 1, used_colors, colors, best);
                 colors[v] = usize::MAX;
@@ -253,7 +255,12 @@ mod tests {
             // Not necessarily smaller than greedy on every instance, but never
             // absurdly larger.
             let greedy = greedy_clique_cover(&g).len();
-            assert!(cover.len() <= greedy + 3, "dsatur {} vs greedy {}", cover.len(), greedy);
+            assert!(
+                cover.len() <= greedy + 3,
+                "dsatur {} vs greedy {}",
+                cover.len(),
+                greedy
+            );
         }
     }
 

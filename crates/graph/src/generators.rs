@@ -106,7 +106,9 @@ pub fn disjoint_cliques(num_cliques: usize, clique_size: usize) -> RelationGraph
 /// Models similarity networks ("items whose feature vectors are close inform
 /// each other").
 pub fn random_geometric<R: Rng + ?Sized>(n: usize, radius: f64, rng: &mut R) -> RelationGraph {
-    let points: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+    let points: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+        .collect();
     let mut g = RelationGraph::empty(n);
     let r2 = radius * radius;
     for u in 0..n {
@@ -201,7 +203,8 @@ pub fn planted_partition<R: Rng + ?Sized>(
 /// A random graph with exactly `num_edges` edges chosen uniformly among all
 /// vertex pairs (the `G(n, M)` model).
 pub fn gnm<R: Rng + ?Sized>(n: usize, num_edges: usize, rng: &mut R) -> RelationGraph {
-    let mut pairs: Vec<(ArmId, ArmId)> = Vec::with_capacity(n.saturating_mul(n.saturating_sub(1)) / 2);
+    let mut pairs: Vec<(ArmId, ArmId)> =
+        Vec::with_capacity(n.saturating_mul(n.saturating_sub(1)) / 2);
     for u in 0..n {
         for v in (u + 1)..n {
             pairs.push((u, v));

@@ -114,9 +114,9 @@ impl RelationGraph {
     pub fn from_adjacency_matrix(matrix: &[Vec<bool>]) -> Self {
         let n = matrix.len();
         let mut g = Self::empty(n);
-        for u in 0..n {
+        for (u, row) in matrix.iter().enumerate() {
             for v in (u + 1)..n {
-                if matrix[u].get(v).copied().unwrap_or(false) {
+                if row.get(v).copied().unwrap_or(false) {
                     // Vertices are in range by construction.
                     let _ = g.add_edge(u, v);
                 }
@@ -129,9 +129,9 @@ impl RelationGraph {
     pub fn adjacency_matrix(&self) -> Vec<Vec<bool>> {
         let n = self.num_vertices();
         let mut m = vec![vec![false; n]; n];
-        for u in 0..n {
+        for (u, row) in m.iter_mut().enumerate() {
             for &v in self.neighbors(u) {
-                m[u][v] = true;
+                row[v] = true;
             }
         }
         m
@@ -471,10 +471,7 @@ mod tests {
     #[test]
     fn add_edge_rejects_self_loop_and_out_of_range() {
         let mut g = RelationGraph::empty(3);
-        assert_eq!(
-            g.add_edge(1, 1),
-            Err(GraphError::SelfLoop { vertex: 1 })
-        );
+        assert_eq!(g.add_edge(1, 1), Err(GraphError::SelfLoop { vertex: 1 }));
         assert_eq!(
             g.add_edge(0, 3),
             Err(GraphError::VertexOutOfRange {

@@ -78,14 +78,12 @@ pub fn greedy_max_weight_independent_set(graph: &RelationGraph, weights: &[f64])
     let mut available = vec![true; n];
     let mut chosen: Vec<ArmId> = Vec::new();
     loop {
-        let best = (0..n)
-            .filter(|&v| available[v])
-            .max_by(|&a, &b| {
-                weight(a)
-                    .partial_cmp(&weight(b))
-                    .unwrap_or(std::cmp::Ordering::Equal)
-                    .then(b.cmp(&a))
-            });
+        let best = (0..n).filter(|&v| available[v]).max_by(|&a, &b| {
+            weight(a)
+                .partial_cmp(&weight(b))
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(b.cmp(&a))
+        });
         match best {
             Some(v) => {
                 chosen.push(v);
@@ -118,6 +116,9 @@ pub fn exact_max_weight_independent_set(
     let mut best_weight = 0.0_f64;
     let mut current: Vec<ArmId> = Vec::new();
 
+    // A local recursion helper; threading the search state explicitly beats
+    // bundling it into a one-off struct.
+    #[allow(clippy::too_many_arguments)]
     fn recurse(
         graph: &RelationGraph,
         start: ArmId,

@@ -97,10 +97,12 @@ pub fn parse_edge_list(text: &str) -> Result<RelationGraph, ParseError> {
             }
             [a, b] => {
                 let parse = |token: &str| {
-                    token.parse::<usize>().map_err(|_| ParseError::InvalidVertex {
-                        line: line_no,
-                        token: token.to_owned(),
-                    })
+                    token
+                        .parse::<usize>()
+                        .map_err(|_| ParseError::InvalidVertex {
+                            line: line_no,
+                            token: token.to_owned(),
+                        })
                 };
                 edges.push((parse(a)?, parse(b)?, line_no));
             }
@@ -144,7 +146,13 @@ pub fn to_dot(graph: &RelationGraph, name: &str) -> String {
 fn sanitize_dot_id(name: &str) -> String {
     let cleaned: String = name
         .chars()
-        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect();
     if cleaned.is_empty() || cleaned.chars().next().is_some_and(|c| c.is_ascii_digit()) {
         format!("g_{cleaned}")

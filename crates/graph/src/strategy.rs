@@ -116,7 +116,11 @@ impl StrategyRelationGraph {
 
     /// Maximum observation-set size `N = max_x |Y_x|` (Theorem 4's `N`).
     pub fn max_observation_set(&self) -> usize {
-        self.observation_sets.iter().map(Vec::len).max().unwrap_or(0)
+        self.observation_sets
+            .iter()
+            .map(Vec::len)
+            .max()
+            .unwrap_or(0)
     }
 
     /// The relation graph over com-arms (vertex `x` is strategy `x`).

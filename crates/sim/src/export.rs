@@ -21,11 +21,7 @@ pub fn columns_to_csv(columns: &[(&str, &[f64])]) -> String {
     for row in 0..rows {
         let cells: Vec<String> = columns
             .iter()
-            .map(|(_, col)| {
-                col.get(row)
-                    .map(|v| format!("{v}"))
-                    .unwrap_or_default()
-            })
+            .map(|(_, col)| col.get(row).map(|v| format!("{v}")).unwrap_or_default())
             .collect();
         out.push_str(&cells.join(","));
         out.push('\n');
@@ -52,18 +48,16 @@ pub fn format_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     let cols = headers.len();
     let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
     for row in rows {
-        for c in 0..cols {
-            if let Some(cell) = row.get(c) {
-                widths[c] = widths[c].max(cell.len());
-            }
+        for (width, cell) in widths.iter_mut().zip(row) {
+            *width = (*width).max(cell.len());
         }
     }
     let mut out = String::new();
     let write_row = |out: &mut String, cells: &[String]| {
         let mut parts = Vec::with_capacity(cols);
-        for c in 0..cols {
+        for (c, width) in widths.iter().enumerate() {
             let cell = cells.get(c).cloned().unwrap_or_default();
-            parts.push(format!("{:width$}", cell, width = widths[c]));
+            parts.push(format!("{cell:width$}"));
         }
         let _ = writeln!(out, "| {} |", parts.join(" | "));
     };

@@ -51,8 +51,8 @@ pub mod sweep;
 
 pub use regret::RegretTrace;
 pub use replicate::{replicate, AveragedRun, ReplicationConfig};
-pub use sweep::Sweep;
 pub use runner::{
     run_combinatorial, run_single, run_single_coupled, CombinatorialScenario, RunResult,
     SingleScenario,
 };
+pub use sweep::Sweep;

@@ -4,11 +4,12 @@
 //! replications of the simulation. [`replicate`] runs a caller-supplied closure
 //! once per replication (each with its own seed), and aggregates the traces into
 //! point-wise means and standard deviations. Replications are embarrassingly
-//! parallel, so when `parallel` is enabled they are spread over `crossbeam`
-//! scoped threads.
+//! parallel, so when `parallel` is enabled they are spread over
+//! `std::thread::scope` worker threads.
 
-use crossbeam::thread;
-use parking_lot::Mutex;
+use std::sync::Mutex;
+use std::thread;
+
 use serde::{Deserialize, Serialize};
 
 use crate::runner::RunResult;
@@ -166,21 +167,23 @@ pub fn replicate<F>(config: &ReplicationConfig, run_one: F) -> AveragedRun
 where
     F: Fn(usize, u64) -> RunResult + Sync,
 {
-    assert!(config.replications > 0, "at least one replication is required");
+    assert!(
+        config.replications > 0,
+        "at least one replication is required"
+    );
     let results: Vec<RunResult> = if config.worker_count() <= 1 {
         (0..config.replications)
             .map(|r| run_one(r, config.base_seed + r as u64))
             .collect()
     } else {
-        let slots: Mutex<Vec<Option<RunResult>>> =
-            Mutex::new(vec![None; config.replications]);
+        let slots: Mutex<Vec<Option<RunResult>>> = Mutex::new(vec![None; config.replications]);
         let next: Mutex<usize> = Mutex::new(0);
         let workers = config.worker_count();
         thread::scope(|scope| {
             for _ in 0..workers {
-                scope.spawn(|_| loop {
+                scope.spawn(|| loop {
                     let r = {
-                        let mut guard = next.lock();
+                        let mut guard = next.lock().expect("replication queue poisoned");
                         if *guard >= config.replications {
                             break;
                         }
@@ -189,13 +192,13 @@ where
                         r
                     };
                     let result = run_one(r, config.base_seed + r as u64);
-                    slots.lock()[r] = Some(result);
+                    slots.lock().expect("replication slots poisoned")[r] = Some(result);
                 });
             }
-        })
-        .expect("replication worker panicked");
+        });
         slots
             .into_inner()
+            .expect("replication slots poisoned")
             .into_iter()
             .map(|slot| slot.expect("every replication slot must be filled"))
             .collect()
@@ -250,9 +253,7 @@ mod tests {
             avg.accumulated_regret[99],
             avg.final_regret_mean()
         );
-        assert!(
-            (avg.final_expected_regret() - avg.final_regret_mean() / 100.0).abs() < 1e-9
-        );
+        assert!((avg.final_expected_regret() - avg.final_regret_mean() / 100.0).abs() < 1e-9);
     }
 
     #[test]
@@ -288,10 +289,10 @@ mod tests {
         let cfg = ReplicationConfig::serial(3, 7);
         let seen: Mutex<Vec<(usize, u64)>> = Mutex::new(Vec::new());
         let _ = replicate(&cfg, |r, seed| {
-            seen.lock().push((r, seed));
+            seen.lock().unwrap().push((r, seed));
             one_run(seed, 10)
         });
-        let mut seen = seen.into_inner();
+        let mut seen = seen.into_inner().unwrap();
         seen.sort_unstable();
         assert_eq!(seen, vec![(0, 7), (1, 8), (2, 9)]);
     }

@@ -137,9 +137,7 @@ pub fn run_single_coupled(
             let feedback = bandit.feedback_single_from_samples(arm, &samples);
             let (reward, mean) = match scenario {
                 SingleScenario::SideObservation => (feedback.direct_reward, bandit.means()[arm]),
-                SingleScenario::SideReward => {
-                    (feedback.side_reward, bandit.side_reward_mean(arm))
-                }
+                SingleScenario::SideReward => (feedback.side_reward, bandit.side_reward_mean(arm)),
             };
             rewards[idx] += reward;
             traces[idx].record(optimal - reward, optimal - mean);

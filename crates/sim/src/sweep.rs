@@ -104,7 +104,13 @@ impl<P: std::fmt::Display> Sweep<P, AveragedRun> {
             })
             .collect();
         crate::export::format_table(
-            &[&self.parameter_name, "policy", "R_n mean", "R_n std", "R_n/n"],
+            &[
+                &self.parameter_name,
+                "policy",
+                "R_n mean",
+                "R_n std",
+                "R_n/n",
+            ],
             &rows,
         )
     }
@@ -149,7 +155,13 @@ mod tests {
             let bandit = NetworkedBandit::new(graph.clone(), arms).unwrap();
             replicate(&ReplicationConfig::serial(2, 5), |_, seed| {
                 let mut policy = DflSso::new(graph.clone());
-                run_single(&bandit, &mut policy, SingleScenario::SideObservation, 200, seed)
+                run_single(
+                    &bandit,
+                    &mut policy,
+                    SingleScenario::SideObservation,
+                    200,
+                    seed,
+                )
             })
         });
         let table = sweep.regret_table();

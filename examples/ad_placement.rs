@@ -70,7 +70,10 @@ fn main() -> Result<(), netband::env::EnvError> {
         1,
     )?;
 
-    println!("\n{:<12} {:>14} {:>14} {:>16}", "policy", "R_n", "R_n / n", "total clicks");
+    println!(
+        "\n{:<12} {:>14} {:>14} {:>16}",
+        "policy", "R_n", "R_n / n", "total clicks"
+    );
     for run in [&dfl_run, &cucb_run, &llr_run] {
         println!(
             "{:<12} {:>14.1} {:>14.4} {:>16.1}",

@@ -56,7 +56,10 @@ fn main() -> Result<(), netband::env::EnvError> {
         3,
     )?;
 
-    println!("\n{:<20} {:>12} {:>12} {:>18}", "policy", "R_n", "R_n / n", "total throughput");
+    println!(
+        "\n{:<20} {:>12} {:>12} {:>18}",
+        "policy", "R_n", "R_n / n", "total throughput"
+    );
     for run in [&dfl_run, &naive_run] {
         println!(
             "{:<20} {:>12.1} {:>12.4} {:>18.1}",

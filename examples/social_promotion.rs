@@ -42,11 +42,26 @@ fn main() -> Result<(), netband::env::EnvError> {
     let mut moss = Moss::new(num_users);
     let mut thompson = ThompsonBernoulli::new(num_users, 11);
 
-    println!("\n{:<12} {:>12} {:>12} {:>18}", "policy", "R_n", "R_n / n", "total purchases");
+    println!(
+        "\n{:<12} {:>12} {:>12} {:>18}",
+        "policy", "R_n", "R_n / n", "total purchases"
+    );
     for run in [
-        run_single(&bandit, &mut dfl_ssr, SingleScenario::SideReward, horizon, 3),
+        run_single(
+            &bandit,
+            &mut dfl_ssr,
+            SingleScenario::SideReward,
+            horizon,
+            3,
+        ),
         run_single(&bandit, &mut moss, SingleScenario::SideReward, horizon, 3),
-        run_single(&bandit, &mut thompson, SingleScenario::SideReward, horizon, 3),
+        run_single(
+            &bandit,
+            &mut thompson,
+            SingleScenario::SideReward,
+            horizon,
+            3,
+        ),
     ] {
         println!(
             "{:<12} {:>12.1} {:>12.4} {:>18.1}",

@@ -66,11 +66,11 @@ pub mod prelude {
         Cucb, EpsilonGreedy, Exp3, KlUcb, Llr, Moss, Softmax, ThompsonBernoulli, Ucb1,
     };
     pub use netband_core::prelude::*;
+    pub use netband_env::workloads::Workload;
     pub use netband_env::{
         ArmSet, CombinatorialFeedback, FeasibleSet, NetworkedBandit, SinglePlayFeedback,
         StrategyFamily,
     };
-    pub use netband_env::workloads::Workload;
     pub use netband_graph::{
         generators, greedy_clique_cover, metrics, GraphMetrics, RelationGraph,
         StrategyRelationGraph,

@@ -23,9 +23,19 @@ fn trend_down(curve: &[f64]) -> bool {
 fn sso_scenario_end_to_end() {
     let bandit = workload(30, 0.3, 1);
     let mut policy = DflSso::new(bandit.graph().clone());
-    let result = run_single(&bandit, &mut policy, SingleScenario::SideObservation, 3_000, 2);
+    let result = run_single(
+        &bandit,
+        &mut policy,
+        SingleScenario::SideObservation,
+        3_000,
+        2,
+    );
     assert_eq!(result.trace.len(), 3_000);
-    assert!(result.average_regret() < 0.3, "R_n/n = {}", result.average_regret());
+    assert!(
+        result.average_regret() < 0.3,
+        "R_n/n = {}",
+        result.average_regret()
+    );
     assert!(trend_down(&result.trace.time_averaged_pseudo()));
 }
 
@@ -102,7 +112,13 @@ fn measured_regret_respects_the_theorem_bounds() {
     let horizon = 2_000;
 
     let mut sso = DflSso::new(bandit.graph().clone());
-    let sso_run = run_single(&bandit, &mut sso, SingleScenario::SideObservation, horizon, 12);
+    let sso_run = run_single(
+        &bandit,
+        &mut sso,
+        SingleScenario::SideObservation,
+        horizon,
+        12,
+    );
     assert!(sso_run.total_regret() < bounds::theorem1_dfl_sso(horizon, 40, cover));
 
     let mut ssr = DflSsr::new(bandit.graph().clone());
@@ -117,7 +133,13 @@ fn replication_through_the_facade_is_deterministic() {
     let config = ReplicationConfig::serial(4, 99);
     let run_once = |_, seed: u64| {
         let mut policy = DflSso::new(graph.clone());
-        run_single(&bandit, &mut policy, SingleScenario::SideObservation, 500, seed)
+        run_single(
+            &bandit,
+            &mut policy,
+            SingleScenario::SideObservation,
+            500,
+            seed,
+        )
     };
     let a = replicate(&config, run_once);
     let b = replicate(&config, run_once);
@@ -141,6 +163,70 @@ fn degenerate_instances_do_not_break_the_pipeline() {
     let mut policy2 = DflSsr::new(bandit2.graph().clone());
     let result2 = run_single(&bandit2, &mut policy2, SingleScenario::SideReward, 0, 2);
     assert_eq!(result2.trace.len(), 0);
+}
+
+#[test]
+fn workspace_smoke_all_four_dfl_policies() {
+    // The tier-1 workspace smoke: every DFL policy runs a short horizon on the
+    // same seeded Erdős–Rényi instance and produces finite regret whose
+    // running average trends down.
+    let bandit = workload(12, 0.35, 21);
+    let family = StrategyFamily::independent_sets(2);
+    let horizon = 800;
+    let mut curves: Vec<(&str, Vec<f64>)> = Vec::new();
+
+    let mut sso = DflSso::new(bandit.graph().clone());
+    let r = run_single(
+        &bandit,
+        &mut sso,
+        SingleScenario::SideObservation,
+        horizon,
+        22,
+    );
+    curves.push(("DFL-SSO", r.trace.time_averaged_pseudo()));
+
+    let mut ssr = DflSsr::new(bandit.graph().clone());
+    let r = run_single(&bandit, &mut ssr, SingleScenario::SideReward, horizon, 23);
+    curves.push(("DFL-SSR", r.trace.time_averaged_pseudo()));
+
+    let strategies = family
+        .enumerate(bandit.graph())
+        .expect("small instance is enumerable");
+    let mut cso = DflCso::from_strategies(bandit.graph(), strategies);
+    let r = run_combinatorial(
+        &bandit,
+        &family,
+        &mut cso,
+        CombinatorialScenario::SideObservation,
+        horizon,
+        24,
+    )
+    .expect("feasible strategies only");
+    curves.push(("DFL-CSO", r.trace.time_averaged_pseudo()));
+
+    let mut csr = DflCsr::new(bandit.graph().clone(), family.clone());
+    let r = run_combinatorial(
+        &bandit,
+        &family,
+        &mut csr,
+        CombinatorialScenario::SideReward,
+        horizon,
+        25,
+    )
+    .expect("feasible strategies only");
+    curves.push(("DFL-CSR", r.trace.time_averaged_pseudo()));
+
+    for (name, curve) in curves {
+        assert_eq!(curve.len(), horizon, "{name} trace length");
+        assert!(
+            curve.iter().all(|v| v.is_finite()),
+            "{name} produced non-finite regret"
+        );
+        assert!(
+            trend_down(&curve),
+            "{name} average regret did not trend down"
+        );
+    }
 }
 
 #[test]

@@ -61,11 +61,12 @@ fn experiment_modules_are_reachable_and_runnable_at_tiny_scale() {
     let result = netband::experiments::fig3::run(&cfg);
     assert_eq!(result.dfl_sso.horizon, 60);
 
-    let rows = netband::experiments::bounds_exp::run(&netband::experiments::bounds_exp::BoundsConfig {
-        horizons: vec![100],
-        arm_counts: vec![8],
-        edge_probs: vec![0.3],
-        seed: 1,
-    });
+    let rows =
+        netband::experiments::bounds_exp::run(&netband::experiments::bounds_exp::BoundsConfig {
+            horizons: vec![100],
+            arm_counts: vec![8],
+            edge_probs: vec![0.3],
+            seed: 1,
+        });
     assert_eq!(rows.len(), 1);
 }

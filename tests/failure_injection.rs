@@ -36,7 +36,13 @@ fn point_mass_rewards_give_exactly_zero_regret_once_converged() {
         .collect();
     let bandit = NetworkedBandit::new(graph.clone(), arms).unwrap();
     let mut policy = DflSso::new(graph);
-    let result = run_single(&bandit, &mut policy, SingleScenario::SideObservation, 200, 1);
+    let result = run_single(
+        &bandit,
+        &mut policy,
+        SingleScenario::SideObservation,
+        200,
+        1,
+    );
     // On a complete graph one pull observes everything, so at most the first
     // pull can be suboptimal.
     assert!(result.trace.total_pseudo() <= 0.8 + 1e-9);
@@ -50,7 +56,13 @@ fn identical_arms_mean_every_policy_has_zero_pseudo_regret() {
     let arms = ArmSet::bernoulli(&[0.4; 10]);
     let bandit = NetworkedBandit::new(graph.clone(), arms).unwrap();
     let mut policy = DflSso::new(graph);
-    let result = run_single(&bandit, &mut policy, SingleScenario::SideObservation, 300, 4);
+    let result = run_single(
+        &bandit,
+        &mut policy,
+        SingleScenario::SideObservation,
+        300,
+        4,
+    );
     assert!(result.trace.total_pseudo().abs() < 1e-9);
 }
 
@@ -78,7 +90,9 @@ fn exactly_m_with_infeasible_m_yields_an_empty_family() {
     let graph = generators::edgeless(3);
     let family = StrategyFamily::exactly_m(3, 7);
     assert_eq!(family.enumerate(&graph).unwrap().len(), 0);
-    assert!(family.argmax_by_arm_weights(&[1.0, 1.0, 1.0], &graph).is_none());
+    assert!(family
+        .argmax_by_arm_weights(&[1.0, 1.0, 1.0], &graph)
+        .is_none());
 }
 
 #[test]
@@ -122,7 +136,13 @@ fn workload_presets_run_end_to_end() {
     let mut rng = StdRng::seed_from_u64(8);
     let promo = netband::env::workloads::social_promotion(30, 3, &mut rng);
     let mut policy = DflSsr::new(promo.bandit.graph().clone());
-    let result = run_single(&promo.bandit, &mut policy, SingleScenario::SideReward, 500, 9);
+    let result = run_single(
+        &promo.bandit,
+        &mut policy,
+        SingleScenario::SideReward,
+        500,
+        9,
+    );
     assert_eq!(result.trace.len(), 500);
 
     let ads = netband::env::workloads::online_advertising(20, 2, &mut rng);

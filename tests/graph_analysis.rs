@@ -4,7 +4,7 @@
 //! instances.
 
 use netband::graph::coloring::{
-    dsatur_clique_cover, exact_minimum_clique_cover_size, is_proper_coloring, dsatur_coloring,
+    dsatur_clique_cover, dsatur_coloring, exact_minimum_clique_cover_size, is_proper_coloring,
     num_colors,
 };
 use netband::graph::metrics::{clustering_coefficient, degree_histogram, metrics};

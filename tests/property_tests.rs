@@ -12,8 +12,7 @@ use rand::SeedableRng;
 fn arb_graph(max_vertices: usize) -> impl Strategy<Value = RelationGraph> {
     (2usize..=max_vertices).prop_flat_map(|n| {
         proptest::collection::vec((0..n, 0..n), 0..(n * 2)).prop_map(move |pairs| {
-            let edges: Vec<(usize, usize)> =
-                pairs.into_iter().filter(|&(u, v)| u != v).collect();
+            let edges: Vec<(usize, usize)> = pairs.into_iter().filter(|&(u, v)| u != v).collect();
             RelationGraph::from_edges(n, &edges)
         })
     })

@@ -1,0 +1,27 @@
+//! Offline stand-in for the [`serde`](https://crates.io/crates/serde) crate.
+//!
+//! The build container has no network access, so this shim provides exactly
+//! what the `netband` workspace consumes from `serde`: the `Serialize` /
+//! `Deserialize` *derive attributes* on result and config structs. Nothing in
+//! the workspace currently calls a serializer (`serde_json` is not used), so
+//! the traits are markers with blanket impls and the derives expand to
+//! nothing.
+//!
+//! Replacing this shim with the real crate is a manifest-only change: the
+//! derive sites (`#[derive(Serialize, Deserialize)]`) are already written
+//! against the real API.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for types that would be serializable under the real `serde`.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker for types that would be deserializable under the real `serde`.
+pub trait Deserialize {}
+
+impl<T: ?Sized> Deserialize for T {}

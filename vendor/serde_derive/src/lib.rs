@@ -1,0 +1,25 @@
+//! No-op derive macros for the vendored `serde` shim.
+//!
+//! The workspace's `serde` stand-in (`vendor/serde`) implements its
+//! [`Serialize`]/[`Deserialize`] marker traits for every type via blanket
+//! impls, so the derives here only need to *accept* the `#[derive(Serialize,
+//! Deserialize)]` attributes that annotate the result/config structs across
+//! the workspace — they expand to nothing. When the real `serde` replaces the
+//! shim, these derive sites become real serialization impls with no source
+//! change.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and expands to nothing; the shim's blanket
+/// impl already covers the type.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and expands to nothing; the shim's blanket
+/// impl already covers the type.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
