@@ -6,7 +6,7 @@
 //! arms actually played are updated — no side observation is used, which is the
 //! structural difference from DFL-CSO/DFL-CSR.
 
-use netband_core::estimator::RunningMean;
+use netband_core::estimator::ArmEstimators;
 use netband_core::CombinatorialPolicy;
 use netband_env::feasible::FeasibleSet;
 use netband_env::{CombinatorialFeedback, StrategyFamily};
@@ -19,8 +19,12 @@ use crate::ArmId;
 pub struct Cucb {
     graph: RelationGraph,
     family: StrategyFamily,
-    estimates: Vec<RunningMean>,
+    /// Flat per-arm play counts and means, keyed by dense arm id (the same
+    /// estimator arrays the DFL policies and LLR use).
+    estimates: ArmEstimators,
     total_pulls: u64,
+    /// Per-round index vector handed to the oracle, reused across rounds.
+    weights_scratch: Vec<f64>,
 }
 
 impl Cucb {
@@ -31,8 +35,9 @@ impl Cucb {
         Cucb {
             graph,
             family,
-            estimates: vec![RunningMean::new(); k],
+            estimates: ArmEstimators::new(k),
             total_pulls: 0,
+            weights_scratch: vec![0.0; k],
         }
     }
 
@@ -47,7 +52,7 @@ impl Cucb {
     ///
     /// Panics if `arm` is out of range.
     pub fn play_count(&self, arm: ArmId) -> u64 {
-        self.estimates[arm].count()
+        self.estimates.count(arm)
     }
 
     /// The per-arm UCB index at time `t`.
@@ -56,12 +61,12 @@ impl Cucb {
     ///
     /// Panics if `arm` is out of range.
     pub fn arm_index(&self, arm: ArmId, t: usize) -> f64 {
-        let est = &self.estimates[arm];
-        if est.count() == 0 {
+        let count = self.estimates.count(arm);
+        if count == 0 {
             // Large finite value so that oracle sums stay finite.
             return 2.0 + (t.max(1) as f64).ln().sqrt();
         }
-        est.mean() + (1.5 * (t.max(1) as f64).ln() / est.count() as f64).sqrt()
+        self.estimates.mean(arm) + (1.5 * (t.max(1) as f64).ln() / count as f64).sqrt()
     }
 }
 
@@ -71,29 +76,34 @@ impl CombinatorialPolicy for Cucb {
     }
 
     fn select_strategy(&mut self, t: usize) -> Vec<ArmId> {
-        let weights: Vec<f64> = (0..self.num_arms()).map(|i| self.arm_index(i, t)).collect();
+        for i in 0..self.num_arms() {
+            let w = self.arm_index(i, t);
+            self.weights_scratch[i] = w;
+        }
         self.family
-            .argmax_by_arm_weights(&weights, &self.graph)
+            .argmax_by_arm_weights(&self.weights_scratch, &self.graph)
             .expect("CUCB requires a non-empty feasible family")
     }
 
     fn update(&mut self, _t: usize, feedback: &CombinatorialFeedback) {
         self.total_pulls += 1;
         // Only the played arms are updated: their realised rewards are read off
-        // the observation list (which always contains the played arms).
+        // the observation list, which is sorted by arm id and always contains
+        // the played arms.
         for &arm in &feedback.strategy {
-            if let Some(&(_, reward)) = feedback.observations.iter().find(|&&(a, _)| a == arm) {
+            if let Ok(pos) = feedback
+                .observations
+                .binary_search_by_key(&arm, |&(a, _)| a)
+            {
                 if arm < self.estimates.len() {
-                    self.estimates[arm].update(reward);
+                    self.estimates.update(arm, feedback.observations[pos].1);
                 }
             }
         }
     }
 
     fn reset(&mut self) {
-        for est in &mut self.estimates {
-            est.reset();
-        }
+        self.estimates.reset();
         self.total_pulls = 0;
     }
 }

@@ -6,7 +6,7 @@
 //! combined with an exact oracle over the feasible family. Only the played
 //! arms are updated.
 
-use netband_core::estimator::RunningMean;
+use netband_core::estimator::ArmEstimators;
 use netband_core::CombinatorialPolicy;
 use netband_env::feasible::FeasibleSet;
 use netband_env::{CombinatorialFeedback, StrategyFamily};
@@ -19,7 +19,11 @@ use crate::ArmId;
 pub struct Llr {
     graph: RelationGraph,
     family: StrategyFamily,
-    estimates: Vec<RunningMean>,
+    /// Flat per-arm play counts and means, keyed by dense arm id (the same
+    /// estimator arrays the DFL policies and CUCB use).
+    estimates: ArmEstimators,
+    /// Per-round index vector handed to the oracle, reused across rounds.
+    weights_scratch: Vec<f64>,
 }
 
 impl Llr {
@@ -29,7 +33,8 @@ impl Llr {
         Llr {
             graph,
             family,
-            estimates: vec![RunningMean::new(); k],
+            estimates: ArmEstimators::new(k),
+            weights_scratch: vec![0.0; k],
         }
     }
 
@@ -44,7 +49,7 @@ impl Llr {
     ///
     /// Panics if `arm` is out of range.
     pub fn play_count(&self, arm: ArmId) -> u64 {
-        self.estimates[arm].count()
+        self.estimates.count(arm)
     }
 
     /// The LLR per-arm index at time `t`.
@@ -53,12 +58,12 @@ impl Llr {
     ///
     /// Panics if `arm` is out of range.
     pub fn arm_index(&self, arm: ArmId, t: usize) -> f64 {
-        let est = &self.estimates[arm];
+        let count = self.estimates.count(arm);
         let m = self.family.max_size().max(1) as f64;
-        if est.count() == 0 {
+        if count == 0 {
             return 2.0 + ((m + 1.0) * (t.max(1) as f64).ln()).sqrt();
         }
-        est.mean() + ((m + 1.0) * (t.max(1) as f64).ln() / est.count() as f64).sqrt()
+        self.estimates.mean(arm) + ((m + 1.0) * (t.max(1) as f64).ln() / count as f64).sqrt()
     }
 }
 
@@ -68,26 +73,31 @@ impl CombinatorialPolicy for Llr {
     }
 
     fn select_strategy(&mut self, t: usize) -> Vec<ArmId> {
-        let weights: Vec<f64> = (0..self.num_arms()).map(|i| self.arm_index(i, t)).collect();
+        for i in 0..self.num_arms() {
+            let w = self.arm_index(i, t);
+            self.weights_scratch[i] = w;
+        }
         self.family
-            .argmax_by_arm_weights(&weights, &self.graph)
+            .argmax_by_arm_weights(&self.weights_scratch, &self.graph)
             .expect("LLR requires a non-empty feasible family")
     }
 
     fn update(&mut self, _t: usize, feedback: &CombinatorialFeedback) {
+        // The observation list is sorted by arm id and contains the played arms.
         for &arm in &feedback.strategy {
-            if let Some(&(_, reward)) = feedback.observations.iter().find(|&&(a, _)| a == arm) {
+            if let Ok(pos) = feedback
+                .observations
+                .binary_search_by_key(&arm, |&(a, _)| a)
+            {
                 if arm < self.estimates.len() {
-                    self.estimates[arm].update(reward);
+                    self.estimates.update(arm, feedback.observations[pos].1);
                 }
             }
         }
     }
 
     fn reset(&mut self) {
-        for est in &mut self.estimates {
-            est.reset();
-        }
+        self.estimates.reset();
     }
 }
 

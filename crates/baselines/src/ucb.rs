@@ -3,48 +3,59 @@
 //! Distribution-dependent single-play baselines. Like MOSS they learn only from
 //! the pulled arm's direct reward.
 
-use netband_core::estimator::RunningMean;
+use netband_core::estimator::{argmax_last, ArmEstimators};
 use netband_core::SinglePlayPolicy;
 use netband_env::SinglePlayFeedback;
 
 use crate::ArmId;
 
-/// Per-arm state shared by the two UCB variants (mean, count, sum of squares).
-#[derive(Debug, Clone, Default)]
-struct UcbArm {
-    mean: RunningMean,
-    sum_sq: f64,
+/// Flat per-arm state shared by the two UCB variants: struct-of-arrays running
+/// means plus a parallel sum-of-squares array for the variance estimate.
+#[derive(Debug, Clone)]
+struct UcbArms {
+    estimates: ArmEstimators,
+    sum_sq: Vec<f64>,
 }
 
-impl UcbArm {
-    fn update(&mut self, x: f64) {
-        self.mean.update(x);
-        self.sum_sq += x * x;
+impl UcbArms {
+    fn new(num_arms: usize) -> Self {
+        UcbArms {
+            estimates: ArmEstimators::new(num_arms),
+            sum_sq: vec![0.0; num_arms],
+        }
     }
-    fn variance_estimate(&self) -> f64 {
-        let n = self.mean.count() as f64;
+    fn len(&self) -> usize {
+        self.estimates.len()
+    }
+    fn update(&mut self, arm: ArmId, x: f64) {
+        self.estimates.update(arm, x);
+        self.sum_sq[arm] += x * x;
+    }
+    fn variance_estimate(&self, arm: ArmId) -> f64 {
+        let n = self.estimates.count(arm) as f64;
         if n == 0.0 {
             return 0.0;
         }
-        (self.sum_sq / n - self.mean.mean() * self.mean.mean()).max(0.0)
+        let mean = self.estimates.mean(arm);
+        (self.sum_sq[arm] / n - mean * mean).max(0.0)
     }
     fn reset(&mut self) {
-        self.mean.reset();
-        self.sum_sq = 0.0;
+        self.estimates.reset();
+        self.sum_sq.fill(0.0);
     }
 }
 
 /// Classic UCB1: index `X̄_i + sqrt(2 ln t / T_i)`.
 #[derive(Debug, Clone)]
 pub struct Ucb1 {
-    arms: Vec<UcbArm>,
+    arms: UcbArms,
 }
 
 impl Ucb1 {
     /// UCB1 over `num_arms` arms.
     pub fn new(num_arms: usize) -> Self {
         Ucb1 {
-            arms: vec![UcbArm::default(); num_arms],
+            arms: UcbArms::new(num_arms),
         }
     }
 
@@ -59,7 +70,7 @@ impl Ucb1 {
     ///
     /// Panics if `arm` is out of range.
     pub fn pull_count(&self, arm: ArmId) -> u64 {
-        self.arms[arm].mean.count()
+        self.arms.estimates.count(arm)
     }
 
     /// The UCB1 index of an arm at time `t`.
@@ -68,12 +79,12 @@ impl Ucb1 {
     ///
     /// Panics if `arm` is out of range.
     pub fn index(&self, arm: ArmId, t: usize) -> f64 {
-        let a = &self.arms[arm];
-        if a.mean.count() == 0 {
+        let count = self.arms.estimates.count(arm);
+        if count == 0 {
             return f64::INFINITY;
         }
         let t = t.max(1) as f64;
-        a.mean.mean() + (2.0 * t.ln() / a.mean.count() as f64).sqrt()
+        self.arms.estimates.mean(arm) + (2.0 * t.ln() / count as f64).sqrt()
     }
 }
 
@@ -83,25 +94,17 @@ impl SinglePlayPolicy for Ucb1 {
     }
 
     fn select_arm(&mut self, t: usize) -> ArmId {
-        (0..self.num_arms())
-            .max_by(|&a, &b| {
-                self.index(a, t)
-                    .partial_cmp(&self.index(b, t))
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            })
-            .unwrap_or(0)
+        argmax_last((0..self.num_arms()).map(|arm| self.index(arm, t))).unwrap_or(0)
     }
 
     fn update(&mut self, _t: usize, feedback: &SinglePlayFeedback) {
         if feedback.arm < self.arms.len() {
-            self.arms[feedback.arm].update(feedback.direct_reward);
+            self.arms.update(feedback.arm, feedback.direct_reward);
         }
     }
 
     fn reset(&mut self) {
-        for a in &mut self.arms {
-            a.reset();
-        }
+        self.arms.reset();
     }
 }
 
@@ -110,14 +113,14 @@ impl SinglePlayPolicy for Ucb1 {
 /// rewards.
 #[derive(Debug, Clone)]
 pub struct UcbTuned {
-    arms: Vec<UcbArm>,
+    arms: UcbArms,
 }
 
 impl UcbTuned {
     /// UCB-Tuned over `num_arms` arms.
     pub fn new(num_arms: usize) -> Self {
         UcbTuned {
-            arms: vec![UcbArm::default(); num_arms],
+            arms: UcbArms::new(num_arms),
         }
     }
 
@@ -126,21 +129,29 @@ impl UcbTuned {
         self.arms.len()
     }
 
+    /// The empirical variance estimate `V_i(T_i)` of an arm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arm` is out of range.
+    pub fn variance_estimate(&self, arm: ArmId) -> f64 {
+        self.arms.variance_estimate(arm)
+    }
+
     /// The UCB-Tuned index of an arm at time `t`.
     ///
     /// # Panics
     ///
     /// Panics if `arm` is out of range.
     pub fn index(&self, arm: ArmId, t: usize) -> f64 {
-        let a = &self.arms[arm];
-        let count = a.mean.count();
+        let count = self.arms.estimates.count(arm);
         if count == 0 {
             return f64::INFINITY;
         }
         let t = t.max(1) as f64;
         let count_f = count as f64;
-        let v = a.variance_estimate() + (2.0 * t.ln() / count_f).sqrt();
-        a.mean.mean() + (t.ln() / count_f * v.min(0.25)).sqrt()
+        let v = self.arms.variance_estimate(arm) + (2.0 * t.ln() / count_f).sqrt();
+        self.arms.estimates.mean(arm) + (t.ln() / count_f * v.min(0.25)).sqrt()
     }
 }
 
@@ -150,25 +161,17 @@ impl SinglePlayPolicy for UcbTuned {
     }
 
     fn select_arm(&mut self, t: usize) -> ArmId {
-        (0..self.num_arms())
-            .max_by(|&a, &b| {
-                self.index(a, t)
-                    .partial_cmp(&self.index(b, t))
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            })
-            .unwrap_or(0)
+        argmax_last((0..self.num_arms()).map(|arm| self.index(arm, t))).unwrap_or(0)
     }
 
     fn update(&mut self, _t: usize, feedback: &SinglePlayFeedback) {
         if feedback.arm < self.arms.len() {
-            self.arms[feedback.arm].update(feedback.direct_reward);
+            self.arms.update(feedback.arm, feedback.direct_reward);
         }
     }
 
     fn reset(&mut self) {
-        for a in &mut self.arms {
-            a.reset();
-        }
+        self.arms.reset();
     }
 }
 
@@ -259,7 +262,7 @@ mod tests {
                 },
             );
         }
-        assert!(policy.arms[0].variance_estimate() < 1e-9);
+        assert!(policy.variance_estimate(0) < 1e-9);
     }
 
     #[test]

@@ -4,9 +4,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use netband_core::estimator::moss_index;
-use netband_core::{DflSso, SinglePlayPolicy};
+use netband_core::{DflSso, DflSsr, SinglePlayPolicy};
 use netband_env::feasible::FeasibleSet;
-use netband_env::{ArmSet, NetworkedBandit, StrategyFamily};
+use netband_env::{ArmSet, NetworkedBandit, PullBuffer, StrategyFamily};
 use netband_graph::{generators, greedy_clique_cover, StrategyRelationGraph};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -80,12 +80,90 @@ fn bench_policy_step(c: &mut Criterion) {
     });
 }
 
+fn bench_neighborhood_layout(c: &mut Criterion) {
+    // Allocating Vec-per-query neighbourhoods vs borrowed CSR rows.
+    let mut rng = StdRng::seed_from_u64(5);
+    let graph = generators::erdos_renyi(200, 0.3, &mut rng);
+    let csr = graph.to_csr();
+    let mut group = c.benchmark_group("closed_neighborhood_sweep");
+    group.bench_function("relation_graph", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for v in graph.vertices() {
+                total += graph.closed_neighborhood(v).len();
+            }
+            std::hint::black_box(total)
+        })
+    });
+    group.bench_function("csr_graph", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for v in csr.vertices() {
+                total += csr.closed_neighborhood(v).len();
+            }
+            std::hint::black_box(total)
+        })
+    });
+    group.finish();
+}
+
+fn bench_pull_path(c: &mut Criterion) {
+    // Per-round environment pull: allocating API vs reused PullBuffer, and the
+    // batched pull_many form.
+    let mut rng = StdRng::seed_from_u64(6);
+    let graph = generators::erdos_renyi(100, 0.3, &mut rng);
+    let bandit =
+        NetworkedBandit::new(graph.clone(), ArmSet::random_bernoulli(100, &mut rng)).unwrap();
+    let mut group = c.benchmark_group("env_pull_single");
+    group.bench_function("alloc_per_round", |b| {
+        b.iter(|| std::hint::black_box(bandit.pull_single(17, &mut rng).side_reward))
+    });
+    group.bench_function("pull_buffer", |b| {
+        let mut buf = PullBuffer::new();
+        b.iter(|| std::hint::black_box(buf.pull_single(&bandit, 17, &mut rng).side_reward))
+    });
+    group.bench_function("pull_many_64", |b| {
+        let arms: Vec<usize> = (0..64).map(|i| i % 100).collect();
+        let mut buf = PullBuffer::new();
+        b.iter(|| {
+            let mut total = 0.0;
+            bandit.pull_many(&arms, &mut rng, &mut buf, |_, fb| total += fb.direct_reward);
+            std::hint::black_box(total)
+        })
+    });
+    group.finish();
+}
+
+fn bench_ssr_select(c: &mut Criterion) {
+    // DFL-SSR's argmax is the heaviest single-play selection: every index scans
+    // a whole closed neighbourhood (counts + means) of the CSR snapshot.
+    let mut rng = StdRng::seed_from_u64(7);
+    let graph = generators::erdos_renyi(100, 0.3, &mut rng);
+    let bandit =
+        NetworkedBandit::new(graph.clone(), ArmSet::random_bernoulli(100, &mut rng)).unwrap();
+    c.bench_function("dfl_ssr_select_pull_update", |b| {
+        let mut policy = DflSsr::new(graph.clone());
+        let mut buf = PullBuffer::new();
+        let mut t = 0usize;
+        b.iter(|| {
+            t += 1;
+            let arm = policy.select_arm(t);
+            let fb = buf.pull_single(&bandit, arm, &mut rng);
+            policy.update(t, fb);
+            std::hint::black_box(arm)
+        })
+    });
+}
+
 criterion_group!(
     benches,
     bench_index,
     bench_clique_cover,
     bench_strategy_graph,
     bench_oracle,
-    bench_policy_step
+    bench_policy_step,
+    bench_neighborhood_layout,
+    bench_pull_path,
+    bench_ssr_select
 );
 criterion_main!(benches);

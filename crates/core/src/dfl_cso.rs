@@ -15,13 +15,11 @@
 //! `[0, 1]` scale assumed by the analysis; the normalisation is an
 //! implementation detail invisible to callers.
 
-use std::collections::HashMap;
-
 use netband_env::CombinatorialFeedback;
 use netband_graph::strategy::StrategyId;
 use netband_graph::StrategyRelationGraph;
 
-use crate::estimator::{moss_index, RunningMean};
+use crate::estimator::{argmax_last, moss_index, ArmEstimators};
 use crate::policy::CombinatorialPolicy;
 use crate::ArmId;
 
@@ -30,12 +28,23 @@ use crate::ArmId;
 #[derive(Debug, Clone)]
 pub struct DflCso {
     strategy_graph: StrategyRelationGraph,
-    estimates: Vec<RunningMean>,
+    /// Flat per-com-arm observation counts and (normalised) means, keyed by
+    /// dense strategy id.
+    estimates: ArmEstimators,
     /// Normalisation constant: the largest strategy size in `F` (at least 1).
     scale: f64,
     /// Index of the com-arm pulled at the current time slot; used to attribute
     /// feedback to the correct strategy when updating.
     last_selected: Option<StrategyId>,
+    /// One-past-the-largest arm id appearing in any observation set; sizes the
+    /// dense per-round scratch below.
+    arm_bound: usize,
+    /// Scratch: revealed sample per arm id (valid only where `observed_scratch`
+    /// is set); reused across rounds so `update` performs no allocation.
+    sample_scratch: Vec<f64>,
+    /// Scratch: which arms the current feedback revealed; cleared before
+    /// `update` returns.
+    observed_scratch: Vec<bool>,
 }
 
 impl DflCso {
@@ -49,11 +58,22 @@ impl DflCso {
             .max()
             .unwrap_or(1)
             .max(1) as f64;
+        let arm_bound = strategy_graph
+            .strategies()
+            .iter()
+            .flatten()
+            .chain((0..num).flat_map(|x| strategy_graph.observation_set(x)))
+            .max()
+            .map(|&a| a + 1)
+            .unwrap_or(0);
         DflCso {
             strategy_graph,
-            estimates: vec![RunningMean::new(); num],
+            estimates: ArmEstimators::new(num),
             scale,
             last_selected: None,
+            arm_bound,
+            sample_scratch: vec![0.0; arm_bound],
+            observed_scratch: vec![false; arm_bound],
         }
     }
 
@@ -82,7 +102,7 @@ impl DflCso {
     ///
     /// Panics if `x` is out of range.
     pub fn observation_count(&self, x: StrategyId) -> u64 {
-        self.estimates[x].count()
+        self.estimates.count(x)
     }
 
     /// Empirical mean reward of a com-arm (denormalised back to the `[0, M]`
@@ -92,7 +112,7 @@ impl DflCso {
     ///
     /// Panics if `x` is out of range.
     pub fn empirical_mean(&self, x: StrategyId) -> f64 {
-        self.estimates[x].mean() * self.scale
+        self.estimates.mean(x) * self.scale
     }
 
     /// The index value (Equation 42) of com-arm `x` at time `t`, on the
@@ -102,17 +122,17 @@ impl DflCso {
     ///
     /// Panics if `x` is out of range.
     pub fn index(&self, x: StrategyId, t: usize) -> f64 {
-        let est = &self.estimates[x];
-        moss_index(est.mean(), est.count(), t, self.num_strategies())
+        moss_index(
+            self.estimates.mean(x),
+            self.estimates.count(x),
+            t,
+            self.num_strategies(),
+        )
     }
 
     /// The com-arm that would be selected at time `t` (without mutating state).
     pub fn best_strategy_index(&self, t: usize) -> Option<StrategyId> {
-        (0..self.num_strategies()).max_by(|&a, &b| {
-            self.index(a, t)
-                .partial_cmp(&self.index(b, t))
-                .unwrap_or(std::cmp::Ordering::Equal)
-        })
+        argmax_last((0..self.num_strategies()).map(|x| self.index(x, t)))
     }
 }
 
@@ -130,30 +150,34 @@ impl CombinatorialPolicy for DflCso {
     }
 
     fn update(&mut self, _t: usize, feedback: &CombinatorialFeedback) {
-        // Build a lookup of the revealed samples, then update every com-arm whose
-        // component arms are fully observed (the pulled com-arm and its SG
-        // neighbours).
-        let samples: HashMap<ArmId, f64> = feedback.observations.iter().copied().collect();
-        let observed_arms: Vec<ArmId> = feedback.observations.iter().map(|&(a, _)| a).collect();
-        for x in self
-            .strategy_graph
-            .strategies_observable_from(&observed_arms)
-        {
-            let reward: f64 = self
-                .strategy_graph
-                .strategy(x)
-                .iter()
-                .map(|arm| samples.get(arm).copied().unwrap_or(0.0))
-                .sum();
-            self.estimates[x].update(reward / self.scale);
+        // Scatter the revealed samples into the dense scratch, then update
+        // every com-arm whose component arms are fully observed (the pulled
+        // com-arm and its SG neighbours). Arms at or beyond `arm_bound` cannot
+        // belong to any strategy, so skipping them preserves the subset test.
+        for &(arm, reward) in &feedback.observations {
+            if arm < self.arm_bound {
+                self.sample_scratch[arm] = reward;
+                self.observed_scratch[arm] = true;
+            }
+        }
+        for x in 0..self.strategy_graph.num_strategies() {
+            let strategy: &[ArmId] = self.strategy_graph.strategy(x);
+            if !strategy.iter().all(|&a| self.observed_scratch[a]) {
+                continue;
+            }
+            let reward: f64 = strategy.iter().map(|&a| self.sample_scratch[a]).sum();
+            self.estimates.update(x, reward / self.scale);
+        }
+        for &(arm, _) in &feedback.observations {
+            if arm < self.arm_bound {
+                self.observed_scratch[arm] = false;
+            }
         }
         self.last_selected = None;
     }
 
     fn reset(&mut self) {
-        for est in &mut self.estimates {
-            est.reset();
-        }
+        self.estimates.reset();
         self.last_selected = None;
     }
 }

@@ -20,40 +20,82 @@ use netband_env::feasible::FeasibleSet;
 use netband_env::{CombinatorialFeedback, StrategyFamily};
 use netband_graph::RelationGraph;
 
-use crate::estimator::{csr_index, RunningMean};
+use crate::estimator::{argmax_last, csr_index, ArmEstimators};
 use crate::policy::CombinatorialPolicy;
 use crate::ArmId;
+
+/// The enumerated feasible set, flattened into two CSR-style tables so the
+/// per-round oracle is a linear scan over contiguous arrays: row `x` of
+/// `strat_offsets`/`strat_arms` is the strategy `s_x`, row `x` of
+/// `obs_offsets`/`obs_arms` its observation set `Y_x` (both sorted, preserving
+/// the enumeration order and hence the floating-point summation order of the
+/// map-based cache it replaces).
+#[derive(Debug, Clone)]
+struct EnumeratedFamily {
+    strat_offsets: Vec<usize>,
+    strat_arms: Vec<ArmId>,
+    obs_offsets: Vec<usize>,
+    obs_arms: Vec<ArmId>,
+}
+
+impl EnumeratedFamily {
+    fn build(graph: &RelationGraph, strategies: Vec<Vec<ArmId>>) -> Self {
+        let mut out = EnumeratedFamily {
+            strat_offsets: vec![0],
+            strat_arms: Vec::new(),
+            obs_offsets: vec![0],
+            obs_arms: Vec::new(),
+        };
+        for s in &strategies {
+            out.strat_arms.extend_from_slice(s);
+            out.strat_offsets.push(out.strat_arms.len());
+            out.obs_arms.extend(graph.closed_neighborhood_of_set(s));
+            out.obs_offsets.push(out.obs_arms.len());
+        }
+        out
+    }
+
+    fn len(&self) -> usize {
+        self.strat_offsets.len() - 1
+    }
+
+    fn strategy(&self, x: usize) -> &[ArmId] {
+        &self.strat_arms[self.strat_offsets[x]..self.strat_offsets[x + 1]]
+    }
+
+    fn observation_set(&self, x: usize) -> &[ArmId] {
+        &self.obs_arms[self.obs_offsets[x]..self.obs_offsets[x + 1]]
+    }
+}
 
 /// The DFL-CSR policy (Algorithm 4).
 #[derive(Debug, Clone)]
 pub struct DflCsr {
     graph: RelationGraph,
     family: StrategyFamily,
-    estimates: Vec<RunningMean>,
-    /// Cached enumeration of `(strategy, Y_x)` pairs when the family is small
-    /// enough to enumerate; lets the per-round oracle avoid recomputing the
-    /// observation sets at every time slot.
-    enumerated: Option<Vec<(Vec<ArmId>, Vec<ArmId>)>>,
+    /// Flat per-arm observation counts and means, keyed by dense arm id.
+    estimates: ArmEstimators,
+    /// Flattened enumeration of `(strategy, Y_x)` pairs when the family is
+    /// small enough to enumerate; lets the per-round oracle avoid recomputing
+    /// the observation sets at every time slot.
+    enumerated: Option<EnumeratedFamily>,
+    /// Per-round index vector `w_i(t)`, reused across rounds.
+    weights_scratch: Vec<f64>,
 }
 
 impl DflCsr {
     /// Creates the policy for the given relation graph and feasible family.
     pub fn new(graph: RelationGraph, family: StrategyFamily) -> Self {
         let k = graph.num_vertices();
-        let enumerated = family.enumerate(&graph).map(|strategies| {
-            strategies
-                .into_iter()
-                .map(|s| {
-                    let y = graph.closed_neighborhood_of_set(&s);
-                    (s, y)
-                })
-                .collect()
-        });
+        let enumerated = family
+            .enumerate(&graph)
+            .map(|strategies| EnumeratedFamily::build(&graph, strategies));
         DflCsr {
             graph,
             family,
-            estimates: vec![RunningMean::new(); k],
+            estimates: ArmEstimators::new(k),
             enumerated,
+            weights_scratch: vec![0.0; k],
         }
     }
 
@@ -78,7 +120,7 @@ impl DflCsr {
     ///
     /// Panics if `arm` is out of range.
     pub fn observation_count(&self, arm: ArmId) -> u64 {
-        self.estimates[arm].count()
+        self.estimates.count(arm)
     }
 
     /// Empirical mean `X̄_i` of an arm.
@@ -87,7 +129,7 @@ impl DflCsr {
     ///
     /// Panics if `arm` is out of range.
     pub fn empirical_mean(&self, arm: ArmId) -> f64 {
-        self.estimates[arm].mean()
+        self.estimates.mean(arm)
     }
 
     /// The per-arm index `w_i(t)` of Equation (47).
@@ -96,8 +138,12 @@ impl DflCsr {
     ///
     /// Panics if `arm` is out of range.
     pub fn arm_index(&self, arm: ArmId, t: usize) -> f64 {
-        let est = &self.estimates[arm];
-        csr_index(est.mean(), est.count(), t, self.num_arms())
+        csr_index(
+            self.estimates.mean(arm),
+            self.estimates.count(arm),
+            t,
+            self.num_arms(),
+        )
     }
 
     /// The full per-arm index vector at time `t`.
@@ -112,39 +158,42 @@ impl CombinatorialPolicy for DflCsr {
     }
 
     fn select_strategy(&mut self, t: usize) -> Vec<ArmId> {
-        let weights = self.index_vector(t);
+        for arm in 0..self.num_arms() {
+            let w = self.arm_index(arm, t);
+            self.weights_scratch[arm] = w;
+        }
         if let Some(enumerated) = &self.enumerated {
-            // Fast path: the feasible set was enumerated at construction, so the
-            // per-round optimisation is a linear scan over cached (s_x, Y_x).
-            let best = enumerated
-                .iter()
-                .max_by(|(_, ya), (_, yb)| {
-                    let wa: f64 = ya.iter().map(|&i| weights[i]).sum();
-                    let wb: f64 = yb.iter().map(|&i| weights[i]).sum();
-                    wa.partial_cmp(&wb).unwrap_or(std::cmp::Ordering::Equal)
-                })
-                .map(|(s, _)| s.clone());
-            if let Some(s) = best {
-                return s;
+            // Fast path: the feasible set was enumerated at construction, so
+            // the per-round optimisation is one linear scan over the flattened
+            // (s_x, Y_x) rows; each coverage weight is summed once, in row
+            // order, and `argmax_last` keeps the `max_by` tie-breaking of the
+            // comparator-based scan it replaces.
+            let best = argmax_last((0..enumerated.len()).map(|x| {
+                enumerated
+                    .observation_set(x)
+                    .iter()
+                    .map(|&i| self.weights_scratch[i])
+                    .sum::<f64>()
+            }));
+            if let Some(x) = best {
+                return enumerated.strategy(x).to_vec();
             }
         }
         self.family
-            .argmax_by_neighborhood_weights(&weights, &self.graph)
+            .argmax_by_neighborhood_weights(&self.weights_scratch, &self.graph)
             .expect("DFL-CSR requires a non-empty feasible strategy family")
     }
 
     fn update(&mut self, _t: usize, feedback: &CombinatorialFeedback) {
         for &(arm, reward) in &feedback.observations {
             if arm < self.estimates.len() {
-                self.estimates[arm].update(reward);
+                self.estimates.update(arm, reward);
             }
         }
     }
 
     fn reset(&mut self) {
-        for est in &mut self.estimates {
-            est.reset();
-        }
+        self.estimates.reset();
     }
 }
 

@@ -17,7 +17,7 @@
 use netband_env::SinglePlayFeedback;
 use netband_graph::RelationGraph;
 
-use crate::estimator::{moss_index, RunningMean};
+use crate::estimator::{argmax_last, moss_index, ArmEstimators};
 use crate::policy::SinglePlayPolicy;
 use crate::ArmId;
 
@@ -47,7 +47,9 @@ use crate::ArmId;
 #[derive(Debug, Clone)]
 pub struct DflSso {
     graph: RelationGraph,
-    estimates: Vec<RunningMean>,
+    /// Flat per-arm observation counts and running means (`O_i`, `X̄_i`),
+    /// keyed by dense arm id.
+    estimates: ArmEstimators,
 }
 
 impl DflSso {
@@ -61,7 +63,7 @@ impl DflSso {
         let k = graph.num_vertices();
         DflSso {
             graph,
-            estimates: vec![RunningMean::new(); k],
+            estimates: ArmEstimators::new(k),
         }
     }
 
@@ -81,7 +83,7 @@ impl DflSso {
     ///
     /// Panics if `arm` is out of range.
     pub fn observation_count(&self, arm: ArmId) -> u64 {
-        self.estimates[arm].count()
+        self.estimates.count(arm)
     }
 
     /// Current empirical mean `X̄_i` of an arm.
@@ -90,7 +92,7 @@ impl DflSso {
     ///
     /// Panics if `arm` is out of range.
     pub fn empirical_mean(&self, arm: ArmId) -> f64 {
-        self.estimates[arm].mean()
+        self.estimates.mean(arm)
     }
 
     /// The index value (Equation 5) of an arm at time `t`.
@@ -99,8 +101,12 @@ impl DflSso {
     ///
     /// Panics if `arm` is out of range.
     pub fn index(&self, arm: ArmId, t: usize) -> f64 {
-        let est = &self.estimates[arm];
-        moss_index(est.mean(), est.count(), t, self.num_arms())
+        moss_index(
+            self.estimates.mean(arm),
+            self.estimates.count(arm),
+            t,
+            self.num_arms(),
+        )
     }
 }
 
@@ -111,27 +117,21 @@ impl SinglePlayPolicy for DflSso {
 
     fn select_arm(&mut self, t: usize) -> ArmId {
         debug_assert!(self.num_arms() > 0, "cannot select from zero arms");
-        (0..self.num_arms())
-            .max_by(|&a, &b| {
-                self.index(a, t)
-                    .partial_cmp(&self.index(b, t))
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            })
-            .unwrap_or(0)
+        // Single pass over the flat estimate arrays; `argmax_last` keeps the
+        // `max_by` tie-breaking so selections are unchanged.
+        argmax_last((0..self.num_arms()).map(|arm| self.index(arm, t))).unwrap_or(0)
     }
 
     fn update(&mut self, _t: usize, feedback: &SinglePlayFeedback) {
         for &(arm, reward) in &feedback.observations {
             if arm < self.estimates.len() {
-                self.estimates[arm].update(reward);
+                self.estimates.update(arm, reward);
             }
         }
     }
 
     fn reset(&mut self) {
-        for est in &mut self.estimates {
-            est.reset();
-        }
+        self.estimates.reset();
     }
 }
 

@@ -19,9 +19,9 @@
 //! `K` for the same reason).
 
 use netband_env::SinglePlayFeedback;
-use netband_graph::RelationGraph;
+use netband_graph::{CsrGraph, RelationGraph};
 
-use crate::estimator::{moss_index, RunningMean};
+use crate::estimator::{argmax_last, moss_index, ArmEstimators};
 use crate::policy::SinglePlayPolicy;
 use crate::ArmId;
 
@@ -29,24 +29,22 @@ use crate::ArmId;
 #[derive(Debug, Clone)]
 pub struct DflSsr {
     graph: RelationGraph,
-    /// Per-arm direct-observation estimates (`O_i`, `X̄_i`).
-    arm_estimates: Vec<RunningMean>,
-    /// Closed neighbourhoods, precomputed.
-    neighborhoods: Vec<Vec<ArmId>>,
+    /// Flat snapshot of the graph; the per-round index computation walks its
+    /// packed closed-neighbourhood rows.
+    csr: CsrGraph,
+    /// Flat per-arm direct-observation counts and means (`O_i`, `X̄_i`).
+    arm_estimates: ArmEstimators,
 }
 
 impl DflSsr {
     /// Creates the policy for the given relation graph.
     pub fn new(graph: RelationGraph) -> Self {
-        let neighborhoods: Vec<Vec<ArmId>> = graph
-            .vertices()
-            .map(|v| graph.closed_neighborhood(v))
-            .collect();
+        let csr = graph.to_csr();
         let k = graph.num_vertices();
         DflSsr {
             graph,
-            arm_estimates: vec![RunningMean::new(); k],
-            neighborhoods,
+            csr,
+            arm_estimates: ArmEstimators::new(k),
         }
     }
 
@@ -66,7 +64,7 @@ impl DflSsr {
     ///
     /// Panics if `arm` is out of range.
     pub fn observation_count(&self, arm: ArmId) -> u64 {
-        self.arm_estimates[arm].count()
+        self.arm_estimates.count(arm)
     }
 
     /// Side-reward observation count `Ob_i = min_{j ∈ N_i} O_j`.
@@ -75,9 +73,10 @@ impl DflSsr {
     ///
     /// Panics if `arm` is out of range.
     pub fn side_observation_count(&self, arm: ArmId) -> u64 {
-        self.neighborhoods[arm]
+        self.csr
+            .closed_neighborhood(arm)
             .iter()
-            .map(|&j| self.arm_estimates[j].count())
+            .map(|&j| self.arm_estimates.count(j))
             .min()
             .unwrap_or(0)
     }
@@ -88,9 +87,10 @@ impl DflSsr {
     ///
     /// Panics if `arm` is out of range.
     pub fn side_reward_estimate(&self, arm: ArmId) -> f64 {
-        self.neighborhoods[arm]
+        self.csr
+            .closed_neighborhood(arm)
             .iter()
-            .map(|&j| self.arm_estimates[j].mean())
+            .map(|&j| self.arm_estimates.mean(j))
             .sum()
     }
 
@@ -115,27 +115,21 @@ impl SinglePlayPolicy for DflSsr {
 
     fn select_arm(&mut self, t: usize) -> ArmId {
         debug_assert!(self.num_arms() > 0, "cannot select from zero arms");
-        (0..self.num_arms())
-            .max_by(|&a, &b| {
-                self.index(a, t)
-                    .partial_cmp(&self.index(b, t))
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            })
-            .unwrap_or(0)
+        // Single pass; `argmax_last` preserves the `max_by` tie-breaking. Each
+        // index scans one packed closed-neighbourhood row of the CSR snapshot.
+        argmax_last((0..self.num_arms()).map(|arm| self.index(arm, t))).unwrap_or(0)
     }
 
     fn update(&mut self, _t: usize, feedback: &SinglePlayFeedback) {
         for &(arm, reward) in &feedback.observations {
             if arm < self.arm_estimates.len() {
-                self.arm_estimates[arm].update(reward);
+                self.arm_estimates.update(arm, reward);
             }
         }
     }
 
     fn reset(&mut self) {
-        for est in &mut self.arm_estimates {
-            est.reset();
-        }
+        self.arm_estimates.reset();
     }
 }
 

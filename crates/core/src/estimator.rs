@@ -74,6 +74,119 @@ impl RunningMean {
     }
 }
 
+/// Dense struct-of-arrays running-mean estimators for `K` arms (or com-arms).
+///
+/// Semantically a `Vec<RunningMean>` — each slot folds observations with the
+/// exact same incremental-mean recurrence as [`RunningMean::update`], so a
+/// policy converted from per-arm structs to these arrays produces bit-identical
+/// estimates — but stored as two flat arrays (`counts`, `means`) keyed by dense
+/// arm id. The per-round argmax scans of the policies then read one contiguous
+/// `f64` array instead of striding over an array of structs.
+///
+/// # Example
+///
+/// ```
+/// use netband_core::estimator::ArmEstimators;
+///
+/// let mut est = ArmEstimators::new(3);
+/// est.update(1, 1.0);
+/// est.update(1, 0.0);
+/// assert_eq!(est.count(1), 2);
+/// assert_eq!(est.mean(1), 0.5);
+/// assert_eq!(est.count(0), 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ArmEstimators {
+    counts: Vec<u64>,
+    means: Vec<f64>,
+}
+
+impl ArmEstimators {
+    /// Fresh estimators for `len` arms, all with zero observations.
+    pub fn new(len: usize) -> Self {
+        ArmEstimators {
+            counts: vec![0; len],
+            means: vec![0.0; len],
+        }
+    }
+
+    /// Number of arms tracked.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Returns `true` if no arms are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Observation count of arm `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn count(&self, i: usize) -> u64 {
+        self.counts[i]
+    }
+
+    /// Current sample mean of arm `i` (0 before the first observation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn mean(&self, i: usize) -> f64 {
+        self.means[i]
+    }
+
+    /// The flat observation-count array.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// The flat sample-mean array.
+    pub fn means(&self) -> &[f64] {
+        &self.means
+    }
+
+    /// Folds one observation of arm `i` into its mean (the [`RunningMean`]
+    /// recurrence, bit for bit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn update(&mut self, i: usize, value: f64) {
+        self.counts[i] += 1;
+        self.means[i] += (value - self.means[i]) / self.counts[i] as f64;
+    }
+
+    /// Resets every arm to its initial state.
+    pub fn reset(&mut self) {
+        self.counts.fill(0);
+        self.means.fill(0.0);
+    }
+}
+
+/// Index of the maximum of `values`, breaking ties towards the **last**
+/// maximum — the selection `Iterator::max_by` makes with a
+/// `partial_cmp(..).unwrap_or(Equal)` comparator. The policies' single-pass
+/// argmax scans use this so that converting them away from comparator-based
+/// `max_by` keeps every selection (and hence every golden trace) bit-identical.
+///
+/// Incomparable values (NaN) are treated as equal, so a later NaN replaces the
+/// incumbent, exactly like the `unwrap_or(Equal)` comparators did.
+pub fn argmax_last(values: impl IntoIterator<Item = f64>) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, v) in values.into_iter().enumerate() {
+        let keep_incumbent = best
+            .map(|(_, b)| b.partial_cmp(&v) == Some(std::cmp::Ordering::Greater))
+            .unwrap_or(false);
+        if !keep_incumbent {
+            best = Some((i, v));
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
 /// The MOSS-style index `mean + sqrt(log⁺(t / (k · count)) / count)`.
 ///
 /// * `mean`, `count` — the running estimate of the candidate;
@@ -196,5 +309,50 @@ mod tests {
     fn csr_index_decays_with_count() {
         let t = 10_000;
         assert!(csr_index(0.5, 2, t, 10) > csr_index(0.5, 200, t, 10));
+    }
+
+    #[test]
+    fn arm_estimators_match_running_means_bit_for_bit() {
+        let mut soa = ArmEstimators::new(3);
+        let mut aos = [RunningMean::new(); 3];
+        let stream = [(0, 0.3), (1, 0.9), (0, 0.1), (2, 0.55), (0, 0.7), (1, 0.2)];
+        for &(i, x) in &stream {
+            soa.update(i, x);
+            aos[i].update(x);
+        }
+        for (i, arm) in aos.iter().enumerate() {
+            assert_eq!(soa.count(i), arm.count());
+            assert_eq!(soa.mean(i).to_bits(), arm.mean().to_bits(), "arm {i}");
+        }
+        assert_eq!(soa.means().len(), 3);
+        assert_eq!(soa.counts().len(), 3);
+        soa.reset();
+        assert_eq!(soa, ArmEstimators::new(3));
+    }
+
+    #[test]
+    fn argmax_last_matches_max_by() {
+        let cases: Vec<Vec<f64>> = vec![
+            vec![],
+            vec![1.0],
+            vec![0.1, 0.5, 0.5, 0.2],
+            vec![f64::INFINITY, f64::INFINITY, f64::INFINITY],
+            vec![0.3, f64::NAN, 0.2],
+            vec![f64::NAN, 0.3, 0.2],
+            vec![1.0, 2.0, 3.0],
+            vec![3.0, 2.0, 1.0],
+        ];
+        for values in cases {
+            let reference = (0..values.len()).max_by(|&a, &b| {
+                values[a]
+                    .partial_cmp(&values[b])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            assert_eq!(
+                argmax_last(values.iter().copied()),
+                reference,
+                "values {values:?}"
+            );
+        }
     }
 }

@@ -23,7 +23,7 @@
 //! much the redirection helps in practice.
 
 use netband_env::SinglePlayFeedback;
-use netband_graph::RelationGraph;
+use netband_graph::{CsrGraph, RelationGraph};
 
 use crate::dfl_sso::DflSso;
 use crate::dfl_ssr::DflSsr;
@@ -35,19 +35,16 @@ use crate::ArmId;
 #[derive(Debug, Clone)]
 pub struct DflSsoGreedyNeighbor {
     inner: DflSso,
-    neighborhoods: Vec<Vec<ArmId>>,
+    csr: CsrGraph,
 }
 
 impl DflSsoGreedyNeighbor {
     /// Creates the heuristic policy for the given relation graph.
     pub fn new(graph: RelationGraph) -> Self {
-        let neighborhoods = graph
-            .vertices()
-            .map(|v| graph.closed_neighborhood(v))
-            .collect();
+        let csr = graph.to_csr();
         DflSsoGreedyNeighbor {
             inner: DflSso::new(graph),
-            neighborhoods,
+            csr,
         }
     }
 
@@ -70,7 +67,8 @@ impl DflSsoGreedyNeighbor {
     /// exploration (and can deadlock the side-reward variant), so the original
     /// selection is kept in that case.
     fn redirect(&self, selected: ArmId) -> ArmId {
-        if self.neighborhoods[selected]
+        let neighborhood = self.csr.closed_neighborhood(selected);
+        if neighborhood
             .iter()
             .any(|&candidate| self.inner.observation_count(candidate) == 0)
         {
@@ -78,7 +76,7 @@ impl DflSsoGreedyNeighbor {
         }
         let mut best = selected;
         let mut best_mean = f64::NEG_INFINITY;
-        for &candidate in &self.neighborhoods[selected] {
+        for &candidate in neighborhood {
             let mean = self.inner.empirical_mean(candidate);
             if mean > best_mean {
                 best_mean = mean;
@@ -113,19 +111,16 @@ impl SinglePlayPolicy for DflSsoGreedyNeighbor {
 #[derive(Debug, Clone)]
 pub struct DflSsrGreedyNeighbor {
     inner: DflSsr,
-    neighborhoods: Vec<Vec<ArmId>>,
+    csr: CsrGraph,
 }
 
 impl DflSsrGreedyNeighbor {
     /// Creates the heuristic policy for the given relation graph.
     pub fn new(graph: RelationGraph) -> Self {
-        let neighborhoods = graph
-            .vertices()
-            .map(|v| graph.closed_neighborhood(v))
-            .collect();
+        let csr = graph.to_csr();
         DflSsrGreedyNeighbor {
             inner: DflSsr::new(graph),
-            neighborhoods,
+            csr,
         }
     }
 
@@ -147,21 +142,22 @@ impl DflSsrGreedyNeighbor {
     /// same arm and the redirection would deadlock on a stale neighbour. Only
     /// candidates that still refresh the scarcest member are eligible.
     fn redirect(&self, selected: ArmId) -> ArmId {
-        if self.neighborhoods[selected]
+        let neighborhood = self.csr.closed_neighborhood(selected);
+        if neighborhood
             .iter()
             .any(|&candidate| self.inner.observation_count(candidate) == 0)
         {
             return selected;
         }
-        let scarcest = self.neighborhoods[selected]
+        let scarcest = neighborhood
             .iter()
             .copied()
             .min_by_key(|&j| self.inner.observation_count(j))
             .unwrap_or(selected);
         let mut best = selected;
         let mut best_estimate = f64::NEG_INFINITY;
-        for &candidate in &self.neighborhoods[selected] {
-            if !self.neighborhoods[candidate].contains(&scarcest) {
+        for &candidate in neighborhood {
+            if !self.csr.closed_neighborhood(candidate).contains(&scarcest) {
                 continue;
             }
             let estimate = self.inner.side_reward_estimate(candidate);

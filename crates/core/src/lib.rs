@@ -73,7 +73,9 @@ pub mod prelude {
     pub use crate::dfl_csr::DflCsr;
     pub use crate::dfl_sso::DflSso;
     pub use crate::dfl_ssr::DflSsr;
-    pub use crate::estimator::{csr_index, log_plus, moss_index, RunningMean};
+    pub use crate::estimator::{
+        argmax_last, csr_index, log_plus, moss_index, ArmEstimators, RunningMean,
+    };
     pub use crate::heuristics::{DflSsoGreedyNeighbor, DflSsrGreedyNeighbor};
     pub use crate::policy::{CombinatorialPolicy, SinglePlayPolicy};
     pub use crate::ArmId;

@@ -122,6 +122,14 @@ impl ArmSet {
         self.distributions.iter().map(|d| d.sample(rng)).collect()
     }
 
+    /// Draws the full reward vector into `out` (cleared first), consuming the
+    /// exact RNG stream of [`ArmSet::sample_all`] without allocating once
+    /// `out` has reached capacity `K`.
+    pub fn sample_all_into(&self, rng: &mut dyn rand::RngCore, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(self.distributions.iter().map(|d| d.sample(rng)));
+    }
+
     /// Draws a single arm's reward.
     ///
     /// # Panics

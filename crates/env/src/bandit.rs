@@ -21,7 +21,7 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
-use netband_graph::RelationGraph;
+use netband_graph::{CsrGraph, RelationGraph};
 
 use crate::arms::ArmSet;
 use crate::feasible::{FeasibleSet, StrategyFamily};
@@ -72,7 +72,7 @@ impl fmt::Display for EnvError {
 impl std::error::Error for EnvError {}
 
 /// Feedback from pulling a single arm.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct SinglePlayFeedback {
     /// The pulled arm `I_t`.
     pub arm: ArmId,
@@ -85,7 +85,7 @@ pub struct SinglePlayFeedback {
 }
 
 /// Feedback from pulling a combinatorial strategy.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct CombinatorialFeedback {
     /// The pulled strategy `s_{I_t}` (sorted component arms).
     pub strategy: Vec<ArmId>,
@@ -104,6 +104,14 @@ pub struct CombinatorialFeedback {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct NetworkedBandit {
     graph: RelationGraph,
+    /// Flat (CSR) snapshot of the graph; every feedback construction reads its
+    /// packed closed-neighbourhood rows instead of allocating neighbourhood
+    /// vectors. Derived state: skipped by serde (keeping the serialized format
+    /// at `{graph, arms, means}`) so a persisted instance can never carry a
+    /// snapshot that disagrees with its graph — call
+    /// [`NetworkedBandit::refresh_csr`] after deserializing.
+    #[serde(skip)]
+    csr: CsrGraph,
     arms: ArmSet,
     /// Cached means, so per-round regret accounting does not re-query
     /// distributions.
@@ -125,7 +133,13 @@ impl NetworkedBandit {
             });
         }
         let means = arms.means();
-        Ok(NetworkedBandit { graph, arms, means })
+        let csr = graph.to_csr();
+        Ok(NetworkedBandit {
+            graph,
+            csr,
+            arms,
+            means,
+        })
     }
 
     /// Number of arms `K`.
@@ -136,6 +150,19 @@ impl NetworkedBandit {
     /// The relation graph `G`.
     pub fn graph(&self) -> &RelationGraph {
         &self.graph
+    }
+
+    /// The flat (CSR) runtime snapshot of the relation graph.
+    pub fn csr(&self) -> &CsrGraph {
+        &self.csr
+    }
+
+    /// Rebuilds the CSR snapshot from the relation graph. The snapshot is
+    /// derived state excluded from serialization, so this must be called on an
+    /// instance restored through `serde` before it is used; constructors call
+    /// it implicitly.
+    pub fn refresh_csr(&mut self) {
+        self.csr = self.graph.to_csr();
     }
 
     /// The arm set.
@@ -165,7 +192,7 @@ impl NetworkedBandit {
     ///
     /// Panics if `i` is out of range.
     pub fn side_reward_mean(&self, i: ArmId) -> f64 {
-        self.graph
+        self.csr
             .closed_neighborhood(i)
             .iter()
             .map(|&j| self.means[j])
@@ -236,6 +263,13 @@ impl NetworkedBandit {
         self.arms.sample_all(rng)
     }
 
+    /// Draws the full reward vector into `out` (cleared first), consuming the
+    /// exact RNG stream of [`NetworkedBandit::sample_rewards`] without
+    /// allocating once `out` has reached capacity `K`.
+    pub fn sample_rewards_into(&self, rng: &mut dyn rand::RngCore, out: &mut Vec<f64>) {
+        self.arms.sample_all_into(rng, out);
+    }
+
     /// Pulls a single arm, drawing fresh rewards for this time slot.
     ///
     /// # Panics
@@ -272,21 +306,36 @@ impl NetworkedBandit {
     ///
     /// Panics if `arm` is out of range or `samples.len() != K`.
     pub fn feedback_single_from_samples(&self, arm: ArmId, samples: &[f64]) -> SinglePlayFeedback {
+        let mut out = SinglePlayFeedback::default();
+        self.fill_single_feedback(arm, samples, &mut out);
+        out
+    }
+
+    /// Writes single-play feedback into `out`, reusing its observation buffer —
+    /// the allocation-free form of
+    /// [`NetworkedBandit::feedback_single_from_samples`], producing identical
+    /// contents. The closed neighbourhood is read straight off the CSR
+    /// snapshot, so a warm `out` makes the whole call allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arm` is out of range or `samples.len() != K`.
+    pub fn fill_single_feedback(&self, arm: ArmId, samples: &[f64], out: &mut SinglePlayFeedback) {
         assert_eq!(
             samples.len(),
             self.num_arms(),
             "sample vector length must equal the number of arms"
         );
-        let neighborhood = self.graph.closed_neighborhood(arm);
-        let observations: Vec<(ArmId, f64)> =
-            neighborhood.iter().map(|&j| (j, samples[j])).collect();
-        let side_reward = observations.iter().map(|&(_, x)| x).sum();
-        SinglePlayFeedback {
-            arm,
-            direct_reward: samples[arm],
-            side_reward,
-            observations,
-        }
+        out.arm = arm;
+        out.direct_reward = samples[arm];
+        out.observations.clear();
+        out.observations.extend(
+            self.csr
+                .closed_neighborhood(arm)
+                .iter()
+                .map(|&j| (j, samples[j])),
+        );
+        out.side_reward = out.observations.iter().map(|&(_, x)| x).sum();
     }
 
     /// Pulls a combinatorial strategy, drawing fresh rewards for this time slot.
@@ -319,6 +368,34 @@ impl NetworkedBandit {
         strategy: &[ArmId],
         samples: &[f64],
     ) -> Result<CombinatorialFeedback, EnvError> {
+        let mut out = CombinatorialFeedback::default();
+        let mut mark = Vec::new();
+        self.fill_strategy_feedback(strategy, samples, &mut mark, &mut out)?;
+        Ok(out)
+    }
+
+    /// Writes combinatorial feedback into `out`, reusing its buffers and the
+    /// caller-supplied `mark` table — the allocation-free form of
+    /// [`NetworkedBandit::feedback_strategy_from_samples`], producing identical
+    /// contents. `mark` is managed like in
+    /// [`CsrGraph::closed_neighborhood_of_set_into`]: resized to `K` on demand
+    /// and all-`false` again on return.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnvError::InvalidStrategy`] if the strategy is empty or refers
+    /// to an arm outside the instance; `out` is left unspecified in that case.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples.len() != K`.
+    pub fn fill_strategy_feedback(
+        &self,
+        strategy: &[ArmId],
+        samples: &[f64],
+        mark: &mut Vec<bool>,
+        out: &mut CombinatorialFeedback,
+    ) -> Result<(), EnvError> {
         assert_eq!(
             samples.len(),
             self.num_arms(),
@@ -334,21 +411,135 @@ impl NetworkedBandit {
                 reason: format!("arm {bad} is out of range for {} arms", self.num_arms()),
             });
         }
-        let mut strategy: Vec<ArmId> = strategy.to_vec();
-        strategy.sort_unstable();
-        strategy.dedup();
-        let observation_set = self.graph.closed_neighborhood_of_set(&strategy);
-        let observations: Vec<(ArmId, f64)> =
-            observation_set.iter().map(|&j| (j, samples[j])).collect();
-        let direct_reward = strategy.iter().map(|&i| samples[i]).sum();
-        let side_reward = observations.iter().map(|&(_, x)| x).sum();
-        Ok(CombinatorialFeedback {
+        out.strategy.clear();
+        out.strategy.extend_from_slice(strategy);
+        out.strategy.sort_unstable();
+        out.strategy.dedup();
+        self.csr
+            .closed_neighborhood_of_set_into(&out.strategy, mark, &mut out.observation_set);
+        out.observations.clear();
+        out.observations
+            .extend(out.observation_set.iter().map(|&j| (j, samples[j])));
+        out.direct_reward = out.strategy.iter().map(|&i| samples[i]).sum();
+        out.side_reward = out.observations.iter().map(|&(_, x)| x).sum();
+        Ok(())
+    }
+
+    /// Batched single pulls: for every entry of `arms`, draws one fresh reward
+    /// vector (consuming the exact RNG stream `arms.len()` successive
+    /// [`NetworkedBandit::pull_single`] calls would) and invokes
+    /// `visit(round, feedback)`. All storage lives in `buf`, so the batch
+    /// performs no per-round allocation once the buffers are warm.
+    pub fn pull_many(
+        &self,
+        arms: &[ArmId],
+        rng: &mut dyn rand::RngCore,
+        buf: &mut PullBuffer,
+        mut visit: impl FnMut(usize, &SinglePlayFeedback),
+    ) {
+        for (round, &arm) in arms.iter().enumerate() {
+            let feedback = buf.pull_single(self, arm, rng);
+            visit(round, feedback);
+        }
+    }
+}
+
+/// Reusable buffers for allocation-free pulls in the simulation hot loop.
+///
+/// The per-round cost of the map-based seed path was dominated by transient
+/// allocations: a fresh sample vector, a neighbourhood vector, and observation
+/// lists every round. A `PullBuffer` owns all of those once; after the first
+/// round of a replication, [`PullBuffer::pull_single`] and
+/// [`PullBuffer::pull_strategy`] allocate nothing and produce feedback
+/// bit-identical to [`NetworkedBandit::pull_single`] /
+/// [`NetworkedBandit::pull_strategy`].
+///
+/// # Example
+///
+/// ```
+/// use netband_env::{ArmSet, NetworkedBandit, PullBuffer};
+/// use netband_graph::generators;
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let graph = generators::path(4);
+/// let bandit = NetworkedBandit::new(graph, ArmSet::linear_bernoulli(4)).unwrap();
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let mut buf = PullBuffer::new();
+/// let feedback = buf.pull_single(&bandit, 1, &mut rng);
+/// assert_eq!(feedback.arm, 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PullBuffer {
+    samples: Vec<f64>,
+    single: SinglePlayFeedback,
+    combinatorial: CombinatorialFeedback,
+    mark: Vec<bool>,
+}
+
+impl PullBuffer {
+    /// An empty buffer; capacity is acquired lazily on first use.
+    pub fn new() -> Self {
+        PullBuffer::default()
+    }
+
+    /// Pulls a single arm, drawing fresh rewards for this time slot into the
+    /// reused sample buffer. Bit-identical to
+    /// [`NetworkedBandit::pull_single`] on the same RNG state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arm` is out of range.
+    pub fn pull_single(
+        &mut self,
+        bandit: &NetworkedBandit,
+        arm: ArmId,
+        rng: &mut dyn rand::RngCore,
+    ) -> &SinglePlayFeedback {
+        bandit.sample_rewards_into(rng, &mut self.samples);
+        bandit.fill_single_feedback(arm, &self.samples, &mut self.single);
+        &self.single
+    }
+
+    /// Builds single-play feedback from a pre-drawn reward vector (the coupled
+    /// sample-path regime of [`NetworkedBandit::feedback_single_from_samples`])
+    /// into the reused buffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arm` is out of range or `samples.len() != K`.
+    pub fn single_from_samples(
+        &mut self,
+        bandit: &NetworkedBandit,
+        arm: ArmId,
+        samples: &[f64],
+    ) -> &SinglePlayFeedback {
+        bandit.fill_single_feedback(arm, samples, &mut self.single);
+        &self.single
+    }
+
+    /// Pulls a combinatorial strategy, drawing fresh rewards for this time
+    /// slot into the reused sample buffer. Bit-identical to
+    /// [`NetworkedBandit::pull_strategy`] on the same RNG state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnvError::InvalidStrategy`] if the strategy is empty or
+    /// refers to an arm outside the instance.
+    pub fn pull_strategy(
+        &mut self,
+        bandit: &NetworkedBandit,
+        strategy: &[ArmId],
+        rng: &mut dyn rand::RngCore,
+    ) -> Result<&CombinatorialFeedback, EnvError> {
+        bandit.sample_rewards_into(rng, &mut self.samples);
+        bandit.fill_strategy_feedback(
             strategy,
-            observation_set,
-            direct_reward,
-            side_reward,
-            observations,
-        })
+            &self.samples,
+            &mut self.mark,
+            &mut self.combinatorial,
+        )?;
+        Ok(&self.combinatorial)
     }
 }
 

@@ -47,7 +47,9 @@ pub mod feasible;
 pub mod workloads;
 
 pub use arms::ArmSet;
-pub use bandit::{CombinatorialFeedback, EnvError, NetworkedBandit, SinglePlayFeedback};
+pub use bandit::{
+    CombinatorialFeedback, EnvError, NetworkedBandit, PullBuffer, SinglePlayFeedback,
+};
 pub use distributions::RewardDistribution;
 pub use feasible::{FeasibleSet, StrategyFamily};
 pub use workloads::Workload;

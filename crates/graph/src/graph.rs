@@ -339,6 +339,14 @@ impl RelationGraph {
         (g, mapping)
     }
 
+    /// Freezes the graph into its flat runtime representation
+    /// ([`crate::CsrGraph`]): packed neighbour arrays plus precomputed degree
+    /// and clique-cover tables. The snapshot is immutable; later mutations of
+    /// `self` are not reflected in it.
+    pub fn to_csr(&self) -> crate::CsrGraph {
+        crate::CsrGraph::from_graph(self)
+    }
+
     /// Returns the complement graph (same vertices, edge iff not an edge here).
     pub fn complement(&self) -> RelationGraph {
         let n = self.num_vertices();

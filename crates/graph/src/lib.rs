@@ -10,6 +10,10 @@
 //!
 //! * [`RelationGraph`] — a compact undirected graph over `K` arms with
 //!   neighbourhood queries, induced subgraphs, and connectivity helpers.
+//! * [`CsrGraph`] — the frozen flat (compressed-sparse-row) snapshot of a
+//!   relation graph that the simulation hot path runs on: packed neighbour
+//!   arrays, precomputed degrees, and clique-cover membership tables, all
+//!   served as borrowed slices without per-query allocation.
 //! * [`generators`] — random and structured graph families (Erdős–Rényi,
 //!   Barabási–Albert, random geometric, stars, paths, cliques, …) used by the
 //!   simulation workloads.
@@ -40,6 +44,7 @@
 
 pub mod clique;
 pub mod coloring;
+pub mod csr;
 pub mod generators;
 pub mod graph;
 pub mod independent;
@@ -48,6 +53,7 @@ pub mod metrics;
 pub mod strategy;
 
 pub use clique::{greedy_clique_cover, CliqueCover};
+pub use csr::CsrGraph;
 pub use graph::{GraphError, RelationGraph};
 pub use metrics::{metrics, GraphMetrics};
 pub use strategy::StrategyRelationGraph;

@@ -18,7 +18,7 @@ use serde::{Deserialize, Serialize};
 
 use netband_core::{CombinatorialPolicy, SinglePlayPolicy};
 use netband_env::feasible::FeasibleSet;
-use netband_env::{EnvError, NetworkedBandit, StrategyFamily};
+use netband_env::{EnvError, NetworkedBandit, PullBuffer, StrategyFamily};
 
 use crate::regret::RegretTrace;
 
@@ -89,16 +89,19 @@ pub fn run_single<P: SinglePlayPolicy + ?Sized>(
     };
     let mut trace = RegretTrace::with_capacity(horizon);
     let mut total_reward = 0.0;
+    // All per-round storage (sample vector, observation list) lives in `buf`;
+    // after the first round the loop allocates nothing.
+    let mut buf = PullBuffer::new();
     for t in 1..=horizon {
         let arm = policy.select_arm(t);
-        let feedback = bandit.pull_single(arm, &mut rng);
+        let feedback = buf.pull_single(bandit, arm, &mut rng);
         let (reward, mean) = match scenario {
             SingleScenario::SideObservation => (feedback.direct_reward, bandit.means()[arm]),
             SingleScenario::SideReward => (feedback.side_reward, bandit.side_reward_mean(arm)),
         };
         total_reward += reward;
         trace.record(optimal - reward, optimal - mean);
-        policy.update(t, &feedback);
+        policy.update(t, feedback);
     }
     RunResult {
         policy: policy.name().to_owned(),
@@ -130,18 +133,22 @@ pub fn run_single_coupled(
         .map(|_| RegretTrace::with_capacity(horizon))
         .collect();
     let mut rewards = vec![0.0; policies.len()];
+    // One reward vector per round, shared by every policy; feedback is built
+    // into a reused buffer, so the loop is allocation-free after round one.
+    let mut samples = Vec::with_capacity(bandit.num_arms());
+    let mut buf = PullBuffer::new();
     for t in 1..=horizon {
-        let samples = bandit.sample_rewards(&mut rng);
+        bandit.sample_rewards_into(&mut rng, &mut samples);
         for (idx, policy) in policies.iter_mut().enumerate() {
             let arm = policy.select_arm(t);
-            let feedback = bandit.feedback_single_from_samples(arm, &samples);
+            let feedback = buf.single_from_samples(bandit, arm, &samples);
             let (reward, mean) = match scenario {
                 SingleScenario::SideObservation => (feedback.direct_reward, bandit.means()[arm]),
                 SingleScenario::SideReward => (feedback.side_reward, bandit.side_reward_mean(arm)),
             };
             rewards[idx] += reward;
             traces[idx].record(optimal - reward, optimal - mean);
-            policy.update(t, &feedback);
+            policy.update(t, feedback);
         }
     }
     policies
@@ -179,6 +186,9 @@ pub fn run_combinatorial<P: CombinatorialPolicy + ?Sized>(
     };
     let mut trace = RegretTrace::with_capacity(horizon);
     let mut total_reward = 0.0;
+    // Sample vector, observation set, and observation list all live in `buf`;
+    // the only per-round allocation left is the strategy the policy returns.
+    let mut buf = PullBuffer::new();
     for t in 1..=horizon {
         let strategy = policy.select_strategy(t);
         debug_assert!(
@@ -186,20 +196,30 @@ pub fn run_combinatorial<P: CombinatorialPolicy + ?Sized>(
             "policy {} proposed an infeasible strategy {strategy:?}",
             policy.name()
         );
-        let feedback = bandit.pull_strategy(&strategy, &mut rng)?;
+        let feedback = buf.pull_strategy(bandit, &strategy, &mut rng)?;
+        // The feedback already carries the normalised strategy and its
+        // observation set `Y_x` (both sorted), so the played strategy's means
+        // are summed straight off them — the same terms in the same order as
+        // `strategy_direct_mean` / `strategy_side_mean`, without rebuilding
+        // the neighbourhood union.
+        let means = bandit.means();
         let (reward, mean) = match scenario {
             CombinatorialScenario::SideObservation => (
                 feedback.direct_reward,
-                bandit.strategy_direct_mean(&feedback.strategy),
+                feedback.strategy.iter().map(|&i| means[i]).sum::<f64>(),
             ),
             CombinatorialScenario::SideReward => (
                 feedback.side_reward,
-                bandit.strategy_side_mean(&feedback.strategy),
+                feedback
+                    .observation_set
+                    .iter()
+                    .map(|&i| means[i])
+                    .sum::<f64>(),
             ),
         };
         total_reward += reward;
         trace.record(optimal - reward, optimal - mean);
-        policy.update(t, &feedback);
+        policy.update(t, feedback);
     }
     Ok(RunResult {
         policy: policy.name().to_owned(),

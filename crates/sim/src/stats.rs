@@ -1,23 +1,56 @@
 //! Small statistics helpers used by the replication layer and the experiment
 //! reports.
+//!
+//! Aggregations here run over thousands of replications × rounds, where naive
+//! `iter().sum()` accumulation drifts: once the running total grows large,
+//! small per-round contributions fall below its units in the last place and
+//! vanish. [`mean`] therefore uses Neumaier-compensated summation and
+//! [`std_dev`] the single-pass Welford recurrence, both of which keep the
+//! error bounded independently of the summation order and magnitude spread.
 
-/// Arithmetic mean (0 for an empty slice).
+/// Neumaier-compensated (improved Kahan) sum: tracks the low-order bits the
+/// running total discards and folds them back in at the end, handling terms
+/// both smaller and larger than the current total.
+fn compensated_sum(xs: impl IntoIterator<Item = f64>) -> f64 {
+    let mut sum = 0.0;
+    let mut compensation = 0.0;
+    for x in xs {
+        let t = sum + x;
+        if sum.abs() >= x.abs() {
+            compensation += (sum - t) + x;
+        } else {
+            compensation += (x - t) + sum;
+        }
+        sum = t;
+    }
+    sum + compensation
+}
+
+/// Arithmetic mean (0 for an empty slice), via compensated summation.
 pub fn mean(xs: &[f64]) -> f64 {
     if xs.is_empty() {
         0.0
     } else {
-        xs.iter().sum::<f64>() / xs.len() as f64
+        compensated_sum(xs.iter().copied()) / xs.len() as f64
     }
 }
 
-/// Sample standard deviation (`n − 1` denominator; 0 for fewer than two points).
+/// Sample standard deviation (`n − 1` denominator; 0 for fewer than two
+/// points), via Welford's single-pass recurrence — immune to the catastrophic
+/// cancellation of the naive `E[x²] − E[x]²` form on data with a large common
+/// offset.
 pub fn std_dev(xs: &[f64]) -> f64 {
     if xs.len() < 2 {
         return 0.0;
     }
-    let m = mean(xs);
-    let var = xs.iter().map(|&x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64;
-    var.sqrt()
+    let mut mean = 0.0;
+    let mut m2 = 0.0;
+    for (i, &x) in xs.iter().enumerate() {
+        let delta = x - mean;
+        mean += delta / (i + 1) as f64;
+        m2 += delta * (x - mean);
+    }
+    (m2 / (xs.len() - 1) as f64).sqrt()
 }
 
 /// Standard error of the mean.
@@ -52,7 +85,7 @@ pub fn mean_series(series: &[Vec<f64>]) -> Vec<f64> {
         "all series must have the same length"
     );
     (0..len)
-        .map(|i| series.iter().map(|s| s[i]).sum::<f64>() / series.len() as f64)
+        .map(|i| compensated_sum(series.iter().map(|s| s[i])) / series.len() as f64)
         .collect()
 }
 
@@ -139,6 +172,32 @@ mod tests {
     #[should_panic(expected = "same length")]
     fn mean_series_rejects_ragged_input() {
         mean_series(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    fn mean_survives_pathological_magnitude_spread() {
+        // Naive left-to-right accumulation loses the three 1.0s entirely: they
+        // are absorbed by the 1e16 before it cancels, yielding 1.0 / 6 instead
+        // of 4.0 / 6. The compensated sum recovers every term exactly.
+        let xs = [1.0e16, 1.0, 1.0, 1.0, -1.0e16, 1.0];
+        let naive = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!((naive - 4.0 / 6.0).abs() > 0.1, "naive sum should drift");
+        assert!((mean(&xs) - 4.0 / 6.0).abs() < 1e-12);
+        // Same shape through the point-wise series aggregation.
+        let series: Vec<Vec<f64>> = xs.iter().map(|&x| vec![x]).collect();
+        assert!((mean_series(&series)[0] - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn std_dev_survives_large_common_offset() {
+        // Shifting data by 1e9 must not change its spread; the naive
+        // sum-of-squares formula collapses here, Welford does not.
+        let offset = 1.0e9;
+        let xs: Vec<f64> = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .iter()
+            .map(|&x| x + offset)
+            .collect();
+        assert!((std_dev(&xs) - 2.138089935299395).abs() < 1e-6);
     }
 
     #[test]

@@ -68,11 +68,11 @@ pub mod prelude {
     pub use netband_core::prelude::*;
     pub use netband_env::workloads::Workload;
     pub use netband_env::{
-        ArmSet, CombinatorialFeedback, FeasibleSet, NetworkedBandit, SinglePlayFeedback,
-        StrategyFamily,
+        ArmSet, CombinatorialFeedback, FeasibleSet, NetworkedBandit, PullBuffer,
+        SinglePlayFeedback, StrategyFamily,
     };
     pub use netband_graph::{
-        generators, greedy_clique_cover, metrics, GraphMetrics, RelationGraph,
+        generators, greedy_clique_cover, metrics, CsrGraph, GraphMetrics, RelationGraph,
         StrategyRelationGraph,
     };
     pub use netband_sim::{

@@ -168,6 +168,108 @@ proptest! {
     }
 
     #[test]
+    fn csr_graph_round_trips_relation_graph(graph in arb_graph(16)) {
+        let csr = graph.to_csr();
+        prop_assert_eq!(csr.num_vertices(), graph.num_vertices());
+        prop_assert_eq!(csr.num_edges(), graph.num_edges());
+        prop_assert_eq!(csr.max_degree(), graph.max_degree());
+        prop_assert_eq!(csr.max_closed_neighborhood(), graph.max_closed_neighborhood());
+        for v in graph.vertices() {
+            prop_assert_eq!(csr.neighbors(v), graph.neighbors(v), "open row of {}", v);
+            prop_assert_eq!(csr.degree(v), graph.degree(v), "degree of {}", v);
+            prop_assert_eq!(
+                csr.closed_neighborhood(v),
+                graph.closed_neighborhood(v).as_slice(),
+                "closed row of {}", v
+            );
+            for u in graph.vertices() {
+                prop_assert_eq!(csr.has_edge(v, u), graph.has_edge(v, u));
+            }
+        }
+        // Thawing the snapshot reproduces the original graph exactly.
+        prop_assert_eq!(&csr.to_relation_graph(), &graph);
+        // The precomputed clique tables are the greedy cover, and a partition.
+        let cover = greedy_clique_cover(&graph);
+        prop_assert_eq!(csr.num_cliques(), cover.len());
+        for (c, clique) in cover.cliques().iter().enumerate() {
+            prop_assert_eq!(csr.clique(c), clique.as_slice());
+        }
+        for v in graph.vertices() {
+            prop_assert!(csr.clique(csr.clique_of(v)).contains(&v));
+        }
+    }
+
+    #[test]
+    fn csr_set_union_matches_reference(
+        graph in arb_graph(12),
+        raw_set in proptest::collection::vec(0usize..12, 0..6),
+    ) {
+        let k = graph.num_vertices();
+        let set: Vec<usize> = raw_set.into_iter().filter(|&v| v < k).collect();
+        let csr = graph.to_csr();
+        let mut mark = Vec::new();
+        let mut out = Vec::new();
+        csr.closed_neighborhood_of_set_into(&set, &mut mark, &mut out);
+        prop_assert_eq!(out, graph.closed_neighborhood_of_set(&set));
+        prop_assert!(mark.iter().all(|&m| !m), "marks must be reset after use");
+    }
+
+    #[test]
+    fn feasible_oracle_sampling_respects_cardinality(
+        graph in arb_graph(10),
+        weights in arb_weights(10),
+        m in 1usize..4,
+    ) {
+        let k = graph.num_vertices();
+        let weights = &weights[..k];
+        for family in [
+            StrategyFamily::at_most_m(k, m),
+            StrategyFamily::exactly_m(k, m.min(k)),
+            StrategyFamily::independent_sets(m),
+        ] {
+            for strategy in [
+                family.argmax_by_arm_weights(weights, &graph),
+                family.argmax_by_neighborhood_weights(weights, &graph),
+            ].into_iter().flatten() {
+                prop_assert!(!strategy.is_empty());
+                prop_assert!(
+                    strategy.len() <= family.max_size(),
+                    "{:?} breaks the cardinality cap of {:?}", strategy, family
+                );
+                prop_assert!(
+                    family.contains(&strategy, &graph),
+                    "{:?} is not a member of {:?}", strategy, family
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pull_buffer_matches_allocating_pulls(
+        seed in 0u64..500,
+        edge_prob in 0.0f64..1.0,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let graph = generators::erdos_renyi(7, edge_prob, &mut rng);
+        let arms = ArmSet::random_bernoulli(7, &mut rng);
+        let bandit = NetworkedBandit::new(graph, arms).unwrap();
+        // Identical RNG state in, bit-identical feedback out.
+        let mut rng_a = StdRng::seed_from_u64(seed ^ 0x5eed);
+        let mut rng_b = rng_a.clone();
+        let mut buf = PullBuffer::new();
+        for round in 0..10 {
+            let arm = round % 7;
+            let alloc = bandit.pull_single(arm, &mut rng_a);
+            let reused = buf.pull_single(&bandit, arm, &mut rng_b);
+            prop_assert_eq!(&alloc, reused, "single pull, round {}", round);
+            let strategy = [arm, (arm + 3) % 7];
+            let alloc = bandit.pull_strategy(&strategy, &mut rng_a).unwrap();
+            let reused = buf.pull_strategy(&bandit, &strategy, &mut rng_b).unwrap();
+            prop_assert_eq!(&alloc, reused, "strategy pull, round {}", round);
+        }
+    }
+
+    #[test]
     fn environment_feedback_is_consistent(
         seed in 0u64..500,
         edge_prob in 0.0f64..1.0,

@@ -1,0 +1,180 @@
+//! Statistical compliance of the four DFL policies with the closed-form
+//! regret bounds of Theorems 1–4 (`netband_core::bounds`).
+//!
+//! Each test runs a policy on a small fixed instance across three seeds and
+//! asserts that the final cumulative *pseudo*-regret stays under the theorem's
+//! closed form. The slack factors are documented per scenario:
+//!
+//! * Theorems 1 and 2 (SSO / CSO) are loose but non-vacuous at these horizons,
+//!   so the empirical regret is additionally required to stay under **half**
+//!   the bound — a grossly regressed policy (e.g. one that stopped learning)
+//!   would land near the linear-regret ceiling and fail.
+//! * Theorems 3 and 4 (SSR / CSR) carry `49·K·sqrt(nK)`-style constants that
+//!   exceed the worst possible realised regret at any practical horizon, so
+//!   for those scenarios the bound check is a sanity ceiling and the
+//!   *sublinearity* of the measured regret is asserted instead: the
+//!   time-averaged pseudo-regret over the last quarter of the run must be
+//!   below its average over the first quarter.
+
+use netband::core::bounds;
+use netband::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SEEDS: [u64; 3] = [11, 42, 1789];
+const NUM_ARMS: usize = 8;
+
+fn instance(seed: u64) -> NetworkedBandit {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let graph = generators::erdos_renyi(NUM_ARMS, 0.4, &mut rng);
+    let arms = ArmSet::random_bernoulli(NUM_ARMS, &mut rng);
+    NetworkedBandit::new(graph, arms).unwrap()
+}
+
+/// Mean per-round pseudo-regret over the first and last quarter of a trace.
+fn quarter_averages(pseudo: &[f64]) -> (f64, f64) {
+    let q = (pseudo.len() / 4).max(1);
+    let head = pseudo[..q].iter().sum::<f64>() / q as f64;
+    let tail = pseudo[pseudo.len() - q..].iter().sum::<f64>() / q as f64;
+    (head, tail)
+}
+
+#[test]
+fn dfl_sso_stays_under_theorem1() {
+    let horizon = 4000;
+    for seed in SEEDS {
+        let bandit = instance(seed);
+        // A clique cover of the whole graph also covers the high-gap induced
+        // subgraph `H` of Theorem 1 (restricting its cliques to `H` can only
+        // drop parts), and the bound is increasing in `C`, so using the full
+        // cover size is valid and spares re-deriving `H` per instance.
+        let clique_cover = bandit.csr().num_cliques();
+        let mut policy = DflSso::new(bandit.graph().clone());
+        let result = run_single(
+            &bandit,
+            &mut policy,
+            SingleScenario::SideObservation,
+            horizon,
+            seed,
+        );
+        let empirical = result.trace.total_pseudo();
+        let bound = bounds::theorem1_dfl_sso(horizon, NUM_ARMS, clique_cover);
+        assert!(
+            empirical <= bound,
+            "seed {seed}: DFL-SSO pseudo-regret {empirical} exceeds Theorem 1 bound {bound}"
+        );
+        // Documented slack: stay under half the (loose) bound.
+        assert!(
+            empirical <= 0.5 * bound,
+            "seed {seed}: DFL-SSO pseudo-regret {empirical} is suspiciously close \
+             to the Theorem 1 bound {bound}"
+        );
+    }
+}
+
+#[test]
+fn dfl_cso_stays_under_theorem2() {
+    let horizon = 2500;
+    for seed in SEEDS {
+        let bandit = instance(seed);
+        let family = StrategyFamily::independent_sets(2);
+        let strategies = family.enumerate(bandit.graph()).unwrap();
+        let sg = StrategyRelationGraph::build(bandit.graph(), strategies.clone());
+        let num_strategies = sg.num_strategies();
+        let clique_cover = greedy_clique_cover(sg.graph()).len();
+        let mut policy = DflCso::new(sg);
+        let result = run_combinatorial(
+            &bandit,
+            &family,
+            &mut policy,
+            CombinatorialScenario::SideObservation,
+            horizon,
+            seed,
+        )
+        .unwrap();
+        let empirical = result.trace.total_pseudo();
+        let bound = bounds::theorem2_dfl_cso(horizon, num_strategies, clique_cover);
+        assert!(
+            empirical <= bound,
+            "seed {seed}: DFL-CSO pseudo-regret {empirical} exceeds Theorem 2 bound {bound}"
+        );
+        // Documented slack: stay under half the (loose) bound.
+        assert!(
+            empirical <= 0.5 * bound,
+            "seed {seed}: DFL-CSO pseudo-regret {empirical} is suspiciously close \
+             to the Theorem 2 bound {bound}"
+        );
+    }
+}
+
+#[test]
+fn dfl_ssr_stays_under_theorem3_and_is_sublinear() {
+    let horizon = 4000;
+    for seed in SEEDS {
+        let bandit = instance(seed);
+        let mut policy = DflSsr::new(bandit.graph().clone());
+        let result = run_single(
+            &bandit,
+            &mut policy,
+            SingleScenario::SideReward,
+            horizon,
+            seed,
+        );
+        let empirical = result.trace.total_pseudo();
+        let bound = bounds::theorem3_dfl_ssr(horizon, NUM_ARMS);
+        assert!(
+            empirical <= bound,
+            "seed {seed}: DFL-SSR pseudo-regret {empirical} exceeds Theorem 3 bound {bound}"
+        );
+        // The Theorem 3 constant is vacuous at this horizon (documented above),
+        // so additionally require the measured regret to actually vanish.
+        let (head, tail) = quarter_averages(result.trace.pseudo());
+        assert!(
+            tail < head,
+            "seed {seed}: DFL-SSR per-round pseudo-regret did not decrease \
+             (first quarter {head}, last quarter {tail})"
+        );
+    }
+}
+
+#[test]
+fn dfl_csr_stays_under_theorem4_and_is_sublinear() {
+    let horizon = 2500;
+    for seed in SEEDS {
+        let bandit = instance(seed);
+        let family = StrategyFamily::at_most_m(NUM_ARMS, 2);
+        let mut policy = DflCsr::new(bandit.graph().clone(), family.clone());
+        let result = run_combinatorial(
+            &bandit,
+            &family,
+            &mut policy,
+            CombinatorialScenario::SideReward,
+            horizon,
+            seed,
+        )
+        .unwrap();
+        let empirical = result.trace.total_pseudo();
+        let max_observation_set = {
+            let csr = bandit.csr();
+            // |Y_x| ≤ sum of the two largest closed neighbourhoods.
+            let mut sizes: Vec<usize> = (0..NUM_ARMS)
+                .map(|v| csr.closed_neighborhood(v).len())
+                .collect();
+            sizes.sort_unstable_by(|a, b| b.cmp(a));
+            (sizes[0] + sizes.get(1).copied().unwrap_or(0)).min(NUM_ARMS)
+        };
+        let bound = bounds::theorem4_dfl_csr(horizon, NUM_ARMS, max_observation_set);
+        assert!(
+            empirical <= bound,
+            "seed {seed}: DFL-CSR pseudo-regret {empirical} exceeds Theorem 4 bound {bound}"
+        );
+        // Theorem 4's constants are vacuous at this horizon (documented above),
+        // so additionally require the measured regret to actually vanish.
+        let (head, tail) = quarter_averages(result.trace.pseudo());
+        assert!(
+            tail < head,
+            "seed {seed}: DFL-CSR per-round pseudo-regret did not decrease \
+             (first quarter {head}, last quarter {tail})"
+        );
+    }
+}

@@ -10,16 +10,18 @@
 
 use proc_macro::TokenStream;
 
-/// Accepts `#[derive(Serialize)]` and expands to nothing; the shim's blanket
-/// impl already covers the type.
-#[proc_macro_derive(Serialize)]
+/// Accepts `#[derive(Serialize)]` (and inert `#[serde(...)]` field/container
+/// attributes, like the real derive) and expands to nothing; the shim's
+/// blanket impl already covers the type.
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(_input: TokenStream) -> TokenStream {
     TokenStream::new()
 }
 
-/// Accepts `#[derive(Deserialize)]` and expands to nothing; the shim's blanket
-/// impl already covers the type.
-#[proc_macro_derive(Deserialize)]
+/// Accepts `#[derive(Deserialize)]` (and inert `#[serde(...)]` field/container
+/// attributes, like the real derive) and expands to nothing; the shim's
+/// blanket impl already covers the type.
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
     TokenStream::new()
 }
