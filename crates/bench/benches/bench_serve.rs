@@ -1,0 +1,204 @@
+//! Serving-engine throughput bench: decides/sec across shard counts and
+//! feedback batch sizes.
+//!
+//! Unlike the figure benches this is a hand-rolled harness (`harness = false`
+//! with a custom `main`): the quantity of interest is sustained multi-client
+//! throughput through the shard command channels, which needs concurrent
+//! client threads and wall-clock measurement rather than Criterion's
+//! single-threaded sampling.
+//!
+//! Every run sweeps the shard counts {1, 4, 16} against feedback batch sizes
+//! {1, 32, 1024} over 64 single-play tenants driven by 16 client threads with
+//! delayed, out-of-order feedback, prints a table, and writes the results to
+//! `BENCH_serve.json` at the workspace root — the checked-in serving perf
+//! trajectory. Set `NETBAND_BENCH_FAST=1` for a smoke run (CI) that skips the
+//! JSON write.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use netband_core::DflSso;
+use netband_env::{ArmSet, NetworkedBandit};
+use netband_graph::generators;
+use netband_serve::{EngineConfig, FlushPolicy, ServeEngine, TenantSpec};
+use netband_sim::SingleScenario;
+
+const TENANTS: usize = 64;
+const CLIENTS: usize = 16;
+const NUM_ARMS: usize = 10;
+const SHARD_COUNTS: [usize; 3] = [1, 4, 16];
+const BATCH_SIZES: [usize; 3] = [1, 32, 1024];
+
+struct Cell {
+    shards: usize,
+    batch: usize,
+    decides: u64,
+    elapsed_secs: f64,
+}
+
+impl Cell {
+    fn decides_per_sec(&self) -> f64 {
+        self.decides as f64 / self.elapsed_secs
+    }
+}
+
+fn tenant_spec(index: usize, batch: usize) -> TenantSpec {
+    let mut rng = StdRng::seed_from_u64(100 + index as u64);
+    let graph = generators::erdos_renyi(NUM_ARMS, 0.4, &mut rng);
+    let arms = ArmSet::random_bernoulli(NUM_ARMS, &mut rng);
+    let bandit = NetworkedBandit::new(graph, arms).expect("bench instance is well-formed");
+    TenantSpec::single(
+        format!("bench-{index:02}"),
+        bandit.clone(),
+        DflSso::new(bandit.graph().clone()),
+        SingleScenario::SideObservation,
+        9000 + index as u64,
+    )
+    .with_flush(FlushPolicy::batched(batch))
+}
+
+/// One sweep cell: an engine with `shards` workers serving `TENANTS` tenants,
+/// `CLIENTS` client threads looping decide → (windowed, reversed) feedback.
+fn run_cell(shards: usize, batch: usize, rounds: usize) -> Cell {
+    let engine = ServeEngine::start(EngineConfig::new(shards).with_queue_capacity(256));
+    for index in 0..TENANTS {
+        engine
+            .create_tenant(tenant_spec(index, batch))
+            .expect("create bench tenant");
+    }
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for client in 0..CLIENTS {
+            let engine = &engine;
+            scope.spawn(move || {
+                for index in (client..TENANTS).step_by(CLIENTS) {
+                    let id = format!("bench-{index:02}");
+                    let mut held = Vec::with_capacity(batch);
+                    for _ in 0..rounds {
+                        let reply = engine.decide(&id).expect("decide");
+                        held.push((reply.round, reply.feedback.expect("echo")));
+                        if held.len() >= batch {
+                            for (round, event) in held.drain(..).rev() {
+                                engine.feedback(&id, round, event).expect("feedback");
+                            }
+                        }
+                    }
+                    for (round, event) in held.drain(..).rev() {
+                        engine.feedback(&id, round, event).expect("feedback");
+                    }
+                }
+            });
+        }
+    });
+    engine.drain().expect("drain");
+    let elapsed_secs = start.elapsed().as_secs_f64();
+    let report = engine.metrics().expect("metrics");
+    let decides = report.total_decides();
+    assert_eq!(decides, (TENANTS * rounds) as u64);
+    assert_eq!(report.total_feedback_events(), decides);
+    engine.shutdown();
+    Cell {
+        shards,
+        batch,
+        decides,
+        elapsed_secs,
+    }
+}
+
+fn workspace_root() -> PathBuf {
+    // crates/bench → workspace root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+}
+
+fn write_json(cells: &[Cell], rounds: usize) {
+    let rows: Vec<String> = cells
+        .iter()
+        .map(|c| {
+            format!(
+                "    {{ \"shards\": {}, \"feedback_batch\": {}, \"decides\": {}, \
+                 \"elapsed_secs\": {:.4}, \"decides_per_sec\": {:.0} }}",
+                c.shards,
+                c.batch,
+                c.decides,
+                c.elapsed_secs,
+                c.decides_per_sec()
+            )
+        })
+        .collect();
+    // Shard scaling is machine-dependent (a 1-core container cannot run
+    // shards in parallel at all); record the available parallelism so the
+    // checked-in trajectory stays interpretable across machines.
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let json = format!(
+        "{{\n  \"bench\": \"serve_throughput\",\n  \"tenants\": {TENANTS},\n  \
+         \"clients\": {CLIENTS},\n  \"num_arms\": {NUM_ARMS},\n  \
+         \"rounds_per_tenant\": {rounds},\n  \"available_parallelism\": {cores},\n  \
+         \"results\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    let path = workspace_root().join("BENCH_serve.json");
+    std::fs::write(&path, json).expect("write BENCH_serve.json");
+    println!("wrote {}", path.display());
+}
+
+fn main() {
+    // `cargo bench` forwards harness flags (`--bench`, filters); none apply to
+    // this hand-rolled harness.
+    let fast = std::env::var_os("NETBAND_BENCH_FAST").is_some();
+    let rounds = if fast { 40 } else { 1_500 };
+
+    println!(
+        "serve throughput: {TENANTS} tenants x {rounds} rounds, {CLIENTS} clients{}",
+        if fast { " (fast smoke)" } else { "" }
+    );
+    println!(
+        "{:>7} {:>7} {:>12} {:>10} {:>14}",
+        "shards", "batch", "decides", "secs", "decides/sec"
+    );
+    let mut cells = Vec::new();
+    for &shards in &SHARD_COUNTS {
+        for &batch in &BATCH_SIZES {
+            let cell = run_cell(shards, batch, rounds);
+            println!(
+                "{:>7} {:>7} {:>12} {:>10.3} {:>14.0}",
+                cell.shards,
+                cell.batch,
+                cell.decides,
+                cell.elapsed_secs,
+                cell.decides_per_sec()
+            );
+            cells.push(cell);
+        }
+    }
+
+    // The headline trajectory number: decide throughput going 1 → 4 shards at
+    // the middle batch size. Printed, not asserted — shard scaling is
+    // machine-dependent (a 1-core container cannot run shards in parallel),
+    // so the ratio is judged against the recorded available_parallelism when
+    // reading BENCH_serve.json, not gated in CI.
+    let one = cells
+        .iter()
+        .find(|c| c.shards == 1 && c.batch == 32)
+        .unwrap();
+    let four = cells
+        .iter()
+        .find(|c| c.shards == 4 && c.batch == 32)
+        .unwrap();
+    println!(
+        "scaling 1 -> 4 shards (batch 32): {:.0} -> {:.0} decides/sec ({:.2}x)",
+        one.decides_per_sec(),
+        four.decides_per_sec(),
+        four.decides_per_sec() / one.decides_per_sec()
+    );
+
+    if !fast {
+        write_json(&cells, rounds);
+    }
+}

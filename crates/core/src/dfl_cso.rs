@@ -142,11 +142,18 @@ impl CombinatorialPolicy for DflCso {
     }
 
     fn select_strategy(&mut self, t: usize) -> Vec<ArmId> {
+        let mut out = Vec::new();
+        self.select_strategy_into(t, &mut out);
+        out
+    }
+
+    fn select_strategy_into(&mut self, t: usize, out: &mut Vec<ArmId>) {
         let x = self
             .best_strategy_index(t)
             .expect("DFL-CSO requires a non-empty feasible strategy set");
         self.last_selected = Some(x);
-        self.strategy_graph.strategy(x).to_vec()
+        out.clear();
+        out.extend_from_slice(self.strategy_graph.strategy(x));
     }
 
     fn update(&mut self, _t: usize, feedback: &CombinatorialFeedback) {

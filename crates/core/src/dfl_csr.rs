@@ -158,10 +158,17 @@ impl CombinatorialPolicy for DflCsr {
     }
 
     fn select_strategy(&mut self, t: usize) -> Vec<ArmId> {
+        let mut out = Vec::new();
+        self.select_strategy_into(t, &mut out);
+        out
+    }
+
+    fn select_strategy_into(&mut self, t: usize, out: &mut Vec<ArmId>) {
         for arm in 0..self.num_arms() {
             let w = self.arm_index(arm, t);
             self.weights_scratch[arm] = w;
         }
+        out.clear();
         if let Some(enumerated) = &self.enumerated {
             // Fast path: the feasible set was enumerated at construction, so
             // the per-round optimisation is one linear scan over the flattened
@@ -176,12 +183,15 @@ impl CombinatorialPolicy for DflCsr {
                     .sum::<f64>()
             }));
             if let Some(x) = best {
-                return enumerated.strategy(x).to_vec();
+                out.extend_from_slice(enumerated.strategy(x));
+                return;
             }
         }
-        self.family
+        let strategy = self
+            .family
             .argmax_by_neighborhood_weights(&self.weights_scratch, &self.graph)
-            .expect("DFL-CSR requires a non-empty feasible strategy family")
+            .expect("DFL-CSR requires a non-empty feasible strategy family");
+        out.extend_from_slice(&strategy);
     }
 
     fn update(&mut self, _t: usize, feedback: &CombinatorialFeedback) {

@@ -29,6 +29,16 @@ pub trait SinglePlayPolicy: Send {
 }
 
 /// A policy that pulls a combinatorial strategy per time slot (CSO / CSR).
+///
+/// # The decide / apply-feedback split
+///
+/// Selection ([`CombinatorialPolicy::select_strategy_into`]) and learning
+/// ([`CombinatorialPolicy::update`]) are independent entry points on purpose:
+/// a driver may decide for many interleaved policy instances before any of
+/// their feedback arrives, and apply that feedback later (possibly delayed,
+/// out of order, and in batches). The simulation runner is the degenerate
+/// caller that alternates the two per round; the serving engine
+/// (`netband-serve`) exploits the split to host many tenants per thread.
 pub trait CombinatorialPolicy: Send {
     /// A short human-readable name used in reports and plots (e.g. `"DFL-CSR"`).
     fn name(&self) -> &'static str;
@@ -39,6 +49,18 @@ pub trait CombinatorialPolicy: Send {
     /// constructed with; the environment rejects empty or out-of-range
     /// strategies.
     fn select_strategy(&mut self, t: usize) -> Vec<ArmId>;
+
+    /// Selects the strategy to pull at time slot `t` (1-based), writing it
+    /// into `out` (cleared first) — the allocation-free form of
+    /// [`CombinatorialPolicy::select_strategy`], producing an identical
+    /// strategy. Policies whose internal selection is already allocation-free
+    /// override the provided implementation (which delegates and copies) so a
+    /// warm `out` makes the whole decide allocation-free.
+    fn select_strategy_into(&mut self, t: usize, out: &mut Vec<ArmId>) {
+        let strategy = self.select_strategy(t);
+        out.clear();
+        out.extend_from_slice(&strategy);
+    }
 
     /// Observes the feedback of the pull selected at this time slot.
     fn update(&mut self, t: usize, feedback: &CombinatorialFeedback);
@@ -68,6 +90,9 @@ impl<P: CombinatorialPolicy + ?Sized> CombinatorialPolicy for Box<P> {
     }
     fn select_strategy(&mut self, t: usize) -> Vec<ArmId> {
         (**self).select_strategy(t)
+    }
+    fn select_strategy_into(&mut self, t: usize, out: &mut Vec<ArmId>) {
+        (**self).select_strategy_into(t, out)
     }
     fn update(&mut self, t: usize, feedback: &CombinatorialFeedback) {
         (**self).update(t, feedback)
@@ -104,6 +129,52 @@ mod tests {
             self.next = 0;
             self.updates = 0;
         }
+    }
+
+    /// A minimal combinatorial policy used to check the provided
+    /// `select_strategy_into` and the Box forwarding impls.
+    struct PairCycler {
+        k: usize,
+        next: usize,
+    }
+
+    impl CombinatorialPolicy for PairCycler {
+        fn name(&self) -> &'static str {
+            "PairCycler"
+        }
+        fn select_strategy(&mut self, _t: usize) -> Vec<ArmId> {
+            let s = vec![self.next, (self.next + 1) % self.k];
+            self.next = (self.next + 1) % self.k;
+            s
+        }
+        fn update(&mut self, _t: usize, _feedback: &CombinatorialFeedback) {}
+        fn reset(&mut self) {
+            self.next = 0;
+        }
+    }
+
+    #[test]
+    fn default_select_strategy_into_matches_select_strategy() {
+        let mut by_value = PairCycler { k: 5, next: 0 };
+        let mut by_buffer = PairCycler { k: 5, next: 0 };
+        let mut buf = vec![99, 99, 99];
+        for t in 1..=7 {
+            let expected = by_value.select_strategy(t);
+            by_buffer.select_strategy_into(t, &mut buf);
+            assert_eq!(buf, expected, "t={t}");
+        }
+    }
+
+    #[test]
+    fn boxed_combinatorial_policy_forwards_select_strategy_into() {
+        let mut boxed: Box<dyn CombinatorialPolicy> = Box::new(PairCycler { k: 3, next: 0 });
+        let mut buf = Vec::new();
+        boxed.select_strategy_into(1, &mut buf);
+        assert_eq!(buf, vec![0, 1]);
+        boxed.select_strategy_into(2, &mut buf);
+        assert_eq!(buf, vec![1, 2]);
+        boxed.reset();
+        assert_eq!(boxed.select_strategy(3), vec![0, 1]);
     }
 
     #[test]

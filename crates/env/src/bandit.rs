@@ -18,6 +18,7 @@
 //! one the simulator *charges regret for* is decided by the caller.
 
 use std::fmt;
+use std::sync::OnceLock;
 
 use serde::{Deserialize, Serialize};
 
@@ -101,21 +102,31 @@ pub struct CombinatorialFeedback {
 
 /// A networked stochastic bandit instance: `K` arms, their distributions, and
 /// the relation graph over them.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct NetworkedBandit {
     graph: RelationGraph,
     /// Flat (CSR) snapshot of the graph; every feedback construction reads its
     /// packed closed-neighbourhood rows instead of allocating neighbourhood
     /// vectors. Derived state: skipped by serde (keeping the serialized format
     /// at `{graph, arms, means}`) so a persisted instance can never carry a
-    /// snapshot that disagrees with its graph — call
-    /// [`NetworkedBandit::refresh_csr`] after deserializing.
+    /// snapshot that disagrees with its graph. The cell starts empty after
+    /// deserialization and is rebuilt lazily on first access, so a restored
+    /// instance is usable without any manual refresh call.
     #[serde(skip)]
-    csr: CsrGraph,
+    csr: OnceLock<CsrGraph>,
     arms: ArmSet,
     /// Cached means, so per-round regret accounting does not re-query
     /// distributions.
     means: Vec<f64>,
+}
+
+/// The CSR snapshot is derived state, so equality is decided by the serialized
+/// fields only — two instances that differ merely in whether the snapshot has
+/// been materialised yet are equal.
+impl PartialEq for NetworkedBandit {
+    fn eq(&self, other: &Self) -> bool {
+        self.graph == other.graph && self.arms == other.arms && self.means == other.means
+    }
 }
 
 impl NetworkedBandit {
@@ -133,7 +144,7 @@ impl NetworkedBandit {
             });
         }
         let means = arms.means();
-        let csr = graph.to_csr();
+        let csr = OnceLock::from(graph.to_csr());
         Ok(NetworkedBandit {
             graph,
             csr,
@@ -153,16 +164,24 @@ impl NetworkedBandit {
     }
 
     /// The flat (CSR) runtime snapshot of the relation graph.
+    ///
+    /// The snapshot is derived state excluded from serialization; on an
+    /// instance restored through `serde` this accessor rebuilds it from the
+    /// relation graph on first use, so no manual refresh call is needed.
+    /// After the first access (constructors materialise it eagerly) the call
+    /// is a single atomic load.
     pub fn csr(&self) -> &CsrGraph {
-        &self.csr
+        self.csr.get_or_init(|| self.graph.to_csr())
     }
 
-    /// Rebuilds the CSR snapshot from the relation graph. The snapshot is
-    /// derived state excluded from serialization, so this must be called on an
-    /// instance restored through `serde` before it is used; constructors call
-    /// it implicitly.
+    /// Rebuilds the CSR snapshot from the relation graph.
+    ///
+    /// Kept for callers that want to pay the rebuild eagerly (e.g. before
+    /// entering a latency-sensitive section); since the snapshot is also
+    /// rebuilt lazily by [`NetworkedBandit::csr`], calling this after
+    /// deserializing is no longer required for correctness.
     pub fn refresh_csr(&mut self) {
-        self.csr = self.graph.to_csr();
+        self.csr = OnceLock::from(self.graph.to_csr());
     }
 
     /// The arm set.
@@ -192,7 +211,7 @@ impl NetworkedBandit {
     ///
     /// Panics if `i` is out of range.
     pub fn side_reward_mean(&self, i: ArmId) -> f64 {
-        self.csr
+        self.csr()
             .closed_neighborhood(i)
             .iter()
             .map(|&j| self.means[j])
@@ -330,7 +349,7 @@ impl NetworkedBandit {
         out.direct_reward = samples[arm];
         out.observations.clear();
         out.observations.extend(
-            self.csr
+            self.csr()
                 .closed_neighborhood(arm)
                 .iter()
                 .map(|&j| (j, samples[j])),
@@ -415,7 +434,7 @@ impl NetworkedBandit {
         out.strategy.extend_from_slice(strategy);
         out.strategy.sort_unstable();
         out.strategy.dedup();
-        self.csr
+        self.csr()
             .closed_neighborhood_of_set_into(&out.strategy, mark, &mut out.observation_set);
         out.observations.clear();
         out.observations
@@ -696,6 +715,49 @@ mod tests {
         for i in 0..3 {
             assert!((env.side_reward_mean(i) - 1.5).abs() < 1e-12);
         }
+    }
+
+    /// Reconstructs the exact state `serde` leaves behind: the serialized
+    /// fields (`graph`, `arms`, `means`) populated, the `#[serde(skip)]` CSR
+    /// cell at its `Default` (empty). Regression test for the old footgun
+    /// where such an instance panicked (or silently disagreed with its graph)
+    /// until the caller remembered `refresh_csr()`.
+    fn freshly_deserialized(env: &NetworkedBandit) -> NetworkedBandit {
+        NetworkedBandit {
+            graph: env.graph.clone(),
+            csr: OnceLock::default(),
+            arms: env.arms.clone(),
+            means: env.means.clone(),
+        }
+    }
+
+    #[test]
+    fn deserialized_bandit_is_usable_without_manual_refresh() {
+        let env = small_instance();
+        let restored = freshly_deserialized(&env);
+        // The lazily rebuilt snapshot matches the eagerly built one ...
+        assert_eq!(restored.csr(), env.csr());
+        // ... and every feedback path works straight away.
+        let mut rng = StdRng::seed_from_u64(5);
+        let fb = restored.pull_single(1, &mut rng);
+        let observed: Vec<ArmId> = fb.observations.iter().map(|&(j, _)| j).collect();
+        assert_eq!(observed, vec![0, 1, 2]);
+        assert!((restored.side_reward_mean(2) - 1.9).abs() < 1e-12);
+        let samples = vec![1.0, 0.0, 1.0, 0.0];
+        let strat_fb = freshly_deserialized(&env)
+            .feedback_strategy_from_samples(&[0, 3], &samples)
+            .unwrap();
+        assert_eq!(strat_fb.observation_set, vec![0, 1, 2, 3]);
+        // Derived state does not participate in equality.
+        assert_eq!(freshly_deserialized(&env), env);
+    }
+
+    #[test]
+    fn refresh_csr_still_rebuilds_eagerly() {
+        let env = small_instance();
+        let mut restored = freshly_deserialized(&env);
+        restored.refresh_csr();
+        assert_eq!(restored.csr(), env.csr());
     }
 
     #[test]

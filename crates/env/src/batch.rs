@@ -1,0 +1,190 @@
+//! Batched, possibly delayed and out-of-order, feedback application.
+//!
+//! Real deployments of networked bandits (ad serving, channel access) do not
+//! observe rewards at decide time: feedback for round `t` arrives later,
+//! interleaved with feedback for other rounds, and is folded into the
+//! estimators in batches. A [`FeedbackBatch`] is the environment-level entry
+//! point for that regime: it queues feedback events keyed by the round they
+//! belong to, and drains them **in round order** (a stable sort, so ties keep
+//! arrival order), which makes batch application deterministic given the set
+//! of queued events — regardless of the arrival interleaving.
+//!
+//! The buffer recycles its slots: a drained event's inner allocations
+//! (observation lists, strategy vectors) stay warm for the next
+//! [`FeedbackBatch::push_slot`], so callers that fill the returned slot in
+//! place (e.g. with the `fill_*` methods of
+//! [`NetworkedBandit`](crate::NetworkedBandit)) queue with no per-event
+//! allocation. [`FeedbackBatch::push`] trades that away for convenience: it
+//! overwrites the slot with an already-owned event, so the event's own
+//! allocations replace the warm ones (this is what the serving engine does —
+//! its events arrive by value from the wire).
+//!
+//! The type is generic over the feedback payload so the same machinery serves
+//! both [`SinglePlayFeedback`](crate::SinglePlayFeedback) and
+//! [`CombinatorialFeedback`](crate::CombinatorialFeedback) tenants.
+//!
+//! # Example
+//!
+//! ```
+//! use netband_env::{FeedbackBatch, SinglePlayFeedback};
+//!
+//! let mut batch: FeedbackBatch<SinglePlayFeedback> = FeedbackBatch::new();
+//! // Feedback arrives out of order ...
+//! batch.push_slot(2).direct_reward = 0.25;
+//! batch.push_slot(1).direct_reward = 0.75;
+//! // ... but drains sorted by round.
+//! let mut seen = Vec::new();
+//! batch.drain_in_order(|round, fb| seen.push((round, fb.direct_reward)));
+//! assert_eq!(seen, vec![(1, 0.75), (2, 0.25)]);
+//! assert!(batch.is_empty());
+//! ```
+
+/// A reusable queue of delayed feedback events, drained in round order.
+///
+/// See the [module docs](self) for semantics and an example.
+#[derive(Debug, Clone, Default)]
+pub struct FeedbackBatch<F> {
+    /// Slot storage. The first `live` entries are queued events; entries past
+    /// `live` are drained slots kept warm for reuse.
+    entries: Vec<(u64, F)>,
+    live: usize,
+}
+
+impl<F: Default> FeedbackBatch<F> {
+    /// An empty batch; slot capacity is acquired lazily.
+    pub fn new() -> Self {
+        FeedbackBatch {
+            entries: Vec::new(),
+            live: 0,
+        }
+    }
+
+    /// Number of queued (undrained) events.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Returns `true` if no events are queued.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Queues an event for `round` and returns the payload slot to fill.
+    ///
+    /// The returned payload is a recycled slot whose previous contents are
+    /// unspecified — callers must overwrite every field they later read
+    /// (the `fill_*` methods of
+    /// [`NetworkedBandit`](crate::NetworkedBandit) do exactly that).
+    pub fn push_slot(&mut self, round: u64) -> &mut F {
+        if self.live == self.entries.len() {
+            self.entries.push((round, F::default()));
+        } else {
+            self.entries[self.live].0 = round;
+        }
+        let slot = &mut self.entries[self.live];
+        self.live += 1;
+        &mut slot.1
+    }
+
+    /// Queues an event for `round` by value. The slot's warm allocations are
+    /// dropped in favour of the ones `event` already owns — use
+    /// [`FeedbackBatch::push_slot`] and fill in place when queueing must not
+    /// allocate.
+    pub fn push(&mut self, round: u64, event: F) {
+        *self.push_slot(round) = event;
+    }
+
+    /// Drains every queued event in ascending round order (stable: events of
+    /// the same round keep their arrival order), invoking `visit(round,
+    /// event)` for each. The slots — including the payloads' inner
+    /// allocations — are retained for reuse.
+    pub fn drain_in_order(&mut self, mut visit: impl FnMut(u64, &F)) {
+        self.entries[..self.live].sort_by_key(|&(round, _)| round);
+        for (round, event) in &self.entries[..self.live] {
+            visit(*round, event);
+        }
+        self.live = 0;
+    }
+
+    /// Discards every queued event without visiting it (slots stay warm).
+    pub fn clear(&mut self) {
+        self.live = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arms::ArmSet;
+    use crate::bandit::{NetworkedBandit, SinglePlayFeedback};
+    use netband_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn drains_sorted_by_round_with_stable_ties() {
+        let mut batch: FeedbackBatch<f64> = FeedbackBatch::new();
+        batch.push(3, 0.3);
+        batch.push(1, 0.1);
+        batch.push(3, 0.33);
+        batch.push(2, 0.2);
+        let mut seen = Vec::new();
+        batch.drain_in_order(|round, &x| seen.push((round, x)));
+        assert_eq!(seen, vec![(1, 0.1), (2, 0.2), (3, 0.3), (3, 0.33)]);
+        assert!(batch.is_empty());
+    }
+
+    #[test]
+    fn slots_are_recycled_after_drain() {
+        let mut batch: FeedbackBatch<Vec<u8>> = FeedbackBatch::new();
+        batch.push_slot(1).extend_from_slice(&[1, 2, 3]);
+        batch.drain_in_order(|_, _| {});
+        // The recycled slot still owns its previous allocation ...
+        let slot = batch.push_slot(2);
+        assert!(slot.capacity() >= 3);
+        // ... and its previous (stale) contents, which the caller overwrites.
+        slot.clear();
+        slot.push(9);
+        let mut seen = Vec::new();
+        batch.drain_in_order(|round, v| seen.push((round, v.clone())));
+        assert_eq!(seen, vec![(2, vec![9])]);
+    }
+
+    #[test]
+    fn clear_discards_without_visiting() {
+        let mut batch: FeedbackBatch<f64> = FeedbackBatch::new();
+        batch.push(1, 0.5);
+        batch.clear();
+        assert!(batch.is_empty());
+        batch.drain_in_order(|_, _| panic!("cleared batch must not visit"));
+    }
+
+    #[test]
+    fn queued_environment_feedback_round_trips() {
+        let graph = generators::path(4);
+        let env = NetworkedBandit::new(graph, ArmSet::bernoulli(&[0.2, 0.9, 0.4, 0.6])).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let samples = env.sample_rewards(&mut rng);
+        let direct = env.feedback_single_from_samples(1, &samples);
+
+        let mut batch: FeedbackBatch<SinglePlayFeedback> = FeedbackBatch::new();
+        env.fill_single_feedback(1, &samples, batch.push_slot(1));
+        let mut drained = Vec::new();
+        batch.drain_in_order(|round, fb| drained.push((round, fb.clone())));
+        assert_eq!(drained, vec![(1, direct)]);
+    }
+
+    #[test]
+    fn len_tracks_pushes_and_drains() {
+        let mut batch: FeedbackBatch<f64> = FeedbackBatch::new();
+        assert_eq!(batch.len(), 0);
+        for round in 0..5 {
+            batch.push(round, round as f64);
+        }
+        assert_eq!(batch.len(), 5);
+        batch.drain_in_order(|_, _| {});
+        assert_eq!(batch.len(), 0);
+        batch.push(9, 9.0);
+        assert_eq!(batch.len(), 1);
+    }
+}

@@ -16,6 +16,8 @@
 //!   feedback of Section II.
 //! * [`feasible`] — feasible strategy families (`F`) and combinatorial oracles
 //!   (exact and greedy) for combinatorial play.
+//! * [`batch`] — [`FeedbackBatch`], the queue for delayed, out-of-order
+//!   feedback that drains in round order (the serving engine's flush path).
 //!
 //! # Example
 //!
@@ -42,6 +44,7 @@
 
 pub mod arms;
 pub mod bandit;
+pub mod batch;
 pub mod distributions;
 pub mod feasible;
 pub mod workloads;
@@ -50,6 +53,7 @@ pub use arms::ArmSet;
 pub use bandit::{
     CombinatorialFeedback, EnvError, NetworkedBandit, PullBuffer, SinglePlayFeedback,
 };
+pub use batch::FeedbackBatch;
 pub use distributions::RewardDistribution;
 pub use feasible::{FeasibleSet, StrategyFamily};
 pub use workloads::Workload;

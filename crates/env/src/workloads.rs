@@ -194,4 +194,92 @@ mod tests {
         let b = online_advertising(15, 2, &mut StdRng::seed_from_u64(9));
         assert_eq!(a, b);
     }
+
+    /// Every preset is a pure function of its RNG: the same seed must
+    /// reproduce the generated workload (graph, arm distributions, family)
+    /// exactly, and a different seed must actually change the instance.
+    #[test]
+    fn all_four_presets_are_seed_stable() {
+        fn check<F: Fn(&mut StdRng) -> Workload>(name: &str, build: F) {
+            let a = build(&mut StdRng::seed_from_u64(11));
+            let b = build(&mut StdRng::seed_from_u64(11));
+            assert_eq!(a, b, "{name}: same seed must reproduce the workload");
+            let c = build(&mut StdRng::seed_from_u64(12));
+            assert_ne!(a, c, "{name}: a fresh seed must vary the workload");
+        }
+        check("paper_simulation", |rng| paper_simulation(20, 0.3, rng));
+        check("online_advertising", |rng| online_advertising(20, 3, rng));
+        check("social_promotion", |rng| social_promotion(24, 3, rng));
+        check("channel_access", |rng| channel_access(20, 3, 0.3, rng));
+    }
+
+    /// The combinatorial presets must come with a non-empty feasible family
+    /// whose oracles return cardinality-compliant members of the family —
+    /// otherwise a hosted DFL-CSO/CSR tenant would panic on its first decide.
+    #[test]
+    fn combinatorial_preset_oracles_are_feasible_and_cardinality_compliant() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for workload in [
+            online_advertising(14, 3, &mut rng),
+            channel_access(16, 3, 0.35, &mut rng),
+        ] {
+            let family = workload.family();
+            let graph = workload.bandit.graph();
+            let strategies = family
+                .enumerate(graph)
+                .unwrap_or_else(|| panic!("{}: family not enumerable", workload.name));
+            assert!(!strategies.is_empty(), "{}: empty family", workload.name);
+            for s in &strategies {
+                assert!(!s.is_empty(), "{}: empty strategy", workload.name);
+                assert!(
+                    s.len() <= family.max_size(),
+                    "{}: cardinality {} exceeds M={}",
+                    workload.name,
+                    s.len(),
+                    family.max_size()
+                );
+                assert!(family.contains(s, graph), "{}: {s:?}", workload.name);
+            }
+            // Both per-round oracles return feasible, compliant strategies.
+            let weights: Vec<f64> = (0..workload.num_arms()).map(|i| 1.0 + i as f64).collect();
+            for oracle_pick in [
+                family.argmax_by_arm_weights(&weights, graph),
+                family.argmax_by_neighborhood_weights(&weights, graph),
+            ] {
+                let pick = oracle_pick.expect("non-empty family has an argmax");
+                assert!(pick.len() <= family.max_size(), "{}", workload.name);
+                assert!(family.contains(&pick, graph), "{}: {pick:?}", workload.name);
+            }
+        }
+    }
+
+    /// The single-play presets produce instances a policy can run on from
+    /// round one: valid means and a usable (possibly lazily rebuilt) CSR view.
+    #[test]
+    fn single_play_presets_produce_usable_instances() {
+        let mut rng = StdRng::seed_from_u64(33);
+        for workload in [
+            paper_simulation(18, 0.3, &mut rng),
+            social_promotion(18, 3, &mut rng),
+        ] {
+            assert!(workload.family.is_none(), "{}", workload.name);
+            assert_eq!(workload.num_arms(), 18, "{}", workload.name);
+            assert!(
+                workload
+                    .bandit
+                    .means()
+                    .iter()
+                    .all(|&m| (0.0..=1.0).contains(&m)),
+                "{}: invalid means",
+                workload.name
+            );
+            let mut pull_rng = StdRng::seed_from_u64(1);
+            let feedback = workload.bandit.pull_single(0, &mut pull_rng);
+            assert!(
+                !feedback.observations.is_empty(),
+                "{}: a pull must reveal at least the pulled arm",
+                workload.name
+            );
+        }
+    }
 }

@@ -1,0 +1,195 @@
+//! Public request/response types of the serving engine.
+
+use std::fmt;
+
+use netband_env::{CombinatorialFeedback, EnvError, SinglePlayFeedback};
+
+use crate::ArmId;
+
+/// Identifier of a tenant (an experiment id). Tenants are routed to shards by
+/// a stable hash of this id.
+pub type TenantId = String;
+
+/// The action a tenant chose for one round.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Decision {
+    /// A single-play tenant pulled one arm.
+    Arm(ArmId),
+    /// A combinatorial tenant pulled a super-arm (sorted, deduplicated).
+    Strategy(Vec<ArmId>),
+}
+
+/// One reward observation travelling back into the engine.
+///
+/// The variant must match the tenant's play mode; a mismatch is rejected with
+/// [`ServeError::FeedbackKindMismatch`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum FeedbackEvent {
+    /// Feedback for a single-play decision.
+    Single(SinglePlayFeedback),
+    /// Feedback for a combinatorial decision.
+    Combinatorial(CombinatorialFeedback),
+}
+
+/// When a tenant folds its queued feedback into the policy estimators.
+///
+/// Each flush applies its queued events in round order (stable for ties), so
+/// applying a given batch is deterministic. The *partition* of events into
+/// flushes follows delivery timing: events that arrive after a flush boundary
+/// are ordered only relative to their own batch, and incremental-mean updates
+/// are float-order-sensitive. Clients that need a bit-reproducible trajectory
+/// must therefore deliver feedback on a fixed schedule — the golden
+/// equivalence suite does exactly that with [`FlushPolicy::immediate`] and
+/// in-order delivery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlushPolicy {
+    /// Flush as soon as this many events are pending (0 is treated as 1).
+    pub max_pending: usize,
+    /// Additionally flush at the start of every decide, so a decision never
+    /// runs on estimators that are missing already-delivered feedback. This is
+    /// the setting under which a single-shard engine reproduces the batch
+    /// simulation bit for bit.
+    pub flush_before_decide: bool,
+}
+
+impl FlushPolicy {
+    /// Apply every feedback event as soon as it arrives.
+    pub fn immediate() -> Self {
+        FlushPolicy {
+            max_pending: 1,
+            flush_before_decide: true,
+        }
+    }
+
+    /// Let feedback accumulate and apply it in batches of (up to)
+    /// `max_pending` events; decides may run on stale estimators in between
+    /// (the delayed-feedback regime).
+    pub fn batched(max_pending: usize) -> Self {
+        FlushPolicy {
+            max_pending: max_pending.max(1),
+            flush_before_decide: false,
+        }
+    }
+}
+
+impl Default for FlushPolicy {
+    fn default() -> Self {
+        FlushPolicy::immediate()
+    }
+}
+
+/// The engine's answer to a `Decide` request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecideReply {
+    /// The tenant-local round this decision belongs to (1-based). Feedback
+    /// for the decision must quote this round.
+    pub round: u64,
+    /// The chosen arm or super-arm.
+    pub decision: Decision,
+    /// The realised reward the environment charged for the decision, under
+    /// the tenant's scenario reward model.
+    pub reward: f64,
+    /// The feedback event revealed by the pull, for the caller to route back
+    /// via feedback ingestion (possibly delayed and out of order). `None`
+    /// when the tenant was configured without feedback echo.
+    pub feedback: Option<FeedbackEvent>,
+}
+
+/// Errors surfaced by the serving engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// No tenant with this id exists on the shard the id routes to.
+    UnknownTenant(TenantId),
+    /// A tenant with this id already exists.
+    DuplicateTenant(TenantId),
+    /// The environment rejected the tenant's decision or restore state.
+    Env(EnvError),
+    /// A feedback event's variant does not match the tenant's play mode.
+    FeedbackKindMismatch(TenantId),
+    /// A feedback event quoted a round the tenant never served (0, or beyond
+    /// the last decide).
+    InvalidRound {
+        /// The tenant the event was addressed to.
+        tenant: TenantId,
+        /// The round the event quoted.
+        round: u64,
+        /// Rounds the tenant had served when the event arrived.
+        served: u64,
+    },
+    /// The engine (or the target shard) has shut down.
+    EngineDown,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::UnknownTenant(id) => write!(f, "unknown tenant {id:?}"),
+            ServeError::DuplicateTenant(id) => write!(f, "tenant {id:?} already exists"),
+            ServeError::Env(e) => write!(f, "environment error: {e}"),
+            ServeError::FeedbackKindMismatch(id) => {
+                write!(f, "feedback kind does not match tenant {id:?}'s play mode")
+            }
+            ServeError::InvalidRound {
+                tenant,
+                round,
+                served,
+            } => {
+                write!(
+                    f,
+                    "feedback for tenant {tenant:?} quotes round {round}, but only {served} \
+                     rounds have been served"
+                )
+            }
+            ServeError::EngineDown => write!(f, "serving engine has shut down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<EnvError> for ServeError {
+    fn from(e: EnvError) -> Self {
+        ServeError::Env(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flush_policy_constructors() {
+        let imm = FlushPolicy::immediate();
+        assert_eq!(imm.max_pending, 1);
+        assert!(imm.flush_before_decide);
+        assert_eq!(FlushPolicy::default(), imm);
+        let batched = FlushPolicy::batched(32);
+        assert_eq!(batched.max_pending, 32);
+        assert!(!batched.flush_before_decide);
+        // A zero batch size degrades to immediate application.
+        assert_eq!(FlushPolicy::batched(0).max_pending, 1);
+    }
+
+    #[test]
+    fn errors_render_their_context() {
+        assert!(ServeError::UnknownTenant("exp-1".into())
+            .to_string()
+            .contains("exp-1"));
+        assert!(ServeError::DuplicateTenant("exp-2".into())
+            .to_string()
+            .contains("already exists"));
+        let env: ServeError = EnvError::InvalidStrategy {
+            reason: "empty".into(),
+        }
+        .into();
+        assert!(env.to_string().contains("empty"));
+        let invalid = ServeError::InvalidRound {
+            tenant: "exp-3".into(),
+            round: 9,
+            served: 4,
+        }
+        .to_string();
+        assert!(invalid.contains("exp-3") && invalid.contains('9') && invalid.contains('4'));
+        assert!(ServeError::EngineDown.to_string().contains("shut down"));
+    }
+}

@@ -1,0 +1,308 @@
+//! The multi-tenant serving engine: shard spawning, routing, and the
+//! synchronous client API.
+
+use std::hash::{DefaultHasher, Hash, Hasher};
+use std::sync::mpsc::{sync_channel, SyncSender};
+use std::thread::JoinHandle;
+
+use crate::api::{DecideReply, FeedbackEvent, ServeError};
+use crate::metrics::MetricsReport;
+use crate::shard::{shard_loop, Command};
+use crate::snapshot::TenantSnapshot;
+use crate::tenant::TenantSpec;
+
+/// Engine sizing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Number of shard worker threads. Tenants are assigned to shards by a
+    /// stable hash of their id, so the same id always routes to the same
+    /// shard for a given shard count.
+    pub shards: usize,
+    /// Capacity of each shard's bounded command queue; a full queue blocks
+    /// the sending client (backpressure).
+    pub queue_capacity: usize,
+}
+
+impl EngineConfig {
+    /// A config with `shards` workers and the default queue capacity.
+    pub fn new(shards: usize) -> Self {
+        EngineConfig {
+            shards: shards.max(1),
+            queue_capacity: 1024,
+        }
+    }
+
+    /// Overrides the per-shard command queue capacity.
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity.max(1);
+        self
+    }
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig::new(1)
+    }
+}
+
+/// A sharded multi-tenant serving engine.
+///
+/// The engine hosts independent bandit *tenants* (experiment id → policy +
+/// environment), distributed across worker threads by tenant id. All methods
+/// take `&self` and the engine is [`Sync`], so any number of client threads
+/// can drive it concurrently (e.g. through [`std::thread::scope`]); commands
+/// for the same tenant are serialised by its shard's FIFO queue.
+///
+/// See the [crate docs](crate) for a full walkthrough and the
+/// delayed-feedback semantics.
+pub struct ServeEngine {
+    senders: Vec<SyncSender<Command>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl ServeEngine {
+    /// Starts the shard worker threads.
+    pub fn start(config: EngineConfig) -> Self {
+        let mut senders = Vec::with_capacity(config.shards);
+        let mut handles = Vec::with_capacity(config.shards);
+        for shard in 0..config.shards {
+            let (sender, receiver) = sync_channel(config.queue_capacity);
+            let handle = std::thread::Builder::new()
+                .name(format!("netband-shard-{shard}"))
+                .spawn(move || shard_loop(receiver))
+                .expect("spawn shard worker thread");
+            senders.push(sender);
+            handles.push(handle);
+        }
+        ServeEngine { senders, handles }
+    }
+
+    /// Starts an engine with `shards` workers and default queue sizing.
+    pub fn with_shards(shards: usize) -> Self {
+        ServeEngine::start(EngineConfig::new(shards))
+    }
+
+    /// Number of shard worker threads.
+    pub fn num_shards(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// The shard a tenant id routes to.
+    pub fn shard_of(&self, tenant: &str) -> usize {
+        let mut hasher = DefaultHasher::new();
+        tenant.hash(&mut hasher);
+        (hasher.finish() % self.senders.len() as u64) as usize
+    }
+
+    fn sender_for(&self, tenant: &str) -> &SyncSender<Command> {
+        &self.senders[self.shard_of(tenant)]
+    }
+
+    /// Sends a command built around a fresh reply channel and waits for the
+    /// answer.
+    fn request<T>(
+        &self,
+        sender: &SyncSender<Command>,
+        build: impl FnOnce(SyncSender<Result<T, ServeError>>) -> Command,
+    ) -> Result<T, ServeError> {
+        let (reply, response) = sync_channel(1);
+        sender
+            .send(build(reply))
+            .map_err(|_| ServeError::EngineDown)?;
+        response.recv().map_err(|_| ServeError::EngineDown)?
+    }
+
+    /// Registers a new tenant on the shard its id routes to.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::DuplicateTenant`] if the id is taken,
+    /// [`ServeError::EngineDown`] after shutdown.
+    pub fn create_tenant(&self, spec: TenantSpec) -> Result<(), ServeError> {
+        let sender = self.sender_for(spec.id());
+        self.request(sender, |reply| Command::Create {
+            spec: Box::new(spec),
+            reply,
+        })
+    }
+
+    /// Recreates a tenant from a checkpoint (same routing as
+    /// [`ServeEngine::create_tenant`]). The environment's derived CSR state
+    /// is rebuilt on restore, so snapshots taken before a shutdown resume
+    /// bit-identically on a fresh engine.
+    pub fn restore_tenant(&self, snapshot: TenantSnapshot) -> Result<(), ServeError> {
+        let sender = self.sender_for(snapshot.id());
+        self.request(sender, |reply| Command::Restore {
+            snapshot: Box::new(snapshot),
+            reply,
+        })
+    }
+
+    /// Serves one decision for `tenant`, blocking until its shard answers.
+    pub fn decide(&self, tenant: &str) -> Result<DecideReply, ServeError> {
+        self.request(self.sender_for(tenant), |reply| Command::Decide {
+            tenant: tenant.to_owned(),
+            reply,
+        })
+    }
+
+    /// Ingests one feedback event for `tenant`'s round `round`,
+    /// fire-and-forget. Events may arrive delayed, in batches, and out of
+    /// round order; each tenant applies its queue in round order at flush
+    /// points (see [`crate::FlushPolicy`]).
+    ///
+    /// A full shard queue blocks the caller (backpressure). Feedback for an
+    /// unknown tenant, of the wrong kind, or quoting a round the tenant never
+    /// served is dropped and counted in [`crate::ShardMetrics::rejected`].
+    /// Duplicate delivery of a served round is *not* detected — at-most-once
+    /// delivery is the caller's responsibility.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::EngineDown`] after shutdown.
+    pub fn feedback(
+        &self,
+        tenant: &str,
+        round: u64,
+        event: FeedbackEvent,
+    ) -> Result<(), ServeError> {
+        self.sender_for(tenant)
+            .send(Command::Feedback {
+                tenant: tenant.to_owned(),
+                round,
+                event,
+            })
+            .map_err(|_| ServeError::EngineDown)
+    }
+
+    /// Asks `tenant` to apply its pending feedback now (fire-and-forget).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::EngineDown`] after shutdown.
+    pub fn flush(&self, tenant: &str) -> Result<(), ServeError> {
+        self.sender_for(tenant)
+            .send(Command::Flush {
+                tenant: tenant.to_owned(),
+            })
+            .map_err(|_| ServeError::EngineDown)
+    }
+
+    /// Checkpoints `tenant` (flushing its pending feedback first) without
+    /// removing it.
+    pub fn snapshot_tenant(&self, tenant: &str) -> Result<TenantSnapshot, ServeError> {
+        self.request(self.sender_for(tenant), |reply| Command::Snapshot {
+            tenant: tenant.to_owned(),
+            reply,
+        })
+    }
+
+    /// Removes `tenant` from the engine, returning its final checkpoint.
+    pub fn evict_tenant(&self, tenant: &str) -> Result<TenantSnapshot, ServeError> {
+        self.request(self.sender_for(tenant), |reply| Command::Evict {
+            tenant: tenant.to_owned(),
+            reply,
+        })
+    }
+
+    /// Flushes every tenant's pending feedback on every shard and waits until
+    /// all previously enqueued commands have been processed (a full-engine
+    /// barrier).
+    pub fn drain(&self) -> Result<(), ServeError> {
+        let mut responses = Vec::with_capacity(self.senders.len());
+        for sender in &self.senders {
+            let (reply, response) = sync_channel(1);
+            sender
+                .send(Command::Drain { reply })
+                .map_err(|_| ServeError::EngineDown)?;
+            responses.push(response);
+        }
+        for response in responses {
+            response.recv().map_err(|_| ServeError::EngineDown)?;
+        }
+        Ok(())
+    }
+
+    /// Gathers a point-in-time metrics report from every shard. Like
+    /// [`ServeEngine::drain`], acts as a queue barrier, so the report covers
+    /// everything enqueued before the call.
+    pub fn metrics(&self) -> Result<MetricsReport, ServeError> {
+        let mut responses = Vec::with_capacity(self.senders.len());
+        for sender in &self.senders {
+            let (reply, response) = sync_channel(1);
+            sender
+                .send(Command::Metrics { reply })
+                .map_err(|_| ServeError::EngineDown)?;
+            responses.push(response);
+        }
+        let mut report = MetricsReport::default();
+        for response in responses {
+            let shard = response.recv().map_err(|_| ServeError::EngineDown)?;
+            report.shards.push(shard.metrics);
+            report.tenants.extend(shard.tenants);
+        }
+        report.tenants.sort_by(|a, b| a.0.cmp(&b.0));
+        Ok(report)
+    }
+
+    /// Stops every shard after it finishes its queued work, and joins the
+    /// worker threads. Dropping the engine does the same implicitly.
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    fn shutdown_in_place(&mut self) {
+        for sender in &self.senders {
+            // A shard that already exited has dropped its receiver; fine.
+            let _ = sender.send(Command::Shutdown);
+        }
+        // Senders are kept so later requests fail with `EngineDown` instead
+        // of panicking on routing.
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ServeEngine {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_clamps_degenerate_sizes() {
+        assert_eq!(EngineConfig::new(0).shards, 1);
+        assert_eq!(EngineConfig::new(4).shards, 4);
+        assert_eq!(
+            EngineConfig::new(1).with_queue_capacity(0).queue_capacity,
+            1
+        );
+        assert_eq!(EngineConfig::default(), EngineConfig::new(1));
+    }
+
+    #[test]
+    fn routing_is_stable_and_in_range() {
+        let engine = ServeEngine::with_shards(4);
+        assert_eq!(engine.num_shards(), 4);
+        for id in ["a", "b", "exp-42", ""] {
+            let shard = engine.shard_of(id);
+            assert!(shard < 4);
+            assert_eq!(shard, engine.shard_of(id), "routing must be stable");
+        }
+        engine.shutdown();
+    }
+
+    #[test]
+    fn requests_after_shutdown_report_engine_down() {
+        let engine = ServeEngine::with_shards(2);
+        let mut engine = engine;
+        engine.shutdown_in_place();
+        assert_eq!(engine.decide("x").unwrap_err(), ServeError::EngineDown);
+        assert_eq!(engine.drain().unwrap_err(), ServeError::EngineDown);
+    }
+}

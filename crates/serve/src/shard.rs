@@ -1,0 +1,158 @@
+//! Shard actor loop: one worker thread owning a disjoint set of tenants.
+//!
+//! A shard is a plain `std::thread` draining a bounded command channel — the
+//! repo's `std`-only threading convention (no async runtime in the vendored
+//! dependency set). All tenant state is thread-local to the shard, so the hot
+//! path takes no locks; the bounded channel provides backpressure to clients.
+
+use std::collections::HashMap;
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::time::Instant;
+
+use crate::api::{DecideReply, FeedbackEvent, ServeError, TenantId};
+use crate::metrics::{ShardMetrics, TenantMetrics};
+use crate::snapshot::TenantSnapshot;
+use crate::tenant::{Tenant, TenantSpec};
+
+/// A command addressed to one shard. Fire-and-forget commands (`Feedback`,
+/// `Flush`) carry no reply channel; failures are counted in
+/// [`ShardMetrics::rejected`].
+pub(crate) enum Command {
+    Decide {
+        tenant: TenantId,
+        reply: SyncSender<Result<DecideReply, ServeError>>,
+    },
+    Feedback {
+        tenant: TenantId,
+        round: u64,
+        event: FeedbackEvent,
+    },
+    Flush {
+        tenant: TenantId,
+    },
+    Create {
+        spec: Box<TenantSpec>,
+        reply: SyncSender<Result<(), ServeError>>,
+    },
+    Restore {
+        snapshot: Box<TenantSnapshot>,
+        reply: SyncSender<Result<(), ServeError>>,
+    },
+    Snapshot {
+        tenant: TenantId,
+        reply: SyncSender<Result<TenantSnapshot, ServeError>>,
+    },
+    Evict {
+        tenant: TenantId,
+        reply: SyncSender<Result<TenantSnapshot, ServeError>>,
+    },
+    Metrics {
+        reply: SyncSender<ShardReport>,
+    },
+    /// Flush every tenant's pending feedback; the ack doubles as a queue
+    /// barrier (everything enqueued before it has been processed).
+    Drain {
+        reply: SyncSender<()>,
+    },
+    Shutdown,
+}
+
+/// One shard's contribution to a [`crate::MetricsReport`].
+pub(crate) struct ShardReport {
+    pub(crate) metrics: ShardMetrics,
+    pub(crate) tenants: Vec<(TenantId, TenantMetrics)>,
+}
+
+/// The shard actor loop. Runs until `Shutdown` arrives or every sender is
+/// dropped.
+pub(crate) fn shard_loop(commands: Receiver<Command>) {
+    let mut tenants: HashMap<TenantId, Tenant> = HashMap::new();
+    let mut metrics = ShardMetrics::default();
+    while let Ok(command) = commands.recv() {
+        metrics.commands += 1;
+        match command {
+            Command::Decide { tenant, reply } => {
+                let start = Instant::now();
+                let result = match tenants.get_mut(&tenant) {
+                    Some(t) => t.decide(),
+                    None => Err(ServeError::UnknownTenant(tenant)),
+                };
+                metrics.decide_latency.record(start.elapsed());
+                // A disconnected caller is not a shard failure.
+                let _ = reply.send(result);
+            }
+            Command::Feedback {
+                tenant,
+                round,
+                event,
+            } => {
+                let start = Instant::now();
+                match tenants.get_mut(&tenant) {
+                    Some(t) => {
+                        if t.feedback(round, event).is_err() {
+                            metrics.rejected += 1;
+                        }
+                    }
+                    None => metrics.rejected += 1,
+                }
+                metrics.feedback_latency.record(start.elapsed());
+            }
+            Command::Flush { tenant } => match tenants.get_mut(&tenant) {
+                Some(t) => t.flush_pending(),
+                None => metrics.rejected += 1,
+            },
+            Command::Create { spec, reply } => {
+                let result = if tenants.contains_key(spec.id()) {
+                    Err(ServeError::DuplicateTenant(spec.id().to_owned()))
+                } else {
+                    let tenant = Tenant::new(*spec);
+                    tenants.insert(tenant.id.clone(), tenant);
+                    Ok(())
+                };
+                let _ = reply.send(result);
+            }
+            Command::Restore { snapshot, reply } => {
+                let result = if tenants.contains_key(snapshot.id()) {
+                    Err(ServeError::DuplicateTenant(snapshot.id().to_owned()))
+                } else {
+                    Tenant::from_snapshot(*snapshot).map(|tenant| {
+                        tenants.insert(tenant.id.clone(), tenant);
+                    })
+                };
+                let _ = reply.send(result);
+            }
+            Command::Snapshot { tenant, reply } => {
+                let result = match tenants.get_mut(&tenant) {
+                    Some(t) => Ok(t.snapshot()),
+                    None => Err(ServeError::UnknownTenant(tenant)),
+                };
+                let _ = reply.send(result);
+            }
+            Command::Evict { tenant, reply } => {
+                let result = match tenants.remove(&tenant) {
+                    Some(mut t) => Ok(t.snapshot()),
+                    None => Err(ServeError::UnknownTenant(tenant)),
+                };
+                let _ = reply.send(result);
+            }
+            Command::Metrics { reply } => {
+                let mut list: Vec<(TenantId, TenantMetrics)> = tenants
+                    .iter()
+                    .map(|(id, t)| (id.clone(), t.metrics.clone()))
+                    .collect();
+                list.sort_by(|a, b| a.0.cmp(&b.0));
+                let _ = reply.send(ShardReport {
+                    metrics: metrics.clone(),
+                    tenants: list,
+                });
+            }
+            Command::Drain { reply } => {
+                for tenant in tenants.values_mut() {
+                    tenant.flush_pending();
+                }
+                let _ = reply.send(());
+            }
+            Command::Shutdown => break,
+        }
+    }
+}

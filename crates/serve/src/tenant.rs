@@ -1,0 +1,685 @@
+//! Tenants: one hosted bandit experiment each.
+//!
+//! A tenant couples a policy (any [`SinglePlayPolicy`] or
+//! [`CombinatorialPolicy`] implementation), a [`NetworkedBandit`] environment,
+//! and the serving bookkeeping: a seeded RNG, the PR-2 scratch buffers that
+//! make a decide allocation-free, a pending [`FeedbackBatch`] for delayed
+//! feedback, regret accounting identical to the batch simulation, and
+//! per-tenant metrics. Tenants are plain data owned by exactly one shard
+//! thread — all concurrency lives a level up, in the shard command loop.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use netband_core::{CombinatorialPolicy, SinglePlayPolicy};
+use netband_env::feasible::FeasibleSet;
+use netband_env::{FeedbackBatch, NetworkedBandit, PullBuffer, StrategyFamily};
+use netband_sim::regret::RegretTrace;
+use netband_sim::step;
+use netband_sim::{CombinatorialScenario, SingleScenario};
+
+use crate::api::{DecideReply, Decision, FeedbackEvent, FlushPolicy, ServeError, TenantId};
+use crate::metrics::TenantMetrics;
+use crate::snapshot::{SnapshotKind, TenantSnapshot};
+
+/// Object-safe cloning for boxed single-play policies: snapshots capture the
+/// policy's learned state by cloning the box. Implemented automatically for
+/// every `SinglePlayPolicy + Clone` type, which covers all policies in
+/// `netband-core` and `netband-baselines`.
+pub trait DynSinglePolicy: SinglePlayPolicy {
+    /// Clones the policy behind the box.
+    fn clone_box(&self) -> Box<dyn DynSinglePolicy>;
+}
+
+impl<P: SinglePlayPolicy + Clone + 'static> DynSinglePolicy for P {
+    fn clone_box(&self) -> Box<dyn DynSinglePolicy> {
+        Box::new(self.clone())
+    }
+}
+
+/// Object-safe cloning for boxed combinatorial policies; see
+/// [`DynSinglePolicy`].
+pub trait DynCombinatorialPolicy: CombinatorialPolicy {
+    /// Clones the policy behind the box.
+    fn clone_box(&self) -> Box<dyn DynCombinatorialPolicy>;
+}
+
+impl<P: CombinatorialPolicy + Clone + 'static> DynCombinatorialPolicy for P {
+    fn clone_box(&self) -> Box<dyn DynCombinatorialPolicy> {
+        Box::new(self.clone())
+    }
+}
+
+/// Everything needed to create a tenant on the engine.
+///
+/// Build with [`TenantSpec::single`] or [`TenantSpec::combinatorial`], then
+/// customise with the `with_*` methods.
+///
+/// # Example
+///
+/// ```
+/// use netband_core::DflSso;
+/// use netband_env::{ArmSet, NetworkedBandit};
+/// use netband_graph::generators;
+/// use netband_serve::{FlushPolicy, TenantSpec};
+/// use netband_sim::SingleScenario;
+///
+/// let graph = generators::path(4);
+/// let bandit = NetworkedBandit::new(graph.clone(), ArmSet::linear_bernoulli(4)).unwrap();
+/// let spec = TenantSpec::single(
+///     "exp-1",
+///     bandit,
+///     DflSso::new(graph),
+///     SingleScenario::SideObservation,
+///     42,
+/// )
+/// .with_flush(FlushPolicy::batched(32));
+/// assert_eq!(spec.id(), "exp-1");
+/// ```
+pub struct TenantSpec {
+    id: TenantId,
+    bandit: NetworkedBandit,
+    seed: u64,
+    flush: FlushPolicy,
+    auto_feedback: bool,
+    echo_feedback: bool,
+    kind: SpecKind,
+}
+
+enum SpecKind {
+    Single {
+        policy: Box<dyn DynSinglePolicy>,
+        scenario: SingleScenario,
+    },
+    Combinatorial {
+        policy: Box<dyn DynCombinatorialPolicy>,
+        family: StrategyFamily,
+        scenario: CombinatorialScenario,
+    },
+}
+
+impl TenantSpec {
+    /// A single-play tenant: one arm per decide.
+    pub fn single(
+        id: impl Into<TenantId>,
+        bandit: NetworkedBandit,
+        policy: impl SinglePlayPolicy + Clone + 'static,
+        scenario: SingleScenario,
+        seed: u64,
+    ) -> Self {
+        TenantSpec {
+            id: id.into(),
+            bandit,
+            seed,
+            flush: FlushPolicy::default(),
+            auto_feedback: false,
+            echo_feedback: true,
+            kind: SpecKind::Single {
+                policy: Box::new(policy),
+                scenario,
+            },
+        }
+    }
+
+    /// A combinatorial tenant: one feasible super-arm per decide.
+    pub fn combinatorial(
+        id: impl Into<TenantId>,
+        bandit: NetworkedBandit,
+        policy: impl CombinatorialPolicy + Clone + 'static,
+        family: StrategyFamily,
+        scenario: CombinatorialScenario,
+        seed: u64,
+    ) -> Self {
+        TenantSpec {
+            id: id.into(),
+            bandit,
+            seed,
+            flush: FlushPolicy::default(),
+            auto_feedback: false,
+            echo_feedback: true,
+            kind: SpecKind::Combinatorial {
+                policy: Box::new(policy),
+                family,
+                scenario,
+            },
+        }
+    }
+
+    /// The tenant id the spec will be registered under.
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// Sets when queued feedback is folded into the policy.
+    pub fn with_flush(mut self, flush: FlushPolicy) -> Self {
+        self.flush = flush;
+        self
+    }
+
+    /// When enabled, every decide applies its own feedback immediately,
+    /// tenant-side — the degenerate closed-loop simulation path (no feedback
+    /// ingestion needed). Defaults to off.
+    pub fn with_auto_feedback(mut self, on: bool) -> Self {
+        self.auto_feedback = on;
+        self
+    }
+
+    /// When disabled, decide replies omit the revealed feedback event (useful
+    /// with auto-feedback, where nothing needs to travel back). Defaults to
+    /// on.
+    pub fn with_echo_feedback(mut self, on: bool) -> Self {
+        self.echo_feedback = on;
+        self
+    }
+}
+
+/// Internal play-mode state of a tenant.
+pub(crate) enum TenantKind {
+    Single {
+        policy: Box<dyn DynSinglePolicy>,
+        scenario: SingleScenario,
+        pending: FeedbackBatch<netband_env::SinglePlayFeedback>,
+    },
+    Combinatorial {
+        policy: Box<dyn DynCombinatorialPolicy>,
+        family: StrategyFamily,
+        scenario: CombinatorialScenario,
+        pending: FeedbackBatch<netband_env::CombinatorialFeedback>,
+        strategy_scratch: Vec<crate::ArmId>,
+    },
+}
+
+/// One hosted experiment, owned by a single shard thread.
+pub(crate) struct Tenant {
+    pub(crate) id: TenantId,
+    pub(crate) bandit: NetworkedBandit,
+    pub(crate) kind: TenantKind,
+    pub(crate) rng: StdRng,
+    pub(crate) buf: PullBuffer,
+    /// Rounds served so far; the next decide is round `round + 1` (1-based,
+    /// matching the simulation runner's time slots).
+    pub(crate) round: u64,
+    pub(crate) optimal: f64,
+    pub(crate) total_reward: f64,
+    pub(crate) trace: RegretTrace,
+    pub(crate) flush: FlushPolicy,
+    pub(crate) auto_feedback: bool,
+    pub(crate) echo_feedback: bool,
+    pub(crate) metrics: TenantMetrics,
+}
+
+impl Tenant {
+    pub(crate) fn new(spec: TenantSpec) -> Tenant {
+        let TenantSpec {
+            id,
+            bandit,
+            seed,
+            flush,
+            auto_feedback,
+            echo_feedback,
+            kind,
+        } = spec;
+        let (kind, optimal) = match kind {
+            SpecKind::Single { policy, scenario } => {
+                let optimal = step::single_benchmark(&bandit, scenario);
+                (
+                    TenantKind::Single {
+                        policy,
+                        scenario,
+                        pending: FeedbackBatch::new(),
+                    },
+                    optimal,
+                )
+            }
+            SpecKind::Combinatorial {
+                policy,
+                family,
+                scenario,
+            } => {
+                let optimal = step::combinatorial_benchmark(&bandit, &family, scenario);
+                (
+                    TenantKind::Combinatorial {
+                        policy,
+                        family,
+                        scenario,
+                        pending: FeedbackBatch::new(),
+                        strategy_scratch: Vec::new(),
+                    },
+                    optimal,
+                )
+            }
+        };
+        Tenant {
+            id,
+            bandit,
+            kind,
+            rng: StdRng::seed_from_u64(seed),
+            buf: PullBuffer::new(),
+            round: 0,
+            optimal,
+            total_reward: 0.0,
+            trace: RegretTrace::with_capacity(0),
+            flush,
+            auto_feedback,
+            echo_feedback,
+            metrics: TenantMetrics::default(),
+        }
+    }
+
+    /// Serves one decision. The per-round arithmetic (pull, reward, regret
+    /// record, optional immediate update) matches the batch runner expression
+    /// for expression, which is what the golden-trace equivalence suite pins.
+    pub(crate) fn decide(&mut self) -> Result<DecideReply, ServeError> {
+        if self.flush.flush_before_decide {
+            self.flush_pending();
+        }
+        self.round += 1;
+        let t = self.round as usize;
+        let optimal = self.optimal;
+        let echo = self.echo_feedback;
+        let auto = self.auto_feedback;
+        let reply = match &mut self.kind {
+            TenantKind::Single {
+                policy, scenario, ..
+            } => {
+                let arm = policy.select_arm(t);
+                let feedback = self.buf.pull_single(&self.bandit, arm, &mut self.rng);
+                let (reward, mean) = step::score_single(&self.bandit, *scenario, feedback);
+                self.total_reward += reward;
+                self.trace.record(optimal - reward, optimal - mean);
+                if auto {
+                    policy.update(t, feedback);
+                }
+                DecideReply {
+                    round: self.round,
+                    decision: Decision::Arm(arm),
+                    reward,
+                    feedback: echo.then(|| FeedbackEvent::Single(feedback.clone())),
+                }
+            }
+            TenantKind::Combinatorial {
+                policy,
+                family,
+                scenario,
+                strategy_scratch,
+                ..
+            } => {
+                policy.select_strategy_into(t, strategy_scratch);
+                debug_assert!(
+                    family.contains(strategy_scratch, self.bandit.graph()),
+                    "tenant {} policy {} proposed an infeasible strategy {strategy_scratch:?}",
+                    self.id,
+                    policy.name()
+                );
+                let feedback =
+                    match self
+                        .buf
+                        .pull_strategy(&self.bandit, strategy_scratch, &mut self.rng)
+                    {
+                        Ok(fb) => fb,
+                        Err(e) => {
+                            // The decision never happened; un-advance the round
+                            // so the counter keeps matching the trace length.
+                            self.round -= 1;
+                            return Err(ServeError::Env(e));
+                        }
+                    };
+                let (reward, mean) = step::score_combinatorial(&self.bandit, *scenario, feedback);
+                self.total_reward += reward;
+                self.trace.record(optimal - reward, optimal - mean);
+                if auto {
+                    policy.update(t, feedback);
+                }
+                DecideReply {
+                    round: self.round,
+                    decision: Decision::Strategy(feedback.strategy.clone()),
+                    reward,
+                    feedback: echo.then(|| FeedbackEvent::Combinatorial(feedback.clone())),
+                }
+            }
+        };
+        self.metrics.decides += 1;
+        Ok(reply)
+    }
+
+    /// Queues one feedback event (delayed and out-of-order arrival is fine;
+    /// each flush applies its batch in round order) and flushes if the batch
+    /// is full.
+    ///
+    /// Events quoting a round the tenant never served are rejected. Duplicate
+    /// delivery of a *served* round is not detectable here (tracking applied
+    /// rounds would put a set lookup on the ingestion hot path); at-most-once
+    /// delivery is the transport's responsibility — a retried event double
+    /// counts its observations in the estimators.
+    pub(crate) fn feedback(&mut self, round: u64, event: FeedbackEvent) -> Result<(), ServeError> {
+        if round == 0 || round > self.round {
+            return Err(ServeError::InvalidRound {
+                tenant: self.id.clone(),
+                round,
+                served: self.round,
+            });
+        }
+        match (&mut self.kind, event) {
+            (TenantKind::Single { pending, .. }, FeedbackEvent::Single(fb)) => {
+                pending.push(round, fb);
+            }
+            (TenantKind::Combinatorial { pending, .. }, FeedbackEvent::Combinatorial(fb)) => {
+                pending.push(round, fb);
+            }
+            _ => return Err(ServeError::FeedbackKindMismatch(self.id.clone())),
+        }
+        self.metrics.feedback_events += 1;
+        if self.pending_len() >= self.flush.max_pending {
+            self.flush_pending();
+        }
+        Ok(())
+    }
+
+    pub(crate) fn pending_len(&self) -> usize {
+        match &self.kind {
+            TenantKind::Single { pending, .. } => pending.len(),
+            TenantKind::Combinatorial { pending, .. } => pending.len(),
+        }
+    }
+
+    /// Applies every queued feedback event to the policy, in round order.
+    pub(crate) fn flush_pending(&mut self) {
+        let applied = match &mut self.kind {
+            TenantKind::Single {
+                policy, pending, ..
+            } => {
+                let n = pending.len();
+                pending.drain_in_order(|round, fb| policy.update(round as usize, fb));
+                n
+            }
+            TenantKind::Combinatorial {
+                policy, pending, ..
+            } => {
+                let n = pending.len();
+                pending.drain_in_order(|round, fb| policy.update(round as usize, fb));
+                n
+            }
+        };
+        if applied > 0 {
+            self.metrics.record_flush(applied as u64);
+        }
+    }
+
+    /// Captures a restartable checkpoint. Pending feedback is flushed first so
+    /// the snapshot's policy state is complete.
+    pub(crate) fn snapshot(&mut self) -> TenantSnapshot {
+        self.flush_pending();
+        let kind = match &self.kind {
+            TenantKind::Single {
+                policy, scenario, ..
+            } => SnapshotKind::Single {
+                policy: policy.clone_box(),
+                scenario: *scenario,
+            },
+            TenantKind::Combinatorial {
+                policy,
+                family,
+                scenario,
+                ..
+            } => SnapshotKind::Combinatorial {
+                policy: policy.clone_box(),
+                family: family.clone(),
+                scenario: *scenario,
+            },
+        };
+        TenantSnapshot {
+            id: self.id.clone(),
+            graph: self.bandit.graph().clone(),
+            arms: self.bandit.arms().clone(),
+            kind,
+            rng: self.rng.clone(),
+            round: self.round,
+            optimal: self.optimal,
+            total_reward: self.total_reward,
+            trace: self.trace.clone(),
+            flush: self.flush,
+            auto_feedback: self.auto_feedback,
+            echo_feedback: self.echo_feedback,
+            metrics: self.metrics.clone(),
+        }
+    }
+
+    /// Rebuilds a tenant from a checkpoint. The environment is reconstructed
+    /// through [`NetworkedBandit::new`], which rebuilds the derived CSR
+    /// snapshot — the same refresh path a `serde`-restored instance takes.
+    pub(crate) fn from_snapshot(snapshot: TenantSnapshot) -> Result<Tenant, ServeError> {
+        let TenantSnapshot {
+            id,
+            graph,
+            arms,
+            kind,
+            rng,
+            round,
+            optimal,
+            total_reward,
+            trace,
+            flush,
+            auto_feedback,
+            echo_feedback,
+            metrics,
+        } = snapshot;
+        let bandit = NetworkedBandit::new(graph, arms)?;
+        let kind = match kind {
+            SnapshotKind::Single { policy, scenario } => TenantKind::Single {
+                policy,
+                scenario,
+                pending: FeedbackBatch::new(),
+            },
+            SnapshotKind::Combinatorial {
+                policy,
+                family,
+                scenario,
+            } => TenantKind::Combinatorial {
+                policy,
+                family,
+                scenario,
+                pending: FeedbackBatch::new(),
+                strategy_scratch: Vec::new(),
+            },
+        };
+        Ok(Tenant {
+            id,
+            bandit,
+            kind,
+            rng,
+            buf: PullBuffer::new(),
+            round,
+            optimal,
+            total_reward,
+            trace,
+            flush,
+            auto_feedback,
+            echo_feedback,
+            metrics,
+        })
+    }
+
+    /// Name of the hosted policy. Production callers read it off a
+    /// [`TenantSnapshot`]; only tests need it on a live tenant.
+    #[cfg(test)]
+    pub(crate) fn policy_name(&self) -> &'static str {
+        match &self.kind {
+            TenantKind::Single { policy, .. } => policy.name(),
+            TenantKind::Combinatorial { policy, .. } => policy.name(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netband_core::{DflCsr, DflSso};
+    use netband_env::ArmSet;
+    use netband_graph::generators;
+    use netband_sim::{run_single, SingleScenario};
+
+    fn fixture_bandit(seed: u64) -> NetworkedBandit {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let graph = generators::erdos_renyi(8, 0.4, &mut rng);
+        let arms = ArmSet::random_bernoulli(8, &mut rng);
+        NetworkedBandit::new(graph, arms).unwrap()
+    }
+
+    fn single_spec(id: &str, seed: u64) -> TenantSpec {
+        let bandit = fixture_bandit(3);
+        let policy = DflSso::new(bandit.graph().clone());
+        TenantSpec::single(id, bandit, policy, SingleScenario::SideObservation, seed)
+    }
+
+    #[test]
+    fn auto_feedback_tenant_matches_run_single_exactly() {
+        let bandit = fixture_bandit(3);
+        let mut policy = DflSso::new(bandit.graph().clone());
+        let expected = run_single(
+            &bandit,
+            &mut policy,
+            SingleScenario::SideObservation,
+            200,
+            77,
+        );
+
+        let mut tenant = Tenant::new(
+            single_spec("t", 77)
+                .with_auto_feedback(true)
+                .with_echo_feedback(false),
+        );
+        for _ in 0..200 {
+            tenant.decide().unwrap();
+        }
+        assert_eq!(tenant.round, 200);
+        assert_eq!(
+            tenant.total_reward.to_bits(),
+            expected.total_reward.to_bits()
+        );
+        assert_eq!(tenant.trace, expected.trace);
+        assert_eq!(tenant.optimal.to_bits(), expected.optimal_mean.to_bits());
+    }
+
+    #[test]
+    fn echoed_feedback_round_trip_matches_auto_feedback() {
+        let mut auto = Tenant::new(single_spec("a", 5).with_auto_feedback(true));
+        let mut echo = Tenant::new(single_spec("b", 5));
+        for _ in 0..100 {
+            auto.decide().unwrap();
+            let reply = echo.decide().unwrap();
+            echo.feedback(reply.round, reply.feedback.unwrap()).unwrap();
+        }
+        assert_eq!(auto.trace, echo.trace);
+        assert_eq!(auto.metrics.decides, echo.metrics.decides);
+        assert_eq!(echo.metrics.feedback_events, 100);
+        assert_eq!(echo.metrics.events_applied, 100);
+    }
+
+    #[test]
+    fn delayed_out_of_order_feedback_is_applied_in_round_order() {
+        // Deliver a window of feedback in reverse order; after the flush, the
+        // policy state must equal the one produced by in-order application.
+        let mut shuffled = Tenant::new(single_spec("s", 9).with_flush(FlushPolicy::batched(64)));
+        let mut ordered = Tenant::new(single_spec("o", 9).with_flush(FlushPolicy::batched(64)));
+        let mut window = Vec::new();
+        for _ in 0..10 {
+            let reply = shuffled.decide().unwrap();
+            window.push((reply.round, reply.feedback.unwrap()));
+            let reply = ordered.decide().unwrap();
+            ordered
+                .feedback(reply.round, reply.feedback.unwrap())
+                .unwrap();
+        }
+        for (round, event) in window.into_iter().rev() {
+            shuffled.feedback(round, event).unwrap();
+        }
+        shuffled.flush_pending();
+        ordered.flush_pending();
+        // Same decisions were made (same RNG + same flush timing), so the
+        // flushed policy states must now agree on the next decision.
+        assert_eq!(shuffled.metrics.events_applied, 10);
+        assert_eq!(
+            shuffled.decide().unwrap().decision,
+            ordered.decide().unwrap().decision
+        );
+    }
+
+    #[test]
+    fn feedback_kind_mismatch_is_rejected() {
+        let mut tenant = Tenant::new(single_spec("t", 1));
+        tenant.decide().unwrap();
+        let err = tenant
+            .feedback(
+                1,
+                FeedbackEvent::Combinatorial(netband_env::CombinatorialFeedback::default()),
+            )
+            .unwrap_err();
+        assert!(matches!(err, ServeError::FeedbackKindMismatch(_)));
+    }
+
+    #[test]
+    fn feedback_for_unserved_rounds_is_rejected() {
+        let mut tenant = Tenant::new(single_spec("t", 1));
+        let reply = tenant.decide().unwrap();
+        let event = reply.feedback.unwrap();
+        // Round 0 and rounds beyond the last decide were never served.
+        for bogus in [0, 2, 99] {
+            let err = tenant.feedback(bogus, event.clone()).unwrap_err();
+            assert!(
+                matches!(err, ServeError::InvalidRound { round, served: 1, .. } if round == bogus),
+                "round {bogus}: {err}"
+            );
+        }
+        assert_eq!(tenant.metrics.feedback_events, 0);
+        // The served round itself is accepted.
+        tenant.feedback(reply.round, event).unwrap();
+        assert_eq!(tenant.metrics.feedback_events, 1);
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_identically() {
+        let mut original = Tenant::new(single_spec("t", 13).with_auto_feedback(true));
+        for _ in 0..50 {
+            original.decide().unwrap();
+        }
+        let snapshot = original.snapshot();
+        assert_eq!(snapshot.round(), 50);
+        let mut restored = Tenant::from_snapshot(snapshot).unwrap();
+        // The restored tenant and the original continue bit-identically.
+        for _ in 0..50 {
+            let a = original.decide().unwrap();
+            let b = restored.decide().unwrap();
+            assert_eq!(a, b);
+        }
+        assert_eq!(
+            original.total_reward.to_bits(),
+            restored.total_reward.to_bits()
+        );
+    }
+
+    #[test]
+    fn combinatorial_tenant_decides_feasible_strategies() {
+        let bandit = fixture_bandit(11);
+        let family = StrategyFamily::at_most_m(8, 3);
+        let policy = DflCsr::new(bandit.graph().clone(), family.clone());
+        let mut tenant = Tenant::new(
+            TenantSpec::combinatorial(
+                "c",
+                bandit,
+                policy,
+                family.clone(),
+                CombinatorialScenario::SideReward,
+                21,
+            )
+            .with_auto_feedback(true),
+        );
+        for _ in 0..50 {
+            let reply = tenant.decide().unwrap();
+            match reply.decision {
+                Decision::Strategy(s) => assert!(!s.is_empty() && s.len() <= 3),
+                Decision::Arm(_) => panic!("combinatorial tenant returned a single arm"),
+            }
+        }
+        assert_eq!(tenant.policy_name(), "DFL-CSR");
+    }
+}

@@ -8,6 +8,9 @@
 //!
 //! * [`runner`] — single-run drivers for the four scenarios, including the
 //!   coupled driver that feeds several policies the same sample path (Fig. 3).
+//! * [`step`] — the per-round reward/benchmark scoring shared by the runners
+//!   and the `netband-serve` engine (one source of truth for the float
+//!   expressions the golden traces pin).
 //! * [`regret`] — per-round regret traces (realised and pseudo), cumulative and
 //!   time-averaged views.
 //! * [`replicate`] — multi-replication averaging with crossbeam-based
@@ -47,6 +50,7 @@ pub mod regret;
 pub mod replicate;
 pub mod runner;
 pub mod stats;
+pub mod step;
 pub mod sweep;
 
 pub use regret::RegretTrace;

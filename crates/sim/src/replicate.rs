@@ -284,6 +284,41 @@ mod tests {
         assert_eq!(serial, parallel);
     }
 
+    /// `ReplicationConfig::parallel` must be a pure performance knob: for a
+    /// fixed base seed, every worker-count choice — and every rerun, i.e.
+    /// every thread interleaving the scheduler happens to produce — yields an
+    /// `AveragedRun` identical to the serial aggregate. Replication results
+    /// are collected into per-index slots, so aggregation order is
+    /// deterministic no matter which worker finishes first.
+    #[test]
+    fn parallel_aggregates_are_interleaving_independent() {
+        let reference = replicate(&ReplicationConfig::serial(8, 400), |_, seed| {
+            one_run(seed, 60)
+        });
+        for threads in [2, 3, 5, 8] {
+            let cfg = ReplicationConfig {
+                replications: 8,
+                base_seed: 400,
+                parallel: true,
+                threads,
+            };
+            // Several reruns per worker count: each run races the workers
+            // differently, none may change a bit of the aggregate.
+            for attempt in 0..3 {
+                let parallel = replicate(&cfg, |_, seed| one_run(seed, 60));
+                assert_eq!(
+                    reference, parallel,
+                    "parallel aggregate diverged (threads={threads}, attempt={attempt})"
+                );
+            }
+        }
+        // The named constructor (auto-sized worker pool) agrees too.
+        let auto = replicate(&ReplicationConfig::parallel(8, 400), |_, seed| {
+            one_run(seed, 60)
+        });
+        assert_eq!(reference, auto);
+    }
+
     #[test]
     fn replication_seeds_differ() {
         let cfg = ReplicationConfig::serial(3, 7);

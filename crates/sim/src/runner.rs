@@ -21,6 +21,7 @@ use netband_env::feasible::FeasibleSet;
 use netband_env::{EnvError, NetworkedBandit, PullBuffer, StrategyFamily};
 
 use crate::regret::RegretTrace;
+use crate::step;
 
 /// Reward model of a single-play run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -83,10 +84,7 @@ pub fn run_single<P: SinglePlayPolicy + ?Sized>(
     seed: u64,
 ) -> RunResult {
     let mut rng = StdRng::seed_from_u64(seed);
-    let optimal = match scenario {
-        SingleScenario::SideObservation => bandit.best_single_direct_mean(),
-        SingleScenario::SideReward => bandit.best_single_side_mean(),
-    };
+    let optimal = step::single_benchmark(bandit, scenario);
     let mut trace = RegretTrace::with_capacity(horizon);
     let mut total_reward = 0.0;
     // All per-round storage (sample vector, observation list) lives in `buf`;
@@ -95,10 +93,7 @@ pub fn run_single<P: SinglePlayPolicy + ?Sized>(
     for t in 1..=horizon {
         let arm = policy.select_arm(t);
         let feedback = buf.pull_single(bandit, arm, &mut rng);
-        let (reward, mean) = match scenario {
-            SingleScenario::SideObservation => (feedback.direct_reward, bandit.means()[arm]),
-            SingleScenario::SideReward => (feedback.side_reward, bandit.side_reward_mean(arm)),
-        };
+        let (reward, mean) = step::score_single(bandit, scenario, feedback);
         total_reward += reward;
         trace.record(optimal - reward, optimal - mean);
         policy.update(t, feedback);
@@ -124,10 +119,7 @@ pub fn run_single_coupled(
     seed: u64,
 ) -> Vec<RunResult> {
     let mut rng = StdRng::seed_from_u64(seed);
-    let optimal = match scenario {
-        SingleScenario::SideObservation => bandit.best_single_direct_mean(),
-        SingleScenario::SideReward => bandit.best_single_side_mean(),
-    };
+    let optimal = step::single_benchmark(bandit, scenario);
     let mut traces: Vec<RegretTrace> = policies
         .iter()
         .map(|_| RegretTrace::with_capacity(horizon))
@@ -142,10 +134,7 @@ pub fn run_single_coupled(
         for (idx, policy) in policies.iter_mut().enumerate() {
             let arm = policy.select_arm(t);
             let feedback = buf.single_from_samples(bandit, arm, &samples);
-            let (reward, mean) = match scenario {
-                SingleScenario::SideObservation => (feedback.direct_reward, bandit.means()[arm]),
-                SingleScenario::SideReward => (feedback.side_reward, bandit.side_reward_mean(arm)),
-            };
+            let (reward, mean) = step::score_single(bandit, scenario, feedback);
             rewards[idx] += reward;
             traces[idx].record(optimal - reward, optimal - mean);
             policy.update(t, feedback);
@@ -180,43 +169,23 @@ pub fn run_combinatorial<P: CombinatorialPolicy + ?Sized>(
     seed: u64,
 ) -> Result<RunResult, EnvError> {
     let mut rng = StdRng::seed_from_u64(seed);
-    let optimal = match scenario {
-        CombinatorialScenario::SideObservation => bandit.best_strategy_direct_mean(family),
-        CombinatorialScenario::SideReward => bandit.best_strategy_side_mean(family),
-    };
+    let optimal = step::combinatorial_benchmark(bandit, family, scenario);
     let mut trace = RegretTrace::with_capacity(horizon);
     let mut total_reward = 0.0;
-    // Sample vector, observation set, and observation list all live in `buf`;
-    // the only per-round allocation left is the strategy the policy returns.
+    // Sample vector, observation set, observation list, and the selected
+    // strategy all live in reused buffers; the loop is allocation-free after
+    // round one.
     let mut buf = PullBuffer::new();
+    let mut strategy = Vec::new();
     for t in 1..=horizon {
-        let strategy = policy.select_strategy(t);
+        policy.select_strategy_into(t, &mut strategy);
         debug_assert!(
             family.contains(&strategy, bandit.graph()),
             "policy {} proposed an infeasible strategy {strategy:?}",
             policy.name()
         );
         let feedback = buf.pull_strategy(bandit, &strategy, &mut rng)?;
-        // The feedback already carries the normalised strategy and its
-        // observation set `Y_x` (both sorted), so the played strategy's means
-        // are summed straight off them — the same terms in the same order as
-        // `strategy_direct_mean` / `strategy_side_mean`, without rebuilding
-        // the neighbourhood union.
-        let means = bandit.means();
-        let (reward, mean) = match scenario {
-            CombinatorialScenario::SideObservation => (
-                feedback.direct_reward,
-                feedback.strategy.iter().map(|&i| means[i]).sum::<f64>(),
-            ),
-            CombinatorialScenario::SideReward => (
-                feedback.side_reward,
-                feedback
-                    .observation_set
-                    .iter()
-                    .map(|&i| means[i])
-                    .sum::<f64>(),
-            ),
-        };
+        let (reward, mean) = step::score_combinatorial(bandit, scenario, feedback);
         total_reward += reward;
         trace.record(optimal - reward, optimal - mean);
         policy.update(t, feedback);

@@ -1,0 +1,160 @@
+//! Live service: a sharded engine hosting 64 experiments under concurrent
+//! client traffic with delayed, out-of-order feedback.
+//!
+//! This is the serving-side counterpart of the batch examples: instead of
+//! simulating one policy over a horizon, a [`ServeEngine`] hosts 64 tenants —
+//! single-play and combinatorial experiments drawn from the four workload
+//! presets — across 4 shards, while 8 client threads request decisions and
+//! return the observed rewards late, in batches, and in reverse round order.
+//! At the end one tenant is checkpointed, moved to a brand-new engine, and
+//! resumed, and the engine's metrics report is printed.
+//!
+//! Run with: `cargo run --release --example live_service`
+
+use netband::env::workloads;
+use netband::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const TENANTS: usize = 64;
+const CLIENTS: usize = 8;
+const ROUNDS: usize = 150;
+/// Feedback is withheld client-side in windows of this many rounds, then
+/// delivered in reverse order — the delayed/out-of-order regime.
+const FEEDBACK_WINDOW: usize = 25;
+
+/// Builds tenant `index`: the four workload presets in rotation, single-play
+/// presets hosted with DFL-SSO/SSR, combinatorial ones with DFL-CSR.
+fn tenant_spec(index: usize) -> TenantSpec {
+    let id = format!("exp-{index:02}");
+    let seed = 7000 + index as u64;
+    let mut rng = StdRng::seed_from_u64(300 + index as u64);
+    match index % 4 {
+        0 => {
+            let w = workloads::paper_simulation(12, 0.35, &mut rng);
+            let policy = DflSso::new(w.bandit.graph().clone());
+            TenantSpec::single(id, w.bandit, policy, SingleScenario::SideObservation, seed)
+        }
+        1 => {
+            let w = workloads::social_promotion(16, 3, &mut rng);
+            let policy = DflSsr::new(w.bandit.graph().clone());
+            TenantSpec::single(id, w.bandit, policy, SingleScenario::SideReward, seed)
+        }
+        2 => {
+            let w = workloads::online_advertising(12, 3, &mut rng);
+            let family = w.family().clone();
+            let policy = DflCsr::new(w.bandit.graph().clone(), family.clone());
+            TenantSpec::combinatorial(
+                id,
+                w.bandit,
+                policy,
+                family,
+                CombinatorialScenario::SideObservation,
+                seed,
+            )
+        }
+        _ => {
+            let w = workloads::channel_access(12, 3, 0.35, &mut rng);
+            let family = w.family().clone();
+            let policy = DflCsr::new(w.bandit.graph().clone(), family.clone());
+            TenantSpec::combinatorial(
+                id,
+                w.bandit,
+                policy,
+                family,
+                CombinatorialScenario::SideReward,
+                seed,
+            )
+        }
+    }
+    .with_flush(FlushPolicy::batched(32))
+}
+
+/// One client session against one tenant: decide every round, hold the
+/// revealed feedback in a window, deliver each window in reverse round order.
+fn drive(engine: &ServeEngine, tenant: &str) {
+    let mut held = Vec::with_capacity(FEEDBACK_WINDOW);
+    for _ in 0..ROUNDS {
+        let reply = engine.decide(tenant).expect("decide");
+        held.push((reply.round, reply.feedback.expect("echoed feedback")));
+        if held.len() >= FEEDBACK_WINDOW {
+            for (round, event) in held.drain(..).rev() {
+                engine.feedback(tenant, round, event).expect("feedback");
+            }
+        }
+    }
+    for (round, event) in held.drain(..).rev() {
+        engine.feedback(tenant, round, event).expect("feedback");
+    }
+}
+
+fn main() {
+    let engine = ServeEngine::start(EngineConfig::new(4).with_queue_capacity(128));
+    for index in 0..TENANTS {
+        engine.create_tenant(tenant_spec(index)).expect("create");
+    }
+    println!(
+        "engine up: {} shards, {TENANTS} tenants, {CLIENTS} client threads, \
+         {ROUNDS} rounds each (feedback delayed in windows of {FEEDBACK_WINDOW})",
+        engine.num_shards()
+    );
+
+    let start = std::time::Instant::now();
+    std::thread::scope(|scope| {
+        for client in 0..CLIENTS {
+            let engine = &engine;
+            scope.spawn(move || {
+                for index in (client..TENANTS).step_by(CLIENTS) {
+                    drive(engine, &format!("exp-{index:02}"));
+                }
+            });
+        }
+    });
+    engine.drain().expect("drain");
+    let elapsed = start.elapsed();
+
+    let report = engine.metrics().expect("metrics");
+    println!(
+        "\nserved {} decides + {} feedback events in {elapsed:.2?} ({:.0} decides/sec)",
+        report.total_decides(),
+        report.total_feedback_events(),
+        report.total_decides() as f64 / elapsed.as_secs_f64()
+    );
+    println!("decide latency: {}", report.decide_latency());
+    for (shard, metrics) in report.shards.iter().enumerate() {
+        println!(
+            "  shard {shard}: {} commands, {} rejected, feedback {}",
+            metrics.commands, metrics.rejected, metrics.feedback_latency
+        );
+    }
+
+    // A few per-tenant rows: time-averaged regret after ROUNDS rounds.
+    println!("\nsample of hosted experiments:");
+    for (id, metrics) in report.tenants.iter().step_by(17) {
+        let snapshot = engine.snapshot_tenant(id).expect("snapshot");
+        let result = snapshot.run_result();
+        println!(
+            "  {id}: {} decides, mean batch {:.1}, avg regret {:.3} ({})",
+            metrics.decides,
+            metrics.mean_batch(),
+            result.average_regret(),
+            snapshot.policy_name(),
+        );
+    }
+
+    // Checkpoint one tenant, move it to a fresh engine, resume it there.
+    let snapshot = engine.evict_tenant("exp-00").expect("evict");
+    engine.shutdown();
+    let second = ServeEngine::with_shards(1);
+    second.restore_tenant(snapshot).expect("restore");
+    drive(&second, "exp-00");
+    second.drain().expect("drain");
+    let resumed = second.evict_tenant("exp-00").expect("evict");
+    println!(
+        "\nexp-00 checkpointed at round {ROUNDS}, restored on a fresh engine, now at round {} \
+         (avg regret {:.3})",
+        resumed.round(),
+        resumed.run_result().average_regret()
+    );
+    second.shutdown();
+}

@@ -24,6 +24,8 @@
 //!   CUCB, LLR and friends (`netband-baselines`).
 //! * [`sim`] — the simulation engine: runners, regret traces, replication,
 //!   statistics and export (`netband-sim`).
+//! * [`serve`] — the sharded multi-tenant serving engine with batched
+//!   delayed-feedback ingestion (`netband-serve`).
 //! * [`experiments`] — the harness that regenerates every figure of the paper's
 //!   evaluation section (`netband-experiments`).
 //!
@@ -58,6 +60,7 @@ pub use netband_core as core;
 pub use netband_env as env;
 pub use netband_experiments as experiments;
 pub use netband_graph as graph;
+pub use netband_serve as serve;
 pub use netband_sim as sim;
 
 /// One-stop import for examples and downstream applications.
@@ -74,6 +77,10 @@ pub mod prelude {
     pub use netband_graph::{
         generators, greedy_clique_cover, metrics, CsrGraph, GraphMetrics, RelationGraph,
         StrategyRelationGraph,
+    };
+    pub use netband_serve::{
+        DecideReply, Decision, EngineConfig, FeedbackEvent, FlushPolicy, MetricsReport,
+        ServeEngine, ServeError, TenantSnapshot, TenantSpec,
     };
     pub use netband_sim::{
         replicate, run_combinatorial, run_single, run_single_coupled, AveragedRun,

@@ -10,7 +10,9 @@
 //!
 //! The fixtures were generated from the map/Vec-based seed implementation and
 //! gate the flat CSR hot-path core: if a "fast path" changes any of these bits
-//! it is not the same algorithm any more.
+//! it is not the same algorithm any more. The serving engine is held to the
+//! same fixtures by `tests/serve_equivalence.rs`, through the shared machinery
+//! in `tests/common/mod.rs`.
 //!
 //! Regenerate (only when the semantics are *intentionally* changed) with:
 //!
@@ -18,137 +20,12 @@
 //! NETBAND_REGEN_GOLDEN=1 cargo test --test golden_traces
 //! ```
 
-use std::fs;
-use std::path::PathBuf;
+mod common;
 
+use common::{
+    check_golden, cso_family, csr_family, fixture_instance, COMB_HORIZON, RUN_SEED, SINGLE_HORIZON,
+};
 use netband::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
-/// Seed of the RNG that materialises the fixture instance (graph + arms).
-const INSTANCE_SEED: u64 = 42;
-/// Seed of the reward stream of every golden run.
-const RUN_SEED: u64 = 1007;
-/// Horizon of the single-play golden runs.
-const SINGLE_HORIZON: usize = 400;
-/// Horizon of the combinatorial golden runs.
-const COMB_HORIZON: usize = 250;
-/// Arms in the fixture instance.
-const NUM_ARMS: usize = 12;
-
-/// The fixed Erdős–Rényi instance all golden traces run on.
-fn fixture_instance() -> NetworkedBandit {
-    let mut rng = StdRng::seed_from_u64(INSTANCE_SEED);
-    let graph = generators::erdos_renyi(NUM_ARMS, 0.35, &mut rng);
-    let arms = ArmSet::random_bernoulli(NUM_ARMS, &mut rng);
-    NetworkedBandit::new(graph, arms).expect("fixture instance is well-formed")
-}
-
-fn fixtures_dir() -> PathBuf {
-    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("tests")
-        .join("fixtures")
-}
-
-/// A run's trace with every float captured as its exact bit pattern.
-#[derive(Debug, PartialEq, Eq)]
-struct GoldenTrace {
-    policy: String,
-    horizon: usize,
-    optimal_mean_bits: u64,
-    total_reward_bits: u64,
-    realised_bits: Vec<u64>,
-    pseudo_bits: Vec<u64>,
-}
-
-impl GoldenTrace {
-    fn from_result(result: &RunResult) -> Self {
-        GoldenTrace {
-            policy: result.policy.clone(),
-            horizon: result.horizon,
-            optimal_mean_bits: result.optimal_mean.to_bits(),
-            total_reward_bits: result.total_reward.to_bits(),
-            realised_bits: result
-                .trace
-                .realised()
-                .iter()
-                .map(|x| x.to_bits())
-                .collect(),
-            pseudo_bits: result.trace.pseudo().iter().map(|x| x.to_bits()).collect(),
-        }
-    }
-
-    fn to_json(&self) -> String {
-        let join = |xs: &[u64]| {
-            xs.iter()
-                .map(|x| x.to_string())
-                .collect::<Vec<_>>()
-                .join(", ")
-        };
-        format!(
-            "{{\n  \"policy\": \"{}\",\n  \"horizon\": {},\n  \"optimal_mean_bits\": {},\n  \
-             \"total_reward_bits\": {},\n  \"realised_bits\": [{}],\n  \"pseudo_bits\": [{}]\n}}\n",
-            self.policy,
-            self.horizon,
-            self.optimal_mean_bits,
-            self.total_reward_bits,
-            join(&self.realised_bits),
-            join(&self.pseudo_bits),
-        )
-    }
-
-    fn from_json(text: &str) -> Self {
-        GoldenTrace {
-            policy: extract_string(text, "policy"),
-            horizon: extract_u64(text, "horizon") as usize,
-            optimal_mean_bits: extract_u64(text, "optimal_mean_bits"),
-            total_reward_bits: extract_u64(text, "total_reward_bits"),
-            realised_bits: extract_u64_array(text, "realised_bits"),
-            pseudo_bits: extract_u64_array(text, "pseudo_bits"),
-        }
-    }
-}
-
-// ----- minimal JSON field extraction (the workspace vendors no serde_json) ---
-
-fn field_start<'a>(text: &'a str, key: &str) -> &'a str {
-    let marker = format!("\"{key}\":");
-    let pos = text
-        .find(&marker)
-        .unwrap_or_else(|| panic!("fixture is missing key {key:?}"));
-    text[pos + marker.len()..].trim_start()
-}
-
-fn extract_string(text: &str, key: &str) -> String {
-    let rest = field_start(text, key);
-    let rest = rest
-        .strip_prefix('"')
-        .unwrap_or_else(|| panic!("key {key:?} is not a string"));
-    rest[..rest.find('"').expect("unterminated string")].to_owned()
-}
-
-fn extract_u64(text: &str, key: &str) -> u64 {
-    let rest = field_start(text, key);
-    let end = rest
-        .find(|c: char| !c.is_ascii_digit())
-        .unwrap_or(rest.len());
-    rest[..end]
-        .parse()
-        .unwrap_or_else(|e| panic!("key {key:?} is not a u64: {e}"))
-}
-
-fn extract_u64_array(text: &str, key: &str) -> Vec<u64> {
-    let rest = field_start(text, key);
-    let rest = rest
-        .strip_prefix('[')
-        .unwrap_or_else(|| panic!("key {key:?} is not an array"));
-    let body = &rest[..rest.find(']').expect("unterminated array")];
-    body.split(',')
-        .map(str::trim)
-        .filter(|s| !s.is_empty())
-        .map(|s| s.parse().expect("array element is not a u64"))
-        .collect()
-}
 
 // ----- the four golden runs ------------------------------------------------
 
@@ -178,7 +55,7 @@ fn run_golden_ssr() -> RunResult {
 
 fn run_golden_cso() -> RunResult {
     let bandit = fixture_instance();
-    let family = StrategyFamily::independent_sets(2);
+    let family = cso_family();
     let strategies = family
         .enumerate(bandit.graph())
         .expect("fixture family is enumerable");
@@ -196,7 +73,7 @@ fn run_golden_cso() -> RunResult {
 
 fn run_golden_csr() -> RunResult {
     let bandit = fixture_instance();
-    let family = StrategyFamily::at_most_m(NUM_ARMS, 3);
+    let family = csr_family();
     let mut policy = DflCsr::new(bandit.graph().clone(), family.clone());
     run_combinatorial(
         &bandit,
@@ -210,64 +87,6 @@ fn run_golden_csr() -> RunResult {
 }
 
 // ----- harness -------------------------------------------------------------
-
-fn check_golden(name: &str, result: RunResult) {
-    let actual = GoldenTrace::from_result(&result);
-    let path = fixtures_dir().join(format!("golden_{name}.json"));
-    if std::env::var_os("NETBAND_REGEN_GOLDEN").is_some() {
-        fs::create_dir_all(fixtures_dir()).expect("create fixtures dir");
-        fs::write(&path, actual.to_json()).expect("write fixture");
-        eprintln!("regenerated {}", path.display());
-        return;
-    }
-    let text = fs::read_to_string(&path).unwrap_or_else(|e| {
-        panic!(
-            "missing golden fixture {} ({e}); run with NETBAND_REGEN_GOLDEN=1 to create it",
-            path.display()
-        )
-    });
-    let expected = GoldenTrace::from_json(&text);
-    assert_eq!(
-        expected.horizon, actual.horizon,
-        "{name}: horizon drifted from the committed fixture"
-    );
-    assert_eq!(
-        expected.policy, actual.policy,
-        "{name}: policy name drifted from the committed fixture"
-    );
-    assert_eq!(
-        expected.optimal_mean_bits,
-        actual.optimal_mean_bits,
-        "{name}: the benchmark (optimal mean) is no longer bit-identical: {} vs {}",
-        f64::from_bits(expected.optimal_mean_bits),
-        f64::from_bits(actual.optimal_mean_bits),
-    );
-    for t in 0..expected.horizon {
-        assert_eq!(
-            expected.realised_bits[t],
-            actual.realised_bits[t],
-            "{name}: realised regret diverges at round {} ({} vs {})",
-            t + 1,
-            f64::from_bits(expected.realised_bits[t]),
-            f64::from_bits(actual.realised_bits[t]),
-        );
-        assert_eq!(
-            expected.pseudo_bits[t],
-            actual.pseudo_bits[t],
-            "{name}: pseudo regret diverges at round {} ({} vs {})",
-            t + 1,
-            f64::from_bits(expected.pseudo_bits[t]),
-            f64::from_bits(actual.pseudo_bits[t]),
-        );
-    }
-    assert_eq!(
-        expected.total_reward_bits,
-        actual.total_reward_bits,
-        "{name}: total reward is no longer bit-identical: {} vs {}",
-        f64::from_bits(expected.total_reward_bits),
-        f64::from_bits(actual.total_reward_bits),
-    );
-}
 
 #[test]
 fn golden_trace_dfl_sso() {

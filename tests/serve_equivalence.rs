@@ -1,0 +1,156 @@
+//! Serving-engine golden equivalence suite.
+//!
+//! The correctness anchor of `netband-serve`: a single-shard engine with
+//! immediate per-decide feedback must reproduce the committed
+//! `tests/fixtures/golden_*.json` per-round regret traces of all four DFL
+//! policies **f64-bit-exactly**. The engine decomposes a simulated round into
+//! decide (select + pull + regret record) and feedback ingestion (queue +
+//! in-round-order flush into the policy); with [`FlushPolicy::immediate`] that
+//! decomposition must be the very same math as the batch runner — summation
+//! order, RNG stream consumption and argmax tie-breaking included. These tests
+//! never regenerate fixtures; they only compare.
+
+mod common;
+
+use common::{
+    assert_golden, cso_family, csr_family, fixture_instance, COMB_HORIZON, RUN_SEED, SINGLE_HORIZON,
+};
+use netband::prelude::*;
+
+/// Builds the four golden tenants, configured exactly like the batch runs:
+/// same instance, same policies, same scenarios, same reward-stream seed,
+/// immediate feedback application.
+fn golden_specs() -> Vec<(&'static str, usize, TenantSpec)> {
+    let bandit = fixture_instance();
+
+    let sso = TenantSpec::single(
+        "dfl_sso",
+        bandit.clone(),
+        DflSso::new(bandit.graph().clone()),
+        SingleScenario::SideObservation,
+        RUN_SEED,
+    );
+
+    let ssr = TenantSpec::single(
+        "dfl_ssr",
+        bandit.clone(),
+        DflSsr::new(bandit.graph().clone()),
+        SingleScenario::SideReward,
+        RUN_SEED,
+    );
+
+    let family = cso_family();
+    let strategies = family
+        .enumerate(bandit.graph())
+        .expect("fixture family is enumerable");
+    let cso = TenantSpec::combinatorial(
+        "dfl_cso",
+        bandit.clone(),
+        DflCso::from_strategies(bandit.graph(), strategies),
+        family,
+        CombinatorialScenario::SideObservation,
+        RUN_SEED,
+    );
+
+    let family = csr_family();
+    let csr = TenantSpec::combinatorial(
+        "dfl_csr",
+        bandit.clone(),
+        DflCsr::new(bandit.graph().clone(), family.clone()),
+        family,
+        CombinatorialScenario::SideReward,
+        RUN_SEED,
+    );
+
+    vec![
+        ("dfl_sso", SINGLE_HORIZON, sso),
+        ("dfl_ssr", SINGLE_HORIZON, ssr),
+        ("dfl_cso", COMB_HORIZON, cso),
+        ("dfl_csr", COMB_HORIZON, csr),
+    ]
+    .into_iter()
+    .map(|(name, horizon, spec)| (name, horizon, spec.with_flush(FlushPolicy::immediate())))
+    .collect()
+}
+
+/// Serves `horizon` closed-loop rounds for `tenant`: every decide's revealed
+/// feedback is routed straight back into the engine.
+fn serve_closed_loop(engine: &ServeEngine, tenant: &str, horizon: usize) {
+    for _ in 0..horizon {
+        let reply = engine.decide(tenant).expect("decide");
+        let event = reply.feedback.expect("golden tenants echo their feedback");
+        engine
+            .feedback(tenant, reply.round, event)
+            .expect("feedback");
+    }
+}
+
+/// One tenant at a time on a single-shard engine: each run must be
+/// bit-identical to its committed fixture.
+#[test]
+fn single_shard_engine_reproduces_all_golden_traces() {
+    for (name, horizon, spec) in golden_specs() {
+        let engine = ServeEngine::with_shards(1);
+        engine.create_tenant(spec).expect("create tenant");
+        serve_closed_loop(&engine, name, horizon);
+        let snapshot = engine.evict_tenant(name).expect("evict tenant");
+        assert_eq!(snapshot.round(), horizon as u64, "{name}");
+        assert_golden(name, &snapshot.run_result());
+        engine.shutdown();
+    }
+}
+
+/// All four golden tenants hosted on the *same* single-shard engine, decides
+/// interleaved round-robin: tenant state is fully independent, so the
+/// interleaving must not perturb a single bit of any trace.
+#[test]
+fn interleaved_tenants_on_one_shard_stay_bit_exact() {
+    let engine = ServeEngine::with_shards(1);
+    let specs = golden_specs();
+    let schedule: Vec<(&str, usize)> = specs
+        .iter()
+        .map(|(name, horizon, _)| (*name, *horizon))
+        .collect();
+    for (_, _, spec) in specs {
+        engine.create_tenant(spec).expect("create tenant");
+    }
+    let max_horizon = schedule.iter().map(|&(_, h)| h).max().unwrap();
+    for round in 0..max_horizon {
+        for &(name, horizon) in &schedule {
+            if round < horizon {
+                let reply = engine.decide(name).expect("decide");
+                let event = reply.feedback.expect("echoed feedback");
+                engine.feedback(name, reply.round, event).expect("feedback");
+            }
+        }
+    }
+    for (name, horizon) in schedule {
+        let snapshot = engine.evict_tenant(name).expect("evict tenant");
+        assert_eq!(snapshot.round(), horizon as u64, "{name}");
+        assert_golden(name, &snapshot.run_result());
+    }
+    engine.shutdown();
+}
+
+/// Snapshot half-way, shut the engine down, restore onto a fresh engine, and
+/// finish the run there: the stitched trace must still match the fixture bit
+/// for bit (the restart-survival guarantee of tenant checkpoints).
+#[test]
+fn snapshot_restore_across_engine_restart_stays_bit_exact() {
+    for (name, horizon, spec) in golden_specs() {
+        let first = ServeEngine::with_shards(1);
+        first.create_tenant(spec).expect("create tenant");
+        let half = horizon / 2;
+        serve_closed_loop(&first, name, half);
+        let snapshot = first.snapshot_tenant(name).expect("snapshot tenant");
+        first.shutdown();
+
+        let second = ServeEngine::with_shards(1);
+        second.restore_tenant(snapshot).expect("restore tenant");
+        serve_closed_loop(&second, name, horizon - half);
+        let snapshot = second.evict_tenant(name).expect("evict tenant");
+        assert_eq!(snapshot.round(), horizon as u64, "{name}");
+        assert_golden(name, &snapshot.run_result());
+        second.shutdown();
+    }
+}
