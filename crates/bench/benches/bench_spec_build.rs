@@ -1,0 +1,69 @@
+//! Micro-benchmarks of the spec pipeline: JSON parse and scenario build cost
+//! per workload preset.
+//!
+//! The declarative front door (`netband-spec`) sits ahead of every consumer —
+//! the simulator's `run_spec`, the serving engine's fleet boot, and the
+//! experiment grids — so its constant costs are tracked here alongside the
+//! serving and figure benches: parsing a `ScenarioSpec` document, building a
+//! scenario (graph + arm bank + policy), and the combined
+//! parse→build→first-decide path a cold fleet boot pays per tenant.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netband_spec::{presets, ScenarioSpec};
+
+/// The four presets at serving-demo scale, with their report labels.
+fn preset_specs() -> Vec<(&'static str, ScenarioSpec)> {
+    vec![
+        ("paper_simulation", presets::paper_simulation(12, 0.35, 300)),
+        (
+            "online_advertising",
+            presets::online_advertising(12, 3, 301),
+        ),
+        ("social_promotion", presets::social_promotion(16, 3, 302)),
+        ("channel_access", presets::channel_access(12, 3, 0.35, 303)),
+    ]
+}
+
+fn bench_parse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spec_parse");
+    for (name, spec) in preset_specs() {
+        let text = spec.to_json_text();
+        group.bench_with_input(BenchmarkId::new("json", name), &text, |b, text| {
+            b.iter(|| std::hint::black_box(ScenarioSpec::from_json_text(text).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spec_build");
+    for (name, spec) in preset_specs() {
+        group.bench_with_input(BenchmarkId::new("scenario", name), &spec, |b, spec| {
+            b.iter(|| std::hint::black_box(spec.build().unwrap().bandit.num_arms()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_parse_build_decide(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spec_cold_boot");
+    for (name, spec) in preset_specs() {
+        let text = spec.to_json_text();
+        group.bench_with_input(BenchmarkId::new("tenant", name), &text, |b, text| {
+            b.iter(|| {
+                let spec = ScenarioSpec::from_json_text(text).unwrap();
+                let mut built = spec.build().unwrap();
+                // The first decision a freshly booted tenant serves.
+                let decision = match &mut built.policy {
+                    netband_spec::AnyPolicy::Single(p) => vec![p.select_arm(1)],
+                    netband_spec::AnyPolicy::Combinatorial(p) => p.select_strategy(1),
+                };
+                std::hint::black_box(decision.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parse, bench_build, bench_parse_build_decide);
+criterion_main!(benches);

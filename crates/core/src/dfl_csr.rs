@@ -187,11 +187,13 @@ impl CombinatorialPolicy for DflCsr {
                 return;
             }
         }
-        let strategy = self
+        // Fallback for non-enumerable families: the oracle allocates its
+        // answer, so hand the vector over instead of copying it into the warm
+        // buffer (the allocation is unavoidable here, the memcpy is not).
+        *out = self
             .family
             .argmax_by_neighborhood_weights(&self.weights_scratch, &self.graph)
             .expect("DFL-CSR requires a non-empty feasible strategy family");
-        out.extend_from_slice(&strategy);
     }
 
     fn update(&mut self, _t: usize, feedback: &CombinatorialFeedback) {

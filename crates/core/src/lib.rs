@@ -61,7 +61,7 @@ pub use dfl_csr::DflCsr;
 pub use dfl_sso::DflSso;
 pub use dfl_ssr::DflSsr;
 pub use heuristics::{DflSsoGreedyNeighbor, DflSsrGreedyNeighbor};
-pub use policy::{CombinatorialPolicy, SinglePlayPolicy};
+pub use policy::{CombinatorialPolicy, DynCombinatorialPolicy, DynSinglePolicy, SinglePlayPolicy};
 
 /// Identifier of an arm; re-exported from `netband-graph`.
 pub type ArmId = netband_graph::ArmId;
@@ -77,6 +77,8 @@ pub mod prelude {
         argmax_last, csr_index, log_plus, moss_index, ArmEstimators, RunningMean,
     };
     pub use crate::heuristics::{DflSsoGreedyNeighbor, DflSsrGreedyNeighbor};
-    pub use crate::policy::{CombinatorialPolicy, SinglePlayPolicy};
+    pub use crate::policy::{
+        CombinatorialPolicy, DynCombinatorialPolicy, DynSinglePolicy, SinglePlayPolicy,
+    };
     pub use crate::ArmId;
 }

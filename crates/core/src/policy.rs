@@ -69,6 +69,50 @@ pub trait CombinatorialPolicy: Send {
     fn reset(&mut self);
 }
 
+/// Object-safe cloning for boxed single-play policies: snapshotting engines
+/// and spec builders capture a policy's learned state by cloning the box.
+/// Implemented automatically for every `SinglePlayPolicy + Clone` type, which
+/// covers all policies in `netband-core` and `netband-baselines`.
+pub trait DynSinglePolicy: SinglePlayPolicy {
+    /// Clones the policy behind the box.
+    fn clone_box(&self) -> Box<dyn DynSinglePolicy>;
+}
+
+impl<P: SinglePlayPolicy + Clone + 'static> DynSinglePolicy for P {
+    fn clone_box(&self) -> Box<dyn DynSinglePolicy> {
+        Box::new(self.clone())
+    }
+}
+
+impl Clone for Box<dyn DynSinglePolicy> {
+    fn clone(&self) -> Self {
+        // `(**self)` forces the inner policy's `clone_box`; plain
+        // `self.clone_box()` would resolve to the blanket impl on the Box
+        // itself (boxes are policies too) and recurse forever.
+        (**self).clone_box()
+    }
+}
+
+/// Object-safe cloning for boxed combinatorial policies; see
+/// [`DynSinglePolicy`].
+pub trait DynCombinatorialPolicy: CombinatorialPolicy {
+    /// Clones the policy behind the box.
+    fn clone_box(&self) -> Box<dyn DynCombinatorialPolicy>;
+}
+
+impl<P: CombinatorialPolicy + Clone + 'static> DynCombinatorialPolicy for P {
+    fn clone_box(&self) -> Box<dyn DynCombinatorialPolicy> {
+        Box::new(self.clone())
+    }
+}
+
+impl Clone for Box<dyn DynCombinatorialPolicy> {
+    fn clone(&self) -> Self {
+        // See `Clone for Box<dyn DynSinglePolicy>`: deref past the box.
+        (**self).clone_box()
+    }
+}
+
 impl<P: SinglePlayPolicy + ?Sized> SinglePlayPolicy for Box<P> {
     fn name(&self) -> &'static str {
         (**self).name()

@@ -50,6 +50,12 @@ pub enum EnvError {
         /// Human-readable reason.
         reason: String,
     },
+    /// A single-play workload was asked for its combinatorial strategy family
+    /// (see [`crate::workloads::Workload::try_family`]).
+    NoStrategyFamily {
+        /// Name of the workload.
+        workload: String,
+    },
 }
 
 impl fmt::Display for EnvError {
@@ -66,6 +72,12 @@ impl fmt::Display for EnvError {
                 write!(f, "arm {arm} is out of range for {num_arms} arms")
             }
             EnvError::InvalidStrategy { reason } => write!(f, "invalid strategy: {reason}"),
+            EnvError::NoStrategyFamily { workload } => {
+                write!(
+                    f,
+                    "workload {workload:?} is single-play and has no strategy family"
+                )
+            }
         }
     }
 }

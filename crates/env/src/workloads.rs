@@ -24,7 +24,7 @@ use serde::{Deserialize, Serialize};
 use netband_graph::generators;
 
 use crate::arms::ArmSet;
-use crate::bandit::NetworkedBandit;
+use crate::bandit::{EnvError, NetworkedBandit};
 use crate::feasible::StrategyFamily;
 
 /// A fully specified workload: environment plus (optional) feasible family.
@@ -45,12 +45,31 @@ impl Workload {
         self.bandit.num_arms()
     }
 
+    /// Returns the strategy family, or [`EnvError::NoStrategyFamily`] if the
+    /// workload is single-play.
+    ///
+    /// # Errors
+    ///
+    /// [`EnvError::NoStrategyFamily`] when the workload declares no
+    /// combinatorial strategy family.
+    pub fn try_family(&self) -> Result<&StrategyFamily, EnvError> {
+        self.family
+            .as_ref()
+            .ok_or_else(|| EnvError::NoStrategyFamily {
+                workload: self.name.clone(),
+            })
+    }
+
     /// Returns the strategy family, panicking with a descriptive message if the
     /// workload is single-play.
     ///
     /// # Panics
     ///
     /// Panics if the workload has no combinatorial strategy family.
+    #[deprecated(
+        note = "use `try_family`, which reports a single-play workload as an error \
+                         instead of panicking"
+    )]
     pub fn family(&self) -> &StrategyFamily {
         self.family
             .as_ref()
@@ -145,10 +164,25 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "single-play")]
-    fn single_play_workload_has_no_family() {
+    fn single_play_workload_reports_missing_family_as_an_error() {
         let mut rng = StdRng::seed_from_u64(1);
         let w = paper_simulation(5, 0.3, &mut rng);
+        match w.try_family() {
+            Err(EnvError::NoStrategyFamily { workload }) => {
+                assert!(workload.contains("paper-simulation"))
+            }
+            other => panic!("expected NoStrategyFamily, got {other:?}"),
+        }
+    }
+
+    /// The deprecated panicking accessor is kept as a thin wrapper; its
+    /// behaviour (and message) must not drift while call sites migrate.
+    #[test]
+    #[should_panic(expected = "single-play")]
+    fn deprecated_family_accessor_still_panics() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = paper_simulation(5, 0.3, &mut rng);
+        #[allow(deprecated)]
         let _ = w.family();
     }
 
@@ -157,7 +191,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let w = online_advertising(25, 3, &mut rng);
         assert_eq!(w.num_arms(), 25);
-        assert_eq!(w.family().max_size(), 3);
+        assert_eq!(w.try_family().unwrap().max_size(), 3);
         // Click probabilities are valid means.
         assert!(w.bandit.means().iter().all(|&m| m > 0.0 && m < 1.0));
         // The audience graph is connected (BA construction).
@@ -179,7 +213,7 @@ mod tests {
     fn channel_access_strategies_are_independent_sets() {
         let mut rng = StdRng::seed_from_u64(4);
         let w = channel_access(20, 3, 0.3, &mut rng);
-        let family = w.family().clone();
+        let family = w.try_family().unwrap().clone();
         let strategies = family.enumerate(w.bandit.graph()).unwrap();
         assert!(!strategies.is_empty());
         for s in &strategies {
@@ -223,7 +257,7 @@ mod tests {
             online_advertising(14, 3, &mut rng),
             channel_access(16, 3, 0.35, &mut rng),
         ] {
-            let family = workload.family();
+            let family = workload.try_family().unwrap();
             let graph = workload.bandit.graph();
             let strategies = family
                 .enumerate(graph)

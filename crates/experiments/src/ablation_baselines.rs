@@ -8,16 +8,14 @@
 
 use serde::{Deserialize, Serialize};
 
-use netband_baselines::{
-    EpsilonGreedy, Exp3, Moss, RandomSingle, ThompsonBernoulli, Ucb1, UcbTuned,
-};
-use netband_core::{DflSso, SinglePlayPolicy};
+use netband_core::SinglePlayPolicy;
 use netband_sim::export::format_table;
 use netband_sim::replicate::aggregate;
 use netband_sim::runner::{run_single_coupled, SingleScenario};
 use netband_sim::RunResult;
+use netband_spec::PolicySpec;
 
-use crate::common::{paper_workload, Scale};
+use crate::common::{build_single_panel, paper_workload, Scale};
 
 /// Configuration of the baseline comparison.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -74,6 +72,22 @@ impl BaselinesRow {
     }
 }
 
+/// The declarative policy zoo of one replication: DFL-SSO plus every
+/// single-play baseline, as [`PolicySpec`]s (this is the grid the comparison
+/// runs, in run order).
+pub fn policy_zoo(seed: u64) -> Vec<PolicySpec> {
+    vec![
+        PolicySpec::DflSso,
+        PolicySpec::Moss { horizon: None },
+        PolicySpec::Ucb1,
+        PolicySpec::UcbTuned,
+        PolicySpec::ThompsonBernoulli { seed },
+        PolicySpec::DecayingEpsilonGreedy { c: 5.0, seed },
+        PolicySpec::Exp3 { gamma: 0.05, seed },
+        PolicySpec::RandomSingle { seed },
+    ]
+}
+
 /// Runs the comparison.
 pub fn run(config: &BaselinesConfig) -> Vec<BaselinesRow> {
     let mut rows = Vec::with_capacity(config.arm_counts.len());
@@ -83,24 +97,11 @@ pub fn run(config: &BaselinesConfig) -> Vec<BaselinesRow> {
         for rep in 0..config.scale.replications {
             let seed = config.base_seed + (k_idx * 1_000 + rep) as u64;
             let bandit = paper_workload(num_arms, config.edge_prob, seed);
-            let mut dfl = DflSso::new(bandit.graph().clone());
-            let mut moss = Moss::new(num_arms);
-            let mut ucb1 = Ucb1::new(num_arms);
-            let mut ucb_tuned = UcbTuned::new(num_arms);
-            let mut thompson = ThompsonBernoulli::new(num_arms, seed);
-            let mut eps = EpsilonGreedy::decaying(num_arms, 5.0, seed);
-            let mut exp3 = Exp3::new(num_arms, 0.05, seed);
-            let mut random = RandomSingle::new(num_arms, seed);
-            let mut policies: [&mut dyn SinglePlayPolicy; 8] = [
-                &mut dfl,
-                &mut moss,
-                &mut ucb1,
-                &mut ucb_tuned,
-                &mut thompson,
-                &mut eps,
-                &mut exp3,
-                &mut random,
-            ];
+            let mut panel = build_single_panel(&policy_zoo(seed), &bandit);
+            let mut policies: Vec<&mut dyn SinglePlayPolicy> = panel
+                .iter_mut()
+                .map(|p| p.as_single_mut().expect("the zoo is single-play"))
+                .collect();
             let results = run_single_coupled(
                 &bandit,
                 &mut policies,

@@ -10,17 +10,15 @@
 
 use serde::{Deserialize, Serialize};
 
-use netband_core::{bounds, DflSso};
-use netband_env::{ArmSet, NetworkedBandit};
+use netband_core::bounds;
 use netband_graph::{generators, greedy_clique_cover, RelationGraph};
 use netband_sim::export::format_table;
 use netband_sim::replicate::aggregate;
-use netband_sim::runner::{run_single, SingleScenario};
+use netband_sim::run_spec;
 use netband_sim::RunResult;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use netband_spec::{ArmsSpec, GraphSpec, PolicySpec, SideBonus, WorkloadSpec};
 
-use crate::common::Scale;
+use crate::common::{grid_cell, Scale};
 
 /// Configuration of the structured-graph ablation.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -73,26 +71,37 @@ fn structured_graphs(num_arms: usize) -> Vec<(String, RelationGraph)> {
     ]
 }
 
-/// Runs the ablation.
+/// Runs the ablation. Each structured graph is declared as a
+/// [`GraphSpec::Explicit`] edge list inside a scenario spec: the explicit
+/// graph consumes no randomness, so the arm bank draws exactly the stream the
+/// hand-wired construction drew.
 pub fn run(config: &CliquesConfig) -> Vec<CliquesRow> {
     let mut rows = Vec::new();
     for (g_idx, (family, graph)) in structured_graphs(config.num_arms).into_iter().enumerate() {
         let cover = greedy_clique_cover(&graph).len();
+        let edges: Vec<(usize, usize)> = graph.edges().collect();
         let mut runs: Vec<RunResult> = Vec::with_capacity(config.scale.replications);
         for rep in 0..config.scale.replications {
             let seed = config.base_seed + (g_idx * 1_000 + rep) as u64;
-            let mut rng = StdRng::seed_from_u64(seed);
-            let arms = ArmSet::random_bernoulli(config.num_arms, &mut rng);
-            let bandit = NetworkedBandit::new(graph.clone(), arms)
-                .expect("graph and arms have matching sizes");
-            let mut policy = DflSso::new(graph.clone());
-            runs.push(run_single(
-                &bandit,
-                &mut policy,
-                SingleScenario::SideObservation,
+            let spec = grid_cell(
+                format!("cliques/{family}/rep{rep}"),
+                WorkloadSpec {
+                    graph: GraphSpec::Explicit {
+                        num_arms: config.num_arms,
+                        edges: edges.clone(),
+                    },
+                    arms: ArmsSpec::UniformMeanBernoulli {
+                        num_arms: config.num_arms,
+                    },
+                    family: None,
+                    seed,
+                },
+                PolicySpec::DflSso,
+                SideBonus::Observation,
                 config.scale.horizon,
                 seed.wrapping_mul(0x85EB_CA6B),
-            ));
+            );
+            runs.push(run_spec(&spec).expect("cliques scenario spec is consistent"));
         }
         let avg = aggregate(&runs);
         rows.push(CliquesRow {

@@ -8,15 +8,14 @@
 
 use serde::{Deserialize, Serialize};
 
-use netband_baselines::Moss;
-use netband_core::DflSso;
 use netband_graph::greedy_clique_cover;
 use netband_sim::export::format_table;
 use netband_sim::replicate::aggregate;
 use netband_sim::runner::{run_single_coupled, SingleScenario};
 use netband_sim::RunResult;
+use netband_spec::PolicySpec;
 
-use crate::common::{paper_workload, Scale};
+use crate::common::{build_single_panel, paper_workload, Scale};
 
 /// Configuration of the density sweep.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -69,11 +68,19 @@ pub fn run(config: &DensityConfig) -> Vec<DensityRow> {
             let seed = config.base_seed + (d_idx * 1_000 + rep) as u64;
             let bandit = paper_workload(config.num_arms, density, seed);
             cover_sum += greedy_clique_cover(bandit.graph()).len();
-            let mut dfl = DflSso::new(bandit.graph().clone());
-            let mut moss = Moss::new(config.num_arms);
+            // The declarative pair: the density-sensitive policy and its
+            // density-independent control.
+            let mut panel = build_single_panel(
+                &[PolicySpec::DflSso, PolicySpec::Moss { horizon: None }],
+                &bandit,
+            );
+            let mut refs: Vec<&mut dyn netband_core::SinglePlayPolicy> = panel
+                .iter_mut()
+                .map(|p| p.as_single_mut().expect("single panel"))
+                .collect();
             let mut results = run_single_coupled(
                 &bandit,
-                &mut [&mut dfl, &mut moss],
+                &mut refs,
                 SingleScenario::SideObservation,
                 config.scale.horizon,
                 seed.wrapping_mul(0x27D4_EB2F),

@@ -9,13 +9,14 @@
 
 use serde::{Deserialize, Serialize};
 
-use netband_core::{DflSso, DflSsoGreedyNeighbor, DflSsr, DflSsrGreedyNeighbor};
 use netband_sim::export::format_table;
 use netband_sim::replicate::aggregate;
-use netband_sim::runner::{run_single, run_single_coupled, SingleScenario};
+use netband_sim::run_spec;
+use netband_sim::runner::{run_single_coupled, SingleScenario};
 use netband_sim::RunResult;
+use netband_spec::{PolicySpec, SideBonus};
 
-use crate::common::{paper_workload, Scale};
+use crate::common::{build_single_panel, grid_cell, paper_workload, paper_workload_spec, Scale};
 
 /// Configuration of the heuristic ablation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -84,36 +85,42 @@ pub fn run(config: &HeuristicConfig) -> Vec<HeuristicRow> {
             let seed = config.base_seed + (d_idx * 1_000 + rep) as u64;
             let bandit = paper_workload(config.num_arms, density, seed);
             let run_seed = seed.wrapping_mul(0x9E37_79B9);
-            // SSO pair on a coupled sample path.
-            let mut base = DflSso::new(bandit.graph().clone());
-            let mut heur = DflSsoGreedyNeighbor::new(bandit.graph().clone());
+            // SSO pair on a coupled sample path, declared as PolicySpecs.
+            let mut panel = build_single_panel(
+                &[PolicySpec::DflSso, PolicySpec::DflSsoGreedyNeighbor],
+                &bandit,
+            );
+            let mut refs: Vec<&mut dyn netband_core::SinglePlayPolicy> = panel
+                .iter_mut()
+                .map(|p| p.as_single_mut().expect("single panel"))
+                .collect();
             let mut results = run_single_coupled(
                 &bandit,
-                &mut [&mut base, &mut heur],
+                &mut refs,
                 SingleScenario::SideObservation,
                 config.scale.horizon,
                 run_seed,
             );
             sso_heur.push(results.pop().expect("two results"));
             sso_base.push(results.pop().expect("two results"));
-            // SSR pair (independent runs; coupling is less meaningful because the
-            // two policies visit different neighbourhoods).
-            let mut base = DflSsr::new(bandit.graph().clone());
-            let mut heur = DflSsrGreedyNeighbor::new(bandit.graph().clone());
-            ssr_base.push(run_single(
-                &bandit,
-                &mut base,
-                SingleScenario::SideReward,
-                config.scale.horizon,
-                run_seed,
-            ));
-            ssr_heur.push(run_single(
-                &bandit,
-                &mut heur,
-                SingleScenario::SideReward,
-                config.scale.horizon,
-                run_seed,
-            ));
+            // SSR pair (independent spec-driven runs; coupling is less
+            // meaningful because the two policies visit different
+            // neighbourhoods).
+            let workload = paper_workload_spec(config.num_arms, density, seed);
+            for (policy, runs) in [
+                (PolicySpec::DflSsr, &mut ssr_base),
+                (PolicySpec::DflSsrGreedyNeighbor, &mut ssr_heur),
+            ] {
+                let spec = grid_cell(
+                    format!("heuristic/{policy:?}/p{density}/rep{rep}"),
+                    workload.clone(),
+                    policy,
+                    SideBonus::Reward,
+                    config.scale.horizon,
+                    run_seed,
+                );
+                runs.push(run_spec(&spec).expect("heuristic scenario spec is consistent"));
+            }
         }
         rows.push(HeuristicRow {
             density,

@@ -9,13 +9,13 @@
 
 use serde::{Deserialize, Serialize};
 
-use netband_core::{DflSso, DflSsr};
 use netband_sim::export::format_table;
 use netband_sim::replicate::aggregate;
-use netband_sim::runner::{run_single, SingleScenario};
+use netband_sim::run_spec;
 use netband_sim::RunResult;
+use netband_spec::{PolicySpec, ScenarioSpec, SideBonus};
 
-use crate::common::paper_workload;
+use crate::common::{grid_cell, paper_workload_spec};
 
 /// Configuration of the horizon-scaling ablation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -87,34 +87,48 @@ fn slope(x: &[f64], y: &[f64]) -> f64 {
     }
 }
 
-/// Runs the ablation.
+impl HorizonConfig {
+    /// The declarative grid cells of one `(horizon, replication)` pair:
+    /// DFL-SSO (side observation) and DFL-SSR (side reward). The workload
+    /// seed depends on the replication only, so the same instances recur
+    /// across horizons and the growth curve is not confounded by instance
+    /// variation.
+    pub fn grid_cells(&self, h_idx: usize, horizon: usize, rep: usize) -> [ScenarioSpec; 2] {
+        let seed = self.base_seed + rep as u64;
+        let workload = paper_workload_spec(self.num_arms, self.edge_prob, seed);
+        let run_seed = seed.wrapping_mul(0xD6E8_FEB8) + h_idx as u64;
+        [
+            grid_cell(
+                format!("horizon/dfl-sso/n{horizon}/rep{rep}"),
+                workload.clone(),
+                PolicySpec::DflSso,
+                SideBonus::Observation,
+                horizon,
+                run_seed,
+            ),
+            grid_cell(
+                format!("horizon/dfl-ssr/n{horizon}/rep{rep}"),
+                workload,
+                PolicySpec::DflSsr,
+                SideBonus::Reward,
+                horizon,
+                run_seed,
+            ),
+        ]
+    }
+}
+
+/// Runs the ablation: every grid cell is a [`ScenarioSpec`] driven through
+/// [`run_spec`].
 pub fn run(config: &HorizonConfig) -> HorizonResult {
     let mut rows = Vec::with_capacity(config.horizons.len());
     for (h_idx, &horizon) in config.horizons.iter().enumerate() {
         let mut sso_runs: Vec<RunResult> = Vec::new();
         let mut ssr_runs: Vec<RunResult> = Vec::new();
         for rep in 0..config.replications {
-            // Same instances across horizons (seeded by replication only), so the
-            // growth curve is not confounded by instance variation.
-            let seed = config.base_seed + rep as u64;
-            let bandit = paper_workload(config.num_arms, config.edge_prob, seed);
-            let run_seed = seed.wrapping_mul(0xD6E8_FEB8) + h_idx as u64;
-            let mut sso = DflSso::new(bandit.graph().clone());
-            sso_runs.push(run_single(
-                &bandit,
-                &mut sso,
-                SingleScenario::SideObservation,
-                horizon,
-                run_seed,
-            ));
-            let mut ssr = DflSsr::new(bandit.graph().clone());
-            ssr_runs.push(run_single(
-                &bandit,
-                &mut ssr,
-                SingleScenario::SideReward,
-                horizon,
-                run_seed,
-            ));
+            let [sso_spec, ssr_spec] = config.grid_cells(h_idx, horizon, rep);
+            sso_runs.push(run_spec(&sso_spec).expect("horizon scenario spec is consistent"));
+            ssr_runs.push(run_spec(&ssr_spec).expect("horizon scenario spec is consistent"));
         }
         rows.push(HorizonRow {
             horizon,

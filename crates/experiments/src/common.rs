@@ -1,11 +1,18 @@
 //! Shared workload builders and scale settings for the experiment harness.
+//!
+//! Since the spec redesign, every figure and ablation declares its grid as
+//! `netband-spec` [`ScenarioSpec`] documents: the helpers here construct the
+//! shared "one cell of a grid" spec and build coupled policy panels from
+//! [`PolicySpec`] lists, so an experiment's configuration is serializable data
+//! end to end.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
-use netband_env::{ArmSet, NetworkedBandit};
-use netband_graph::generators;
+use netband_env::NetworkedBandit;
+use netband_spec::{
+    AnyPolicy, ArmsSpec, FeedbackSpec, GraphSpec, PolicySpec, ScenarioSpec, SideBonus,
+    WorkloadSpec, SPEC_VERSION,
+};
 
 /// How large to run an experiment.
 ///
@@ -69,18 +76,78 @@ pub fn trends_to_zero(curve: &[f64]) -> bool {
     mean(late) < mean(early)
 }
 
-/// Builds the paper's simulation workload: an Erdős–Rényi relation graph with
-/// connection probability `edge_prob` over `num_arms` Bernoulli arms whose means
-/// are drawn uniformly from `[0, 1]`.
+/// The paper's Section VII workload as a declarative spec: an Erdős–Rényi
+/// relation graph with connection probability `edge_prob` over `num_arms`
+/// Bernoulli arms whose means are drawn uniformly from `[0, 1]`.
+pub fn paper_workload_spec(num_arms: usize, edge_prob: f64, seed: u64) -> WorkloadSpec {
+    WorkloadSpec {
+        graph: GraphSpec::ErdosRenyi {
+            num_arms,
+            edge_prob,
+        },
+        arms: ArmsSpec::UniformMeanBernoulli { num_arms },
+        family: None,
+        seed,
+    }
+}
+
+/// Builds the paper's simulation workload (via [`paper_workload_spec`]).
 ///
 /// The graph and the arm means are regenerated per replication (seeded), which
 /// matches the paper's "randomly generate a relation graph with 100 arms" setup
 /// and averages out the dependence on any single random instance.
 pub fn paper_workload(num_arms: usize, edge_prob: f64, seed: u64) -> NetworkedBandit {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let graph = generators::erdos_renyi(num_arms, edge_prob, &mut rng);
-    let arms = ArmSet::random_bernoulli(num_arms, &mut rng);
-    NetworkedBandit::new(graph, arms).expect("graph and arm set sizes match by construction")
+    paper_workload_spec(num_arms, edge_prob, seed)
+        .build()
+        .expect("the paper workload spec is internally consistent")
+        .bandit
+}
+
+/// One cell of an experiment grid: a [`ScenarioSpec`] over the given workload
+/// with a single replication (the experiment modules iterate replications
+/// themselves so each can keep its historical seed derivation).
+pub fn grid_cell(
+    name: impl Into<String>,
+    workload: WorkloadSpec,
+    policy: PolicySpec,
+    side_bonus: SideBonus,
+    horizon: usize,
+    run_seed: u64,
+) -> ScenarioSpec {
+    ScenarioSpec {
+        version: SPEC_VERSION,
+        name: name.into(),
+        workload,
+        policy,
+        side_bonus,
+        horizon,
+        replications: 1,
+        seed: run_seed,
+        feedback: FeedbackSpec::Immediate,
+    }
+}
+
+/// Builds a panel of single-play policies (for the coupled sample-path
+/// drivers) from declarative policy specs.
+///
+/// # Panics
+///
+/// Panics if a spec is combinatorial or fails to build — experiment grids are
+/// static, so a failure is a programming error, not an input error.
+pub fn build_single_panel(policies: &[PolicySpec], bandit: &NetworkedBandit) -> Vec<AnyPolicy> {
+    policies
+        .iter()
+        .map(|spec| {
+            let policy = spec
+                .build(bandit, None)
+                .unwrap_or_else(|e| panic!("policy {spec:?} failed to build: {e}"));
+            assert!(
+                policy.is_single(),
+                "coupled panels are single-play, got {spec:?}"
+            );
+            policy
+        })
+        .collect()
 }
 
 #[cfg(test)]

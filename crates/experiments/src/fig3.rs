@@ -9,14 +9,13 @@
 
 use serde::{Deserialize, Serialize};
 
-use netband_baselines::Moss;
-use netband_core::DflSso;
 use netband_sim::export::columns_to_csv;
 use netband_sim::replicate::aggregate;
 use netband_sim::runner::{run_single_coupled, SingleScenario};
 use netband_sim::{AveragedRun, RunResult};
+use netband_spec::{PolicySpec, ScenarioSpec, SideBonus};
 
-use crate::common::{paper_workload, Scale};
+use crate::common::{build_single_panel, grid_cell, paper_workload_spec, Scale};
 use crate::report::{accumulated_regret_table, expected_regret_table, summary_line};
 
 /// Configuration of the Fig. 3 experiment.
@@ -85,25 +84,63 @@ impl Fig3Result {
     }
 }
 
+impl Fig3Config {
+    /// The declarative grid of one replication: DFL-SSO and MOSS as
+    /// [`ScenarioSpec`]s over the *same* workload document (both are run on
+    /// one coupled sample path, so they share workload and run seeds).
+    pub fn replication_specs(&self, rep: usize) -> [ScenarioSpec; 2] {
+        let seed = self.base_seed + rep as u64;
+        let workload = paper_workload_spec(self.num_arms, self.edge_prob, seed);
+        let run_seed = seed.wrapping_mul(0x9E37_79B9);
+        [
+            grid_cell(
+                format!("fig3/dfl-sso/rep{rep}"),
+                workload.clone(),
+                PolicySpec::DflSso,
+                SideBonus::Observation,
+                self.scale.horizon,
+                run_seed,
+            ),
+            grid_cell(
+                format!("fig3/moss/rep{rep}"),
+                workload,
+                PolicySpec::Moss { horizon: None },
+                SideBonus::Observation,
+                self.scale.horizon,
+                run_seed,
+            ),
+        ]
+    }
+}
+
 /// Runs the Fig. 3 experiment.
 ///
-/// Each replication regenerates the relation graph and the arm means (seeded),
-/// then runs MOSS and DFL-SSO against the *same* sample path via the coupled
-/// driver, exactly as one would compare two policies on one simulated system.
+/// Each replication's grid is declared as [`ScenarioSpec`]s (see
+/// [`Fig3Config::replication_specs`]); the workload and both policies are
+/// built from the specs, then driven against the *same* sample path via the
+/// coupled driver, exactly as one would compare two policies on one simulated
+/// system.
 pub fn run(config: &Fig3Config) -> Fig3Result {
     let mut dfl_runs: Vec<RunResult> = Vec::with_capacity(config.scale.replications);
     let mut moss_runs: Vec<RunResult> = Vec::with_capacity(config.scale.replications);
     for rep in 0..config.scale.replications {
-        let seed = config.base_seed + rep as u64;
-        let bandit = paper_workload(config.num_arms, config.edge_prob, seed);
-        let mut dfl = DflSso::new(bandit.graph().clone());
-        let mut moss = Moss::new(config.num_arms);
+        let [dfl_spec, moss_spec] = config.replication_specs(rep);
+        let bandit = dfl_spec
+            .workload
+            .build()
+            .expect("fig3 workload spec is consistent")
+            .bandit;
+        let mut panel = build_single_panel(&[dfl_spec.policy, moss_spec.policy], &bandit);
+        let mut refs: Vec<&mut dyn netband_core::SinglePlayPolicy> = panel
+            .iter_mut()
+            .map(|p| p.as_single_mut().expect("single panel"))
+            .collect();
         let mut results = run_single_coupled(
             &bandit,
-            &mut [&mut dfl, &mut moss],
+            &mut refs,
             SingleScenario::SideObservation,
-            config.scale.horizon,
-            seed.wrapping_mul(0x9E37_79B9),
+            dfl_spec.horizon,
+            dfl_spec.seed,
         );
         moss_runs.push(results.pop().expect("two coupled results"));
         dfl_runs.push(results.pop().expect("two coupled results"));

@@ -14,15 +14,14 @@
 
 use serde::{Deserialize, Serialize};
 
-use netband_core::DflCso;
 use netband_env::feasible::FeasibleSet;
-use netband_env::StrategyFamily;
 use netband_sim::export::columns_to_csv;
 use netband_sim::replicate::aggregate;
-use netband_sim::runner::{run_combinatorial, CombinatorialScenario};
+use netband_sim::run_built;
 use netband_sim::{AveragedRun, RunResult};
+use netband_spec::{FamilySpec, PolicySpec, ScenarioSpec, SideBonus, WorkloadSpec};
 
-use crate::common::{paper_workload, Scale};
+use crate::common::{grid_cell, paper_workload_spec, Scale};
 use crate::report::{expected_regret_table, summary_line};
 
 /// Configuration of the Fig. 4 experiment.
@@ -98,29 +97,44 @@ impl Fig4Result {
     }
 }
 
+impl Fig4Config {
+    /// The declarative grid cell of one `(density, replication)` pair:
+    /// DFL-CSO over the paper workload with a bounded independent-set family.
+    pub fn replication_spec(&self, edge_prob: f64, seed_offset: u64, rep: usize) -> ScenarioSpec {
+        let seed = self.base_seed + seed_offset + rep as u64;
+        let workload = WorkloadSpec {
+            family: Some(FamilySpec::IndependentSets {
+                max_size: self.max_strategy_size,
+            }),
+            ..paper_workload_spec(self.num_arms, edge_prob, seed)
+        };
+        grid_cell(
+            format!("fig4/dfl-cso/p{edge_prob}/rep{rep}"),
+            workload,
+            PolicySpec::DflCso,
+            SideBonus::Observation,
+            self.scale.horizon,
+            seed.wrapping_mul(0x517C_C1B7),
+        )
+    }
+}
+
 fn run_density(config: &Fig4Config, edge_prob: f64, seed_offset: u64) -> (AveragedRun, f64) {
     let mut runs: Vec<RunResult> = Vec::with_capacity(config.scale.replications);
     let mut strategy_counts = 0usize;
     for rep in 0..config.scale.replications {
-        let seed = config.base_seed + seed_offset + rep as u64;
-        let bandit = paper_workload(config.num_arms, edge_prob, seed);
-        let family = StrategyFamily::independent_sets(config.max_strategy_size);
-        let strategies = family
-            .enumerate(bandit.graph())
-            .expect("independent sets of bounded size are enumerable at this scale");
-        strategy_counts += strategies.len();
-        let mut policy = DflCso::from_strategies(bandit.graph(), strategies);
-        // Regret must be charged against the same feasible set the policy uses.
-        let run = run_combinatorial(
-            &bandit,
-            &family,
-            &mut policy,
-            CombinatorialScenario::SideObservation,
-            config.scale.horizon,
-            seed.wrapping_mul(0x517C_C1B7),
-        )
-        .expect("DFL-CSO only proposes feasible strategies");
-        runs.push(run);
+        let spec = config.replication_spec(edge_prob, seed_offset, rep);
+        let mut built = spec.build().expect("fig4 scenario spec is consistent");
+        // Regret is charged against the same feasible set the policy uses; the
+        // |F| statistic comes from the spec-built family.
+        strategy_counts += built
+            .family
+            .as_ref()
+            .expect("fig4 scenarios are combinatorial")
+            .enumerate(built.bandit.graph())
+            .expect("independent sets of bounded size are enumerable at this scale")
+            .len();
+        runs.push(run_built(&mut built).expect("DFL-CSO only proposes feasible strategies"));
     }
     (
         aggregate(&runs),

@@ -8,14 +8,13 @@
 
 use serde::{Deserialize, Serialize};
 
-use netband_baselines::{Moss, RandomSingle};
-use netband_core::DflSsr;
 use netband_sim::export::columns_to_csv;
 use netband_sim::replicate::aggregate;
-use netband_sim::runner::{run_single, SingleScenario};
+use netband_sim::run_spec;
 use netband_sim::{AveragedRun, RunResult};
+use netband_spec::{PolicySpec, ScenarioSpec, SideBonus};
 
-use crate::common::{paper_workload, Scale};
+use crate::common::{grid_cell, paper_workload_spec, Scale};
 use crate::report::{expected_regret_table, summary_line};
 
 /// Configuration of the Fig. 5 experiment.
@@ -93,50 +92,53 @@ impl Fig5Result {
     }
 }
 
-/// Runs the Fig. 5 experiment.
-pub fn run(config: &Fig5Config) -> Fig5Result {
-    let mut dfl_runs: Vec<RunResult> = Vec::with_capacity(config.scale.replications);
-    let mut moss_runs: Vec<RunResult> = Vec::new();
-    let mut random_runs: Vec<RunResult> = Vec::new();
-    for rep in 0..config.scale.replications {
-        let seed = config.base_seed + rep as u64;
-        let bandit = paper_workload(config.num_arms, config.edge_prob, seed);
+impl Fig5Config {
+    /// The declarative grid of one replication: DFL-SSR first, then (when
+    /// baselines are enabled) MOSS and uniform random play, all under the SSR
+    /// regret on the same workload document and run seed.
+    pub fn replication_specs(&self, rep: usize) -> Vec<ScenarioSpec> {
+        let seed = self.base_seed + rep as u64;
+        let workload = paper_workload_spec(self.num_arms, self.edge_prob, seed);
         let run_seed = seed.wrapping_mul(0xA24B_AED4);
-        let mut dfl = DflSsr::new(bandit.graph().clone());
-        dfl_runs.push(run_single(
-            &bandit,
-            &mut dfl,
-            SingleScenario::SideReward,
-            config.scale.horizon,
-            run_seed,
-        ));
-        if config.include_baselines {
-            let mut moss = Moss::new(config.num_arms);
-            moss_runs.push(run_single(
-                &bandit,
-                &mut moss,
-                SingleScenario::SideReward,
-                config.scale.horizon,
-                run_seed,
-            ));
-            let mut random = RandomSingle::new(config.num_arms, seed);
-            random_runs.push(run_single(
-                &bandit,
-                &mut random,
-                SingleScenario::SideReward,
-                config.scale.horizon,
-                run_seed,
-            ));
+        let mut policies = vec![("dfl-ssr", PolicySpec::DflSsr)];
+        if self.include_baselines {
+            policies.push(("moss", PolicySpec::Moss { horizon: None }));
+            policies.push(("random", PolicySpec::RandomSingle { seed }));
+        }
+        policies
+            .into_iter()
+            .map(|(name, policy)| {
+                grid_cell(
+                    format!("fig5/{name}/rep{rep}"),
+                    workload.clone(),
+                    policy,
+                    SideBonus::Reward,
+                    self.scale.horizon,
+                    run_seed,
+                )
+            })
+            .collect()
+    }
+}
+
+/// Runs the Fig. 5 experiment: every grid cell is a [`ScenarioSpec`] driven
+/// through [`run_spec`].
+pub fn run(config: &Fig5Config) -> Fig5Result {
+    let mut per_policy: Vec<Vec<RunResult>> = Vec::new();
+    for rep in 0..config.scale.replications {
+        let specs = config.replication_specs(rep);
+        if per_policy.is_empty() {
+            per_policy = specs.iter().map(|_| Vec::new()).collect();
+        }
+        for (idx, spec) in specs.iter().enumerate() {
+            per_policy[idx].push(run_spec(spec).expect("fig5 scenario spec is consistent"));
         }
     }
-    let mut baselines = Vec::new();
-    if config.include_baselines {
-        baselines.push(aggregate(&moss_runs));
-        baselines.push(aggregate(&random_runs));
-    }
+    let mut aggregates = per_policy.iter().map(|runs| aggregate(runs));
+    let dfl_ssr = aggregates.next().expect("DFL-SSR is always in the grid");
     Fig5Result {
-        dfl_ssr: aggregate(&dfl_runs),
-        baselines,
+        dfl_ssr,
+        baselines: aggregates.collect(),
     }
 }
 

@@ -9,15 +9,13 @@
 
 use serde::{Deserialize, Serialize};
 
-use netband_baselines::Cucb;
-use netband_core::DflCsr;
-use netband_env::StrategyFamily;
 use netband_sim::export::columns_to_csv;
 use netband_sim::replicate::aggregate;
-use netband_sim::runner::{run_combinatorial, CombinatorialScenario};
+use netband_sim::run_spec;
 use netband_sim::{AveragedRun, RunResult};
+use netband_spec::{FamilySpec, PolicySpec, ScenarioSpec, SideBonus, WorkloadSpec};
 
-use crate::common::{paper_workload, Scale};
+use crate::common::{grid_cell, paper_workload_spec, Scale};
 use crate::report::{expected_regret_table, summary_line};
 
 /// Configuration of the Fig. 6 experiment.
@@ -96,49 +94,58 @@ impl Fig6Result {
     }
 }
 
-/// Runs the Fig. 6 experiment.
-pub fn run(config: &Fig6Config) -> Fig6Result {
-    let family = StrategyFamily::at_most_m(config.num_arms, config.max_strategy_size);
-    let mut dfl_runs: Vec<RunResult> = Vec::with_capacity(config.scale.replications);
-    let mut cucb_runs: Vec<RunResult> = Vec::new();
-    for rep in 0..config.scale.replications {
-        let seed = config.base_seed + rep as u64;
-        let bandit = paper_workload(config.num_arms, config.edge_prob, seed);
+impl Fig6Config {
+    /// The declarative grid of one replication: DFL-CSR first, then (when
+    /// baselines are enabled) CUCB, both over the same at-most-`M` workload
+    /// document under the CSR regret.
+    pub fn replication_specs(&self, rep: usize) -> Vec<ScenarioSpec> {
+        let seed = self.base_seed + rep as u64;
+        let workload = WorkloadSpec {
+            family: Some(FamilySpec::AtMostM {
+                m: self.max_strategy_size,
+            }),
+            ..paper_workload_spec(self.num_arms, self.edge_prob, seed)
+        };
         let run_seed = seed.wrapping_mul(0xC2B2_AE35);
-        let mut dfl = DflCsr::new(bandit.graph().clone(), family.clone());
-        dfl_runs.push(
-            run_combinatorial(
-                &bandit,
-                &family,
-                &mut dfl,
-                CombinatorialScenario::SideReward,
-                config.scale.horizon,
-                run_seed,
-            )
-            .expect("DFL-CSR only proposes feasible strategies"),
-        );
-        if config.include_baselines {
-            let mut cucb = Cucb::new(bandit.graph().clone(), family.clone());
-            cucb_runs.push(
-                run_combinatorial(
-                    &bandit,
-                    &family,
-                    &mut cucb,
-                    CombinatorialScenario::SideReward,
-                    config.scale.horizon,
+        let mut policies = vec![("dfl-csr", PolicySpec::DflCsr)];
+        if self.include_baselines {
+            policies.push(("cucb", PolicySpec::Cucb));
+        }
+        policies
+            .into_iter()
+            .map(|(name, policy)| {
+                grid_cell(
+                    format!("fig6/{name}/rep{rep}"),
+                    workload.clone(),
+                    policy,
+                    SideBonus::Reward,
+                    self.scale.horizon,
                     run_seed,
                 )
-                .expect("CUCB only proposes feasible strategies"),
-            );
+            })
+            .collect()
+    }
+}
+
+/// Runs the Fig. 6 experiment: every grid cell is a [`ScenarioSpec`] driven
+/// through [`run_spec`].
+pub fn run(config: &Fig6Config) -> Fig6Result {
+    let mut per_policy: Vec<Vec<RunResult>> = Vec::new();
+    for rep in 0..config.scale.replications {
+        let specs = config.replication_specs(rep);
+        if per_policy.is_empty() {
+            per_policy = specs.iter().map(|_| Vec::new()).collect();
+        }
+        for (idx, spec) in specs.iter().enumerate() {
+            per_policy[idx]
+                .push(run_spec(spec).expect("fig6 policies only propose feasible strategies"));
         }
     }
-    let mut baselines = Vec::new();
-    if config.include_baselines {
-        baselines.push(aggregate(&cucb_runs));
-    }
+    let mut aggregates = per_policy.iter().map(|runs| aggregate(runs));
+    let dfl_csr = aggregates.next().expect("DFL-CSR is always in the grid");
     Fig6Result {
-        dfl_csr: aggregate(&dfl_runs),
-        baselines,
+        dfl_csr,
+        baselines: aggregates.collect(),
     }
 }
 

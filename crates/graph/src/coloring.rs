@@ -9,7 +9,7 @@
 //!   naive greedy);
 //! * [`exact_chromatic_number`] — branch-and-bound exact colouring for small
 //!   graphs;
-//! * [`dsatur_clique_cover`] / [`exact_minimum_clique_cover`] — the
+//! * [`dsatur_clique_cover`] / [`exact_minimum_clique_cover_size`] — the
 //!   corresponding clique covers of `G` via its complement.
 
 use crate::clique::CliqueCover;

@@ -3,6 +3,7 @@
 use std::fmt;
 
 use netband_env::{CombinatorialFeedback, EnvError, SinglePlayFeedback};
+use netband_spec::{FeedbackSpec, ScenarioSpec, SpecError};
 
 use crate::ArmId;
 
@@ -43,7 +44,10 @@ pub enum FeedbackEvent {
 /// in-order delivery.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FlushPolicy {
-    /// Flush as soon as this many events are pending (0 is treated as 1).
+    /// Flush as soon as this many events are pending. Must be at least 1:
+    /// the constructors enforce it ([`FlushPolicy::batched`] clamps,
+    /// [`FlushPolicy::try_batched`] rejects), and tenant registration rejects
+    /// a literal-built zero with [`ServeError::InvalidFlushPolicy`].
     pub max_pending: usize,
     /// Additionally flush at the start of every decide, so a decision never
     /// runs on estimators that are missing already-delivered feedback. This is
@@ -64,10 +68,80 @@ impl FlushPolicy {
     /// Let feedback accumulate and apply it in batches of (up to)
     /// `max_pending` events; decides may run on stale estimators in between
     /// (the delayed-feedback regime).
+    ///
+    /// A `max_pending` of 0 is **clamped to 1** — this constructor is the one
+    /// documented place where the coercion happens; everywhere else
+    /// ([`FlushPolicy::try_batched`], tenant registration) a zero is rejected
+    /// with [`ServeError::InvalidFlushPolicy`].
     pub fn batched(max_pending: usize) -> Self {
         FlushPolicy {
             max_pending: max_pending.max(1),
             flush_before_decide: false,
+        }
+    }
+
+    /// Like [`FlushPolicy::batched`], but rejects a zero batch size instead
+    /// of clamping it.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidFlushPolicy`] when `max_pending == 0`.
+    pub fn try_batched(max_pending: usize) -> Result<Self, ServeError> {
+        if max_pending == 0 {
+            return Err(ServeError::InvalidFlushPolicy { max_pending });
+        }
+        Ok(FlushPolicy {
+            max_pending,
+            flush_before_decide: false,
+        })
+    }
+
+    /// Validates a policy built by hand (struct literal): `max_pending` must
+    /// be at least 1. Tenant registration calls this, so an invalid policy
+    /// never reaches a shard.
+    pub fn validate(&self) -> Result<(), ServeError> {
+        if self.max_pending == 0 {
+            return Err(ServeError::InvalidFlushPolicy {
+                max_pending: self.max_pending,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl From<FeedbackSpec> for FlushPolicy {
+    /// Maps the serializable schedule onto the engine's flush policy.
+    /// `FeedbackSpec` documents reject `max_pending == 0` at decode time, and
+    /// [`FlushPolicy::batched`] clamps as a second line of defence.
+    fn from(spec: FeedbackSpec) -> Self {
+        match spec {
+            FeedbackSpec::Immediate => FlushPolicy::immediate(),
+            FeedbackSpec::Batched { max_pending } => FlushPolicy::batched(max_pending),
+        }
+    }
+}
+
+/// A request to register a tenant from a declarative scenario document: the
+/// spec-driven counterpart of hand-constructing a
+/// [`TenantSpec`](crate::TenantSpec). The scenario's workload, policy, and
+/// feedback schedule are built by `netband-spec`; the tenant's RNG is seeded
+/// with the scenario's run seed, so a spec-registered tenant under
+/// [`FlushPolicy::immediate`] serves the same trajectory as
+/// `netband_sim::run_spec` of the same document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegisterTenantSpec {
+    /// The tenant id to register under (routes the tenant to a shard).
+    pub id: TenantId,
+    /// The scenario to host.
+    pub scenario: ScenarioSpec,
+}
+
+impl RegisterTenantSpec {
+    /// Convenience constructor.
+    pub fn new(id: impl Into<TenantId>, scenario: ScenarioSpec) -> Self {
+        RegisterTenantSpec {
+            id: id.into(),
+            scenario,
         }
     }
 }
@@ -116,6 +190,15 @@ pub enum ServeError {
         /// Rounds the tenant had served when the event arrived.
         served: u64,
     },
+    /// A flush policy with `max_pending == 0` was submitted (a tenant with
+    /// such a policy could never hold feedback, so the value is always a
+    /// configuration mistake).
+    InvalidFlushPolicy {
+        /// The rejected threshold.
+        max_pending: usize,
+    },
+    /// A spec-driven registration failed to validate or build its scenario.
+    Spec(SpecError),
     /// The engine (or the target shard) has shut down.
     EngineDown,
 }
@@ -140,6 +223,13 @@ impl fmt::Display for ServeError {
                      rounds have been served"
                 )
             }
+            ServeError::InvalidFlushPolicy { max_pending } => {
+                write!(
+                    f,
+                    "invalid flush policy: max_pending must be at least 1 (got {max_pending})"
+                )
+            }
+            ServeError::Spec(e) => write!(f, "scenario spec error: {e}"),
             ServeError::EngineDown => write!(f, "serving engine has shut down"),
         }
     }
@@ -150,6 +240,12 @@ impl std::error::Error for ServeError {}
 impl From<EnvError> for ServeError {
     fn from(e: EnvError) -> Self {
         ServeError::Env(e)
+    }
+}
+
+impl From<SpecError> for ServeError {
+    fn from(e: SpecError) -> Self {
+        ServeError::Spec(e)
     }
 }
 
@@ -166,8 +262,44 @@ mod tests {
         let batched = FlushPolicy::batched(32);
         assert_eq!(batched.max_pending, 32);
         assert!(!batched.flush_before_decide);
-        // A zero batch size degrades to immediate application.
+    }
+
+    /// The two documented zero-batch paths: `batched` clamps (in exactly one
+    /// place), `try_batched` and `validate` reject.
+    #[test]
+    fn zero_max_pending_is_clamped_or_rejected() {
+        // The clamping path.
+        assert_eq!(FlushPolicy::batched(0), FlushPolicy::batched(1));
         assert_eq!(FlushPolicy::batched(0).max_pending, 1);
+        // The rejecting paths.
+        assert_eq!(
+            FlushPolicy::try_batched(0),
+            Err(ServeError::InvalidFlushPolicy { max_pending: 0 })
+        );
+        assert_eq!(FlushPolicy::try_batched(8), Ok(FlushPolicy::batched(8)));
+        let literal = FlushPolicy {
+            max_pending: 0,
+            flush_before_decide: false,
+        };
+        assert_eq!(
+            literal.validate(),
+            Err(ServeError::InvalidFlushPolicy { max_pending: 0 })
+        );
+        assert!(FlushPolicy::immediate().validate().is_ok());
+        let err = ServeError::InvalidFlushPolicy { max_pending: 0 }.to_string();
+        assert!(err.contains("at least 1"), "{err}");
+    }
+
+    #[test]
+    fn feedback_spec_maps_onto_flush_policy() {
+        assert_eq!(
+            FlushPolicy::from(FeedbackSpec::Immediate),
+            FlushPolicy::immediate()
+        );
+        assert_eq!(
+            FlushPolicy::from(FeedbackSpec::Batched { max_pending: 16 }),
+            FlushPolicy::batched(16)
+        );
     }
 
     #[test]

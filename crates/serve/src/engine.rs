@@ -5,7 +5,9 @@ use std::hash::{DefaultHasher, Hash, Hasher};
 use std::sync::mpsc::{sync_channel, SyncSender};
 use std::thread::JoinHandle;
 
-use crate::api::{DecideReply, FeedbackEvent, ServeError};
+use netband_spec::FleetSpec;
+
+use crate::api::{DecideReply, FeedbackEvent, RegisterTenantSpec, ServeError};
 use crate::metrics::MetricsReport;
 use crate::shard::{shard_loop, Command};
 use crate::snapshot::TenantSnapshot;
@@ -62,10 +64,16 @@ pub struct ServeEngine {
 
 impl ServeEngine {
     /// Starts the shard worker threads.
+    ///
+    /// A literal-built config with `shards == 0` is treated as 1 (the
+    /// constructors already clamp; this keeps a hand-built
+    /// `EngineConfig { shards: 0, .. }` from producing an engine whose
+    /// routing divides by zero).
     pub fn start(config: EngineConfig) -> Self {
-        let mut senders = Vec::with_capacity(config.shards);
-        let mut handles = Vec::with_capacity(config.shards);
-        for shard in 0..config.shards {
+        let shards = config.shards.max(1);
+        let mut senders = Vec::with_capacity(shards);
+        let mut handles = Vec::with_capacity(shards);
+        for shard in 0..shards {
             let (sender, receiver) = sync_channel(config.queue_capacity);
             let handle = std::thread::Builder::new()
                 .name(format!("netband-shard-{shard}"))
@@ -124,6 +132,38 @@ impl ServeEngine {
             spec: Box::new(spec),
             reply,
         })
+    }
+
+    /// Registers a tenant from a declarative scenario document (the
+    /// [`RegisterTenantSpec`] command): the scenario is validated and built
+    /// via `netband-spec`, then registered like any hand-constructed tenant.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Spec`] when the scenario fails to validate or build,
+    /// plus everything [`ServeEngine::create_tenant`] can return.
+    pub fn register_tenant_spec(&self, request: &RegisterTenantSpec) -> Result<(), ServeError> {
+        let spec = TenantSpec::from_scenario(request.id.clone(), &request.scenario)?;
+        self.create_tenant(spec)
+    }
+
+    /// Boots a whole multi-tenant fleet from one declarative document:
+    /// validates the fleet first (version, per-scenario validity, unique
+    /// ids), then registers every tenant. Fails fast on the first
+    /// registration error; previously registered tenants of the same call
+    /// stay registered.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Spec`] for an invalid fleet document, plus everything
+    /// [`ServeEngine::register_tenant_spec`] can return.
+    pub fn register_fleet(&self, fleet: &FleetSpec) -> Result<(), ServeError> {
+        fleet.validate()?;
+        for tenant in &fleet.tenants {
+            let spec = TenantSpec::from_scenario(tenant.id.clone(), &tenant.scenario)?;
+            self.create_tenant(spec)?;
+        }
+        Ok(())
     }
 
     /// Recreates a tenant from a checkpoint (same routing as
@@ -275,6 +315,18 @@ mod tests {
     use super::*;
 
     #[test]
+    fn literal_zero_shard_configs_still_route() {
+        // Bypassing the constructors must not produce a divide-by-zero router.
+        let engine = ServeEngine::start(EngineConfig {
+            shards: 0,
+            queue_capacity: 4,
+        });
+        assert_eq!(engine.num_shards(), 1);
+        assert_eq!(engine.shard_of("any"), 0);
+        engine.shutdown();
+    }
+
+    #[test]
     fn config_clamps_degenerate_sizes() {
         assert_eq!(EngineConfig::new(0).shards, 1);
         assert_eq!(EngineConfig::new(4).shards, 4);
@@ -294,6 +346,87 @@ mod tests {
             assert!(shard < 4);
             assert_eq!(shard, engine.shard_of(id), "routing must be stable");
         }
+        engine.shutdown();
+    }
+
+    #[test]
+    fn tenants_register_from_scenario_specs() {
+        use netband_spec::{presets, FleetSpec, FleetTenant, SPEC_VERSION};
+
+        let engine = ServeEngine::with_shards(2);
+        let mut scenario = presets::paper_simulation(10, 0.4, 11);
+        scenario.horizon = 50;
+        engine
+            .register_tenant_spec(&RegisterTenantSpec::new("spec-0", scenario.clone()))
+            .unwrap();
+        // Same id twice: the duplicate is rejected by the shard, not the spec.
+        assert_eq!(
+            engine.register_tenant_spec(&RegisterTenantSpec::new("spec-0", scenario.clone())),
+            Err(ServeError::DuplicateTenant("spec-0".into()))
+        );
+        let reply = engine.decide("spec-0").unwrap();
+        assert_eq!(reply.round, 1);
+
+        // A whole fleet from one document, including a combinatorial tenant.
+        let mut comb = presets::channel_access(10, 2, 0.35, 4);
+        comb.horizon = 50;
+        let fleet = FleetSpec {
+            version: SPEC_VERSION,
+            name: "test-fleet".into(),
+            tenants: vec![
+                FleetTenant {
+                    id: "fleet-a".into(),
+                    scenario,
+                },
+                FleetTenant {
+                    id: "fleet-b".into(),
+                    scenario: comb,
+                },
+            ],
+        };
+        engine.register_fleet(&fleet).unwrap();
+        for id in ["fleet-a", "fleet-b"] {
+            assert_eq!(engine.decide(id).unwrap().round, 1, "{id}");
+        }
+        // An invalid fleet (duplicate ids) is rejected before registration.
+        let mut bad = fleet.clone();
+        bad.tenants[1].id = "fleet-a".into();
+        assert!(matches!(
+            engine.register_fleet(&bad),
+            Err(ServeError::Spec(_))
+        ));
+        engine.shutdown();
+    }
+
+    #[test]
+    fn zero_flush_policies_are_rejected_at_registration() {
+        use netband_core::DflSso;
+        use netband_env::{ArmSet, NetworkedBandit};
+        use netband_sim::SingleScenario;
+
+        let engine = ServeEngine::with_shards(1);
+        let graph = netband_graph::generators::path(4);
+        let bandit = NetworkedBandit::new(graph.clone(), ArmSet::linear_bernoulli(4)).unwrap();
+        let spec = crate::TenantSpec::single(
+            "zero",
+            bandit,
+            DflSso::new(graph),
+            SingleScenario::SideObservation,
+            1,
+        )
+        .with_flush(crate::FlushPolicy {
+            max_pending: 0,
+            flush_before_decide: false,
+        });
+        assert_eq!(
+            engine.create_tenant(spec),
+            Err(ServeError::InvalidFlushPolicy { max_pending: 0 })
+        );
+        // The rejected tenant never registered.
+        assert!(matches!(
+            engine.decide("zero"),
+            Err(ServeError::UnknownTenant(_))
+        ));
         engine.shutdown();
     }
 

@@ -86,6 +86,18 @@
 //! engine.shutdown();
 //! ```
 //!
+//! ## Spec-driven registration
+//!
+//! Tenants can also be registered from declarative `netband-spec` documents:
+//! [`ServeEngine::register_tenant_spec`] hosts one
+//! [`ScenarioSpec`](netband_spec::ScenarioSpec) (see [`RegisterTenantSpec`]),
+//! and [`ServeEngine::register_fleet`] boots a whole multi-tenant fleet from
+//! a single [`FleetSpec`](netband_spec::FleetSpec) JSON document — see
+//! `examples/fleet.json` and `examples/live_service.rs`. A tenant registered
+//! from a spec under [`FlushPolicy::immediate`] serves the same trajectory
+//! as `netband_sim::run_spec` of the same document (pinned by
+//! `tests/spec_golden.rs`).
+//!
 //! ## Snapshot / restore
 //!
 //! [`ServeEngine::snapshot_tenant`] (or [`ServeEngine::evict_tenant`])
@@ -108,7 +120,9 @@ pub mod tenant;
 /// Dense arm identifier, shared with the whole workspace.
 pub use netband_core::ArmId;
 
-pub use api::{DecideReply, Decision, FeedbackEvent, FlushPolicy, ServeError, TenantId};
+pub use api::{
+    DecideReply, Decision, FeedbackEvent, FlushPolicy, RegisterTenantSpec, ServeError, TenantId,
+};
 pub use engine::{EngineConfig, ServeEngine};
 pub use metrics::{LatencyHistogram, MetricsReport, ShardMetrics, TenantMetrics, LATENCY_BUCKETS};
 pub use snapshot::TenantSnapshot;

@@ -105,9 +105,9 @@ pub(crate) fn shard_loop(commands: Receiver<Command>) {
                 let result = if tenants.contains_key(spec.id()) {
                     Err(ServeError::DuplicateTenant(spec.id().to_owned()))
                 } else {
-                    let tenant = Tenant::new(*spec);
-                    tenants.insert(tenant.id.clone(), tenant);
-                    Ok(())
+                    Tenant::new(*spec).map(|tenant| {
+                        tenants.insert(tenant.id.clone(), tenant);
+                    })
                 };
                 let _ = reply.send(result);
             }

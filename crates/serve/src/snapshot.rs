@@ -146,7 +146,7 @@ mod tests {
             1,
         )
         .with_auto_feedback(true);
-        let mut tenant = Tenant::new(spec);
+        let mut tenant = Tenant::new(spec).unwrap();
         for _ in 0..20 {
             tenant.decide().unwrap();
         }

@@ -22,33 +22,10 @@ use crate::api::{DecideReply, Decision, FeedbackEvent, FlushPolicy, ServeError, 
 use crate::metrics::TenantMetrics;
 use crate::snapshot::{SnapshotKind, TenantSnapshot};
 
-/// Object-safe cloning for boxed single-play policies: snapshots capture the
-/// policy's learned state by cloning the box. Implemented automatically for
-/// every `SinglePlayPolicy + Clone` type, which covers all policies in
-/// `netband-core` and `netband-baselines`.
-pub trait DynSinglePolicy: SinglePlayPolicy {
-    /// Clones the policy behind the box.
-    fn clone_box(&self) -> Box<dyn DynSinglePolicy>;
-}
-
-impl<P: SinglePlayPolicy + Clone + 'static> DynSinglePolicy for P {
-    fn clone_box(&self) -> Box<dyn DynSinglePolicy> {
-        Box::new(self.clone())
-    }
-}
-
-/// Object-safe cloning for boxed combinatorial policies; see
-/// [`DynSinglePolicy`].
-pub trait DynCombinatorialPolicy: CombinatorialPolicy {
-    /// Clones the policy behind the box.
-    fn clone_box(&self) -> Box<dyn DynCombinatorialPolicy>;
-}
-
-impl<P: CombinatorialPolicy + Clone + 'static> DynCombinatorialPolicy for P {
-    fn clone_box(&self) -> Box<dyn DynCombinatorialPolicy> {
-        Box::new(self.clone())
-    }
-}
+// The clone-box policy traits moved to `netband_core::policy` (the spec
+// crate's `AnyPolicy` needs them below the serve layer); re-exported here so
+// existing `netband_serve::tenant::Dyn*Policy` imports keep working.
+pub use netband_core::policy::{DynCombinatorialPolicy, DynSinglePolicy};
 
 /// Everything needed to create a tenant on the engine.
 ///
@@ -145,6 +122,95 @@ impl TenantSpec {
         }
     }
 
+    /// A single-play tenant from an already-boxed policy (the spec-driven
+    /// registration path, where the policy arrives as a
+    /// [`netband_spec::AnyPolicy`] variant).
+    pub fn single_boxed(
+        id: impl Into<TenantId>,
+        bandit: NetworkedBandit,
+        policy: Box<dyn DynSinglePolicy>,
+        scenario: SingleScenario,
+        seed: u64,
+    ) -> Self {
+        TenantSpec {
+            id: id.into(),
+            bandit,
+            seed,
+            flush: FlushPolicy::default(),
+            auto_feedback: false,
+            echo_feedback: true,
+            kind: SpecKind::Single { policy, scenario },
+        }
+    }
+
+    /// A combinatorial tenant from an already-boxed policy; see
+    /// [`TenantSpec::single_boxed`].
+    pub fn combinatorial_boxed(
+        id: impl Into<TenantId>,
+        bandit: NetworkedBandit,
+        policy: Box<dyn DynCombinatorialPolicy>,
+        family: StrategyFamily,
+        scenario: CombinatorialScenario,
+        seed: u64,
+    ) -> Self {
+        TenantSpec {
+            id: id.into(),
+            bandit,
+            seed,
+            flush: FlushPolicy::default(),
+            auto_feedback: false,
+            echo_feedback: true,
+            kind: SpecKind::Combinatorial {
+                policy,
+                family,
+                scenario,
+            },
+        }
+    }
+
+    /// Builds a tenant spec from a declarative scenario document: the
+    /// workload and policy are built by `netband-spec`, the scenario's side
+    /// bonus selects the reward model, the run seed seeds the tenant's RNG,
+    /// and the feedback schedule becomes the flush policy. Under
+    /// [`FlushPolicy::immediate`] the resulting tenant serves the same
+    /// trajectory as `netband_sim::run_spec` of the same document.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Spec`] when the scenario fails to validate or build.
+    pub fn from_scenario(
+        id: impl Into<TenantId>,
+        scenario: &netband_spec::ScenarioSpec,
+    ) -> Result<Self, ServeError> {
+        let built = scenario.build()?;
+        let flush = FlushPolicy::from(scenario.feedback);
+        let spec = match built.policy {
+            netband_spec::AnyPolicy::Single(policy) => TenantSpec::single_boxed(
+                id,
+                built.bandit,
+                policy,
+                netband_sim::spec::single_scenario(built.side_bonus),
+                built.seed,
+            ),
+            netband_spec::AnyPolicy::Combinatorial(policy) => {
+                let family = built.family.ok_or(ServeError::Spec(
+                    netband_spec::SpecError::MissingFamily {
+                        policy: "combinatorial",
+                    },
+                ))?;
+                TenantSpec::combinatorial_boxed(
+                    id,
+                    built.bandit,
+                    policy,
+                    family,
+                    netband_sim::spec::combinatorial_scenario(built.side_bonus),
+                    built.seed,
+                )
+            }
+        };
+        Ok(spec.with_flush(flush))
+    }
+
     /// The tenant id the spec will be registered under.
     pub fn id(&self) -> &str {
         &self.id
@@ -209,7 +275,11 @@ pub(crate) struct Tenant {
 }
 
 impl Tenant {
-    pub(crate) fn new(spec: TenantSpec) -> Tenant {
+    /// Builds the tenant, validating the flush policy (a hand-built
+    /// `FlushPolicy { max_pending: 0, .. }` is rejected here, before the
+    /// tenant reaches a shard).
+    pub(crate) fn new(spec: TenantSpec) -> Result<Tenant, ServeError> {
+        spec.flush.validate()?;
         let TenantSpec {
             id,
             bandit,
@@ -249,7 +319,7 @@ impl Tenant {
                 )
             }
         };
-        Tenant {
+        Ok(Tenant {
             id,
             bandit,
             kind,
@@ -263,7 +333,7 @@ impl Tenant {
             auto_feedback,
             echo_feedback,
             metrics: TenantMetrics::default(),
-        }
+        })
     }
 
     /// Serves one decision. The per-round arithmetic (pull, reward, regret
@@ -547,7 +617,8 @@ mod tests {
             single_spec("t", 77)
                 .with_auto_feedback(true)
                 .with_echo_feedback(false),
-        );
+        )
+        .unwrap();
         for _ in 0..200 {
             tenant.decide().unwrap();
         }
@@ -562,8 +633,8 @@ mod tests {
 
     #[test]
     fn echoed_feedback_round_trip_matches_auto_feedback() {
-        let mut auto = Tenant::new(single_spec("a", 5).with_auto_feedback(true));
-        let mut echo = Tenant::new(single_spec("b", 5));
+        let mut auto = Tenant::new(single_spec("a", 5).with_auto_feedback(true)).unwrap();
+        let mut echo = Tenant::new(single_spec("b", 5)).unwrap();
         for _ in 0..100 {
             auto.decide().unwrap();
             let reply = echo.decide().unwrap();
@@ -579,8 +650,10 @@ mod tests {
     fn delayed_out_of_order_feedback_is_applied_in_round_order() {
         // Deliver a window of feedback in reverse order; after the flush, the
         // policy state must equal the one produced by in-order application.
-        let mut shuffled = Tenant::new(single_spec("s", 9).with_flush(FlushPolicy::batched(64)));
-        let mut ordered = Tenant::new(single_spec("o", 9).with_flush(FlushPolicy::batched(64)));
+        let mut shuffled =
+            Tenant::new(single_spec("s", 9).with_flush(FlushPolicy::batched(64))).unwrap();
+        let mut ordered =
+            Tenant::new(single_spec("o", 9).with_flush(FlushPolicy::batched(64))).unwrap();
         let mut window = Vec::new();
         for _ in 0..10 {
             let reply = shuffled.decide().unwrap();
@@ -606,7 +679,7 @@ mod tests {
 
     #[test]
     fn feedback_kind_mismatch_is_rejected() {
-        let mut tenant = Tenant::new(single_spec("t", 1));
+        let mut tenant = Tenant::new(single_spec("t", 1)).unwrap();
         tenant.decide().unwrap();
         let err = tenant
             .feedback(
@@ -619,7 +692,7 @@ mod tests {
 
     #[test]
     fn feedback_for_unserved_rounds_is_rejected() {
-        let mut tenant = Tenant::new(single_spec("t", 1));
+        let mut tenant = Tenant::new(single_spec("t", 1)).unwrap();
         let reply = tenant.decide().unwrap();
         let event = reply.feedback.unwrap();
         // Round 0 and rounds beyond the last decide were never served.
@@ -638,7 +711,7 @@ mod tests {
 
     #[test]
     fn snapshot_restore_resumes_identically() {
-        let mut original = Tenant::new(single_spec("t", 13).with_auto_feedback(true));
+        let mut original = Tenant::new(single_spec("t", 13).with_auto_feedback(true)).unwrap();
         for _ in 0..50 {
             original.decide().unwrap();
         }
@@ -672,7 +745,8 @@ mod tests {
                 21,
             )
             .with_auto_feedback(true),
-        );
+        )
+        .unwrap();
         for _ in 0..50 {
             let reply = tenant.decide().unwrap();
             match reply.decision {

@@ -13,7 +13,10 @@
 //!   expressions the golden traces pin).
 //! * [`regret`] — per-round regret traces (realised and pseudo), cumulative and
 //!   time-averaged views.
-//! * [`replicate`] — multi-replication averaging with crossbeam-based
+//! * [`spec`] — spec-driven entry points ([`run_spec`] / [`replicate_spec`])
+//!   that build `netband-spec` [`ScenarioSpec`](netband_spec::ScenarioSpec)
+//!   documents and drive them through the same runners bit-identically.
+//! * [`mod@replicate`] — multi-replication averaging with crossbeam-based
 //!   parallelism.
 //! * [`stats`] — means, deviations, confidence intervals, downsampling.
 //! * [`export`] — CSV and fixed-width table output.
@@ -49,6 +52,7 @@ pub mod export;
 pub mod regret;
 pub mod replicate;
 pub mod runner;
+pub mod spec;
 pub mod stats;
 pub mod step;
 pub mod sweep;
@@ -59,4 +63,5 @@ pub use runner::{
     run_combinatorial, run_single, run_single_coupled, CombinatorialScenario, RunResult,
     SingleScenario,
 };
+pub use spec::{replicate_spec, run_built, run_spec};
 pub use sweep::Sweep;

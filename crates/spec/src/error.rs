@@ -1,0 +1,169 @@
+//! Error type shared by the JSON codec and the build factories.
+
+use std::fmt;
+
+use netband_env::EnvError;
+
+/// Everything that can go wrong between a spec document and a runnable
+/// scenario: malformed JSON, schema violations (unknown fields, unknown enum
+/// variants, missing fields, unsupported versions), semantically invalid
+/// values, and environment construction failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpecError {
+    /// The document is not well-formed JSON.
+    Json {
+        /// Byte offset at which parsing failed.
+        offset: usize,
+        /// What the parser expected or found.
+        message: String,
+    },
+    /// A required field is absent.
+    MissingField {
+        /// The object being decoded (e.g. `"ScenarioSpec"`).
+        context: &'static str,
+        /// The absent field.
+        field: &'static str,
+    },
+    /// A field the schema does not define (specs are decoded strictly, so
+    /// typos never pass silently).
+    UnknownField {
+        /// The object being decoded.
+        context: &'static str,
+        /// The unrecognised key.
+        field: String,
+    },
+    /// A `"type"` tag (or bare enum string) that names no known variant.
+    UnknownVariant {
+        /// The enum being decoded (e.g. `"PolicySpec"`).
+        context: &'static str,
+        /// The unrecognised variant name.
+        variant: String,
+    },
+    /// The document's `version` is not one this build understands.
+    UnsupportedVersion {
+        /// The version the document declared.
+        found: u64,
+        /// The version this build supports.
+        supported: u64,
+    },
+    /// A field has the wrong JSON type or an out-of-domain value.
+    Invalid {
+        /// The object or field being decoded/built.
+        context: &'static str,
+        /// What is wrong with it.
+        message: String,
+    },
+    /// A combinatorial policy was requested for a workload that declares no
+    /// feasible strategy family.
+    MissingFamily {
+        /// The policy that needs the family.
+        policy: &'static str,
+    },
+    /// A policy that operates on an explicitly enumerated feasible set was
+    /// requested for a family too large to enumerate.
+    NotEnumerable {
+        /// The policy that needs the enumeration.
+        policy: &'static str,
+    },
+    /// The environment rejected the built instance.
+    Env(EnvError),
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::Json { offset, message } => {
+                write!(f, "malformed JSON at byte {offset}: {message}")
+            }
+            SpecError::MissingField { context, field } => {
+                write!(f, "{context}: missing required field {field:?}")
+            }
+            SpecError::UnknownField { context, field } => {
+                write!(f, "{context}: unknown field {field:?}")
+            }
+            SpecError::UnknownVariant { context, variant } => {
+                write!(f, "{context}: unknown variant {variant:?}")
+            }
+            SpecError::UnsupportedVersion { found, supported } => {
+                write!(
+                    f,
+                    "unsupported spec version {found} (this build supports version {supported})"
+                )
+            }
+            SpecError::Invalid { context, message } => write!(f, "{context}: {message}"),
+            SpecError::MissingFamily { policy } => {
+                write!(
+                    f,
+                    "policy {policy} is combinatorial but the workload declares no strategy family"
+                )
+            }
+            SpecError::NotEnumerable { policy } => {
+                write!(
+                    f,
+                    "policy {policy} needs an explicitly enumerated feasible set, but the family \
+                     exceeds the enumeration budget"
+                )
+            }
+            SpecError::Env(e) => write!(f, "environment error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl From<EnvError> for SpecError {
+    fn from(e: EnvError) -> Self {
+        SpecError::Env(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_their_context() {
+        let cases: Vec<(SpecError, &str)> = vec![
+            (
+                SpecError::Json {
+                    offset: 12,
+                    message: "expected ':'".into(),
+                },
+                "byte 12",
+            ),
+            (
+                SpecError::MissingField {
+                    context: "ScenarioSpec",
+                    field: "horizon",
+                },
+                "horizon",
+            ),
+            (
+                SpecError::UnknownField {
+                    context: "GraphSpec",
+                    field: "edge_porb".into(),
+                },
+                "edge_porb",
+            ),
+            (
+                SpecError::UnknownVariant {
+                    context: "PolicySpec",
+                    variant: "dfl_xyz".into(),
+                },
+                "dfl_xyz",
+            ),
+            (
+                SpecError::UnsupportedVersion {
+                    found: 9,
+                    supported: 1,
+                },
+                "version 9",
+            ),
+            (SpecError::MissingFamily { policy: "DFL-CSR" }, "DFL-CSR"),
+            (SpecError::NotEnumerable { policy: "DFL-CSO" }, "DFL-CSO"),
+        ];
+        for (err, needle) in cases {
+            assert!(err.to_string().contains(needle), "{err}");
+        }
+    }
+}

@@ -1,0 +1,574 @@
+//! A minimal JSON value, parser, and writer.
+//!
+//! The workspace vendors an API-subset `serde` shim whose derives are no-ops
+//! (see `vendor/README.md`), so spec documents are (de)serialised through this
+//! hand-rolled codec instead. It is deliberately small and strict:
+//!
+//! * numbers keep their **raw lexeme** (`Json::Number` stores the token
+//!   text), so `u64` seeds survive without passing through `f64`, and `f64`
+//!   values round-trip exactly (Rust's `{}` formatting emits the shortest
+//!   representation that re-parses to the same bits);
+//! * duplicate object keys are a parse error (a spec with two `seed` fields is
+//!   ambiguous, not "last one wins");
+//! * the writer emits UTF-8 with the mandatory escapes only.
+
+use std::fmt::Write as _;
+
+use crate::error::SpecError;
+
+/// A parsed JSON document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, stored as its raw (validated) lexeme.
+    Number(String),
+    /// A string (escapes already resolved).
+    String(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object; insertion order preserved, keys unique.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// A number node from a `u64` (exact).
+    pub fn from_u64(v: u64) -> Json {
+        Json::Number(v.to_string())
+    }
+
+    /// A number node from a finite `f64` (shortest round-trip lexeme).
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-finite input — specs never contain NaN/infinities.
+    pub fn from_f64(v: f64) -> Json {
+        assert!(v.is_finite(), "spec numbers must be finite, got {v}");
+        Json::Number(format!("{v}"))
+    }
+
+    /// The value as `u64`, if it is an integral number lexeme in range.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Number(lexeme) => lexeme.parse::<u64>().ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as `usize`, if it is an integral number lexeme in range.
+    pub fn as_usize(&self) -> Option<usize> {
+        match self {
+            Json::Number(lexeme) => lexeme.parse::<usize>().ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64`, if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Number(lexeme) => lexeme.parse::<f64>().ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as `&str`, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a slice of elements, if it is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value as key/value pairs, if it is an object.
+    pub fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// `true` for `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Json::Null)
+    }
+
+    /// Serialises the value to compact JSON text.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    /// Serialises the value to indented JSON text (2-space indent), for
+    /// checked-in documents and examples.
+    pub fn to_text_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write_pretty(&self, out: &mut String, depth: usize) {
+        const INDENT: &str = "  ";
+        match self {
+            Json::Array(items) if !items.is_empty() => {
+                // Scalar-only arrays stay on one line (e.g. an edge pair).
+                if items
+                    .iter()
+                    .all(|i| !matches!(i, Json::Object(_) | Json::Array(_)))
+                {
+                    self.write(out);
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    out.push_str(&INDENT.repeat(depth + 1));
+                    item.write_pretty(out, depth + 1);
+                }
+                out.push('\n');
+                out.push_str(&INDENT.repeat(depth));
+                out.push(']');
+            }
+            Json::Object(fields) if !fields.is_empty() => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    out.push_str(&INDENT.repeat(depth + 1));
+                    write_string(key, out);
+                    out.push_str(": ");
+                    value.write_pretty(out, depth + 1);
+                }
+                out.push('\n');
+                out.push_str(&INDENT.repeat(depth));
+                out.push('}');
+            }
+            other => other.write(out),
+        }
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Number(lexeme) => out.push_str(lexeme),
+            Json::String(s) => write_string(s, out),
+            Json::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Object(fields) => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(key, out);
+                    out.push(':');
+                    value.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parses a JSON document; trailing non-whitespace is an error.
+pub fn parse(text: &str) -> Result<Json, SpecError> {
+    let mut parser = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_whitespace();
+    let value = parser.value()?;
+    parser.skip_whitespace();
+    if parser.pos != parser.bytes.len() {
+        return Err(parser.error("trailing characters after the document"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, message: impl Into<String>) -> SpecError {
+        SpecError::Json {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), SpecError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {:?}", byte as char)))
+        }
+    }
+
+    fn expect_keyword(&mut self, keyword: &str) -> Result<(), SpecError> {
+        if self.bytes[self.pos..].starts_with(keyword.as_bytes()) {
+            self.pos += keyword.len();
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {keyword:?}")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, SpecError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::String(self.string()?)),
+            Some(b't') => self.expect_keyword("true").map(|_| Json::Bool(true)),
+            Some(b'f') => self.expect_keyword("false").map(|_| Json::Bool(false)),
+            Some(b'n') => self.expect_keyword("null").map(|_| Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(self.error(format!("unexpected character {:?}", c as char))),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, SpecError> {
+        self.expect(b'{')?;
+        let mut fields: Vec<(String, Json)> = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(fields));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.string()?;
+            if fields.iter().any(|(k, _)| k == &key) {
+                return Err(self.error(format!("duplicate object key {key:?}")));
+            }
+            self.skip_whitespace();
+            self.expect(b':')?;
+            self.skip_whitespace();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(fields));
+                }
+                _ => return Err(self.error("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, SpecError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            self.skip_whitespace();
+            items.push(self.value()?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(self.error("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, SpecError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{08}'),
+                        Some(b'f') => out.push('\u{0C}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let first = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&first) {
+                                // High surrogate: a \uXXXX low surrogate must follow.
+                                self.pos += 1; // consume the final hex digit position
+                                self.expect_keyword("\\u")
+                                    .map_err(|_| self.error("expected low surrogate"))?;
+                                let low = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&low) {
+                                    return Err(self.error("invalid low surrogate"));
+                                }
+                                let code = 0x10000 + ((first - 0xD800) << 10) + (low - 0xDC00);
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.error("invalid surrogate pair"))?
+                            } else {
+                                char::from_u32(first)
+                                    .ok_or_else(|| self.error("invalid \\u escape"))?
+                            };
+                            out.push(c);
+                        }
+                        _ => return Err(self.error("invalid escape sequence")),
+                    }
+                    // `hex4` leaves `pos` on its last digit; single-char
+                    // escapes leave it on the escape letter. Advance past it.
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 encoded char.
+                    let rest = &self.bytes[self.pos..];
+                    let text = std::str::from_utf8(rest)
+                        .map_err(|_| self.error("invalid UTF-8 in string"))?;
+                    let c = text.chars().next().expect("non-empty by peek");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    /// Reads 4 hex digits starting at `pos` (the first digit); leaves `pos` on
+    /// the **last** digit so the caller's uniform `pos += 1` steps past it.
+    fn hex4(&mut self) -> Result<u32, SpecError> {
+        let mut value = 0u32;
+        for i in 0..4 {
+            let digit = self
+                .bytes
+                .get(self.pos + i)
+                .and_then(|b| (*b as char).to_digit(16))
+                .ok_or_else(|| self.error("expected 4 hex digits in \\u escape"))?;
+            value = value * 16 + digit;
+        }
+        self.pos += 3;
+        Ok(value)
+    }
+
+    fn number(&mut self) -> Result<Json, SpecError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let digits_start = self.pos;
+        while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.pos == digits_start {
+            return Err(self.error("expected digits"));
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            let frac_start = self.pos;
+            while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+            if self.pos == frac_start {
+                return Err(self.error("expected digits after '.'"));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            let exp_start = self.pos;
+            while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+            if self.pos == exp_start {
+                return Err(self.error("expected digits in exponent"));
+            }
+        }
+        let lexeme = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("number lexemes are ASCII")
+            .to_owned();
+        // Every lexeme must parse to a *finite* f64: Rust parses exponent
+        // overflow like `1e400` to infinity (not an error), and a non-finite
+        // value would violate the writer's finiteness contract downstream.
+        match lexeme.parse::<f64>() {
+            Ok(v) if v.is_finite() => Ok(Json::Number(lexeme)),
+            _ => Err(self.error(format!("invalid or non-finite number {lexeme:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(parse("null").unwrap(), Json::Null);
+        assert_eq!(parse("true").unwrap(), Json::Bool(true));
+        assert_eq!(parse("false").unwrap(), Json::Bool(false));
+        assert_eq!(parse(" 42 ").unwrap().as_u64(), Some(42));
+        assert_eq!(parse("-1.5e3").unwrap().as_f64(), Some(-1500.0));
+        assert_eq!(parse("\"hi\"").unwrap().as_str(), Some("hi"));
+    }
+
+    #[test]
+    fn parses_nested_structures() {
+        let doc = parse(r#"{"a": [1, 2, {"b": null}], "c": "x"}"#).unwrap();
+        let fields = doc.as_object().unwrap();
+        assert_eq!(fields.len(), 2);
+        let items = fields[0].1.as_array().unwrap();
+        assert_eq!(items.len(), 3);
+        assert!(items[2].as_object().unwrap()[0].1.is_null());
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "tru",
+            "{\"a\" 1}",
+            "{\"a\":1,}",
+            "[1 2]",
+            "01x",
+            "\"\\q\"",
+            "{\"a\":1} extra",
+            "nan",
+            "1.",
+            "1e",
+        ] {
+            assert!(parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    /// Exponent overflow parses to infinity in Rust, which would crash the
+    /// writer's finiteness assert later; the decoder rejects it up front.
+    #[test]
+    fn rejects_non_finite_numbers() {
+        for bad in ["1e400", "-1e999", "1e308001"] {
+            let err = parse(bad).unwrap_err();
+            assert!(err.to_string().contains("non-finite"), "{bad}: {err}");
+        }
+        // The largest finite values still pass.
+        assert_eq!(
+            parse("1.7976931348623157e308").unwrap().as_f64(),
+            Some(f64::MAX)
+        );
+    }
+
+    #[test]
+    fn rejects_duplicate_keys() {
+        let err = parse(r#"{"seed": 1, "seed": 2}"#).unwrap_err();
+        assert!(err.to_string().contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let original = "a\"b\\c\nd\te\u{08}\u{0C}\r π \u{1}";
+        let text = Json::String(original.to_owned()).to_text();
+        assert_eq!(parse(&text).unwrap().as_str(), Some(original));
+    }
+
+    #[test]
+    fn unicode_escapes_decode() {
+        assert_eq!(parse(r#""\u00e9""#).unwrap().as_str(), Some("é"));
+        // Surrogate pair: U+1F600.
+        assert_eq!(parse(r#""\ud83d\ude00""#).unwrap().as_str(), Some("😀"));
+        assert!(parse(r#""\ud83d""#).is_err(), "lone high surrogate");
+    }
+
+    #[test]
+    fn u64_seeds_survive_exactly() {
+        let seed = u64::MAX - 7;
+        let text = Json::from_u64(seed).to_text();
+        assert_eq!(parse(&text).unwrap().as_u64(), Some(seed));
+    }
+
+    #[test]
+    fn f64_values_round_trip_bit_exactly() {
+        for v in [0.35, 1.0 / 3.0, 1e-308, 123456.789e12, 0.1 + 0.2] {
+            let text = Json::from_f64(v).to_text();
+            let back = parse(&text).unwrap().as_f64().unwrap();
+            assert_eq!(back.to_bits(), v.to_bits(), "{v} -> {text}");
+        }
+    }
+
+    #[test]
+    fn writer_output_reparses() {
+        let doc = Json::Object(vec![
+            ("k".into(), Json::Array(vec![Json::Null, Json::Bool(true)])),
+            ("n".into(), Json::from_f64(0.25)),
+            ("s".into(), Json::String("v\"w".into())),
+        ]);
+        assert_eq!(parse(&doc.to_text()).unwrap(), doc);
+    }
+}

@@ -1,0 +1,169 @@
+//! [`AnyPolicy`] — one value type over both policy traits.
+//!
+//! The workspace has two policy traits ([`SinglePlayPolicy`] for SSO/SSR and
+//! [`CombinatorialPolicy`] for CSO/CSR); spec documents must be able to name
+//! any of them. `AnyPolicy` is the unified build product: a clone-able boxed
+//! policy tagged by play mode, which the simulation runners and the serving
+//! engine dispatch on.
+
+use std::fmt;
+
+use netband_core::{
+    CombinatorialPolicy, DynCombinatorialPolicy, DynSinglePolicy, SinglePlayPolicy,
+};
+
+/// A built policy of either play mode.
+///
+/// Produced by [`PolicySpec::build`](crate::PolicySpec::build); consumed by
+/// `netband_sim::run_built` and `netband_serve`'s spec-driven tenant
+/// registration. Cloning clones the policy's learned state.
+pub enum AnyPolicy {
+    /// A single-play policy (pulls one arm per time slot).
+    Single(Box<dyn DynSinglePolicy>),
+    /// A combinatorial policy (pulls a feasible super-arm per time slot).
+    Combinatorial(Box<dyn DynCombinatorialPolicy>),
+}
+
+impl AnyPolicy {
+    /// Wraps a concrete single-play policy.
+    pub fn single(policy: impl SinglePlayPolicy + Clone + 'static) -> Self {
+        AnyPolicy::Single(Box::new(policy))
+    }
+
+    /// Wraps a concrete combinatorial policy.
+    pub fn combinatorial(policy: impl CombinatorialPolicy + Clone + 'static) -> Self {
+        AnyPolicy::Combinatorial(Box::new(policy))
+    }
+
+    /// The policy's report name (e.g. `"DFL-SSO"`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            AnyPolicy::Single(p) => p.name(),
+            AnyPolicy::Combinatorial(p) => p.name(),
+        }
+    }
+
+    /// `true` when the policy pulls one arm per slot.
+    pub fn is_single(&self) -> bool {
+        matches!(self, AnyPolicy::Single(_))
+    }
+
+    /// Resets the policy to its initial state.
+    pub fn reset(&mut self) {
+        match self {
+            AnyPolicy::Single(p) => p.reset(),
+            AnyPolicy::Combinatorial(p) => p.reset(),
+        }
+    }
+
+    /// The policy as a single-play trait object, if it is one.
+    ///
+    /// The returned reference is the boxed policy itself (boxes forward the
+    /// trait), so it can slot straight into `run_single_coupled`-style drivers.
+    pub fn as_single_mut(&mut self) -> Option<&mut dyn SinglePlayPolicy> {
+        match self {
+            AnyPolicy::Single(p) => Some(p),
+            AnyPolicy::Combinatorial(_) => None,
+        }
+    }
+
+    /// The policy as a combinatorial trait object, if it is one.
+    pub fn as_combinatorial_mut(&mut self) -> Option<&mut dyn CombinatorialPolicy> {
+        match self {
+            AnyPolicy::Single(_) => None,
+            AnyPolicy::Combinatorial(p) => Some(p),
+        }
+    }
+
+    /// Unwraps into the boxed single-play policy, if it is one.
+    pub fn into_single(self) -> Option<Box<dyn DynSinglePolicy>> {
+        match self {
+            AnyPolicy::Single(p) => Some(p),
+            AnyPolicy::Combinatorial(_) => None,
+        }
+    }
+
+    /// Unwraps into the boxed combinatorial policy, if it is one.
+    pub fn into_combinatorial(self) -> Option<Box<dyn DynCombinatorialPolicy>> {
+        match self {
+            AnyPolicy::Single(_) => None,
+            AnyPolicy::Combinatorial(p) => Some(p),
+        }
+    }
+}
+
+impl Clone for AnyPolicy {
+    fn clone(&self) -> Self {
+        match self {
+            AnyPolicy::Single(p) => AnyPolicy::Single(p.clone_box()),
+            AnyPolicy::Combinatorial(p) => AnyPolicy::Combinatorial(p.clone_box()),
+        }
+    }
+}
+
+/// `Debug` shows the play mode and report name; policy internals are opaque.
+impl fmt::Debug for AnyPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnyPolicy::Single(p) => write!(f, "AnyPolicy::Single({})", p.name()),
+            AnyPolicy::Combinatorial(p) => {
+                write!(f, "AnyPolicy::Combinatorial({})", p.name())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netband_baselines::{Moss, RandomCombinatorial};
+
+    #[test]
+    fn single_accessors_dispatch() {
+        let mut any = AnyPolicy::single(Moss::new(4));
+        assert!(any.is_single());
+        assert_eq!(any.name(), "MOSS");
+        assert!(any.as_combinatorial_mut().is_none());
+        let policy = any.as_single_mut().expect("single");
+        let first = policy.select_arm(1);
+        assert!(first < 4);
+        // Reset restores the initial state: the first decision repeats.
+        any.reset();
+        assert_eq!(any.as_single_mut().unwrap().select_arm(1), first);
+        assert!(any.clone().into_single().is_some());
+    }
+
+    #[test]
+    fn combinatorial_accessors_dispatch() {
+        let strategies = vec![vec![0], vec![1, 2]];
+        let mut any = AnyPolicy::combinatorial(RandomCombinatorial::new(strategies, 7));
+        assert!(!any.is_single());
+        assert!(any.as_single_mut().is_none());
+        let s = any.as_combinatorial_mut().unwrap().select_strategy(1);
+        assert!(s == vec![0] || s == vec![1, 2]);
+        assert!(any.clone().into_combinatorial().is_some());
+        assert!(any.into_single().is_none());
+    }
+
+    #[test]
+    fn clone_copies_learned_state() {
+        let mut original = AnyPolicy::single(Moss::new(3));
+        let p = original.as_single_mut().unwrap();
+        let arm = p.select_arm(1);
+        p.update(
+            1,
+            &netband_env::SinglePlayFeedback {
+                arm,
+                direct_reward: 1.0,
+                side_reward: 1.0,
+                observations: vec![(arm, 1.0)],
+            },
+        );
+        let mut cloned = original.clone();
+        // Both continue identically from the same state.
+        assert_eq!(
+            original.as_single_mut().unwrap().select_arm(2),
+            cloned.as_single_mut().unwrap().select_arm(2)
+        );
+    }
+}

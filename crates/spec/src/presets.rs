@@ -1,0 +1,217 @@
+//! Named [`ScenarioSpec`] constructors for the applications the paper's
+//! introduction motivates.
+//!
+//! These are the declarative counterparts of the hand-written workload
+//! presets in `netband_env::workloads`: for equal parameters and seed, a
+//! preset spec's built environment is **bit-identical** to the corresponding
+//! `workloads::*` constructor driven by `StdRng::seed_from_u64(seed)` (both
+//! draw the graph first, then the arm bank, from one stream). The spec adds
+//! what the env preset cannot express — the policy, the scenario, and the
+//! run schedule — and each constructor picks the policy the paper pairs with
+//! the application. Every field of the returned spec is public: adjust
+//! `horizon`, `seed`, `policy`, etc. freely before building.
+
+use crate::model::{
+    ArmsSpec, FamilySpec, FeedbackSpec, GraphSpec, PolicySpec, ScenarioSpec, SideBonus,
+    WorkloadSpec, SPEC_VERSION,
+};
+
+/// Paper-scale defaults shared by the presets: the Section VII horizon of
+/// 10 000 slots and 20 replications.
+fn scenario(
+    name: String,
+    workload: WorkloadSpec,
+    policy: PolicySpec,
+    side_bonus: SideBonus,
+    seed: u64,
+) -> ScenarioSpec {
+    ScenarioSpec {
+        version: SPEC_VERSION,
+        name,
+        workload,
+        policy,
+        side_bonus,
+        horizon: 10_000,
+        replications: 20,
+        seed,
+        feedback: FeedbackSpec::Immediate,
+    }
+}
+
+/// The paper's Section VII workload: `G(K, p)` relation graph, Bernoulli arms
+/// with uniform means, DFL-SSO (Algorithm 1) under side observation.
+pub fn paper_simulation(num_arms: usize, edge_prob: f64, seed: u64) -> ScenarioSpec {
+    scenario(
+        format!("paper-simulation (K={num_arms}, p={edge_prob})"),
+        WorkloadSpec {
+            graph: GraphSpec::ErdosRenyi {
+                num_arms,
+                edge_prob,
+            },
+            arms: ArmsSpec::UniformMeanBernoulli { num_arms },
+            family: None,
+            seed,
+        },
+        PolicySpec::DflSso,
+        SideBonus::Observation,
+        seed,
+    )
+}
+
+/// Online advertising (Section I): place up to `slots` ads per round on a
+/// preferential-attachment audience graph with Beta click-through rates;
+/// DFL-CSO (Algorithm 2) under combinatorial side observation.
+pub fn online_advertising(num_ads: usize, slots: usize, seed: u64) -> ScenarioSpec {
+    scenario(
+        format!("online-advertising (ads={num_ads}, slots={slots})"),
+        WorkloadSpec {
+            graph: GraphSpec::PreferentialAttachment {
+                num_arms: num_ads,
+                edges_per_node: 2,
+            },
+            // Click-through rates: mean ≈ 0.15 with a heavy right tail — the
+            // same construction as `workloads::online_advertising`.
+            arms: ArmsSpec::ClickThroughBeta {
+                num_arms: num_ads,
+                floor: 0.02,
+                spread: 0.3,
+                concentration: 10.0,
+            },
+            family: Some(FamilySpec::AtMostM { m: slots }),
+            seed,
+        },
+        PolicySpec::DflCso,
+        SideBonus::Observation,
+        seed,
+    )
+}
+
+/// Social promotion (Section I): promote to one user per round in a
+/// community-structured social network, collecting the whole friend
+/// neighbourhood's purchases; DFL-SSR (Algorithm 3) under side reward.
+pub fn social_promotion(num_users: usize, communities: usize, seed: u64) -> ScenarioSpec {
+    scenario(
+        format!("social-promotion (users={num_users}, communities={communities})"),
+        WorkloadSpec {
+            graph: GraphSpec::PlantedPartition {
+                num_arms: num_users,
+                communities: communities.max(1),
+                p_in: 0.3,
+                p_out: 0.02,
+            },
+            arms: ArmsSpec::UniformMeanBernoulli {
+                num_arms: num_users,
+            },
+            family: None,
+            seed,
+        },
+        PolicySpec::DflSsr,
+        SideBonus::Reward,
+        seed,
+    )
+}
+
+/// Opportunistic channel access (Section I): transmit on up to `max_channels`
+/// mutually non-interfering channels of a random-geometric interference
+/// graph; DFL-CSR (Algorithm 4) under combinatorial side reward.
+pub fn channel_access(
+    num_channels: usize,
+    max_channels: usize,
+    interference_radius: f64,
+    seed: u64,
+) -> ScenarioSpec {
+    scenario(
+        format!(
+            "channel-access (channels={num_channels}, max={max_channels}, \
+             r={interference_radius})"
+        ),
+        WorkloadSpec {
+            graph: GraphSpec::RandomGeometric {
+                num_arms: num_channels,
+                radius: interference_radius,
+            },
+            arms: ArmsSpec::UniformMeanBernoulli {
+                num_arms: num_channels,
+            },
+            family: Some(FamilySpec::IndependentSets {
+                max_size: max_channels,
+            }),
+            seed,
+        },
+        PolicySpec::DflCsr,
+        SideBonus::Reward,
+        seed,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netband_env::workloads;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Every preset spec builds the *same environment* (graph, arm
+    /// distributions, family) as the corresponding hand-written env preset.
+    #[test]
+    fn preset_specs_match_the_env_presets_bit_for_bit() {
+        for seed in [1u64, 11, 42] {
+            let spec = paper_simulation(20, 0.3, seed).workload.build().unwrap();
+            let env = workloads::paper_simulation(20, 0.3, &mut StdRng::seed_from_u64(seed));
+            assert_eq!(spec.bandit, env.bandit, "paper_simulation seed {seed}");
+            assert_eq!(spec.family, env.family);
+
+            let spec = online_advertising(18, 3, seed).workload.build().unwrap();
+            let env = workloads::online_advertising(18, 3, &mut StdRng::seed_from_u64(seed));
+            assert_eq!(spec.bandit, env.bandit, "online_advertising seed {seed}");
+            assert_eq!(spec.family, env.family);
+
+            let spec = social_promotion(24, 3, seed).workload.build().unwrap();
+            let env = workloads::social_promotion(24, 3, &mut StdRng::seed_from_u64(seed));
+            assert_eq!(spec.bandit, env.bandit, "social_promotion seed {seed}");
+            assert_eq!(spec.family, env.family);
+
+            let spec = channel_access(20, 3, 0.3, seed).workload.build().unwrap();
+            let env = workloads::channel_access(20, 3, 0.3, &mut StdRng::seed_from_u64(seed));
+            assert_eq!(spec.bandit, env.bandit, "channel_access seed {seed}");
+            assert_eq!(spec.family, env.family);
+        }
+    }
+
+    /// Every preset builds end-to-end: environment, family, and its default
+    /// policy.
+    #[test]
+    fn presets_build_their_default_policies() {
+        let cases = vec![
+            (paper_simulation(15, 0.3, 5), "DFL-SSO", false),
+            (online_advertising(12, 3, 5), "DFL-CSO", true),
+            (social_promotion(16, 4, 5), "DFL-SSR", false),
+            (channel_access(14, 3, 0.35, 5), "DFL-CSR", true),
+        ];
+        for (spec, expected_policy, combinatorial) in cases {
+            spec.validate().expect("preset validates");
+            let built = spec
+                .build()
+                .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+            assert_eq!(built.policy.name(), expected_policy, "{}", spec.name);
+            assert_eq!(built.family.is_some(), combinatorial, "{}", spec.name);
+            assert_eq!(built.horizon, 10_000);
+        }
+    }
+
+    /// Presets round-trip through JSON unchanged.
+    #[test]
+    fn presets_round_trip_through_json() {
+        for spec in [
+            paper_simulation(10, 0.3, 1),
+            online_advertising(10, 2, 2),
+            social_promotion(12, 3, 3),
+            channel_access(10, 2, 0.3, 4),
+        ] {
+            let text = spec.to_json_text();
+            let back = ScenarioSpec::from_json_text(&text)
+                .unwrap_or_else(|e| panic!("{}: {e}\n{text}", spec.name));
+            assert_eq!(back, spec);
+        }
+    }
+}

@@ -24,7 +24,10 @@ fn main() -> Result<(), netband::env::EnvError> {
     // 16 channels, transmit on at most 2 non-interfering ones per slot.
     let workload = workloads::channel_access(16, 2, 0.35, &mut rng);
     let bandit = &workload.bandit;
-    let family = workload.family().clone();
+    let family = workload
+        .try_family()
+        .expect("combinatorial workload")
+        .clone();
     let strategies = family
         .enumerate(bandit.graph())
         .expect("16 channels with pairs stay enumerable");

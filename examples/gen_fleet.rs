@@ -1,0 +1,45 @@
+//! Regenerates `examples/fleet.json`, the checked-in fleet document that
+//! `examples/live_service.rs` boots from.
+//!
+//! The fleet rotates through the four workload presets (paper simulation,
+//! social promotion, online advertising, channel access), each hosted with
+//! the policy the paper pairs with the application and a batched
+//! delayed-feedback flush schedule — the declarative equivalent of the
+//! hand-constructed tenants the live service used to build in code.
+//!
+//! Run with: `cargo run --example gen_fleet` (writes the file in place).
+
+use netband::spec::{presets, FeedbackSpec, FleetSpec, FleetTenant, SPEC_VERSION};
+
+const TENANTS: usize = 16;
+
+fn main() {
+    let mut tenants = Vec::with_capacity(TENANTS);
+    for index in 0..TENANTS {
+        let workload_seed = 300 + index as u64;
+        let run_seed = 7_000 + index as u64;
+        let mut scenario = match index % 4 {
+            0 => presets::paper_simulation(12, 0.35, workload_seed),
+            1 => presets::social_promotion(16, 3, workload_seed),
+            2 => presets::online_advertising(12, 3, workload_seed),
+            _ => presets::channel_access(12, 3, 0.35, workload_seed),
+        };
+        scenario.seed = run_seed;
+        scenario.horizon = 150;
+        scenario.replications = 1;
+        scenario.feedback = FeedbackSpec::Batched { max_pending: 32 };
+        tenants.push(FleetTenant {
+            id: format!("exp-{index:02}"),
+            scenario,
+        });
+    }
+    let fleet = FleetSpec {
+        version: SPEC_VERSION,
+        name: "live-service demo fleet (4 presets x 4 instances)".into(),
+        tenants,
+    };
+    fleet.validate().expect("generated fleet is valid");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/examples/fleet.json");
+    std::fs::write(path, fleet.to_json_pretty()).expect("write fleet.json");
+    println!("wrote {} ({} tenants)", path, TENANTS);
+}

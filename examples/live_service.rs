@@ -1,80 +1,42 @@
-//! Live service: a sharded engine hosting 64 experiments under concurrent
-//! client traffic with delayed, out-of-order feedback.
+//! Live service: a sharded engine booted from a **declarative fleet spec**,
+//! serving concurrent client traffic with delayed, out-of-order feedback.
 //!
-//! This is the serving-side counterpart of the batch examples: instead of
-//! simulating one policy over a horizon, a [`ServeEngine`] hosts 64 tenants —
-//! single-play and combinatorial experiments drawn from the four workload
-//! presets — across 4 shards, while 8 client threads request decisions and
-//! return the observed rewards late, in batches, and in reverse round order.
-//! At the end one tenant is checkpointed, moved to a brand-new engine, and
-//! resumed, and the engine's metrics report is printed.
+//! The whole multi-tenant fleet — 16 experiments rotating through the four
+//! workload presets, each with its policy, seeds, and flush schedule — is
+//! declared in the checked-in JSON document `examples/fleet.json`
+//! (regenerate it with `cargo run --example gen_fleet`). This example parses
+//! that document into a [`FleetSpec`], boots a 4-shard [`ServeEngine`] from
+//! it with one `register_fleet` call, and then drives every tenant from 8
+//! client threads that deliver feedback late, in batches, and in reverse
+//! round order. At the end one tenant is checkpointed, moved to a brand-new
+//! engine, and resumed, and the engine's metrics report is printed.
 //!
 //! Run with: `cargo run --release --example live_service`
+//! (`NETBAND_QUICK=1` shrinks the round count for smoke runs.)
 
-use netband::env::workloads;
 use netband::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
-const TENANTS: usize = 64;
 const CLIENTS: usize = 8;
-const ROUNDS: usize = 150;
 /// Feedback is withheld client-side in windows of this many rounds, then
 /// delivered in reverse order — the delayed/out-of-order regime.
 const FEEDBACK_WINDOW: usize = 25;
 
-/// Builds tenant `index`: the four workload presets in rotation, single-play
-/// presets hosted with DFL-SSO/SSR, combinatorial ones with DFL-CSR.
-fn tenant_spec(index: usize) -> TenantSpec {
-    let id = format!("exp-{index:02}");
-    let seed = 7000 + index as u64;
-    let mut rng = StdRng::seed_from_u64(300 + index as u64);
-    match index % 4 {
-        0 => {
-            let w = workloads::paper_simulation(12, 0.35, &mut rng);
-            let policy = DflSso::new(w.bandit.graph().clone());
-            TenantSpec::single(id, w.bandit, policy, SingleScenario::SideObservation, seed)
-        }
-        1 => {
-            let w = workloads::social_promotion(16, 3, &mut rng);
-            let policy = DflSsr::new(w.bandit.graph().clone());
-            TenantSpec::single(id, w.bandit, policy, SingleScenario::SideReward, seed)
-        }
-        2 => {
-            let w = workloads::online_advertising(12, 3, &mut rng);
-            let family = w.family().clone();
-            let policy = DflCsr::new(w.bandit.graph().clone(), family.clone());
-            TenantSpec::combinatorial(
-                id,
-                w.bandit,
-                policy,
-                family,
-                CombinatorialScenario::SideObservation,
-                seed,
-            )
-        }
-        _ => {
-            let w = workloads::channel_access(12, 3, 0.35, &mut rng);
-            let family = w.family().clone();
-            let policy = DflCsr::new(w.bandit.graph().clone(), family.clone());
-            TenantSpec::combinatorial(
-                id,
-                w.bandit,
-                policy,
-                family,
-                CombinatorialScenario::SideReward,
-                seed,
-            )
-        }
+fn rounds() -> usize {
+    if std::env::var("NETBAND_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+    {
+        30
+    } else {
+        150
     }
-    .with_flush(FlushPolicy::batched(32))
 }
 
 /// One client session against one tenant: decide every round, hold the
 /// revealed feedback in a window, deliver each window in reverse round order.
-fn drive(engine: &ServeEngine, tenant: &str) {
+fn drive(engine: &ServeEngine, tenant: &str, rounds: usize) {
     let mut held = Vec::with_capacity(FEEDBACK_WINDOW);
-    for _ in 0..ROUNDS {
+    for _ in 0..rounds {
         let reply = engine.decide(tenant).expect("decide");
         held.push((reply.round, reply.feedback.expect("echoed feedback")));
         if held.len() >= FEEDBACK_WINDOW {
@@ -89,23 +51,33 @@ fn drive(engine: &ServeEngine, tenant: &str) {
 }
 
 fn main() {
+    let rounds = rounds();
+
+    // The fleet is data: one JSON document declares every tenant's workload,
+    // policy, seeds, and flush schedule.
+    let fleet_path = concat!(env!("CARGO_MANIFEST_DIR"), "/examples/fleet.json");
+    let text = std::fs::read_to_string(fleet_path).expect("read examples/fleet.json");
+    let fleet = FleetSpec::from_json_text(&text).expect("parse fleet spec");
+    let tenant_ids: Vec<String> = fleet.tenants.iter().map(|t| t.id.clone()).collect();
+
     let engine = ServeEngine::start(EngineConfig::new(4).with_queue_capacity(128));
-    for index in 0..TENANTS {
-        engine.create_tenant(tenant_spec(index)).expect("create");
-    }
+    engine.register_fleet(&fleet).expect("register fleet");
     println!(
-        "engine up: {} shards, {TENANTS} tenants, {CLIENTS} client threads, \
-         {ROUNDS} rounds each (feedback delayed in windows of {FEEDBACK_WINDOW})",
-        engine.num_shards()
+        "booted {:?} from {fleet_path}:\n  {} shards, {} tenants, {CLIENTS} client threads, \
+         {rounds} rounds each (feedback delayed in windows of {FEEDBACK_WINDOW})",
+        fleet.name,
+        engine.num_shards(),
+        tenant_ids.len(),
     );
 
     let start = std::time::Instant::now();
     std::thread::scope(|scope| {
         for client in 0..CLIENTS {
             let engine = &engine;
+            let ids = &tenant_ids;
             scope.spawn(move || {
-                for index in (client..TENANTS).step_by(CLIENTS) {
-                    drive(engine, &format!("exp-{index:02}"));
+                for id in ids.iter().skip(client).step_by(CLIENTS) {
+                    drive(engine, id, rounds);
                 }
             });
         }
@@ -128,9 +100,9 @@ fn main() {
         );
     }
 
-    // A few per-tenant rows: time-averaged regret after ROUNDS rounds.
+    // A few per-tenant rows: time-averaged regret after the served rounds.
     println!("\nsample of hosted experiments:");
-    for (id, metrics) in report.tenants.iter().step_by(17) {
+    for (id, metrics) in report.tenants.iter().step_by(5) {
         let snapshot = engine.snapshot_tenant(id).expect("snapshot");
         let result = snapshot.run_result();
         println!(
@@ -143,15 +115,16 @@ fn main() {
     }
 
     // Checkpoint one tenant, move it to a fresh engine, resume it there.
-    let snapshot = engine.evict_tenant("exp-00").expect("evict");
+    let first = tenant_ids.first().expect("non-empty fleet").clone();
+    let snapshot = engine.evict_tenant(&first).expect("evict");
     engine.shutdown();
     let second = ServeEngine::with_shards(1);
     second.restore_tenant(snapshot).expect("restore");
-    drive(&second, "exp-00");
+    drive(&second, &first, rounds);
     second.drain().expect("drain");
-    let resumed = second.evict_tenant("exp-00").expect("evict");
+    let resumed = second.evict_tenant(&first).expect("evict");
     println!(
-        "\nexp-00 checkpointed at round {ROUNDS}, restored on a fresh engine, now at round {} \
+        "\n{first} checkpointed at round {rounds}, restored on a fresh engine, now at round {} \
          (avg regret {:.3})",
         resumed.round(),
         resumed.run_result().average_regret()

@@ -16,7 +16,7 @@
 //!
 //! * [`graph`] — relation graphs, generators, clique covers, strategy relation
 //!   graphs (`netband-graph`).
-//! * [`env`] — reward distributions, arm sets, the networked environment and
+//! * [`mod@env`] — reward distributions, arm sets, the networked environment and
 //!   the combinatorial oracles (`netband-env`).
 //! * [`core`] — the four DFL policies, the policy traits, and the Theorem 1–4
 //!   bounds (`netband-core`).
@@ -24,6 +24,8 @@
 //!   CUCB, LLR and friends (`netband-baselines`).
 //! * [`sim`] — the simulation engine: runners, regret traces, replication,
 //!   statistics and export (`netband-sim`).
+//! * [`spec`] — the declarative ScenarioSpec API: typed, versioned, JSON-
+//!   serializable scenario documents with build factories (`netband-spec`).
 //! * [`serve`] — the sharded multi-tenant serving engine with batched
 //!   delayed-feedback ingestion (`netband-serve`).
 //! * [`experiments`] — the harness that regenerates every figure of the paper's
@@ -62,6 +64,7 @@ pub use netband_experiments as experiments;
 pub use netband_graph as graph;
 pub use netband_serve as serve;
 pub use netband_sim as sim;
+pub use netband_spec as spec;
 
 /// One-stop import for examples and downstream applications.
 pub mod prelude {
@@ -80,10 +83,14 @@ pub mod prelude {
     };
     pub use netband_serve::{
         DecideReply, Decision, EngineConfig, FeedbackEvent, FlushPolicy, MetricsReport,
-        ServeEngine, ServeError, TenantSnapshot, TenantSpec,
+        RegisterTenantSpec, ServeEngine, ServeError, TenantSnapshot, TenantSpec,
     };
     pub use netband_sim::{
-        replicate, run_combinatorial, run_single, run_single_coupled, AveragedRun,
-        CombinatorialScenario, ReplicationConfig, RunResult, SingleScenario,
+        replicate, replicate_spec, run_built, run_combinatorial, run_single, run_single_coupled,
+        run_spec, AveragedRun, CombinatorialScenario, ReplicationConfig, RunResult, SingleScenario,
+    };
+    pub use netband_spec::{
+        AnyPolicy, ArmsSpec, FamilySpec, FeedbackSpec, FleetSpec, FleetTenant, GraphSpec,
+        PolicySpec, ScenarioSpec, SideBonus, SpecError, WorkloadSpec, SPEC_VERSION,
     };
 }

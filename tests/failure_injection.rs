@@ -146,7 +146,7 @@ fn workload_presets_run_end_to_end() {
     assert_eq!(result.trace.len(), 500);
 
     let ads = netband::env::workloads::online_advertising(20, 2, &mut rng);
-    let family = ads.family().clone();
+    let family = ads.try_family().expect("combinatorial workload").clone();
     let mut policy = DflCsr::new(ads.bandit.graph().clone(), family.clone());
     let result = run_combinatorial(
         &ads.bandit,
@@ -160,7 +160,7 @@ fn workload_presets_run_end_to_end() {
     assert!(result.total_reward > 0.0);
 
     let radio = netband::env::workloads::channel_access(12, 2, 0.3, &mut rng);
-    let family = radio.family().clone();
+    let family = radio.try_family().expect("combinatorial workload").clone();
     let strategies = family.enumerate(radio.bandit.graph()).unwrap();
     let mut policy = DflCso::from_strategies(radio.bandit.graph(), strategies);
     let result = run_combinatorial(

@@ -211,7 +211,7 @@ pub mod collection {
         }
     }
 
-    /// Strategy returned by [`vec`].
+    /// Strategy returned by [`fn@vec`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,
