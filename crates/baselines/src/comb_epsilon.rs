@@ -12,7 +12,7 @@ use rand::{Rng, SeedableRng};
 use netband_core::estimator::RunningMean;
 use netband_core::CombinatorialPolicy;
 use netband_env::feasible::FeasibleSet;
-use netband_env::{CombinatorialFeedback, StrategyFamily};
+use netband_env::{CombinatorialFeedback, StrategyBank, StrategyFamily};
 use netband_graph::RelationGraph;
 
 use crate::ArmId;
@@ -23,9 +23,10 @@ pub struct CombEpsilonGreedy {
     graph: RelationGraph,
     family: StrategyFamily,
     estimates: Vec<RunningMean>,
-    /// Enumerated feasible set used for uniform exploration (falls back to the
-    /// oracle on random weights if the family is too large to enumerate).
-    enumerated: Option<Vec<Vec<ArmId>>>,
+    /// Enumerated feasible set (flat bank rows) used for uniform exploration
+    /// (falls back to the oracle on random weights if the family is too large
+    /// to enumerate).
+    enumerated: Option<StrategyBank>,
     schedule_c: f64,
     rng: StdRng,
     seed: u64,
@@ -63,7 +64,7 @@ impl CombEpsilonGreedy {
                 return None;
             }
             let idx = self.rng.gen_range(0..enumerated.len());
-            return Some(enumerated[idx].clone());
+            return Some(enumerated.row(idx).to_vec());
         }
         // Un-enumerable family: perturb with random weights and ask the oracle,
         // which still yields a feasible (if not uniform) exploratory strategy.

@@ -10,13 +10,16 @@
 use netband_core::estimator::{moss_index, RunningMean};
 use netband_core::CombinatorialPolicy;
 use netband_env::CombinatorialFeedback;
+use netband_graph::StrategyBank;
 
 use crate::ArmId;
 
 /// MOSS over an explicitly enumerated feasible set, one estimator per com-arm.
+/// The feasible set is held as flat [`StrategyBank`] rows, so the per-round
+/// index argmax walks contiguous memory.
 #[derive(Debug, Clone)]
 pub struct NaiveComArmMoss {
-    strategies: Vec<Vec<ArmId>>,
+    strategies: StrategyBank,
     estimates: Vec<RunningMean>,
     /// Reward scale (the largest strategy size), used to keep estimates in
     /// `[0, 1]`.
@@ -31,20 +34,16 @@ impl NaiveComArmMoss {
     /// # Panics
     ///
     /// Panics if `strategies` is empty.
-    pub fn new(strategies: Vec<Vec<ArmId>>) -> Self {
+    pub fn new(strategies: impl Into<StrategyBank>) -> Self {
+        let raw: StrategyBank = strategies.into();
         assert!(
-            !strategies.is_empty(),
+            !raw.is_empty(),
             "NaiveComArmMoss requires a non-empty feasible set"
         );
-        let strategies: Vec<Vec<ArmId>> = strategies
-            .into_iter()
-            .map(|mut s| {
-                s.sort_unstable();
-                s.dedup();
-                s
-            })
-            .collect();
-        let scale = strategies.iter().map(Vec::len).max().unwrap_or(1).max(1) as f64;
+        // Empty rows are kept: the com-arm ids must stay aligned with the
+        // caller's enumeration.
+        let strategies = raw.into_normalized(false, |_| true);
+        let scale = strategies.max_row_len().max(1) as f64;
         let num = strategies.len();
         NaiveComArmMoss {
             strategies,
@@ -93,17 +92,18 @@ impl CombinatorialPolicy for NaiveComArmMoss {
             })
             .unwrap_or(0);
         self.last_selected = Some(x);
-        self.strategies[x].clone()
+        self.strategies.row(x).to_vec()
     }
 
     fn update(&mut self, _t: usize, feedback: &CombinatorialFeedback) {
         // Credit the reward to the com-arm that was actually selected; if update
         // is called without a prior selection (e.g. replayed feedback), locate
         // the strategy by value.
-        let x = self
-            .last_selected
-            .take()
-            .or_else(|| self.strategies.iter().position(|s| *s == feedback.strategy));
+        let x = self.last_selected.take().or_else(|| {
+            self.strategies
+                .iter()
+                .position(|s| s == feedback.strategy.as_slice())
+        });
         if let Some(x) = x {
             self.estimates[x].update(feedback.direct_reward / self.scale);
         }
@@ -188,7 +188,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "non-empty feasible set")]
     fn rejects_empty_family() {
-        let _ = NaiveComArmMoss::new(vec![]);
+        let _ = NaiveComArmMoss::new(Vec::<Vec<ArmId>>::new());
     }
 
     #[test]

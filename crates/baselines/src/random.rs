@@ -5,6 +5,7 @@ use rand::{Rng, SeedableRng};
 
 use netband_core::{CombinatorialPolicy, SinglePlayPolicy};
 use netband_env::{CombinatorialFeedback, SinglePlayFeedback};
+use netband_graph::StrategyBank;
 
 use crate::ArmId;
 
@@ -44,10 +45,11 @@ impl SinglePlayPolicy for RandomSingle {
     }
 }
 
-/// Pulls a uniformly random strategy from an explicitly enumerated feasible set.
+/// Pulls a uniformly random strategy from an explicitly enumerated feasible
+/// set (held as flat [`StrategyBank`] rows).
 #[derive(Debug, Clone)]
 pub struct RandomCombinatorial {
-    strategies: Vec<Vec<ArmId>>,
+    strategies: StrategyBank,
     rng: StdRng,
     seed: u64,
 }
@@ -59,7 +61,8 @@ impl RandomCombinatorial {
     ///
     /// Panics if `strategies` is empty — a combinatorial policy must have at
     /// least one feasible strategy to play.
-    pub fn new(strategies: Vec<Vec<ArmId>>, seed: u64) -> Self {
+    pub fn new(strategies: impl Into<StrategyBank>, seed: u64) -> Self {
+        let strategies: StrategyBank = strategies.into();
         assert!(
             !strategies.is_empty(),
             "RandomCombinatorial requires a non-empty feasible set"
@@ -84,7 +87,7 @@ impl CombinatorialPolicy for RandomCombinatorial {
 
     fn select_strategy(&mut self, _t: usize) -> Vec<ArmId> {
         let idx = self.rng.gen_range(0..self.strategies.len());
-        self.strategies[idx].clone()
+        self.strategies.row(idx).to_vec()
     }
 
     fn update(&mut self, _t: usize, _feedback: &CombinatorialFeedback) {}

@@ -62,6 +62,51 @@ fn bench_oracle(c: &mut Criterion) {
     });
 }
 
+fn bench_oracle_scan(c: &mut Criterion) {
+    // The enumerated-family argmax: the legacy nested `Vec<Vec<ArmId>>` scan,
+    // reproduced verbatim (one heap row — and one pointer chase — per
+    // candidate, with `max_by` re-evaluating the running maximum's weight on
+    // every comparison), vs the flat StrategyBank scan the oracles run now
+    // (contiguous rows, each weight summed once). Same candidates, same
+    // tie-breaking, same result; the speedup combines the layout change with
+    // the single-evaluation argmax.
+    let mut rng = StdRng::seed_from_u64(8);
+    let graph = generators::erdos_renyi(18, 0.35, &mut rng);
+    let bank = StrategyFamily::independent_sets(3)
+        .enumerate(&graph)
+        .expect("bench family is enumerable");
+    let nested: Vec<Vec<usize>> = bank.to_rows();
+    let explicit = StrategyFamily::explicit(bank.clone());
+    let weights: Vec<f64> = (0..18).map(|i| ((i * 7919) % 100) as f64 / 100.0).collect();
+    let strategy_weight = |s: &[usize]| s.iter().map(|&i| weights[i]).sum::<f64>();
+
+    let mut group = c.benchmark_group("enumerated_oracle_scan");
+    group.bench_function("nested_vecs", |b| {
+        b.iter(|| {
+            let best = nested
+                .iter()
+                .max_by(|a, b| {
+                    strategy_weight(a)
+                        .partial_cmp(&strategy_weight(b))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .cloned();
+            std::hint::black_box(best.unwrap().len())
+        })
+    });
+    group.bench_function("strategy_bank", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                explicit
+                    .argmax_by_arm_weights(&weights, &graph)
+                    .unwrap()
+                    .len(),
+            )
+        })
+    });
+    group.finish();
+}
+
 fn bench_policy_step(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(4);
     let graph = generators::erdos_renyi(100, 0.3, &mut rng);
@@ -161,6 +206,7 @@ criterion_group!(
     bench_clique_cover,
     bench_strategy_graph,
     bench_oracle,
+    bench_oracle_scan,
     bench_policy_step,
     bench_neighborhood_layout,
     bench_pull_path,

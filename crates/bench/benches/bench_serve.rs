@@ -1,5 +1,5 @@
-//! Serving-engine throughput bench: decides/sec across shard counts and
-//! feedback batch sizes.
+//! Serving-engine throughput bench: decides/sec across shard counts, feedback
+//! batch sizes, and client APIs (per-call vs batched).
 //!
 //! Unlike the figure benches this is a hand-rolled harness (`harness = false`
 //! with a custom `main`): the quantity of interest is sustained multi-client
@@ -9,10 +9,16 @@
 //!
 //! Every run sweeps the shard counts {1, 4, 16} against feedback batch sizes
 //! {1, 32, 1024} over 64 single-play tenants driven by 16 client threads with
-//! delayed, out-of-order feedback, prints a table, and writes the results to
-//! `BENCH_serve.json` at the workspace root — the checked-in serving perf
-//! trajectory. Set `NETBAND_BENCH_FAST=1` for a smoke run (CI) that skips the
-//! JSON write.
+//! delayed, out-of-order feedback — once through the per-call
+//! `ServeEngine::decide`/`feedback` API and once through the batched
+//! `ServeClient::decide_many`/`feedback_many` API (one channel round-trip per
+//! window) — prints a table, and writes the results to `BENCH_serve.json` at
+//! the workspace root — the checked-in serving perf trajectory.
+//!
+//! Set `NETBAND_BENCH_FAST=1` for a smoke run (CI) that skips the JSON write
+//! and **fails** if any cell's throughput drops below [`FLOOR_DECIDES_PER_SEC`]
+//! — a conservative floor that catches pathological hot-path regressions
+//! without judging machine-dependent shard scaling.
 
 use std::path::PathBuf;
 use std::time::Instant;
@@ -32,7 +38,33 @@ const NUM_ARMS: usize = 10;
 const SHARD_COUNTS: [usize; 3] = [1, 4, 16];
 const BATCH_SIZES: [usize; 3] = [1, 32, 1024];
 
+/// Smoke-mode throughput floor (decides/sec) — far below any healthy run
+/// (hundreds of thousands per second on one shard), far above a pathological
+/// regression such as an accidental per-decide lock or channel storm.
+const FLOOR_DECIDES_PER_SEC: f64 = 50_000.0;
+
+/// Which client API a cell drives the engine through.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Api {
+    /// `ServeEngine::decide` / `feedback`: one command + fresh reply channel
+    /// per decision.
+    PerCall,
+    /// `ServeClient::decide_many` / `feedback_many`: one command round-trip
+    /// per window, pooled reply channels, recycled buffers.
+    Batched,
+}
+
+impl Api {
+    fn name(self) -> &'static str {
+        match self {
+            Api::PerCall => "per_call",
+            Api::Batched => "batched",
+        }
+    }
+}
+
 struct Cell {
+    api: Api,
     shards: usize,
     batch: usize,
     decides: u64,
@@ -60,9 +92,53 @@ fn tenant_spec(index: usize, batch: usize) -> TenantSpec {
     .with_flush(FlushPolicy::batched(batch))
 }
 
+/// One client session against one tenant through the per-call API: decide
+/// every round, deliver each window of `batch` revealed events in reverse
+/// round order.
+fn drive_per_call(engine: &ServeEngine, id: &str, rounds: usize, batch: usize) {
+    let mut held = Vec::with_capacity(batch);
+    for _ in 0..rounds {
+        let reply = engine.decide(id).expect("decide");
+        held.push((reply.round, reply.feedback.expect("echo")));
+        if held.len() >= batch {
+            for (round, event) in held.drain(..).rev() {
+                engine.feedback(id, round, event).expect("feedback");
+            }
+        }
+    }
+    for (round, event) in held.drain(..).rev() {
+        engine.feedback(id, round, event).expect("feedback");
+    }
+}
+
+/// The same session through the batched API: one `decide_many` round-trip per
+/// window, then one `feedback_many` command with the window reversed.
+fn drive_batched(
+    client: &mut netband_serve::ServeClient<'_>,
+    id: &str,
+    rounds: usize,
+    batch: usize,
+) {
+    let mut replies = Vec::new();
+    let mut remaining = rounds;
+    while remaining > 0 {
+        let chunk = remaining.min(batch);
+        client
+            .decide_many(id, chunk, &mut replies)
+            .expect("decide_many");
+        let window = replies.iter_mut().rev().map(|slot| {
+            let reply = slot.as_mut().expect("decide");
+            (reply.round, reply.feedback.take().expect("echo"))
+        });
+        client.feedback_many(id, window).expect("feedback_many");
+        remaining -= chunk;
+    }
+}
+
 /// One sweep cell: an engine with `shards` workers serving `TENANTS` tenants,
-/// `CLIENTS` client threads looping decide → (windowed, reversed) feedback.
-fn run_cell(shards: usize, batch: usize, rounds: usize) -> Cell {
+/// `CLIENTS` client threads looping decide → (windowed, reversed) feedback
+/// through the cell's API.
+fn run_cell(api: Api, shards: usize, batch: usize, rounds: usize) -> Cell {
     let engine = ServeEngine::start(EngineConfig::new(shards).with_queue_capacity(256));
     for index in 0..TENANTS {
         engine
@@ -74,20 +150,12 @@ fn run_cell(shards: usize, batch: usize, rounds: usize) -> Cell {
         for client in 0..CLIENTS {
             let engine = &engine;
             scope.spawn(move || {
+                let mut batched_client = (api == Api::Batched).then(|| engine.client());
                 for index in (client..TENANTS).step_by(CLIENTS) {
                     let id = format!("bench-{index:02}");
-                    let mut held = Vec::with_capacity(batch);
-                    for _ in 0..rounds {
-                        let reply = engine.decide(&id).expect("decide");
-                        held.push((reply.round, reply.feedback.expect("echo")));
-                        if held.len() >= batch {
-                            for (round, event) in held.drain(..).rev() {
-                                engine.feedback(&id, round, event).expect("feedback");
-                            }
-                        }
-                    }
-                    for (round, event) in held.drain(..).rev() {
-                        engine.feedback(&id, round, event).expect("feedback");
+                    match &mut batched_client {
+                        Some(c) => drive_batched(c, &id, rounds, batch),
+                        None => drive_per_call(engine, &id, rounds, batch),
                     }
                 }
             });
@@ -101,6 +169,7 @@ fn run_cell(shards: usize, batch: usize, rounds: usize) -> Cell {
     assert_eq!(report.total_feedback_events(), decides);
     engine.shutdown();
     Cell {
+        api,
         shards,
         batch,
         decides,
@@ -120,8 +189,9 @@ fn write_json(cells: &[Cell], rounds: usize) {
         .iter()
         .map(|c| {
             format!(
-                "    {{ \"shards\": {}, \"feedback_batch\": {}, \"decides\": {}, \
-                 \"elapsed_secs\": {:.4}, \"decides_per_sec\": {:.0} }}",
+                "    {{ \"api\": \"{}\", \"shards\": {}, \"feedback_batch\": {}, \
+                 \"decides\": {}, \"elapsed_secs\": {:.4}, \"decides_per_sec\": {:.0} }}",
+                c.api.name(),
                 c.shards,
                 c.batch,
                 c.decides,
@@ -159,46 +229,71 @@ fn main() {
         if fast { " (fast smoke)" } else { "" }
     );
     println!(
-        "{:>7} {:>7} {:>12} {:>10} {:>14}",
-        "shards", "batch", "decides", "secs", "decides/sec"
+        "{:>9} {:>7} {:>7} {:>12} {:>10} {:>14}",
+        "api", "shards", "batch", "decides", "secs", "decides/sec"
     );
     let mut cells = Vec::new();
-    for &shards in &SHARD_COUNTS {
-        for &batch in &BATCH_SIZES {
-            let cell = run_cell(shards, batch, rounds);
-            println!(
-                "{:>7} {:>7} {:>12} {:>10.3} {:>14.0}",
-                cell.shards,
-                cell.batch,
-                cell.decides,
-                cell.elapsed_secs,
-                cell.decides_per_sec()
-            );
-            cells.push(cell);
+    for api in [Api::PerCall, Api::Batched] {
+        for &shards in &SHARD_COUNTS {
+            for &batch in &BATCH_SIZES {
+                let cell = run_cell(api, shards, batch, rounds);
+                println!(
+                    "{:>9} {:>7} {:>7} {:>12} {:>10.3} {:>14.0}",
+                    cell.api.name(),
+                    cell.shards,
+                    cell.batch,
+                    cell.decides,
+                    cell.elapsed_secs,
+                    cell.decides_per_sec()
+                );
+                cells.push(cell);
+            }
         }
     }
 
-    // The headline trajectory number: decide throughput going 1 → 4 shards at
-    // the middle batch size. Printed, not asserted — shard scaling is
-    // machine-dependent (a 1-core container cannot run shards in parallel),
-    // so the ratio is judged against the recorded available_parallelism when
-    // reading BENCH_serve.json, not gated in CI.
-    let one = cells
-        .iter()
-        .find(|c| c.shards == 1 && c.batch == 32)
-        .unwrap();
-    let four = cells
-        .iter()
-        .find(|c| c.shards == 4 && c.batch == 32)
-        .unwrap();
+    // The headline trajectory number: what batching buys on one shard at the
+    // middle window size. Printed, not asserted — absolute numbers are
+    // machine-dependent; the committed BENCH_serve.json records them together
+    // with available_parallelism.
+    let pick = |api: Api, shards: usize| {
+        cells
+            .iter()
+            .find(|c| c.api == api && c.shards == shards && c.batch == 32)
+            .unwrap()
+    };
+    let per_call = pick(Api::PerCall, 1);
+    let batched = pick(Api::Batched, 1);
     println!(
-        "scaling 1 -> 4 shards (batch 32): {:.0} -> {:.0} decides/sec ({:.2}x)",
-        one.decides_per_sec(),
+        "batching win, 1 shard (batch 32): {:.0} -> {:.0} decides/sec ({:.2}x)",
+        per_call.decides_per_sec(),
+        batched.decides_per_sec(),
+        batched.decides_per_sec() / per_call.decides_per_sec()
+    );
+    let four = pick(Api::Batched, 4);
+    println!(
+        "scaling 1 -> 4 shards (batched, batch 32): {:.0} -> {:.0} decides/sec ({:.2}x; \
+         judge against available_parallelism)",
+        batched.decides_per_sec(),
         four.decides_per_sec(),
-        four.decides_per_sec() / one.decides_per_sec()
+        four.decides_per_sec() / batched.decides_per_sec()
     );
 
-    if !fast {
+    if fast {
+        // CI smoke gate: any cell below the conservative floor is a
+        // pathological hot-path regression, independent of core count.
+        for cell in &cells {
+            assert!(
+                cell.decides_per_sec() >= FLOOR_DECIDES_PER_SEC,
+                "serve throughput regression: {} api, {} shards, batch {} ran at {:.0} \
+                 decides/sec, below the {FLOOR_DECIDES_PER_SEC:.0}/sec floor",
+                cell.api.name(),
+                cell.shards,
+                cell.batch,
+                cell.decides_per_sec()
+            );
+        }
+        println!("smoke floor ok: every cell >= {FLOOR_DECIDES_PER_SEC:.0} decides/sec");
+    } else {
         write_json(&cells, rounds);
     }
 }

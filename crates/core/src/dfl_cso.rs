@@ -51,18 +51,12 @@ impl DflCso {
     /// Creates the policy from a pre-built strategy relation graph.
     pub fn new(strategy_graph: StrategyRelationGraph) -> Self {
         let num = strategy_graph.num_strategies();
-        let scale = strategy_graph
-            .strategies()
-            .iter()
-            .map(Vec::len)
-            .max()
-            .unwrap_or(1)
-            .max(1) as f64;
+        let scale = strategy_graph.strategies().max_row_len().max(1) as f64;
         let arm_bound = strategy_graph
             .strategies()
+            .arms()
             .iter()
-            .flatten()
-            .chain((0..num).flat_map(|x| strategy_graph.observation_set(x)))
+            .chain(strategy_graph.observation_sets().arms())
             .max()
             .map(|&a| a + 1)
             .unwrap_or(0);
@@ -78,10 +72,12 @@ impl DflCso {
     }
 
     /// Convenience constructor: builds the strategy relation graph from an arm
-    /// relation graph and an explicit feasible set.
+    /// relation graph and an explicit feasible set (a flat
+    /// [`StrategyBank`](netband_graph::StrategyBank) or anything convertible
+    /// into one, such as the nested `Vec<Vec<ArmId>>` layout).
     pub fn from_strategies(
         arm_graph: &netband_graph::RelationGraph,
-        strategies: Vec<Vec<ArmId>>,
+        strategies: impl Into<netband_graph::StrategyBank>,
     ) -> Self {
         DflCso::new(StrategyRelationGraph::build(arm_graph, strategies))
     }

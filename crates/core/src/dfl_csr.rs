@@ -18,53 +18,45 @@
 
 use netband_env::feasible::FeasibleSet;
 use netband_env::{CombinatorialFeedback, StrategyFamily};
-use netband_graph::RelationGraph;
+use netband_graph::{RelationGraph, StrategyBank};
 
 use crate::estimator::{argmax_last, csr_index, ArmEstimators};
 use crate::policy::CombinatorialPolicy;
 use crate::ArmId;
 
-/// The enumerated feasible set, flattened into two CSR-style tables so the
+/// The enumerated feasible set as two aligned [`StrategyBank`] tables, so the
 /// per-round oracle is a linear scan over contiguous arrays: row `x` of
-/// `strat_offsets`/`strat_arms` is the strategy `s_x`, row `x` of
-/// `obs_offsets`/`obs_arms` its observation set `Y_x` (both sorted, preserving
-/// the enumeration order and hence the floating-point summation order of the
-/// map-based cache it replaces).
+/// `strategies` is the strategy `s_x`, row `x` of `observation_sets` its
+/// observation set `Y_x` (both sorted, preserving the enumeration order and
+/// hence the floating-point summation order of the layouts it replaces).
 #[derive(Debug, Clone)]
 struct EnumeratedFamily {
-    strat_offsets: Vec<usize>,
-    strat_arms: Vec<ArmId>,
-    obs_offsets: Vec<usize>,
-    obs_arms: Vec<ArmId>,
+    strategies: StrategyBank,
+    observation_sets: StrategyBank,
 }
 
 impl EnumeratedFamily {
-    fn build(graph: &RelationGraph, strategies: Vec<Vec<ArmId>>) -> Self {
-        let mut out = EnumeratedFamily {
-            strat_offsets: vec![0],
-            strat_arms: Vec::new(),
-            obs_offsets: vec![0],
-            obs_arms: Vec::new(),
-        };
-        for s in &strategies {
-            out.strat_arms.extend_from_slice(s);
-            out.strat_offsets.push(out.strat_arms.len());
-            out.obs_arms.extend(graph.closed_neighborhood_of_set(s));
-            out.obs_offsets.push(out.obs_arms.len());
+    fn build(graph: &RelationGraph, strategies: StrategyBank) -> Self {
+        let mut observation_sets = StrategyBank::with_capacity(strategies.len(), 0);
+        for s in strategies.iter() {
+            observation_sets.push_row(&graph.closed_neighborhood_of_set(s));
         }
-        out
+        EnumeratedFamily {
+            strategies,
+            observation_sets,
+        }
     }
 
     fn len(&self) -> usize {
-        self.strat_offsets.len() - 1
+        self.strategies.len()
     }
 
     fn strategy(&self, x: usize) -> &[ArmId] {
-        &self.strat_arms[self.strat_offsets[x]..self.strat_offsets[x + 1]]
+        self.strategies.row(x)
     }
 
     fn observation_set(&self, x: usize) -> &[ArmId] {
-        &self.obs_arms[self.obs_offsets[x]..self.obs_offsets[x + 1]]
+        self.observation_sets.row(x)
     }
 }
 

@@ -97,6 +97,19 @@ pub struct SinglePlayFeedback {
     pub observations: Vec<(ArmId, f64)>,
 }
 
+impl SinglePlayFeedback {
+    /// Overwrites `self` with `src`'s contents, reusing the observation
+    /// buffer — the allocation-free form of `*self = src.clone()` (identical
+    /// resulting value) for warm reply slots.
+    pub fn copy_from(&mut self, src: &SinglePlayFeedback) {
+        self.arm = src.arm;
+        self.direct_reward = src.direct_reward;
+        self.side_reward = src.side_reward;
+        self.observations.clear();
+        self.observations.extend_from_slice(&src.observations);
+    }
+}
+
 /// Feedback from pulling a combinatorial strategy.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct CombinatorialFeedback {
@@ -110,6 +123,22 @@ pub struct CombinatorialFeedback {
     pub side_reward: f64,
     /// Every revealed sample: `(j, X_{j,t})` for `j ∈ Y_{I_t}` (sorted by arm).
     pub observations: Vec<(ArmId, f64)>,
+}
+
+impl CombinatorialFeedback {
+    /// Overwrites `self` with `src`'s contents, reusing every inner buffer —
+    /// the allocation-free form of `*self = src.clone()` (identical resulting
+    /// value) for warm reply slots.
+    pub fn copy_from(&mut self, src: &CombinatorialFeedback) {
+        self.strategy.clear();
+        self.strategy.extend_from_slice(&src.strategy);
+        self.observation_set.clear();
+        self.observation_set.extend_from_slice(&src.observation_set);
+        self.direct_reward = src.direct_reward;
+        self.side_reward = src.side_reward;
+        self.observations.clear();
+        self.observations.extend_from_slice(&src.observations);
+    }
 }
 
 /// A networked stochastic bandit instance: `K` arms, their distributions, and

@@ -50,6 +50,16 @@ pub struct FeedbackBatch<F> {
     live: usize,
 }
 
+/// Warm slots retained after a drain (see [`FeedbackBatch::drain_in_order`]).
+///
+/// A batch grows to whatever its largest flush needed, but without a cap a
+/// single pathological flush (say a reconnect replaying a week of feedback)
+/// would pin that peak slot count — and every payload allocation inside it —
+/// for the rest of the tenant's life. Draining therefore trims the recycled
+/// tail back to this many slots; steady-state flushes below the cap keep the
+/// zero-allocation recycling behaviour unchanged.
+pub const MAX_WARM_SLOTS: usize = 256;
+
 impl<F: Default> FeedbackBatch<F> {
     /// An empty batch; slot capacity is acquired lazily.
     pub fn new() -> Self {
@@ -97,18 +107,39 @@ impl<F: Default> FeedbackBatch<F> {
     /// Drains every queued event in ascending round order (stable: events of
     /// the same round keep their arrival order), invoking `visit(round,
     /// event)` for each. The slots — including the payloads' inner
-    /// allocations — are retained for reuse.
+    /// allocations — are retained for reuse, up to [`MAX_WARM_SLOTS`]; the
+    /// tail of a pathologically large flush is released instead of being kept
+    /// warm forever.
     pub fn drain_in_order(&mut self, mut visit: impl FnMut(u64, &F)) {
         self.entries[..self.live].sort_by_key(|&(round, _)| round);
         for (round, event) in &self.entries[..self.live] {
             visit(*round, event);
         }
         self.live = 0;
+        self.shrink_warm();
     }
 
-    /// Discards every queued event without visiting it (slots stay warm).
+    /// Discards every queued event without visiting it (slots stay warm, up
+    /// to [`MAX_WARM_SLOTS`]).
     pub fn clear(&mut self) {
         self.live = 0;
+        self.shrink_warm();
+    }
+
+    /// Number of drained slots currently kept warm for reuse.
+    pub fn warm_slots(&self) -> usize {
+        self.entries.len() - self.live
+    }
+
+    /// Applies the retained-capacity policy: everything queued stays, but at
+    /// most [`MAX_WARM_SLOTS`] recycled slots survive a drain (both the slot
+    /// entries and the slot vector's own excess capacity are released).
+    fn shrink_warm(&mut self) {
+        let cap = self.live + MAX_WARM_SLOTS;
+        if self.entries.len() > cap {
+            self.entries.truncate(cap);
+            self.entries.shrink_to(cap);
+        }
     }
 }
 
@@ -157,6 +188,45 @@ mod tests {
         batch.clear();
         assert!(batch.is_empty());
         batch.drain_in_order(|_, _| panic!("cleared batch must not visit"));
+    }
+
+    /// Regression test for the warm-slot retention policy: one pathologically
+    /// large flush must not pin its peak slot count forever.
+    #[test]
+    fn oversized_flushes_shed_their_warm_tail() {
+        let mut batch: FeedbackBatch<Vec<u8>> = FeedbackBatch::new();
+        let huge = 4 * MAX_WARM_SLOTS;
+        for round in 0..huge as u64 {
+            batch.push_slot(round).push(7);
+        }
+        assert_eq!(batch.len(), huge);
+        let mut seen = 0;
+        batch.drain_in_order(|_, _| seen += 1);
+        assert_eq!(seen, huge);
+        // The recycled tail is capped (entries and vector capacity both).
+        assert_eq!(batch.warm_slots(), MAX_WARM_SLOTS);
+        assert!(batch.is_empty());
+        // `clear` applies the same policy.
+        for round in 0..huge as u64 {
+            batch.push_slot(round);
+        }
+        batch.clear();
+        assert_eq!(batch.warm_slots(), MAX_WARM_SLOTS);
+        // Steady-state flushes below the cap still recycle every slot.
+        for round in 0..8 {
+            batch.push_slot(round);
+        }
+        batch.drain_in_order(|_, _| {});
+        assert_eq!(batch.warm_slots(), MAX_WARM_SLOTS);
+        // Live events are never shed: a full queue above the cap drains
+        // completely even though the recycled tail will then be trimmed.
+        for round in 0..(MAX_WARM_SLOTS + 10) as u64 {
+            batch.push_slot(round);
+        }
+        assert_eq!(batch.len(), MAX_WARM_SLOTS + 10);
+        let mut drained = 0;
+        batch.drain_in_order(|_, _| drained += 1);
+        assert_eq!(drained, MAX_WARM_SLOTS + 10);
     }
 
     #[test]

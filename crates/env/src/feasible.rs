@@ -17,8 +17,10 @@
 
 use serde::{Deserialize, Serialize};
 
-use netband_graph::independent::independent_sets_up_to;
+use netband_graph::independent::independent_sets_bank;
 use netband_graph::RelationGraph;
+
+pub use netband_graph::StrategyBank;
 
 use crate::ArmId;
 
@@ -31,7 +33,8 @@ pub const DEFAULT_ENUMERATION_LIMIT: usize = 200_000;
 /// Implementors define membership and (optionally bounded) enumeration; the
 /// per-round maximisation oracles have default implementations in terms of
 /// enumeration, which concrete families override with faster exact or greedy
-/// algorithms.
+/// algorithms. Enumeration yields a flat [`StrategyBank`], so the oracle scans
+/// walk one contiguous array instead of chasing a heap pointer per candidate.
 pub trait FeasibleSet {
     /// Maximum number of arms a strategy may contain (`M`).
     fn max_size(&self) -> usize;
@@ -39,23 +42,20 @@ pub trait FeasibleSet {
     /// Returns `true` if `strategy` (sorted, deduplicated) belongs to the family.
     fn contains(&self, strategy: &[ArmId], graph: &RelationGraph) -> bool;
 
-    /// Enumerates the family, or returns `None` when it would exceed `limit`.
-    fn enumerate_bounded(&self, graph: &RelationGraph, limit: usize) -> Option<Vec<Vec<ArmId>>>;
+    /// Enumerates the family into a flat bank, or returns `None` when it would
+    /// exceed `limit`.
+    fn enumerate_bounded(&self, graph: &RelationGraph, limit: usize) -> Option<StrategyBank>;
 
     /// Enumerates the family with the default budget.
-    fn enumerate(&self, graph: &RelationGraph) -> Option<Vec<Vec<ArmId>>> {
+    fn enumerate(&self, graph: &RelationGraph) -> Option<StrategyBank> {
         self.enumerate_bounded(graph, DEFAULT_ENUMERATION_LIMIT)
     }
 
     /// The feasible strategy maximising `Σ_{i ∈ s} w_i`, or `None` if the family
     /// is empty.
     fn argmax_by_arm_weights(&self, weights: &[f64], graph: &RelationGraph) -> Option<Vec<ArmId>> {
-        let strategies = self.enumerate(graph)?;
-        strategies.into_iter().max_by(|a, b| {
-            strategy_weight(a, weights)
-                .partial_cmp(&strategy_weight(b, weights))
-                .unwrap_or(std::cmp::Ordering::Equal)
-        })
+        let bank = self.enumerate(graph)?;
+        argmax_row_by(&bank, |row| strategy_weight(row, weights)).map(|x| bank.row(x).to_vec())
     }
 
     /// The feasible strategy maximising `Σ_{i ∈ Y_s} w_i`, or `None` if the
@@ -71,15 +71,72 @@ pub trait FeasibleSet {
         weights: &[f64],
         graph: &RelationGraph,
     ) -> Option<Vec<ArmId>> {
-        if let Some(strategies) = self.enumerate(graph) {
-            return strategies.into_iter().max_by(|a, b| {
-                neighborhood_weight(a, weights, graph)
-                    .partial_cmp(&neighborhood_weight(b, weights, graph))
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            });
+        if let Some(bank) = self.enumerate(graph) {
+            return argmax_neighborhood_in_bank(&bank, weights, graph);
         }
         greedy_neighborhood_argmax(self, weights, graph)
     }
+}
+
+/// Index of the bank row maximising `weight`, replicating the tie-breaking of
+/// the `Iterator::max_by` scan it replaces bit-for-bit: rows are visited in
+/// order, the **last** maximal row wins, and incomparable (NaN) weights
+/// compare `Equal` (so the newer row wins those too).
+fn argmax_row_by(bank: &StrategyBank, mut weight: impl FnMut(&[ArmId]) -> f64) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (x, row) in bank.iter().enumerate() {
+        let w = weight(row);
+        best = match best {
+            Some((bx, bw))
+                if bw.partial_cmp(&w).unwrap_or(std::cmp::Ordering::Equal)
+                    == std::cmp::Ordering::Greater =>
+            {
+                Some((bx, bw))
+            }
+            _ => Some((x, w)),
+        };
+    }
+    best.map(|(x, _)| x)
+}
+
+/// Flat-bank scan of the neighbourhood-weight objective: every row's `Y_s` is
+/// materialised into one reusable scratch buffer (sorted ascending, exactly the
+/// order [`neighborhood_weight`] sums in), so the scan performs no per-candidate
+/// allocation while keeping the floating-point summation order — and hence the
+/// argmax — bit-identical to the nested scan it replaces.
+fn argmax_neighborhood_in_bank(
+    bank: &StrategyBank,
+    weights: &[f64],
+    graph: &RelationGraph,
+) -> Option<Vec<ArmId>> {
+    let mut scratch: Vec<ArmId> = Vec::new();
+    argmax_row_by(bank, |row| {
+        neighborhood_weight_with(row, weights, graph, &mut scratch)
+    })
+    .map(|x| bank.row(x).to_vec())
+}
+
+/// [`neighborhood_weight`] with a caller-provided scratch buffer for the
+/// sorted union `Y_s` (cleared and refilled per call; no allocation once
+/// warm). Summation runs over the ascending deduplicated union — the same
+/// order a `BTreeSet`-built neighbourhood sums in.
+fn neighborhood_weight_with(
+    strategy: &[ArmId],
+    weights: &[f64],
+    graph: &RelationGraph,
+    scratch: &mut Vec<ArmId>,
+) -> f64 {
+    scratch.clear();
+    for &v in strategy {
+        scratch.push(v);
+        scratch.extend_from_slice(graph.neighbors(v));
+    }
+    scratch.sort_unstable();
+    scratch.dedup();
+    scratch
+        .iter()
+        .map(|&i| weights.get(i).copied().unwrap_or(0.0))
+        .sum()
 }
 
 /// Greedy weighted max-coverage construction used when a family is too large to
@@ -159,8 +216,10 @@ pub fn neighborhood_weight(strategy: &[ArmId], weights: &[f64], graph: &Relation
 pub enum StrategyFamily {
     /// An explicitly enumerated feasible set (the regime of Algorithm 2).
     Explicit {
-        /// The feasible strategies (normalised at construction).
-        strategies: Vec<Vec<ArmId>>,
+        /// The feasible strategies (normalised at construction), stored as
+        /// flat [`StrategyBank`] rows so the per-round oracle scans
+        /// contiguous memory.
+        strategies: StrategyBank,
     },
     /// All non-empty subsets of at most `m` arms ("place up to m advertisements").
     AtMostM {
@@ -186,18 +245,12 @@ pub enum StrategyFamily {
 }
 
 impl StrategyFamily {
-    /// An explicit feasible set; strategies are sorted and deduplicated.
-    pub fn explicit(strategies: Vec<Vec<ArmId>>) -> Self {
-        let strategies = strategies
-            .into_iter()
-            .map(|mut s| {
-                s.sort_unstable();
-                s.dedup();
-                s
-            })
-            .filter(|s| !s.is_empty())
-            .collect();
-        StrategyFamily::Explicit { strategies }
+    /// An explicit feasible set; strategies are sorted, deduplicated, and
+    /// packed into a flat [`StrategyBank`] (empty strategies are dropped).
+    pub fn explicit(strategies: impl Into<StrategyBank>) -> Self {
+        StrategyFamily::Explicit {
+            strategies: strategies.into().into_normalized(true, |_| true),
+        }
     }
 
     /// Subsets of at most `m` of `num_arms` arms.
@@ -240,9 +293,7 @@ impl StrategyFamily {
 impl FeasibleSet for StrategyFamily {
     fn max_size(&self) -> usize {
         match self {
-            StrategyFamily::Explicit { strategies } => {
-                strategies.iter().map(Vec::len).max().unwrap_or(0)
-            }
+            StrategyFamily::Explicit { strategies } => strategies.max_row_len(),
             StrategyFamily::AtMostM { m, .. } | StrategyFamily::ExactlyM { m, .. } => *m,
             StrategyFamily::IndependentSets { max_size } => *max_size,
         }
@@ -259,7 +310,9 @@ impl FeasibleSet for StrategyFamily {
             return false;
         }
         match self {
-            StrategyFamily::Explicit { strategies } => strategies.iter().any(|s| s == &sorted),
+            StrategyFamily::Explicit { strategies } => {
+                strategies.iter().any(|s| s == sorted.as_slice())
+            }
             StrategyFamily::AtMostM { num_arms, m } => {
                 sorted.len() <= *m && sorted.iter().all(|&i| i < *num_arms)
             }
@@ -274,7 +327,7 @@ impl FeasibleSet for StrategyFamily {
         }
     }
 
-    fn enumerate_bounded(&self, graph: &RelationGraph, limit: usize) -> Option<Vec<Vec<ArmId>>> {
+    fn enumerate_bounded(&self, graph: &RelationGraph, limit: usize) -> Option<StrategyBank> {
         match self {
             StrategyFamily::Explicit { strategies } => {
                 if strategies.len() <= limit {
@@ -284,27 +337,24 @@ impl FeasibleSet for StrategyFamily {
                 }
             }
             StrategyFamily::AtMostM { num_arms, m } => {
-                if self.size_hint().map(|s| s > limit).unwrap_or(true) {
-                    return None;
-                }
-                let mut out = Vec::new();
+                let size = self.size_hint().filter(|&s| s <= limit)?;
+                let mut out = StrategyBank::with_capacity(size, 0);
                 for k in 1..=*m.min(num_arms) {
-                    out.extend(combinations(*num_arms, k));
+                    push_combinations(*num_arms, k, &mut out);
                 }
                 Some(out)
             }
             StrategyFamily::ExactlyM { num_arms, m } => {
-                if *m > *num_arms || self.size_hint().map(|s| s > limit).unwrap_or(true) {
-                    return if *m > *num_arms {
-                        Some(Vec::new())
-                    } else {
-                        None
-                    };
+                if *m > *num_arms {
+                    return Some(StrategyBank::new());
                 }
-                Some(combinations(*num_arms, *m))
+                let size = self.size_hint().filter(|&s| s <= limit)?;
+                let mut out = StrategyBank::with_capacity(size, size * *m);
+                push_combinations(*num_arms, *m, &mut out);
+                Some(out)
             }
             StrategyFamily::IndependentSets { max_size } => {
-                let sets = independent_sets_up_to(graph, *max_size, Some(limit + 1));
+                let sets = independent_sets_bank(graph, *max_size, Some(limit + 1));
                 if sets.len() > limit {
                     None
                 } else {
@@ -316,14 +366,11 @@ impl FeasibleSet for StrategyFamily {
 
     fn argmax_by_arm_weights(&self, weights: &[f64], graph: &RelationGraph) -> Option<Vec<ArmId>> {
         match self {
-            StrategyFamily::Explicit { .. } => {
-                // Explicit sets are scanned directly.
-                let strategies = self.enumerate(graph)?;
-                strategies.into_iter().max_by(|a, b| {
-                    strategy_weight(a, weights)
-                        .partial_cmp(&strategy_weight(b, weights))
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                })
+            StrategyFamily::Explicit { strategies } => {
+                // Explicit sets are scanned directly off the stored bank —
+                // no enumeration copy, one contiguous walk.
+                argmax_row_by(strategies, |row| strategy_weight(row, weights))
+                    .map(|x| strategies.row(x).to_vec())
             }
             StrategyFamily::AtMostM { num_arms, m } => {
                 // Take the best arm unconditionally, then greedily add arms with
@@ -361,12 +408,9 @@ impl FeasibleSet for StrategyFamily {
                 }
                 // Exact on enumerable instances; greedy weighted independent set
                 // otherwise.
-                if let Some(strategies) = self.enumerate(graph) {
-                    strategies.into_iter().max_by(|a, b| {
-                        strategy_weight(a, weights)
-                            .partial_cmp(&strategy_weight(b, weights))
-                            .unwrap_or(std::cmp::Ordering::Equal)
-                    })
+                if let Some(bank) = self.enumerate(graph) {
+                    argmax_row_by(&bank, |row| strategy_weight(row, weights))
+                        .map(|x| bank.row(x).to_vec())
                 } else {
                     let mut greedy = netband_graph::independent::greedy_max_weight_independent_set(
                         graph, weights,
@@ -382,8 +426,23 @@ impl FeasibleSet for StrategyFamily {
         }
     }
 
-    // `argmax_by_neighborhood_weights` uses the trait default: exact by
-    // enumeration when affordable, greedy weighted max-coverage otherwise.
+    fn argmax_by_neighborhood_weights(
+        &self,
+        weights: &[f64],
+        graph: &RelationGraph,
+    ) -> Option<Vec<ArmId>> {
+        // Same structure as the trait default — exact by enumeration when
+        // affordable, greedy weighted max-coverage otherwise — except that an
+        // explicit family scans its stored bank directly instead of cloning
+        // it through `enumerate`.
+        if let StrategyFamily::Explicit { strategies } = self {
+            return argmax_neighborhood_in_bank(strategies, weights, graph);
+        }
+        if let Some(bank) = self.enumerate(graph) {
+            return argmax_neighborhood_in_bank(&bank, weights, graph);
+        }
+        greedy_neighborhood_argmax(self, weights, graph)
+    }
 }
 
 /// Arm indices `0..num_arms` sorted by decreasing weight (ties towards smaller
@@ -400,27 +459,26 @@ fn sorted_by_weight(num_arms: usize, weights: &[f64]) -> Vec<ArmId> {
     order
 }
 
-/// All `k`-subsets of `0..n`, lexicographically ordered.
-fn combinations(n: usize, k: usize) -> Vec<Vec<ArmId>> {
-    let mut out = Vec::new();
+/// Appends all `k`-subsets of `0..n` to `out`, lexicographically ordered.
+fn push_combinations(n: usize, k: usize, out: &mut StrategyBank) {
     if k == 0 || k > n {
-        return out;
+        return;
     }
     let mut current: Vec<ArmId> = (0..k).collect();
     loop {
-        out.push(current.clone());
+        out.push_row(&current);
         // Advance to the next combination.
         let mut i = k;
         loop {
             if i == 0 {
-                return out;
+                return;
             }
             i -= 1;
             if current[i] != i + n - k {
                 break;
             }
             if i == 0 {
-                return out;
+                return;
             }
         }
         current[i] += 1;
@@ -448,10 +506,16 @@ mod tests {
     use super::*;
     use netband_graph::generators;
 
+    fn combinations(n: usize, k: usize) -> StrategyBank {
+        let mut out = StrategyBank::new();
+        push_combinations(n, k, &mut out);
+        out
+    }
+
     #[test]
     fn combinations_are_lexicographic_and_complete() {
         assert_eq!(
-            combinations(4, 2),
+            combinations(4, 2).to_rows(),
             vec![
                 vec![0, 1],
                 vec![0, 2],
@@ -461,7 +525,7 @@ mod tests {
                 vec![2, 3]
             ]
         );
-        assert_eq!(combinations(3, 3), vec![vec![0, 1, 2]]);
+        assert_eq!(combinations(3, 3).to_rows(), vec![vec![0, 1, 2]]);
         assert!(combinations(3, 0).is_empty());
         assert!(combinations(2, 3).is_empty());
         assert_eq!(combinations(5, 1).len(), 5);
@@ -479,7 +543,7 @@ mod tests {
     fn explicit_family_normalises_strategies() {
         let f = StrategyFamily::explicit(vec![vec![2, 0, 2], vec![], vec![1]]);
         if let StrategyFamily::Explicit { strategies } = &f {
-            assert_eq!(strategies, &vec![vec![0, 2], vec![1]]);
+            assert_eq!(strategies.to_rows(), vec![vec![0, 2], vec![1]]);
         } else {
             panic!("wrong variant");
         }
@@ -547,10 +611,9 @@ mod tests {
             StrategyFamily::independent_sets(2),
         ] {
             let fast = family.argmax_by_arm_weights(&weights, &g).unwrap();
-            let brute = family
-                .enumerate(&g)
-                .unwrap()
-                .into_iter()
+            let bank = family.enumerate(&g).unwrap();
+            let brute = bank
+                .iter()
                 .max_by(|a, b| {
                     strategy_weight(a, &weights)
                         .partial_cmp(&strategy_weight(b, &weights))
@@ -558,8 +621,7 @@ mod tests {
                 })
                 .unwrap();
             assert!(
-                (strategy_weight(&fast, &weights) - strategy_weight(&brute, &weights)).abs()
-                    < 1e-12,
+                (strategy_weight(&fast, &weights) - strategy_weight(brute, &weights)).abs() < 1e-12,
                 "family {family:?}: {fast:?} vs {brute:?}"
             );
         }
@@ -610,11 +672,7 @@ mod tests {
             fn contains(&self, s: &[ArmId], g: &RelationGraph) -> bool {
                 self.0.contains(s, g)
             }
-            fn enumerate_bounded(
-                &self,
-                _g: &RelationGraph,
-                _limit: usize,
-            ) -> Option<Vec<Vec<ArmId>>> {
+            fn enumerate_bounded(&self, _g: &RelationGraph, _limit: usize) -> Option<StrategyBank> {
                 None // pretend the family is too large to enumerate
             }
         }
@@ -637,7 +695,7 @@ mod tests {
         assert!(StrategyFamily::independent_sets(2)
             .argmax_by_arm_weights(&[], &g)
             .is_none());
-        assert!(StrategyFamily::explicit(vec![])
+        assert!(StrategyFamily::explicit(StrategyBank::new())
             .argmax_by_neighborhood_weights(&[], &g)
             .is_none());
     }

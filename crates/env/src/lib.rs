@@ -53,9 +53,9 @@ pub use arms::ArmSet;
 pub use bandit::{
     CombinatorialFeedback, EnvError, NetworkedBandit, PullBuffer, SinglePlayFeedback,
 };
-pub use batch::FeedbackBatch;
+pub use batch::{FeedbackBatch, MAX_WARM_SLOTS};
 pub use distributions::RewardDistribution;
-pub use feasible::{FeasibleSet, StrategyFamily};
+pub use feasible::{FeasibleSet, StrategyBank, StrategyFamily};
 pub use workloads::Workload;
 
 /// Identifier of an arm; re-exported from `netband-graph` so downstream code

@@ -59,22 +59,6 @@ impl Workload {
                 workload: self.name.clone(),
             })
     }
-
-    /// Returns the strategy family, panicking with a descriptive message if the
-    /// workload is single-play.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the workload has no combinatorial strategy family.
-    #[deprecated(
-        note = "use `try_family`, which reports a single-play workload as an error \
-                         instead of panicking"
-    )]
-    pub fn family(&self) -> &StrategyFamily {
-        self.family
-            .as_ref()
-            .expect("this workload is single-play and has no strategy family")
-    }
 }
 
 /// The paper's Section VII workload: `G(K, p)` relation graph, Bernoulli arms
@@ -173,17 +157,6 @@ mod tests {
             }
             other => panic!("expected NoStrategyFamily, got {other:?}"),
         }
-    }
-
-    /// The deprecated panicking accessor is kept as a thin wrapper; its
-    /// behaviour (and message) must not drift while call sites migrate.
-    #[test]
-    #[should_panic(expected = "single-play")]
-    fn deprecated_family_accessor_still_panics() {
-        let mut rng = StdRng::seed_from_u64(1);
-        let w = paper_simulation(5, 0.3, &mut rng);
-        #[allow(deprecated)]
-        let _ = w.family();
     }
 
     #[test]

@@ -7,8 +7,58 @@
 //! greedy weighted-independent-set heuristic plus an exact brute-force solver for
 //! small graphs (used as the combinatorial oracle and in tests).
 
+use crate::bank::StrategyBank;
 use crate::graph::RelationGraph;
 use crate::ArmId;
+
+/// Depth-first enumeration core shared by the nested and flat collectors:
+/// visits every non-empty independent set of size at most `max_size` in
+/// lexicographic order, handing each to `emit` until it has been called
+/// `limit` times (if bounded).
+fn for_each_independent_set(
+    graph: &RelationGraph,
+    max_size: usize,
+    limit: Option<usize>,
+    emit: &mut dyn FnMut(&[ArmId]),
+) {
+    fn recurse(
+        graph: &RelationGraph,
+        start: ArmId,
+        max_size: usize,
+        limit: Option<usize>,
+        emitted: &mut usize,
+        current: &mut Vec<ArmId>,
+        emit: &mut dyn FnMut(&[ArmId]),
+    ) {
+        if let Some(lim) = limit {
+            if *emitted >= lim {
+                return;
+            }
+        }
+        if current.len() == max_size {
+            return;
+        }
+        for v in start..graph.num_vertices() {
+            if current.iter().all(|&u| !graph.has_edge(u, v)) {
+                current.push(v);
+                emit(current);
+                *emitted += 1;
+                recurse(graph, v + 1, max_size, limit, emitted, current, emit);
+                current.pop();
+                if let Some(lim) = limit {
+                    if *emitted >= lim {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+    if max_size > 0 && graph.num_vertices() > 0 {
+        let mut current: Vec<ArmId> = Vec::new();
+        let mut emitted = 0usize;
+        recurse(graph, 0, max_size, limit, &mut emitted, &mut current, emit);
+    }
+}
 
 /// Enumerates all non-empty independent sets of size at most `max_size`.
 ///
@@ -20,42 +70,22 @@ pub fn independent_sets_up_to(
     max_size: usize,
     limit: Option<usize>,
 ) -> Vec<Vec<ArmId>> {
-    let n = graph.num_vertices();
     let mut out: Vec<Vec<ArmId>> = Vec::new();
-    let mut current: Vec<ArmId> = Vec::new();
-    fn recurse(
-        graph: &RelationGraph,
-        start: ArmId,
-        max_size: usize,
-        limit: Option<usize>,
-        current: &mut Vec<ArmId>,
-        out: &mut Vec<Vec<ArmId>>,
-    ) {
-        if let Some(lim) = limit {
-            if out.len() >= lim {
-                return;
-            }
-        }
-        if current.len() == max_size {
-            return;
-        }
-        for v in start..graph.num_vertices() {
-            if current.iter().all(|&u| !graph.has_edge(u, v)) {
-                current.push(v);
-                out.push(current.clone());
-                recurse(graph, v + 1, max_size, limit, current, out);
-                current.pop();
-                if let Some(lim) = limit {
-                    if out.len() >= lim {
-                        return;
-                    }
-                }
-            }
-        }
-    }
-    if max_size > 0 && n > 0 {
-        recurse(graph, 0, max_size, limit, &mut current, &mut out);
-    }
+    for_each_independent_set(graph, max_size, limit, &mut |set| out.push(set.to_vec()));
+    out
+}
+
+/// Like [`independent_sets_up_to`], but collects the sets straight into a flat
+/// [`StrategyBank`] — the layout the combinatorial oracles scan — without the
+/// per-set heap allocation of the nested form. Row order is identical to
+/// [`independent_sets_up_to`].
+pub fn independent_sets_bank(
+    graph: &RelationGraph,
+    max_size: usize,
+    limit: Option<usize>,
+) -> StrategyBank {
+    let mut out = StrategyBank::new();
+    for_each_independent_set(graph, max_size, limit, &mut |set| out.push_row(set));
     out
 }
 
@@ -234,6 +264,19 @@ mod tests {
         let g = generators::erdos_renyi(12, 0.4, &mut rng);
         for set in independent_sets_up_to(&g, 3, None) {
             assert!(g.is_independent_set(&set), "{set:?} is not independent");
+        }
+    }
+
+    #[test]
+    fn bank_collector_matches_nested_enumeration() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..5 {
+            let g = generators::erdos_renyi(10, 0.35, &mut rng);
+            for limit in [None, Some(3), Some(1000)] {
+                let nested = independent_sets_up_to(&g, 3, limit);
+                let bank = independent_sets_bank(&g, 3, limit);
+                assert_eq!(bank.to_rows(), nested);
+            }
         }
     }
 

@@ -22,6 +22,9 @@
 //!   Theorem 2 regret bounds.
 //! * [`independent`] — independent-set machinery used to build the combinatorial
 //!   feasible strategy sets of Section IV (Fig. 2 of the paper).
+//! * [`bank`] — [`StrategyBank`], the flat CSR-style storage every enumerated
+//!   feasible set travels in (one contiguous scan per oracle call instead of a
+//!   pointer chase per candidate strategy).
 //! * [`strategy`] — the **strategy relation graph** `SG(F, L)` construction that
 //!   converts combinatorial play with side observation into single play over
 //!   com-arms (Algorithm 2).
@@ -42,6 +45,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bank;
 pub mod clique;
 pub mod coloring;
 pub mod csr;
@@ -52,6 +56,7 @@ pub mod io;
 pub mod metrics;
 pub mod strategy;
 
+pub use bank::StrategyBank;
 pub use clique::{greedy_clique_cover, CliqueCover};
 pub use csr::CsrGraph;
 pub use graph::{GraphError, RelationGraph};

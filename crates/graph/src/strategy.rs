@@ -9,6 +9,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::bank::StrategyBank;
 use crate::graph::RelationGraph;
 use crate::ArmId;
 
@@ -36,42 +37,41 @@ pub type StrategyId = usize;
 /// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StrategyRelationGraph {
-    /// The feasible strategies, each a sorted set of arm ids.
-    strategies: Vec<Vec<ArmId>>,
-    /// `Y_x` for every strategy: the closed neighbourhood of its component arms.
-    observation_sets: Vec<Vec<ArmId>>,
+    /// The feasible strategies (flat rows, each a sorted set of arm ids).
+    strategies: StrategyBank,
+    /// `Y_x` for every strategy: the closed neighbourhood of its component arms
+    /// (flat rows aligned with `strategies`).
+    observation_sets: StrategyBank,
     /// The relation graph over com-arms.
     graph: RelationGraph,
 }
 
 impl StrategyRelationGraph {
     /// Builds the strategy relation graph for `strategies` over the arm relation
-    /// graph `arm_graph`.
+    /// graph `arm_graph`. Accepts either a flat [`StrategyBank`] or the nested
+    /// `Vec<Vec<ArmId>>` layout (converted via `Into`).
     ///
     /// Strategies are normalised (sorted, deduplicated). Arms outside the graph
     /// are dropped from the strategies.
     ///
     /// The construction is `O(|F|² · M)` after precomputing the `Y_x` sets, which
     /// matches the explicit-enumeration regime in which Algorithm 2 operates.
-    pub fn build(arm_graph: &RelationGraph, strategies: Vec<Vec<ArmId>>) -> Self {
-        let strategies: Vec<Vec<ArmId>> = strategies
-            .into_iter()
-            .map(|mut s| {
-                s.retain(|&v| v < arm_graph.num_vertices());
-                s.sort_unstable();
-                s.dedup();
-                s
-            })
-            .collect();
-        let observation_sets: Vec<Vec<ArmId>> = strategies
-            .iter()
-            .map(|s| arm_graph.closed_neighborhood_of_set(s))
-            .collect();
+    pub fn build(arm_graph: &RelationGraph, strategies: impl Into<StrategyBank>) -> Self {
+        // Empty rows survive normalisation: com-arm ids must stay aligned
+        // with the caller's enumeration.
+        let strategies = strategies
+            .into()
+            .into_normalized(false, |v| v < arm_graph.num_vertices());
+        let mut observation_sets =
+            StrategyBank::with_capacity(strategies.len(), strategies.arms().len());
+        for row in strategies.iter() {
+            observation_sets.push_row(&arm_graph.closed_neighborhood_of_set(row));
+        }
         let mut graph = RelationGraph::empty(strategies.len());
         for x in 0..strategies.len() {
             for y in (x + 1)..strategies.len() {
-                let x_in_y = is_subset(&strategies[x], &observation_sets[y]);
-                let y_in_x = is_subset(&strategies[y], &observation_sets[x]);
+                let x_in_y = is_subset(strategies.row(x), observation_sets.row(y));
+                let y_in_x = is_subset(strategies.row(y), observation_sets.row(x));
                 if x_in_y && y_in_x {
                     graph
                         .add_edge(x, y)
@@ -91,9 +91,15 @@ impl StrategyRelationGraph {
         self.strategies.len()
     }
 
-    /// The normalised feasible strategies.
-    pub fn strategies(&self) -> &[Vec<ArmId>] {
+    /// The normalised feasible strategies as flat bank rows.
+    pub fn strategies(&self) -> &StrategyBank {
         &self.strategies
+    }
+
+    /// The observation sets `Y_x` as flat bank rows aligned with
+    /// [`StrategyRelationGraph::strategies`].
+    pub fn observation_sets(&self) -> &StrategyBank {
+        &self.observation_sets
     }
 
     /// The component arms of strategy `x`.
@@ -102,7 +108,7 @@ impl StrategyRelationGraph {
     ///
     /// Panics if `x` is out of range.
     pub fn strategy(&self, x: StrategyId) -> &[ArmId] {
-        &self.strategies[x]
+        self.strategies.row(x)
     }
 
     /// The observation set `Y_x` (closed neighbourhood of the component arms).
@@ -111,16 +117,12 @@ impl StrategyRelationGraph {
     ///
     /// Panics if `x` is out of range.
     pub fn observation_set(&self, x: StrategyId) -> &[ArmId] {
-        &self.observation_sets[x]
+        self.observation_sets.row(x)
     }
 
     /// Maximum observation-set size `N = max_x |Y_x|` (Theorem 4's `N`).
     pub fn max_observation_set(&self) -> usize {
-        self.observation_sets
-            .iter()
-            .map(Vec::len)
-            .max()
-            .unwrap_or(0)
+        self.observation_sets.max_row_len()
     }
 
     /// The relation graph over com-arms (vertex `x` is strategy `x`).
@@ -143,7 +145,7 @@ impl StrategyRelationGraph {
     /// observed arms.
     pub fn strategies_observable_from(&self, observed: &[ArmId]) -> Vec<StrategyId> {
         (0..self.strategies.len())
-            .filter(|&x| is_subset(&self.strategies[x], observed))
+            .filter(|&x| is_subset(self.strategies.row(x), observed))
             .collect()
     }
 }

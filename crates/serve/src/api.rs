@@ -20,6 +20,31 @@ pub enum Decision {
     Strategy(Vec<ArmId>),
 }
 
+impl Decision {
+    /// Overwrites `self` with a single-arm decision. A warm
+    /// `Decision::Strategy` keeps its vector allocation parked in place only
+    /// when the variant already matches; flipping the variant drops it —
+    /// tenants never flip play modes, so batched reply slots stay warm.
+    pub(crate) fn set_arm(&mut self, arm: ArmId) {
+        match self {
+            Decision::Arm(a) => *a = arm,
+            other => *other = Decision::Arm(arm),
+        }
+    }
+
+    /// Overwrites `self` with a strategy decision, reusing the slot's vector
+    /// when the variant already matches.
+    pub(crate) fn set_strategy(&mut self, arms: &[ArmId]) {
+        match self {
+            Decision::Strategy(s) => {
+                s.clear();
+                s.extend_from_slice(arms);
+            }
+            other => *other = Decision::Strategy(arms.to_vec()),
+        }
+    }
+}
+
 /// One reward observation travelling back into the engine.
 ///
 /// The variant must match the tenant's play mode; a mismatch is rejected with
@@ -30,6 +55,15 @@ pub enum FeedbackEvent {
     Single(SinglePlayFeedback),
     /// Feedback for a combinatorial decision.
     Combinatorial(CombinatorialFeedback),
+}
+
+/// The default event is an empty single-play observation. It exists so batch
+/// ingestion can `mem::take` events out of reusable request buffers without
+/// allocating; a default-built event is never a valid observation on its own.
+impl Default for FeedbackEvent {
+    fn default() -> Self {
+        FeedbackEvent::Single(SinglePlayFeedback::default())
+    }
 }
 
 /// When a tenant folds its queued feedback into the policy estimators.
@@ -153,6 +187,10 @@ impl Default for FlushPolicy {
 }
 
 /// The engine's answer to a `Decide` request.
+///
+/// Replies are plain data; the batched client API recycles them as warm
+/// slots, so a steady-state [`ServeClient`](crate::ServeClient) batch is
+/// filled entirely in place (see [`ServeClient::decide_many`](crate::ServeClient::decide_many)).
 #[derive(Debug, Clone, PartialEq)]
 pub struct DecideReply {
     /// The tenant-local round this decision belongs to (1-based). Feedback
@@ -167,6 +205,19 @@ pub struct DecideReply {
     /// via feedback ingestion (possibly delayed and out of order). `None`
     /// when the tenant was configured without feedback echo.
     pub feedback: Option<FeedbackEvent>,
+}
+
+impl DecideReply {
+    /// A blank reply used as the seed for in-place filling (every field is
+    /// overwritten by `Tenant::decide_into` before the reply is handed out).
+    pub(crate) fn blank() -> Self {
+        DecideReply {
+            round: 0,
+            decision: Decision::Arm(0),
+            reward: 0.0,
+            feedback: None,
+        }
+    }
 }
 
 /// Errors surfaced by the serving engine.

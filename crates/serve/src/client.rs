@@ -1,0 +1,424 @@
+//! The batched client handle: amortised channel round-trips and recycled
+//! request/reply buffers.
+//!
+//! The per-call engine API ([`ServeEngine::decide`](crate::ServeEngine::decide))
+//! pays, for every decision, a fresh reply-channel allocation plus two channel
+//! hops. A [`ServeClient`] removes both costs from the steady state:
+//!
+//! * **Pooled reply channels** — the client owns one long-lived reply channel;
+//!   every batch command carries a clone of its sender (an `Arc` bump, no
+//!   allocation) instead of a freshly constructed `sync_channel`.
+//! * **Batched commands** — [`ServeClient::decide_many`] serves `n` decisions
+//!   over a single command/reply round-trip; [`ServeClient::feedback_many`]
+//!   ingests a whole window of feedback with one fire-and-forget command.
+//! * **Recycled buffers** — request buffers (including their tenant-id
+//!   strings) circulate client → shard → client, and the caller's reply
+//!   vector is handed to the shard as the reply buffer, so its warm
+//!   [`DecideReply`] slots (decision vectors, echoed feedback buffers) are
+//!   refilled in place. A steady-state `decide_many` loop that reuses its
+//!   `out` vector allocates nothing on either side of the channel.
+//!
+//! Batching changes *transport*, not semantics: a `decide_many(t, n, ..)` is
+//! bit-identical to `n` consecutive `decide(t)` calls, and `feedback_many`
+//! applies its events through the same per-event ingestion (including flush
+//! thresholds) as per-call feedback. `tests/serve_equivalence.rs` pins this
+//! with a randomly-chunked interleaving proptest.
+//!
+//! # Example
+//!
+//! ```
+//! use netband_core::DflSso;
+//! use netband_env::{ArmSet, NetworkedBandit};
+//! use netband_graph::generators;
+//! use netband_serve::{FlushPolicy, ServeEngine, TenantSpec};
+//! use netband_sim::SingleScenario;
+//!
+//! let engine = ServeEngine::with_shards(1);
+//! let graph = generators::path(6);
+//! let bandit = NetworkedBandit::new(graph.clone(), ArmSet::linear_bernoulli(6)).unwrap();
+//! let spec = TenantSpec::single("exp-0", bandit, DflSso::new(graph),
+//!     SingleScenario::SideObservation, 7)
+//!     .with_flush(FlushPolicy::batched(8));
+//! engine.create_tenant(spec).unwrap();
+//!
+//! let mut client = engine.client();
+//! let mut replies = Vec::new();
+//! client.decide_many("exp-0", 16, &mut replies).unwrap();
+//! let feedback: Vec<_> = replies
+//!     .iter_mut()
+//!     .map(|r| {
+//!         let r = r.as_mut().unwrap();
+//!         (r.round, r.feedback.take().unwrap())
+//!     })
+//!     .collect();
+//! client.feedback_many("exp-0", feedback).unwrap();
+//! engine.drain().unwrap();
+//! assert_eq!(engine.metrics().unwrap().total_decides(), 16);
+//! engine.shutdown();
+//! ```
+
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender};
+use std::time::Duration;
+
+use crate::api::{DecideReply, FeedbackEvent, ServeError};
+use crate::engine::ServeEngine;
+use crate::shard::{Command, DecideBatch, DecideRequest, FeedbackRequest};
+
+/// Upper bound on recycled feedback buffers parked in the client's return
+/// channel; overflow buffers are dropped by the shard instead of blocking it.
+const FEEDBACK_POOL_CAPACITY: usize = 8;
+
+/// How often the reply wait wakes up to check that the target shard is still
+/// alive. Batches complete in microseconds to milliseconds; the poll only
+/// matters if a shard dies mid-batch, so a coarse interval costs nothing.
+const REPLY_POLL: Duration = Duration::from_millis(100);
+
+/// A client handle over a [`ServeEngine`]: the batched, buffer-recycling
+/// counterpart of the engine's per-call methods. Cheap to create (two
+/// channels); intended usage is one client per driving thread, living for the
+/// whole session. See the [module docs](self) for the full protocol.
+pub struct ServeClient<'e> {
+    engine: &'e ServeEngine,
+    /// The client's long-lived batch reply channel; each `DecideMany` command
+    /// carries a clone of `reply_tx`.
+    reply_tx: SyncSender<DecideBatch>,
+    reply_rx: Receiver<DecideBatch>,
+    /// Return path for drained feedback request buffers.
+    recycle_tx: SyncSender<Vec<FeedbackRequest>>,
+    recycle_rx: Receiver<Vec<FeedbackRequest>>,
+    /// Recycled decide request buffers (tenant-id strings stay warm).
+    request_pool: Vec<Vec<DecideRequest>>,
+    /// Recycled feedback request buffers reclaimed from `recycle_rx`.
+    feedback_pool: Vec<Vec<FeedbackRequest>>,
+    /// Reply buffer backing [`ServeClient::decide`].
+    single_scratch: Vec<Result<DecideReply, ServeError>>,
+}
+
+impl<'e> ServeClient<'e> {
+    pub(crate) fn new(engine: &'e ServeEngine) -> Self {
+        let (reply_tx, reply_rx) = sync_channel(engine.num_shards().max(1));
+        let (recycle_tx, recycle_rx) = sync_channel(FEEDBACK_POOL_CAPACITY);
+        ServeClient {
+            engine,
+            reply_tx,
+            reply_rx,
+            recycle_tx,
+            recycle_rx,
+            request_pool: Vec::new(),
+            feedback_pool: Vec::new(),
+            single_scratch: Vec::new(),
+        }
+    }
+
+    /// Serves `n` consecutive decisions for `tenant` over one channel
+    /// round-trip, writing the results into `out` in round order.
+    ///
+    /// `out` is cleared of stale *meaning* but not of storage: its existing
+    /// entries are handed to the shard as warm reply slots and refilled in
+    /// place, so a loop that keeps reusing the same vector performs no
+    /// allocation once sizes have stabilised. The produced decisions, rewards,
+    /// regret accounting, and tenant metrics are bit-identical to `n`
+    /// consecutive [`ServeEngine::decide`] calls.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::EngineDown`] when the engine (or the tenant's shard) has
+    /// shut down; per-decision failures (e.g.
+    /// [`ServeError::UnknownTenant`]) land in the corresponding `out` entry.
+    pub fn decide_many(
+        &mut self,
+        tenant: &str,
+        n: usize,
+        out: &mut Vec<Result<DecideReply, ServeError>>,
+    ) -> Result<(), ServeError> {
+        if n == 0 {
+            out.clear();
+            return Ok(());
+        }
+        let mut requests = self.request_pool.pop().unwrap_or_default();
+        write_decide_requests(&mut requests, tenant, n);
+        let replies = std::mem::take(out);
+        let shard = self.engine.shard_of(tenant);
+        self.engine.send_to_shard(
+            shard,
+            Command::DecideMany {
+                tag: shard as u64,
+                requests,
+                replies,
+                reply: self.reply_tx.clone(),
+            },
+        )?;
+        let batch = self.wait_reply(shard)?;
+        self.request_pool.push(batch.requests);
+        *out = batch.replies;
+        Ok(())
+    }
+
+    /// Serves one decision through the batched transport (a 1-element
+    /// [`ServeClient::decide_many`] on a client-owned scratch buffer). Same
+    /// results as [`ServeEngine::decide`], minus the per-call reply-channel
+    /// construction.
+    pub fn decide(&mut self, tenant: &str) -> Result<DecideReply, ServeError> {
+        let mut out = std::mem::take(&mut self.single_scratch);
+        let sent = self.decide_many(tenant, 1, &mut out);
+        let reply = match sent {
+            Ok(()) => out.pop().expect("one requested decision yields one slot"),
+            Err(e) => Err(e),
+        };
+        self.single_scratch = out;
+        reply
+    }
+
+    /// Ingests a window of feedback events for `tenant` with one
+    /// fire-and-forget command, returning how many events were enqueued.
+    ///
+    /// Events are applied by the shard strictly in the order given, with the
+    /// same per-event semantics (round validation, flush thresholds, rejected
+    /// accounting) as per-call [`ServeEngine::feedback`]. The request buffer
+    /// — including its tenant-id strings — is recycled back to this client
+    /// once the shard has drained it.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::EngineDown`] after shutdown. Per-event failures (unknown
+    /// tenant, kind mismatch, invalid round) are counted in
+    /// [`crate::ShardMetrics::rejected`], exactly like per-call feedback.
+    pub fn feedback_many(
+        &mut self,
+        tenant: &str,
+        events: impl IntoIterator<Item = (u64, FeedbackEvent)>,
+    ) -> Result<usize, ServeError> {
+        self.reclaim_feedback_buffers();
+        let mut buffer = self.feedback_pool.pop().unwrap_or_default();
+        let mut used = 0usize;
+        for (round, event) in events {
+            if used < buffer.len() {
+                let entry = &mut buffer[used];
+                entry.tenant.clear();
+                entry.tenant.push_str(tenant);
+                entry.round = round;
+                entry.event = event;
+            } else {
+                buffer.push(FeedbackRequest {
+                    tenant: tenant.to_owned(),
+                    round,
+                    event,
+                });
+            }
+            used += 1;
+        }
+        buffer.truncate(used);
+        if used == 0 {
+            self.feedback_pool.push(buffer);
+            return Ok(0);
+        }
+        self.engine.send_to_shard(
+            self.engine.shard_of(tenant),
+            Command::FeedbackMany {
+                events: buffer,
+                recycle: self.recycle_tx.clone(),
+            },
+        )?;
+        Ok(used)
+    }
+
+    /// Moves buffers the shards have finished with back into the local pool.
+    fn reclaim_feedback_buffers(&mut self) {
+        while let Ok(buffer) = self.recycle_rx.try_recv() {
+            self.feedback_pool.push(buffer);
+        }
+    }
+
+    /// Waits for the in-flight batch. The pooled reply channel outlives any
+    /// single command, so a shard that died *without* replying would leave a
+    /// plain `recv` hanging; the wait therefore polls shard liveness at a
+    /// coarse interval and converts a dead shard into
+    /// [`ServeError::EngineDown`] (after draining a reply the shard may have
+    /// managed to send first).
+    fn wait_reply(&mut self, shard: usize) -> Result<DecideBatch, ServeError> {
+        loop {
+            match self.reply_rx.recv_timeout(REPLY_POLL) {
+                Ok(batch) => {
+                    // One batch in flight per client, so the echoed tag can
+                    // only be the shard we just addressed.
+                    debug_assert_eq!(batch.tag, shard as u64);
+                    return Ok(batch);
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    if self.engine.shard_is_down(shard) {
+                        if let Ok(batch) = self.reply_rx.try_recv() {
+                            return Ok(batch);
+                        }
+                        return Err(ServeError::EngineDown);
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => return Err(ServeError::EngineDown),
+            }
+        }
+    }
+}
+
+/// Writes a `(tenant, n)` request list into a recycled buffer, reusing entry
+/// strings. `n` is split across entries only when it exceeds the `u32` count
+/// width of a single request.
+fn write_decide_requests(requests: &mut Vec<DecideRequest>, tenant: &str, mut n: usize) {
+    let mut entries = 0usize;
+    while n > 0 {
+        let count = u32::try_from(n).unwrap_or(u32::MAX);
+        if entries < requests.len() {
+            let entry = &mut requests[entries];
+            entry.tenant.clear();
+            entry.tenant.push_str(tenant);
+            entry.count = count;
+        } else {
+            requests.push(DecideRequest {
+                tenant: tenant.to_owned(),
+                count,
+            });
+        }
+        entries += 1;
+        n -= count as usize;
+    }
+    requests.truncate(entries);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FlushPolicy, TenantSpec};
+    use netband_core::DflSso;
+    use netband_env::{ArmSet, NetworkedBandit};
+    use netband_graph::generators;
+    use netband_sim::SingleScenario;
+
+    fn engine_with_tenant(id: &str, batch: usize) -> ServeEngine {
+        let engine = ServeEngine::with_shards(2);
+        let graph = generators::path(5);
+        let bandit = NetworkedBandit::new(graph.clone(), ArmSet::linear_bernoulli(5)).unwrap();
+        let spec = TenantSpec::single(
+            id,
+            bandit,
+            DflSso::new(graph),
+            SingleScenario::SideObservation,
+            11,
+        )
+        .with_flush(FlushPolicy::batched(batch));
+        engine.create_tenant(spec).unwrap();
+        engine
+    }
+
+    #[test]
+    fn batched_decides_match_per_call_decides() {
+        let a = engine_with_tenant("t", 4);
+        let b = engine_with_tenant("t", 4);
+        let mut client = a.client();
+        let mut out = Vec::new();
+        client.decide_many("t", 10, &mut out).unwrap();
+        assert_eq!(out.len(), 10);
+        for (i, reply) in out.iter().enumerate() {
+            let expected = b.decide("t").unwrap();
+            assert_eq!(reply.as_ref().unwrap(), &expected, "round {}", i + 1);
+        }
+        a.shutdown();
+        b.shutdown();
+    }
+
+    #[test]
+    fn reply_buffers_are_recycled_in_place() {
+        let engine = engine_with_tenant("t", 1);
+        let mut client = engine.client();
+        let mut out = Vec::new();
+        client.decide_many("t", 8, &mut out).unwrap();
+        let first_round: Vec<u64> = out.iter().map(|r| r.as_ref().unwrap().round).collect();
+        assert_eq!(first_round, (1..=8).collect::<Vec<_>>());
+        // Reuse the same vector: slots are refilled, rounds advance.
+        client.decide_many("t", 8, &mut out).unwrap();
+        let second_round: Vec<u64> = out.iter().map(|r| r.as_ref().unwrap().round).collect();
+        assert_eq!(second_round, (9..=16).collect::<Vec<_>>());
+        // A shorter batch truncates the buffer.
+        client.decide_many("t", 3, &mut out).unwrap();
+        assert_eq!(out.len(), 3);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn unknown_tenants_error_per_slot() {
+        let engine = engine_with_tenant("t", 1);
+        let mut client = engine.client();
+        let mut out = Vec::new();
+        client.decide_many("ghost", 3, &mut out).unwrap();
+        assert_eq!(out.len(), 3);
+        for slot in &out {
+            assert_eq!(
+                slot.as_ref().unwrap_err(),
+                &ServeError::UnknownTenant("ghost".into())
+            );
+        }
+        // Slots recover to Ok when the next batch targets a real tenant.
+        client.decide_many("t", 3, &mut out).unwrap();
+        assert!(out.iter().all(Result::is_ok));
+        assert!(matches!(
+            client.decide("ghost"),
+            Err(ServeError::UnknownTenant(_))
+        ));
+        engine.shutdown();
+    }
+
+    #[test]
+    fn feedback_many_applies_like_per_call_feedback() {
+        let batched = engine_with_tenant("t", 3);
+        let per_call = engine_with_tenant("t", 3);
+        let mut client = batched.client();
+        let mut out = Vec::new();
+        client.decide_many("t", 9, &mut out).unwrap();
+        let window: Vec<(u64, FeedbackEvent)> = out
+            .iter_mut()
+            .map(|r| {
+                let r = r.as_mut().unwrap();
+                (r.round, r.feedback.take().unwrap())
+            })
+            .collect();
+        assert_eq!(client.feedback_many("t", window.clone()).unwrap(), 9);
+        for _ in 0..9 {
+            let reply = per_call.decide("t").unwrap();
+            per_call
+                .feedback("t", reply.round, reply.feedback.unwrap())
+                .unwrap();
+        }
+        batched.drain().unwrap();
+        per_call.drain().unwrap();
+        let (m_batched, m_per_call) = (
+            batched.metrics().unwrap().tenants,
+            per_call.metrics().unwrap().tenants,
+        );
+        assert_eq!(m_batched, m_per_call);
+        // Empty windows are a no-op.
+        assert_eq!(client.feedback_many("t", Vec::new()).unwrap(), 0);
+        batched.shutdown();
+        per_call.shutdown();
+    }
+
+    #[test]
+    fn zero_decides_is_a_no_op_that_clears_out() {
+        let engine = engine_with_tenant("t", 1);
+        let mut client = engine.client();
+        let mut out = Vec::new();
+        client.decide_many("t", 2, &mut out).unwrap();
+        client.decide_many("t", 0, &mut out).unwrap();
+        assert!(out.is_empty());
+        engine.shutdown();
+    }
+
+    #[test]
+    fn request_writer_reuses_and_truncates_entries() {
+        let mut requests = Vec::new();
+        write_decide_requests(&mut requests, "alpha", 5);
+        assert_eq!(requests.len(), 1);
+        assert_eq!(requests[0].tenant, "alpha");
+        assert_eq!(requests[0].count, 5);
+        write_decide_requests(&mut requests, "be", 2);
+        assert_eq!(requests.len(), 1);
+        assert_eq!(requests[0].tenant, "be");
+        assert_eq!(requests[0].count, 2);
+    }
+}

@@ -106,6 +106,30 @@ impl ServeEngine {
         &self.senders[self.shard_of(tenant)]
     }
 
+    /// Creates a batched client handle over this engine; see
+    /// [`ServeClient`](crate::ServeClient). Cheap — intended usage is one
+    /// client per driving thread.
+    pub fn client(&self) -> crate::ServeClient<'_> {
+        crate::ServeClient::new(self)
+    }
+
+    /// Enqueues a pre-built command on `shard` (the batched client path).
+    pub(crate) fn send_to_shard(&self, shard: usize, command: Command) -> Result<(), ServeError> {
+        self.senders[shard]
+            .send(command)
+            .map_err(|_| ServeError::EngineDown)
+    }
+
+    /// Whether `shard`'s worker thread has exited (shutdown or panic). Used
+    /// by the batched client to avoid waiting forever on a reply that can no
+    /// longer arrive.
+    pub(crate) fn shard_is_down(&self, shard: usize) -> bool {
+        self.handles
+            .get(shard)
+            .map(std::thread::JoinHandle::is_finished)
+            .unwrap_or(true)
+    }
+
     /// Sends a command built around a fresh reply channel and waits for the
     /// answer.
     fn request<T>(

@@ -40,6 +40,23 @@
 //! simulation bit for bit; the golden-trace equivalence suite in
 //! `tests/serve_equivalence.rs` pins exactly that.
 //!
+//! ## Batched serving
+//!
+//! The per-call methods above pay one reply-channel construction and two
+//! channel hops per decision. The hot path for real traffic is the
+//! [`ServeClient`] handle ([`ServeEngine::client`]): one long-lived reply
+//! channel per client, [`ServeClient::decide_many`] amortising a single
+//! command/reply round-trip over `n` decisions, and
+//! [`ServeClient::feedback_many`] ingesting a whole feedback window per
+//! command — with every request/reply buffer (tenant-id strings, decision
+//! vectors, echoed feedback) recycled, so a steady-state batched decide
+//! allocates nothing on either side. Batching changes transport only: the
+//! served trajectories, per-tenant metrics, and flush semantics are
+//! bit-identical to the per-call sequence (pinned by
+//! `tests/serve_equivalence.rs`). Shard-level command counts necessarily
+//! differ — one `DecideMany` is one command however many decisions it
+//! carries.
+//!
 //! ## Example
 //!
 //! Host an experiment, serve decisions from the engine, deliver the feedback
@@ -111,6 +128,7 @@
 #![warn(missing_docs)]
 
 pub mod api;
+pub mod client;
 pub mod engine;
 pub mod metrics;
 mod shard;
@@ -123,6 +141,7 @@ pub use netband_core::ArmId;
 pub use api::{
     DecideReply, Decision, FeedbackEvent, FlushPolicy, RegisterTenantSpec, ServeError, TenantId,
 };
+pub use client::ServeClient;
 pub use engine::{EngineConfig, ServeEngine};
 pub use metrics::{LatencyHistogram, MetricsReport, ShardMetrics, TenantMetrics, LATENCY_BUCKETS};
 pub use snapshot::TenantSnapshot;

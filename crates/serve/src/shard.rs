@@ -14,18 +14,65 @@ use crate::metrics::{ShardMetrics, TenantMetrics};
 use crate::snapshot::TenantSnapshot;
 use crate::tenant::{Tenant, TenantSpec};
 
+/// One entry of a batched decide command: `count` consecutive decisions for
+/// `tenant`. Request buffers are recycled through the reply, so the tenant-id
+/// strings stay warm across batches.
+#[derive(Debug)]
+pub(crate) struct DecideRequest {
+    pub(crate) tenant: TenantId,
+    pub(crate) count: u32,
+}
+
+/// One entry of a batched feedback command. The event is `mem::take`n out by
+/// the shard, so a recycled entry keeps its tenant-id string (and nothing
+/// else) warm.
+#[derive(Debug)]
+pub(crate) struct FeedbackRequest {
+    pub(crate) tenant: TenantId,
+    pub(crate) round: u64,
+    pub(crate) event: FeedbackEvent,
+}
+
+/// A completed `DecideMany` batch travelling back to its client: the filled
+/// reply slots plus the request buffer, returned for recycling. `tag` echoes
+/// the client-chosen command tag so one pooled reply channel can serve
+/// batches sent to several shards.
+pub(crate) struct DecideBatch {
+    pub(crate) tag: u64,
+    pub(crate) requests: Vec<DecideRequest>,
+    pub(crate) replies: Vec<Result<DecideReply, ServeError>>,
+}
+
 /// A command addressed to one shard. Fire-and-forget commands (`Feedback`,
-/// `Flush`) carry no reply channel; failures are counted in
+/// `FeedbackMany`, `Flush`) carry no reply channel; failures are counted in
 /// [`ShardMetrics::rejected`].
 pub(crate) enum Command {
     Decide {
         tenant: TenantId,
         reply: SyncSender<Result<DecideReply, ServeError>>,
     },
+    /// Serve every request of the batch (one tenant lookup per request entry,
+    /// `count` decisions each), filling `replies` **in place** — warm slots
+    /// are reused, so a steady-state batch allocates nothing — and send the
+    /// buffers back through the client's long-lived reply channel.
+    DecideMany {
+        tag: u64,
+        requests: Vec<DecideRequest>,
+        replies: Vec<Result<DecideReply, ServeError>>,
+        reply: SyncSender<DecideBatch>,
+    },
     Feedback {
         tenant: TenantId,
         round: u64,
         event: FeedbackEvent,
+    },
+    /// Ingest every event of the batch (identical per-event semantics to
+    /// `Feedback`, including flush thresholds), then hand the drained request
+    /// buffer back through `recycle` for reuse (dropped, never blocking the
+    /// shard, if the client's pool is full or gone).
+    FeedbackMany {
+        events: Vec<FeedbackRequest>,
+        recycle: SyncSender<Vec<FeedbackRequest>>,
     },
     Flush {
         tenant: TenantId,
@@ -81,6 +128,50 @@ pub(crate) fn shard_loop(commands: Receiver<Command>) {
                 // A disconnected caller is not a shard failure.
                 let _ = reply.send(result);
             }
+            Command::DecideMany {
+                tag,
+                requests,
+                mut replies,
+                reply,
+            } => {
+                let total: usize = requests.iter().map(|r| r.count as usize).sum();
+                replies.truncate(total);
+                let mut slot = 0usize;
+                for request in &requests {
+                    match tenants.get_mut(&request.tenant) {
+                        Some(tenant) => {
+                            for _ in 0..request.count {
+                                let start = Instant::now();
+                                decide_into_slot(tenant, &mut replies, slot);
+                                metrics.decide_latency.record(start.elapsed());
+                                slot += 1;
+                            }
+                        }
+                        None => {
+                            for _ in 0..request.count {
+                                // Record latency like the per-call path does
+                                // for unknown tenants, so both transports
+                                // produce the same shard metrics.
+                                let start = Instant::now();
+                                let err = ServeError::UnknownTenant(request.tenant.clone());
+                                if slot == replies.len() {
+                                    replies.push(Err(err));
+                                } else {
+                                    replies[slot] = Err(err);
+                                }
+                                metrics.decide_latency.record(start.elapsed());
+                                slot += 1;
+                            }
+                        }
+                    }
+                }
+                // A disconnected caller is not a shard failure.
+                let _ = reply.send(DecideBatch {
+                    tag,
+                    requests,
+                    replies,
+                });
+            }
             Command::Feedback {
                 tenant,
                 round,
@@ -96,6 +187,30 @@ pub(crate) fn shard_loop(commands: Receiver<Command>) {
                     None => metrics.rejected += 1,
                 }
                 metrics.feedback_latency.record(start.elapsed());
+            }
+            Command::FeedbackMany {
+                mut events,
+                recycle,
+            } => {
+                for request in events.iter_mut() {
+                    let start = Instant::now();
+                    match tenants.get_mut(&request.tenant) {
+                        Some(tenant) => {
+                            // Move the event out, leaving a (heap-free)
+                            // default behind so the entry's tenant string can
+                            // be recycled.
+                            let event = std::mem::take(&mut request.event);
+                            if tenant.feedback(request.round, event).is_err() {
+                                metrics.rejected += 1;
+                            }
+                        }
+                        None => metrics.rejected += 1,
+                    }
+                    metrics.feedback_latency.record(start.elapsed());
+                }
+                // Hand the buffer back to the client's pool; a full or
+                // disconnected pool just drops it (never block the shard).
+                let _ = recycle.try_send(events);
             }
             Command::Flush { tenant } => match tenants.get_mut(&tenant) {
                 Some(t) => t.flush_pending(),
@@ -154,5 +269,29 @@ pub(crate) fn shard_loop(commands: Receiver<Command>) {
             }
             Command::Shutdown => break,
         }
+    }
+}
+
+/// Serves one decision into reply slot `slot`, growing the buffer by one if
+/// the batch is larger than the recycled buffer. A warm `Ok` slot is filled
+/// strictly in place (no allocation when its buffers fit); an `Err` slot is
+/// reset to a blank reply first.
+fn decide_into_slot(
+    tenant: &mut Tenant,
+    replies: &mut Vec<Result<DecideReply, ServeError>>,
+    slot: usize,
+) {
+    if slot == replies.len() {
+        replies.push(Ok(DecideReply::blank()));
+    }
+    let entry = &mut replies[slot];
+    if entry.is_err() {
+        *entry = Ok(DecideReply::blank());
+    }
+    let Ok(reply) = entry else {
+        unreachable!("slot was just reset to Ok");
+    };
+    if let Err(e) = tenant.decide_into(reply) {
+        *entry = Err(e);
     }
 }

@@ -18,7 +18,7 @@ use netband_sim::regret::RegretTrace;
 use netband_sim::step;
 use netband_sim::{CombinatorialScenario, SingleScenario};
 
-use crate::api::{DecideReply, Decision, FeedbackEvent, FlushPolicy, ServeError, TenantId};
+use crate::api::{DecideReply, FeedbackEvent, FlushPolicy, ServeError, TenantId};
 use crate::metrics::TenantMetrics;
 use crate::snapshot::{SnapshotKind, TenantSnapshot};
 
@@ -255,6 +255,27 @@ pub(crate) enum TenantKind {
     },
 }
 
+/// Writes a single-play feedback echo into a reply slot, reusing the warm
+/// event (and its observation buffer) when the slot already holds one.
+fn set_single_event(slot: &mut Option<FeedbackEvent>, src: &netband_env::SinglePlayFeedback) {
+    match slot {
+        Some(FeedbackEvent::Single(dst)) => dst.copy_from(src),
+        other => *other = Some(FeedbackEvent::Single(src.clone())),
+    }
+}
+
+/// Writes a combinatorial feedback echo into a reply slot; see
+/// [`set_single_event`].
+fn set_combinatorial_event(
+    slot: &mut Option<FeedbackEvent>,
+    src: &netband_env::CombinatorialFeedback,
+) {
+    match slot {
+        Some(FeedbackEvent::Combinatorial(dst)) => dst.copy_from(src),
+        other => *other = Some(FeedbackEvent::Combinatorial(src.clone())),
+    }
+}
+
 /// One hosted experiment, owned by a single shard thread.
 pub(crate) struct Tenant {
     pub(crate) id: TenantId,
@@ -336,10 +357,17 @@ impl Tenant {
         })
     }
 
-    /// Serves one decision. The per-round arithmetic (pull, reward, regret
-    /// record, optional immediate update) matches the batch runner expression
-    /// for expression, which is what the golden-trace equivalence suite pins.
-    pub(crate) fn decide(&mut self) -> Result<DecideReply, ServeError> {
+    /// Serves one decision into a caller-owned reply slot. The per-round
+    /// arithmetic (pull, reward, regret record, optional immediate update)
+    /// matches the batch runner expression for expression, which is what the
+    /// golden-trace equivalence suite pins.
+    ///
+    /// Every field of `reply` is overwritten; a warm slot (same play mode,
+    /// echo setting, and similar observation sizes as the previous occupant)
+    /// is filled without allocating, which is what makes a steady-state
+    /// batched decide allocation-free. On error the slot's contents are
+    /// unspecified.
+    pub(crate) fn decide_into(&mut self, reply: &mut DecideReply) -> Result<(), ServeError> {
         if self.flush.flush_before_decide {
             self.flush_pending();
         }
@@ -348,7 +376,7 @@ impl Tenant {
         let optimal = self.optimal;
         let echo = self.echo_feedback;
         let auto = self.auto_feedback;
-        let reply = match &mut self.kind {
+        match &mut self.kind {
             TenantKind::Single {
                 policy, scenario, ..
             } => {
@@ -360,11 +388,13 @@ impl Tenant {
                 if auto {
                     policy.update(t, feedback);
                 }
-                DecideReply {
-                    round: self.round,
-                    decision: Decision::Arm(arm),
-                    reward,
-                    feedback: echo.then(|| FeedbackEvent::Single(feedback.clone())),
+                reply.round = self.round;
+                reply.decision.set_arm(arm);
+                reply.reward = reward;
+                if echo {
+                    set_single_event(&mut reply.feedback, feedback);
+                } else {
+                    reply.feedback = None;
                 }
             }
             TenantKind::Combinatorial {
@@ -400,15 +430,25 @@ impl Tenant {
                 if auto {
                     policy.update(t, feedback);
                 }
-                DecideReply {
-                    round: self.round,
-                    decision: Decision::Strategy(feedback.strategy.clone()),
-                    reward,
-                    feedback: echo.then(|| FeedbackEvent::Combinatorial(feedback.clone())),
+                reply.round = self.round;
+                reply.decision.set_strategy(&feedback.strategy);
+                reply.reward = reward;
+                if echo {
+                    set_combinatorial_event(&mut reply.feedback, feedback);
+                } else {
+                    reply.feedback = None;
                 }
             }
-        };
+        }
         self.metrics.decides += 1;
+        Ok(())
+    }
+
+    /// Serves one decision into a freshly allocated reply — the owned-value
+    /// form of [`Tenant::decide_into`] used by the per-call engine API.
+    pub(crate) fn decide(&mut self) -> Result<DecideReply, ServeError> {
+        let mut reply = DecideReply::blank();
+        self.decide_into(&mut reply)?;
         Ok(reply)
     }
 
@@ -583,6 +623,7 @@ impl Tenant {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::api::Decision;
     use netband_core::{DflCsr, DflSso};
     use netband_env::ArmSet;
     use netband_graph::generators;

@@ -7,9 +7,11 @@
 //! (regenerate it with `cargo run --example gen_fleet`). This example parses
 //! that document into a [`FleetSpec`], boots a 4-shard [`ServeEngine`] from
 //! it with one `register_fleet` call, and then drives every tenant from 8
-//! client threads that deliver feedback late, in batches, and in reverse
-//! round order. At the end one tenant is checkpointed, moved to a brand-new
-//! engine, and resumed, and the engine's metrics report is printed.
+//! client threads over the **batched client API** ([`ServeClient`]): each
+//! window of rounds is one `decide_many` round-trip, and the revealed
+//! feedback travels back late, in batches, and in reverse round order via
+//! `feedback_many`. At the end one tenant is checkpointed, moved to a
+//! brand-new engine, and resumed, and the engine's metrics report is printed.
 //!
 //! Run with: `cargo run --release --example live_service`
 //! (`NETBAND_QUICK=1` shrinks the round count for smoke runs.)
@@ -32,21 +34,25 @@ fn rounds() -> usize {
     }
 }
 
-/// One client session against one tenant: decide every round, hold the
-/// revealed feedback in a window, deliver each window in reverse round order.
-fn drive(engine: &ServeEngine, tenant: &str, rounds: usize) {
-    let mut held = Vec::with_capacity(FEEDBACK_WINDOW);
-    for _ in 0..rounds {
-        let reply = engine.decide(tenant).expect("decide");
-        held.push((reply.round, reply.feedback.expect("echoed feedback")));
-        if held.len() >= FEEDBACK_WINDOW {
-            for (round, event) in held.drain(..).rev() {
-                engine.feedback(tenant, round, event).expect("feedback");
-            }
-        }
-    }
-    for (round, event) in held.drain(..).rev() {
-        engine.feedback(tenant, round, event).expect("feedback");
+/// One client session against one tenant over the batched API: each window of
+/// rounds is one `decide_many` round-trip, and its revealed feedback goes
+/// back — in reverse round order — as one `feedback_many` command. The
+/// client's reply buffers are recycled across windows, so the steady state
+/// allocates nothing.
+fn drive(client: &mut ServeClient<'_>, tenant: &str, rounds: usize) {
+    let mut replies = Vec::new();
+    let mut remaining = rounds;
+    while remaining > 0 {
+        let window = remaining.min(FEEDBACK_WINDOW);
+        client
+            .decide_many(tenant, window, &mut replies)
+            .expect("decide_many");
+        let events = replies.iter_mut().rev().map(|slot| {
+            let reply = slot.as_mut().expect("decide");
+            (reply.round, reply.feedback.take().expect("echoed feedback"))
+        });
+        client.feedback_many(tenant, events).expect("feedback_many");
+        remaining -= window;
     }
 }
 
@@ -76,8 +82,9 @@ fn main() {
             let engine = &engine;
             let ids = &tenant_ids;
             scope.spawn(move || {
+                let mut client_handle = engine.client();
                 for id in ids.iter().skip(client).step_by(CLIENTS) {
-                    drive(engine, id, rounds);
+                    drive(&mut client_handle, id, rounds);
                 }
             });
         }
@@ -120,7 +127,9 @@ fn main() {
     engine.shutdown();
     let second = ServeEngine::with_shards(1);
     second.restore_tenant(snapshot).expect("restore");
-    drive(&second, &first, rounds);
+    let mut resumed_client = second.client();
+    drive(&mut resumed_client, &first, rounds);
+    drop(resumed_client);
     second.drain().expect("drain");
     let resumed = second.evict_tenant(&first).expect("evict");
     println!(

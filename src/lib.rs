@@ -79,11 +79,11 @@ pub mod prelude {
     };
     pub use netband_graph::{
         generators, greedy_clique_cover, metrics, CsrGraph, GraphMetrics, RelationGraph,
-        StrategyRelationGraph,
+        StrategyBank, StrategyRelationGraph,
     };
     pub use netband_serve::{
         DecideReply, Decision, EngineConfig, FeedbackEvent, FlushPolicy, MetricsReport,
-        RegisterTenantSpec, ServeEngine, ServeError, TenantSnapshot, TenantSpec,
+        RegisterTenantSpec, ServeClient, ServeEngine, ServeError, TenantSnapshot, TenantSpec,
     };
     pub use netband_sim::{
         replicate, replicate_spec, run_built, run_combinatorial, run_single, run_single_coupled,

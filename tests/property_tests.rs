@@ -82,7 +82,7 @@ proptest! {
             // Direct-weight oracle.
             let fast = family.argmax_by_arm_weights(weights, &graph).unwrap();
             let direct = |s: &[usize]| s.iter().map(|&i| weights[i]).sum::<f64>();
-            let best_direct = all.iter().map(|s| direct(s)).fold(f64::MIN, f64::max);
+            let best_direct = all.iter().map(&direct).fold(f64::MIN, f64::max);
             prop_assert!((direct(&fast) - best_direct).abs() < 1e-9);
             // Neighbourhood-weight oracle.
             let fast_cov = family.argmax_by_neighborhood_weights(weights, &graph).unwrap();
@@ -91,8 +91,83 @@ proptest! {
                 .iter()
                 .map(|&i| weights[i])
                 .sum::<f64>();
-            let best_cov = all.iter().map(|s| coverage(s)).fold(f64::MIN, f64::max);
+            let best_cov = all.iter().map(&coverage).fold(f64::MIN, f64::max);
             prop_assert!((coverage(&fast_cov) - best_cov).abs() < 1e-9);
+        }
+    }
+
+    /// Flat-bank storage is lossless: any nested strategy list round-trips
+    /// through `StrategyBank` with rows, lengths, and order preserved
+    /// verbatim.
+    #[test]
+    fn strategy_bank_round_trips_nested_rows(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(0usize..32, 0..6),
+            0..24,
+        ),
+    ) {
+        let bank = StrategyBank::from(rows.clone());
+        prop_assert_eq!(bank.len(), rows.len());
+        prop_assert_eq!(bank.is_empty(), rows.is_empty());
+        prop_assert_eq!(bank.max_row_len(), rows.iter().map(Vec::len).max().unwrap_or(0));
+        prop_assert_eq!(bank.arms().len(), rows.iter().map(Vec::len).sum::<usize>());
+        for (i, row) in rows.iter().enumerate() {
+            prop_assert_eq!(bank.row(i), row.as_slice());
+            prop_assert_eq!(bank.row_len(i), row.len());
+        }
+        let via_iter: Vec<Vec<usize>> = bank.iter().map(<[usize]>::to_vec).collect();
+        prop_assert_eq!(&via_iter, &rows);
+        prop_assert_eq!(bank.to_rows(), rows.clone());
+        // Streaming construction produces the identical bank.
+        let streamed: StrategyBank = rows.into_iter().collect();
+        prop_assert_eq!(streamed, bank);
+    }
+
+    /// The flat bank oracle scans must return exactly — same strategy, same
+    /// tie-break — what the pre-bank nested `Vec<Vec<ArmId>>` scans returned
+    /// (`Iterator::max_by` over enumerated rows, last maximum wins).
+    #[test]
+    fn bank_oracle_scans_match_the_nested_reference(
+        graph in arb_graph(8),
+        weights in arb_weights(8),
+    ) {
+        use netband::env::feasible::{neighborhood_weight, strategy_weight};
+
+        let k = graph.num_vertices();
+        let weights = &weights[..k];
+        let families = [
+            StrategyFamily::independent_sets(2),
+            StrategyFamily::explicit(
+                StrategyFamily::independent_sets(2).enumerate(&graph).unwrap(),
+            ),
+        ];
+        for family in families {
+            let rows = family.enumerate(&graph).unwrap().to_rows();
+            if rows.is_empty() { continue; }
+            // The old enumerated arm-weight scan, verbatim.
+            let nested_arm = rows.clone().into_iter().max_by(|a, b| {
+                strategy_weight(a, weights)
+                    .partial_cmp(&strategy_weight(b, weights))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            prop_assert_eq!(
+                family.argmax_by_arm_weights(weights, &graph),
+                nested_arm,
+                "arm-weight scan drifted for {:?}",
+                family
+            );
+            // The old enumerated neighbourhood-weight scan, verbatim.
+            let nested_cov = rows.into_iter().max_by(|a, b| {
+                neighborhood_weight(a, weights, &graph)
+                    .partial_cmp(&neighborhood_weight(b, weights, &graph))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            prop_assert_eq!(
+                family.argmax_by_neighborhood_weights(weights, &graph),
+                nested_cov,
+                "neighbourhood-weight scan drifted for {:?}",
+                family
+            );
         }
     }
 

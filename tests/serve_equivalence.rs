@@ -13,9 +13,11 @@
 mod common;
 
 use common::{
-    assert_golden, cso_family, csr_family, fixture_instance, COMB_HORIZON, RUN_SEED, SINGLE_HORIZON,
+    assert_golden, cso_family, csr_family, fixture_instance, GoldenTrace, COMB_HORIZON, RUN_SEED,
+    SINGLE_HORIZON,
 };
 use netband::prelude::*;
+use proptest::prelude::*;
 
 /// Builds the four golden tenants, configured exactly like the batch runs:
 /// same instance, same policies, same scenarios, same reward-stream seed,
@@ -130,6 +132,126 @@ fn interleaved_tenants_on_one_shard_stay_bit_exact() {
         assert_golden(name, &snapshot.run_result());
     }
     engine.shutdown();
+}
+
+/// The batched client transport must be the same math as per-call serving:
+/// at chunk size 1 with immediate flushing, `decide_many`/`feedback_many`
+/// reproduce every committed fixture bit for bit.
+#[test]
+fn batched_client_reproduces_all_golden_traces_at_chunk_one() {
+    for (name, horizon, spec) in golden_specs() {
+        let engine = ServeEngine::with_shards(1);
+        engine.create_tenant(spec).expect("create tenant");
+        let mut client = engine.client();
+        let mut replies = Vec::new();
+        for _ in 0..horizon {
+            client.decide_many(name, 1, &mut replies).expect("decide");
+            let reply = replies[0].as_mut().expect("golden decide succeeds");
+            let event = reply.feedback.take().expect("golden tenants echo");
+            let round = reply.round;
+            client
+                .feedback_many(name, [(round, event)])
+                .expect("feedback");
+        }
+        drop(client);
+        let snapshot = engine.evict_tenant(name).expect("evict tenant");
+        assert_eq!(snapshot.round(), horizon as u64, "{name}");
+        assert_golden(name, &snapshot.run_result());
+        engine.shutdown();
+    }
+}
+
+/// Builds one delayed-feedback tenant (flush threshold `flush`) on a fresh
+/// single-shard engine; `combinatorial` picks DFL-CSR over DFL-SSO so both
+/// reply shapes (arm and strategy decisions) are exercised.
+fn delayed_tenant_engine(combinatorial: bool, flush: usize) -> ServeEngine {
+    let bandit = fixture_instance();
+    let spec = if combinatorial {
+        let family = csr_family();
+        TenantSpec::combinatorial(
+            "t",
+            bandit.clone(),
+            DflCsr::new(bandit.graph().clone(), family.clone()),
+            family,
+            CombinatorialScenario::SideReward,
+            RUN_SEED,
+        )
+    } else {
+        TenantSpec::single(
+            "t",
+            bandit.clone(),
+            DflSso::new(bandit.graph().clone()),
+            SingleScenario::SideObservation,
+            RUN_SEED,
+        )
+    }
+    .with_flush(FlushPolicy::batched(flush));
+    let engine = ServeEngine::with_shards(1);
+    engine.create_tenant(spec).expect("create tenant");
+    engine
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// A randomly chunked `decide_many`/`feedback_many` interleaving (chunk
+    /// sizes 1..=8, each window optionally delivered in reverse round order)
+    /// must produce f64-bit-identical decisions, regret traces, and tenant
+    /// metrics to the equivalent per-call `decide`/`feedback` sequence —
+    /// batching is transport, not semantics.
+    #[test]
+    fn chunked_batches_match_per_call_sequences(
+        // (chunk size, reverse-delivery flag) per window; the vendored
+        // proptest shim has no bool strategy, so flags travel as 0/1.
+        plan in proptest::collection::vec((1usize..=8, 0usize..=1), 1..=10),
+        flush in 1usize..=6,
+        combinatorial in 0usize..=1,
+    ) {
+        let per_call = delayed_tenant_engine(combinatorial == 1, flush);
+        let batched = delayed_tenant_engine(combinatorial == 1, flush);
+        let mut client = batched.client();
+        let mut replies = Vec::new();
+        for &(chunk, reversed) in &plan {
+            client.decide_many("t", chunk, &mut replies).expect("decide_many");
+            prop_assert_eq!(replies.len(), chunk);
+            for slot in &replies {
+                let got = slot.as_ref().expect("batched decide succeeds");
+                let want = per_call.decide("t").expect("per-call decide succeeds");
+                prop_assert_eq!(got, &want);
+                prop_assert_eq!(got.reward.to_bits(), want.reward.to_bits());
+            }
+            let mut window: Vec<(u64, FeedbackEvent)> = replies
+                .iter_mut()
+                .map(|slot| {
+                    let reply = slot.as_mut().expect("batched decide succeeds");
+                    (reply.round, reply.feedback.take().expect("echoed feedback"))
+                })
+                .collect();
+            if reversed == 1 {
+                window.reverse();
+            }
+            for (round, event) in &window {
+                per_call.feedback("t", *round, event.clone()).expect("feedback");
+            }
+            let sent = client.feedback_many("t", window).expect("feedback_many");
+            prop_assert_eq!(sent, chunk);
+        }
+        batched.drain().expect("drain");
+        per_call.drain().expect("drain");
+        prop_assert_eq!(
+            batched.metrics().expect("metrics").tenants,
+            per_call.metrics().expect("metrics").tenants
+        );
+        drop(client);
+        let a = batched.evict_tenant("t").expect("evict");
+        let b = per_call.evict_tenant("t").expect("evict");
+        prop_assert_eq!(
+            GoldenTrace::from_result(&a.run_result()),
+            GoldenTrace::from_result(&b.run_result())
+        );
+        batched.shutdown();
+        per_call.shutdown();
+    }
 }
 
 /// Snapshot half-way, shut the engine down, restore onto a fresh engine, and
