@@ -9,6 +9,7 @@
 //! parse→build→first-decide path a cold fleet boot pays per tenant.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netband_env::{ChangePoint, DriftSchedule, GradualDrift};
 use netband_spec::{presets, ScenarioSpec};
 
 /// The four presets at serving-demo scale, with their report labels.
@@ -65,5 +66,66 @@ fn bench_parse_build_decide(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_parse, bench_build, bench_parse_build_decide);
+/// Cost of nonstationarity: the per-round drifted-mean evaluation, and the
+/// end-to-end overhead a drifting scenario pays over its stationary twin.
+fn bench_drift(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spec_drift");
+
+    // Per-round cost of evaluating a full drift schedule (rotation + sinusoid
+    // + churn) into a preallocated buffer — the hot-loop increment every
+    // drifted round pays on top of the stationary step.
+    let schedule = DriftSchedule {
+        gradual: Some(GradualDrift {
+            amplitude: 0.1,
+            period: 500,
+        }),
+        change_points: vec![ChangePoint {
+            round: 1_000,
+            rotation: 6,
+        }],
+        churn: Vec::new(),
+    };
+    let base: Vec<f64> = (0..64).map(|i| 0.2 + 0.6 * (i as f64) / 63.0).collect();
+    let mut out = vec![0.0; base.len()];
+    group.bench_function("means_at/64_arms", |b| {
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            schedule.means_at(&base, t, &mut out);
+            std::hint::black_box(out[0])
+        })
+    });
+
+    // End-to-end: the same CTS-D workload with and without a change point,
+    // through the declarative front door.
+    let config = netband_experiments::drift_exp::DriftConfig {
+        scale: netband_experiments::Scale {
+            horizon: 2_000,
+            replications: 1,
+        },
+        ..Default::default()
+    };
+    let panel = netband_experiments::drift_exp::policy_panel(7);
+    let (_, cts_d) = panel
+        .into_iter()
+        .find(|(label, _)| *label == "cts-d")
+        .expect("panel always carries the discounted variant");
+    let drifted = netband_experiments::drift_exp::cell_spec(&config, cts_d, 11);
+    let mut stationary = drifted.clone();
+    stationary.workload.drift = None;
+    for (name, spec) in [("stationary", &stationary), ("change_point", &drifted)] {
+        group.bench_with_input(BenchmarkId::new("run_cts_d", name), spec, |b, spec| {
+            b.iter(|| std::hint::black_box(netband_sim::run_spec(spec).unwrap().total_reward))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_parse,
+    bench_build,
+    bench_parse_build_decide,
+    bench_drift
+);
 criterion_main!(benches);

@@ -1,0 +1,386 @@
+//! CTS — Combinatorial Thompson Sampling over the feasible strategy family.
+//!
+//! The Bayesian counterpart of the DFL index policies, after Hüyük & Tekin
+//! (*Thompson Sampling for Combinatorial Network Optimization in Unknown
+//! Environments*): each arm carries a Beta posterior over its Bernoulli mean;
+//! every round the policy draws one sample `θ_i` per arm and hands the sample
+//! vector to the combinatorial oracle, playing the feasible strategy that
+//! maximises `Σ_{i ∈ s} θ_i`. Rewards in `[0, 1]` are folded into the
+//! posterior by Bernoulli binarisation (success with probability equal to the
+//! reward — Agrawal & Goyal's trick, as in
+//! `netband_baselines::ThompsonBernoulli`), and *every* revealed observation
+//! updates its arm, so side observations sharpen the posterior for free.
+//!
+//! Unlike the index policies, CTS composes naturally with the nonstationary
+//! estimators: the posterior pseudo-counts are derived from an
+//! [`ArmEstimators`] of any [`EstimatorKind`], so a discounted or
+//! sliding-window CTS forgets stale evidence and re-explores after a change
+//! point — the drifting-world policies of the `regret-vs-drift` experiment.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use netband_env::feasible::FeasibleSet;
+use netband_env::{CombinatorialFeedback, StrategyFamily};
+use netband_graph::{RelationGraph, StrategyBank};
+
+use crate::estimator::{argmax_last, ArmEstimators, EstimatorKind};
+use crate::policy::CombinatorialPolicy;
+use crate::ArmId;
+
+/// Combinatorial Thompson sampling with a `Beta(1, 1)` prior per arm.
+///
+/// # Example
+///
+/// ```
+/// use netband_core::cts::CombinatorialThompson;
+/// use netband_core::policy::CombinatorialPolicy;
+/// use netband_env::StrategyFamily;
+/// use netband_graph::generators;
+///
+/// let graph = generators::path(4);
+/// let family = StrategyFamily::independent_sets(2);
+/// let mut policy = CombinatorialThompson::new(graph, family, 7);
+/// let strategy = policy.select_strategy(1);
+/// assert!(!strategy.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct CombinatorialThompson {
+    graph: RelationGraph,
+    family: StrategyFamily,
+    /// Flattened enumeration of the feasible set when it is small enough to
+    /// enumerate; the per-round oracle is then a contiguous bank scan with
+    /// the same last-max tie-breaking as the family's `argmax_row_by` path.
+    enumerated: Option<StrategyBank>,
+    /// Binarised observation evidence per arm; the Beta posterior of arm `i`
+    /// is `Beta(1 + s_i, 1 + f_i)` with `s_i = mean_i · n_i`,
+    /// `f_i = n_i − s_i` read off the estimator's mean and effective count.
+    estimates: ArmEstimators,
+    rng: StdRng,
+    seed: u64,
+    /// Per-round posterior sample vector `θ`, reused across rounds.
+    theta: Vec<f64>,
+}
+
+impl CombinatorialThompson {
+    /// Creates the stationary policy for the given relation graph and
+    /// feasible family.
+    pub fn new(graph: RelationGraph, family: StrategyFamily, seed: u64) -> Self {
+        CombinatorialThompson::with_estimator(graph, family, EstimatorKind::Stationary, seed)
+    }
+
+    /// Creates the policy with an explicit [`EstimatorKind`] for the
+    /// posterior evidence — [`EstimatorKind::Discounted`] or
+    /// [`EstimatorKind::SlidingWindow`] give the nonstationary variants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kind's parameters are out of range (see
+    /// [`ArmEstimators::with_kind`]).
+    pub fn with_estimator(
+        graph: RelationGraph,
+        family: StrategyFamily,
+        kind: EstimatorKind,
+        seed: u64,
+    ) -> Self {
+        let k = graph.num_vertices();
+        let enumerated = family.enumerate(&graph);
+        CombinatorialThompson {
+            graph,
+            family,
+            enumerated,
+            estimates: ArmEstimators::with_kind(k, kind),
+            rng: StdRng::seed_from_u64(seed),
+            seed,
+            theta: vec![0.0; k],
+        }
+    }
+
+    /// Number of arms `K`.
+    pub fn num_arms(&self) -> usize {
+        self.estimates.len()
+    }
+
+    /// The estimator kind backing the posterior pseudo-counts.
+    pub fn estimator_kind(&self) -> EstimatorKind {
+        self.estimates.kind()
+    }
+
+    /// Posterior mean of an arm under its `Beta(1 + s, 1 + f)` posterior.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arm` is out of range.
+    pub fn posterior_mean(&self, arm: ArmId) -> f64 {
+        let (s, f) = self.pseudo_counts(arm);
+        s / (s + f)
+    }
+
+    /// The Beta parameters `(1 + successes, 1 + failures)` of an arm.
+    fn pseudo_counts(&self, arm: ArmId) -> (f64, f64) {
+        let n = self.estimates.effective_count(arm);
+        let s = (self.estimates.mean(arm) * n).clamp(0.0, n.max(0.0));
+        (1.0 + s, 1.0 + (n - s))
+    }
+
+    /// Draws one posterior sample per arm into the scratch vector.
+    fn sample_theta(&mut self) {
+        for arm in 0..self.estimates.len() {
+            let (a, b) = self.pseudo_counts(arm);
+            self.theta[arm] = sample_beta(a, b, &mut self.rng);
+        }
+    }
+}
+
+impl CombinatorialPolicy for CombinatorialThompson {
+    fn name(&self) -> &'static str {
+        match self.estimates.kind() {
+            EstimatorKind::Stationary => "CTS",
+            EstimatorKind::Discounted { .. } => "CTS-D",
+            EstimatorKind::SlidingWindow { .. } => "CTS-SW",
+        }
+    }
+
+    fn select_strategy(&mut self, t: usize) -> Vec<ArmId> {
+        let mut out = Vec::new();
+        self.select_strategy_into(t, &mut out);
+        out
+    }
+
+    fn select_strategy_into(&mut self, _t: usize, out: &mut Vec<ArmId>) {
+        self.sample_theta();
+        if let Some(bank) = &self.enumerated {
+            let x = argmax_last(
+                bank.iter()
+                    .map(|row| row.iter().map(|&i| self.theta[i]).sum::<f64>()),
+            )
+            .expect("CTS requires a non-empty feasible strategy set");
+            out.clear();
+            out.extend_from_slice(bank.row(x));
+        } else {
+            *out = self
+                .family
+                .argmax_by_arm_weights(&self.theta, &self.graph)
+                .expect("CTS requires a non-empty feasible strategy set");
+        }
+    }
+
+    fn update(&mut self, _t: usize, feedback: &CombinatorialFeedback) {
+        // One round has passed: let discounted estimators decay first, so the
+        // fresh evidence below enters at full weight.
+        self.estimates.advance_round();
+        for &(arm, reward) in &feedback.observations {
+            if arm >= self.estimates.len() {
+                continue;
+            }
+            // Binarise a [0,1] reward: success with probability equal to the
+            // reward. For Bernoulli rewards (exactly 0.0 or 1.0) the draw is
+            // deterministic, since `gen::<f64>()` lies in `[0, 1)`.
+            let success = if self.rng.gen::<f64>() < reward {
+                1.0
+            } else {
+                0.0
+            };
+            self.estimates.update(arm, success);
+        }
+    }
+
+    fn reset(&mut self) {
+        self.estimates.reset();
+        self.rng = StdRng::seed_from_u64(self.seed);
+    }
+}
+
+/// Beta(a, b) sampling through the two-gamma construction, with the
+/// Marsaglia–Tsang Gamma sampler (the same construction as
+/// `netband_baselines::ThompsonBernoulli` and
+/// `netband_env::distributions::Distribution::Beta`).
+fn sample_beta(a: f64, b: f64, rng: &mut StdRng) -> f64 {
+    let x = marsaglia_tsang_gamma(a, rng);
+    let y = marsaglia_tsang_gamma(b, rng);
+    if x + y <= 0.0 {
+        0.5
+    } else {
+        x / (x + y)
+    }
+}
+
+/// Gamma(shape, 1) sampling (Marsaglia–Tsang, with the boost for shape < 1).
+fn marsaglia_tsang_gamma(shape: f64, rng: &mut StdRng) -> f64 {
+    if shape < 1.0 {
+        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        return marsaglia_tsang_gamma(shape + 1.0, rng) * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = standard_normal(rng);
+        let v = 1.0 + c * x;
+        if v <= 0.0 {
+            continue;
+        }
+        let v = v * v * v;
+        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        if u < 1.0 - 0.0331 * x.powi(4) || u.ln() < 0.5 * x * x + d * (1.0 - v + v.ln()) {
+            return d * v;
+        }
+    }
+}
+
+/// One standard-normal draw (Box–Muller).
+fn standard_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netband_env::{ArmSet, NetworkedBandit};
+    use netband_graph::generators;
+
+    fn fig2_policy_and_bandit(
+        means: &[f64],
+        kind: EstimatorKind,
+        seed: u64,
+    ) -> (CombinatorialThompson, NetworkedBandit) {
+        let graph = generators::path(4);
+        let family = StrategyFamily::independent_sets(2);
+        let policy = CombinatorialThompson::with_estimator(graph.clone(), family, kind, seed);
+        let bandit = NetworkedBandit::new(graph, ArmSet::bernoulli(means)).unwrap();
+        (policy, bandit)
+    }
+
+    fn run(
+        policy: &mut CombinatorialThompson,
+        bandit: &NetworkedBandit,
+        n: usize,
+        seed: u64,
+    ) -> Vec<Vec<ArmId>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut pulls = Vec::with_capacity(n);
+        for t in 1..=n {
+            let s = policy.select_strategy(t);
+            let fb = bandit.pull_strategy(&s, &mut rng).unwrap();
+            policy.update(t, &fb);
+            pulls.push(s);
+        }
+        pulls
+    }
+
+    #[test]
+    fn names_report_the_estimator_variant() {
+        let (p, _) = fig2_policy_and_bandit(&[0.5; 4], EstimatorKind::Stationary, 1);
+        assert_eq!(p.name(), "CTS");
+        let (p, _) =
+            fig2_policy_and_bandit(&[0.5; 4], EstimatorKind::Discounted { gamma: 0.99 }, 1);
+        assert_eq!(p.name(), "CTS-D");
+        let (p, _) =
+            fig2_policy_and_bandit(&[0.5; 4], EstimatorKind::SlidingWindow { window: 50 }, 1);
+        assert_eq!(p.name(), "CTS-SW");
+    }
+
+    #[test]
+    fn posterior_starts_at_the_uniform_prior() {
+        let (policy, _) = fig2_policy_and_bandit(&[0.5; 4], EstimatorKind::Stationary, 3);
+        for arm in 0..policy.num_arms() {
+            assert!((policy.posterior_mean(arm) - 0.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn selections_are_feasible() {
+        let (mut policy, bandit) =
+            fig2_policy_and_bandit(&[0.2, 0.9, 0.3, 0.6], EstimatorKind::Stationary, 5);
+        let graph = bandit.graph().clone();
+        let family = StrategyFamily::independent_sets(2);
+        for s in run(&mut policy, &bandit, 50, 9) {
+            assert!(family.contains(&s, &graph), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn converges_to_the_best_strategy() {
+        // Unique best independent set of size ≤ 2 on the path is {1,3}.
+        let (mut policy, bandit) =
+            fig2_policy_and_bandit(&[0.2, 0.9, 0.3, 0.6], EstimatorKind::Stationary, 11);
+        let pulls = run(&mut policy, &bandit, 4000, 13);
+        let best_count = pulls[3000..]
+            .iter()
+            .filter(|s| s.as_slice() == [1, 3])
+            .count();
+        assert!(
+            best_count > 850,
+            "best strategy pulled only {best_count}/1000 times in the tail"
+        );
+    }
+
+    #[test]
+    fn side_observations_sharpen_the_posterior() {
+        let (mut policy, bandit) = fig2_policy_and_bandit(&[1.0; 4], EstimatorKind::Stationary, 17);
+        let mut rng = StdRng::seed_from_u64(19);
+        // Pulling {1} observes Y_{1} = {0,1,2}; arm 3 stays at the prior.
+        let fb = bandit.pull_strategy(&[1], &mut rng).unwrap();
+        policy.update(1, &fb);
+        for arm in [0, 1, 2] {
+            assert!(policy.posterior_mean(arm) > 0.5, "arm {arm}");
+        }
+        assert!((policy.posterior_mean(3) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_replays_the_same_decisions() {
+        let (mut policy, bandit) = fig2_policy_and_bandit(
+            &[0.2, 0.9, 0.3, 0.6],
+            EstimatorKind::Discounted { gamma: 0.95 },
+            23,
+        );
+        let first = run(&mut policy, &bandit, 30, 29);
+        policy.reset();
+        let second = run(&mut policy, &bandit, 30, 29);
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn discounted_cts_recovers_after_a_change_point_faster_than_stationary() {
+        // Phase 1: arm 0 is best; phase 2: means flip and arm 3 is best. On a
+        // complete graph every pull observes every arm, so by the change point
+        // the stationary posterior carries 2000 observations of the *new*
+        // best arm at its *old* mean — stale evidence that pins it for
+        // hundreds of rounds, while the discounted posterior forgets it
+        // within an effective window of 1/(1-γ) = 50 observations.
+        let graph = generators::complete(4);
+        let family = StrategyFamily::at_most_m(4, 1);
+        let before =
+            NetworkedBandit::new(graph.clone(), ArmSet::bernoulli(&[0.9, 0.3, 0.3, 0.1])).unwrap();
+        let after =
+            NetworkedBandit::new(graph.clone(), ArmSet::bernoulli(&[0.1, 0.3, 0.3, 0.9])).unwrap();
+        let mut tails = Vec::new();
+        for kind in [
+            EstimatorKind::Stationary,
+            EstimatorKind::Discounted { gamma: 0.98 },
+        ] {
+            let mut policy =
+                CombinatorialThompson::with_estimator(graph.clone(), family.clone(), kind, 31);
+            let mut rng = StdRng::seed_from_u64(37);
+            let mut post_change_best = 0usize;
+            for t in 1..=2500 {
+                let bandit = if t <= 2000 { &before } else { &after };
+                let s = policy.select_strategy(t);
+                let fb = bandit.pull_strategy(&s, &mut rng).unwrap();
+                if t > 2100 && s == [3] {
+                    post_change_best += 1;
+                }
+                policy.update(t, &fb);
+            }
+            tails.push(post_change_best);
+        }
+        assert!(
+            tails[1] > tails[0] + 100,
+            "discounted tail {} vs stationary tail {}",
+            tails[1],
+            tails[0]
+        );
+    }
+}

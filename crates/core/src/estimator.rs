@@ -4,6 +4,14 @@
 //! of times its reward has been observed and the running average of those
 //! observations, and ranks candidates by a MOSS-style upper-confidence index
 //! `mean + sqrt(log⁺(t / (K · count)) / count)`.
+//!
+//! The paper's world is stationary; for drifting worlds the estimators also
+//! come in *discounted* and *sliding-window* flavours behind the
+//! [`EstimatorKind`] knob, which forget old observations so the mean tracks a
+//! moving target. `EstimatorKind::Stationary` is always the bit-exact paper
+//! path.
+
+use std::collections::VecDeque;
 
 use serde::{Deserialize, Serialize};
 
@@ -74,6 +82,54 @@ impl RunningMean {
     }
 }
 
+/// How a set of [`ArmEstimators`] aggregates observations into means.
+///
+/// The paper's algorithms assume fixed arm means, so the default
+/// [`Stationary`](EstimatorKind::Stationary) kind is the plain sample mean.
+/// The other two kinds forget old observations so the estimate tracks a
+/// drifting mean — the standard D-UCB / SW-UCB estimator constructions.
+///
+/// # Example
+///
+/// ```
+/// use netband_core::estimator::{ArmEstimators, EstimatorKind};
+///
+/// let mut est = ArmEstimators::with_kind(2, EstimatorKind::Discounted { gamma: 0.9 });
+/// est.update(0, 1.0);
+/// est.advance_round(); // between rounds, old evidence decays
+/// est.update(0, 0.0);
+/// // The newer observation weighs more than 1/2.
+/// assert!(est.mean(0) < 0.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum EstimatorKind {
+    /// The plain sample mean over all observations (the paper's setting).
+    #[default]
+    Stationary,
+    /// Exponentially discounted mean: each call to
+    /// [`ArmEstimators::advance_round`] multiplies every arm's effective
+    /// sample size by `gamma ∈ (0, 1]`, so an observation from `d` rounds ago
+    /// carries weight `gamma^d`. With `gamma = 1.0` this is bit-identical to
+    /// [`Stationary`](EstimatorKind::Stationary).
+    Discounted {
+        /// Per-round retention factor in `(0, 1]`.
+        gamma: f64,
+    },
+    /// Mean over the last `window` observations of each arm (per-arm ring
+    /// buffer); older observations are dropped entirely.
+    SlidingWindow {
+        /// Number of most recent observations retained per arm (≥ 1).
+        window: usize,
+    },
+}
+
+impl EstimatorKind {
+    /// `true` for the plain stationary sample mean.
+    pub fn is_stationary(&self) -> bool {
+        matches!(self, EstimatorKind::Stationary)
+    }
+}
+
 /// Dense struct-of-arrays running-mean estimators for `K` arms (or com-arms).
 ///
 /// Semantically a `Vec<RunningMean>` — each slot folds observations with the
@@ -99,6 +155,15 @@ impl RunningMean {
 pub struct ArmEstimators {
     counts: Vec<u64>,
     means: Vec<f64>,
+    kind: EstimatorKind,
+    /// Discounted effective sample sizes (empty unless `kind` is
+    /// `Discounted`). Decaying a weight leaves the mean untouched because the
+    /// discounted mean is the ratio of the discounted sum to the discounted
+    /// weight, and both decay by the same factor.
+    weights: Vec<f64>,
+    /// Per-arm rings of the retained observations (empty unless `kind` is
+    /// `SlidingWindow`).
+    windows: Vec<VecDeque<f64>>,
 }
 
 impl ArmEstimators {
@@ -107,7 +172,43 @@ impl ArmEstimators {
         ArmEstimators {
             counts: vec![0; len],
             means: vec![0.0; len],
+            kind: EstimatorKind::Stationary,
+            weights: Vec::new(),
+            windows: Vec::new(),
         }
+    }
+
+    /// Fresh estimators of the given [`EstimatorKind`].
+    ///
+    /// `with_kind(len, EstimatorKind::Stationary)` is identical to
+    /// [`ArmEstimators::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gamma` is outside `(0, 1]` or `window` is `0`.
+    pub fn with_kind(len: usize, kind: EstimatorKind) -> Self {
+        let mut est = ArmEstimators::new(len);
+        match kind {
+            EstimatorKind::Stationary => {}
+            EstimatorKind::Discounted { gamma } => {
+                assert!(
+                    gamma > 0.0 && gamma <= 1.0,
+                    "discount gamma must be in (0, 1], got {gamma}"
+                );
+                est.weights = vec![0.0; len];
+            }
+            EstimatorKind::SlidingWindow { window } => {
+                assert!(window >= 1, "sliding window must be >= 1");
+                est.windows = vec![VecDeque::new(); len];
+            }
+        }
+        est.kind = kind;
+        est
+    }
+
+    /// The aggregation kind of these estimators.
+    pub fn kind(&self) -> EstimatorKind {
+        self.kind
     }
 
     /// Number of arms tracked.
@@ -148,21 +249,80 @@ impl ArmEstimators {
         &self.means
     }
 
-    /// Folds one observation of arm `i` into its mean (the [`RunningMean`]
-    /// recurrence, bit for bit).
+    /// The evidence currently behind arm `i`'s mean: the raw count for
+    /// stationary estimators, the decayed weight for discounted ones, and the
+    /// ring occupancy for sliding windows. This is the `count` the confidence
+    /// indices should see (see [`moss_index_weighted`] / [`csr_index_weighted`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn effective_count(&self, i: usize) -> f64 {
+        match self.kind {
+            EstimatorKind::Stationary => self.counts[i] as f64,
+            EstimatorKind::Discounted { .. } => self.weights[i],
+            EstimatorKind::SlidingWindow { .. } => self.windows[i].len() as f64,
+        }
+    }
+
+    /// Folds one observation of arm `i` into its mean.
+    ///
+    /// For [`EstimatorKind::Stationary`] this is the [`RunningMean`]
+    /// recurrence, bit for bit. The discounted variant uses the same
+    /// incremental form over the decayed weight (`w ← w + 1`,
+    /// `m ← m + (x − m) / w`), which reduces to the stationary recurrence
+    /// exactly when the discount never decays the weights (γ = 1). The
+    /// sliding-window variant pushes into the ring and recomputes the mean
+    /// over the retained values.
     ///
     /// # Panics
     ///
     /// Panics if `i` is out of range.
     pub fn update(&mut self, i: usize, value: f64) {
         self.counts[i] += 1;
-        self.means[i] += (value - self.means[i]) / self.counts[i] as f64;
+        match self.kind {
+            EstimatorKind::Stationary => {
+                self.means[i] += (value - self.means[i]) / self.counts[i] as f64;
+            }
+            EstimatorKind::Discounted { .. } => {
+                self.weights[i] += 1.0;
+                self.means[i] += (value - self.means[i]) / self.weights[i];
+            }
+            EstimatorKind::SlidingWindow { window } => {
+                let ring = &mut self.windows[i];
+                if ring.len() == window {
+                    ring.pop_front();
+                }
+                ring.push_back(value);
+                self.means[i] = ring.iter().sum::<f64>() / ring.len() as f64;
+            }
+        }
     }
 
-    /// Resets every arm to its initial state.
+    /// Marks the passage of one round: discounted estimators multiply every
+    /// arm's effective sample size by γ (one fused multiply over the flat
+    /// weight array; the means are invariant under the joint decay of sum and
+    /// weight). A no-op for the other kinds — and for γ = 1, where skipping
+    /// the multiply keeps the weights exact integers and the whole estimator
+    /// bit-identical to the stationary path.
+    pub fn advance_round(&mut self) {
+        if let EstimatorKind::Discounted { gamma } = self.kind {
+            if gamma < 1.0 {
+                for w in &mut self.weights {
+                    *w *= gamma;
+                }
+            }
+        }
+    }
+
+    /// Resets every arm to its initial state (the kind is retained).
     pub fn reset(&mut self) {
         self.counts.fill(0);
         self.means.fill(0.0);
+        self.weights.fill(0.0);
+        for ring in &mut self.windows {
+            ring.clear();
+        }
     }
 }
 
@@ -205,6 +365,19 @@ pub fn moss_index(mean: f64, count: u64, t: usize, k: usize) -> f64 {
     mean + (log_plus(t as f64 / (k_f * count_f)) / count_f).sqrt()
 }
 
+/// [`moss_index`] over a real-valued (discounted / windowed) sample size.
+///
+/// For an integer `count` this computes the exact same expression as
+/// [`moss_index`]; fractional effective counts arise from
+/// [`EstimatorKind::Discounted`] weights.
+pub fn moss_index_weighted(mean: f64, count: f64, t: usize, k: usize) -> f64 {
+    if count <= 0.0 {
+        return f64::INFINITY;
+    }
+    let k_f = k.max(1) as f64;
+    mean + (log_plus(t as f64 / (k_f * count)) / count).sqrt()
+}
+
 /// The DFL-CSR per-arm index of Equation (47):
 /// `mean + sqrt(max(ln(t^{2/3} / (K · count)), 0) / count)`.
 ///
@@ -221,6 +394,20 @@ pub fn csr_index(mean: f64, count: u64, t: usize, k: usize) -> f64 {
     let count_f = count as f64;
     let k_f = k.max(1) as f64;
     mean + (log_plus(t_pow / (k_f * count_f)) / count_f).sqrt()
+}
+
+/// [`csr_index`] over a real-valued (discounted / windowed) sample size.
+///
+/// For an integer `count` this computes the exact same expression as
+/// [`csr_index`]; fractional effective counts arise from
+/// [`EstimatorKind::Discounted`] weights.
+pub fn csr_index_weighted(mean: f64, count: f64, t: usize, k: usize) -> f64 {
+    let t_pow = (t.max(1) as f64).powf(2.0 / 3.0);
+    if count <= 0.0 {
+        return 1.0 + (log_plus(t_pow) + 1.0).sqrt();
+    }
+    let k_f = k.max(1) as f64;
+    mean + (log_plus(t_pow / (k_f * count)) / count).sqrt()
 }
 
 #[cfg(test)]
@@ -328,6 +515,136 @@ mod tests {
         assert_eq!(soa.counts().len(), 3);
         soa.reset();
         assert_eq!(soa, ArmEstimators::new(3));
+    }
+
+    #[test]
+    fn with_kind_stationary_is_new() {
+        assert_eq!(
+            ArmEstimators::with_kind(4, EstimatorKind::Stationary),
+            ArmEstimators::new(4)
+        );
+        assert!(ArmEstimators::new(4).kind().is_stationary());
+    }
+
+    #[test]
+    fn discounted_with_unit_gamma_matches_stationary_bit_for_bit() {
+        let mut stationary = ArmEstimators::new(3);
+        let mut discounted = ArmEstimators::with_kind(3, EstimatorKind::Discounted { gamma: 1.0 });
+        let stream = [(0, 0.3), (1, 0.9), (0, 0.1), (2, 0.55), (0, 0.7), (1, 0.2)];
+        for &(i, x) in &stream {
+            stationary.update(i, x);
+            discounted.update(i, x);
+            discounted.advance_round();
+        }
+        for i in 0..3 {
+            assert_eq!(stationary.count(i), discounted.count(i));
+            assert_eq!(
+                stationary.mean(i).to_bits(),
+                discounted.mean(i).to_bits(),
+                "arm {i}"
+            );
+            assert_eq!(stationary.effective_count(i), discounted.effective_count(i));
+        }
+    }
+
+    #[test]
+    fn discounted_mean_tracks_a_level_shift_faster_than_stationary() {
+        let mut stationary = ArmEstimators::new(1);
+        let mut discounted = ArmEstimators::with_kind(1, EstimatorKind::Discounted { gamma: 0.9 });
+        for _ in 0..200 {
+            stationary.update(0, 0.0);
+            discounted.update(0, 0.0);
+            discounted.advance_round();
+        }
+        for _ in 0..20 {
+            stationary.update(0, 1.0);
+            discounted.update(0, 1.0);
+            discounted.advance_round();
+        }
+        assert!(
+            discounted.mean(0) > 0.8,
+            "discounted mean {} should have converged to the new level",
+            discounted.mean(0)
+        );
+        assert!(
+            stationary.mean(0) < 0.2,
+            "stationary {}",
+            stationary.mean(0)
+        );
+        // The decayed evidence is bounded by the geometric series 1/(1-γ).
+        assert!(discounted.effective_count(0) <= 1.0 / (1.0 - 0.9) + 1e-9);
+    }
+
+    #[test]
+    fn discounted_decay_leaves_means_invariant() {
+        let mut est = ArmEstimators::with_kind(2, EstimatorKind::Discounted { gamma: 0.5 });
+        est.update(0, 0.75);
+        est.update(1, 0.25);
+        let before = [est.mean(0), est.mean(1)];
+        est.advance_round();
+        assert_eq!(est.mean(0).to_bits(), before[0].to_bits());
+        assert_eq!(est.mean(1).to_bits(), before[1].to_bits());
+        assert_eq!(est.effective_count(0), 0.5);
+    }
+
+    #[test]
+    fn sliding_window_forgets_evicted_observations() {
+        let mut est = ArmEstimators::with_kind(1, EstimatorKind::SlidingWindow { window: 3 });
+        for &x in &[0.0, 0.0, 0.0, 1.0, 1.0, 1.0] {
+            est.update(0, x);
+        }
+        // Only the last three observations remain.
+        assert_eq!(est.mean(0), 1.0);
+        assert_eq!(est.effective_count(0), 3.0);
+        // The raw count still records every observation.
+        assert_eq!(est.count(0), 6);
+    }
+
+    #[test]
+    fn sliding_window_matches_stationary_before_the_window_fills() {
+        let mut stationary = ArmEstimators::new(1);
+        let mut windowed = ArmEstimators::with_kind(1, EstimatorKind::SlidingWindow { window: 8 });
+        for &x in &[0.3, 0.9, 0.1] {
+            stationary.update(0, x);
+            windowed.update(0, x);
+        }
+        assert!((stationary.mean(0) - windowed.mean(0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nonstationary_reset_clears_forgetting_state() {
+        let mut est = ArmEstimators::with_kind(2, EstimatorKind::Discounted { gamma: 0.7 });
+        est.update(0, 1.0);
+        est.advance_round();
+        est.reset();
+        assert_eq!(est.effective_count(0), 0.0);
+        assert_eq!(est.mean(0), 0.0);
+        assert_eq!(est.kind(), EstimatorKind::Discounted { gamma: 0.7 });
+
+        let mut est = ArmEstimators::with_kind(2, EstimatorKind::SlidingWindow { window: 4 });
+        est.update(1, 1.0);
+        est.reset();
+        assert_eq!(est.effective_count(1), 0.0);
+        assert_eq!(est.count(1), 0);
+    }
+
+    #[test]
+    fn weighted_indices_match_integer_indices_on_integer_counts() {
+        for &(mean, count, t, k) in &[(0.5, 3u64, 100usize, 10usize), (0.2, 17, 9999, 4)] {
+            assert_eq!(
+                moss_index(mean, count, t, k).to_bits(),
+                moss_index_weighted(mean, count as f64, t, k).to_bits()
+            );
+            assert_eq!(
+                csr_index(mean, count, t, k).to_bits(),
+                csr_index_weighted(mean, count as f64, t, k).to_bits()
+            );
+        }
+        assert_eq!(moss_index_weighted(0.5, 0.0, 10, 5), f64::INFINITY);
+        assert_eq!(
+            csr_index_weighted(0.5, 0.0, 10, 5).to_bits(),
+            csr_index(0.5, 0, 10, 5).to_bits()
+        );
     }
 
     #[test]

@@ -48,6 +48,7 @@
 #![warn(missing_docs)]
 
 pub mod bounds;
+pub mod cts;
 pub mod dfl_cso;
 pub mod dfl_csr;
 pub mod dfl_sso;
@@ -56,10 +57,12 @@ pub mod estimator;
 pub mod heuristics;
 pub mod policy;
 
+pub use cts::CombinatorialThompson;
 pub use dfl_cso::DflCso;
 pub use dfl_csr::DflCsr;
 pub use dfl_sso::DflSso;
 pub use dfl_ssr::DflSsr;
+pub use estimator::EstimatorKind;
 pub use heuristics::{DflSsoGreedyNeighbor, DflSsrGreedyNeighbor};
 pub use policy::{CombinatorialPolicy, DynCombinatorialPolicy, DynSinglePolicy, SinglePlayPolicy};
 
@@ -69,12 +72,14 @@ pub type ArmId = netband_graph::ArmId;
 /// Convenient glob import for downstream code and examples.
 pub mod prelude {
     pub use crate::bounds;
+    pub use crate::cts::CombinatorialThompson;
     pub use crate::dfl_cso::DflCso;
     pub use crate::dfl_csr::DflCsr;
     pub use crate::dfl_sso::DflSso;
     pub use crate::dfl_ssr::DflSsr;
     pub use crate::estimator::{
-        argmax_last, csr_index, log_plus, moss_index, ArmEstimators, RunningMean,
+        argmax_last, csr_index, csr_index_weighted, log_plus, moss_index, moss_index_weighted,
+        ArmEstimators, EstimatorKind, RunningMean,
     };
     pub use crate::heuristics::{DflSsoGreedyNeighbor, DflSsrGreedyNeighbor};
     pub use crate::policy::{

@@ -239,7 +239,15 @@ impl NetworkedBandit {
 
     /// `μ_1` — the best single-arm direct mean (SSO benchmark).
     pub fn best_single_direct_mean(&self) -> f64 {
-        self.means
+        self.best_single_direct_mean_with(&self.means)
+    }
+
+    /// [`NetworkedBandit::best_single_direct_mean`] under explicit means —
+    /// the per-round benchmark of a drifting world (see
+    /// [`DriftSchedule::means_at`](crate::drift::DriftSchedule::means_at)).
+    /// With `means == self.means()` this computes the exact same value.
+    pub fn best_single_direct_mean_with(&self, means: &[f64]) -> f64 {
+        means
             .iter()
             .copied()
             .fold(f64::NEG_INFINITY, f64::max)
@@ -252,18 +260,36 @@ impl NetworkedBandit {
     ///
     /// Panics if `i` is out of range.
     pub fn side_reward_mean(&self, i: ArmId) -> f64 {
+        self.side_reward_mean_with(i, &self.means)
+    }
+
+    /// [`NetworkedBandit::side_reward_mean`] under explicit means.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range of the graph or `means`.
+    pub fn side_reward_mean_with(&self, i: ArmId, means: &[f64]) -> f64 {
         self.csr()
             .closed_neighborhood(i)
             .iter()
-            .map(|&j| self.means[j])
+            .map(|&j| means[j])
             .sum()
     }
 
     /// `u_1 = max_i Σ_{j ∈ N_i} μ_j` — the best single-arm side-reward mean
     /// (SSR benchmark). Returns 0 for an empty instance.
     pub fn best_single_side_mean(&self) -> f64 {
+        self.best_single_side_mean_with(&self.means)
+    }
+
+    /// [`NetworkedBandit::best_single_side_mean`] under explicit means.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `means.len() < K`.
+    pub fn best_single_side_mean_with(&self, means: &[f64]) -> f64 {
         (0..self.num_arms())
-            .map(|i| self.side_reward_mean(i))
+            .map(|i| self.side_reward_mean_with(i, means))
             .fold(0.0, f64::max)
     }
 
@@ -278,37 +304,65 @@ impl NetworkedBandit {
 
     /// Direct mean of a strategy: `Σ_{i ∈ s} μ_i`.
     pub fn strategy_direct_mean(&self, strategy: &[ArmId]) -> f64 {
+        self.strategy_direct_mean_with(strategy, &self.means)
+    }
+
+    /// [`NetworkedBandit::strategy_direct_mean`] under explicit means.
+    pub fn strategy_direct_mean_with(&self, strategy: &[ArmId], means: &[f64]) -> f64 {
         strategy
             .iter()
             .filter(|&&i| i < self.num_arms())
-            .map(|&i| self.means[i])
+            .map(|&i| means[i])
             .sum()
     }
 
     /// Side-reward mean of a strategy: `σ_x = Σ_{i ∈ Y_x} μ_i`.
     pub fn strategy_side_mean(&self, strategy: &[ArmId]) -> f64 {
+        self.strategy_side_mean_with(strategy, &self.means)
+    }
+
+    /// [`NetworkedBandit::strategy_side_mean`] under explicit means.
+    pub fn strategy_side_mean_with(&self, strategy: &[ArmId], means: &[f64]) -> f64 {
         self.graph
             .closed_neighborhood_of_set(strategy)
             .iter()
-            .map(|&i| self.means[i])
+            .map(|&i| means[i])
             .sum()
     }
 
     /// `λ_1 = max_{x ∈ F} Σ_{i ∈ s_x} μ_i` — the best strategy direct mean (CSO
     /// benchmark) under a strategy family.
     pub fn best_strategy_direct_mean(&self, family: &StrategyFamily) -> f64 {
+        self.best_strategy_direct_mean_with(family, &self.means)
+    }
+
+    /// [`NetworkedBandit::best_strategy_direct_mean`] under explicit means.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `means.len() < K`.
+    pub fn best_strategy_direct_mean_with(&self, family: &StrategyFamily, means: &[f64]) -> f64 {
         family
-            .argmax_by_arm_weights(&self.means, &self.graph)
-            .map(|s| self.strategy_direct_mean(&s))
+            .argmax_by_arm_weights(means, &self.graph)
+            .map(|s| self.strategy_direct_mean_with(&s, means))
             .unwrap_or(0.0)
     }
 
     /// `σ_1 = max_{x ∈ F} Σ_{i ∈ Y_x} μ_i` — the best strategy side-reward mean
     /// (CSR benchmark) under a strategy family.
     pub fn best_strategy_side_mean(&self, family: &StrategyFamily) -> f64 {
+        self.best_strategy_side_mean_with(family, &self.means)
+    }
+
+    /// [`NetworkedBandit::best_strategy_side_mean`] under explicit means.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `means.len() < K`.
+    pub fn best_strategy_side_mean_with(&self, family: &StrategyFamily, means: &[f64]) -> f64 {
         family
-            .argmax_by_neighborhood_weights(&self.means, &self.graph)
-            .map(|s| self.strategy_side_mean(&s))
+            .argmax_by_neighborhood_weights(means, &self.graph)
+            .map(|s| self.strategy_side_mean_with(&s, means))
             .unwrap_or(0.0)
     }
 
@@ -593,6 +647,56 @@ impl PullBuffer {
         rng: &mut dyn rand::RngCore,
     ) -> Result<&CombinatorialFeedback, EnvError> {
         bandit.sample_rewards_into(rng, &mut self.samples);
+        bandit.fill_strategy_feedback(
+            strategy,
+            &self.samples,
+            &mut self.mark,
+            &mut self.combinatorial,
+        )?;
+        Ok(&self.combinatorial)
+    }
+
+    /// Pulls a single arm of a *drifting* world: rewards are Bernoulli draws
+    /// of the caller-supplied per-round means (see
+    /// [`DriftSchedule::means_at`](crate::drift::DriftSchedule::means_at))
+    /// rather than the bandit's stationary distributions, consuming one `f64`
+    /// draw per arm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arm` is out of range or `means.len() != K`.
+    pub fn pull_single_drifted(
+        &mut self,
+        bandit: &NetworkedBandit,
+        means: &[f64],
+        arm: ArmId,
+        rng: &mut dyn rand::RngCore,
+    ) -> &SinglePlayFeedback {
+        crate::drift::sample_bernoulli_into(means, rng, &mut self.samples);
+        bandit.fill_single_feedback(arm, &self.samples, &mut self.single);
+        &self.single
+    }
+
+    /// Pulls a combinatorial strategy of a *drifting* world (the
+    /// [`PullBuffer::pull_strategy`] counterpart of
+    /// [`PullBuffer::pull_single_drifted`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnvError::InvalidStrategy`] if the strategy is empty or
+    /// refers to an arm outside the instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `means.len() != K`.
+    pub fn pull_strategy_drifted(
+        &mut self,
+        bandit: &NetworkedBandit,
+        means: &[f64],
+        strategy: &[ArmId],
+        rng: &mut dyn rand::RngCore,
+    ) -> Result<&CombinatorialFeedback, EnvError> {
+        crate::drift::sample_bernoulli_into(means, rng, &mut self.samples);
         bandit.fill_strategy_feedback(
             strategy,
             &self.samples,

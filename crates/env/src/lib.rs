@@ -18,6 +18,9 @@
 //!   (exact and greedy) for combinatorial play.
 //! * [`batch`] — [`FeedbackBatch`], the queue for delayed, out-of-order
 //!   feedback that drains in round order (the serving engine's flush path).
+//! * [`drift`] — [`DriftSchedule`], deterministic nonstationarity: gradual
+//!   mean drift, abrupt change points, and arm churn as a pure function of
+//!   the round number.
 //!
 //! # Example
 //!
@@ -46,6 +49,7 @@ pub mod arms;
 pub mod bandit;
 pub mod batch;
 pub mod distributions;
+pub mod drift;
 pub mod feasible;
 pub mod workloads;
 
@@ -55,6 +59,7 @@ pub use bandit::{
 };
 pub use batch::{FeedbackBatch, MAX_WARM_SLOTS};
 pub use distributions::RewardDistribution;
+pub use drift::{ChangePoint, ChurnWindow, DriftSchedule, GradualDrift};
 pub use feasible::{FeasibleSet, StrategyBank, StrategyFamily};
 pub use workloads::Workload;
 

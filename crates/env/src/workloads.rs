@@ -25,6 +25,7 @@ use netband_graph::generators;
 
 use crate::arms::ArmSet;
 use crate::bandit::{EnvError, NetworkedBandit};
+use crate::drift::DriftSchedule;
 use crate::feasible::StrategyFamily;
 
 /// A fully specified workload: environment plus (optional) feasible family.
@@ -37,6 +38,10 @@ pub struct Workload {
     /// The feasible strategy family for combinatorial play, if the workload is
     /// combinatorial.
     pub family: Option<StrategyFamily>,
+    /// The drift schedule turning the instance into a nonstationary world, if
+    /// any. `None` (and a trivial schedule) mean the paper's stationary
+    /// setting.
+    pub drift: Option<DriftSchedule>,
 }
 
 impl Workload {
@@ -70,6 +75,7 @@ pub fn paper_simulation<R: Rng + ?Sized>(num_arms: usize, edge_prob: f64, rng: &
         name: format!("paper-simulation (K={num_arms}, p={edge_prob})"),
         bandit: NetworkedBandit::new(graph, arms).expect("matching sizes"),
         family: None,
+        drift: None,
     }
 }
 
@@ -89,6 +95,7 @@ pub fn online_advertising<R: Rng + ?Sized>(num_ads: usize, slots: usize, rng: &m
         name: format!("online-advertising (ads={num_ads}, slots={slots})"),
         bandit: NetworkedBandit::new(graph, arms).expect("matching sizes"),
         family: Some(StrategyFamily::at_most_m(num_ads, slots)),
+        drift: None,
     }
 }
 
@@ -105,6 +112,7 @@ pub fn social_promotion<R: Rng + ?Sized>(
         name: format!("social-promotion (users={num_users}, communities={communities})"),
         bandit: NetworkedBandit::new(graph, arms).expect("matching sizes"),
         family: None,
+        drift: None,
     }
 }
 
@@ -127,6 +135,7 @@ pub fn channel_access<R: Rng + ?Sized>(
         ),
         bandit: NetworkedBandit::new(graph, arms).expect("matching sizes"),
         family: Some(StrategyFamily::independent_sets(max_channels)),
+        drift: None,
     }
 }
 

@@ -94,6 +94,7 @@ pub fn run(config: &CliquesConfig) -> Vec<CliquesRow> {
                         num_arms: config.num_arms,
                     },
                     family: None,
+                    drift: None,
                     seed,
                 },
                 PolicySpec::DflSso,

@@ -5,7 +5,7 @@
 
 use netband_experiments::{
     ablation_baselines, ablation_cliques, ablation_density, ablation_heuristic, ablation_horizon,
-    bounds_exp, fig3, fig4, fig5, fig6, Scale,
+    bounds_exp, drift_exp, fig3, fig4, fig5, fig6, Scale,
 };
 
 fn main() {
@@ -87,6 +87,15 @@ fn main() {
         "{}\n",
         ablation_horizon::report(&ablation_horizon::run(&horizon_cfg))
     );
+
+    let mut drift_cfg = drift_exp::DriftConfig::default();
+    if scale.horizon < drift_cfg.scale.horizon {
+        drift_cfg.scale = Scale {
+            horizon: 2_000,
+            replications: scale.replications.min(2),
+        };
+    }
+    println!("{}\n", drift_exp::report(&drift_exp::run(&drift_cfg)));
 
     println!("summary:");
     println!(

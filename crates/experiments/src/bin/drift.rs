@@ -1,0 +1,20 @@
+//! Drift experiment: stationary vs forgetting policies across a change point.
+//!
+//! Usage: `cargo run --release -p netband-experiments --bin drift [-- --quick]`
+
+use netband_experiments::drift_exp::{report, run, DriftConfig};
+use netband_experiments::Scale;
+
+fn main() {
+    let mut config = DriftConfig::default();
+    let scale = Scale::from_env();
+    if scale.horizon < config.scale.horizon {
+        config.scale = Scale {
+            horizon: 2_000,
+            replications: 2,
+        };
+    }
+    eprintln!("running drift experiment with {config:?}");
+    let rows = run(&config);
+    println!("{}", report(&rows));
+}

@@ -87,6 +87,7 @@ pub fn paper_workload_spec(num_arms: usize, edge_prob: f64, seed: u64) -> Worklo
         },
         arms: ArmsSpec::UniformMeanBernoulli { num_arms },
         family: None,
+        drift: None,
         seed,
     }
 }

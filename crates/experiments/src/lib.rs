@@ -16,6 +16,7 @@
 //! | Ablation A | [`ablation_density`] | `ablation_density` | regret vs relation-graph density |
 //! | Ablation B | [`ablation_baselines`] | `ablation_baselines` | DFL-SSO vs the baseline zoo |
 //! | Ablation C | [`ablation_cliques`] | `ablation_cliques` | clique-cover structure vs measured regret |
+//! | Drift | [`drift_exp`] | `drift` | stationary vs forgetting policies across a change point |
 //!
 //! Every binary accepts `--quick` (or `NETBAND_QUICK=1`) to run at smoke-test
 //! scale; the default matches the paper's horizon of 10 000 slots. Results are
@@ -32,6 +33,7 @@ pub mod ablation_heuristic;
 pub mod ablation_horizon;
 pub mod bounds_exp;
 pub mod common;
+pub mod drift_exp;
 pub mod fig3;
 pub mod fig4;
 pub mod fig5;

@@ -16,7 +16,7 @@
 
 use rand::rngs::StdRng;
 
-use netband_env::{ArmSet, StrategyFamily};
+use netband_env::{ArmSet, DriftSchedule, StrategyFamily};
 use netband_graph::RelationGraph;
 use netband_sim::regret::RegretTrace;
 use netband_sim::{CombinatorialScenario, RunResult, SingleScenario};
@@ -71,6 +71,13 @@ pub struct TenantSnapshot {
     pub(crate) rng: StdRng,
     pub(crate) round: u64,
     pub(crate) optimal: f64,
+    /// Running sum of the per-round dynamic optima (drifting tenants only;
+    /// stays 0 for stationary tenants, whose benchmark is `optimal`).
+    pub(crate) optimal_sum: f64,
+    /// The tenant's drift schedule, if it hosts a drifting world. Drift is a
+    /// pure function of the round counter, so the schedule plus `round` is
+    /// all a restore needs to continue the drifting means bit-exactly.
+    pub(crate) drift: Option<DriftSchedule>,
     pub(crate) total_reward: f64,
     pub(crate) trace: RegretTrace,
     pub(crate) flush: FlushPolicy,
@@ -106,10 +113,22 @@ impl TenantSnapshot {
     /// The tenant's run so far, in the simulation engine's result format —
     /// the bridge the golden-trace equivalence suite compares through.
     pub fn run_result(&self) -> RunResult {
+        // Drifting tenants report the horizon average of the per-round
+        // dynamic optima — the same expression as the drifted simulation
+        // runners, so the two results compare bit-for-bit.
+        let optimal_mean = if self.drift.is_some() {
+            if self.round == 0 {
+                0.0
+            } else {
+                self.optimal_sum / self.round as f64
+            }
+        } else {
+            self.optimal
+        };
         RunResult {
             policy: self.policy_name().to_owned(),
             horizon: self.round as usize,
-            optimal_mean: self.optimal,
+            optimal_mean,
             total_reward: self.total_reward,
             trace: self.trace.clone(),
         }

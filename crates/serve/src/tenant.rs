@@ -13,7 +13,7 @@ use rand::SeedableRng;
 
 use netband_core::{CombinatorialPolicy, SinglePlayPolicy};
 use netband_env::feasible::FeasibleSet;
-use netband_env::{FeedbackBatch, NetworkedBandit, PullBuffer, StrategyFamily};
+use netband_env::{DriftSchedule, FeedbackBatch, NetworkedBandit, PullBuffer, StrategyFamily};
 use netband_sim::regret::RegretTrace;
 use netband_sim::step;
 use netband_sim::{CombinatorialScenario, SingleScenario};
@@ -60,6 +60,7 @@ pub struct TenantSpec {
     flush: FlushPolicy,
     auto_feedback: bool,
     echo_feedback: bool,
+    drift: Option<DriftSchedule>,
     kind: SpecKind,
 }
 
@@ -91,6 +92,7 @@ impl TenantSpec {
             flush: FlushPolicy::default(),
             auto_feedback: false,
             echo_feedback: true,
+            drift: None,
             kind: SpecKind::Single {
                 policy: Box::new(policy),
                 scenario,
@@ -114,6 +116,7 @@ impl TenantSpec {
             flush: FlushPolicy::default(),
             auto_feedback: false,
             echo_feedback: true,
+            drift: None,
             kind: SpecKind::Combinatorial {
                 policy: Box::new(policy),
                 family,
@@ -139,6 +142,7 @@ impl TenantSpec {
             flush: FlushPolicy::default(),
             auto_feedback: false,
             echo_feedback: true,
+            drift: None,
             kind: SpecKind::Single { policy, scenario },
         }
     }
@@ -160,6 +164,7 @@ impl TenantSpec {
             flush: FlushPolicy::default(),
             auto_feedback: false,
             echo_feedback: true,
+            drift: None,
             kind: SpecKind::Combinatorial {
                 policy,
                 family,
@@ -182,8 +187,9 @@ impl TenantSpec {
         id: impl Into<TenantId>,
         scenario: &netband_spec::ScenarioSpec,
     ) -> Result<Self, ServeError> {
-        let built = scenario.build()?;
+        let mut built = scenario.build()?;
         let flush = FlushPolicy::from(scenario.feedback);
+        let drift = built.drift.take();
         let spec = match built.policy {
             netband_spec::AnyPolicy::Single(policy) => TenantSpec::single_boxed(
                 id,
@@ -208,12 +214,26 @@ impl TenantSpec {
                 )
             }
         };
+        let spec = match drift {
+            Some(drift) => spec.with_drift(drift),
+            None => spec,
+        };
         Ok(spec.with_flush(flush))
     }
 
     /// The tenant id the spec will be registered under.
     pub fn id(&self) -> &str {
         &self.id
+    }
+
+    /// Hosts the tenant's world under a deterministic drift schedule: each
+    /// decide's arm means are `drift.means_at(base, round)` and regret is
+    /// charged against the per-round dynamic optimum. A trivial schedule is
+    /// dropped at build time, so the tenant stays on the stationary fast
+    /// path.
+    pub fn with_drift(mut self, drift: DriftSchedule) -> Self {
+        self.drift = Some(drift);
+        self
     }
 
     /// Sets when queued feedback is folded into the policy.
@@ -287,6 +307,16 @@ pub(crate) struct Tenant {
     /// matching the simulation runner's time slots).
     pub(crate) round: u64,
     pub(crate) optimal: f64,
+    /// Running sum of per-round dynamic optima (drifting tenants only).
+    pub(crate) optimal_sum: f64,
+    /// Drift schedule of the hosted world, `None` for stationary tenants
+    /// (trivial schedules are dropped in [`Tenant::new`]).
+    pub(crate) drift: Option<DriftSchedule>,
+    /// Stationary base means the drift schedule perturbs; empty when
+    /// stationary (recomputed from the arm set on restore, never serialized).
+    pub(crate) base_means: Vec<f64>,
+    /// Per-decide scratch for the drifted mean vector.
+    pub(crate) drift_means: Vec<f64>,
     pub(crate) total_reward: f64,
     pub(crate) trace: RegretTrace,
     pub(crate) flush: FlushPolicy,
@@ -308,8 +338,16 @@ impl Tenant {
             flush,
             auto_feedback,
             echo_feedback,
+            drift,
             kind,
         } = spec;
+        let drift = drift.filter(|d| !d.is_trivial());
+        let base_means = if drift.is_some() {
+            bandit.means().to_vec()
+        } else {
+            Vec::new()
+        };
+        let drift_means = vec![0.0; base_means.len()];
         let (kind, optimal) = match kind {
             SpecKind::Single { policy, scenario } => {
                 let optimal = step::single_benchmark(&bandit, scenario);
@@ -348,6 +386,10 @@ impl Tenant {
             buf: PullBuffer::new(),
             round: 0,
             optimal,
+            optimal_sum: 0.0,
+            drift,
+            base_means,
+            drift_means,
             total_reward: 0.0,
             trace: RegretTrace::with_capacity(0),
             flush,
@@ -373,17 +415,42 @@ impl Tenant {
         }
         self.round += 1;
         let t = self.round as usize;
-        let optimal = self.optimal;
         let echo = self.echo_feedback;
         let auto = self.auto_feedback;
+        // Drift is a pure function of the (already advanced) round counter:
+        // the drifted means and the per-round optimum consume no randomness,
+        // which is what keeps snapshot/restore bit-exact mid-drift.
+        let drifting = self.drift.is_some();
+        if let Some(schedule) = &self.drift {
+            schedule.means_at(&self.base_means, self.round, &mut self.drift_means);
+        }
         match &mut self.kind {
             TenantKind::Single {
                 policy, scenario, ..
             } => {
+                let optimal = if drifting {
+                    step::single_benchmark_with(&self.bandit, &self.drift_means, *scenario)
+                } else {
+                    self.optimal
+                };
                 let arm = policy.select_arm(t);
-                let feedback = self.buf.pull_single(&self.bandit, arm, &mut self.rng);
-                let (reward, mean) = step::score_single(&self.bandit, *scenario, feedback);
+                let feedback = if drifting {
+                    self.buf.pull_single_drifted(
+                        &self.bandit,
+                        &self.drift_means,
+                        arm,
+                        &mut self.rng,
+                    )
+                } else {
+                    self.buf.pull_single(&self.bandit, arm, &mut self.rng)
+                };
+                let (reward, mean) = if drifting {
+                    step::score_single_with(&self.bandit, &self.drift_means, *scenario, feedback)
+                } else {
+                    step::score_single(&self.bandit, *scenario, feedback)
+                };
                 self.total_reward += reward;
+                self.optimal_sum += optimal;
                 self.trace.record(optimal - reward, optimal - mean);
                 if auto {
                     policy.update(t, feedback);
@@ -404,6 +471,16 @@ impl Tenant {
                 strategy_scratch,
                 ..
             } => {
+                let optimal = if drifting {
+                    step::combinatorial_benchmark_with(
+                        &self.bandit,
+                        family,
+                        &self.drift_means,
+                        *scenario,
+                    )
+                } else {
+                    self.optimal
+                };
                 policy.select_strategy_into(t, strategy_scratch);
                 debug_assert!(
                     family.contains(strategy_scratch, self.bandit.graph()),
@@ -411,21 +488,33 @@ impl Tenant {
                     self.id,
                     policy.name()
                 );
-                let feedback =
-                    match self
-                        .buf
+                let pulled = if drifting {
+                    self.buf.pull_strategy_drifted(
+                        &self.bandit,
+                        &self.drift_means,
+                        strategy_scratch,
+                        &mut self.rng,
+                    )
+                } else {
+                    self.buf
                         .pull_strategy(&self.bandit, strategy_scratch, &mut self.rng)
-                    {
-                        Ok(fb) => fb,
-                        Err(e) => {
-                            // The decision never happened; un-advance the round
-                            // so the counter keeps matching the trace length.
-                            self.round -= 1;
-                            return Err(ServeError::Env(e));
-                        }
-                    };
-                let (reward, mean) = step::score_combinatorial(&self.bandit, *scenario, feedback);
+                };
+                let feedback = match pulled {
+                    Ok(fb) => fb,
+                    Err(e) => {
+                        // The decision never happened; un-advance the round
+                        // so the counter keeps matching the trace length.
+                        self.round -= 1;
+                        return Err(ServeError::Env(e));
+                    }
+                };
+                let (reward, mean) = if drifting {
+                    step::score_combinatorial_with(&self.drift_means, *scenario, feedback)
+                } else {
+                    step::score_combinatorial(&self.bandit, *scenario, feedback)
+                };
                 self.total_reward += reward;
+                self.optimal_sum += optimal;
                 self.trace.record(optimal - reward, optimal - mean);
                 if auto {
                     policy.update(t, feedback);
@@ -545,6 +634,8 @@ impl Tenant {
             rng: self.rng.clone(),
             round: self.round,
             optimal: self.optimal,
+            optimal_sum: self.optimal_sum,
+            drift: self.drift.clone(),
             total_reward: self.total_reward,
             trace: self.trace.clone(),
             flush: self.flush,
@@ -566,6 +657,8 @@ impl Tenant {
             rng,
             round,
             optimal,
+            optimal_sum,
+            drift,
             total_reward,
             trace,
             flush,
@@ -574,6 +667,15 @@ impl Tenant {
             metrics,
         } = snapshot;
         let bandit = NetworkedBandit::new(graph, arms)?;
+        // Base means are derived from the arm set, so they are rebuilt rather
+        // than serialized; drift itself is a pure function of the restored
+        // round counter, so the drifting world resumes bit-exactly.
+        let base_means = if drift.is_some() {
+            bandit.means().to_vec()
+        } else {
+            Vec::new()
+        };
+        let drift_means = vec![0.0; base_means.len()];
         let kind = match kind {
             SnapshotKind::Single { policy, scenario } => TenantKind::Single {
                 policy,
@@ -600,6 +702,10 @@ impl Tenant {
             buf: PullBuffer::new(),
             round,
             optimal,
+            optimal_sum,
+            drift,
+            base_means,
+            drift_means,
             total_reward,
             trace,
             flush,
@@ -768,6 +874,111 @@ mod tests {
         assert_eq!(
             original.total_reward.to_bits(),
             restored.total_reward.to_bits()
+        );
+    }
+
+    #[test]
+    fn drifting_tenant_matches_the_drifted_runner_exactly() {
+        use netband_env::{ChangePoint, DriftSchedule};
+        let drift = DriftSchedule {
+            change_points: vec![ChangePoint {
+                round: 60,
+                rotation: 3,
+            }],
+            ..DriftSchedule::default()
+        };
+        let bandit = fixture_bandit(3);
+        let mut policy = DflSso::new(bandit.graph().clone());
+        let expected = netband_sim::run_single_drifted(
+            &bandit,
+            &drift,
+            &mut policy,
+            SingleScenario::SideObservation,
+            200,
+            77,
+        );
+
+        let mut tenant = Tenant::new(
+            single_spec("t", 77)
+                .with_drift(drift)
+                .with_auto_feedback(true)
+                .with_echo_feedback(false),
+        )
+        .unwrap();
+        for _ in 0..200 {
+            tenant.decide().unwrap();
+        }
+        let result = tenant.snapshot().run_result();
+        assert_eq!(result.trace, expected.trace);
+        assert_eq!(
+            result.total_reward.to_bits(),
+            expected.total_reward.to_bits()
+        );
+        assert_eq!(
+            result.optimal_mean.to_bits(),
+            expected.optimal_mean.to_bits()
+        );
+    }
+
+    #[test]
+    fn drifting_tenant_snapshot_restores_across_a_change_point() {
+        use netband_env::{ChangePoint, DriftSchedule, GradualDrift};
+        let drift = DriftSchedule {
+            gradual: Some(GradualDrift {
+                amplitude: 0.15,
+                period: 40,
+            }),
+            change_points: vec![ChangePoint {
+                round: 50,
+                rotation: 2,
+            }],
+            ..DriftSchedule::default()
+        };
+        let mut original = Tenant::new(
+            single_spec("t", 13)
+                .with_drift(drift)
+                .with_auto_feedback(true),
+        )
+        .unwrap();
+        // Snapshot strictly before the change point; both continuations must
+        // cross it identically.
+        for _ in 0..40 {
+            original.decide().unwrap();
+        }
+        let mut restored = Tenant::from_snapshot(original.snapshot()).unwrap();
+        for _ in 0..40 {
+            let a = original.decide().unwrap();
+            let b = restored.decide().unwrap();
+            assert_eq!(a, b);
+        }
+        assert_eq!(
+            original.total_reward.to_bits(),
+            restored.total_reward.to_bits()
+        );
+        assert_eq!(
+            original.optimal_sum.to_bits(),
+            restored.optimal_sum.to_bits()
+        );
+    }
+
+    #[test]
+    fn trivial_drift_schedules_stay_on_the_stationary_path() {
+        let mut plain = Tenant::new(single_spec("a", 5).with_auto_feedback(true)).unwrap();
+        let mut trivial = Tenant::new(
+            single_spec("b", 5)
+                .with_drift(netband_env::DriftSchedule::default())
+                .with_auto_feedback(true),
+        )
+        .unwrap();
+        assert!(trivial.drift.is_none());
+        for _ in 0..50 {
+            let a = plain.decide().unwrap();
+            let b = trivial.decide().unwrap();
+            assert_eq!(a, b);
+        }
+        assert_eq!(
+            plain.snapshot().run_result(),
+            trivial.snapshot().run_result()
         );
     }
 

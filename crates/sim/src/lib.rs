@@ -60,8 +60,8 @@ pub mod sweep;
 pub use regret::RegretTrace;
 pub use replicate::{replicate, AveragedRun, ReplicationConfig};
 pub use runner::{
-    run_combinatorial, run_single, run_single_coupled, CombinatorialScenario, RunResult,
-    SingleScenario,
+    run_combinatorial, run_combinatorial_drifted, run_single, run_single_coupled,
+    run_single_drifted, CombinatorialScenario, RunResult, SingleScenario,
 };
 pub use spec::{replicate_spec, run_built, run_spec};
 pub use sweep::Sweep;

@@ -21,7 +21,8 @@ use netband_spec::{AnyPolicy, BuiltScenario, ScenarioSpec, SideBonus, SpecError}
 
 use crate::replicate::{replicate, AveragedRun, ReplicationConfig};
 use crate::runner::{
-    run_combinatorial, run_single, CombinatorialScenario, RunResult, SingleScenario,
+    run_combinatorial, run_combinatorial_drifted, run_single, run_single_drifted,
+    CombinatorialScenario, RunResult, SingleScenario,
 };
 
 /// The [`SingleScenario`] a side bonus selects for single-play policies.
@@ -53,26 +54,44 @@ pub fn run_built(built: &mut BuiltScenario) -> Result<RunResult, SpecError> {
     let side_bonus = built.side_bonus;
     let horizon = built.horizon;
     let seed = built.seed;
+    // A declared-but-trivial drift schedule takes the stationary fast path,
+    // so `drift: {}` behaves (and scores) exactly like no drift at all.
+    let drift = built.drift.as_ref().filter(|d| !d.is_trivial());
     match &mut built.policy {
-        AnyPolicy::Single(policy) => Ok(run_single(
-            &built.bandit,
-            policy,
-            single_scenario(side_bonus),
-            horizon,
-            seed,
-        )),
+        AnyPolicy::Single(policy) => Ok(match drift {
+            Some(drift) => run_single_drifted(
+                &built.bandit,
+                drift,
+                policy,
+                single_scenario(side_bonus),
+                horizon,
+                seed,
+            ),
+            None => run_single(
+                &built.bandit,
+                policy,
+                single_scenario(side_bonus),
+                horizon,
+                seed,
+            ),
+        }),
         AnyPolicy::Combinatorial(policy) => {
             let family = built.family.as_ref().ok_or(SpecError::MissingFamily {
                 policy: "combinatorial",
             })?;
-            run_combinatorial(
-                &built.bandit,
-                family,
-                policy,
-                combinatorial_scenario(side_bonus),
-                horizon,
-                seed,
-            )
+            let scenario = combinatorial_scenario(side_bonus);
+            match drift {
+                Some(drift) => run_combinatorial_drifted(
+                    &built.bandit,
+                    family,
+                    drift,
+                    policy,
+                    scenario,
+                    horizon,
+                    seed,
+                ),
+                None => run_combinatorial(&built.bandit, family, policy, scenario, horizon, seed),
+            }
             .map_err(SpecError::Env)
         }
     }
@@ -153,6 +172,7 @@ mod tests {
                 },
                 arms: ArmsSpec::UniformMeanBernoulli { num_arms: 10 },
                 family,
+                drift: None,
                 seed: 42,
             },
             policy,
@@ -220,6 +240,37 @@ mod tests {
         let avg = replicate_spec(&spec).unwrap();
         assert_eq!(avg.replications, 2);
         assert_eq!(avg.policy, "DFL-CSR");
+    }
+
+    #[test]
+    fn trivial_drift_takes_the_stationary_path_bit_for_bit() {
+        let stationary = demo_spec(PolicySpec::DflSso, None);
+        let mut trivial = stationary.clone();
+        trivial.workload.drift = Some(netband_spec::DriftSpec::default());
+        assert_eq!(run_spec(&stationary).unwrap(), run_spec(&trivial).unwrap());
+    }
+
+    #[test]
+    fn drifting_specs_run_through_the_drifted_runners() {
+        use netband_spec::{ChangePointSpec, DriftSpec, EstimatorSpec};
+        let mut spec = demo_spec(
+            PolicySpec::Cts {
+                seed: 3,
+                estimator: Some(EstimatorSpec::Discounted { gamma: 0.995 }),
+            },
+            Some(FamilySpec::AtMostM { m: 2 }),
+        );
+        spec.workload.drift = Some(DriftSpec {
+            change_points: vec![ChangePointSpec {
+                round: 100,
+                rotation: 5,
+            }],
+            ..DriftSpec::default()
+        });
+        let result = run_spec(&spec).unwrap();
+        assert_eq!(result.policy, "CTS-D");
+        assert_eq!(result.trace.len(), 200);
+        assert!(result.trace.pseudo().iter().all(|&r| r >= -1e-12));
     }
 
     #[test]

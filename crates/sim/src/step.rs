@@ -67,6 +67,57 @@ pub fn score_combinatorial(
     }
 }
 
+/// [`score_single`] against an explicit mean vector — the drifting-world
+/// variant, where the round's means come from a
+/// `netband_env::DriftSchedule` instead of the arm bank. With
+/// `means == bandit.means()` the two are bit-identical (same expressions,
+/// same summation order).
+///
+/// # Panics
+///
+/// Panics if the feedback's arm is out of range for `means`.
+pub fn score_single_with(
+    bandit: &NetworkedBandit,
+    means: &[f64],
+    scenario: SingleScenario,
+    feedback: &SinglePlayFeedback,
+) -> (f64, f64) {
+    match scenario {
+        SingleScenario::SideObservation => (feedback.direct_reward, means[feedback.arm]),
+        SingleScenario::SideReward => (
+            feedback.side_reward,
+            bandit.side_reward_mean_with(feedback.arm, means),
+        ),
+    }
+}
+
+/// [`score_combinatorial`] against an explicit mean vector; see
+/// [`score_single_with`].
+///
+/// # Panics
+///
+/// Panics if the feedback references an arm out of range for `means`.
+pub fn score_combinatorial_with(
+    means: &[f64],
+    scenario: CombinatorialScenario,
+    feedback: &CombinatorialFeedback,
+) -> (f64, f64) {
+    match scenario {
+        CombinatorialScenario::SideObservation => (
+            feedback.direct_reward,
+            feedback.strategy.iter().map(|&i| means[i]).sum::<f64>(),
+        ),
+        CombinatorialScenario::SideReward => (
+            feedback.side_reward,
+            feedback
+                .observation_set
+                .iter()
+                .map(|&i| means[i])
+                .sum::<f64>(),
+        ),
+    }
+}
+
 /// The benchmark (optimal expected per-round reward) a single-play run under
 /// `scenario` charges regret against.
 pub fn single_benchmark(bandit: &NetworkedBandit, scenario: SingleScenario) -> f64 {
@@ -85,6 +136,36 @@ pub fn combinatorial_benchmark(
     match scenario {
         CombinatorialScenario::SideObservation => bandit.best_strategy_direct_mean(family),
         CombinatorialScenario::SideReward => bandit.best_strategy_side_mean(family),
+    }
+}
+
+/// [`single_benchmark`] against an explicit mean vector — the per-round
+/// benchmark of a drifting world (the dynamic-oracle regret notion of the
+/// nonstationary-bandit literature).
+pub fn single_benchmark_with(
+    bandit: &NetworkedBandit,
+    means: &[f64],
+    scenario: SingleScenario,
+) -> f64 {
+    match scenario {
+        SingleScenario::SideObservation => bandit.best_single_direct_mean_with(means),
+        SingleScenario::SideReward => bandit.best_single_side_mean_with(means),
+    }
+}
+
+/// [`combinatorial_benchmark`] against an explicit mean vector; see
+/// [`single_benchmark_with`].
+pub fn combinatorial_benchmark_with(
+    bandit: &NetworkedBandit,
+    family: &netband_env::StrategyFamily,
+    means: &[f64],
+    scenario: CombinatorialScenario,
+) -> f64 {
+    match scenario {
+        CombinatorialScenario::SideObservation => {
+            bandit.best_strategy_direct_mean_with(family, means)
+        }
+        CombinatorialScenario::SideReward => bandit.best_strategy_side_mean_with(family, means),
     }
 }
 

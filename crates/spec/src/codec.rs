@@ -9,8 +9,9 @@
 use crate::error::SpecError;
 use crate::json::{parse, Json};
 use crate::model::{
-    ArmsSpec, FamilySpec, FeedbackSpec, FleetSpec, FleetTenant, GraphSpec, PolicySpec,
-    ScenarioSpec, SideBonus, WorkloadSpec,
+    ArmsSpec, ChangePointSpec, ChurnWindowSpec, DriftSpec, EstimatorSpec, FamilySpec, FeedbackSpec,
+    FleetSpec, FleetTenant, GradualDriftSpec, GraphSpec, PolicySpec, ScenarioSpec, SideBonus,
+    WorkloadSpec,
 };
 
 // ---------------------------------------------------------------------------
@@ -425,6 +426,161 @@ pub(crate) fn family_from_json(value: &Json) -> Result<FamilySpec, SpecError> {
 }
 
 // ---------------------------------------------------------------------------
+// EstimatorSpec, DriftSpec
+// ---------------------------------------------------------------------------
+
+pub(crate) fn estimator_to_json(spec: &EstimatorSpec) -> Json {
+    match spec {
+        EstimatorSpec::Stationary => tagged("stationary", vec![]),
+        EstimatorSpec::Discounted { gamma } => {
+            tagged("discounted", vec![("gamma".into(), Json::from_f64(*gamma))])
+        }
+        EstimatorSpec::SlidingWindow { window } => tagged(
+            "sliding_window",
+            vec![("window".into(), Json::from_u64(*window as u64))],
+        ),
+    }
+}
+
+pub(crate) fn estimator_from_json(value: &Json) -> Result<EstimatorSpec, SpecError> {
+    const CTX: &str = "EstimatorSpec";
+    let mut obj = Obj::new(value, CTX)?;
+    let spec = match tag_of(&mut obj)? {
+        "stationary" => EstimatorSpec::Stationary,
+        "discounted" => EstimatorSpec::Discounted {
+            gamma: get_f64(obj.req("gamma")?, CTX)?,
+        },
+        "sliding_window" => EstimatorSpec::SlidingWindow {
+            window: get_usize(obj.req("window")?, CTX)?,
+        },
+        other => {
+            return Err(SpecError::UnknownVariant {
+                context: CTX,
+                variant: other.to_owned(),
+            })
+        }
+    };
+    obj.finish()?;
+    spec.validate()?;
+    Ok(spec)
+}
+
+pub(crate) fn drift_to_json(spec: &DriftSpec) -> Json {
+    let mut fields = vec![];
+    if let Some(gradual) = &spec.gradual {
+        fields.push((
+            "gradual".into(),
+            Json::Object(vec![
+                ("amplitude".into(), Json::from_f64(gradual.amplitude)),
+                ("period".into(), Json::from_u64(gradual.period)),
+            ]),
+        ));
+    }
+    if !spec.change_points.is_empty() {
+        fields.push((
+            "change_points".into(),
+            Json::Array(
+                spec.change_points
+                    .iter()
+                    .map(|cp| {
+                        Json::Object(vec![
+                            ("round".into(), Json::from_u64(cp.round)),
+                            ("rotation".into(), Json::from_u64(cp.rotation as u64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ));
+    }
+    if !spec.churn.is_empty() {
+        fields.push((
+            "churn".into(),
+            Json::Array(
+                spec.churn
+                    .iter()
+                    .map(|w| {
+                        Json::Object(vec![
+                            ("arm".into(), Json::from_u64(w.arm as u64)),
+                            ("from".into(), Json::from_u64(w.from)),
+                            ("to".into(), Json::from_u64(w.to)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ));
+    }
+    Json::Object(fields)
+}
+
+pub(crate) fn drift_from_json(value: &Json) -> Result<DriftSpec, SpecError> {
+    const CTX: &str = "DriftSpec";
+    let mut obj = Obj::new(value, CTX)?;
+    let gradual = obj
+        .opt("gradual")
+        .map(|v| -> Result<GradualDriftSpec, SpecError> {
+            let mut g = Obj::new(v, CTX)?;
+            let spec = GradualDriftSpec {
+                amplitude: get_f64(g.req("amplitude")?, CTX)?,
+                period: get_u64(g.req("period")?, CTX)?,
+            };
+            g.finish()?;
+            Ok(spec)
+        })
+        .transpose()?;
+    let change_points = obj
+        .opt("change_points")
+        .map(|v| -> Result<Vec<ChangePointSpec>, SpecError> {
+            let items = v.as_array().ok_or(SpecError::Invalid {
+                context: CTX,
+                message: "change_points must be an array".into(),
+            })?;
+            items
+                .iter()
+                .map(|item| {
+                    let mut cp = Obj::new(item, CTX)?;
+                    let spec = ChangePointSpec {
+                        round: get_u64(cp.req("round")?, CTX)?,
+                        rotation: get_usize(cp.req("rotation")?, CTX)?,
+                    };
+                    cp.finish()?;
+                    Ok(spec)
+                })
+                .collect()
+        })
+        .transpose()?
+        .unwrap_or_default();
+    let churn = obj
+        .opt("churn")
+        .map(|v| -> Result<Vec<ChurnWindowSpec>, SpecError> {
+            let items = v.as_array().ok_or(SpecError::Invalid {
+                context: CTX,
+                message: "churn must be an array".into(),
+            })?;
+            items
+                .iter()
+                .map(|item| {
+                    let mut w = Obj::new(item, CTX)?;
+                    let spec = ChurnWindowSpec {
+                        arm: get_usize(w.req("arm")?, CTX)?,
+                        from: get_u64(w.req("from")?, CTX)?,
+                        to: get_u64(w.req("to")?, CTX)?,
+                    };
+                    w.finish()?;
+                    Ok(spec)
+                })
+                .collect()
+        })
+        .transpose()?
+        .unwrap_or_default();
+    obj.finish()?;
+    Ok(DriftSpec {
+        gradual,
+        change_points,
+        churn,
+    })
+}
+
+// ---------------------------------------------------------------------------
 // PolicySpec
 // ---------------------------------------------------------------------------
 
@@ -513,6 +669,13 @@ pub(crate) fn policy_to_json(spec: &PolicySpec) -> Json {
             "random_combinatorial",
             vec![("seed".into(), Json::from_u64(*seed))],
         ),
+        PolicySpec::Cts { seed, estimator } => {
+            let mut fields = vec![("seed".into(), Json::from_u64(*seed))];
+            if let Some(estimator) = estimator {
+                fields.push(("estimator".into(), estimator_to_json(estimator)));
+            }
+            tagged("cts", fields)
+        }
     }
 }
 
@@ -569,6 +732,10 @@ pub(crate) fn policy_from_json(value: &Json) -> Result<PolicySpec, SpecError> {
         "naive_comarm_moss" => PolicySpec::NaiveComArmMoss,
         "random_combinatorial" => PolicySpec::RandomCombinatorial {
             seed: get_u64(obj.req("seed")?, CTX)?,
+        },
+        "cts" => PolicySpec::Cts {
+            seed: get_u64(obj.req("seed")?, CTX)?,
+            estimator: obj.opt("estimator").map(estimator_from_json).transpose()?,
         },
         other => {
             return Err(SpecError::UnknownVariant {
@@ -642,7 +809,7 @@ pub(crate) fn feedback_from_json(value: &Json) -> Result<FeedbackSpec, SpecError
 // ---------------------------------------------------------------------------
 
 pub(crate) fn workload_to_json(spec: &WorkloadSpec) -> Json {
-    Json::Object(vec![
+    let mut fields = vec![
         ("graph".into(), graph_to_json(&spec.graph)),
         ("arms".into(), arms_to_json(&spec.arms)),
         (
@@ -652,8 +819,14 @@ pub(crate) fn workload_to_json(spec: &WorkloadSpec) -> Json {
                 .map(family_to_json)
                 .unwrap_or(Json::Null),
         ),
-        ("seed".into(), Json::from_u64(spec.seed)),
-    ])
+    ];
+    // The drift key is omitted entirely (not emitted as null) when absent, so
+    // documents written before the key existed re-encode byte-identically.
+    if let Some(drift) = &spec.drift {
+        fields.push(("drift".into(), drift_to_json(drift)));
+    }
+    fields.push(("seed".into(), Json::from_u64(spec.seed)));
+    Json::Object(fields)
 }
 
 pub(crate) fn workload_from_json(value: &Json) -> Result<WorkloadSpec, SpecError> {
@@ -663,6 +836,7 @@ pub(crate) fn workload_from_json(value: &Json) -> Result<WorkloadSpec, SpecError
         graph: graph_from_json(obj.req("graph")?)?,
         arms: arms_from_json(obj.req("arms")?)?,
         family: obj.opt("family").map(family_from_json).transpose()?,
+        drift: obj.opt("drift").map(drift_from_json).transpose()?,
         seed: get_u64(obj.req("seed")?, CTX)?,
     };
     obj.finish()?;

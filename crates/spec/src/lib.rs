@@ -80,8 +80,9 @@ pub mod presets;
 
 pub use error::SpecError;
 pub use model::{
-    ArmsSpec, BuiltScenario, FamilySpec, FeedbackSpec, FleetSpec, FleetTenant, GraphSpec,
-    PolicySpec, ScenarioSpec, SideBonus, WorkloadSpec, SPEC_VERSION,
+    ArmsSpec, BuiltScenario, ChangePointSpec, ChurnWindowSpec, DriftSpec, EstimatorSpec,
+    FamilySpec, FeedbackSpec, FleetSpec, FleetTenant, GradualDriftSpec, GraphSpec, PolicySpec,
+    ScenarioSpec, SideBonus, WorkloadSpec, SPEC_VERSION,
 };
 pub use policy::AnyPolicy;
 

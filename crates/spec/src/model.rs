@@ -18,7 +18,9 @@ use netband_baselines as baselines;
 use netband_core as core_policies;
 use netband_env::feasible::FeasibleSet;
 use netband_env::workloads::Workload;
-use netband_env::{ArmSet, NetworkedBandit, StrategyFamily};
+use netband_env::{
+    ArmSet, ChangePoint, ChurnWindow, DriftSchedule, GradualDrift, NetworkedBandit, StrategyFamily,
+};
 use netband_graph::{generators, RelationGraph};
 
 use crate::error::SpecError;
@@ -277,6 +279,67 @@ impl FamilySpec {
 // PolicySpec
 // ---------------------------------------------------------------------------
 
+// ---------------------------------------------------------------------------
+// EstimatorSpec
+// ---------------------------------------------------------------------------
+
+/// Which evidence estimator a nonstationarity-aware policy keeps per arm —
+/// the serializable counterpart of `netband_core::EstimatorKind`.
+///
+/// The stationary estimator is the plain running mean every DFL policy uses;
+/// the discounted and sliding-window estimators forget old evidence, which is
+/// what lets a policy track the drifting worlds described by [`DriftSpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum EstimatorSpec {
+    /// Plain running means over all history (the stationary default).
+    Stationary,
+    /// Exponentially discounted means (D-UCB style): every round multiplies
+    /// the accumulated evidence weight by `gamma`, so an observation made `d`
+    /// rounds ago carries weight `gamma^d`. `gamma = 1.0` is bit-identical to
+    /// [`EstimatorSpec::Stationary`].
+    Discounted {
+        /// Per-round discount factor `γ ∈ (0, 1]`.
+        gamma: f64,
+    },
+    /// Sliding-window means: only each arm's last `window` observations count.
+    SlidingWindow {
+        /// Window length (≥ 1).
+        window: usize,
+    },
+}
+
+impl EstimatorSpec {
+    /// Checks the parameters (`gamma ∈ (0, 1]`, `window ≥ 1`).
+    pub fn validate(&self) -> Result<(), SpecError> {
+        match self {
+            EstimatorSpec::Discounted { gamma } if !(*gamma > 0.0 && *gamma <= 1.0) => {
+                Err(SpecError::Invalid {
+                    context: "EstimatorSpec::Discounted",
+                    message: format!("gamma must lie in (0, 1], got {gamma}"),
+                })
+            }
+            EstimatorSpec::SlidingWindow { window: 0 } => Err(SpecError::Invalid {
+                context: "EstimatorSpec::SlidingWindow",
+                message: "window must be at least 1".into(),
+            }),
+            _ => Ok(()),
+        }
+    }
+
+    /// The `netband_core` estimator kind this spec describes.
+    pub fn build(&self) -> core_policies::EstimatorKind {
+        match self {
+            EstimatorSpec::Stationary => core_policies::EstimatorKind::Stationary,
+            EstimatorSpec::Discounted { gamma } => {
+                core_policies::EstimatorKind::Discounted { gamma: *gamma }
+            }
+            EstimatorSpec::SlidingWindow { window } => {
+                core_policies::EstimatorKind::SlidingWindow { window: *window }
+            }
+        }
+    }
+}
+
 /// A learning policy plus its hyperparameters.
 ///
 /// Every policy in `netband-core` (the paper's four DFL algorithms and the
@@ -388,6 +451,17 @@ pub enum PolicySpec {
         /// RNG seed.
         seed: u64,
     },
+    /// Combinatorial Thompson sampling (Hüyük & Tekin): per-arm Beta
+    /// posteriors sampled each round and handed to the strategy oracle.
+    /// With a [`EstimatorSpec::Discounted`] or [`EstimatorSpec::SlidingWindow`]
+    /// estimator it becomes the nonstationary CTS-D / CTS-SW variant that
+    /// tracks [`DriftSpec`] worlds.
+    Cts {
+        /// RNG seed of the posterior sampler.
+        seed: u64,
+        /// Evidence estimator behind the posteriors; `None` means stationary.
+        estimator: Option<EstimatorSpec>,
+    },
 }
 
 impl PolicySpec {
@@ -402,6 +476,7 @@ impl PolicySpec {
                 | PolicySpec::CombEpsilonGreedy { .. }
                 | PolicySpec::NaiveComArmMoss
                 | PolicySpec::RandomCombinatorial { .. }
+                | PolicySpec::Cts { .. }
         )
     }
 
@@ -432,7 +507,25 @@ impl PolicySpec {
             PolicySpec::CombEpsilonGreedy { .. } => "CombEpsilonGreedy",
             PolicySpec::NaiveComArmMoss => "NaiveComArm-MOSS",
             PolicySpec::RandomCombinatorial { .. } => "RandomCombinatorial",
+            PolicySpec::Cts { estimator, .. } => match estimator {
+                Some(EstimatorSpec::Discounted { .. }) => "CTS-D",
+                Some(EstimatorSpec::SlidingWindow { .. }) => "CTS-SW",
+                None | Some(EstimatorSpec::Stationary) => "CTS",
+            },
         }
+    }
+
+    /// Checks the policy's hyperparameters without building anything
+    /// (currently the CTS estimator: `gamma ∈ (0, 1]`, `window ≥ 1`).
+    pub fn validate(&self) -> Result<(), SpecError> {
+        if let PolicySpec::Cts {
+            estimator: Some(estimator),
+            ..
+        } = self
+        {
+            estimator.validate()?;
+        }
+        Ok(())
     }
 
     /// Builds the policy against a concrete environment.
@@ -535,6 +628,21 @@ impl PolicySpec {
                 let strategies = enumerate(need_family()?)?;
                 AnyPolicy::combinatorial(baselines::RandomCombinatorial::new(strategies, *seed))
             }
+            PolicySpec::Cts { seed, estimator } => {
+                let kind = match estimator {
+                    Some(spec) => {
+                        spec.validate()?;
+                        spec.build()
+                    }
+                    None => core_policies::EstimatorKind::Stationary,
+                };
+                AnyPolicy::combinatorial(core_policies::CombinatorialThompson::with_estimator(
+                    graph.clone(),
+                    need_family()?.clone(),
+                    kind,
+                    *seed,
+                ))
+            }
         })
     }
 }
@@ -587,6 +695,150 @@ impl FeedbackSpec {
 }
 
 // ---------------------------------------------------------------------------
+// DriftSpec
+// ---------------------------------------------------------------------------
+
+/// Gradual sinusoidal mean drift: arm `i`'s mean is offset by
+/// `amplitude · sin(2π · (round/period + i/K))` before clamping to `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GradualDriftSpec {
+    /// Peak mean offset (`|amplitude|` should stay well below 1).
+    pub amplitude: f64,
+    /// Oscillation period in rounds (≥ 1).
+    pub period: u64,
+}
+
+/// An abrupt change point: from `round` on, the base mean vector is rotated
+/// by a further `rotation` positions (rotations accumulate across change
+/// points), so the identity of the best arm moves.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChangePointSpec {
+    /// First round the rotation applies to.
+    pub round: u64,
+    /// Additional rotation applied from `round` on.
+    pub rotation: usize,
+}
+
+/// Arm churn: `arm` is dead (mean forced to 0) for every round in
+/// `[from, to)` — e.g. an ad creative paused, a channel jammed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChurnWindowSpec {
+    /// The churned arm.
+    pub arm: ArmId,
+    /// First dead round (inclusive).
+    pub from: u64,
+    /// First live round again (exclusive end).
+    pub to: u64,
+}
+
+/// Deterministic nonstationarity for a workload — the serializable
+/// counterpart of [`netband_env::DriftSchedule`].
+///
+/// Drift is a pure function of the round number (it consumes no randomness),
+/// so a drifting world snapshots and restores bit-exactly: the serialized
+/// round counter alone pins the mean vector. All three ingredients compose:
+/// change-point rotation is applied first, then gradual drift, then churn,
+/// then the result is clamped to `[0, 1]`.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct DriftSpec {
+    /// Gradual sinusoidal drift, if any.
+    pub gradual: Option<GradualDriftSpec>,
+    /// Abrupt change points, in increasing round order.
+    pub change_points: Vec<ChangePointSpec>,
+    /// Arm churn windows.
+    pub churn: Vec<ChurnWindowSpec>,
+}
+
+impl DriftSpec {
+    /// Checks the schedule against a workload with `num_arms` arms.
+    pub fn validate(&self, num_arms: usize) -> Result<(), SpecError> {
+        if let Some(gradual) = &self.gradual {
+            if !gradual.amplitude.is_finite() || gradual.amplitude.abs() > 1.0 {
+                return Err(SpecError::Invalid {
+                    context: "DriftSpec",
+                    message: format!(
+                        "gradual amplitude must be finite with |amplitude| <= 1, got {}",
+                        gradual.amplitude
+                    ),
+                });
+            }
+            if gradual.period == 0 {
+                return Err(SpecError::Invalid {
+                    context: "DriftSpec",
+                    message: "gradual period must be at least 1".into(),
+                });
+            }
+        }
+        for pair in self.change_points.windows(2) {
+            if pair[1].round <= pair[0].round {
+                return Err(SpecError::Invalid {
+                    context: "DriftSpec",
+                    message: format!(
+                        "change points must have strictly increasing rounds, got {} then {}",
+                        pair[0].round, pair[1].round
+                    ),
+                });
+            }
+        }
+        for window in &self.churn {
+            if window.from >= window.to {
+                return Err(SpecError::Invalid {
+                    context: "DriftSpec",
+                    message: format!(
+                        "churn window must have from < to, got [{}, {})",
+                        window.from, window.to
+                    ),
+                });
+            }
+            if window.arm >= num_arms {
+                return Err(SpecError::Invalid {
+                    context: "DriftSpec",
+                    message: format!(
+                        "churn arm {} out of range for {} arms",
+                        window.arm, num_arms
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// `true` when the schedule changes nothing (no gradual term, no change
+    /// points, no churn) — building it still yields a schedule, but runners
+    /// may take the stationary fast path.
+    pub fn is_trivial(&self) -> bool {
+        self.gradual.is_none() && self.change_points.is_empty() && self.churn.is_empty()
+    }
+
+    /// The `netband_env` drift schedule this spec describes.
+    pub fn build(&self) -> DriftSchedule {
+        DriftSchedule {
+            gradual: self.gradual.map(|g| GradualDrift {
+                amplitude: g.amplitude,
+                period: g.period,
+            }),
+            change_points: self
+                .change_points
+                .iter()
+                .map(|cp| ChangePoint {
+                    round: cp.round,
+                    rotation: cp.rotation,
+                })
+                .collect(),
+            churn: self
+                .churn
+                .iter()
+                .map(|w| ChurnWindow {
+                    arm: w.arm,
+                    from: w.from,
+                    to: w.to,
+                })
+                .collect(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // WorkloadSpec
 // ---------------------------------------------------------------------------
 
@@ -601,6 +853,9 @@ pub struct WorkloadSpec {
     /// The feasible strategy family, if the workload supports combinatorial
     /// play.
     pub family: Option<FamilySpec>,
+    /// Deterministic nonstationarity; `None` (the default, and the only value
+    /// the presets use) means the arm means never move.
+    pub drift: Option<DriftSpec>,
     /// Seed of the instance RNG. The graph is drawn first, then the arm bank,
     /// from one `StdRng` stream — the same order as the hand-written workload
     /// presets, so spec-built instances are bit-identical to them.
@@ -619,6 +874,9 @@ impl WorkloadSpec {
                     self.arms.num_arms()
                 ),
             });
+        }
+        if let Some(drift) = &self.drift {
+            drift.validate(self.graph.num_arms())?;
         }
         Ok(())
     }
@@ -667,6 +925,7 @@ impl WorkloadSpec {
             name: self.describe(),
             bandit,
             family: self.family.as_ref().map(|f| f.build(num_arms)),
+            drift: self.drift.as_ref().map(|d| d.build()),
         })
     }
 }
@@ -717,6 +976,7 @@ impl ScenarioSpec {
             });
         }
         self.workload.validate()?;
+        self.policy.validate()?;
         self.feedback.validate()?;
         if self.replications == 0 {
             return Err(SpecError::Invalid {
@@ -759,6 +1019,7 @@ impl ScenarioSpec {
             side_bonus: self.side_bonus,
             horizon: self.horizon,
             seed: self.seed.wrapping_add(r),
+            drift: workload.drift,
         })
     }
 }
@@ -780,6 +1041,9 @@ pub struct BuiltScenario {
     pub horizon: usize,
     /// Seed of the reward sample path.
     pub seed: u64,
+    /// Deterministic drift schedule; `None` (or a trivial schedule) means the
+    /// world is stationary and runners take the classic fast path.
+    pub drift: Option<DriftSchedule>,
 }
 
 // ---------------------------------------------------------------------------

@@ -50,6 +50,7 @@ pub fn paper_simulation(num_arms: usize, edge_prob: f64, seed: u64) -> ScenarioS
             },
             arms: ArmsSpec::UniformMeanBernoulli { num_arms },
             family: None,
+            drift: None,
             seed,
         },
         PolicySpec::DflSso,
@@ -78,6 +79,7 @@ pub fn online_advertising(num_ads: usize, slots: usize, seed: u64) -> ScenarioSp
                 concentration: 10.0,
             },
             family: Some(FamilySpec::AtMostM { m: slots }),
+            drift: None,
             seed,
         },
         PolicySpec::DflCso,
@@ -103,6 +105,7 @@ pub fn social_promotion(num_users: usize, communities: usize, seed: u64) -> Scen
                 num_arms: num_users,
             },
             family: None,
+            drift: None,
             seed,
         },
         PolicySpec::DflSsr,
@@ -136,6 +139,7 @@ pub fn channel_access(
             family: Some(FamilySpec::IndependentSets {
                 max_size: max_channels,
             }),
+            drift: None,
             seed,
         },
         PolicySpec::DflCsr,

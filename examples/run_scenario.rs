@@ -1,0 +1,62 @@
+//! Runs any `ScenarioSpec` JSON document through the simulation engine.
+//!
+//! This is the command-line companion to `docs/SCENARIOS.md`: save any of the
+//! cookbook's JSON blocks to a file and run it.
+//!
+//! Usage:
+//!
+//! ```sh
+//! cargo run --release --example run_scenario -- scenario.json
+//! NETBAND_QUICK=1 cargo run --release --example run_scenario -- scenario.json
+//! ```
+//!
+//! `NETBAND_QUICK=1` (or `--quick`) caps the horizon at 2 000 rounds and the
+//! replication count at 3, so any document smoke-runs in seconds.
+
+use netband::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let path = args
+        .next()
+        .filter(|a| a != "--quick" && a != "-q")
+        .ok_or("usage: run_scenario <scenario.json> [--quick]")?;
+    let quick = std::env::args().any(|a| a == "--quick" || a == "-q")
+        || std::env::var("NETBAND_QUICK").is_ok_and(|v| v == "1");
+
+    let text = std::fs::read_to_string(&path)?;
+    let mut spec = ScenarioSpec::from_json_text(&text)?;
+    if quick {
+        spec.horizon = spec.horizon.min(2_000);
+        spec.replications = spec.replications.min(3);
+    }
+
+    println!("scenario   : {}", spec.name);
+    println!("policy     : {}", spec.policy.display_name());
+    println!(
+        "horizon    : {} x {} replications",
+        spec.horizon, spec.replications
+    );
+    let drifting = spec
+        .workload
+        .drift
+        .as_ref()
+        .is_some_and(|d| !d.is_trivial());
+    println!(
+        "world      : {}",
+        if drifting {
+            "drifting (regret vs the per-round dynamic oracle)"
+        } else {
+            "stationary"
+        }
+    );
+
+    let avg = replicate_spec(&spec)?;
+    let final_regret = avg.final_regret_mean();
+    println!("final regret (mean over replications): {final_regret:.2}");
+    println!(
+        "per-round regret at the end of the horizon: {:.4}",
+        final_regret / spec.horizon.max(1) as f64
+    );
+    Ok(())
+}

@@ -90,7 +90,8 @@ pub mod prelude {
         run_spec, AveragedRun, CombinatorialScenario, ReplicationConfig, RunResult, SingleScenario,
     };
     pub use netband_spec::{
-        AnyPolicy, ArmsSpec, FamilySpec, FeedbackSpec, FleetSpec, FleetTenant, GraphSpec,
-        PolicySpec, ScenarioSpec, SideBonus, SpecError, WorkloadSpec, SPEC_VERSION,
+        AnyPolicy, ArmsSpec, ChangePointSpec, ChurnWindowSpec, DriftSpec, EstimatorSpec,
+        FamilySpec, FeedbackSpec, FleetSpec, FleetTenant, GradualDriftSpec, GraphSpec, PolicySpec,
+        ScenarioSpec, SideBonus, SpecError, WorkloadSpec, SPEC_VERSION,
     };
 }

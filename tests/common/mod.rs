@@ -59,6 +59,27 @@ pub fn fixtures_dir() -> PathBuf {
         .join("fixtures")
 }
 
+/// Horizon of the drifting golden run (`tests/fixtures/drift_scenario.json`).
+pub const DRIFT_HORIZON: usize = 300;
+/// Change-point round of the drifting golden scenario; restart tests snapshot
+/// strictly before it so the restored tenant crosses the change point itself.
+pub const DRIFT_CHANGE_ROUND: u64 = 150;
+
+/// The committed drifting scenario document: a CTS-D policy on the fixture
+/// workload with gradual drift plus one mid-horizon change point. One JSON
+/// document drives the drifted simulation runner, a serving tenant, and the
+/// restart-across-the-change-point test — all pinned to the same
+/// `golden_drift_cts.json` trace.
+pub fn drift_scenario() -> ScenarioSpec {
+    let path = fixtures_dir().join("drift_scenario.json");
+    let text = fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing drift scenario {} ({e})", path.display()));
+    let spec = ScenarioSpec::from_json_text(&text)
+        .unwrap_or_else(|e| panic!("drift scenario document no longer parses: {e}"));
+    assert_eq!(spec.horizon, DRIFT_HORIZON, "drift fixture horizon drifted");
+    spec
+}
+
 /// A run's trace with every float captured as its exact bit pattern.
 #[derive(Debug, PartialEq, Eq)]
 pub struct GoldenTrace {

@@ -1,0 +1,110 @@
+//! Docs-as-tests: every fenced ```json block in the documentation must be a
+//! complete, valid scenario document.
+//!
+//! The cookbook (`docs/SCENARIOS.md`) and the README promise that their JSON
+//! examples can be fed verbatim to `examples/run_scenario.rs` or a fleet boot.
+//! This harness extracts each fence and pushes it through the strict codec —
+//! as a [`ScenarioSpec`], or failing that a [`FleetSpec`] — then validates it.
+//! A stale example (renamed field, removed variant, wrong arity) fails CI with
+//! the file, the fence number, and the codec's error.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use netband::prelude::*;
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+/// Extracts the body of every fenced ```json block, with its 1-based starting
+/// line number for diagnostics.
+fn json_fences(text: &str) -> Vec<(usize, String)> {
+    let mut fences = Vec::new();
+    let mut body: Option<(usize, String)> = None;
+    for (idx, line) in text.lines().enumerate() {
+        let trimmed = line.trim();
+        match &mut body {
+            None if trimmed == "```json" => body = Some((idx + 2, String::new())),
+            Some((start, acc)) => {
+                if trimmed == "```" {
+                    fences.push((*start, std::mem::take(acc)));
+                    body = None;
+                } else {
+                    acc.push_str(line);
+                    acc.push('\n');
+                }
+            }
+            None => {}
+        }
+    }
+    assert!(body.is_none(), "unterminated ```json fence");
+    fences
+}
+
+/// One documentation fence: either a scenario or a fleet, strictly parsed and
+/// validated.
+fn check_fence(doc: &Path, line: usize, body: &str) {
+    match ScenarioSpec::from_json_text(body) {
+        Ok(spec) => {
+            spec.validate().unwrap_or_else(|e| {
+                panic!(
+                    "{}:{line}: scenario example fails validation: {e}",
+                    doc.display()
+                )
+            });
+        }
+        Err(scenario_err) => {
+            let fleet = FleetSpec::from_json_text(body).unwrap_or_else(|fleet_err| {
+                panic!(
+                    "{}:{line}: example parses neither as a ScenarioSpec ({scenario_err}) nor \
+                     as a FleetSpec ({fleet_err})",
+                    doc.display()
+                )
+            });
+            fleet.validate().unwrap_or_else(|e| {
+                panic!(
+                    "{}:{line}: fleet example fails validation: {e}",
+                    doc.display()
+                )
+            });
+        }
+    }
+}
+
+fn check_doc(relative: &str, min_fences: usize) {
+    let path = repo_root().join(relative);
+    let text = fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {} ({e})", path.display()));
+    let fences = json_fences(&text);
+    assert!(
+        fences.len() >= min_fences,
+        "{relative}: expected at least {min_fences} ```json examples, found {} — \
+         did the cookbook lose a section?",
+        fences.len()
+    );
+    for (line, body) in &fences {
+        check_fence(&path, *line, body);
+    }
+}
+
+#[test]
+fn every_scenarios_cookbook_example_parses_and_validates() {
+    check_doc("docs/SCENARIOS.md", 9);
+}
+
+#[test]
+fn every_readme_example_parses_and_validates() {
+    check_doc("README.md", 1);
+}
+
+/// The committed drifting fixture is itself a documented example workflow;
+/// keep it honest too.
+#[test]
+fn the_drift_fixture_document_parses_and_validates() {
+    let path = repo_root().join("tests/fixtures/drift_scenario.json");
+    let text = fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {} ({e})", path.display()));
+    let spec = ScenarioSpec::from_json_text(&text).expect("drift fixture parses");
+    spec.validate().expect("drift fixture validates");
+}

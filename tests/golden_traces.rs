@@ -23,7 +23,8 @@
 mod common;
 
 use common::{
-    check_golden, cso_family, csr_family, fixture_instance, COMB_HORIZON, RUN_SEED, SINGLE_HORIZON,
+    check_golden, cso_family, csr_family, drift_scenario, fixture_instance, COMB_HORIZON, RUN_SEED,
+    SINGLE_HORIZON,
 };
 use netband::prelude::*;
 
@@ -106,6 +107,16 @@ fn golden_trace_dfl_cso() {
 #[test]
 fn golden_trace_dfl_csr() {
     check_golden("dfl_csr", run_golden_csr());
+}
+
+/// The drifting golden run: the committed `drift_scenario.json` document
+/// (CTS-D, gradual drift + one change point, dynamic-oracle scoring) through
+/// the drifted combinatorial runner. The serving engine is held to the same
+/// fixture by `tests/serve_equivalence.rs`.
+#[test]
+fn golden_trace_drift_cts() {
+    let result = run_spec(&drift_scenario()).expect("drift scenario runs");
+    check_golden("drift_cts", result);
 }
 
 /// Golden runs are themselves deterministic: running one twice in-process must

@@ -367,3 +367,100 @@ proptest! {
         }
     }
 }
+
+// ----- nonstationary estimators: γ = 1.0 is the stationary path ------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// `EstimatorKind::Discounted { gamma: 1.0 }` must be **bit-identical** to
+    /// the stationary estimator under any interleaving of updates and round
+    /// advances: the discount multiply is skipped at γ = 1.0, so the weights
+    /// stay exact integers and every mean folds in the same order.
+    #[test]
+    fn discount_one_estimators_match_stationary_bit_exactly(
+        k in 1usize..8,
+        ops in proptest::collection::vec((0usize..8, 0.0f64..1.0, 0usize..3), 1..120),
+    ) {
+        let mut stationary = ArmEstimators::new(k);
+        let mut discounted =
+            ArmEstimators::with_kind(k, EstimatorKind::Discounted { gamma: 1.0 });
+        for &(arm, value, advance) in &ops {
+            let arm = arm % k;
+            if advance == 0 {
+                stationary.advance_round();
+                discounted.advance_round();
+            }
+            stationary.update(arm, value);
+            discounted.update(arm, value);
+        }
+        for i in 0..k {
+            prop_assert_eq!(stationary.count(i), discounted.count(i));
+            prop_assert_eq!(
+                stationary.mean(i).to_bits(),
+                discounted.mean(i).to_bits(),
+                "arm {} mean diverged", i
+            );
+            prop_assert_eq!(
+                stationary.effective_count(i).to_bits(),
+                discounted.effective_count(i).to_bits(),
+                "arm {} effective count diverged", i
+            );
+        }
+    }
+
+    /// End to end: a CTS run with `discounted(γ = 1.0)` produces the same
+    /// trace, reward, and benchmark bits as the stationary CTS run on the same
+    /// scenario — only the report name differs (CTS-D vs CTS).
+    #[test]
+    fn cts_discount_one_runs_match_stationary_bit_exactly(
+        num_arms in 3usize..9,
+        edge_prob in 0.1f64..0.9,
+        workload_seed in 0u64..1_000,
+        run_seed in 0u64..1_000,
+        horizon in 1usize..60,
+    ) {
+        let scenario = |estimator: Option<EstimatorSpec>| ScenarioSpec {
+            version: SPEC_VERSION,
+            name: "prop/discount-one".into(),
+            workload: WorkloadSpec {
+                graph: GraphSpec::ErdosRenyi { num_arms, edge_prob },
+                arms: ArmsSpec::UniformMeanBernoulli { num_arms },
+                family: Some(FamilySpec::AtMostM { m: 2 }),
+                drift: None,
+                seed: workload_seed,
+            },
+            policy: PolicySpec::Cts { seed: run_seed, estimator },
+            side_bonus: SideBonus::Observation,
+            horizon,
+            replications: 1,
+            seed: run_seed,
+            feedback: FeedbackSpec::Immediate,
+        };
+        let stationary = run_spec(&scenario(None)).expect("stationary CTS runs");
+        let discounted = run_spec(&scenario(Some(EstimatorSpec::Discounted { gamma: 1.0 })))
+            .expect("discounted CTS runs");
+        prop_assert_eq!(&stationary.policy, "CTS");
+        prop_assert_eq!(&discounted.policy, "CTS-D");
+        prop_assert_eq!(
+            stationary.total_reward.to_bits(),
+            discounted.total_reward.to_bits()
+        );
+        prop_assert_eq!(
+            stationary.optimal_mean.to_bits(),
+            discounted.optimal_mean.to_bits()
+        );
+        for t in 0..horizon {
+            prop_assert_eq!(
+                stationary.trace.realised()[t].to_bits(),
+                discounted.trace.realised()[t].to_bits(),
+                "realised regret diverged at round {}", t + 1
+            );
+            prop_assert_eq!(
+                stationary.trace.pseudo()[t].to_bits(),
+                discounted.trace.pseudo()[t].to_bits(),
+                "pseudo regret diverged at round {}", t + 1
+            );
+        }
+    }
+}

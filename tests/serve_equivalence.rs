@@ -13,8 +13,8 @@
 mod common;
 
 use common::{
-    assert_golden, cso_family, csr_family, fixture_instance, GoldenTrace, COMB_HORIZON, RUN_SEED,
-    SINGLE_HORIZON,
+    assert_golden, cso_family, csr_family, drift_scenario, fixture_instance, GoldenTrace,
+    COMB_HORIZON, DRIFT_CHANGE_ROUND, DRIFT_HORIZON, RUN_SEED, SINGLE_HORIZON,
 };
 use netband::prelude::*;
 use proptest::prelude::*;
@@ -252,6 +252,53 @@ proptest! {
         batched.shutdown();
         per_call.shutdown();
     }
+}
+
+/// A tenant registered **from the drifting scenario document** serves the
+/// same trajectory as the drifted simulation runner: the engine recomputes
+/// the per-round drifted means and the dynamic-oracle benchmark bit-exactly.
+#[test]
+fn spec_registered_drifting_tenant_reproduces_the_drift_fixture() {
+    let spec = drift_scenario();
+    let engine = ServeEngine::with_shards(1);
+    engine
+        .register_tenant_spec(&RegisterTenantSpec::new("drift_cts", spec))
+        .expect("register drifting tenant from spec");
+    serve_closed_loop(&engine, "drift_cts", DRIFT_HORIZON);
+    let snapshot = engine.evict_tenant("drift_cts").expect("evict tenant");
+    assert_eq!(snapshot.round(), DRIFT_HORIZON as u64);
+    assert_golden("drift_cts", &snapshot.run_result());
+    engine.shutdown();
+}
+
+/// Restart survival for nonstationary worlds: snapshot *before* the change
+/// point, shut the engine down, restore onto a fresh engine, and let the
+/// restored tenant cross the change point itself. Drift is a pure function of
+/// the checkpointed round counter, so the stitched trace must still match the
+/// fixture bit for bit.
+#[test]
+fn drifting_tenant_restart_across_the_change_point_stays_bit_exact() {
+    let spec = drift_scenario();
+    let first = ServeEngine::with_shards(1);
+    first
+        .register_tenant_spec(&RegisterTenantSpec::new("drift_cts", spec))
+        .expect("register drifting tenant from spec");
+    let before_change = (DRIFT_CHANGE_ROUND - 50) as usize;
+    serve_closed_loop(&first, "drift_cts", before_change);
+    let snapshot = first.snapshot_tenant("drift_cts").expect("snapshot tenant");
+    assert!(
+        snapshot.round() < DRIFT_CHANGE_ROUND,
+        "snapshot must land before the change point"
+    );
+    first.shutdown();
+
+    let second = ServeEngine::with_shards(1);
+    second.restore_tenant(snapshot).expect("restore tenant");
+    serve_closed_loop(&second, "drift_cts", DRIFT_HORIZON - before_change);
+    let snapshot = second.evict_tenant("drift_cts").expect("evict tenant");
+    assert_eq!(snapshot.round(), DRIFT_HORIZON as u64);
+    assert_golden("drift_cts", &snapshot.run_result());
+    second.shutdown();
 }
 
 /// Snapshot half-way, shut the engine down, restore onto a fresh engine, and

@@ -36,6 +36,7 @@ fn golden_workload(family: Option<FamilySpec>) -> WorkloadSpec {
         },
         arms: ArmsSpec::UniformMeanBernoulli { num_arms: NUM_ARMS },
         family,
+        drift: None,
         seed: INSTANCE_SEED,
     }
 }
@@ -226,6 +227,22 @@ fn every_policy_spec_variant_constructs_its_policy() {
         PolicySpec::CombEpsilonGreedy { c: 5.0, seed: 5 },
         PolicySpec::NaiveComArmMoss,
         PolicySpec::RandomCombinatorial { seed: 5 },
+        PolicySpec::Cts {
+            seed: 5,
+            estimator: None,
+        },
+        PolicySpec::Cts {
+            seed: 5,
+            estimator: Some(EstimatorSpec::Stationary),
+        },
+        PolicySpec::Cts {
+            seed: 5,
+            estimator: Some(EstimatorSpec::Discounted { gamma: 0.99 }),
+        },
+        PolicySpec::Cts {
+            seed: 5,
+            estimator: Some(EstimatorSpec::SlidingWindow { window: 200 }),
+        },
     ];
     let workload = golden_workload(Some(FamilySpec::AtMostM { m: 3 }))
         .build()
@@ -349,6 +366,182 @@ fn zero_batch_feedback_documents_are_rejected() {
     ));
 }
 
+// ----- drift documents: round trip, validation, byte stability -------------
+
+/// Drifting documents (gradual + change points + churn, every estimator kind)
+/// survive the JSON round trip exactly.
+#[test]
+fn drift_documents_round_trip_through_the_codec() {
+    let drifts = vec![
+        DriftSpec::default(),
+        DriftSpec {
+            gradual: Some(GradualDriftSpec {
+                amplitude: 0.25,
+                period: 120,
+            }),
+            ..DriftSpec::default()
+        },
+        DriftSpec {
+            change_points: vec![
+                ChangePointSpec {
+                    round: 50,
+                    rotation: 3,
+                },
+                ChangePointSpec {
+                    round: 200,
+                    rotation: 1,
+                },
+            ],
+            ..DriftSpec::default()
+        },
+        DriftSpec {
+            gradual: Some(GradualDriftSpec {
+                amplitude: -0.1,
+                period: 1,
+            }),
+            change_points: vec![ChangePointSpec {
+                round: 10,
+                rotation: 11,
+            }],
+            churn: vec![ChurnWindowSpec {
+                arm: 4,
+                from: 5,
+                to: 9,
+            }],
+        },
+    ];
+    for drift in drifts {
+        let mut spec = golden_scenario(
+            "drift-roundtrip",
+            PolicySpec::Cts {
+                seed: 9,
+                estimator: Some(EstimatorSpec::SlidingWindow { window: 64 }),
+            },
+            Some(FamilySpec::AtMostM { m: 2 }),
+            SideBonus::Observation,
+            50,
+        );
+        spec.workload.drift = Some(drift);
+        spec.validate().expect("drift document validates");
+        let back = ScenarioSpec::from_json_text(&spec.to_json_text())
+            .unwrap_or_else(|e| panic!("drift round trip failed: {e}"));
+        assert_eq!(back, spec, "drift round trip changed the document");
+    }
+}
+
+/// The `drift` key is omitted (not encoded as `null`) when absent, so
+/// documents written before the key existed re-encode byte-identically.
+#[test]
+fn stationary_documents_encode_without_a_drift_key() {
+    let (_, spec) = golden_specs().remove(0);
+    let text = spec.to_json_text();
+    assert!(
+        !text.contains("drift"),
+        "stationary document grew a drift key:\n{text}"
+    );
+    // And a trivial drift block parses back as Some(default), not as None —
+    // the stationary fast-path decision happens at run time, not parse time.
+    let with_empty = text.replacen("\"seed\":42", "\"drift\":{},\"seed\":42", 1);
+    let parsed = ScenarioSpec::from_json_text(&with_empty).expect("empty drift block parses");
+    assert_eq!(parsed.workload.drift, Some(DriftSpec::default()));
+}
+
+/// Out-of-range drift and estimator documents are rejected both by
+/// `validate()` and at parse time.
+#[test]
+fn invalid_drift_and_estimator_documents_are_rejected() {
+    let base = golden_scenario(
+        "drift-invalid",
+        PolicySpec::Cts {
+            seed: 9,
+            estimator: None,
+        },
+        Some(FamilySpec::AtMostM { m: 2 }),
+        SideBonus::Observation,
+        50,
+    );
+
+    // gamma outside (0, 1].
+    for gamma in [0.0, -0.5, 1.5, f64::NAN] {
+        let mut spec = base.clone();
+        spec.policy = PolicySpec::Cts {
+            seed: 9,
+            estimator: Some(EstimatorSpec::Discounted { gamma }),
+        };
+        assert!(
+            matches!(spec.validate(), Err(SpecError::Invalid { .. })),
+            "gamma {gamma} should be rejected"
+        );
+    }
+    // window = 0.
+    let mut spec = base.clone();
+    spec.policy = PolicySpec::Cts {
+        seed: 9,
+        estimator: Some(EstimatorSpec::SlidingWindow { window: 0 }),
+    };
+    assert!(matches!(spec.validate(), Err(SpecError::Invalid { .. })));
+
+    // Non-increasing change-point rounds.
+    let mut spec = base.clone();
+    spec.workload.drift = Some(DriftSpec {
+        change_points: vec![
+            ChangePointSpec {
+                round: 100,
+                rotation: 1,
+            },
+            ChangePointSpec {
+                round: 100,
+                rotation: 2,
+            },
+        ],
+        ..DriftSpec::default()
+    });
+    assert!(matches!(spec.validate(), Err(SpecError::Invalid { .. })));
+
+    // Churn window naming an arm outside the instance.
+    let mut spec = base.clone();
+    spec.workload.drift = Some(DriftSpec {
+        churn: vec![ChurnWindowSpec {
+            arm: 99,
+            from: 1,
+            to: 2,
+        }],
+        ..DriftSpec::default()
+    });
+    assert!(matches!(spec.validate(), Err(SpecError::Invalid { .. })));
+
+    // Empty churn window (from >= to).
+    let mut spec = base.clone();
+    spec.workload.drift = Some(DriftSpec {
+        churn: vec![ChurnWindowSpec {
+            arm: 0,
+            from: 5,
+            to: 5,
+        }],
+        ..DriftSpec::default()
+    });
+    assert!(matches!(spec.validate(), Err(SpecError::Invalid { .. })));
+
+    // Parse-time rejection: an invalid gamma inside a document is an error.
+    let mut spec = base;
+    spec.policy = PolicySpec::Cts {
+        seed: 9,
+        estimator: Some(EstimatorSpec::Discounted { gamma: 0.995 }),
+    };
+    let text = spec.to_json_text();
+    let bad = text.replacen("0.995", "1.995", 1);
+    assert!(matches!(
+        ScenarioSpec::from_json_text(&bad),
+        Err(SpecError::Invalid { .. })
+    ));
+    // Unknown estimator tags are unknown variants.
+    let bad = text.replacen("\"discounted\"", "\"discount\"", 1);
+    assert!(matches!(
+        ScenarioSpec::from_json_text(&bad),
+        Err(SpecError::UnknownVariant { .. })
+    ));
+}
+
 // ----- randomized round-trip property --------------------------------------
 
 mod roundtrip {
@@ -437,6 +630,7 @@ mod roundtrip {
                     graph: graph_spec(graph_choice, num_arms, p),
                     arms: arms_spec(arms_choice, num_arms, means),
                     family: None,
+                    drift: None,
                     seed: workload_seed,
                 },
                 policy: policy_spec(policy_choice, x, run_seed),
