@@ -1,0 +1,118 @@
+//! Serve a `netband` fleet over TCP.
+//!
+//! ```text
+//! netband_server [--addr 127.0.0.1:7171] [--shards N] [--queue-capacity N]
+//!                [--max-batch N] [--fleet fleet.json]
+//! ```
+//!
+//! Boots a `ServeEngine`, optionally registers every tenant of a `FleetSpec`
+//! JSON document, binds the framed wire protocol, prints one
+//! `listening on <addr>` line, and serves until killed. Exit code 2 on bad
+//! usage, 1 on runtime failure.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+use netband_net::{NetServer, ServerConfig};
+use netband_serve::{EngineConfig, ServeEngine};
+use netband_spec::FleetSpec;
+
+struct Args {
+    addr: String,
+    shards: usize,
+    queue_capacity: usize,
+    max_batch: u32,
+    fleet: Option<String>,
+}
+
+const USAGE: &str = "usage: netband_server [--addr HOST:PORT] [--shards N] \
+                     [--queue-capacity N] [--max-batch N] [--fleet FLEET.json]";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:7171".into(),
+        shards: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(2)
+            .min(8),
+        queue_capacity: 1024,
+        max_batch: 4096,
+        fleet: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} requires a value\n{USAGE}"))
+        };
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--shards" => {
+                args.shards = value("--shards")?
+                    .parse()
+                    .map_err(|e| format!("--shards: {e}"))?
+            }
+            "--queue-capacity" => {
+                args.queue_capacity = value("--queue-capacity")?
+                    .parse()
+                    .map_err(|e| format!("--queue-capacity: {e}"))?
+            }
+            "--max-batch" => {
+                args.max_batch = value("--max-batch")?
+                    .parse()
+                    .map_err(|e| format!("--max-batch: {e}"))?
+            }
+            "--fleet" => args.fleet = Some(value("--fleet")?),
+            "--help" | "-h" => return Err(USAGE.to_owned()),
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+    }
+    Ok(args)
+}
+
+fn run(args: Args) -> Result<(), String> {
+    let engine = Arc::new(ServeEngine::start(
+        EngineConfig::new(args.shards).with_queue_capacity(args.queue_capacity),
+    ));
+    if let Some(path) = &args.fleet {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+        let fleet = FleetSpec::from_json_text(&text).map_err(|e| format!("parse {path}: {e}"))?;
+        engine
+            .register_fleet(&fleet)
+            .map_err(|e| format!("register fleet {path}: {e}"))?;
+        println!(
+            "registered fleet {:?} ({} tenants)",
+            fleet.name,
+            fleet.tenants.len()
+        );
+    }
+    let config = ServerConfig {
+        max_batch: args.max_batch,
+        ..ServerConfig::default()
+    };
+    let server = NetServer::bind(Arc::clone(&engine), args.addr.as_str(), config)
+        .map_err(|e| format!("bind {}: {e}", args.addr))?;
+    // The smoke test greps for this exact line to learn the ephemeral port.
+    println!("listening on {}", server.local_addr());
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("netband_server: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

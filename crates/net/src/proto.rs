@@ -1,0 +1,159 @@
+//! Conversions between `netband-serve` engine types and the
+//! `netband_spec::wire` documents.
+//!
+//! `netband-spec` cannot depend on `netband-serve` (serve builds tenants
+//! *from* specs), so the wire model mirrors the serve types instead of
+//! naming them, and the orphan rule keeps these conversions free functions
+//! here rather than `From` impls on either side. They are all structural —
+//! no recoding of rewards, so `f64` bit-exactness is preserved end to end.
+
+use netband_serve::api::{DecideReply, Decision, FeedbackEvent, ServeError};
+use netband_serve::{LatencyHistogram, MetricsReport};
+use netband_spec::{WireDecision, WireErrorCode, WireEvent, WireLatency, WireMetrics, WireReply};
+
+/// Serve decision → wire decision.
+pub fn decision_to_wire(decision: &Decision) -> WireDecision {
+    match decision {
+        Decision::Arm(arm) => WireDecision::Arm(*arm),
+        Decision::Strategy(arms) => WireDecision::Strategy(arms.clone()),
+    }
+}
+
+/// Serve feedback event → wire event (both wrap the same `netband-env`
+/// payload structs, so this is a clone, not a re-encoding).
+pub fn event_to_wire(event: &FeedbackEvent) -> WireEvent {
+    match event {
+        FeedbackEvent::Single(f) => WireEvent::Single(f.clone()),
+        FeedbackEvent::Combinatorial(f) => WireEvent::Combinatorial(f.clone()),
+    }
+}
+
+/// Wire event → serve feedback event.
+pub fn event_from_wire(event: WireEvent) -> FeedbackEvent {
+    match event {
+        WireEvent::Single(f) => FeedbackEvent::Single(f),
+        WireEvent::Combinatorial(f) => FeedbackEvent::Combinatorial(f),
+    }
+}
+
+/// Serve decide reply → wire reply.
+pub fn reply_to_wire(reply: &DecideReply) -> WireReply {
+    WireReply {
+        round: reply.round,
+        decision: decision_to_wire(&reply.decision),
+        reward: reply.reward,
+        feedback: reply.feedback.as_ref().map(event_to_wire),
+    }
+}
+
+/// Serve error → wire error code + human-readable message.
+///
+/// [`ServeError::Overloaded`] is the admission-control signal: the request
+/// was not enqueued and the client owns the retry.
+pub fn error_to_wire(error: &ServeError) -> (WireErrorCode, String) {
+    let code = match error {
+        ServeError::UnknownTenant(_) => WireErrorCode::UnknownTenant,
+        ServeError::DuplicateTenant(_) => WireErrorCode::DuplicateTenant,
+        ServeError::Spec(_) => WireErrorCode::Spec,
+        ServeError::Overloaded => WireErrorCode::Overloaded,
+        ServeError::EngineDown => WireErrorCode::EngineDown,
+        ServeError::Env(_)
+        | ServeError::FeedbackKindMismatch(_)
+        | ServeError::InvalidRound { .. }
+        | ServeError::InvalidFlushPolicy { .. } => WireErrorCode::Invalid,
+    };
+    (code, error.to_string())
+}
+
+fn latency_to_wire(histogram: &LatencyHistogram) -> WireLatency {
+    let (p50, p50_exact) = histogram.quantile_bound(0.5);
+    let (p99, p99_exact) = histogram.quantile_bound(0.99);
+    WireLatency {
+        p50_ns: p50.as_nanos().min(u64::MAX as u128) as u64,
+        p50_exact,
+        p99_ns: p99.as_nanos().min(u64::MAX as u128) as u64,
+        p99_exact,
+    }
+}
+
+/// Engine metrics report → flat wire snapshot. The SLO quantiles come from
+/// the shards' fixed-bucket histograms, merged across shards — no new
+/// measurement machinery on the wire path.
+pub fn metrics_to_wire(report: &MetricsReport) -> WireMetrics {
+    let mut feedback = LatencyHistogram::new();
+    for shard in &report.shards {
+        feedback.merge(&shard.feedback_latency);
+    }
+    WireMetrics {
+        shards: report.shards.len() as u64,
+        tenants: report.tenants.len() as u64,
+        total_decides: report.total_decides(),
+        total_feedback_events: report.total_feedback_events(),
+        rejected: report.shards.iter().map(|s| s.rejected).sum(),
+        decide_latency: latency_to_wire(&report.decide_latency()),
+        feedback_latency: latency_to_wire(&feedback),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netband_env::SinglePlayFeedback;
+
+    #[test]
+    fn every_serve_error_maps_to_a_wire_code() {
+        let cases: Vec<(ServeError, WireErrorCode)> = vec![
+            (
+                ServeError::UnknownTenant("t".into()),
+                WireErrorCode::UnknownTenant,
+            ),
+            (
+                ServeError::DuplicateTenant("t".into()),
+                WireErrorCode::DuplicateTenant,
+            ),
+            (ServeError::Overloaded, WireErrorCode::Overloaded),
+            (ServeError::EngineDown, WireErrorCode::EngineDown),
+            (
+                ServeError::FeedbackKindMismatch("t".into()),
+                WireErrorCode::Invalid,
+            ),
+            (
+                ServeError::InvalidRound {
+                    tenant: "t".into(),
+                    round: 9,
+                    served: 3,
+                },
+                WireErrorCode::Invalid,
+            ),
+            (
+                ServeError::InvalidFlushPolicy { max_pending: 0 },
+                WireErrorCode::Invalid,
+            ),
+        ];
+        for (error, expected) in cases {
+            let (code, message) = error_to_wire(&error);
+            assert_eq!(code, expected, "{error}");
+            assert!(!message.is_empty());
+        }
+    }
+
+    #[test]
+    fn replies_convert_structurally() {
+        let reply = DecideReply {
+            round: 7,
+            decision: Decision::Strategy(vec![1, 4]),
+            reward: 0.1 + 0.2,
+            feedback: Some(FeedbackEvent::Single(SinglePlayFeedback {
+                arm: 1,
+                direct_reward: 1.0,
+                side_reward: 0.5,
+                observations: vec![(0, 1.0)],
+            })),
+        };
+        let wire = reply_to_wire(&reply);
+        assert_eq!(wire.round, 7);
+        assert_eq!(wire.decision, WireDecision::Strategy(vec![1, 4]));
+        assert_eq!(wire.reward.to_bits(), (0.1f64 + 0.2).to_bits());
+        assert!(matches!(wire.feedback, Some(WireEvent::Single(_))));
+    }
+}

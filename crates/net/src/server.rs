@@ -1,0 +1,326 @@
+//! The TCP server: accept loop, per-connection handler threads, admission
+//! control.
+//!
+//! One connection = one OS thread running a strict request/response loop (no
+//! pipelining: the `n`-th response answers the `n`-th request). The handler
+//! owns a [`ServeClient`], so every [`WireRequest::DecideMany`] frame is
+//! **one** batched `decide_many` on the engine — the zero-allocation
+//! steady-state path — never `count` per-call round trips.
+//!
+//! ## Overload semantics
+//!
+//! The handler uses the client's *non-blocking* admission paths
+//! (`try_decide_many` / `try_feedback_many`). When the tenant's shard queue
+//! is full the engine returns [`ServeError::Overloaded`] without enqueueing
+//! anything, and the connection answers with an
+//! [`WireErrorCode::Overloaded`] error frame instead of parking the thread on
+//! a full queue. A slow engine therefore degrades into explicit, bounded
+//! rejections the remote client can retry — not into an unbounded pile of
+//! blocked connections. Because each connection handles one frame at a time,
+//! per-connection inflight is structurally bounded at one request.
+
+use std::io::{self, BufReader, BufWriter};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+use netband_serve::api::RegisterTenantSpec;
+use netband_serve::api::{DecideReply, ServeError};
+use netband_serve::{ServeClient, ServeEngine};
+use netband_spec::json::parse;
+use netband_spec::wire::{request_from_json, WireErrorCode, WireRequest, WireResponse};
+
+use crate::frame::{read_frame, write_frame, FrameError, MAX_FRAME_BYTES};
+use crate::proto::{error_to_wire, event_from_wire, metrics_to_wire, reply_to_wire};
+
+/// Server knobs. The defaults are deliberate: frames are capped well below
+/// anything that could exhaust memory, batches well below anything that could
+/// monopolise a shard.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Maximum frame payload size in bytes (default [`MAX_FRAME_BYTES`]).
+    /// Oversized frames draw a `too_large` error and close the connection
+    /// (the stream is out of sync once a frame is refused unread).
+    pub max_frame_bytes: usize,
+    /// Maximum `count` of a decide batch and maximum events per feedback
+    /// window (default 4096). Larger requests draw a `too_large` error but
+    /// keep the connection open — the frame itself was well-formed.
+    pub max_batch: u32,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_frame_bytes: MAX_FRAME_BYTES,
+            max_batch: 4096,
+        }
+    }
+}
+
+/// A running TCP front end over a shared [`ServeEngine`].
+///
+/// Dropping the server (or calling [`NetServer::shutdown`]) stops the accept
+/// loop and closes live connections; the engine itself is left running —
+/// it belongs to whoever holds the other `Arc` clones.
+pub struct NetServer {
+    engine: Arc<ServeEngine>,
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_handle: Option<thread::JoinHandle<()>>,
+    shared: Arc<ConnectionRegistry>,
+}
+
+/// Live-connection registry shared with the accept loop: streams so shutdown
+/// can unblock reads, handles so shutdown can join the handler threads.
+#[derive(Default)]
+struct ConnectionRegistry {
+    streams: Mutex<Vec<TcpStream>>,
+    handlers: Mutex<Vec<thread::JoinHandle<()>>>,
+}
+
+impl NetServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and starts
+    /// accepting connections against `engine`.
+    pub fn bind(
+        engine: Arc<ServeEngine>,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+    ) -> io::Result<NetServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        // Non-blocking accept polled on a coarse tick: shutdown needs to stop
+        // the loop without a self-connect trick, and accept latency in the
+        // tens of milliseconds is irrelevant next to connection lifetimes.
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let shared = Arc::new(ConnectionRegistry::default());
+        let accept_handle = {
+            let engine = Arc::clone(&engine);
+            let stop = Arc::clone(&stop);
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("netband-net-accept".into())
+                .spawn(move || accept_loop(listener, engine, config, stop, shared))
+                .expect("spawn accept thread")
+        };
+        Ok(NetServer {
+            engine,
+            local_addr,
+            stop,
+            accept_handle: Some(accept_handle),
+            shared,
+        })
+    }
+
+    /// The bound address (with the real port when bound to port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The engine this server fronts.
+    pub fn engine(&self) -> &ServeEngine {
+        &self.engine
+    }
+
+    /// Stops accepting, closes live connections, joins all handler threads.
+    /// The engine keeps running.
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    fn shutdown_in_place(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Ok(streams) = self.shared.streams.lock() {
+            for stream in streams.iter() {
+                let _ = stream.shutdown(Shutdown::Both);
+            }
+        }
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+        let handlers = {
+            let mut guard = self.shared.handlers.lock().expect("handler registry");
+            std::mem::take(&mut *guard)
+        };
+        for handle in handlers {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    engine: Arc<ServeEngine>,
+    config: ServerConfig,
+    stop: Arc<AtomicBool>,
+    shared: Arc<ConnectionRegistry>,
+) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let _ = stream.set_nodelay(true);
+                if let Ok(mut streams) = shared.streams.lock() {
+                    if let Ok(clone) = stream.try_clone() {
+                        streams.push(clone);
+                    }
+                }
+                let engine = Arc::clone(&engine);
+                let config = config.clone();
+                let stop = Arc::clone(&stop);
+                let handle = thread::Builder::new()
+                    .name("netband-net-conn".into())
+                    .spawn(move || connection_loop(stream, &engine, &config, &stop))
+                    .expect("spawn connection thread");
+                if let Ok(mut handlers) = shared.handlers.lock() {
+                    handlers.push(handle);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+fn connection_loop(
+    stream: TcpStream,
+    engine: &ServeEngine,
+    config: &ServerConfig,
+    stop: &AtomicBool,
+) {
+    let reader_stream = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(reader_stream);
+    let mut writer = BufWriter::new(stream);
+    let mut client = engine.client();
+    let mut scratch: Vec<Result<DecideReply, ServeError>> = Vec::new();
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let text = match read_frame(&mut reader, config.max_frame_bytes) {
+            Ok(Some(text)) => text,
+            Ok(None) => return, // peer closed cleanly
+            Err(FrameError::TooLarge { len, max }) => {
+                // The refused payload is still in the pipe — the stream is
+                // unrecoverable. Explain, then close.
+                let response = WireResponse::Error {
+                    code: WireErrorCode::TooLarge,
+                    message: format!("frame of {len} bytes exceeds the {max}-byte cap"),
+                };
+                let _ = write_frame(&mut writer, &response.to_json_text());
+                return;
+            }
+            Err(_) => return, // reset, truncated frame, or shutdown kick
+        };
+        let response = handle_request(engine, &mut client, &mut scratch, config, &text);
+        if write_frame(&mut writer, &response.to_json_text()).is_err() {
+            return;
+        }
+    }
+}
+
+/// Serves one request document. Infallible by construction: every failure
+/// mode becomes an error *response*.
+fn handle_request(
+    engine: &ServeEngine,
+    client: &mut ServeClient<'_>,
+    scratch: &mut Vec<Result<DecideReply, ServeError>>,
+    config: &ServerConfig,
+    text: &str,
+) -> WireResponse {
+    let request = match parse(text).and_then(|v| request_from_json(&v)) {
+        Ok(request) => request,
+        Err(e) => {
+            return WireResponse::Error {
+                code: WireErrorCode::Protocol,
+                message: format!("invalid request document: {e}"),
+            }
+        }
+    };
+    match request {
+        WireRequest::DecideMany { tenant, count } => {
+            if count == 0 {
+                return WireResponse::Error {
+                    code: WireErrorCode::Invalid,
+                    message: "decide_many count must be at least 1".into(),
+                };
+            }
+            if count > config.max_batch {
+                return WireResponse::Error {
+                    code: WireErrorCode::TooLarge,
+                    message: format!(
+                        "decide_many count {count} exceeds the server's max_batch {}",
+                        config.max_batch
+                    ),
+                };
+            }
+            if let Err(e) = client.try_decide_many(&tenant, count as usize, scratch) {
+                let (code, message) = error_to_wire(&e);
+                return WireResponse::Error { code, message };
+            }
+            let mut replies = Vec::with_capacity(scratch.len());
+            for entry in scratch.iter() {
+                match entry {
+                    Ok(reply) => replies.push(reply_to_wire(reply)),
+                    Err(e) => {
+                        let (code, message) = error_to_wire(e);
+                        return WireResponse::Error { code, message };
+                    }
+                }
+            }
+            WireResponse::Decisions { tenant, replies }
+        }
+        WireRequest::FeedbackMany { tenant, events } => {
+            if events.len() as u64 > u64::from(config.max_batch) {
+                return WireResponse::Error {
+                    code: WireErrorCode::TooLarge,
+                    message: format!(
+                        "feedback window of {} events exceeds the server's max_batch {}",
+                        events.len(),
+                        config.max_batch
+                    ),
+                };
+            }
+            let window = events
+                .into_iter()
+                .map(|f| (f.round, event_from_wire(f.event)));
+            match client.try_feedback_many(&tenant, window) {
+                Ok(count) => WireResponse::Accepted {
+                    count: count as u64,
+                },
+                Err(e) => {
+                    let (code, message) = error_to_wire(&e);
+                    WireResponse::Error { code, message }
+                }
+            }
+        }
+        WireRequest::RegisterTenant { id, scenario } => {
+            match engine.register_tenant_spec(&RegisterTenantSpec::new(id, *scenario)) {
+                Ok(()) => WireResponse::Ok,
+                Err(e) => {
+                    let (code, message) = error_to_wire(&e);
+                    WireResponse::Error { code, message }
+                }
+            }
+        }
+        WireRequest::Metrics => match engine.metrics() {
+            Ok(report) => WireResponse::Metrics(metrics_to_wire(&report)),
+            Err(e) => {
+                let (code, message) = error_to_wire(&e);
+                WireResponse::Error { code, message }
+            }
+        },
+    }
+}

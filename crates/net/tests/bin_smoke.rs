@@ -1,0 +1,153 @@
+//! Smoke tests for the shipped binaries: `netband_server` must boot, announce
+//! its (possibly ephemeral) address on stdout, and serve a real client;
+//! `netband_loadgen` must drive a full (tiny) matrix end to end and emit a
+//! well-formed benchmark report.
+
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+
+use netband_net::NetClient;
+use netband_spec::{
+    ArmsSpec, FeedbackSpec, GraphSpec, PolicySpec, ScenarioSpec, SideBonus, WireFeedback,
+    WorkloadSpec, SPEC_VERSION,
+};
+
+/// Kills the child on drop so a failing assertion doesn't leak a server.
+struct Reaper(Child);
+
+impl Drop for Reaper {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+fn smoke_scenario() -> ScenarioSpec {
+    ScenarioSpec {
+        version: SPEC_VERSION,
+        name: "bin-smoke".into(),
+        workload: WorkloadSpec {
+            graph: GraphSpec::ErdosRenyi {
+                num_arms: 8,
+                edge_prob: 0.3,
+            },
+            arms: ArmsSpec::UniformMeanBernoulli { num_arms: 8 },
+            family: None,
+            drift: None,
+            seed: 1,
+        },
+        policy: PolicySpec::DflSso,
+        side_bonus: SideBonus::Observation,
+        horizon: 1_000,
+        replications: 1,
+        seed: 2,
+        feedback: FeedbackSpec::Immediate,
+    }
+}
+
+/// Boots the server binary on an ephemeral port, reads the announced address
+/// off stdout, and serves a register → decide → feedback → metrics round trip
+/// through a real client.
+#[test]
+fn server_binary_boots_announces_and_serves() {
+    let child = Command::new(env!("CARGO_BIN_EXE_netband_server"))
+        .args(["--addr", "127.0.0.1:0", "--shards", "1"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn netband_server");
+    let mut child = Reaper(child);
+    let stdout = child.0.stdout.take().expect("piped stdout");
+
+    // The binary prints exactly one `listening on <addr>` line once bound.
+    let mut lines = BufReader::new(stdout).lines();
+    let addr = loop {
+        let line = lines
+            .next()
+            .expect("server exited before announcing its address")
+            .expect("read server stdout");
+        if let Some(addr) = line.strip_prefix("listening on ") {
+            break addr.to_owned();
+        }
+    };
+
+    let mut client = NetClient::connect(addr.as_str()).expect("connect to announced address");
+    client
+        .register_tenant("smoke", smoke_scenario())
+        .expect("register over the wire");
+    for _ in 0..4 {
+        let replies = client.decide_many("smoke", 8).expect("decide");
+        assert_eq!(replies.len(), 8);
+        let window: Vec<WireFeedback> = replies
+            .into_iter()
+            .filter_map(|r| {
+                r.feedback.map(|event| WireFeedback {
+                    round: r.round,
+                    event,
+                })
+            })
+            .collect();
+        let accepted = client.feedback_many("smoke", window).expect("feedback");
+        assert_eq!(accepted, 8);
+    }
+    let metrics = client.metrics().expect("metrics");
+    assert_eq!(metrics.shards, 1);
+    assert_eq!(metrics.tenants, 1);
+    assert!(metrics.total_decides >= 32, "{}", metrics.total_decides);
+}
+
+/// Runs the load generator in full mode with a tiny matrix against its own
+/// in-process server and checks the emitted report: every cell completed its
+/// decides with zero protocol errors.
+#[test]
+fn loadgen_binary_emits_a_well_formed_report() {
+    let out =
+        std::env::temp_dir().join(format!("netband_loadgen_smoke_{}.json", std::process::id()));
+    let status = Command::new(env!("CARGO_BIN_EXE_netband_loadgen"))
+        .args([
+            "--connections",
+            "1,2",
+            "--batches",
+            "16",
+            "--tenants",
+            "4",
+            "--decides-per-cell",
+            "512",
+            "--shards",
+            "1",
+            "--out",
+            out.to_str().expect("utf-8 temp path"),
+        ])
+        .env_remove("NETBAND_BENCH_FAST")
+        .status()
+        .expect("spawn netband_loadgen");
+    assert!(status.success(), "loadgen exited with {status}");
+
+    let text = std::fs::read_to_string(&out).expect("read loadgen report");
+    let _ = std::fs::remove_file(&out);
+    let report = netband_spec::json::parse(&text).expect("report is strict JSON");
+    let object = report.as_object().expect("report is an object");
+    let field = |name: &str| {
+        object
+            .iter()
+            .find(|(key, _)| key == name)
+            .map(|(_, value)| value)
+            .unwrap_or_else(|| panic!("report lacks {name:?}:\n{text}"))
+    };
+    assert_eq!(field("bench").as_str(), Some("net_loadgen"));
+    assert_eq!(field("protocol").as_str(), Some("framed-json/tcp"));
+    let results = field("results").as_array().expect("results array");
+    assert_eq!(results.len(), 2, "one result per matrix cell");
+    for cell in results {
+        let cell = cell.as_object().expect("cell is an object");
+        let get = |name: &str| {
+            cell.iter()
+                .find(|(key, _)| key == name)
+                .and_then(|(_, value)| value.as_u64())
+                .unwrap_or_else(|| panic!("cell lacks u64 {name:?}:\n{text}"))
+        };
+        assert!(get("decides") >= 512);
+        assert_eq!(get("protocol_errors"), 0);
+        assert!(get("decides_per_sec") > 0);
+    }
+}

@@ -250,6 +250,10 @@ pub enum ServeError {
     },
     /// A spec-driven registration failed to validate or build its scenario.
     Spec(SpecError),
+    /// The target shard's bounded command queue is full and the caller asked
+    /// not to block (the `try_*` admission-control paths used by the network
+    /// front end). The request was **not** enqueued; retry after backoff.
+    Overloaded,
     /// The engine (or the target shard) has shut down.
     EngineDown,
 }
@@ -281,6 +285,9 @@ impl fmt::Display for ServeError {
                 )
             }
             ServeError::Spec(e) => write!(f, "scenario spec error: {e}"),
+            ServeError::Overloaded => {
+                write!(f, "shard command queue is full (overloaded); retry later")
+            }
             ServeError::EngineDown => write!(f, "serving engine has shut down"),
         }
     }

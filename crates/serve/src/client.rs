@@ -57,7 +57,7 @@
 //! engine.shutdown();
 //! ```
 
-use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender};
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender, TrySendError};
 use std::time::Duration;
 
 use crate::api::{DecideReply, FeedbackEvent, ServeError};
@@ -131,6 +131,41 @@ impl<'e> ServeClient<'e> {
         n: usize,
         out: &mut Vec<Result<DecideReply, ServeError>>,
     ) -> Result<(), ServeError> {
+        self.decide_many_inner(tenant, n, out, true)
+    }
+
+    /// Non-blocking admission variant of [`ServeClient::decide_many`]: when
+    /// the tenant's shard queue is full the batch is **not** enqueued and
+    /// [`ServeError::Overloaded`] is returned immediately instead of blocking
+    /// the caller. The request and reply buffers (including `out`'s warm
+    /// slots) are recovered into the client's pools, so a rejected batch
+    /// costs no allocation; `out`'s *contents* are unspecified after an
+    /// error. This is the admission-control path of the network front end —
+    /// an overloaded shard turns into an overload frame on the wire rather
+    /// than an unboundedly blocked connection.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Overloaded`] when the shard queue is full,
+    /// [`ServeError::EngineDown`] after shutdown; per-decision failures land
+    /// in the corresponding `out` entry exactly like
+    /// [`ServeClient::decide_many`].
+    pub fn try_decide_many(
+        &mut self,
+        tenant: &str,
+        n: usize,
+        out: &mut Vec<Result<DecideReply, ServeError>>,
+    ) -> Result<(), ServeError> {
+        self.decide_many_inner(tenant, n, out, false)
+    }
+
+    fn decide_many_inner(
+        &mut self,
+        tenant: &str,
+        n: usize,
+        out: &mut Vec<Result<DecideReply, ServeError>>,
+        block: bool,
+    ) -> Result<(), ServeError> {
         if n == 0 {
             out.clear();
             return Ok(());
@@ -139,15 +174,29 @@ impl<'e> ServeClient<'e> {
         write_decide_requests(&mut requests, tenant, n);
         let replies = std::mem::take(out);
         let shard = self.engine.shard_of(tenant);
-        self.engine.send_to_shard(
-            shard,
-            Command::DecideMany {
-                tag: shard as u64,
-                requests,
-                replies,
-                reply: self.reply_tx.clone(),
-            },
-        )?;
+        let command = Command::DecideMany {
+            tag: shard as u64,
+            requests,
+            replies,
+            reply: self.reply_tx.clone(),
+        };
+        if block {
+            self.engine.send_to_shard(shard, command)?;
+        } else if let Err(bounced) = self.engine.try_send_to_shard(shard, command) {
+            let (command, error) = match bounced {
+                TrySendError::Full(c) => (c, ServeError::Overloaded),
+                TrySendError::Disconnected(c) => (c, ServeError::EngineDown),
+            };
+            // Recover the buffers parked in the bounced command.
+            if let Command::DecideMany {
+                requests, replies, ..
+            } = command
+            {
+                self.request_pool.push(requests);
+                *out = replies;
+            }
+            return Err(error);
+        }
         let batch = self.wait_reply(shard)?;
         self.request_pool.push(batch.requests);
         *out = batch.replies;
@@ -188,6 +237,35 @@ impl<'e> ServeClient<'e> {
         tenant: &str,
         events: impl IntoIterator<Item = (u64, FeedbackEvent)>,
     ) -> Result<usize, ServeError> {
+        self.feedback_many_inner(tenant, events, true)
+    }
+
+    /// Non-blocking admission variant of [`ServeClient::feedback_many`]: a
+    /// full shard queue returns [`ServeError::Overloaded`] immediately (the
+    /// window is **not** enqueued — the events are dropped and the request
+    /// buffer is recovered into the client's pool) instead of blocking.
+    /// Callers that must not lose feedback should retry delivery after
+    /// backoff; the network front end surfaces the rejection as an overload
+    /// frame so the *remote* client owns that retry.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Overloaded`] when the shard queue is full,
+    /// [`ServeError::EngineDown`] after shutdown.
+    pub fn try_feedback_many(
+        &mut self,
+        tenant: &str,
+        events: impl IntoIterator<Item = (u64, FeedbackEvent)>,
+    ) -> Result<usize, ServeError> {
+        self.feedback_many_inner(tenant, events, false)
+    }
+
+    fn feedback_many_inner(
+        &mut self,
+        tenant: &str,
+        events: impl IntoIterator<Item = (u64, FeedbackEvent)>,
+        block: bool,
+    ) -> Result<usize, ServeError> {
         self.reclaim_feedback_buffers();
         let mut buffer = self.feedback_pool.pop().unwrap_or_default();
         let mut used = 0usize;
@@ -212,13 +290,24 @@ impl<'e> ServeClient<'e> {
             self.feedback_pool.push(buffer);
             return Ok(0);
         }
-        self.engine.send_to_shard(
-            self.engine.shard_of(tenant),
-            Command::FeedbackMany {
-                events: buffer,
-                recycle: self.recycle_tx.clone(),
-            },
-        )?;
+        let shard = self.engine.shard_of(tenant);
+        let command = Command::FeedbackMany {
+            events: buffer,
+            recycle: self.recycle_tx.clone(),
+        };
+        if block {
+            self.engine.send_to_shard(shard, command)?;
+        } else if let Err(bounced) = self.engine.try_send_to_shard(shard, command) {
+            let (command, error) = match bounced {
+                TrySendError::Full(c) => (c, ServeError::Overloaded),
+                TrySendError::Disconnected(c) => (c, ServeError::EngineDown),
+            };
+            // Recover the request buffer parked in the bounced command.
+            if let Command::FeedbackMany { events, .. } = command {
+                self.feedback_pool.push(events);
+            }
+            return Err(error);
+        }
         Ok(used)
     }
 
@@ -406,6 +495,69 @@ mod tests {
         client.decide_many("t", 2, &mut out).unwrap();
         client.decide_many("t", 0, &mut out).unwrap();
         assert!(out.is_empty());
+        engine.shutdown();
+    }
+
+    /// Deterministic overload: wedge the single shard on a rendezvous `Drain`
+    /// reply, fill its capacity-1 queue, and the `try_*` paths must return
+    /// [`ServeError::Overloaded`] immediately instead of blocking — with all
+    /// request/reply buffers recovered, so the client works normally once the
+    /// shard is released.
+    #[test]
+    fn try_paths_reject_with_overloaded_when_the_shard_queue_is_full() {
+        let engine = ServeEngine::start(crate::EngineConfig::new(1).with_queue_capacity(1));
+        let graph = generators::path(5);
+        let bandit = NetworkedBandit::new(graph.clone(), ArmSet::linear_bernoulli(5)).unwrap();
+        let spec = TenantSpec::single(
+            "t",
+            bandit,
+            DflSso::new(graph),
+            SingleScenario::SideObservation,
+            11,
+        );
+        engine.create_tenant(spec).unwrap();
+
+        // Wedge the shard: it dequeues this drain and blocks sending the ack
+        // into a rendezvous channel nobody is reading yet.
+        let (wedge_tx, wedge_rx) = std::sync::mpsc::sync_channel::<()>(0);
+        engine
+            .send_to_shard(0, Command::Drain { reply: wedge_tx })
+            .unwrap();
+        // Fill the capacity-1 queue behind the wedged command. The blocking
+        // send also guarantees the wedge drain has been dequeued.
+        let (barrier_tx, barrier_rx) = std::sync::mpsc::sync_channel::<()>(1);
+        engine
+            .send_to_shard(0, Command::Drain { reply: barrier_tx })
+            .unwrap();
+
+        let mut client = engine.client();
+        let mut out = Vec::new();
+        assert_eq!(
+            client.try_decide_many("t", 4, &mut out),
+            Err(ServeError::Overloaded)
+        );
+        let event = (3u64, FeedbackEvent::default());
+        assert_eq!(
+            client.try_feedback_many("t", [event]),
+            Err(ServeError::Overloaded)
+        );
+        // The bounced buffers were recovered into the pools, not leaked into
+        // the queue: nothing reached the shard.
+        assert_eq!(client.request_pool.len(), 1);
+        assert_eq!(client.feedback_pool.len(), 1);
+
+        // Release the shard; the try paths now succeed and the recovered
+        // buffers are reused.
+        wedge_rx.recv().unwrap();
+        barrier_rx.recv().unwrap();
+        client.try_decide_many("t", 4, &mut out).unwrap();
+        assert_eq!(out.len(), 4);
+        assert!(out.iter().all(Result::is_ok));
+        engine.drain().unwrap();
+        let report = engine.metrics().unwrap();
+        assert_eq!(report.total_decides(), 4);
+        // The rejected feedback window was never enqueued.
+        assert_eq!(report.shards[0].rejected, 0);
         engine.shutdown();
     }
 

@@ -1,8 +1,7 @@
 //! The multi-tenant serving engine: shard spawning, routing, and the
 //! synchronous client API.
 
-use std::hash::{DefaultHasher, Hash, Hasher};
-use std::sync::mpsc::{sync_channel, SyncSender};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::thread::JoinHandle;
 
 use netband_spec::FleetSpec;
@@ -13,11 +12,35 @@ use crate::shard::{shard_loop, Command};
 use crate::snapshot::TenantSnapshot;
 use crate::tenant::TenantSpec;
 
+/// FNV-1a offset basis (64-bit).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime (64-bit).
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// The stable tenant-routing hash: 64-bit FNV-1a over the id's UTF-8 bytes.
+///
+/// The algorithm is spelled out here (offset basis `0xcbf29ce484222325`,
+/// prime `0x100000001b3`, xor-then-multiply per byte) precisely so the
+/// tenant → shard assignment is a **documented constant of the system**, not
+/// an artifact of the standard library: `std::hash::DefaultHasher` makes no
+/// cross-release stability promise, and any persistence or eviction tier
+/// keyed on shard assignment would silently scramble on a toolchain bump.
+/// `tests/serve_engine.rs` and the unit fixture below pin known assignments.
+pub fn stable_tenant_hash(id: &str) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for &byte in id.as_bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
 /// Engine sizing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EngineConfig {
-    /// Number of shard worker threads. Tenants are assigned to shards by a
-    /// stable hash of their id, so the same id always routes to the same
+    /// Number of shard worker threads. Tenants are assigned to shards by
+    /// [`stable_tenant_hash`] (an explicitly specified FNV-1a, stable across
+    /// toolchains and releases), so the same id always routes to the same
     /// shard for a given shard count.
     pub shards: usize,
     /// Capacity of each shard's bounded command queue; a full queue blocks
@@ -47,6 +70,23 @@ impl Default for EngineConfig {
     }
 }
 
+/// Holds a shard wedged — its worker blocked and its command queue full —
+/// until dropped. Returned by [`ServeEngine::wedge_shard`] (test support).
+#[doc(hidden)]
+pub struct ShardWedge {
+    releases: Vec<Receiver<()>>,
+}
+
+impl Drop for ShardWedge {
+    fn drop(&mut self) {
+        for release in &self.releases {
+            // A panicked shard drops its ack sender; either way the shard is
+            // no longer wedged once every receiver has been observed.
+            let _ = release.recv();
+        }
+    }
+}
+
 /// A sharded multi-tenant serving engine.
 ///
 /// The engine hosts independent bandit *tenants* (experiment id → policy +
@@ -60,6 +100,7 @@ impl Default for EngineConfig {
 pub struct ServeEngine {
     senders: Vec<SyncSender<Command>>,
     handles: Vec<JoinHandle<()>>,
+    queue_capacity: usize,
 }
 
 impl ServeEngine {
@@ -82,7 +123,11 @@ impl ServeEngine {
             senders.push(sender);
             handles.push(handle);
         }
-        ServeEngine { senders, handles }
+        ServeEngine {
+            senders,
+            handles,
+            queue_capacity: config.queue_capacity.max(1),
+        }
     }
 
     /// Starts an engine with `shards` workers and default queue sizing.
@@ -95,11 +140,41 @@ impl ServeEngine {
         self.senders.len()
     }
 
-    /// The shard a tenant id routes to.
+    /// Capacity of each shard's bounded command queue.
+    pub fn queue_capacity(&self) -> usize {
+        self.queue_capacity
+    }
+
+    /// Test support: wedges `shard` so its command queue is observably full,
+    /// returning a guard that releases the shard when dropped. While wedged,
+    /// the `try_*` admission paths return
+    /// [`ServeError::Overloaded`] deterministically — the wire-protocol suite
+    /// uses this to exercise the overload error frame end to end without
+    /// racing the shard's drain speed.
+    #[doc(hidden)]
+    pub fn wedge_shard(&self, shard: usize) -> ShardWedge {
+        // The shard dequeues this drain and blocks sending the ack into a
+        // rendezvous channel the guard has not read yet.
+        let (ack, release) = sync_channel(0);
+        self.send_to_shard(shard, Command::Drain { reply: ack })
+            .expect("wedge a live shard");
+        let mut releases = vec![release];
+        // Fill every queue slot behind the wedged command. The sends block
+        // until the wedge drain has been dequeued, so when the last one
+        // returns the queue is exactly full.
+        for _ in 0..self.queue_capacity {
+            let (ack, release) = sync_channel(1);
+            self.send_to_shard(shard, Command::Drain { reply: ack })
+                .expect("fill a live shard queue");
+            releases.push(release);
+        }
+        ShardWedge { releases }
+    }
+
+    /// The shard a tenant id routes to: [`stable_tenant_hash`] reduced modulo
+    /// the shard count. Stable across processes, toolchains, and releases.
     pub fn shard_of(&self, tenant: &str) -> usize {
-        let mut hasher = DefaultHasher::new();
-        tenant.hash(&mut hasher);
-        (hasher.finish() % self.senders.len() as u64) as usize
+        (stable_tenant_hash(tenant) % self.senders.len() as u64) as usize
     }
 
     fn sender_for(&self, tenant: &str) -> &SyncSender<Command> {
@@ -118,6 +193,22 @@ impl ServeEngine {
         self.senders[shard]
             .send(command)
             .map_err(|_| ServeError::EngineDown)
+    }
+
+    /// Non-blocking [`ServeEngine::send_to_shard`]: a full queue returns the
+    /// command to the caller instead of blocking (the admission-control path
+    /// of the network front end). The caller recovers its buffers from the
+    /// returned command and surfaces [`ServeError::Overloaded`].
+    // The Err variant deliberately carries the whole rejected command so the
+    // caller can take its pooled buffers back — boxing it would trade one
+    // cold-path copy for a hot-path allocation.
+    #[allow(clippy::result_large_err)]
+    pub(crate) fn try_send_to_shard(
+        &self,
+        shard: usize,
+        command: Command,
+    ) -> Result<(), TrySendError<Command>> {
+        self.senders[shard].try_send(command)
     }
 
     /// Whether `shard`'s worker thread has exited (shutdown or panic). Used
@@ -369,6 +460,44 @@ mod tests {
             let shard = engine.shard_of(id);
             assert!(shard < 4);
             assert_eq!(shard, engine.shard_of(id), "routing must be stable");
+        }
+        engine.shutdown();
+    }
+
+    /// The routing hash is a documented constant of the system: these are the
+    /// standard FNV-1a 64-bit test vectors plus this workspace's own ids. If
+    /// this test ever fails, shard routing changed — which silently scrambles
+    /// any persistence or eviction tier keyed on shard assignment. Do not
+    /// update the constants; fix the hash.
+    #[test]
+    fn tenant_hash_matches_the_pinned_fnv1a_vectors() {
+        assert_eq!(stable_tenant_hash(""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(stable_tenant_hash("a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(stable_tenant_hash("foobar"), 0x8594_4171_f739_67e8);
+        assert_eq!(stable_tenant_hash("exp-0"), 0xdb82_9312_96b1_d41d);
+        assert_eq!(stable_tenant_hash("tenant-0"), 0xc2ef_b028_e3eb_eed8);
+    }
+
+    /// Known tenant → shard assignments on a 4-shard engine. Pinned so a
+    /// refactor (or a toolchain bump) can never silently re-route tenants.
+    #[test]
+    fn tenant_to_shard_assignments_are_pinned() {
+        let engine = ServeEngine::with_shards(4);
+        let expected: &[(&str, usize)] = &[
+            ("", 1),
+            ("a", 0),
+            ("exp-0", 1),
+            ("tenant-0", 0),
+            ("tenant-1", 3),
+            ("tenant-2", 2),
+            ("tenant-3", 1),
+            ("tenant-4", 0),
+            ("tenant-5", 3),
+            ("tenant-6", 2),
+            ("tenant-7", 1),
+        ];
+        for &(id, shard) in expected {
+            assert_eq!(engine.shard_of(id), shard, "tenant {id:?} re-routed");
         }
         engine.shutdown();
     }

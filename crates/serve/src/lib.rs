@@ -5,7 +5,8 @@
 //! traffic?". A [`ServeEngine`] hosts many independent bandit **tenants**
 //! (experiment id → any policy from `netband-core`/`netband-baselines` over a
 //! [`NetworkedBandit`](netband_env::NetworkedBandit) environment), sharded
-//! across worker threads by a stable hash of the tenant id.
+//! across worker threads by [`stable_tenant_hash`] — an explicitly specified
+//! FNV-1a over the tenant id, stable across toolchains and releases.
 //!
 //! ## Architecture
 //!
@@ -142,7 +143,9 @@ pub use api::{
     DecideReply, Decision, FeedbackEvent, FlushPolicy, RegisterTenantSpec, ServeError, TenantId,
 };
 pub use client::ServeClient;
-pub use engine::{EngineConfig, ServeEngine};
+#[doc(hidden)]
+pub use engine::ShardWedge;
+pub use engine::{stable_tenant_hash, EngineConfig, ServeEngine};
 pub use metrics::{LatencyHistogram, MetricsReport, ShardMetrics, TenantMetrics, LATENCY_BUCKETS};
 pub use snapshot::TenantSnapshot;
 pub use tenant::{DynCombinatorialPolicy, DynSinglePolicy, TenantSpec};

@@ -20,14 +20,14 @@ use crate::model::{
 
 /// Tracks which keys of an object a decoder consumed; [`Obj::finish`] rejects
 /// everything left over.
-struct Obj<'a> {
+pub(crate) struct Obj<'a> {
     ctx: &'static str,
     fields: &'a [(String, Json)],
     used: Vec<bool>,
 }
 
 impl<'a> Obj<'a> {
-    fn new(value: &'a Json, ctx: &'static str) -> Result<Self, SpecError> {
+    pub(crate) fn new(value: &'a Json, ctx: &'static str) -> Result<Self, SpecError> {
         let fields = value.as_object().ok_or(SpecError::Invalid {
             context: ctx,
             message: "expected a JSON object".into(),
@@ -41,7 +41,7 @@ impl<'a> Obj<'a> {
 
     /// The field, if present (marks it consumed). `null` counts as absent for
     /// optional fields, so callers see `None` either way.
-    fn opt(&mut self, name: &str) -> Option<&'a Json> {
+    pub(crate) fn opt(&mut self, name: &str) -> Option<&'a Json> {
         for (i, (key, value)) in self.fields.iter().enumerate() {
             if key == name {
                 self.used[i] = true;
@@ -51,14 +51,14 @@ impl<'a> Obj<'a> {
         None
     }
 
-    fn req(&mut self, name: &'static str) -> Result<&'a Json, SpecError> {
+    pub(crate) fn req(&mut self, name: &'static str) -> Result<&'a Json, SpecError> {
         self.opt(name).ok_or(SpecError::MissingField {
             context: self.ctx,
             field: name,
         })
     }
 
-    fn finish(self) -> Result<(), SpecError> {
+    pub(crate) fn finish(self) -> Result<(), SpecError> {
         for (i, (key, _)) in self.fields.iter().enumerate() {
             if !self.used[i] {
                 return Err(SpecError::UnknownField {
@@ -75,28 +75,28 @@ impl<'a> Obj<'a> {
 // scalar helpers
 // ---------------------------------------------------------------------------
 
-fn get_u64(value: &Json, ctx: &'static str) -> Result<u64, SpecError> {
+pub(crate) fn get_u64(value: &Json, ctx: &'static str) -> Result<u64, SpecError> {
     value.as_u64().ok_or(SpecError::Invalid {
         context: ctx,
         message: format!("expected a non-negative integer, got {}", value.to_text()),
     })
 }
 
-fn get_usize(value: &Json, ctx: &'static str) -> Result<usize, SpecError> {
+pub(crate) fn get_usize(value: &Json, ctx: &'static str) -> Result<usize, SpecError> {
     value.as_usize().ok_or(SpecError::Invalid {
         context: ctx,
         message: format!("expected a non-negative integer, got {}", value.to_text()),
     })
 }
 
-fn get_f64(value: &Json, ctx: &'static str) -> Result<f64, SpecError> {
+pub(crate) fn get_f64(value: &Json, ctx: &'static str) -> Result<f64, SpecError> {
     value.as_f64().ok_or(SpecError::Invalid {
         context: ctx,
         message: format!("expected a number, got {}", value.to_text()),
     })
 }
 
-fn get_str<'a>(value: &'a Json, ctx: &'static str) -> Result<&'a str, SpecError> {
+pub(crate) fn get_str<'a>(value: &'a Json, ctx: &'static str) -> Result<&'a str, SpecError> {
     value.as_str().ok_or(SpecError::Invalid {
         context: ctx,
         message: format!("expected a string, got {}", value.to_text()),
@@ -157,13 +157,13 @@ fn pairs_f64_json(pairs: &[(f64, f64)]) -> Json {
     )
 }
 
-fn tagged(tag: &str, mut fields: Vec<(String, Json)>) -> Json {
+pub(crate) fn tagged(tag: &str, mut fields: Vec<(String, Json)>) -> Json {
     let mut all = vec![("type".to_owned(), Json::String(tag.to_owned()))];
     all.append(&mut fields);
     Json::Object(all)
 }
 
-fn tag_of<'a>(obj: &mut Obj<'a>) -> Result<&'a str, SpecError> {
+pub(crate) fn tag_of<'a>(obj: &mut Obj<'a>) -> Result<&'a str, SpecError> {
     let ctx = obj.ctx;
     get_str(obj.req("type")?, ctx)
 }

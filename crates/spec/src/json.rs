@@ -10,7 +10,12 @@
 //!   representation that re-parses to the same bits);
 //! * duplicate object keys are a parse error (a spec with two `seed` fields is
 //!   ambiguous, not "last one wins");
-//! * the writer emits UTF-8 with the mandatory escapes only.
+//! * strings follow RFC 8259 strictly: raw (unescaped) control characters and
+//!   lone `\uXXXX` surrogates are parse errors, surrogate *pairs* decode to
+//!   the astral-plane character; the writer emits UTF-8 with the mandatory
+//!   escapes only. String round-tripping — including astral-plane and control
+//!   characters — is proptest-pinned, since this codec is also the network
+//!   wire format (`netband-spec::wire`).
 
 use std::fmt::Write as _;
 
@@ -69,6 +74,14 @@ impl Json {
     pub fn as_f64(&self) -> Option<f64> {
         match self {
             Json::Number(lexeme) => lexeme.parse::<f64>().ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as `bool`, if it is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
             _ => None,
         }
     }
@@ -388,14 +401,31 @@ impl<'a> Parser<'a> {
                     // escapes leave it on the escape letter. Advance past it.
                     self.pos += 1;
                 }
+                Some(b) if b < 0x20 => {
+                    // RFC 8259 §7: control characters must be \u-escaped; a
+                    // raw one is a malformed document, not data. (The writer
+                    // always escapes them, so accepting raw ones would make
+                    // the decoder accept documents the codec can never emit.)
+                    return Err(self.error(format!(
+                        "raw control character 0x{b:02x} in string (must be \\u-escaped)"
+                    )));
+                }
                 Some(_) => {
-                    // Consume one UTF-8 encoded char.
-                    let rest = &self.bytes[self.pos..];
-                    let text = std::str::from_utf8(rest)
-                        .map_err(|_| self.error("invalid UTF-8 in string"))?;
-                    let c = text.chars().next().expect("non-empty by peek");
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    // Consume the maximal run of unescaped bytes in one
+                    // chunk. Runs break only at ASCII bytes (quote,
+                    // backslash, control), which never occur inside a
+                    // multi-byte UTF-8 sequence, so the slice sits on char
+                    // boundaries of the (already valid UTF-8) input.
+                    let start = self.pos;
+                    while let Some(b) = self.peek() {
+                        if b == b'"' || b == b'\\' || b < 0x20 {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    let run = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .expect("input is &str and runs break at ASCII bytes");
+                    out.push_str(run);
                 }
             }
         }
@@ -467,6 +497,8 @@ impl<'a> Parser<'a> {
 
 #[cfg(test)]
 mod tests {
+    use proptest::prelude::*;
+
     use super::*;
 
     #[test]
@@ -570,5 +602,105 @@ mod tests {
             ("s".into(), Json::String("v\"w".into())),
         ]);
         assert_eq!(parse(&doc.to_text()).unwrap(), doc);
+    }
+
+    #[test]
+    fn rejects_raw_control_characters_in_strings() {
+        // RFC 8259 §7: U+0000..U+001F must appear escaped. The escaped forms
+        // of the same strings stay accepted.
+        for (raw, escaped) in [
+            ("\"a\u{01}b\"", r#""a\u0001b""#),
+            ("\"\n\"", r#""\n""#),
+            ("\"\u{00}\"", r#""\u0000""#),
+            ("\"x\ty\"", r#""x\ty""#),
+            ("\"\u{1f}\"", r#""\u001f""#),
+        ] {
+            let err = parse(raw).unwrap_err();
+            assert!(err.to_string().contains("control"), "{raw:?}: {err}");
+            assert!(parse(escaped).is_ok(), "escaped form {escaped} rejected");
+        }
+        // 0x20 (space) and 0x7F (DEL) are not control characters per the
+        // grammar and stay accepted raw.
+        assert_eq!(parse("\" \u{7f} \"").unwrap().as_str(), Some(" \u{7f} "));
+    }
+
+    #[test]
+    fn rejects_lone_and_malformed_surrogate_escapes() {
+        for bad in [
+            r#""\udc00""#,       // lone low surrogate
+            r#""\ud83d""#,       // lone high surrogate at end of string
+            r#""\ud83dx""#,      // high surrogate followed by a plain char
+            r#""\ud83d\ud83d""#, // high surrogate followed by another high
+            r#""\ud83d\n""#,     // high surrogate followed by a short escape
+            r#""\u12""#,         // truncated hex
+            r#""\uD8ZZ\uDE00""#, // non-hex digits
+        ] {
+            assert!(parse(bad).is_err(), "accepted {bad}");
+        }
+        // Case-insensitive hex in a valid pair still decodes.
+        assert_eq!(parse(r#""😀""#).unwrap().as_str(), Some("😀"));
+    }
+
+    /// `\uXXXX`-escape every scalar value of `s`, using surrogate pairs for
+    /// astral-plane characters — the adversarial encoding the writer never
+    /// produces but the decoder must accept.
+    fn fully_escaped(s: &str) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("\"");
+        for c in s.chars() {
+            let cp = c as u32;
+            if cp <= 0xFFFF {
+                write!(out, "\\u{cp:04x}").unwrap();
+            } else {
+                let v = cp - 0x1_0000;
+                write!(
+                    out,
+                    "\\u{:04x}\\u{:04x}",
+                    0xD800 + (v >> 10),
+                    0xDC00 + (v & 0x3FF)
+                )
+                .unwrap();
+            }
+        }
+        out.push('"');
+        out
+    }
+
+    /// Mix of ASCII/control, BMP, and full-range code points so control
+    /// characters and astral-plane characters both appear often, not once in
+    /// a million draws.
+    fn arb_string() -> impl Strategy<Value = String> {
+        (
+            proptest::collection::vec(0u32..=0x7F, 0..=12),
+            proptest::collection::vec(0u32..=0xFFFF, 0..=12),
+            proptest::collection::vec(0u32..=0x0011_0000, 0..=12),
+        )
+            .prop_map(|(ascii, bmp, full)| {
+                ascii
+                    .into_iter()
+                    .chain(bmp)
+                    .chain(full)
+                    // Drops surrogates (not Rust chars) and the one
+                    // out-of-range value; everything else survives.
+                    .filter_map(char::from_u32)
+                    .collect()
+            })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        #[test]
+        fn arbitrary_strings_round_trip_through_the_codec(s in arb_string()) {
+            let compact = Json::String(s.clone()).to_text();
+            prop_assert_eq!(parse(&compact).unwrap().as_str(), Some(s.as_str()));
+            let pretty = Json::String(s.clone()).to_text_pretty();
+            prop_assert_eq!(parse(pretty.trim_end()).unwrap().as_str(), Some(s.as_str()));
+        }
+
+        #[test]
+        fn fully_escaped_strings_decode_to_the_original(s in arb_string()) {
+            prop_assert_eq!(parse(&fully_escaped(&s)).unwrap().as_str(), Some(s.as_str()));
+        }
     }
 }

@@ -77,6 +77,7 @@ pub mod json;
 pub mod model;
 pub mod policy;
 pub mod presets;
+pub mod wire;
 
 pub use error::SpecError;
 pub use model::{
@@ -85,6 +86,10 @@ pub use model::{
     ScenarioSpec, SideBonus, WorkloadSpec, SPEC_VERSION,
 };
 pub use policy::AnyPolicy;
+pub use wire::{
+    WireDecision, WireErrorCode, WireEvent, WireFeedback, WireLatency, WireMetrics, WireReply,
+    WireRequest, WireResponse,
+};
 
 /// Identifier of an arm; re-exported from `netband-graph`.
 pub type ArmId = netband_graph::ArmId;

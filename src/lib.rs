@@ -28,6 +28,8 @@
 //!   serializable scenario documents with build factories (`netband-spec`).
 //! * [`serve`] — the sharded multi-tenant serving engine with batched
 //!   delayed-feedback ingestion (`netband-serve`).
+//! * [`net`] — the framed TCP wire protocol over the serving engine: server,
+//!   client, and load-generator binaries (`netband-net`).
 //! * [`experiments`] — the harness that regenerates every figure of the paper's
 //!   evaluation section (`netband-experiments`).
 //!
@@ -62,6 +64,7 @@ pub use netband_core as core;
 pub use netband_env as env;
 pub use netband_experiments as experiments;
 pub use netband_graph as graph;
+pub use netband_net as net;
 pub use netband_serve as serve;
 pub use netband_sim as sim;
 pub use netband_spec as spec;
@@ -81,6 +84,7 @@ pub mod prelude {
         generators, greedy_clique_cover, metrics, CsrGraph, GraphMetrics, RelationGraph,
         StrategyBank, StrategyRelationGraph,
     };
+    pub use netband_net::{NetClient, NetError, NetServer, ServerConfig};
     pub use netband_serve::{
         DecideReply, Decision, EngineConfig, FeedbackEvent, FlushPolicy, MetricsReport,
         RegisterTenantSpec, ServeClient, ServeEngine, ServeError, TenantSnapshot, TenantSpec,
@@ -92,6 +96,7 @@ pub mod prelude {
     pub use netband_spec::{
         AnyPolicy, ArmsSpec, ChangePointSpec, ChurnWindowSpec, DriftSpec, EstimatorSpec,
         FamilySpec, FeedbackSpec, FleetSpec, FleetTenant, GradualDriftSpec, GraphSpec, PolicySpec,
-        ScenarioSpec, SideBonus, SpecError, WorkloadSpec, SPEC_VERSION,
+        ScenarioSpec, SideBonus, SpecError, WireDecision, WireErrorCode, WireEvent, WireFeedback,
+        WireLatency, WireMetrics, WireReply, WireRequest, WireResponse, WorkloadSpec, SPEC_VERSION,
     };
 }

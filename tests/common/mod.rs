@@ -59,6 +59,94 @@ pub fn fixtures_dir() -> PathBuf {
         .join("fixtures")
 }
 
+// ----- the golden scenarios as spec documents --------------------------------
+//
+// Shared by `tests/spec_golden.rs` (spec pipeline ≡ hand-wired runners) and
+// `tests/net_equivalence.rs` (TCP round trip ≡ in-process engine): one set of
+// documents, three execution paths, all pinned to the same fixtures.
+
+/// The fixture instance (ER graph, uniform-mean Bernoulli arms) as a
+/// declarative workload document.
+pub fn golden_workload(family: Option<FamilySpec>) -> WorkloadSpec {
+    WorkloadSpec {
+        graph: GraphSpec::ErdosRenyi {
+            num_arms: NUM_ARMS,
+            edge_prob: 0.35,
+        },
+        arms: ArmsSpec::UniformMeanBernoulli { num_arms: NUM_ARMS },
+        family,
+        drift: None,
+        seed: INSTANCE_SEED,
+    }
+}
+
+/// One golden scenario document on the fixture workload.
+pub fn golden_scenario(
+    name: &str,
+    policy: PolicySpec,
+    family: Option<FamilySpec>,
+    side_bonus: SideBonus,
+    horizon: usize,
+) -> ScenarioSpec {
+    ScenarioSpec {
+        version: SPEC_VERSION,
+        name: name.to_owned(),
+        workload: golden_workload(family),
+        policy,
+        side_bonus,
+        horizon,
+        replications: 1,
+        seed: RUN_SEED,
+        feedback: FeedbackSpec::Immediate,
+    }
+}
+
+/// All four golden DFL scenarios, keyed by their fixture name.
+pub fn golden_specs() -> Vec<(&'static str, ScenarioSpec)> {
+    vec![
+        (
+            "dfl_sso",
+            golden_scenario(
+                "golden/dfl-sso",
+                PolicySpec::DflSso,
+                None,
+                SideBonus::Observation,
+                SINGLE_HORIZON,
+            ),
+        ),
+        (
+            "dfl_ssr",
+            golden_scenario(
+                "golden/dfl-ssr",
+                PolicySpec::DflSsr,
+                None,
+                SideBonus::Reward,
+                SINGLE_HORIZON,
+            ),
+        ),
+        (
+            "dfl_cso",
+            golden_scenario(
+                "golden/dfl-cso",
+                PolicySpec::DflCso,
+                Some(FamilySpec::IndependentSets { max_size: 2 }),
+                SideBonus::Observation,
+                COMB_HORIZON,
+            ),
+        ),
+        (
+            "dfl_csr",
+            golden_scenario(
+                "golden/dfl-csr",
+                PolicySpec::DflCsr,
+                Some(FamilySpec::AtMostM { m: 3 }),
+                SideBonus::Reward,
+                COMB_HORIZON,
+            ),
+        ),
+    ]
+}
+
 /// Horizon of the drifting golden run (`tests/fixtures/drift_scenario.json`).
 pub const DRIFT_HORIZON: usize = 300;
 /// Change-point round of the drifting golden scenario; restart tests snapshot

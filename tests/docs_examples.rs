@@ -1,12 +1,15 @@
 //! Docs-as-tests: every fenced ```json block in the documentation must be a
-//! complete, valid scenario document.
+//! complete, valid document of *some* kind the codec speaks.
 //!
 //! The cookbook (`docs/SCENARIOS.md`) and the README promise that their JSON
-//! examples can be fed verbatim to `examples/run_scenario.rs` or a fleet boot.
-//! This harness extracts each fence and pushes it through the strict codec —
-//! as a [`ScenarioSpec`], or failing that a [`FleetSpec`] — then validates it.
-//! A stale example (renamed field, removed variant, wrong arity) fails CI with
-//! the file, the fence number, and the codec's error.
+//! examples can be fed verbatim to `examples/run_scenario.rs` or a fleet
+//! boot; `docs/ARCHITECTURE.md` additionally documents the wire protocol
+//! with literal request/response frames. This harness extracts each fence
+//! and pushes it through the strict codec, trying in order: [`ScenarioSpec`]
+//! → [`FleetSpec`] → [`WireRequest`] → [`WireResponse`] (validating where a
+//! `validate()` exists). A stale example (renamed field, removed variant,
+//! wrong arity) fails CI with the file, the fence number, and the codec's
+//! error for the most likely intended kind.
 
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -42,10 +45,10 @@ fn json_fences(text: &str) -> Vec<(usize, String)> {
     fences
 }
 
-/// One documentation fence: either a scenario or a fleet, strictly parsed and
-/// validated.
+/// One documentation fence: a scenario, a fleet, a wire request, or a wire
+/// response — strictly parsed, and validated where validation exists.
 fn check_fence(doc: &Path, line: usize, body: &str) {
-    match ScenarioSpec::from_json_text(body) {
+    let scenario_err = match ScenarioSpec::from_json_text(body) {
         Ok(spec) => {
             spec.validate().unwrap_or_else(|e| {
                 panic!(
@@ -53,23 +56,38 @@ fn check_fence(doc: &Path, line: usize, body: &str) {
                     doc.display()
                 )
             });
+            return;
         }
-        Err(scenario_err) => {
-            let fleet = FleetSpec::from_json_text(body).unwrap_or_else(|fleet_err| {
-                panic!(
-                    "{}:{line}: example parses neither as a ScenarioSpec ({scenario_err}) nor \
-                     as a FleetSpec ({fleet_err})",
-                    doc.display()
-                )
-            });
+        Err(e) => e,
+    };
+    let fleet_err = match FleetSpec::from_json_text(body) {
+        Ok(fleet) => {
             fleet.validate().unwrap_or_else(|e| {
                 panic!(
                     "{}:{line}: fleet example fails validation: {e}",
                     doc.display()
                 )
             });
+            return;
         }
-    }
+        Err(e) => e,
+    };
+    let request_err = match WireRequest::from_json_text(body) {
+        Ok(_) => return,
+        Err(e) => e,
+    };
+    let response_err = match WireResponse::from_json_text(body) {
+        Ok(_) => return,
+        Err(e) => e,
+    };
+    panic!(
+        "{}:{line}: example parses as none of the documented kinds:\n\
+         - ScenarioSpec: {scenario_err}\n\
+         - FleetSpec: {fleet_err}\n\
+         - WireRequest: {request_err}\n\
+         - WireResponse: {response_err}",
+        doc.display()
+    );
 }
 
 fn check_doc(relative: &str, min_fences: usize) {
@@ -96,6 +114,13 @@ fn every_scenarios_cookbook_example_parses_and_validates() {
 #[test]
 fn every_readme_example_parses_and_validates() {
     check_doc("README.md", 1);
+}
+
+/// The wire-protocol section documents literal frames; every one of them must
+/// be a strictly-parseable wire document.
+#[test]
+fn every_architecture_example_parses_and_validates() {
+    check_doc("docs/ARCHITECTURE.md", 5);
 }
 
 /// The committed drifting fixture is itself a documented example workflow;

@@ -18,93 +18,8 @@
 
 mod common;
 
-use common::{
-    assert_golden, fixture_instance, COMB_HORIZON, INSTANCE_SEED, NUM_ARMS, RUN_SEED,
-    SINGLE_HORIZON,
-};
+use common::{assert_golden, fixture_instance, golden_scenario, golden_specs, golden_workload};
 use netband::prelude::*;
-
-// ----- the golden scenarios as spec documents ------------------------------
-
-/// The fixture instance (ER graph, uniform-mean Bernoulli arms) as a
-/// declarative workload document.
-fn golden_workload(family: Option<FamilySpec>) -> WorkloadSpec {
-    WorkloadSpec {
-        graph: GraphSpec::ErdosRenyi {
-            num_arms: NUM_ARMS,
-            edge_prob: 0.35,
-        },
-        arms: ArmsSpec::UniformMeanBernoulli { num_arms: NUM_ARMS },
-        family,
-        drift: None,
-        seed: INSTANCE_SEED,
-    }
-}
-
-fn golden_scenario(
-    name: &str,
-    policy: PolicySpec,
-    family: Option<FamilySpec>,
-    side_bonus: SideBonus,
-    horizon: usize,
-) -> ScenarioSpec {
-    ScenarioSpec {
-        version: SPEC_VERSION,
-        name: name.to_owned(),
-        workload: golden_workload(family),
-        policy,
-        side_bonus,
-        horizon,
-        replications: 1,
-        seed: RUN_SEED,
-        feedback: FeedbackSpec::Immediate,
-    }
-}
-
-fn golden_specs() -> Vec<(&'static str, ScenarioSpec)> {
-    vec![
-        (
-            "dfl_sso",
-            golden_scenario(
-                "golden/dfl-sso",
-                PolicySpec::DflSso,
-                None,
-                SideBonus::Observation,
-                SINGLE_HORIZON,
-            ),
-        ),
-        (
-            "dfl_ssr",
-            golden_scenario(
-                "golden/dfl-ssr",
-                PolicySpec::DflSsr,
-                None,
-                SideBonus::Reward,
-                SINGLE_HORIZON,
-            ),
-        ),
-        (
-            "dfl_cso",
-            golden_scenario(
-                "golden/dfl-cso",
-                PolicySpec::DflCso,
-                Some(FamilySpec::IndependentSets { max_size: 2 }),
-                SideBonus::Observation,
-                COMB_HORIZON,
-            ),
-        ),
-        (
-            "dfl_csr",
-            golden_scenario(
-                "golden/dfl-csr",
-                PolicySpec::DflCsr,
-                Some(FamilySpec::AtMostM { m: 3 }),
-                SideBonus::Reward,
-                COMB_HORIZON,
-            ),
-        ),
-    ]
-}
 
 // ----- spec → build → run equals the committed fixtures --------------------
 
