@@ -106,6 +106,10 @@ impl CombinatorialPolicy for Cucb {
         self.estimates.reset();
         self.total_pulls = 0;
     }
+
+    fn arm_estimators(&self) -> Option<&ArmEstimators> {
+        Some(&self.estimates)
+    }
 }
 
 #[cfg(test)]

@@ -99,6 +99,10 @@ impl CombinatorialPolicy for Llr {
     fn reset(&mut self) {
         self.estimates.reset();
     }
+
+    fn arm_estimators(&self) -> Option<&ArmEstimators> {
+        Some(&self.estimates)
+    }
 }
 
 #[cfg(test)]

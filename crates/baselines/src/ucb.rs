@@ -106,6 +106,10 @@ impl SinglePlayPolicy for Ucb1 {
     fn reset(&mut self) {
         self.arms.reset();
     }
+
+    fn arm_estimators(&self) -> Option<&ArmEstimators> {
+        Some(&self.arms.estimates)
+    }
 }
 
 /// UCB-Tuned: the exploration width is scaled by an empirical-variance term,
@@ -172,6 +176,10 @@ impl SinglePlayPolicy for UcbTuned {
 
     fn reset(&mut self) {
         self.arms.reset();
+    }
+
+    fn arm_estimators(&self) -> Option<&ArmEstimators> {
+        Some(&self.arms.estimates)
     }
 }
 

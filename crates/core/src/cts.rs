@@ -189,6 +189,10 @@ impl CombinatorialPolicy for CombinatorialThompson {
         self.estimates.reset();
         self.rng = StdRng::seed_from_u64(self.seed);
     }
+
+    fn arm_estimators(&self) -> Option<&ArmEstimators> {
+        Some(&self.estimates)
+    }
 }
 
 /// Beta(a, b) sampling through the two-gamma construction, with the

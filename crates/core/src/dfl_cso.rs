@@ -183,6 +183,12 @@ impl CombinatorialPolicy for DflCso {
         self.estimates.reset();
         self.last_selected = None;
     }
+
+    // DFL-CSO estimates dense *strategy* ids (com-arms), so index `i` here is
+    // the i-th enumerated strategy, not base arm `i`.
+    fn arm_estimators(&self) -> Option<&ArmEstimators> {
+        Some(&self.estimates)
+    }
 }
 
 #[cfg(test)]

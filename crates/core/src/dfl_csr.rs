@@ -199,6 +199,10 @@ impl CombinatorialPolicy for DflCsr {
     fn reset(&mut self) {
         self.estimates.reset();
     }
+
+    fn arm_estimators(&self) -> Option<&ArmEstimators> {
+        Some(&self.estimates)
+    }
 }
 
 #[cfg(test)]

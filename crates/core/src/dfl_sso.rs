@@ -133,6 +133,10 @@ impl SinglePlayPolicy for DflSso {
     fn reset(&mut self) {
         self.estimates.reset();
     }
+
+    fn arm_estimators(&self) -> Option<&ArmEstimators> {
+        Some(&self.estimates)
+    }
 }
 
 #[cfg(test)]

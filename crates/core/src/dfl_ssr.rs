@@ -131,6 +131,10 @@ impl SinglePlayPolicy for DflSsr {
     fn reset(&mut self) {
         self.arm_estimates.reset();
     }
+
+    fn arm_estimators(&self) -> Option<&ArmEstimators> {
+        Some(&self.arm_estimates)
+    }
 }
 
 #[cfg(test)]

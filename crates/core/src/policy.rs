@@ -11,6 +11,7 @@
 
 use netband_env::{CombinatorialFeedback, SinglePlayFeedback};
 
+use crate::estimator::ArmEstimators;
 use crate::ArmId;
 
 /// A policy that pulls one arm per time slot (single-play scenarios SSO / SSR).
@@ -26,6 +27,14 @@ pub trait SinglePlayPolicy: Send {
 
     /// Resets the policy to its initial state (a fresh replication).
     fn reset(&mut self);
+
+    /// The policy's per-arm estimators, when it keeps any — the observability
+    /// layer reads pull counts and empirical means from here. Policies whose
+    /// state is not a per-arm [`ArmEstimators`] SoA (e.g. EXP3's weights)
+    /// return `None` (the provided default).
+    fn arm_estimators(&self) -> Option<&ArmEstimators> {
+        None
+    }
 }
 
 /// A policy that pulls a combinatorial strategy per time slot (CSO / CSR).
@@ -67,6 +76,14 @@ pub trait CombinatorialPolicy: Send {
 
     /// Resets the policy to its initial state (a fresh replication).
     fn reset(&mut self);
+
+    /// The policy's per-arm estimators, when it keeps any; see
+    /// [`SinglePlayPolicy::arm_estimators`]. Note that DFL-CSO estimates
+    /// dense *strategy* ids ("com-arms"), not base arms — its estimators are
+    /// still exposed here, indexed by strategy.
+    fn arm_estimators(&self) -> Option<&ArmEstimators> {
+        None
+    }
 }
 
 /// Object-safe cloning for boxed single-play policies: snapshotting engines
@@ -126,6 +143,11 @@ impl<P: SinglePlayPolicy + ?Sized> SinglePlayPolicy for Box<P> {
     fn reset(&mut self) {
         (**self).reset()
     }
+    // Must be forwarded explicitly: the provided default would hide the inner
+    // policy's estimators behind a blanket `None`.
+    fn arm_estimators(&self) -> Option<&ArmEstimators> {
+        (**self).arm_estimators()
+    }
 }
 
 impl<P: CombinatorialPolicy + ?Sized> CombinatorialPolicy for Box<P> {
@@ -143,6 +165,10 @@ impl<P: CombinatorialPolicy + ?Sized> CombinatorialPolicy for Box<P> {
     }
     fn reset(&mut self) {
         (**self).reset()
+    }
+    // See the single-play Box impl: forward past the provided default.
+    fn arm_estimators(&self) -> Option<&ArmEstimators> {
+        (**self).arm_estimators()
     }
 }
 

@@ -2,19 +2,22 @@
 //!
 //! ```text
 //! netband_server [--addr 127.0.0.1:7171] [--shards N] [--queue-capacity N]
-//!                [--max-batch N] [--fleet fleet.json]
+//!                [--max-batch N] [--fleet fleet.json] [--obs-addr HOST:PORT]
 //! ```
 //!
 //! Boots a `ServeEngine`, optionally registers every tenant of a `FleetSpec`
 //! JSON document, binds the framed wire protocol, prints one
-//! `listening on <addr>` line, and serves until killed. Exit code 2 on bad
-//! usage, 1 on runtime failure.
+//! `listening on <addr>` line, and serves until killed. With `--obs-addr`
+//! it also binds an HTTP scrape endpoint serving the Prometheus-style text
+//! exposition (engine metrics, per-tenant bandit telemetry, transport
+//! counters) and prints one `observability on <addr>` line. Exit code 2 on
+//! bad usage, 1 on runtime failure.
 
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
 
-use netband_net::{NetServer, ServerConfig};
+use netband_net::{NetServer, ObsServer, ServerConfig};
 use netband_serve::{EngineConfig, ServeEngine};
 use netband_spec::FleetSpec;
 
@@ -24,10 +27,12 @@ struct Args {
     queue_capacity: usize,
     max_batch: u32,
     fleet: Option<String>,
+    obs_addr: Option<String>,
 }
 
 const USAGE: &str = "usage: netband_server [--addr HOST:PORT] [--shards N] \
-                     [--queue-capacity N] [--max-batch N] [--fleet FLEET.json]";
+                     [--queue-capacity N] [--max-batch N] [--fleet FLEET.json] \
+                     [--obs-addr HOST:PORT]";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
@@ -39,6 +44,7 @@ fn parse_args() -> Result<Args, String> {
         queue_capacity: 1024,
         max_batch: 4096,
         fleet: None,
+        obs_addr: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -64,6 +70,7 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--max-batch: {e}"))?
             }
             "--fleet" => args.fleet = Some(value("--fleet")?),
+            "--obs-addr" => args.obs_addr = Some(value("--obs-addr")?),
             "--help" | "-h" => return Err(USAGE.to_owned()),
             other => return Err(format!("unknown flag {other}\n{USAGE}")),
         }
@@ -95,6 +102,21 @@ fn run(args: Args) -> Result<(), String> {
         .map_err(|e| format!("bind {}: {e}", args.addr))?;
     // The smoke test greps for this exact line to learn the ephemeral port.
     println!("listening on {}", server.local_addr());
+    // Keep the scrape endpoint alive for the server's lifetime.
+    let _obs = match &args.obs_addr {
+        Some(addr) => {
+            let obs = ObsServer::bind(
+                Arc::clone(&engine),
+                Arc::clone(server.stats()),
+                addr.as_str(),
+            )
+            .map_err(|e| format!("bind obs {addr}: {e}"))?;
+            // The smoke test greps for this exact line too.
+            println!("observability on {}", obs.local_addr());
+            Some(obs)
+        }
+        None => None,
+    };
     loop {
         std::thread::sleep(Duration::from_secs(3600));
     }

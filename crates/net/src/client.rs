@@ -4,7 +4,9 @@ use std::fmt;
 use std::io::{self, BufReader, BufWriter};
 use std::net::{TcpStream, ToSocketAddrs};
 
-use netband_spec::wire::{WireErrorCode, WireMetrics, WireReply, WireRequest, WireResponse};
+use netband_spec::wire::{
+    WireErrorCode, WireMetrics, WireReply, WireRequest, WireResponse, WireTelemetry,
+};
 use netband_spec::{ScenarioSpec, SpecError, WireFeedback};
 
 use crate::frame::{read_frame, write_frame, FrameError, MAX_FRAME_BYTES};
@@ -166,5 +168,20 @@ impl NetClient {
             WireResponse::Metrics(m) => Ok(m),
             other => Err(other),
         })
+    }
+
+    /// Fetches one tenant's learning-telemetry snapshot (per-arm pulls and
+    /// means, cumulative reward, regret proxy). Read-only on the server side:
+    /// no flush is triggered.
+    pub fn telemetry(&mut self, tenant: &str) -> Result<WireTelemetry, NetError> {
+        self.expect(
+            &WireRequest::Telemetry {
+                tenant: tenant.to_owned(),
+            },
+            |r| match r {
+                WireResponse::Telemetry(t) => Ok(*t),
+                other => Err(other),
+            },
+        )
     }
 }

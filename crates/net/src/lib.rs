@@ -35,9 +35,11 @@
 
 pub mod client;
 pub mod frame;
+pub mod obs;
 pub mod proto;
 pub mod server;
 
 pub use client::{NetClient, NetError};
 pub use frame::{read_frame, write_frame, FrameError, MAX_FRAME_BYTES};
+pub use obs::{render_metrics, NetStats, ObsServer};
 pub use server::{NetServer, ServerConfig};

@@ -8,8 +8,11 @@
 //! no recoding of rewards, so `f64` bit-exactness is preserved end to end.
 
 use netband_serve::api::{DecideReply, Decision, FeedbackEvent, ServeError};
-use netband_serve::{LatencyHistogram, MetricsReport};
-use netband_spec::{WireDecision, WireErrorCode, WireEvent, WireLatency, WireMetrics, WireReply};
+use netband_serve::{LatencyHistogram, MetricsReport, TenantTelemetry};
+use netband_spec::{
+    WireArmStat, WireDecision, WireErrorCode, WireEvent, WireLatency, WireMetrics, WireReply,
+    WireTelemetry,
+};
 
 /// Serve decision → wire decision.
 pub fn decision_to_wire(decision: &Decision) -> WireDecision {
@@ -80,18 +83,38 @@ fn latency_to_wire(histogram: &LatencyHistogram) -> WireLatency {
 /// the shards' fixed-bucket histograms, merged across shards — no new
 /// measurement machinery on the wire path.
 pub fn metrics_to_wire(report: &MetricsReport) -> WireMetrics {
-    let mut feedback = LatencyHistogram::new();
-    for shard in &report.shards {
-        feedback.merge(&shard.feedback_latency);
-    }
     WireMetrics {
         shards: report.shards.len() as u64,
         tenants: report.tenants.len() as u64,
         total_decides: report.total_decides(),
         total_feedback_events: report.total_feedback_events(),
         rejected: report.shards.iter().map(|s| s.rejected).sum(),
+        overload_rejections: report.overload_rejections,
         decide_latency: latency_to_wire(&report.decide_latency()),
-        feedback_latency: latency_to_wire(&feedback),
+        feedback_latency: latency_to_wire(&report.feedback_latency()),
+    }
+}
+
+/// Engine tenant telemetry → flat wire snapshot. Structural — rewards and
+/// means cross unchanged, so they stay bit-exact on the wire.
+pub fn telemetry_to_wire(telemetry: &TenantTelemetry) -> WireTelemetry {
+    WireTelemetry {
+        tenant: telemetry.id.clone(),
+        policy: telemetry.policy.clone(),
+        round: telemetry.round,
+        pending_feedback: telemetry.pending_feedback,
+        decides: telemetry.metrics.decides,
+        feedback_events: telemetry.metrics.feedback_events,
+        total_reward: telemetry.total_reward,
+        optimal_reward: telemetry.optimal_reward,
+        regret: telemetry.regret(),
+        arms: telemetry
+            .arm_pulls
+            .iter()
+            .zip(&telemetry.arm_means)
+            .enumerate()
+            .map(|(arm, (&pulls, &mean))| WireArmStat { arm, pulls, mean })
+            .collect(),
     }
 }
 
@@ -155,5 +178,36 @@ mod tests {
         assert_eq!(wire.decision, WireDecision::Strategy(vec![1, 4]));
         assert_eq!(wire.reward.to_bits(), (0.1f64 + 0.2).to_bits());
         assert!(matches!(wire.feedback, Some(WireEvent::Single(_))));
+    }
+
+    #[test]
+    fn telemetry_converts_structurally_and_bit_exactly() {
+        let metrics = netband_serve::TenantMetrics {
+            decides: 42,
+            feedback_events: 40,
+            ..Default::default()
+        };
+        let telemetry = TenantTelemetry {
+            id: "t".into(),
+            policy: "DFL-SSO".into(),
+            round: 42,
+            pending_feedback: 2,
+            total_reward: 0.1 + 0.2,
+            optimal_reward: 30.0,
+            metrics,
+            arm_pulls: vec![30, 12],
+            arm_means: vec![0.1 + 0.2, 0.25],
+        };
+        let wire = telemetry_to_wire(&telemetry);
+        assert_eq!(wire.tenant, "t");
+        assert_eq!(wire.decides, 42);
+        assert_eq!(wire.feedback_events, 40);
+        assert_eq!(wire.total_reward.to_bits(), (0.1f64 + 0.2).to_bits());
+        assert_eq!(wire.regret.to_bits(), telemetry.regret().to_bits());
+        assert_eq!(wire.arms.len(), 2);
+        assert_eq!(wire.arms[0].arm, 0);
+        assert_eq!(wire.arms[0].pulls, 30);
+        assert_eq!(wire.arms[0].mean.to_bits(), (0.1f64 + 0.2).to_bits());
+        assert_eq!(wire.arms[1].arm, 1);
     }
 }

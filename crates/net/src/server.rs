@@ -23,6 +23,8 @@ use std::io::{self, BufReader, BufWriter};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
+// Relaxed counter bumps only — ordering is irrelevant for monotonic stats.
+use std::sync::atomic::Ordering::Relaxed;
 use std::thread;
 use std::time::Duration;
 
@@ -33,7 +35,10 @@ use netband_spec::json::parse;
 use netband_spec::wire::{request_from_json, WireErrorCode, WireRequest, WireResponse};
 
 use crate::frame::{read_frame, write_frame, FrameError, MAX_FRAME_BYTES};
-use crate::proto::{error_to_wire, event_from_wire, metrics_to_wire, reply_to_wire};
+use crate::obs::NetStats;
+use crate::proto::{
+    error_to_wire, event_from_wire, metrics_to_wire, reply_to_wire, telemetry_to_wire,
+};
 
 /// Server knobs. The defaults are deliberate: frames are capped well below
 /// anything that could exhaust memory, batches well below anything that could
@@ -70,6 +75,7 @@ pub struct NetServer {
     stop: Arc<AtomicBool>,
     accept_handle: Option<thread::JoinHandle<()>>,
     shared: Arc<ConnectionRegistry>,
+    stats: Arc<NetStats>,
 }
 
 /// Live-connection registry shared with the accept loop: streams so shutdown
@@ -96,13 +102,15 @@ impl NetServer {
         listener.set_nonblocking(true)?;
         let stop = Arc::new(AtomicBool::new(false));
         let shared = Arc::new(ConnectionRegistry::default());
+        let stats = Arc::new(NetStats::new());
         let accept_handle = {
             let engine = Arc::clone(&engine);
             let stop = Arc::clone(&stop);
             let shared = Arc::clone(&shared);
+            let stats = Arc::clone(&stats);
             thread::Builder::new()
                 .name("netband-net-accept".into())
-                .spawn(move || accept_loop(listener, engine, config, stop, shared))
+                .spawn(move || accept_loop(listener, engine, config, stop, shared, stats))
                 .expect("spawn accept thread")
         };
         Ok(NetServer {
@@ -111,6 +119,7 @@ impl NetServer {
             stop,
             accept_handle: Some(accept_handle),
             shared,
+            stats,
         })
     }
 
@@ -122,6 +131,11 @@ impl NetServer {
     /// The engine this server fronts.
     pub fn engine(&self) -> &ServeEngine {
         &self.engine
+    }
+
+    /// The server's transport counters (shared with the scrape endpoint).
+    pub fn stats(&self) -> &Arc<NetStats> {
+        &self.stats
     }
 
     /// Stops accepting, closes live connections, joins all handler threads.
@@ -162,11 +176,13 @@ fn accept_loop(
     config: ServerConfig,
     stop: Arc<AtomicBool>,
     shared: Arc<ConnectionRegistry>,
+    stats: Arc<NetStats>,
 ) {
     while !stop.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _peer)) => {
                 let _ = stream.set_nodelay(true);
+                stats.connections_accepted.fetch_add(1, Relaxed);
                 if let Ok(mut streams) = shared.streams.lock() {
                     if let Ok(clone) = stream.try_clone() {
                         streams.push(clone);
@@ -175,9 +191,10 @@ fn accept_loop(
                 let engine = Arc::clone(&engine);
                 let config = config.clone();
                 let stop = Arc::clone(&stop);
+                let stats = Arc::clone(&stats);
                 let handle = thread::Builder::new()
                     .name("netband-net-conn".into())
-                    .spawn(move || connection_loop(stream, &engine, &config, &stop))
+                    .spawn(move || connection_loop(stream, &engine, &config, &stop, &stats))
                     .expect("spawn connection thread");
                 if let Ok(mut handlers) = shared.handlers.lock() {
                     handlers.push(handle);
@@ -196,11 +213,15 @@ fn connection_loop(
     engine: &ServeEngine,
     config: &ServerConfig,
     stop: &AtomicBool,
+    stats: &NetStats,
 ) {
     let reader_stream = match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
     };
+    stats.connections_active.fetch_add(1, Relaxed);
+    // Decrement on every exit path, including panics in the handler.
+    let _active = DecrementOnDrop(&stats.connections_active);
     let mut reader = BufReader::new(reader_stream);
     let mut writer = BufWriter::new(stream);
     let mut client = engine.client();
@@ -224,10 +245,39 @@ fn connection_loop(
             }
             Err(_) => return, // reset, truncated frame, or shutdown kick
         };
+        stats.frames_in.fetch_add(1, Relaxed);
+        stats.bytes_in.fetch_add(text.len() as u64, Relaxed);
         let response = handle_request(engine, &mut client, &mut scratch, config, &text);
-        if write_frame(&mut writer, &response.to_json_text()).is_err() {
+        match &response {
+            WireResponse::Error {
+                code: WireErrorCode::Protocol,
+                ..
+            } => {
+                stats.decode_errors.fetch_add(1, Relaxed);
+            }
+            WireResponse::Error {
+                code: WireErrorCode::Overloaded,
+                ..
+            } => {
+                stats.overload_rejections.fetch_add(1, Relaxed);
+            }
+            _ => {}
+        }
+        let reply_text = response.to_json_text();
+        if write_frame(&mut writer, &reply_text).is_err() {
             return;
         }
+        stats.frames_out.fetch_add(1, Relaxed);
+        stats.bytes_out.fetch_add(reply_text.len() as u64, Relaxed);
+    }
+}
+
+/// Decrements the wrapped gauge when dropped (connection-active tracking).
+struct DecrementOnDrop<'a>(&'a std::sync::atomic::AtomicU64);
+
+impl Drop for DecrementOnDrop<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Relaxed);
     }
 }
 
@@ -317,6 +367,13 @@ fn handle_request(
         }
         WireRequest::Metrics => match engine.metrics() {
             Ok(report) => WireResponse::Metrics(metrics_to_wire(&report)),
+            Err(e) => {
+                let (code, message) = error_to_wire(&e);
+                WireResponse::Error { code, message }
+            }
+        },
+        WireRequest::Telemetry { tenant } => match engine.telemetry(&tenant) {
+            Ok(telemetry) => WireResponse::Telemetry(Box::new(telemetry_to_wire(&telemetry))),
             Err(e) => {
                 let (code, message) = error_to_wire(&e);
                 WireResponse::Error { code, message }

@@ -96,6 +96,93 @@ fn server_binary_boots_announces_and_serves() {
     assert!(metrics.total_decides >= 32, "{}", metrics.total_decides);
 }
 
+/// Boots the server binary with `--obs-addr`, drives a little traffic, and
+/// scrapes the announced observability endpoint over raw HTTP: every line of
+/// the body must parse under the strict exposition grammar and the decide
+/// counter must reflect the traffic just served.
+#[test]
+fn server_binary_serves_a_parseable_scrape() {
+    let child = Command::new(env!("CARGO_BIN_EXE_netband_server"))
+        .args([
+            "--addr",
+            "127.0.0.1:0",
+            "--shards",
+            "1",
+            "--obs-addr",
+            "127.0.0.1:0",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn netband_server");
+    let mut child = Reaper(child);
+    let stdout = child.0.stdout.take().expect("piped stdout");
+
+    let mut lines = BufReader::new(stdout).lines();
+    let mut addr = None;
+    let mut obs_addr = None;
+    while addr.is_none() || obs_addr.is_none() {
+        let line = lines
+            .next()
+            .expect("server exited before announcing both addresses")
+            .expect("read server stdout");
+        if let Some(rest) = line.strip_prefix("listening on ") {
+            addr = Some(rest.to_owned());
+        } else if let Some(rest) = line.strip_prefix("observability on ") {
+            obs_addr = Some(rest.to_owned());
+        }
+    }
+    let (addr, obs_addr) = (addr.unwrap(), obs_addr.unwrap());
+
+    let mut client = NetClient::connect(addr.as_str()).expect("connect to announced address");
+    client
+        .register_tenant("smoke", smoke_scenario())
+        .expect("register over the wire");
+    let replies = client.decide_many("smoke", 16).expect("decide");
+    assert_eq!(replies.len(), 16);
+
+    let body = scrape(&obs_addr);
+    let parsed = netband_obs::parse_exposition(&body).expect("every scrape line parses");
+    let sample = |name: &str| {
+        parsed
+            .iter()
+            .find_map(|line| match line {
+                netband_obs::ExpositionLine::Sample { name: n, value, .. } if n == name => {
+                    Some(*value)
+                }
+                _ => None,
+            })
+            .unwrap_or_else(|| panic!("scrape lacks sample {name:?}:\n{body}"))
+    };
+    assert_eq!(sample("netband_decides_total"), 16.0);
+    assert!(sample("netband_net_frames_in_total") >= 2.0);
+    assert_eq!(sample("netband_overload_rejections_total"), 0.0);
+}
+
+/// One blocking HTTP/1.1 GET against the scrape endpoint, returning the body.
+fn scrape(addr: &str) -> String {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect scrape endpoint");
+    stream
+        .write_all(
+            format!("GET /metrics HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n")
+                .as_bytes(),
+        )
+        .expect("send scrape request");
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .expect("read scrape response");
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .expect("response has a header/body split");
+    assert!(
+        head.starts_with("HTTP/1.1 200"),
+        "scrape status line: {head}"
+    );
+    body.to_owned()
+}
+
 /// Runs the load generator in full mode with a tiny matrix against its own
 /// in-process server and checks the emitted report: every cell completed its
 /// decides with zero protocol errors.

@@ -1,0 +1,244 @@
+//! The fixed-bucket latency histogram shared by the serving metrics and the
+//! registry.
+//!
+//! Moved here from `netband-serve` (which re-exports it, so existing imports
+//! keep working): the registry's text exposition needs bucket-level access,
+//! and the serve crate must not depend on the registry.
+
+use std::fmt;
+use std::time::Duration;
+
+/// Number of histogram buckets; see [`LatencyHistogram::bucket_upper_bound`].
+pub const LATENCY_BUCKETS: usize = 22;
+
+/// Base (smallest) bucket upper bound in nanoseconds.
+const BASE_NANOS: u64 = 250;
+
+/// A fixed-bucket latency histogram: bucket `i` counts durations at most
+/// `250ns · 2^i`, with the last bucket open-ended (everything above ~0.26 s
+/// lands there, however large). Recording is a division, a leading-zeros
+/// computation and one increment — no allocation, no loop, suitable for the
+/// shard hot path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    buckets: [u64; LATENCY_BUCKETS],
+    count: u64,
+    total_nanos: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: [0; LATENCY_BUCKETS],
+            count: 0,
+            total_nanos: 0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram::default()
+    }
+
+    /// Upper bound (inclusive) of bucket `i`, in nanoseconds.
+    pub fn bucket_upper_bound(i: usize) -> u64 {
+        BASE_NANOS << i.min(LATENCY_BUCKETS - 1)
+    }
+
+    /// Smallest bucket whose upper bound holds `nanos` (the last, open-ended
+    /// bucket for anything larger): the number of doublings of `BASE_NANOS`
+    /// needed to reach `nanos`, computed from the leading zeros of the
+    /// ceiling quotient.
+    fn bucket_for(nanos: u64) -> usize {
+        let quotient = nanos.div_ceil(BASE_NANOS);
+        if quotient <= 1 {
+            return 0;
+        }
+        let doublings = (u64::BITS - (quotient - 1).leading_zeros()) as usize;
+        doublings.min(LATENCY_BUCKETS - 1)
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, latency: Duration) {
+        let nanos = latency.as_nanos().min(u64::MAX as u128) as u64;
+        self.buckets[Self::bucket_for(nanos)] += 1;
+        self.count += 1;
+        self.total_nanos = self.total_nanos.saturating_add(nanos);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded latencies in nanoseconds (saturating).
+    pub fn total_nanos(&self) -> u64 {
+        self.total_nanos
+    }
+
+    /// The per-bucket observation counts (not cumulative), indexed by bucket.
+    pub fn bucket_counts(&self) -> &[u64; LATENCY_BUCKETS] {
+        &self.buckets
+    }
+
+    /// Mean recorded latency.
+    pub fn mean(&self) -> Duration {
+        self.total_nanos
+            .checked_div(self.count)
+            .map(Duration::from_nanos)
+            .unwrap_or(Duration::ZERO)
+    }
+
+    /// Index of the bucket containing quantile `q ∈ [0, 1]`, or `None` when
+    /// the histogram is empty.
+    fn quantile_bucket(&self, q: f64) -> Option<usize> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Some(i);
+            }
+        }
+        Some(LATENCY_BUCKETS - 1)
+    }
+
+    /// Bound of the bucket containing quantile `q ∈ [0, 1]`, and whether it
+    /// really is an upper bound: `(bound, true)` for the finite buckets (the
+    /// quantile is at most `bound`), `(bound, false)` when the quantile falls
+    /// in the last, open-ended bucket — observations there are clamped, so
+    /// `bound` is only a *lower* bound on the true latency.
+    pub fn quantile_bound(&self, q: f64) -> (Duration, bool) {
+        let bucket = self.quantile_bucket(q).unwrap_or(0);
+        (
+            Duration::from_nanos(Self::bucket_upper_bound(bucket)),
+            bucket < LATENCY_BUCKETS - 1,
+        )
+    }
+
+    /// Upper bound of the bucket containing quantile `q ∈ [0, 1]` — a
+    /// conservative estimate of e.g. the p99 latency for quantiles landing in
+    /// the finite buckets. When the quantile falls in the last, open-ended
+    /// bucket the returned value understates the true latency (use
+    /// [`LatencyHistogram::quantile_bound`] to detect that case).
+    pub fn quantile_upper_bound(&self, q: f64) -> Duration {
+        self.quantile_bound(q).0
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.total_nanos = self.total_nanos.saturating_add(other.total_nanos);
+    }
+}
+
+impl fmt::Display for LatencyHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Quantiles in the open-ended overflow bucket render as `>` so the
+        // clamped bound is never presented as an upper bound it isn't.
+        let (p50, p50_exact) = self.quantile_bound(0.5);
+        let (p99, p99_exact) = self.quantile_bound(0.99);
+        write!(
+            f,
+            "n={} mean={:?} p50{}{:?} p99{}{:?}",
+            self.count,
+            self.mean(),
+            if p50_exact { "≤" } else { ">" },
+            p50,
+            if p99_exact { "≤" } else { ">" },
+            p99,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_double() {
+        assert_eq!(LatencyHistogram::bucket_upper_bound(0), 250);
+        assert_eq!(LatencyHistogram::bucket_upper_bound(1), 500);
+        assert_eq!(LatencyHistogram::bucket_upper_bound(2), 1_000);
+    }
+
+    #[test]
+    fn histogram_records_and_quantiles() {
+        let mut h = LatencyHistogram::new();
+        for _ in 0..99 {
+            h.record(Duration::from_nanos(200)); // bucket 0
+        }
+        h.record(Duration::from_millis(1)); // far bucket
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.quantile_upper_bound(0.5), Duration::from_nanos(250));
+        assert!(h.quantile_upper_bound(1.0) >= Duration::from_millis(1));
+        assert!(h.mean() >= Duration::from_nanos(200));
+        let rendered = h.to_string();
+        assert!(rendered.contains("n=100"), "{rendered}");
+    }
+
+    #[test]
+    fn histogram_merge_adds_counts() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(Duration::from_nanos(100));
+        b.record(Duration::from_micros(10));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+    }
+
+    #[test]
+    fn histogram_clamps_huge_latencies_to_last_bucket() {
+        let mut h = LatencyHistogram::new();
+        h.record(Duration::from_secs(3600));
+        assert_eq!(h.count(), 1);
+        // The overflow bucket's bound is reported, flagged as NOT an upper
+        // bound, and rendered with `>` instead of `≤`.
+        let (bound, exact) = h.quantile_bound(1.0);
+        assert_eq!(
+            bound,
+            Duration::from_nanos(LatencyHistogram::bucket_upper_bound(LATENCY_BUCKETS - 1))
+        );
+        assert!(!exact);
+        assert_eq!(h.quantile_upper_bound(1.0), bound);
+        let rendered = h.to_string();
+        assert!(rendered.contains("p99>"), "{rendered}");
+    }
+
+    /// The constant-time bucketing agrees with the bucket bounds on every
+    /// boundary: a bound itself stays in its bucket, one nanosecond more
+    /// spills into the next.
+    #[test]
+    fn bucket_for_matches_bounds_at_every_boundary() {
+        assert_eq!(LatencyHistogram::bucket_for(0), 0);
+        assert_eq!(LatencyHistogram::bucket_for(1), 0);
+        for i in 0..LATENCY_BUCKETS - 1 {
+            let bound = LatencyHistogram::bucket_upper_bound(i);
+            assert_eq!(LatencyHistogram::bucket_for(bound), i, "at bound {bound}");
+            assert_eq!(
+                LatencyHistogram::bucket_for(bound + 1),
+                i + 1,
+                "just past bound {bound}"
+            );
+        }
+        assert_eq!(LatencyHistogram::bucket_for(u64::MAX), LATENCY_BUCKETS - 1);
+    }
+
+    #[test]
+    fn bucket_accessors_expose_raw_counts() {
+        let mut h = LatencyHistogram::new();
+        h.record(Duration::from_nanos(100));
+        h.record(Duration::from_nanos(400));
+        assert_eq!(h.bucket_counts()[0], 1);
+        assert_eq!(h.bucket_counts()[1], 1);
+        assert_eq!(h.total_nanos(), 500);
+    }
+}

@@ -1,0 +1,597 @@
+//! A cold-path metrics registry with Prometheus-style text exposition.
+//!
+//! The registry is an *aggregation target*, not a live store: at scrape time
+//! a caller gathers reports from the engine (and any transport counters),
+//! writes them into a fresh [`Registry`], renders it with
+//! [`Registry::render_text`], and discards it. Nothing here is shared or
+//! synchronised, and nothing here belongs on a hot path.
+//!
+//! The module also ships the strict scrape validator [`parse_exposition`]
+//! used by CI: every rendered line must be a `# HELP`/`# TYPE` comment or a
+//! `name{labels} value` sample, and the parser rejects anything else.
+
+use std::fmt::Write as _;
+
+use crate::hist::{LatencyHistogram, LATENCY_BUCKETS};
+
+/// The exposition type of a metric family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MetricKind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+impl MetricKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// One sample's rendered value.
+#[derive(Debug, Clone)]
+enum Value {
+    Counter(u64),
+    Gauge(f64),
+    Histogram(LatencyHistogram),
+}
+
+#[derive(Debug, Clone)]
+struct Sample {
+    labels: Vec<(String, String)>,
+    value: Value,
+}
+
+#[derive(Debug, Clone)]
+struct Family {
+    name: String,
+    help: String,
+    kind: MetricKind,
+    samples: Vec<Sample>,
+}
+
+/// An ordered collection of metric families rendered in the Prometheus text
+/// format. Families appear in first-touch order, samples in insertion order.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    families: Vec<Family>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Records a counter sample (a monotonic total gathered elsewhere).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` was already registered with a different kind or an
+    /// invalid metric/label name is used — both are programmer errors in the
+    /// scrape assembly code, not runtime conditions.
+    pub fn set_counter(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: u64) {
+        self.push(
+            name,
+            help,
+            MetricKind::Counter,
+            labels,
+            Value::Counter(value),
+        );
+    }
+
+    /// Records a gauge sample (a point-in-time value).
+    ///
+    /// # Panics
+    ///
+    /// Panics on kind mismatch or invalid names (see
+    /// [`Registry::set_counter`]).
+    pub fn set_gauge(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: f64) {
+        self.push(name, help, MetricKind::Gauge, labels, Value::Gauge(value));
+    }
+
+    /// Records a latency histogram, rendered as cumulative `_bucket` lines
+    /// (with `le` bounds in **seconds**, final bucket `+Inf`), a `_sum` in
+    /// seconds, and a `_count`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on kind mismatch or invalid names (see
+    /// [`Registry::set_counter`]).
+    pub fn set_histogram(
+        &mut self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        hist: &LatencyHistogram,
+    ) {
+        self.push(
+            name,
+            help,
+            MetricKind::Histogram,
+            labels,
+            Value::Histogram(hist.clone()),
+        );
+    }
+
+    fn push(
+        &mut self,
+        name: &str,
+        help: &str,
+        kind: MetricKind,
+        labels: &[(&str, &str)],
+        value: Value,
+    ) {
+        assert!(valid_metric_name(name), "invalid metric name {name:?}");
+        for (k, _) in labels {
+            assert!(valid_label_name(k), "invalid label name {k:?} on {name}");
+        }
+        let labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        let sample = Sample { labels, value };
+        match self.families.iter_mut().find(|f| f.name == name) {
+            Some(family) => {
+                assert_eq!(
+                    family.kind,
+                    kind,
+                    "metric {name} registered as both {} and {}",
+                    family.kind.as_str(),
+                    kind.as_str()
+                );
+                family.samples.push(sample);
+            }
+            None => self.families.push(Family {
+                name: name.to_string(),
+                help: help.to_string(),
+                kind,
+                samples: vec![sample],
+            }),
+        }
+    }
+
+    /// Renders the whole registry in the Prometheus text exposition format.
+    /// The output round-trips through [`parse_exposition`].
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for family in &self.families {
+            let _ = writeln!(out, "# HELP {} {}", family.name, escape_help(&family.help));
+            let _ = writeln!(out, "# TYPE {} {}", family.name, family.kind.as_str());
+            for sample in &family.samples {
+                match &sample.value {
+                    Value::Counter(v) => {
+                        write_sample_name(&mut out, &family.name, &sample.labels, None);
+                        let _ = writeln!(out, " {v}");
+                    }
+                    Value::Gauge(v) => {
+                        write_sample_name(&mut out, &family.name, &sample.labels, None);
+                        let _ = writeln!(out, " {}", format_f64(*v));
+                    }
+                    Value::Histogram(hist) => {
+                        render_histogram(&mut out, &family.name, &sample.labels, hist);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+fn render_histogram(
+    out: &mut String,
+    name: &str,
+    labels: &[(String, String)],
+    hist: &LatencyHistogram,
+) {
+    let bucket_name = format!("{name}_bucket");
+    let mut cumulative = 0u64;
+    for (i, &n) in hist.bucket_counts().iter().enumerate() {
+        cumulative += n;
+        // The last internal bucket is open-ended: it IS the +Inf bucket, so
+        // only the +Inf line is emitted for it.
+        if i == LATENCY_BUCKETS - 1 {
+            break;
+        }
+        let le = LatencyHistogram::bucket_upper_bound(i) as f64 / 1e9;
+        write_sample_name(out, &bucket_name, labels, Some(("le", &format_f64(le))));
+        let _ = writeln!(out, " {cumulative}");
+    }
+    write_sample_name(out, &bucket_name, labels, Some(("le", "+Inf")));
+    let _ = writeln!(out, " {}", hist.count());
+    write_sample_name(out, &format!("{name}_sum"), labels, None);
+    let _ = writeln!(out, " {}", format_f64(hist.total_nanos() as f64 / 1e9));
+    write_sample_name(out, &format!("{name}_count"), labels, None);
+    let _ = writeln!(out, " {}", hist.count());
+}
+
+fn write_sample_name(
+    out: &mut String,
+    name: &str,
+    labels: &[(String, String)],
+    extra: Option<(&str, &str)>,
+) {
+    out.push_str(name);
+    if labels.is_empty() && extra.is_none() {
+        return;
+    }
+    out.push('{');
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "{k}=\"{}\"", escape_label(v));
+    }
+    if let Some((k, v)) = extra {
+        if !first {
+            out.push(',');
+        }
+        let _ = write!(out, "{k}=\"{}\"", escape_label(v));
+    }
+    out.push('}');
+}
+
+/// Formats an `f64` so the exposition stays parseable: finite values use
+/// Rust's shortest round-trip notation, infinities the Prometheus spellings.
+fn format_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+fn escape_help(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// One validated line of a text exposition.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExpositionLine {
+    /// A `# HELP name text` comment.
+    Help {
+        /// Metric family name.
+        name: String,
+    },
+    /// A `# TYPE name kind` comment.
+    Type {
+        /// Metric family name.
+        name: String,
+        /// One of `counter`, `gauge`, `histogram`.
+        kind: String,
+    },
+    /// A `name{labels} value` sample.
+    Sample {
+        /// Sample name (including any `_bucket`/`_sum`/`_count` suffix).
+        name: String,
+        /// Label pairs in document order.
+        labels: Vec<(String, String)>,
+        /// The parsed value.
+        value: f64,
+    },
+}
+
+/// A scrape-validation failure: the offending 1-based line and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExpositionError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What was wrong with it.
+    pub message: String,
+}
+
+impl std::fmt::Display for ExpositionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "exposition line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ExpositionError {}
+
+/// Strictly parses a text exposition: every non-empty line must be a
+/// `# HELP`/`# TYPE` comment or a `name{labels} value` sample. Returns the
+/// structured lines (so tests can assert on specific samples) or the first
+/// offending line.
+pub fn parse_exposition(text: &str) -> Result<Vec<ExpositionLine>, ExpositionError> {
+    let mut lines = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        if raw.is_empty() {
+            continue;
+        }
+        let err = |message: String| ExpositionError { line, message };
+        if let Some(comment) = raw.strip_prefix("# ") {
+            if let Some(rest) = comment.strip_prefix("HELP ") {
+                let name = rest.split(' ').next().unwrap_or("");
+                if !valid_metric_name(name) {
+                    return Err(err(format!("invalid HELP metric name {name:?}")));
+                }
+                lines.push(ExpositionLine::Help {
+                    name: name.to_string(),
+                });
+            } else if let Some(rest) = comment.strip_prefix("TYPE ") {
+                let mut parts = rest.split(' ');
+                let name = parts.next().unwrap_or("");
+                let kind = parts.next().unwrap_or("");
+                if !valid_metric_name(name) {
+                    return Err(err(format!("invalid TYPE metric name {name:?}")));
+                }
+                if !matches!(
+                    kind,
+                    "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                ) {
+                    return Err(err(format!("unknown metric type {kind:?}")));
+                }
+                if parts.next().is_some() {
+                    return Err(err("trailing tokens after TYPE comment".to_string()));
+                }
+                lines.push(ExpositionLine::Type {
+                    name: name.to_string(),
+                    kind: kind.to_string(),
+                });
+            } else {
+                return Err(err(format!("comment is neither HELP nor TYPE: {raw:?}")));
+            }
+            continue;
+        }
+        if raw.starts_with('#') {
+            return Err(err(format!("malformed comment line {raw:?}")));
+        }
+        lines.push(parse_sample(raw).map_err(err)?);
+    }
+    Ok(lines)
+}
+
+fn parse_sample(raw: &str) -> Result<ExpositionLine, String> {
+    let (name_part, labels, rest) = match raw.find('{') {
+        Some(open) => {
+            let close = raw
+                .rfind('}')
+                .ok_or_else(|| "unterminated label block".to_string())?;
+            if close < open {
+                return Err("mismatched label braces".to_string());
+            }
+            let labels = parse_labels(&raw[open + 1..close])?;
+            (&raw[..open], labels, &raw[close + 1..])
+        }
+        None => {
+            let space = raw
+                .find(' ')
+                .ok_or_else(|| "sample has no value".to_string())?;
+            (&raw[..space], Vec::new(), &raw[space..])
+        }
+    };
+    if !valid_metric_name(name_part) {
+        return Err(format!("invalid sample name {name_part:?}"));
+    }
+    let value_text = rest
+        .strip_prefix(' ')
+        .ok_or_else(|| "expected single space before value".to_string())?;
+    if value_text.is_empty() || value_text.contains(' ') {
+        return Err(format!("malformed value field {value_text:?}"));
+    }
+    let value = value_text
+        .parse::<f64>()
+        .map_err(|_| format!("unparseable value {value_text:?}"))?;
+    Ok(ExpositionLine::Sample {
+        name: name_part.to_string(),
+        labels,
+        value,
+    })
+}
+
+fn parse_labels(body: &str) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let mut chars = body.chars().peekable();
+    loop {
+        let mut key = String::new();
+        for c in chars.by_ref() {
+            if c == '=' {
+                break;
+            }
+            key.push(c);
+        }
+        if !valid_label_name(&key) {
+            return Err(format!("invalid label name {key:?}"));
+        }
+        if chars.next() != Some('"') {
+            return Err(format!("label {key} value is not quoted"));
+        }
+        let mut value = String::new();
+        loop {
+            match chars.next() {
+                Some('\\') => match chars.next() {
+                    Some('\\') => value.push('\\'),
+                    Some('"') => value.push('"'),
+                    Some('n') => value.push('\n'),
+                    other => return Err(format!("bad escape {other:?} in label {key}")),
+                },
+                Some('"') => break,
+                Some(c) => value.push(c),
+                None => return Err(format!("unterminated value of label {key}")),
+            }
+        }
+        labels.push((key, value));
+        match chars.next() {
+            None => return Ok(labels),
+            Some(',') => continue,
+            Some(c) => return Err(format!("expected ',' between labels, found {c:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn render_round_trips_through_parser() {
+        let mut reg = Registry::new();
+        reg.set_counter("requests_total", "Requests served", &[], 7);
+        reg.set_counter(
+            "shard_commands_total",
+            "Commands per shard",
+            &[("shard", "0")],
+            3,
+        );
+        reg.set_gauge("queue_depth", "Current depth", &[("shard", "0")], 1.5);
+        let mut hist = LatencyHistogram::new();
+        hist.record(Duration::from_nanos(200));
+        hist.record(Duration::from_micros(3));
+        reg.set_histogram("decide_seconds", "Decide latency", &[], &hist);
+        let text = reg.render_text();
+        let lines = parse_exposition(&text).expect("rendered text must parse");
+        assert!(lines
+            .iter()
+            .any(|l| matches!(l, ExpositionLine::Type { name, kind }
+                if name == "decide_seconds" && kind == "histogram")));
+        let count = lines.iter().find_map(|l| match l {
+            ExpositionLine::Sample { name, value, .. } if name == "decide_seconds_count" => {
+                Some(*value)
+            }
+            _ => None,
+        });
+        assert_eq!(count, Some(2.0));
+        // The +Inf bucket equals the count.
+        let inf = lines
+            .iter()
+            .find_map(|l| match l {
+                ExpositionLine::Sample {
+                    name,
+                    labels,
+                    value,
+                } if name == "decide_seconds_bucket"
+                    && labels.iter().any(|(k, v)| k == "le" && v == "+Inf") =>
+                {
+                    Some(*value)
+                }
+                _ => None,
+            })
+            .expect("+Inf bucket rendered");
+        assert_eq!(inf, 2.0);
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let mut hist = LatencyHistogram::new();
+        hist.record(Duration::from_nanos(100)); // bucket 0
+        hist.record(Duration::from_nanos(400)); // bucket 1
+        let mut reg = Registry::new();
+        reg.set_histogram("h", "test", &[], &hist);
+        let lines = parse_exposition(&reg.render_text()).unwrap();
+        let buckets: Vec<f64> = lines
+            .iter()
+            .filter_map(|l| match l {
+                ExpositionLine::Sample { name, value, .. } if name == "h_bucket" => Some(*value),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(buckets.len(), LATENCY_BUCKETS);
+        assert_eq!(buckets[0], 1.0);
+        assert_eq!(buckets[1], 2.0);
+        assert!(buckets.windows(2).all(|w| w[0] <= w[1]), "{buckets:?}");
+        assert_eq!(*buckets.last().unwrap(), 2.0);
+    }
+
+    #[test]
+    fn label_escaping_round_trips() {
+        let mut reg = Registry::new();
+        reg.set_gauge(
+            "g",
+            "gauge with tricky label",
+            &[("tenant", "a\"b\\c\nd")],
+            1.0,
+        );
+        let lines = parse_exposition(&reg.render_text()).unwrap();
+        let labels = lines
+            .iter()
+            .find_map(|l| match l {
+                ExpositionLine::Sample { labels, .. } => Some(labels.clone()),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(labels, vec![("tenant".into(), "a\"b\\c\nd".into())]);
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse_exposition("not a metric line").is_err());
+        assert!(parse_exposition("# FOO bar").is_err());
+        assert!(parse_exposition("name{unterminated=\"x} 1").is_err());
+        assert!(parse_exposition("name 1 2").is_err());
+        assert!(parse_exposition("name notanumber").is_err());
+        assert!(parse_exposition("1badname 2").is_err());
+    }
+
+    #[test]
+    fn families_keep_insertion_order_and_merge_samples() {
+        let mut reg = Registry::new();
+        reg.set_counter("b_total", "b", &[("shard", "0")], 1);
+        reg.set_counter("a_total", "a", &[], 2);
+        reg.set_counter("b_total", "b", &[("shard", "1")], 3);
+        let text = reg.render_text();
+        let b_pos = text.find("# TYPE b_total").unwrap();
+        let a_pos = text.find("# TYPE a_total").unwrap();
+        assert!(b_pos < a_pos, "families must render in first-touch order");
+        // Only one HELP/TYPE pair per family.
+        assert_eq!(text.matches("# TYPE b_total").count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered as both")]
+    fn kind_mismatch_panics() {
+        let mut reg = Registry::new();
+        reg.set_counter("m", "m", &[], 1);
+        reg.set_gauge("m", "m", &[], 1.0);
+    }
+}

@@ -1,13 +1,16 @@
 //! The multi-tenant serving engine: shard spawning, routing, and the
 //! synchronous client API.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::Mutex;
 use std::thread::JoinHandle;
 
+use netband_obs::{TraceKind, TraceRing};
 use netband_spec::FleetSpec;
 
 use crate::api::{DecideReply, FeedbackEvent, RegisterTenantSpec, ServeError};
-use crate::metrics::MetricsReport;
+use crate::metrics::{MetricsReport, TenantTelemetry, TraceReport};
 use crate::shard::{shard_loop, Command};
 use crate::snapshot::TenantSnapshot;
 use crate::tenant::TenantSpec;
@@ -46,6 +49,10 @@ pub struct EngineConfig {
     /// Capacity of each shard's bounded command queue; a full queue blocks
     /// the sending client (backpressure).
     pub queue_capacity: usize,
+    /// Capacity of each shard's (and the engine's) structured trace ring.
+    /// When a ring is full the oldest events are overwritten; the number of
+    /// overwritten events is reported by the drained ring's `dropped` count.
+    pub trace_capacity: usize,
 }
 
 impl EngineConfig {
@@ -54,12 +61,19 @@ impl EngineConfig {
         EngineConfig {
             shards: shards.max(1),
             queue_capacity: 1024,
+            trace_capacity: 256,
         }
     }
 
     /// Overrides the per-shard command queue capacity.
     pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
         self.queue_capacity = capacity.max(1);
+        self
+    }
+
+    /// Overrides the trace-ring capacity (per shard and for the engine ring).
+    pub fn with_trace_capacity(mut self, capacity: usize) -> Self {
+        self.trace_capacity = capacity.max(1);
         self
     }
 }
@@ -101,6 +115,13 @@ pub struct ServeEngine {
     senders: Vec<SyncSender<Command>>,
     handles: Vec<JoinHandle<()>>,
     queue_capacity: usize,
+    /// Overload rejections happen on the *caller* side (`try_send` found the
+    /// queue full; the shard never saw the command), so the engine — not a
+    /// shard — keeps the count and the trace events. Cold path only: the
+    /// atomic and the mutex are touched exclusively when a command is
+    /// rejected or when observability is scraped.
+    overload_rejections: AtomicU64,
+    trace: Mutex<TraceRing>,
 }
 
 impl ServeEngine {
@@ -114,11 +135,12 @@ impl ServeEngine {
         let shards = config.shards.max(1);
         let mut senders = Vec::with_capacity(shards);
         let mut handles = Vec::with_capacity(shards);
+        let trace_capacity = config.trace_capacity.max(1);
         for shard in 0..shards {
             let (sender, receiver) = sync_channel(config.queue_capacity);
             let handle = std::thread::Builder::new()
                 .name(format!("netband-shard-{shard}"))
-                .spawn(move || shard_loop(receiver))
+                .spawn(move || shard_loop(receiver, trace_capacity))
                 .expect("spawn shard worker thread");
             senders.push(sender);
             handles.push(handle);
@@ -127,6 +149,8 @@ impl ServeEngine {
             senders,
             handles,
             queue_capacity: config.queue_capacity.max(1),
+            overload_rejections: AtomicU64::new(0),
+            trace: Mutex::new(TraceRing::new(trace_capacity)),
         }
     }
 
@@ -208,7 +232,21 @@ impl ServeEngine {
         shard: usize,
         command: Command,
     ) -> Result<(), TrySendError<Command>> {
-        self.senders[shard].try_send(command)
+        let result = self.senders[shard].try_send(command);
+        if let Err(TrySendError::Full(_)) = &result {
+            // Queue-full rejections never reach the shard, so they are
+            // accounted here at the engine level.
+            self.overload_rejections.fetch_add(1, Ordering::Relaxed);
+            if let Ok(mut ring) = self.trace.lock() {
+                ring.record(
+                    TraceKind::ShardOverloaded {
+                        shard: shard as u32,
+                    },
+                    "",
+                );
+            }
+        }
+        result
     }
 
     /// Whether `shard`'s worker thread has exited (shutdown or panic). Used
@@ -397,6 +435,64 @@ impl ServeEngine {
             report.tenants.extend(shard.tenants);
         }
         report.tenants.sort_by(|a, b| a.0.cmp(&b.0));
+        report.overload_rejections = self.overload_rejections.load(Ordering::Relaxed);
+        Ok(report)
+    }
+
+    /// A point-in-time learning-telemetry snapshot of one tenant: per-arm
+    /// pull counts and empirical means, cumulative realised and oracle
+    /// reward, and serving counters. Read-only — no flush is triggered, so
+    /// the estimators reflect only feedback already applied at flush points
+    /// (events still queued are counted in
+    /// [`TenantTelemetry::pending_feedback`]).
+    pub fn telemetry(&self, tenant: &str) -> Result<TenantTelemetry, ServeError> {
+        self.request(self.sender_for(tenant), |reply| Command::Telemetry {
+            tenant: tenant.to_owned(),
+            reply,
+        })
+    }
+
+    /// Telemetry snapshots for every tenant on every shard, sorted by tenant
+    /// id. Acts as a queue barrier per shard, like [`ServeEngine::metrics`].
+    pub fn telemetry_all(&self) -> Result<Vec<TenantTelemetry>, ServeError> {
+        let mut responses = Vec::with_capacity(self.senders.len());
+        for sender in &self.senders {
+            let (reply, response) = sync_channel(1);
+            sender
+                .send(Command::TelemetryAll { reply })
+                .map_err(|_| ServeError::EngineDown)?;
+            responses.push(response);
+        }
+        let mut all = Vec::new();
+        for response in responses {
+            all.extend(response.recv().map_err(|_| ServeError::EngineDown)?);
+        }
+        all.sort_by(|a, b| a.id.cmp(&b.id));
+        Ok(all)
+    }
+
+    /// Drains every trace ring — one per shard plus the engine-level ring
+    /// that records caller-side overload rejections — into a
+    /// [`TraceReport`]. Draining resets the rings (events are returned once);
+    /// sequence numbers keep counting across drains.
+    pub fn trace(&self) -> Result<TraceReport, ServeError> {
+        let mut responses = Vec::with_capacity(self.senders.len());
+        for sender in &self.senders {
+            let (reply, response) = sync_channel(1);
+            sender
+                .send(Command::Trace { reply })
+                .map_err(|_| ServeError::EngineDown)?;
+            responses.push(response);
+        }
+        let mut report = TraceReport::default();
+        for response in responses {
+            report
+                .shards
+                .push(response.recv().map_err(|_| ServeError::EngineDown)?);
+        }
+        if let Ok(mut ring) = self.trace.lock() {
+            ring.drain_into(&mut report.engine);
+        }
         Ok(report)
     }
 
@@ -435,6 +531,7 @@ mod tests {
         let engine = ServeEngine::start(EngineConfig {
             shards: 0,
             queue_capacity: 4,
+            trace_capacity: 0,
         });
         assert_eq!(engine.num_shards(), 1);
         assert_eq!(engine.shard_of("any"), 0);
@@ -447,6 +544,10 @@ mod tests {
         assert_eq!(EngineConfig::new(4).shards, 4);
         assert_eq!(
             EngineConfig::new(1).with_queue_capacity(0).queue_capacity,
+            1
+        );
+        assert_eq!(
+            EngineConfig::new(1).with_trace_capacity(0).trace_capacity,
             1
         );
         assert_eq!(EngineConfig::default(), EngineConfig::new(1));

@@ -146,6 +146,10 @@ pub use client::ServeClient;
 #[doc(hidden)]
 pub use engine::ShardWedge;
 pub use engine::{stable_tenant_hash, EngineConfig, ServeEngine};
-pub use metrics::{LatencyHistogram, MetricsReport, ShardMetrics, TenantMetrics, LATENCY_BUCKETS};
+pub use metrics::{
+    DecideStage, LatencyHistogram, MetricsReport, ShardMetrics, StageTimings, TenantMetrics,
+    TenantTelemetry, TraceEvent, TraceKind, TraceReport, DECIDE_STAGES, LATENCY_BUCKETS,
+    STAGE_SAMPLE_EVERY,
+};
 pub use snapshot::TenantSnapshot;
 pub use tenant::{DynCombinatorialPolicy, DynSinglePolicy, TenantSpec};

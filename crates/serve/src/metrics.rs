@@ -1,19 +1,24 @@
 //! Lightweight serving metrics: per-tenant counters, batch-size accounting,
-//! and a fixed-bucket latency histogram.
+//! latency histograms, and per-tenant learning telemetry.
 //!
 //! Every shard owns the metrics of its tenants — no cross-thread sharing, no
 //! atomics on the hot path. The engine gathers a [`MetricsReport`] on demand
 //! by round-tripping a command through every shard, which also acts as a
 //! queue barrier (all previously enqueued work is reflected in the report).
+//!
+//! The latency histogram itself lives in `netband-obs` (the registry's text
+//! exposition needs bucket-level access); it is re-exported here so existing
+//! `netband_serve::metrics::LatencyHistogram` imports keep working.
 
-use std::fmt;
-use std::time::Duration;
+pub use netband_obs::{
+    DecideStage, LatencyHistogram, StageTimings, TraceEvent, TraceKind, DECIDE_STAGES,
+    LATENCY_BUCKETS,
+};
 
-/// Number of histogram buckets; see [`LatencyHistogram::bucket_upper_bound`].
-pub const LATENCY_BUCKETS: usize = 22;
-
-/// Base (smallest) bucket upper bound in nanoseconds.
-const BASE_NANOS: u64 = 250;
+/// Stage-timing sample rate: one decide in this many records its per-stage
+/// split (the rest record only the end-to-end decide latency). Keeps the
+/// extra monotonic-clock reads off the common path.
+pub const STAGE_SAMPLE_EVERY: u64 = 32;
 
 /// Counters of one tenant's serving activity.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -48,141 +53,6 @@ impl TenantMetrics {
     }
 }
 
-/// A fixed-bucket latency histogram: bucket `i` counts durations at most
-/// `250ns · 2^i`, with the last bucket open-ended (everything above ~0.26 s
-/// lands there, however large). Recording is a division, a leading-zeros
-/// computation and one increment — no allocation, no loop, suitable for the
-/// shard hot path.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct LatencyHistogram {
-    buckets: [u64; LATENCY_BUCKETS],
-    count: u64,
-    total_nanos: u64,
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        LatencyHistogram {
-            buckets: [0; LATENCY_BUCKETS],
-            count: 0,
-            total_nanos: 0,
-        }
-    }
-}
-
-impl LatencyHistogram {
-    /// An empty histogram.
-    pub fn new() -> Self {
-        LatencyHistogram::default()
-    }
-
-    /// Upper bound (inclusive) of bucket `i`, in nanoseconds.
-    pub fn bucket_upper_bound(i: usize) -> u64 {
-        BASE_NANOS << i.min(LATENCY_BUCKETS - 1)
-    }
-
-    /// Smallest bucket whose upper bound holds `nanos` (the last, open-ended
-    /// bucket for anything larger): the number of doublings of `BASE_NANOS`
-    /// needed to reach `nanos`, computed from the leading zeros of the
-    /// ceiling quotient.
-    fn bucket_for(nanos: u64) -> usize {
-        let quotient = nanos.div_ceil(BASE_NANOS);
-        if quotient <= 1 {
-            return 0;
-        }
-        let doublings = (u64::BITS - (quotient - 1).leading_zeros()) as usize;
-        doublings.min(LATENCY_BUCKETS - 1)
-    }
-
-    /// Records one observation.
-    pub fn record(&mut self, latency: Duration) {
-        let nanos = latency.as_nanos().min(u64::MAX as u128) as u64;
-        self.buckets[Self::bucket_for(nanos)] += 1;
-        self.count += 1;
-        self.total_nanos = self.total_nanos.saturating_add(nanos);
-    }
-
-    /// Number of recorded observations.
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// Mean recorded latency.
-    pub fn mean(&self) -> Duration {
-        self.total_nanos
-            .checked_div(self.count)
-            .map(Duration::from_nanos)
-            .unwrap_or(Duration::ZERO)
-    }
-
-    /// Index of the bucket containing quantile `q ∈ [0, 1]`, or `None` when
-    /// the histogram is empty.
-    fn quantile_bucket(&self, q: f64) -> Option<usize> {
-        if self.count == 0 {
-            return None;
-        }
-        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
-        let mut seen = 0;
-        for (i, &n) in self.buckets.iter().enumerate() {
-            seen += n;
-            if seen >= rank {
-                return Some(i);
-            }
-        }
-        Some(LATENCY_BUCKETS - 1)
-    }
-
-    /// Bound of the bucket containing quantile `q ∈ [0, 1]`, and whether it
-    /// really is an upper bound: `(bound, true)` for the finite buckets (the
-    /// quantile is at most `bound`), `(bound, false)` when the quantile falls
-    /// in the last, open-ended bucket — observations there are clamped, so
-    /// `bound` is only a *lower* bound on the true latency.
-    pub fn quantile_bound(&self, q: f64) -> (Duration, bool) {
-        let bucket = self.quantile_bucket(q).unwrap_or(0);
-        (
-            Duration::from_nanos(Self::bucket_upper_bound(bucket)),
-            bucket < LATENCY_BUCKETS - 1,
-        )
-    }
-
-    /// Upper bound of the bucket containing quantile `q ∈ [0, 1]` — a
-    /// conservative estimate of e.g. the p99 latency for quantiles landing in
-    /// the finite buckets. When the quantile falls in the last, open-ended
-    /// bucket the returned value understates the true latency (use
-    /// [`LatencyHistogram::quantile_bound`] to detect that case).
-    pub fn quantile_upper_bound(&self, q: f64) -> Duration {
-        self.quantile_bound(q).0
-    }
-
-    /// Folds another histogram into this one.
-    pub fn merge(&mut self, other: &LatencyHistogram) {
-        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
-            *mine += theirs;
-        }
-        self.count += other.count;
-        self.total_nanos = self.total_nanos.saturating_add(other.total_nanos);
-    }
-}
-
-impl fmt::Display for LatencyHistogram {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        // Quantiles in the open-ended overflow bucket render as `>` so the
-        // clamped bound is never presented as an upper bound it isn't.
-        let (p50, p50_exact) = self.quantile_bound(0.5);
-        let (p99, p99_exact) = self.quantile_bound(0.99);
-        write!(
-            f,
-            "n={} mean={:?} p50{}{:?} p99{}{:?}",
-            self.count,
-            self.mean(),
-            if p50_exact { "≤" } else { ">" },
-            p50,
-            if p99_exact { "≤" } else { ">" },
-            p99,
-        )
-    }
-}
-
 /// Counters of one shard's command loop.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ShardMetrics {
@@ -196,6 +66,11 @@ pub struct ShardMetrics {
     pub decide_latency: LatencyHistogram,
     /// Latency of feedback ingestion (queueing plus any triggered flush).
     pub feedback_latency: LatencyHistogram,
+    /// Sampled per-stage decide timings (route → select → pull → score →
+    /// reply). Only every [`STAGE_SAMPLE_EVERY`]-th decide is split into
+    /// stages, so these histograms describe the *shape* of a decide, not the
+    /// decide count.
+    pub stages: StageTimings,
 }
 
 /// A point-in-time view of the whole engine's metrics.
@@ -205,6 +80,10 @@ pub struct MetricsReport {
     pub shards: Vec<ShardMetrics>,
     /// Per-tenant counters of every hosted tenant, sorted by tenant id.
     pub tenants: Vec<(String, TenantMetrics)>,
+    /// Commands the engine rejected because a shard's queue was full
+    /// (counted engine-side at the `try_send` that failed — the shard never
+    /// saw these, so they appear in no shard's counters).
+    pub overload_rejections: u64,
 }
 
 impl MetricsReport {
@@ -226,11 +105,97 @@ impl MetricsReport {
         }
         merged
     }
+
+    /// All shards' feedback latencies merged into one histogram.
+    pub fn feedback_latency(&self) -> LatencyHistogram {
+        let mut merged = LatencyHistogram::new();
+        for shard in &self.shards {
+            merged.merge(&shard.feedback_latency);
+        }
+        merged
+    }
+
+    /// All shards' sampled stage timings merged into one set.
+    pub fn stage_timings(&self) -> StageTimings {
+        let mut merged = StageTimings::new();
+        for shard in &self.shards {
+            merged.merge(&shard.stages);
+        }
+        merged
+    }
+}
+
+/// A point-in-time learning snapshot of one tenant: what the policy has
+/// *learned*, not just how much traffic it served.
+///
+/// Gathered through the owning shard's command loop like
+/// [`MetricsReport`], so reading telemetry is a queue barrier for that shard
+/// but never perturbs the tenant (no flush is triggered — the estimator view
+/// reflects **flushed** feedback only, pending events are counted but not
+/// applied).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantTelemetry {
+    /// Tenant id.
+    pub id: String,
+    /// Name of the hosted policy (e.g. `"DFL-SSO"`).
+    pub policy: String,
+    /// Rounds served so far.
+    pub round: u64,
+    /// Feedback events queued but not yet flushed into the policy.
+    pub pending_feedback: u64,
+    /// Cumulative realised reward across all served rounds.
+    pub total_reward: f64,
+    /// Cumulative reward of the dynamic oracle (the per-round optimal play,
+    /// tracking drift when the tenant drifts).
+    pub optimal_reward: f64,
+    /// The tenant's serving counters at the same instant.
+    pub metrics: TenantMetrics,
+    /// Per-arm pull counts from the policy's [`netband_core::estimator::ArmEstimators`]
+    /// (empty when the policy keeps no per-arm estimators, e.g. EXP3).
+    /// For DFL-CSO the "arms" are dense *strategy* ids, not base arms.
+    pub arm_pulls: Vec<u64>,
+    /// Per-arm empirical means, parallel to
+    /// [`TenantTelemetry::arm_pulls`].
+    pub arm_means: Vec<f64>,
+}
+
+impl TenantTelemetry {
+    /// Dynamic-oracle regret proxy: cumulative optimal reward minus
+    /// cumulative realised reward. "Proxy" because both sides are realised
+    /// draws of a single run, not expectations.
+    pub fn regret(&self) -> f64 {
+        self.optimal_reward - self.total_reward
+    }
+}
+
+/// The engine's drained trace rings: one event list per shard plus the
+/// engine-level ring (caller-side overload rejections). Returned by
+/// `ServeEngine::trace`; draining resets the rings, so each event is
+/// delivered exactly once.
+#[derive(Debug, Clone, Default)]
+pub struct TraceReport {
+    /// Per-shard trace events, oldest first, indexed by shard.
+    pub shards: Vec<Vec<TraceEvent>>,
+    /// Engine-level events (overload rejections recorded at `try_send`).
+    pub engine: Vec<TraceEvent>,
+}
+
+impl TraceReport {
+    /// Total number of events across every ring.
+    pub fn total_events(&self) -> usize {
+        self.engine.len() + self.shards.iter().map(Vec::len).sum::<usize>()
+    }
+
+    /// Iterates over all shard events followed by the engine events.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.shards.iter().flatten().chain(self.engine.iter())
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
 
     #[test]
     fn tenant_metrics_batch_accounting() {
@@ -242,75 +207,6 @@ mod tests {
         assert_eq!(m.events_applied, 32);
         assert_eq!(m.max_batch, 31);
         assert!((m.mean_batch() - 16.0).abs() < 1e-12);
-    }
-
-    #[test]
-    fn histogram_buckets_double() {
-        assert_eq!(LatencyHistogram::bucket_upper_bound(0), 250);
-        assert_eq!(LatencyHistogram::bucket_upper_bound(1), 500);
-        assert_eq!(LatencyHistogram::bucket_upper_bound(2), 1_000);
-    }
-
-    #[test]
-    fn histogram_records_and_quantiles() {
-        let mut h = LatencyHistogram::new();
-        for _ in 0..99 {
-            h.record(Duration::from_nanos(200)); // bucket 0
-        }
-        h.record(Duration::from_millis(1)); // far bucket
-        assert_eq!(h.count(), 100);
-        assert_eq!(h.quantile_upper_bound(0.5), Duration::from_nanos(250));
-        assert!(h.quantile_upper_bound(1.0) >= Duration::from_millis(1));
-        assert!(h.mean() >= Duration::from_nanos(200));
-        let rendered = h.to_string();
-        assert!(rendered.contains("n=100"), "{rendered}");
-    }
-
-    #[test]
-    fn histogram_merge_adds_counts() {
-        let mut a = LatencyHistogram::new();
-        let mut b = LatencyHistogram::new();
-        a.record(Duration::from_nanos(100));
-        b.record(Duration::from_micros(10));
-        a.merge(&b);
-        assert_eq!(a.count(), 2);
-    }
-
-    #[test]
-    fn histogram_clamps_huge_latencies_to_last_bucket() {
-        let mut h = LatencyHistogram::new();
-        h.record(Duration::from_secs(3600));
-        assert_eq!(h.count(), 1);
-        // The overflow bucket's bound is reported, flagged as NOT an upper
-        // bound, and rendered with `>` instead of `≤`.
-        let (bound, exact) = h.quantile_bound(1.0);
-        assert_eq!(
-            bound,
-            Duration::from_nanos(LatencyHistogram::bucket_upper_bound(LATENCY_BUCKETS - 1))
-        );
-        assert!(!exact);
-        assert_eq!(h.quantile_upper_bound(1.0), bound);
-        let rendered = h.to_string();
-        assert!(rendered.contains("p99>"), "{rendered}");
-    }
-
-    /// The constant-time bucketing agrees with the bucket bounds on every
-    /// boundary: a bound itself stays in its bucket, one nanosecond more
-    /// spills into the next.
-    #[test]
-    fn bucket_for_matches_bounds_at_every_boundary() {
-        assert_eq!(LatencyHistogram::bucket_for(0), 0);
-        assert_eq!(LatencyHistogram::bucket_for(1), 0);
-        for i in 0..LATENCY_BUCKETS - 1 {
-            let bound = LatencyHistogram::bucket_upper_bound(i);
-            assert_eq!(LatencyHistogram::bucket_for(bound), i, "at bound {bound}");
-            assert_eq!(
-                LatencyHistogram::bucket_for(bound + 1),
-                i + 1,
-                "just past bound {bound}"
-            );
-        }
-        assert_eq!(LatencyHistogram::bucket_for(u64::MAX), LATENCY_BUCKETS - 1);
     }
 
     #[test]
@@ -327,9 +223,48 @@ mod tests {
         let report = MetricsReport {
             shards: vec![ShardMetrics::default()],
             tenants: vec![("a".into(), a), ("b".into(), b)],
+            overload_rejections: 0,
         };
         assert_eq!(report.total_decides(), 15);
         assert_eq!(report.total_feedback_events(), 7);
         assert_eq!(report.decide_latency().count(), 0);
+        assert_eq!(report.feedback_latency().count(), 0);
+    }
+
+    #[test]
+    fn merged_latency_accessors_fold_all_shards() {
+        let mut s0 = ShardMetrics::default();
+        let mut s1 = ShardMetrics::default();
+        s0.decide_latency.record(Duration::from_nanos(100));
+        s1.decide_latency.record(Duration::from_nanos(100));
+        s0.feedback_latency.record(Duration::from_micros(1));
+        s1.feedback_latency.record(Duration::from_micros(2));
+        s1.feedback_latency.record(Duration::from_micros(3));
+        s0.stages
+            .record(DecideStage::Select, Duration::from_nanos(50));
+        let report = MetricsReport {
+            shards: vec![s0, s1],
+            tenants: Vec::new(),
+            overload_rejections: 0,
+        };
+        assert_eq!(report.decide_latency().count(), 2);
+        assert_eq!(report.feedback_latency().count(), 3);
+        assert_eq!(report.stage_timings().get(DecideStage::Select).count(), 1);
+    }
+
+    #[test]
+    fn telemetry_regret_is_optimal_minus_realised() {
+        let t = TenantTelemetry {
+            id: "t".into(),
+            policy: "DFL-SSO".into(),
+            round: 10,
+            pending_feedback: 2,
+            total_reward: 4.5,
+            optimal_reward: 6.0,
+            metrics: TenantMetrics::default(),
+            arm_pulls: vec![3, 7],
+            arm_means: vec![0.25, 0.75],
+        };
+        assert!((t.regret() - 1.5).abs() < 1e-12);
     }
 }

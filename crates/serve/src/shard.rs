@@ -9,8 +9,10 @@ use std::collections::HashMap;
 use std::sync::mpsc::{Receiver, SyncSender};
 use std::time::Instant;
 
+use netband_obs::{DecideStage, StageClock, TraceEvent, TraceKind, TraceRing};
+
 use crate::api::{DecideReply, FeedbackEvent, ServeError, TenantId};
-use crate::metrics::{ShardMetrics, TenantMetrics};
+use crate::metrics::{ShardMetrics, TenantMetrics, TenantTelemetry, STAGE_SAMPLE_EVERY};
 use crate::snapshot::TenantSnapshot;
 use crate::tenant::{Tenant, TenantSpec};
 
@@ -96,6 +98,19 @@ pub(crate) enum Command {
     Metrics {
         reply: SyncSender<ShardReport>,
     },
+    /// One tenant's learning snapshot (read-only: never flushes).
+    Telemetry {
+        tenant: TenantId,
+        reply: SyncSender<Result<TenantTelemetry, ServeError>>,
+    },
+    /// Learning snapshots of every hosted tenant, sorted by id.
+    TelemetryAll {
+        reply: SyncSender<Vec<TenantTelemetry>>,
+    },
+    /// Drains the shard's trace ring (oldest event first).
+    Trace {
+        reply: SyncSender<Vec<TraceEvent>>,
+    },
     /// Flush every tenant's pending feedback; the ack doubles as a queue
     /// barrier (everything enqueued before it has been processed).
     Drain {
@@ -111,18 +126,37 @@ pub(crate) struct ShardReport {
 }
 
 /// The shard actor loop. Runs until `Shutdown` arrives or every sender is
-/// dropped.
-pub(crate) fn shard_loop(commands: Receiver<Command>) {
+/// dropped. `trace_capacity` sizes the shard's trace ring.
+pub(crate) fn shard_loop(commands: Receiver<Command>, trace_capacity: usize) {
     let mut tenants: HashMap<TenantId, Tenant> = HashMap::new();
     let mut metrics = ShardMetrics::default();
+    let mut trace = TraceRing::new(trace_capacity);
+    // Decides served by this shard, counted across all tenants and both
+    // transports; every STAGE_SAMPLE_EVERY-th one records its stage split.
+    let mut decides: u64 = 0;
     while let Ok(command) = commands.recv() {
         metrics.commands += 1;
         match command {
             Command::Decide { tenant, reply } => {
                 let start = Instant::now();
-                let result = match tenants.get_mut(&tenant) {
-                    Some(t) => t.decide(),
-                    None => Err(ServeError::UnknownTenant(tenant)),
+                decides += 1;
+                let result = if decides % STAGE_SAMPLE_EVERY == 0 {
+                    let mut clock = StageClock::start();
+                    let found = tenants.get_mut(&tenant);
+                    clock.lap(DecideStage::Route, &mut metrics.stages);
+                    match found {
+                        Some(t) => {
+                            let mut r = DecideReply::blank();
+                            t.decide_into(&mut r, Some((&mut clock, &mut metrics.stages)))
+                                .map(|()| r)
+                        }
+                        None => Err(ServeError::UnknownTenant(tenant)),
+                    }
+                } else {
+                    match tenants.get_mut(&tenant) {
+                        Some(t) => t.decide(),
+                        None => Err(ServeError::UnknownTenant(tenant)),
+                    }
                 };
                 metrics.decide_latency.record(start.elapsed());
                 // A disconnected caller is not a shard failure.
@@ -142,7 +176,23 @@ pub(crate) fn shard_loop(commands: Receiver<Command>) {
                         Some(tenant) => {
                             for _ in 0..request.count {
                                 let start = Instant::now();
-                                decide_into_slot(tenant, &mut replies, slot);
+                                decides += 1;
+                                if decides % STAGE_SAMPLE_EVERY == 0 {
+                                    // The per-entry tenant lookup is already
+                                    // done, so the Route lap is ~zero here —
+                                    // which is honest: batching is exactly
+                                    // what amortises routing away.
+                                    let mut clock = StageClock::start();
+                                    clock.lap(DecideStage::Route, &mut metrics.stages);
+                                    decide_into_slot(
+                                        tenant,
+                                        &mut replies,
+                                        slot,
+                                        Some((&mut clock, &mut metrics.stages)),
+                                    );
+                                } else {
+                                    decide_into_slot(tenant, &mut replies, slot, None);
+                                }
                                 metrics.decide_latency.record(start.elapsed());
                                 slot += 1;
                             }
@@ -179,12 +229,21 @@ pub(crate) fn shard_loop(commands: Receiver<Command>) {
             } => {
                 let start = Instant::now();
                 match tenants.get_mut(&tenant) {
-                    Some(t) => {
-                        if t.feedback(round, event).is_err() {
-                            metrics.rejected += 1;
+                    Some(t) => match t.feedback(round, event) {
+                        Ok(flushed) => {
+                            if flushed > 0 {
+                                trace.record(TraceKind::FlushApplied { events: flushed }, &tenant);
+                            }
                         }
+                        Err(_) => {
+                            metrics.rejected += 1;
+                            trace.record(TraceKind::FeedbackRejected, &tenant);
+                        }
+                    },
+                    None => {
+                        metrics.rejected += 1;
+                        trace.record(TraceKind::FeedbackRejected, &tenant);
                     }
-                    None => metrics.rejected += 1,
                 }
                 metrics.feedback_latency.record(start.elapsed());
             }
@@ -200,11 +259,25 @@ pub(crate) fn shard_loop(commands: Receiver<Command>) {
                             // default behind so the entry's tenant string can
                             // be recycled.
                             let event = std::mem::take(&mut request.event);
-                            if tenant.feedback(request.round, event).is_err() {
-                                metrics.rejected += 1;
+                            match tenant.feedback(request.round, event) {
+                                Ok(flushed) => {
+                                    if flushed > 0 {
+                                        trace.record(
+                                            TraceKind::FlushApplied { events: flushed },
+                                            &request.tenant,
+                                        );
+                                    }
+                                }
+                                Err(_) => {
+                                    metrics.rejected += 1;
+                                    trace.record(TraceKind::FeedbackRejected, &request.tenant);
+                                }
                             }
                         }
-                        None => metrics.rejected += 1,
+                        None => {
+                            metrics.rejected += 1;
+                            trace.record(TraceKind::FeedbackRejected, &request.tenant);
+                        }
                     }
                     metrics.feedback_latency.record(start.elapsed());
                 }
@@ -213,7 +286,12 @@ pub(crate) fn shard_loop(commands: Receiver<Command>) {
                 let _ = recycle.try_send(events);
             }
             Command::Flush { tenant } => match tenants.get_mut(&tenant) {
-                Some(t) => t.flush_pending(),
+                Some(t) => {
+                    let applied = t.flush_pending();
+                    if applied > 0 {
+                        trace.record(TraceKind::FlushApplied { events: applied }, &tenant);
+                    }
+                }
                 None => metrics.rejected += 1,
             },
             Command::Create { spec, reply } => {
@@ -221,6 +299,7 @@ pub(crate) fn shard_loop(commands: Receiver<Command>) {
                     Err(ServeError::DuplicateTenant(spec.id().to_owned()))
                 } else {
                     Tenant::new(*spec).map(|tenant| {
+                        trace.record(TraceKind::TenantRegistered, &tenant.id);
                         tenants.insert(tenant.id.clone(), tenant);
                     })
                 };
@@ -231,6 +310,7 @@ pub(crate) fn shard_loop(commands: Receiver<Command>) {
                     Err(ServeError::DuplicateTenant(snapshot.id().to_owned()))
                 } else {
                     Tenant::from_snapshot(*snapshot).map(|tenant| {
+                        trace.record(TraceKind::TenantRestored, &tenant.id);
                         tenants.insert(tenant.id.clone(), tenant);
                     })
                 };
@@ -238,14 +318,20 @@ pub(crate) fn shard_loop(commands: Receiver<Command>) {
             }
             Command::Snapshot { tenant, reply } => {
                 let result = match tenants.get_mut(&tenant) {
-                    Some(t) => Ok(t.snapshot()),
+                    Some(t) => {
+                        trace.record(TraceKind::SnapshotTaken, &tenant);
+                        Ok(t.snapshot())
+                    }
                     None => Err(ServeError::UnknownTenant(tenant)),
                 };
                 let _ = reply.send(result);
             }
             Command::Evict { tenant, reply } => {
                 let result = match tenants.remove(&tenant) {
-                    Some(mut t) => Ok(t.snapshot()),
+                    Some(mut t) => {
+                        trace.record(TraceKind::TenantEvicted, &tenant);
+                        Ok(t.snapshot())
+                    }
                     None => Err(ServeError::UnknownTenant(tenant)),
                 };
                 let _ = reply.send(result);
@@ -261,9 +347,36 @@ pub(crate) fn shard_loop(commands: Receiver<Command>) {
                     tenants: list,
                 });
             }
+            Command::Telemetry { tenant, reply } => {
+                let result = match tenants.get(&tenant) {
+                    Some(t) => Ok(t.telemetry()),
+                    None => Err(ServeError::UnknownTenant(tenant)),
+                };
+                let _ = reply.send(result);
+            }
+            Command::TelemetryAll { reply } => {
+                let mut list: Vec<TenantTelemetry> =
+                    tenants.values().map(Tenant::telemetry).collect();
+                list.sort_by(|a, b| a.id.cmp(&b.id));
+                let _ = reply.send(list);
+            }
+            Command::Trace { reply } => {
+                let mut out = Vec::new();
+                trace.drain_into(&mut out);
+                let _ = reply.send(out);
+            }
             Command::Drain { reply } => {
-                for tenant in tenants.values_mut() {
-                    tenant.flush_pending();
+                // Flush in sorted id order so any traced flush events land in
+                // a deterministic order (HashMap iteration order is not).
+                let mut ids: Vec<TenantId> = tenants.keys().cloned().collect();
+                ids.sort();
+                for id in ids {
+                    if let Some(tenant) = tenants.get_mut(&id) {
+                        let applied = tenant.flush_pending();
+                        if applied > 0 {
+                            trace.record(TraceKind::FlushApplied { events: applied }, &id);
+                        }
+                    }
                 }
                 let _ = reply.send(());
             }
@@ -280,6 +393,7 @@ fn decide_into_slot(
     tenant: &mut Tenant,
     replies: &mut Vec<Result<DecideReply, ServeError>>,
     slot: usize,
+    stages: Option<(&mut StageClock, &mut netband_obs::StageTimings)>,
 ) {
     if slot == replies.len() {
         replies.push(Ok(DecideReply::blank()));
@@ -291,7 +405,7 @@ fn decide_into_slot(
     let Ok(reply) = entry else {
         unreachable!("slot was just reset to Ok");
     };
-    if let Err(e) = tenant.decide_into(reply) {
+    if let Err(e) = tenant.decide_into(reply, stages) {
         *entry = Err(e);
     }
 }

@@ -18,8 +18,10 @@ use netband_sim::regret::RegretTrace;
 use netband_sim::step;
 use netband_sim::{CombinatorialScenario, SingleScenario};
 
+use netband_obs::{DecideStage, StageClock, StageTimings};
+
 use crate::api::{DecideReply, FeedbackEvent, FlushPolicy, ServeError, TenantId};
-use crate::metrics::TenantMetrics;
+use crate::metrics::{TenantMetrics, TenantTelemetry};
 use crate::snapshot::{SnapshotKind, TenantSnapshot};
 
 // The clone-box policy traits moved to `netband_core::policy` (the spec
@@ -275,6 +277,13 @@ pub(crate) enum TenantKind {
     },
 }
 
+/// Laps the sampled stage clock, when this decide carries one.
+fn lap(stages: &mut Option<(&mut StageClock, &mut StageTimings)>, stage: DecideStage) {
+    if let Some((clock, timings)) = stages {
+        clock.lap(stage, timings);
+    }
+}
+
 /// Writes a single-play feedback echo into a reply slot, reusing the warm
 /// event (and its observation buffer) when the slot already holds one.
 fn set_single_event(slot: &mut Option<FeedbackEvent>, src: &netband_env::SinglePlayFeedback) {
@@ -409,7 +418,17 @@ impl Tenant {
     /// is filled without allocating, which is what makes a steady-state
     /// batched decide allocation-free. On error the slot's contents are
     /// unspecified.
-    pub(crate) fn decide_into(&mut self, reply: &mut DecideReply) -> Result<(), ServeError> {
+    ///
+    /// `stages` is the sampled profiling hook: `Some` on the decides the
+    /// shard elected to split into per-stage timings (see
+    /// [`crate::metrics::STAGE_SAMPLE_EVERY`]), `None` on the rest. Timing
+    /// reads never touch the decide arithmetic or the RNG, so a profiled
+    /// decide is bit-identical to an unprofiled one.
+    pub(crate) fn decide_into(
+        &mut self,
+        reply: &mut DecideReply,
+        mut stages: Option<(&mut StageClock, &mut StageTimings)>,
+    ) -> Result<(), ServeError> {
         if self.flush.flush_before_decide {
             self.flush_pending();
         }
@@ -434,6 +453,7 @@ impl Tenant {
                     self.optimal
                 };
                 let arm = policy.select_arm(t);
+                lap(&mut stages, DecideStage::Select);
                 let feedback = if drifting {
                     self.buf.pull_single_drifted(
                         &self.bandit,
@@ -444,6 +464,7 @@ impl Tenant {
                 } else {
                     self.buf.pull_single(&self.bandit, arm, &mut self.rng)
                 };
+                lap(&mut stages, DecideStage::Pull);
                 let (reward, mean) = if drifting {
                     step::score_single_with(&self.bandit, &self.drift_means, *scenario, feedback)
                 } else {
@@ -455,6 +476,7 @@ impl Tenant {
                 if auto {
                     policy.update(t, feedback);
                 }
+                lap(&mut stages, DecideStage::Score);
                 reply.round = self.round;
                 reply.decision.set_arm(arm);
                 reply.reward = reward;
@@ -463,6 +485,7 @@ impl Tenant {
                 } else {
                     reply.feedback = None;
                 }
+                lap(&mut stages, DecideStage::Reply);
             }
             TenantKind::Combinatorial {
                 policy,
@@ -482,6 +505,7 @@ impl Tenant {
                     self.optimal
                 };
                 policy.select_strategy_into(t, strategy_scratch);
+                lap(&mut stages, DecideStage::Select);
                 debug_assert!(
                     family.contains(strategy_scratch, self.bandit.graph()),
                     "tenant {} policy {} proposed an infeasible strategy {strategy_scratch:?}",
@@ -508,6 +532,7 @@ impl Tenant {
                         return Err(ServeError::Env(e));
                     }
                 };
+                lap(&mut stages, DecideStage::Pull);
                 let (reward, mean) = if drifting {
                     step::score_combinatorial_with(&self.drift_means, *scenario, feedback)
                 } else {
@@ -519,6 +544,7 @@ impl Tenant {
                 if auto {
                     policy.update(t, feedback);
                 }
+                lap(&mut stages, DecideStage::Score);
                 reply.round = self.round;
                 reply.decision.set_strategy(&feedback.strategy);
                 reply.reward = reward;
@@ -527,6 +553,7 @@ impl Tenant {
                 } else {
                     reply.feedback = None;
                 }
+                lap(&mut stages, DecideStage::Reply);
             }
         }
         self.metrics.decides += 1;
@@ -537,20 +564,21 @@ impl Tenant {
     /// form of [`Tenant::decide_into`] used by the per-call engine API.
     pub(crate) fn decide(&mut self) -> Result<DecideReply, ServeError> {
         let mut reply = DecideReply::blank();
-        self.decide_into(&mut reply)?;
+        self.decide_into(&mut reply, None)?;
         Ok(reply)
     }
 
     /// Queues one feedback event (delayed and out-of-order arrival is fine;
     /// each flush applies its batch in round order) and flushes if the batch
-    /// is full.
+    /// is full. Returns the number of events a triggered flush applied
+    /// (0 when no flush triggered), so the shard can trace flush points.
     ///
     /// Events quoting a round the tenant never served are rejected. Duplicate
     /// delivery of a *served* round is not detectable here (tracking applied
     /// rounds would put a set lookup on the ingestion hot path); at-most-once
     /// delivery is the transport's responsibility — a retried event double
     /// counts its observations in the estimators.
-    pub(crate) fn feedback(&mut self, round: u64, event: FeedbackEvent) -> Result<(), ServeError> {
+    pub(crate) fn feedback(&mut self, round: u64, event: FeedbackEvent) -> Result<u64, ServeError> {
         if round == 0 || round > self.round {
             return Err(ServeError::InvalidRound {
                 tenant: self.id.clone(),
@@ -569,9 +597,10 @@ impl Tenant {
         }
         self.metrics.feedback_events += 1;
         if self.pending_len() >= self.flush.max_pending {
-            self.flush_pending();
+            Ok(self.flush_pending())
+        } else {
+            Ok(0)
         }
-        Ok(())
     }
 
     pub(crate) fn pending_len(&self) -> usize {
@@ -582,7 +611,8 @@ impl Tenant {
     }
 
     /// Applies every queued feedback event to the policy, in round order.
-    pub(crate) fn flush_pending(&mut self) {
+    /// Returns how many events were applied (0 when nothing was pending).
+    pub(crate) fn flush_pending(&mut self) -> u64 {
         let applied = match &mut self.kind {
             TenantKind::Single {
                 policy, pending, ..
@@ -602,6 +632,7 @@ impl Tenant {
         if applied > 0 {
             self.metrics.record_flush(applied as u64);
         }
+        applied as u64
     }
 
     /// Captures a restartable checkpoint. Pending feedback is flushed first so
@@ -715,13 +746,37 @@ impl Tenant {
         })
     }
 
-    /// Name of the hosted policy. Production callers read it off a
-    /// [`TenantSnapshot`]; only tests need it on a live tenant.
-    #[cfg(test)]
+    /// Name of the hosted policy.
     pub(crate) fn policy_name(&self) -> &'static str {
         match &self.kind {
             TenantKind::Single { policy, .. } => policy.name(),
             TenantKind::Combinatorial { policy, .. } => policy.name(),
+        }
+    }
+
+    /// Builds the tenant's learning snapshot. Read-only: no flush is
+    /// triggered (telemetry must not perturb the tenant's deterministic
+    /// trajectory), so the estimator view covers flushed feedback only —
+    /// queued events show up in `pending_feedback`, not in the arm stats.
+    pub(crate) fn telemetry(&self) -> TenantTelemetry {
+        let estimators = match &self.kind {
+            TenantKind::Single { policy, .. } => policy.arm_estimators(),
+            TenantKind::Combinatorial { policy, .. } => policy.arm_estimators(),
+        };
+        let (arm_pulls, arm_means) = match estimators {
+            Some(est) => (est.counts().to_vec(), est.means().to_vec()),
+            None => (Vec::new(), Vec::new()),
+        };
+        TenantTelemetry {
+            id: self.id.clone(),
+            policy: self.policy_name().to_string(),
+            round: self.round,
+            pending_feedback: self.pending_len() as u64,
+            total_reward: self.total_reward,
+            optimal_reward: self.optimal_sum,
+            metrics: self.metrics.clone(),
+            arm_pulls,
+            arm_means,
         }
     }
 }

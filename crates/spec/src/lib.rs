@@ -87,8 +87,8 @@ pub use model::{
 };
 pub use policy::AnyPolicy;
 pub use wire::{
-    WireDecision, WireErrorCode, WireEvent, WireFeedback, WireLatency, WireMetrics, WireReply,
-    WireRequest, WireResponse,
+    WireArmStat, WireDecision, WireErrorCode, WireEvent, WireFeedback, WireLatency, WireMetrics,
+    WireReply, WireRequest, WireResponse, WireTelemetry,
 };
 
 /// Identifier of an arm; re-exported from `netband-graph`.

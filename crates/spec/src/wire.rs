@@ -24,6 +24,7 @@
 //! | [`WireRequest::FeedbackMany`]  | [`WireResponse::Accepted`]        |
 //! | [`WireRequest::RegisterTenant`]| [`WireResponse::Ok`]              |
 //! | [`WireRequest::Metrics`]       | [`WireResponse::Metrics`]         |
+//! | [`WireRequest::Telemetry`]     | [`WireResponse::Telemetry`]       |
 //!
 //! Any request can instead draw [`WireResponse::Error`]; an
 //! [`WireErrorCode::Overloaded`] error means the engine's bounded shard queue
@@ -74,6 +75,13 @@ pub enum WireRequest {
     },
     /// Ask for an engine-wide metrics snapshot.
     Metrics,
+    /// Ask for one tenant's learning-telemetry snapshot (per-arm pulls and
+    /// means, cumulative realised/oracle reward, pending feedback). Read-only:
+    /// the server must not flush the tenant to answer this.
+    Telemetry {
+        /// Tenant id.
+        tenant: String,
+    },
 }
 
 /// One feedback event in a [`WireRequest::FeedbackMany`] window.
@@ -115,6 +123,9 @@ pub enum WireResponse {
     },
     /// Reply to [`WireRequest::Metrics`].
     Metrics(WireMetrics),
+    /// Reply to [`WireRequest::Telemetry`]. Boxed: the snapshot is by far
+    /// the largest response body and would otherwise dominate the enum size.
+    Telemetry(Box<WireTelemetry>),
     /// Any request may fail; the code is machine-readable, the message is
     /// for humans.
     Error {
@@ -177,12 +188,53 @@ pub struct WireMetrics {
     pub total_decides: u64,
     /// Total feedback events ingested since boot.
     pub total_feedback_events: u64,
-    /// Total commands rejected (bad tenant, overload, …).
+    /// Total commands the shards rejected (unknown tenant, bad feedback, …).
     pub rejected: u64,
+    /// Commands refused engine-side because a shard queue was full (the
+    /// requests that drew an `overloaded` error frame). Counted where the
+    /// rejection happens — no shard ever saw these.
+    pub overload_rejections: u64,
     /// Decide-path service latency (merged across shards).
     pub decide_latency: WireLatency,
     /// Feedback-ingestion service latency (merged across shards).
     pub feedback_latency: WireLatency,
+}
+
+/// One arm's learning statistics in a [`WireTelemetry`] snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireArmStat {
+    /// Dense arm id (for DFL-CSO, a dense *strategy* id).
+    pub arm: ArmId,
+    /// Number of times the estimator has been updated for this arm.
+    pub pulls: u64,
+    /// Empirical mean reward of this arm, bit-exact across the wire.
+    pub mean: f64,
+}
+
+/// One tenant's learning-telemetry snapshot, flattened for the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireTelemetry {
+    /// Tenant id, echoed.
+    pub tenant: String,
+    /// Name of the hosted policy (e.g. `"DFL-SSO"`).
+    pub policy: String,
+    /// Rounds served so far.
+    pub round: u64,
+    /// Feedback events queued but not yet flushed into the policy.
+    pub pending_feedback: u64,
+    /// Decisions served (the tenant's serving counter).
+    pub decides: u64,
+    /// Feedback events accepted (the tenant's serving counter).
+    pub feedback_events: u64,
+    /// Cumulative realised reward, bit-exact across the wire.
+    pub total_reward: f64,
+    /// Cumulative dynamic-oracle reward, bit-exact across the wire.
+    pub optimal_reward: f64,
+    /// Dynamic-oracle regret proxy (`optimal_reward - total_reward`).
+    pub regret: f64,
+    /// Per-arm statistics (empty when the policy keeps no per-arm
+    /// estimators, e.g. EXP3).
+    pub arms: Vec<WireArmStat>,
 }
 
 /// Machine-readable error codes for [`WireResponse::Error`].
@@ -436,6 +488,10 @@ pub fn request_to_json(request: &WireRequest) -> Json {
             ],
         ),
         WireRequest::Metrics => tagged("metrics", Vec::new()),
+        WireRequest::Telemetry { tenant } => tagged(
+            "telemetry",
+            vec![("tenant".into(), Json::String(tenant.clone()))],
+        ),
     }
 }
 
@@ -471,6 +527,9 @@ pub fn request_from_json(value: &Json) -> Result<WireRequest, SpecError> {
             scenario: Box::new(scenario_from_json(obj.req("scenario")?)?),
         },
         "metrics" => WireRequest::Metrics,
+        "telemetry" => WireRequest::Telemetry {
+            tenant: get_str(obj.req("tenant")?, CTX)?.to_owned(),
+        },
         other => {
             return Err(SpecError::UnknownVariant {
                 context: CTX,
@@ -594,8 +653,44 @@ pub fn response_to_json(response: &WireResponse) -> Json {
                     Json::from_u64(m.total_feedback_events),
                 ),
                 ("rejected".into(), Json::from_u64(m.rejected)),
+                (
+                    "overload_rejections".into(),
+                    Json::from_u64(m.overload_rejections),
+                ),
                 ("decide_latency".into(), latency_json(&m.decide_latency)),
                 ("feedback_latency".into(), latency_json(&m.feedback_latency)),
+            ],
+        ),
+        WireResponse::Telemetry(t) => tagged(
+            "telemetry",
+            vec![
+                ("tenant".into(), Json::String(t.tenant.clone())),
+                ("policy".into(), Json::String(t.policy.clone())),
+                ("round".into(), Json::from_u64(t.round)),
+                (
+                    "pending_feedback".into(),
+                    Json::from_u64(t.pending_feedback),
+                ),
+                ("decides".into(), Json::from_u64(t.decides)),
+                ("feedback_events".into(), Json::from_u64(t.feedback_events)),
+                ("total_reward".into(), Json::from_f64(t.total_reward)),
+                ("optimal_reward".into(), Json::from_f64(t.optimal_reward)),
+                ("regret".into(), Json::from_f64(t.regret)),
+                (
+                    "arms".into(),
+                    Json::Array(
+                        t.arms
+                            .iter()
+                            .map(|a| {
+                                Json::Object(vec![
+                                    ("arm".into(), Json::from_u64(a.arm as u64)),
+                                    ("pulls".into(), Json::from_u64(a.pulls)),
+                                    ("mean".into(), Json::from_f64(a.mean)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
             ],
         ),
         WireResponse::Error { code, message } => tagged(
@@ -635,9 +730,50 @@ pub fn response_from_json(value: &Json) -> Result<WireResponse, SpecError> {
             total_decides: get_u64(obj.req("total_decides")?, CTX)?,
             total_feedback_events: get_u64(obj.req("total_feedback_events")?, CTX)?,
             rejected: get_u64(obj.req("rejected")?, CTX)?,
+            overload_rejections: get_u64(obj.req("overload_rejections")?, CTX)?,
             decide_latency: latency_from_json(obj.req("decide_latency")?)?,
             feedback_latency: latency_from_json(obj.req("feedback_latency")?)?,
         }),
+        "telemetry" => {
+            let tenant = get_str(obj.req("tenant")?, CTX)?.to_owned();
+            let policy = get_str(obj.req("policy")?, CTX)?.to_owned();
+            let round = get_u64(obj.req("round")?, CTX)?;
+            let pending_feedback = get_u64(obj.req("pending_feedback")?, CTX)?;
+            let decides = get_u64(obj.req("decides")?, CTX)?;
+            let feedback_events = get_u64(obj.req("feedback_events")?, CTX)?;
+            let total_reward = get_f64(obj.req("total_reward")?, CTX)?;
+            let optimal_reward = get_f64(obj.req("optimal_reward")?, CTX)?;
+            let regret = get_f64(obj.req("regret")?, CTX)?;
+            let items = obj.req("arms")?.as_array().ok_or(SpecError::Invalid {
+                context: CTX,
+                message: "expected an array of arm stats".into(),
+            })?;
+            let arms = items
+                .iter()
+                .map(|item| {
+                    let mut entry = Obj::new(item, "wire arm stat")?;
+                    let stat = WireArmStat {
+                        arm: get_usize(entry.req("arm")?, "wire arm stat")?,
+                        pulls: get_u64(entry.req("pulls")?, "wire arm stat")?,
+                        mean: get_f64(entry.req("mean")?, "wire arm stat")?,
+                    };
+                    entry.finish()?;
+                    Ok(stat)
+                })
+                .collect::<Result<Vec<_>, SpecError>>()?;
+            WireResponse::Telemetry(Box::new(WireTelemetry {
+                tenant,
+                policy,
+                round,
+                pending_feedback,
+                decides,
+                feedback_events,
+                total_reward,
+                optimal_reward,
+                regret,
+                arms,
+            }))
+        }
         "error" => WireResponse::Error {
             code: WireErrorCode::from_str(get_str(obj.req("code")?, CTX)?)?,
             message: get_str(obj.req("message")?, CTX)?.to_owned(),
@@ -727,6 +863,9 @@ mod tests {
                 scenario: Box::new(sample_scenario()),
             },
             WireRequest::Metrics,
+            WireRequest::Telemetry {
+                tenant: "exp-0".into(),
+            },
         ];
         for request in requests {
             let text = request.to_json_text();
@@ -766,6 +905,7 @@ mod tests {
                 total_decides: 123_456,
                 total_feedback_events: 123_000,
                 rejected: 3,
+                overload_rejections: 2,
                 decide_latency: WireLatency {
                     p50_ns: 4_000,
                     p50_exact: true,
@@ -779,6 +919,29 @@ mod tests {
                     p99_exact: true,
                 },
             }),
+            WireResponse::Telemetry(Box::new(WireTelemetry {
+                tenant: "exp-0".into(),
+                policy: "DFL-SSO".into(),
+                round: 300,
+                pending_feedback: 4,
+                decides: 300,
+                feedback_events: 296,
+                total_reward: 123.5,
+                optimal_reward: 150.25,
+                regret: 150.25 - 123.5,
+                arms: vec![
+                    WireArmStat {
+                        arm: 0,
+                        pulls: 250,
+                        mean: 0.1 + 0.2, // must survive bit-for-bit
+                    },
+                    WireArmStat {
+                        arm: 1,
+                        pulls: 46,
+                        mean: 0.0,
+                    },
+                ],
+            })),
             WireResponse::Error {
                 code: WireErrorCode::Overloaded,
                 message: "shard 2 queue full".into(),
@@ -822,6 +985,8 @@ mod tests {
             r#"{"type":"decide_quickly","tenant":"t","count":1}"#,
             r#"{"type":"decide_many","tenant":"t"}"#,
             r#"{"type":"metrics","verbose":true}"#,
+            r#"{"type":"telemetry"}"#,
+            r#"{"type":"telemetry","tenant":"t","flush":true}"#,
         ] {
             assert!(WireRequest::from_json_text(bad).is_err(), "accepted {bad}");
         }

@@ -1,0 +1,52 @@
+//! CI scrape validator: read a saved `/metrics` body and hold it to the
+//! exposition contract.
+//!
+//! The examples-smoke job boots `netband_server --obs-addr`, drives the fast
+//! load-generator cell against it, curls the scrape endpoint into a file,
+//! and hands the file to this example. It fails unless **every** line parses
+//! under the strict exposition grammar and `netband_decides_total` reports
+//! the traffic that was just served (a non-zero value) — an empty registry
+//! or a malformed line is a CI failure, not a warning.
+//!
+//! Run with: `cargo run --release --example check_scrape -- scrape.txt`
+
+use std::process::ExitCode;
+
+use netband::obs::{parse_exposition, ExpositionLine};
+
+fn run() -> Result<(), String> {
+    let path = std::env::args()
+        .nth(1)
+        .ok_or("usage: check_scrape <scrape-body-file>")?;
+    let body = std::fs::read_to_string(&path).map_err(|e| format!("read {path}: {e}"))?;
+    let lines = parse_exposition(&body).map_err(|e| format!("scrape does not parse: {e}"))?;
+
+    let mut samples = 0usize;
+    let mut decides = None;
+    for line in &lines {
+        if let ExpositionLine::Sample { name, value, .. } = line {
+            samples += 1;
+            if name == "netband_decides_total" {
+                decides = Some(*value);
+            }
+        }
+    }
+    let decides = decides.ok_or("scrape lacks netband_decides_total")?;
+    if decides <= 0.0 {
+        return Err(format!(
+            "netband_decides_total is {decides} — the endpoint did not see the loadgen traffic"
+        ));
+    }
+    println!("scrape ok: {samples} samples, {decides} decides");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("check_scrape: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

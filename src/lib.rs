@@ -30,6 +30,9 @@
 //!   delayed-feedback ingestion (`netband-serve`).
 //! * [`net`] — the framed TCP wire protocol over the serving engine: server,
 //!   client, and load-generator binaries (`netband-net`).
+//! * [`obs`] — observability: the metrics registry with Prometheus-style text
+//!   exposition, latency histograms, per-stage decide timings, and the
+//!   structured trace ring (`netband-obs`).
 //! * [`experiments`] — the harness that regenerates every figure of the paper's
 //!   evaluation section (`netband-experiments`).
 //!
@@ -65,6 +68,7 @@ pub use netband_env as env;
 pub use netband_experiments as experiments;
 pub use netband_graph as graph;
 pub use netband_net as net;
+pub use netband_obs as obs;
 pub use netband_serve as serve;
 pub use netband_sim as sim;
 pub use netband_spec as spec;
@@ -84,10 +88,12 @@ pub mod prelude {
         generators, greedy_clique_cover, metrics, CsrGraph, GraphMetrics, RelationGraph,
         StrategyBank, StrategyRelationGraph,
     };
-    pub use netband_net::{NetClient, NetError, NetServer, ServerConfig};
+    pub use netband_net::{NetClient, NetError, NetServer, NetStats, ObsServer, ServerConfig};
+    pub use netband_obs::{parse_exposition, LatencyHistogram, Registry, TraceRing};
     pub use netband_serve::{
         DecideReply, Decision, EngineConfig, FeedbackEvent, FlushPolicy, MetricsReport,
         RegisterTenantSpec, ServeClient, ServeEngine, ServeError, TenantSnapshot, TenantSpec,
+        TenantTelemetry, TraceReport,
     };
     pub use netband_sim::{
         replicate, replicate_spec, run_built, run_combinatorial, run_single, run_single_coupled,

@@ -120,7 +120,7 @@ fn every_readme_example_parses_and_validates() {
 /// be a strictly-parseable wire document.
 #[test]
 fn every_architecture_example_parses_and_validates() {
-    check_doc("docs/ARCHITECTURE.md", 5);
+    check_doc("docs/ARCHITECTURE.md", 7);
 }
 
 /// The committed drifting fixture is itself a documented example workflow;

@@ -1,0 +1,250 @@
+//! Observability determinism suite.
+//!
+//! Observability must be a **pure read-out**: replaying the same golden
+//! workload twice has to produce identical tenant counters, identical
+//! telemetry (rewards bit for bit), and an identical trace — same event
+//! kinds, same tenants, same order, same sequence numbers. Latency
+//! histograms are the one non-deterministic surface (they measure wall
+//! clock) and are deliberately excluded; every *count* is compared exactly.
+//!
+//! Also pinned here: the `MetricsReport::tenants` / `telemetry_all()`
+//! "sorted by tenant id" documentation claim, the lifecycle trace-kind
+//! order, and observability across a snapshot/restore boundary.
+
+mod common;
+
+use common::{drift_scenario, golden_specs, SINGLE_HORIZON};
+use netband::prelude::*;
+use netband::serve::TraceEvent;
+
+/// Closed loop over the engine API: every decide's revealed feedback is
+/// routed straight back in.
+fn serve_closed_loop(engine: &ServeEngine, tenant: &str, horizon: usize) {
+    for _ in 0..horizon {
+        let reply = engine.decide(tenant).expect("decide");
+        let event = reply.feedback.expect("golden tenants echo their feedback");
+        engine
+            .feedback(tenant, reply.round, event)
+            .expect("feedback");
+    }
+}
+
+/// Everything observable about a run that must be replay-deterministic.
+/// Latency histograms and stage timings are excluded on purpose: they
+/// record wall-clock durations.
+#[derive(Debug, PartialEq)]
+struct ObservedRun {
+    tenants: Vec<(String, netband::serve::TenantMetrics)>,
+    overload_rejections: u64,
+    shard_commands: Vec<u64>,
+    shard_rejected: Vec<u64>,
+    telemetry: Vec<TenantTelemetry>,
+    reward_bits: Vec<(u64, u64)>,
+    trace: Vec<Vec<TraceEvent>>,
+    engine_trace: Vec<TraceEvent>,
+}
+
+/// One full observed golden run on a single-shard engine (single shard so
+/// the trace interleaving is a total order).
+fn observed_golden_run() -> ObservedRun {
+    let engine = ServeEngine::start(
+        EngineConfig::new(1)
+            .with_queue_capacity(64)
+            .with_trace_capacity(2048),
+    );
+    let specs = golden_specs();
+    for (name, spec) in &specs {
+        engine
+            .register_tenant_spec(&RegisterTenantSpec::new(*name, spec.clone()))
+            .expect("register tenant");
+    }
+    for (name, spec) in &specs {
+        serve_closed_loop(&engine, name, spec.horizon);
+    }
+    let report = engine.metrics().expect("metrics");
+    let telemetry = engine.telemetry_all().expect("telemetry");
+    let reward_bits = telemetry
+        .iter()
+        .map(|t| (t.total_reward.to_bits(), t.optimal_reward.to_bits()))
+        .collect();
+    let trace = engine.trace().expect("trace");
+    let run = ObservedRun {
+        tenants: report.tenants.clone(),
+        overload_rejections: report.overload_rejections,
+        shard_commands: report.shards.iter().map(|s| s.commands).collect(),
+        shard_rejected: report.shards.iter().map(|s| s.rejected).collect(),
+        telemetry,
+        reward_bits,
+        trace: trace.shards.clone(),
+        engine_trace: trace.engine.clone(),
+    };
+    engine.shutdown();
+    run
+}
+
+/// The flagship determinism check: two independent replays of the same
+/// golden workload must be observationally identical — counters, telemetry
+/// (bit-exact rewards), and the full trace event stream.
+#[test]
+fn two_identical_runs_produce_identical_observability() {
+    let first = observed_golden_run();
+    let second = observed_golden_run();
+    assert_eq!(first, second);
+
+    // Sanity on the content itself, not just replay agreement.
+    let total: u64 = first.tenants.iter().map(|(_, m)| m.decides).sum();
+    let expected: u64 = golden_specs().iter().map(|(_, s)| s.horizon as u64).sum();
+    assert_eq!(total, expected, "closed loop served every round");
+    assert_eq!(first.overload_rejections, 0);
+    assert!(first.engine_trace.is_empty(), "no overload events expected");
+    let events = &first.trace[0];
+    assert!(!events.is_empty(), "trace ring captured lifecycle events");
+    for pair in events.windows(2) {
+        assert!(pair[0].seq < pair[1].seq, "trace seqs strictly increase");
+    }
+}
+
+/// Observability must survive a snapshot/restore boundary: restoring a
+/// tenant into a fresh engine and finishing the run is itself replayable
+/// (two split replicas agree exactly), and the restored tenant's *learning
+/// state* — round, rewards, per-arm estimators — lands bit-identical to an
+/// uninterrupted run.
+#[test]
+fn observability_survives_snapshot_restore() {
+    let (name, spec) = golden_specs().remove(0);
+    let half = SINGLE_HORIZON / 2;
+
+    let split_run = || {
+        let before = ServeEngine::start(EngineConfig::new(1).with_trace_capacity(1024));
+        before
+            .register_tenant_spec(&RegisterTenantSpec::new(name, spec.clone()))
+            .expect("register tenant");
+        serve_closed_loop(&before, name, half);
+        let snapshot = before.evict_tenant(name).expect("evict tenant");
+        before.shutdown();
+
+        let after = ServeEngine::start(EngineConfig::new(1).with_trace_capacity(1024));
+        after.restore_tenant(snapshot).expect("restore tenant");
+        serve_closed_loop(&after, name, SINGLE_HORIZON - half);
+        let telemetry = after.telemetry(name).expect("telemetry");
+        let report = after.metrics().expect("metrics");
+        let trace = after.trace().expect("trace");
+        after.shutdown();
+        (telemetry, report.tenants, trace.shards)
+    };
+
+    let (telemetry_a, tenants_a, trace_a) = split_run();
+    let (telemetry_b, tenants_b, trace_b) = split_run();
+    assert_eq!(telemetry_a, telemetry_b, "split replicas agree");
+    assert_eq!(tenants_a, tenants_b);
+    assert_eq!(trace_a, trace_b);
+
+    // The second engine's trace starts with the restore event.
+    let first_event = trace_a[0].first().expect("trace has events");
+    assert_eq!(first_event.kind.name(), "tenant_restored");
+    assert_eq!(first_event.tenant.as_str(), name);
+
+    // Learning state matches an uninterrupted run bit for bit.
+    let full = ServeEngine::start(EngineConfig::new(1).with_trace_capacity(1024));
+    full.register_tenant_spec(&RegisterTenantSpec::new(name, spec.clone()))
+        .expect("register tenant");
+    serve_closed_loop(&full, name, SINGLE_HORIZON);
+    let full_telemetry = full.telemetry(name).expect("telemetry");
+    full.shutdown();
+
+    assert_eq!(telemetry_a.round, full_telemetry.round);
+    assert_eq!(
+        telemetry_a.total_reward.to_bits(),
+        full_telemetry.total_reward.to_bits(),
+        "restored reward accumulation is bit-exact"
+    );
+    assert_eq!(
+        telemetry_a.optimal_reward.to_bits(),
+        full_telemetry.optimal_reward.to_bits()
+    );
+    assert_eq!(telemetry_a.arm_pulls, full_telemetry.arm_pulls);
+    let bits = |xs: &[f64]| xs.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+    assert_eq!(
+        bits(&telemetry_a.arm_means),
+        bits(&full_telemetry.arm_means)
+    );
+
+    // Serving counters travel inside the snapshot, so the restored tenant
+    // reports the whole run's decides — not just the second half.
+    assert_eq!(telemetry_a.metrics.decides, SINGLE_HORIZON as u64);
+    assert_eq!(full_telemetry.metrics.decides, SINGLE_HORIZON as u64);
+}
+
+/// `MetricsReport::tenants` and `telemetry_all()` both document "sorted by
+/// tenant id" — pinned here on a multi-shard engine whose tenants span every
+/// shard, where the sort actually has to do work (per-shard gathers arrive
+/// in shard order, not id order).
+#[test]
+fn report_tenants_sorted_by_id_across_shards() {
+    let engine = ServeEngine::start(EngineConfig::new(4).with_queue_capacity(64));
+    let spec = drift_scenario();
+    // Registered deliberately out of id order; the ids span all 4 shards
+    // under the pinned FNV-1a router.
+    let ids = [
+        "tenant-7", "tenant-2", "tenant-5", "tenant-0", "tenant-6", "tenant-3", "tenant-1",
+        "tenant-4",
+    ];
+    let shards: std::collections::HashSet<usize> =
+        ids.iter().map(|id| engine.shard_of(id)).collect();
+    assert_eq!(shards.len(), 4, "fixture ids must span every shard");
+    for id in ids {
+        engine
+            .register_tenant_spec(&RegisterTenantSpec::new(id, spec.clone()))
+            .expect("register tenant");
+        serve_closed_loop(&engine, id, 3);
+    }
+
+    let report = engine.metrics().expect("metrics");
+    assert_eq!(report.tenants.len(), ids.len());
+    let names: Vec<&str> = report.tenants.iter().map(|(id, _)| id.as_str()).collect();
+    let mut sorted = names.clone();
+    sorted.sort_unstable();
+    assert_eq!(names, sorted, "MetricsReport.tenants sorted by tenant id");
+
+    let telemetry = engine.telemetry_all().expect("telemetry");
+    let ids_seen: Vec<&str> = telemetry.iter().map(|t| t.id.as_str()).collect();
+    assert_eq!(ids_seen, names, "telemetry_all sorted identically");
+    engine.shutdown();
+}
+
+/// The trace ring records tenant lifecycle events in cause order with
+/// strictly increasing sequence numbers.
+#[test]
+fn trace_records_lifecycle_events_in_order() {
+    let (name, spec) = golden_specs().remove(0);
+    let engine = ServeEngine::start(EngineConfig::new(1).with_trace_capacity(256));
+    engine
+        .register_tenant_spec(&RegisterTenantSpec::new(name, spec))
+        .expect("register tenant");
+    serve_closed_loop(&engine, name, 2);
+    engine.snapshot_tenant(name).expect("snapshot");
+    engine.evict_tenant(name).expect("evict");
+
+    let trace = engine.trace().expect("trace");
+    let kinds: Vec<&str> = trace.shards[0].iter().map(|e| e.kind.name()).collect();
+    assert_eq!(
+        kinds,
+        vec![
+            "tenant_registered",
+            "flush_applied",
+            "flush_applied",
+            "snapshot_taken",
+            "tenant_evicted",
+        ],
+    );
+    for event in &trace.shards[0] {
+        assert_eq!(event.tenant.as_str(), name);
+    }
+    let seqs: Vec<u64> = trace.shards[0].iter().map(|e| e.seq).collect();
+    assert_eq!(seqs, vec![0, 1, 2, 3, 4]);
+
+    // Draining the ring is destructive: a second read starts empty.
+    let again = engine.trace().expect("trace");
+    assert!(again.shards[0].is_empty());
+    engine.shutdown();
+}
