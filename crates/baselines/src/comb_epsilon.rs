@@ -9,8 +9,8 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use netband_core::estimator::RunningMean;
-use netband_core::CombinatorialPolicy;
+use netband_core::estimator::{load_running_means, save_running_means, RunningMean};
+use netband_core::{CombinatorialPolicy, PolicyState, PolicyStateError, PolicyStateReader};
 use netband_env::feasible::FeasibleSet;
 use netband_env::{CombinatorialFeedback, StrategyBank, StrategyFamily};
 use netband_graph::RelationGraph;
@@ -112,6 +112,22 @@ impl CombinatorialPolicy for CombEpsilonGreedy {
             est.reset();
         }
         self.rng = StdRng::seed_from_u64(self.seed);
+    }
+
+    fn save_state(&self) -> Option<PolicyState> {
+        let mut state = PolicyState::new();
+        save_running_means(&self.estimates, &mut state);
+        state.rng = Some(self.rng.to_state());
+        Some(state)
+    }
+
+    fn load_state(&mut self, state: &PolicyState) -> Result<(), PolicyStateError> {
+        let mut reader = PolicyStateReader::new(self.name(), state);
+        load_running_means(&mut self.estimates, &mut reader)?;
+        let rng = reader.rng()?;
+        reader.finish()?;
+        self.rng = StdRng::from_state(rng);
+        Ok(())
     }
 }
 

@@ -7,7 +7,7 @@
 //! structural difference from DFL-CSO/DFL-CSR.
 
 use netband_core::estimator::ArmEstimators;
-use netband_core::CombinatorialPolicy;
+use netband_core::{CombinatorialPolicy, PolicyState, PolicyStateError, PolicyStateReader};
 use netband_env::feasible::FeasibleSet;
 use netband_env::{CombinatorialFeedback, StrategyFamily};
 use netband_graph::RelationGraph;
@@ -109,6 +109,22 @@ impl CombinatorialPolicy for Cucb {
 
     fn arm_estimators(&self) -> Option<&ArmEstimators> {
         Some(&self.estimates)
+    }
+
+    fn save_state(&self) -> Option<PolicyState> {
+        let mut state = PolicyState::new();
+        self.estimates.save_state(&mut state);
+        state.counts.push(vec![self.total_pulls]);
+        Some(state)
+    }
+
+    fn load_state(&mut self, state: &PolicyState) -> Result<(), PolicyStateError> {
+        let mut reader = PolicyStateReader::new(self.name(), state);
+        self.estimates.load_state(&mut reader)?;
+        let total = reader.counts(1)?[0];
+        reader.finish()?;
+        self.total_pulls = total;
+        Ok(())
     }
 }
 

@@ -5,8 +5,8 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use netband_core::estimator::RunningMean;
-use netband_core::SinglePlayPolicy;
+use netband_core::estimator::{load_running_means, save_running_means, RunningMean};
+use netband_core::{PolicyState, PolicyStateError, PolicyStateReader, SinglePlayPolicy};
 use netband_env::SinglePlayFeedback;
 
 use crate::ArmId;
@@ -107,6 +107,22 @@ impl SinglePlayPolicy for EpsilonGreedy {
             est.reset();
         }
         self.rng = StdRng::seed_from_u64(self.seed);
+    }
+
+    fn save_state(&self) -> Option<PolicyState> {
+        let mut state = PolicyState::new();
+        save_running_means(&self.estimates, &mut state);
+        state.rng = Some(self.rng.to_state());
+        Some(state)
+    }
+
+    fn load_state(&mut self, state: &PolicyState) -> Result<(), PolicyStateError> {
+        let mut reader = PolicyStateReader::new(self.name(), state);
+        load_running_means(&mut self.estimates, &mut reader)?;
+        let rng = reader.rng()?;
+        reader.finish()?;
+        self.rng = StdRng::from_state(rng);
+        Ok(())
     }
 }
 

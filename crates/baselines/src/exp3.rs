@@ -6,7 +6,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use netband_core::SinglePlayPolicy;
+use netband_core::{PolicyState, PolicyStateError, PolicyStateReader, SinglePlayPolicy};
 use netband_env::SinglePlayFeedback;
 
 use crate::ArmId;
@@ -95,6 +95,29 @@ impl SinglePlayPolicy for Exp3 {
         let k = self.num_arms().max(1) as f64;
         self.last_probs = vec![1.0 / k; self.num_arms()];
         self.rng = StdRng::seed_from_u64(self.seed);
+    }
+
+    // `last_probs` is part of the durable state: the importance-weighted
+    // update of a pending feedback divides by the probabilities in effect at
+    // the decide that produced it.
+    fn save_state(&self) -> Option<PolicyState> {
+        let mut state = PolicyState::new();
+        state.floats.push(self.weights.clone());
+        state.floats.push(self.last_probs.clone());
+        state.rng = Some(self.rng.to_state());
+        Some(state)
+    }
+
+    fn load_state(&mut self, state: &PolicyState) -> Result<(), PolicyStateError> {
+        let mut reader = PolicyStateReader::new(self.name(), state);
+        let weights = reader.floats(self.weights.len())?;
+        let last_probs = reader.floats(self.last_probs.len())?;
+        let rng = reader.rng()?;
+        reader.finish()?;
+        self.weights.copy_from_slice(weights);
+        self.last_probs.copy_from_slice(last_probs);
+        self.rng = StdRng::from_state(rng);
+        Ok(())
     }
 }
 

@@ -5,8 +5,8 @@
 //! empirical mean stays within `(ln t + c·ln ln t) / T_i`. Like the other
 //! baselines it ignores side observations.
 
-use netband_core::estimator::RunningMean;
-use netband_core::SinglePlayPolicy;
+use netband_core::estimator::{load_running_means, save_running_means, RunningMean};
+use netband_core::{PolicyState, PolicyStateError, PolicyStateReader, SinglePlayPolicy};
 use netband_env::SinglePlayFeedback;
 
 use crate::ArmId;
@@ -125,6 +125,18 @@ impl SinglePlayPolicy for KlUcb {
         for est in &mut self.estimates {
             est.reset();
         }
+    }
+
+    fn save_state(&self) -> Option<PolicyState> {
+        let mut state = PolicyState::new();
+        save_running_means(&self.estimates, &mut state);
+        Some(state)
+    }
+
+    fn load_state(&mut self, state: &PolicyState) -> Result<(), PolicyStateError> {
+        let mut reader = PolicyStateReader::new(self.name(), state);
+        load_running_means(&mut self.estimates, &mut reader)?;
+        reader.finish()
     }
 }
 

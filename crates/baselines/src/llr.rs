@@ -7,7 +7,7 @@
 //! arms are updated.
 
 use netband_core::estimator::ArmEstimators;
-use netband_core::CombinatorialPolicy;
+use netband_core::{CombinatorialPolicy, PolicyState, PolicyStateError, PolicyStateReader};
 use netband_env::feasible::FeasibleSet;
 use netband_env::{CombinatorialFeedback, StrategyFamily};
 use netband_graph::RelationGraph;
@@ -102,6 +102,18 @@ impl CombinatorialPolicy for Llr {
 
     fn arm_estimators(&self) -> Option<&ArmEstimators> {
         Some(&self.estimates)
+    }
+
+    fn save_state(&self) -> Option<PolicyState> {
+        let mut state = PolicyState::new();
+        self.estimates.save_state(&mut state);
+        Some(state)
+    }
+
+    fn load_state(&mut self, state: &PolicyState) -> Result<(), PolicyStateError> {
+        let mut reader = PolicyStateReader::new(self.name(), state);
+        self.estimates.load_state(&mut reader)?;
+        reader.finish()
     }
 }
 

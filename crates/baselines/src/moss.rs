@@ -5,8 +5,8 @@
 //! side observations are ignored, which is exactly the handicap the comparison
 //! is designed to expose.
 
-use netband_core::estimator::{moss_index, RunningMean};
-use netband_core::SinglePlayPolicy;
+use netband_core::estimator::{load_running_means, moss_index, save_running_means, RunningMean};
+use netband_core::{PolicyState, PolicyStateError, PolicyStateReader, SinglePlayPolicy};
 use netband_env::SinglePlayFeedback;
 
 use crate::ArmId;
@@ -96,6 +96,18 @@ impl SinglePlayPolicy for Moss {
         for est in &mut self.estimates {
             est.reset();
         }
+    }
+
+    fn save_state(&self) -> Option<PolicyState> {
+        let mut state = PolicyState::new();
+        save_running_means(&self.estimates, &mut state);
+        Some(state)
+    }
+
+    fn load_state(&mut self, state: &PolicyState) -> Result<(), PolicyStateError> {
+        let mut reader = PolicyStateReader::new(self.name(), state);
+        load_running_means(&mut self.estimates, &mut reader)?;
+        reader.finish()
     }
 }
 

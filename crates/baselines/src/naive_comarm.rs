@@ -7,8 +7,9 @@
 //! which is exactly what makes the structural exploitation of DFL-CSO/DFL-CSR
 //! worthwhile. It is included so the experiments can show that gap empirically.
 
-use netband_core::estimator::{moss_index, RunningMean};
-use netband_core::CombinatorialPolicy;
+use netband_core::estimator::{load_running_means, moss_index, save_running_means, RunningMean};
+use netband_core::state::{load_opt_index, save_opt_index};
+use netband_core::{CombinatorialPolicy, PolicyState, PolicyStateError, PolicyStateReader};
 use netband_env::CombinatorialFeedback;
 use netband_graph::StrategyBank;
 
@@ -114,6 +115,32 @@ impl CombinatorialPolicy for NaiveComArmMoss {
             est.reset();
         }
         self.last_selected = None;
+    }
+
+    // `last_selected` is durable: a pending feedback captured between decide
+    // and update must credit the com-arm chosen at that decide.
+    fn save_state(&self) -> Option<PolicyState> {
+        let mut state = PolicyState::new();
+        save_running_means(&self.estimates, &mut state);
+        save_opt_index(self.last_selected, &mut state);
+        Some(state)
+    }
+
+    fn load_state(&mut self, state: &PolicyState) -> Result<(), PolicyStateError> {
+        let mut reader = PolicyStateReader::new(self.name(), state);
+        load_running_means(&mut self.estimates, &mut reader)?;
+        let last = load_opt_index(&mut reader)?;
+        if let Some(x) = last {
+            if x >= self.num_strategies() {
+                return Err(reader.mismatch(format!(
+                    "last_selected {x} out of range for {} strategies",
+                    self.num_strategies()
+                )));
+            }
+        }
+        reader.finish()?;
+        self.last_selected = last;
+        Ok(())
     }
 }
 

@@ -3,7 +3,9 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use netband_core::{CombinatorialPolicy, SinglePlayPolicy};
+use netband_core::{
+    CombinatorialPolicy, PolicyState, PolicyStateError, PolicyStateReader, SinglePlayPolicy,
+};
 use netband_env::{CombinatorialFeedback, SinglePlayFeedback};
 use netband_graph::StrategyBank;
 
@@ -42,6 +44,20 @@ impl SinglePlayPolicy for RandomSingle {
 
     fn reset(&mut self) {
         self.rng = StdRng::seed_from_u64(self.seed);
+    }
+
+    fn save_state(&self) -> Option<PolicyState> {
+        let mut state = PolicyState::new();
+        state.rng = Some(self.rng.to_state());
+        Some(state)
+    }
+
+    fn load_state(&mut self, state: &PolicyState) -> Result<(), PolicyStateError> {
+        let mut reader = PolicyStateReader::new(self.name(), state);
+        let rng = reader.rng()?;
+        reader.finish()?;
+        self.rng = StdRng::from_state(rng);
+        Ok(())
     }
 }
 
@@ -94,6 +110,20 @@ impl CombinatorialPolicy for RandomCombinatorial {
 
     fn reset(&mut self) {
         self.rng = StdRng::seed_from_u64(self.seed);
+    }
+
+    fn save_state(&self) -> Option<PolicyState> {
+        let mut state = PolicyState::new();
+        state.rng = Some(self.rng.to_state());
+        Some(state)
+    }
+
+    fn load_state(&mut self, state: &PolicyState) -> Result<(), PolicyStateError> {
+        let mut reader = PolicyStateReader::new(self.name(), state);
+        let rng = reader.rng()?;
+        reader.finish()?;
+        self.rng = StdRng::from_state(rng);
+        Ok(())
     }
 }
 

@@ -7,7 +7,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use netband_core::SinglePlayPolicy;
+use netband_core::{PolicyState, PolicyStateError, PolicyStateReader, SinglePlayPolicy};
 use netband_env::SinglePlayFeedback;
 
 use crate::ArmId;
@@ -135,6 +135,26 @@ impl SinglePlayPolicy for ThompsonBernoulli {
             *f = 1.0;
         }
         self.rng = StdRng::seed_from_u64(self.seed);
+    }
+
+    fn save_state(&self) -> Option<PolicyState> {
+        let mut state = PolicyState::new();
+        state.floats.push(self.successes.clone());
+        state.floats.push(self.failures.clone());
+        state.rng = Some(self.rng.to_state());
+        Some(state)
+    }
+
+    fn load_state(&mut self, state: &PolicyState) -> Result<(), PolicyStateError> {
+        let mut reader = PolicyStateReader::new(self.name(), state);
+        let successes = reader.floats(self.successes.len())?;
+        let failures = reader.floats(self.failures.len())?;
+        let rng = reader.rng()?;
+        reader.finish()?;
+        self.successes.copy_from_slice(successes);
+        self.failures.copy_from_slice(failures);
+        self.rng = StdRng::from_state(rng);
+        Ok(())
     }
 }
 

@@ -4,7 +4,7 @@
 //! the pulled arm's direct reward.
 
 use netband_core::estimator::{argmax_last, ArmEstimators};
-use netband_core::SinglePlayPolicy;
+use netband_core::{PolicyState, PolicyStateError, PolicyStateReader, SinglePlayPolicy};
 use netband_env::SinglePlayFeedback;
 
 use crate::ArmId;
@@ -42,6 +42,18 @@ impl UcbArms {
     fn reset(&mut self) {
         self.estimates.reset();
         self.sum_sq.fill(0.0);
+    }
+
+    fn save_state(&self, out: &mut PolicyState) {
+        self.estimates.save_state(out);
+        out.floats.push(self.sum_sq.clone());
+    }
+
+    fn load_state(&mut self, reader: &mut PolicyStateReader<'_>) -> Result<(), PolicyStateError> {
+        self.estimates.load_state(reader)?;
+        let sum_sq = reader.floats(self.sum_sq.len())?;
+        self.sum_sq.copy_from_slice(sum_sq);
+        Ok(())
     }
 }
 
@@ -109,6 +121,18 @@ impl SinglePlayPolicy for Ucb1 {
 
     fn arm_estimators(&self) -> Option<&ArmEstimators> {
         Some(&self.arms.estimates)
+    }
+
+    fn save_state(&self) -> Option<PolicyState> {
+        let mut state = PolicyState::new();
+        self.arms.save_state(&mut state);
+        Some(state)
+    }
+
+    fn load_state(&mut self, state: &PolicyState) -> Result<(), PolicyStateError> {
+        let mut reader = PolicyStateReader::new(self.name(), state);
+        self.arms.load_state(&mut reader)?;
+        reader.finish()
     }
 }
 
@@ -180,6 +204,18 @@ impl SinglePlayPolicy for UcbTuned {
 
     fn arm_estimators(&self) -> Option<&ArmEstimators> {
         Some(&self.arms.estimates)
+    }
+
+    fn save_state(&self) -> Option<PolicyState> {
+        let mut state = PolicyState::new();
+        self.arms.save_state(&mut state);
+        Some(state)
+    }
+
+    fn load_state(&mut self, state: &PolicyState) -> Result<(), PolicyStateError> {
+        let mut reader = PolicyStateReader::new(self.name(), state);
+        self.arms.load_state(&mut reader)?;
+        reader.finish()
     }
 }
 

@@ -7,7 +7,7 @@
 //! distribution-dependent single-play comparator. Like every baseline it
 //! ignores side observations.
 
-use netband_core::SinglePlayPolicy;
+use netband_core::{PolicyState, PolicyStateError, PolicyStateReader, SinglePlayPolicy};
 use netband_env::SinglePlayFeedback;
 
 use crate::ArmId;
@@ -132,6 +132,34 @@ impl SinglePlayPolicy for UcbV {
         for a in &mut self.arms {
             a.reset();
         }
+    }
+
+    fn save_state(&self) -> Option<PolicyState> {
+        let mut state = PolicyState::new();
+        state
+            .counts
+            .push(self.arms.iter().map(|a| a.count).collect());
+        state
+            .floats
+            .push(self.arms.iter().map(|a| a.mean).collect());
+        state
+            .floats
+            .push(self.arms.iter().map(|a| a.mean_sq).collect());
+        Some(state)
+    }
+
+    fn load_state(&mut self, state: &PolicyState) -> Result<(), PolicyStateError> {
+        let mut reader = PolicyStateReader::new(self.name(), state);
+        let counts = reader.counts(self.arms.len())?;
+        let means = reader.floats(self.arms.len())?;
+        let mean_sqs = reader.floats(self.arms.len())?;
+        reader.finish()?;
+        for (i, a) in self.arms.iter_mut().enumerate() {
+            a.count = counts[i];
+            a.mean = means[i];
+            a.mean_sq = mean_sqs[i];
+        }
+        Ok(())
     }
 }
 

@@ -1,0 +1,335 @@
+//! Durable-state round trips for every policy in `netband-core` and
+//! `netband-baselines`.
+//!
+//! The contract under test is the one the serving layer's crash recovery
+//! relies on: run a policy for a warmup, capture `save_state`, load it into a
+//! freshly built twin of the same structure, and the twin must continue the
+//! decision stream **bit-identically** — same selections, and (for randomised
+//! policies) the same RNG draws. A re-save of the loaded state must also
+//! reproduce the captured bag exactly, which is what makes snapshot
+//! compaction idempotent on disk.
+
+use netband_baselines::{
+    CombEpsilonGreedy, Cucb, EpsilonGreedy, Exp3, KlUcb, Llr, Moss, NaiveComArmMoss,
+    RandomCombinatorial, RandomSingle, Softmax, ThompsonBernoulli, Ucb1, UcbTuned, UcbV,
+};
+use netband_core::prelude::*;
+use netband_env::feasible::FeasibleSet;
+use netband_env::{ArmSet, NetworkedBandit, StrategyFamily};
+use netband_graph::{generators, RelationGraph};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const WARMUP: usize = 60;
+const CONTINUE: usize = 100;
+const NUM_ARMS: usize = 8;
+
+fn bandit() -> (RelationGraph, NetworkedBandit) {
+    let mut rng = StdRng::seed_from_u64(42);
+    let graph = generators::erdos_renyi(NUM_ARMS, 0.35, &mut rng);
+    let bandit = NetworkedBandit::new(graph.clone(), ArmSet::linear_bernoulli(NUM_ARMS)).unwrap();
+    (graph, bandit)
+}
+
+/// Warm up `policy`, capture its state into a fresh `twin`, and check the two
+/// continue identically.
+fn roundtrip_single<P: SinglePlayPolicy>(mut policy: P, mut twin: P) {
+    let (_, bandit) = bandit();
+    let mut rng = StdRng::seed_from_u64(1007);
+    for t in 1..=WARMUP {
+        let arm = policy.select_arm(t);
+        let fb = bandit.pull_single(arm, &mut rng);
+        policy.update(t, &fb);
+    }
+    let state = policy
+        .save_state()
+        .expect("every shipped policy supports durable state");
+    twin.load_state(&state)
+        .expect("state must fit a fresh twin");
+    assert_eq!(
+        twin.save_state().expect("twin supports durable state"),
+        state,
+        "{}: re-saving loaded state must be lossless",
+        policy.name()
+    );
+    let mut twin_rng = rng.clone();
+    for t in WARMUP + 1..=WARMUP + CONTINUE {
+        let a = policy.select_arm(t);
+        let b = twin.select_arm(t);
+        assert_eq!(a, b, "{} diverged at t={t}", policy.name());
+        let fb_a = bandit.pull_single(a, &mut rng);
+        let fb_b = bandit.pull_single(b, &mut twin_rng);
+        assert_eq!(fb_a.direct_reward.to_bits(), fb_b.direct_reward.to_bits());
+        policy.update(t, &fb_a);
+        twin.update(t, &fb_b);
+    }
+}
+
+/// Combinatorial analogue of [`roundtrip_single`].
+fn roundtrip_combinatorial<P: CombinatorialPolicy>(mut policy: P, mut twin: P) {
+    let (_, bandit) = bandit();
+    let mut rng = StdRng::seed_from_u64(1007);
+    for t in 1..=WARMUP {
+        let s = policy.select_strategy(t);
+        let fb = bandit.pull_strategy(&s, &mut rng).unwrap();
+        policy.update(t, &fb);
+    }
+    let state = policy
+        .save_state()
+        .expect("every shipped policy supports durable state");
+    twin.load_state(&state)
+        .expect("state must fit a fresh twin");
+    assert_eq!(
+        twin.save_state().expect("twin supports durable state"),
+        state,
+        "{}: re-saving loaded state must be lossless",
+        policy.name()
+    );
+    let mut twin_rng = rng.clone();
+    for t in WARMUP + 1..=WARMUP + CONTINUE {
+        let a = policy.select_strategy(t);
+        let b = twin.select_strategy(t);
+        assert_eq!(a, b, "{} diverged at t={t}", policy.name());
+        let fb_a = bandit.pull_strategy(&a, &mut rng).unwrap();
+        let fb_b = bandit.pull_strategy(&b, &mut twin_rng).unwrap();
+        assert_eq!(fb_a.direct_reward.to_bits(), fb_b.direct_reward.to_bits());
+        policy.update(t, &fb_a);
+        twin.update(t, &fb_b);
+    }
+}
+
+#[test]
+fn dfl_sso_round_trips() {
+    let (graph, _) = bandit();
+    roundtrip_single(DflSso::new(graph.clone()), DflSso::new(graph));
+}
+
+#[test]
+fn dfl_ssr_round_trips() {
+    let (graph, _) = bandit();
+    roundtrip_single(DflSsr::new(graph.clone()), DflSsr::new(graph));
+}
+
+#[test]
+fn dfl_greedy_neighbor_heuristics_round_trip() {
+    let (graph, _) = bandit();
+    roundtrip_single(
+        DflSsoGreedyNeighbor::new(graph.clone()),
+        DflSsoGreedyNeighbor::new(graph.clone()),
+    );
+    roundtrip_single(
+        DflSsrGreedyNeighbor::new(graph.clone()),
+        DflSsrGreedyNeighbor::new(graph),
+    );
+}
+
+#[test]
+fn moss_variants_round_trip() {
+    roundtrip_single(Moss::new(NUM_ARMS), Moss::new(NUM_ARMS));
+    roundtrip_single(
+        Moss::with_horizon(NUM_ARMS, 500),
+        Moss::with_horizon(NUM_ARMS, 500),
+    );
+}
+
+#[test]
+fn klucb_round_trips() {
+    roundtrip_single(KlUcb::new(NUM_ARMS), KlUcb::new(NUM_ARMS));
+}
+
+#[test]
+fn ucb1_and_ucb_tuned_round_trip() {
+    roundtrip_single(Ucb1::new(NUM_ARMS), Ucb1::new(NUM_ARMS));
+    roundtrip_single(UcbTuned::new(NUM_ARMS), UcbTuned::new(NUM_ARMS));
+}
+
+#[test]
+fn ucbv_round_trips() {
+    roundtrip_single(UcbV::new(NUM_ARMS), UcbV::new(NUM_ARMS));
+}
+
+#[test]
+fn epsilon_greedy_round_trips_mid_stream_rng() {
+    roundtrip_single(
+        EpsilonGreedy::new(NUM_ARMS, 0.2, 9),
+        EpsilonGreedy::new(NUM_ARMS, 0.2, 9),
+    );
+    // The twin is built from a *different* seed: load_state must overwrite the
+    // fresh generator with the captured stream position.
+    roundtrip_single(
+        EpsilonGreedy::decaying(NUM_ARMS, 6.0, 9),
+        EpsilonGreedy::decaying(NUM_ARMS, 6.0, 12345),
+    );
+}
+
+#[test]
+fn softmax_round_trips() {
+    roundtrip_single(
+        Softmax::new(NUM_ARMS, 0.15, 3),
+        Softmax::new(NUM_ARMS, 0.15, 999),
+    );
+    roundtrip_single(
+        Softmax::annealed(NUM_ARMS, 0.4, 4),
+        Softmax::annealed(NUM_ARMS, 0.4, 4),
+    );
+}
+
+#[test]
+fn exp3_round_trips_with_last_probs() {
+    roundtrip_single(Exp3::new(NUM_ARMS, 0.2, 5), Exp3::new(NUM_ARMS, 0.2, 777));
+}
+
+#[test]
+fn thompson_round_trips() {
+    roundtrip_single(
+        ThompsonBernoulli::new(NUM_ARMS, 6),
+        ThompsonBernoulli::new(NUM_ARMS, 606),
+    );
+}
+
+#[test]
+fn random_single_round_trips() {
+    roundtrip_single(
+        RandomSingle::new(NUM_ARMS, 7),
+        RandomSingle::new(NUM_ARMS, 707),
+    );
+}
+
+#[test]
+fn dfl_cso_round_trips() {
+    let (graph, _) = bandit();
+    let family = StrategyFamily::exactly_m(NUM_ARMS, 2);
+    let strategies = family.enumerate(&graph).unwrap();
+    roundtrip_combinatorial(
+        DflCso::from_strategies(&graph, strategies.clone()),
+        DflCso::from_strategies(&graph, strategies),
+    );
+}
+
+#[test]
+fn dfl_cso_pending_last_selected_survives_the_capture() {
+    // Capture *between* decide and update — the window the serving layer can
+    // snapshot in when feedback is still pending.
+    let (graph, bandit) = bandit();
+    let family = StrategyFamily::exactly_m(NUM_ARMS, 2);
+    let strategies = family.enumerate(&graph).unwrap();
+    let mut policy = DflCso::from_strategies(&graph, strategies.clone());
+    let mut rng = StdRng::seed_from_u64(1007);
+    for t in 1..=10 {
+        let s = policy.select_strategy(t);
+        let fb = bandit.pull_strategy(&s, &mut rng).unwrap();
+        policy.update(t, &fb);
+    }
+    let s = policy.select_strategy(11);
+    let state = policy.save_state().unwrap();
+    let mut twin = DflCso::from_strategies(&graph, strategies);
+    twin.load_state(&state).unwrap();
+    assert_eq!(twin.save_state().unwrap(), state);
+    let fb = bandit.pull_strategy(&s, &mut rng).unwrap();
+    policy.update(11, &fb);
+    twin.update(11, &fb);
+    assert_eq!(policy.select_strategy(12), twin.select_strategy(12));
+}
+
+#[test]
+fn dfl_csr_round_trips() {
+    let (graph, _) = bandit();
+    let family = StrategyFamily::exactly_m(NUM_ARMS, 2);
+    roundtrip_combinatorial(
+        DflCsr::new(graph.clone(), family.clone()),
+        DflCsr::new(graph, family),
+    );
+}
+
+#[test]
+fn cts_round_trips_across_estimator_kinds() {
+    let (graph, _) = bandit();
+    let family = StrategyFamily::exactly_m(NUM_ARMS, 2);
+    for kind in [
+        EstimatorKind::Stationary,
+        EstimatorKind::Discounted { gamma: 0.97 },
+        EstimatorKind::SlidingWindow { window: 24 },
+    ] {
+        roundtrip_combinatorial(
+            CombinatorialThompson::with_estimator(graph.clone(), family.clone(), kind, 11),
+            CombinatorialThompson::with_estimator(graph.clone(), family.clone(), kind, 2222),
+        );
+    }
+}
+
+#[test]
+fn llr_and_cucb_round_trip() {
+    let (graph, _) = bandit();
+    let family = StrategyFamily::exactly_m(NUM_ARMS, 2);
+    roundtrip_combinatorial(
+        Llr::new(graph.clone(), family.clone()),
+        Llr::new(graph.clone(), family.clone()),
+    );
+    roundtrip_combinatorial(
+        Cucb::new(graph.clone(), family.clone()),
+        Cucb::new(graph, family),
+    );
+}
+
+#[test]
+fn naive_comarm_round_trips_with_last_selected() {
+    let (graph, _) = bandit();
+    let family = StrategyFamily::exactly_m(NUM_ARMS, 2);
+    let strategies = family.enumerate(&graph).unwrap();
+    roundtrip_combinatorial(
+        NaiveComArmMoss::new(strategies.clone()),
+        NaiveComArmMoss::new(strategies),
+    );
+}
+
+#[test]
+fn comb_epsilon_greedy_round_trips() {
+    let (graph, _) = bandit();
+    let family = StrategyFamily::exactly_m(NUM_ARMS, 2);
+    roundtrip_combinatorial(
+        CombEpsilonGreedy::new(graph.clone(), family.clone(), 6.0, 13),
+        CombEpsilonGreedy::new(graph, family, 6.0, 31),
+    );
+}
+
+#[test]
+fn random_combinatorial_round_trips() {
+    let (graph, _) = bandit();
+    let family = StrategyFamily::exactly_m(NUM_ARMS, 2);
+    let strategies = family.enumerate(&graph).unwrap();
+    roundtrip_combinatorial(
+        RandomCombinatorial::new(strategies.clone(), 17),
+        RandomCombinatorial::new(strategies, 71),
+    );
+}
+
+#[test]
+fn cross_policy_states_are_rejected_loudly() {
+    let (graph, _) = bandit();
+    // DFL-SSO saves one shape (counts + means); EXP3 expects another
+    // (weights + last_probs + rng). Loading across must fail, not corrupt.
+    let mut sso = DflSso::new(graph.clone());
+    let state = sso.save_state().unwrap();
+    let mut exp3 = Exp3::new(NUM_ARMS, 0.2, 0);
+    let err = exp3.load_state(&state).unwrap_err();
+    assert!(matches!(err, PolicyStateError::Mismatch { .. }), "{err}");
+    // Same shape family but wrong arm count is also rejected.
+    let mut smaller = DflSso::new(generators::path(3));
+    assert!(smaller.load_state(&state).is_err());
+    let _ = sso.select_arm(1);
+}
+
+#[test]
+fn sliding_window_overflow_is_rejected() {
+    let (graph, _) = bandit();
+    let family = StrategyFamily::exactly_m(NUM_ARMS, 2);
+    let kind = EstimatorKind::SlidingWindow { window: 4 };
+    let mut cts = CombinatorialThompson::with_estimator(graph.clone(), family.clone(), kind, 1);
+    let mut state = cts.save_state().unwrap();
+    // Corrupt one ring beyond its capacity: a loaded ring longer than the
+    // window would change every later eviction.
+    state.windows[0] = vec![0.5; 9];
+    let err = cts.load_state(&state).unwrap_err();
+    assert!(matches!(err, PolicyStateError::Mismatch { .. }), "{err}");
+    drop(family);
+}

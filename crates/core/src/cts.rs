@@ -26,6 +26,7 @@ use netband_graph::{RelationGraph, StrategyBank};
 
 use crate::estimator::{argmax_last, ArmEstimators, EstimatorKind};
 use crate::policy::CombinatorialPolicy;
+use crate::state::{PolicyState, PolicyStateError, PolicyStateReader};
 use crate::ArmId;
 
 /// Combinatorial Thompson sampling with a `Beta(1, 1)` prior per arm.
@@ -192,6 +193,25 @@ impl CombinatorialPolicy for CombinatorialThompson {
 
     fn arm_estimators(&self) -> Option<&ArmEstimators> {
         Some(&self.estimates)
+    }
+
+    // Durable state: posterior evidence plus the policy's RNG (sampling and
+    // binarisation draw from the same stream, so the generator position is
+    // part of the learned trajectory).
+    fn save_state(&self) -> Option<PolicyState> {
+        let mut state = PolicyState::new();
+        self.estimates.save_state(&mut state);
+        state.rng = Some(self.rng.to_state());
+        Some(state)
+    }
+
+    fn load_state(&mut self, state: &PolicyState) -> Result<(), PolicyStateError> {
+        let mut reader = PolicyStateReader::new(self.name(), state);
+        self.estimates.load_state(&mut reader)?;
+        let rng = reader.rng()?;
+        reader.finish()?;
+        self.rng = StdRng::from_state(rng);
+        Ok(())
     }
 }
 

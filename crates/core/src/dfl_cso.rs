@@ -21,6 +21,9 @@ use netband_graph::StrategyRelationGraph;
 
 use crate::estimator::{argmax_last, moss_index, ArmEstimators};
 use crate::policy::CombinatorialPolicy;
+use crate::state::{
+    load_opt_index, save_opt_index, PolicyState, PolicyStateError, PolicyStateReader,
+};
 use crate::ArmId;
 
 /// The DFL-CSO policy (Algorithm 2), operating on an explicitly enumerated
@@ -188,6 +191,33 @@ impl CombinatorialPolicy for DflCso {
     // the i-th enumerated strategy, not base arm `i`.
     fn arm_estimators(&self) -> Option<&ArmEstimators> {
         Some(&self.estimates)
+    }
+
+    // Durable state: com-arm estimates plus the `last_selected` register (live
+    // when a decide's feedback is still pending across the capture). The
+    // scratch buffers are per-round and always clean between updates.
+    fn save_state(&self) -> Option<PolicyState> {
+        let mut state = PolicyState::new();
+        self.estimates.save_state(&mut state);
+        save_opt_index(self.last_selected, &mut state);
+        Some(state)
+    }
+
+    fn load_state(&mut self, state: &PolicyState) -> Result<(), PolicyStateError> {
+        let mut reader = PolicyStateReader::new(self.name(), state);
+        self.estimates.load_state(&mut reader)?;
+        let last = load_opt_index(&mut reader)?;
+        if let Some(x) = last {
+            if x >= self.num_strategies() {
+                return Err(reader.mismatch(format!(
+                    "last_selected {x} out of range for {} strategies",
+                    self.num_strategies()
+                )));
+            }
+        }
+        reader.finish()?;
+        self.last_selected = last;
+        Ok(())
     }
 }
 

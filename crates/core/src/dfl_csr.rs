@@ -22,6 +22,7 @@ use netband_graph::{RelationGraph, StrategyBank};
 
 use crate::estimator::{argmax_last, csr_index, ArmEstimators};
 use crate::policy::CombinatorialPolicy;
+use crate::state::{PolicyState, PolicyStateError, PolicyStateReader};
 use crate::ArmId;
 
 /// The enumerated feasible set as two aligned [`StrategyBank`] tables, so the
@@ -202,6 +203,20 @@ impl CombinatorialPolicy for DflCsr {
 
     fn arm_estimators(&self) -> Option<&ArmEstimators> {
         Some(&self.estimates)
+    }
+
+    // Durable state is the per-arm estimates; the enumerated fast path and the
+    // weights scratch are derived from structure.
+    fn save_state(&self) -> Option<PolicyState> {
+        let mut state = PolicyState::new();
+        self.estimates.save_state(&mut state);
+        Some(state)
+    }
+
+    fn load_state(&mut self, state: &PolicyState) -> Result<(), PolicyStateError> {
+        let mut reader = PolicyStateReader::new(self.name(), state);
+        self.estimates.load_state(&mut reader)?;
+        reader.finish()
     }
 }
 

@@ -19,6 +19,7 @@ use netband_graph::RelationGraph;
 
 use crate::estimator::{argmax_last, moss_index, ArmEstimators};
 use crate::policy::SinglePlayPolicy;
+use crate::state::{PolicyState, PolicyStateError, PolicyStateReader};
 use crate::ArmId;
 
 /// The DFL-SSO policy (Algorithm 1).
@@ -136,6 +137,20 @@ impl SinglePlayPolicy for DflSso {
 
     fn arm_estimators(&self) -> Option<&ArmEstimators> {
         Some(&self.estimates)
+    }
+
+    // Durable state is the estimator arrays alone; the graph is structure and
+    // is rebuilt from the scenario document on restore.
+    fn save_state(&self) -> Option<PolicyState> {
+        let mut state = PolicyState::new();
+        self.estimates.save_state(&mut state);
+        Some(state)
+    }
+
+    fn load_state(&mut self, state: &PolicyState) -> Result<(), PolicyStateError> {
+        let mut reader = PolicyStateReader::new(self.name(), state);
+        self.estimates.load_state(&mut reader)?;
+        reader.finish()
     }
 }
 

@@ -23,6 +23,7 @@ use netband_graph::{CsrGraph, RelationGraph};
 
 use crate::estimator::{argmax_last, moss_index, ArmEstimators};
 use crate::policy::SinglePlayPolicy;
+use crate::state::{PolicyState, PolicyStateError, PolicyStateReader};
 use crate::ArmId;
 
 /// The DFL-SSR policy (Algorithm 3).
@@ -134,6 +135,21 @@ impl SinglePlayPolicy for DflSsr {
 
     fn arm_estimators(&self) -> Option<&ArmEstimators> {
         Some(&self.arm_estimates)
+    }
+
+    // `Ob_i` and `B̄_i` are derived from the per-arm estimates on demand, so
+    // the estimator arrays are the whole durable state (the CSR snapshot is
+    // structure, rebuilt from the scenario document).
+    fn save_state(&self) -> Option<PolicyState> {
+        let mut state = PolicyState::new();
+        self.arm_estimates.save_state(&mut state);
+        Some(state)
+    }
+
+    fn load_state(&mut self, state: &PolicyState) -> Result<(), PolicyStateError> {
+        let mut reader = PolicyStateReader::new(self.name(), state);
+        self.arm_estimates.load_state(&mut reader)?;
+        reader.finish()
     }
 }
 

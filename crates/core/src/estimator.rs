@@ -15,6 +15,8 @@ use std::collections::VecDeque;
 
 use serde::{Deserialize, Serialize};
 
+use crate::state::{PolicyState, PolicyStateError, PolicyStateReader};
+
 /// `log⁺(x) = max(ln x, 0)`, the truncated logarithm used by MOSS-style indices.
 ///
 /// Defined as 0 for non-positive inputs.
@@ -80,6 +82,36 @@ impl RunningMean {
         self.count = 0;
         self.mean = 0.0;
     }
+
+    /// Rebuilds an estimator from a `(count, mean)` pair captured by
+    /// [`RunningMean::count`] / [`RunningMean::mean`] — the durable-state
+    /// restore path.
+    pub fn from_parts(count: u64, mean: f64) -> Self {
+        RunningMean { count, mean }
+    }
+}
+
+/// Appends a `Vec<RunningMean>`'s state (one count array, one mean array) to
+/// a [`PolicyState`]; the counterpart of [`load_running_means`].
+pub fn save_running_means(estimates: &[RunningMean], out: &mut PolicyState) {
+    out.counts
+        .push(estimates.iter().map(|m| m.count()).collect());
+    out.floats
+        .push(estimates.iter().map(|m| m.mean()).collect());
+}
+
+/// Restores a `Vec<RunningMean>` saved by [`save_running_means`], checking
+/// that the array lengths match `estimates.len()`.
+pub fn load_running_means(
+    estimates: &mut [RunningMean],
+    reader: &mut PolicyStateReader<'_>,
+) -> Result<(), PolicyStateError> {
+    let counts = reader.counts(estimates.len())?;
+    let means = reader.floats(estimates.len())?;
+    for (slot, (&count, &mean)) in estimates.iter_mut().zip(counts.iter().zip(means)) {
+        *slot = RunningMean::from_parts(count, mean);
+    }
+    Ok(())
 }
 
 /// How a set of [`ArmEstimators`] aggregates observations into means.
@@ -323,6 +355,51 @@ impl ArmEstimators {
         for ring in &mut self.windows {
             ring.clear();
         }
+    }
+
+    /// Appends the estimators' learned state to a
+    /// [`PolicyState`]: the count array, the mean
+    /// array, the discounted weights (empty unless discounted), and — for
+    /// sliding windows — one ring per arm, oldest observation first. The kind
+    /// itself is structure (it comes from the scenario document), so it is
+    /// **not** saved; [`ArmEstimators::load_state`] checks it matches.
+    pub fn save_state(&self, out: &mut PolicyState) {
+        out.counts.push(self.counts.clone());
+        out.floats.push(self.means.clone());
+        out.floats.push(self.weights.clone());
+        for ring in &self.windows {
+            out.windows.push(ring.iter().copied().collect());
+        }
+    }
+
+    /// Restores state saved by [`ArmEstimators::save_state`] into estimators
+    /// of the same shape (same arm count and [`EstimatorKind`]); the restored
+    /// estimators continue bit-identically to the saved ones.
+    pub fn load_state(
+        &mut self,
+        reader: &mut PolicyStateReader<'_>,
+    ) -> Result<(), PolicyStateError> {
+        let len = self.counts.len();
+        let counts = reader.counts(len)?;
+        let means = reader.floats(len)?;
+        let weights = reader.floats(self.weights.len())?;
+        self.counts.copy_from_slice(counts);
+        self.means.copy_from_slice(means);
+        self.weights.copy_from_slice(weights);
+        if let EstimatorKind::SlidingWindow { window } = self.kind {
+            for ring in &mut self.windows {
+                let saved = reader.window()?;
+                if saved.len() > window {
+                    return Err(reader.mismatch(format!(
+                        "window ring holds {} observations, capacity is {window}",
+                        saved.len()
+                    )));
+                }
+                ring.clear();
+                ring.extend(saved.iter().copied());
+            }
+        }
+        Ok(())
     }
 }
 

@@ -28,6 +28,7 @@ use netband_graph::{CsrGraph, RelationGraph};
 use crate::dfl_sso::DflSso;
 use crate::dfl_ssr::DflSsr;
 use crate::policy::SinglePlayPolicy;
+use crate::state::{PolicyState, PolicyStateError};
 use crate::ArmId;
 
 /// DFL-SSO with the Section IX redirection: explore by index, pull the
@@ -103,6 +104,15 @@ impl SinglePlayPolicy for DflSsoGreedyNeighbor {
 
     fn reset(&mut self) {
         self.inner.reset();
+    }
+
+    // The redirection is stateless; the durable state is the inner policy's.
+    fn save_state(&self) -> Option<PolicyState> {
+        self.inner.save_state()
+    }
+
+    fn load_state(&mut self, state: &PolicyState) -> Result<(), PolicyStateError> {
+        self.inner.load_state(state)
     }
 }
 
@@ -186,6 +196,15 @@ impl SinglePlayPolicy for DflSsrGreedyNeighbor {
 
     fn reset(&mut self) {
         self.inner.reset();
+    }
+
+    // The redirection is stateless; the durable state is the inner policy's.
+    fn save_state(&self) -> Option<PolicyState> {
+        self.inner.save_state()
+    }
+
+    fn load_state(&mut self, state: &PolicyState) -> Result<(), PolicyStateError> {
+        self.inner.load_state(state)
     }
 }
 

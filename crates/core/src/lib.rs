@@ -56,6 +56,7 @@ pub mod dfl_ssr;
 pub mod estimator;
 pub mod heuristics;
 pub mod policy;
+pub mod state;
 
 pub use cts::CombinatorialThompson;
 pub use dfl_cso::DflCso;
@@ -65,6 +66,7 @@ pub use dfl_ssr::DflSsr;
 pub use estimator::EstimatorKind;
 pub use heuristics::{DflSsoGreedyNeighbor, DflSsrGreedyNeighbor};
 pub use policy::{CombinatorialPolicy, DynCombinatorialPolicy, DynSinglePolicy, SinglePlayPolicy};
+pub use state::{PolicyState, PolicyStateError, PolicyStateReader};
 
 /// Identifier of an arm; re-exported from `netband-graph`.
 pub type ArmId = netband_graph::ArmId;
@@ -85,5 +87,6 @@ pub mod prelude {
     pub use crate::policy::{
         CombinatorialPolicy, DynCombinatorialPolicy, DynSinglePolicy, SinglePlayPolicy,
     };
+    pub use crate::state::{PolicyState, PolicyStateError, PolicyStateReader};
     pub use crate::ArmId;
 }

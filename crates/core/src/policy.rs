@@ -12,6 +12,7 @@
 use netband_env::{CombinatorialFeedback, SinglePlayFeedback};
 
 use crate::estimator::ArmEstimators;
+use crate::state::{PolicyState, PolicyStateError};
 use crate::ArmId;
 
 /// A policy that pulls one arm per time slot (single-play scenarios SSO / SSR).
@@ -34,6 +35,31 @@ pub trait SinglePlayPolicy: Send {
     /// return `None` (the provided default).
     fn arm_estimators(&self) -> Option<&ArmEstimators> {
         None
+    }
+
+    /// Captures the policy's learned state for durable persistence (see
+    /// [`crate::state`]); `None` (the provided default) means the policy does
+    /// not support it. Structure is not captured — a durable restore rebuilds
+    /// the policy from its scenario document, then calls
+    /// [`SinglePlayPolicy::load_state`].
+    fn save_state(&self) -> Option<PolicyState> {
+        None
+    }
+
+    /// Restores state captured by [`SinglePlayPolicy::save_state`] into a
+    /// freshly built policy of the same structure; the restored policy must
+    /// continue the decision stream f64-bit-identically.
+    ///
+    /// # Errors
+    ///
+    /// [`PolicyStateError::Unsupported`] (the provided default) when the
+    /// policy has no durable state; [`PolicyStateError::Mismatch`] when the
+    /// bag does not fit the policy's shape.
+    fn load_state(&mut self, state: &PolicyState) -> Result<(), PolicyStateError> {
+        let _ = state;
+        Err(PolicyStateError::Unsupported {
+            policy: self.name(),
+        })
     }
 }
 
@@ -83,6 +109,27 @@ pub trait CombinatorialPolicy: Send {
     /// still exposed here, indexed by strategy.
     fn arm_estimators(&self) -> Option<&ArmEstimators> {
         None
+    }
+
+    /// Captures the policy's learned state for durable persistence; see
+    /// [`SinglePlayPolicy::save_state`].
+    fn save_state(&self) -> Option<PolicyState> {
+        None
+    }
+
+    /// Restores state captured by [`CombinatorialPolicy::save_state`]; see
+    /// [`SinglePlayPolicy::load_state`].
+    ///
+    /// # Errors
+    ///
+    /// [`PolicyStateError::Unsupported`] (the provided default) when the
+    /// policy has no durable state; [`PolicyStateError::Mismatch`] when the
+    /// bag does not fit the policy's shape.
+    fn load_state(&mut self, state: &PolicyState) -> Result<(), PolicyStateError> {
+        let _ = state;
+        Err(PolicyStateError::Unsupported {
+            policy: self.name(),
+        })
     }
 }
 
@@ -148,6 +195,13 @@ impl<P: SinglePlayPolicy + ?Sized> SinglePlayPolicy for Box<P> {
     fn arm_estimators(&self) -> Option<&ArmEstimators> {
         (**self).arm_estimators()
     }
+    // Same: the provided defaults would make every boxed policy non-durable.
+    fn save_state(&self) -> Option<PolicyState> {
+        (**self).save_state()
+    }
+    fn load_state(&mut self, state: &PolicyState) -> Result<(), PolicyStateError> {
+        (**self).load_state(state)
+    }
 }
 
 impl<P: CombinatorialPolicy + ?Sized> CombinatorialPolicy for Box<P> {
@@ -169,6 +223,12 @@ impl<P: CombinatorialPolicy + ?Sized> CombinatorialPolicy for Box<P> {
     // See the single-play Box impl: forward past the provided default.
     fn arm_estimators(&self) -> Option<&ArmEstimators> {
         (**self).arm_estimators()
+    }
+    fn save_state(&self) -> Option<PolicyState> {
+        (**self).save_state()
+    }
+    fn load_state(&mut self, state: &PolicyState) -> Result<(), PolicyStateError> {
+        (**self).load_state(state)
     }
 }
 

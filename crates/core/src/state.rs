@@ -1,0 +1,282 @@
+//! Durable learned-state capture for policies.
+//!
+//! The serving layer persists tenants across process crashes; the part of a
+//! tenant that lives inside the policy (estimator arrays, auxiliary buffers,
+//! a policy-owned RNG) is captured into a [`PolicyState`] — a flat bag of
+//! plain arrays with no policy-specific schema, so the on-disk codec never
+//! needs to know about concrete policy types. Structure (graph, strategy
+//! family, hyperparameters) is **not** captured: durable tenants are rebuilt
+//! from their scenario document first, then [`load_state`] fills in what was
+//! learned. The contract is exactness: for any policy,
+//! `load_state(save_state())` onto a freshly built twin resumes the decision
+//! stream f64-bit-identically.
+//!
+//! Each policy appends its arrays in a fixed, documented order (its
+//! `save_state` impl) and reads them back in the same order through a
+//! [`PolicyStateReader`] cursor, which checks lengths and rejects leftover or
+//! missing arrays — a state saved by one policy shape fails loudly when
+//! loaded into another.
+//!
+//! [`load_state`]: crate::SinglePlayPolicy::load_state
+
+use std::fmt;
+
+/// A policy's learned state as flat arrays, in the order the policy's
+/// `save_state` appended them.
+///
+/// * `counts` — integer arrays (pull counts, auxiliary integer registers);
+/// * `floats` — `f64` arrays (means, weights, probabilities, sums);
+/// * `windows` — variable-length `f64` arrays (sliding-window observation
+///   rings, oldest first), one entry per ring;
+/// * `rng` — the policy-owned generator's raw state, for policies that
+///   randomise (`None` for deterministic index policies).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PolicyState {
+    /// Integer-valued state arrays.
+    pub counts: Vec<Vec<u64>>,
+    /// Real-valued state arrays.
+    pub floats: Vec<Vec<f64>>,
+    /// Sliding-window rings (oldest observation first).
+    pub windows: Vec<Vec<f64>>,
+    /// Raw xoshiro256++ state of the policy's RNG, when it owns one.
+    pub rng: Option<[u64; 4]>,
+}
+
+impl PolicyState {
+    /// An empty state bag, ready for a policy's `save_state` to fill.
+    pub fn new() -> Self {
+        PolicyState::default()
+    }
+}
+
+/// Why saving or loading a [`PolicyState`] failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PolicyStateError {
+    /// The policy does not implement durable state capture.
+    Unsupported {
+        /// Name of the policy.
+        policy: &'static str,
+    },
+    /// The state bag does not match the policy's shape (wrong array count,
+    /// wrong array length, missing RNG, …).
+    Mismatch {
+        /// Name of the policy that rejected the state.
+        policy: &'static str,
+        /// What was wrong.
+        detail: String,
+    },
+}
+
+impl fmt::Display for PolicyStateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolicyStateError::Unsupported { policy } => {
+                write!(f, "policy {policy} does not support durable state")
+            }
+            PolicyStateError::Mismatch { policy, detail } => {
+                write!(f, "policy state does not fit {policy}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PolicyStateError {}
+
+/// Cursor over a [`PolicyState`], consuming arrays in the order `save_state`
+/// appended them. [`PolicyStateReader::finish`] rejects leftovers, so a load
+/// that silently ignored half the saved state cannot pass.
+pub struct PolicyStateReader<'a> {
+    policy: &'static str,
+    state: &'a PolicyState,
+    counts: usize,
+    floats: usize,
+    windows: usize,
+}
+
+impl<'a> PolicyStateReader<'a> {
+    /// A cursor at the start of `state`, reporting errors as `policy`'s.
+    pub fn new(policy: &'static str, state: &'a PolicyState) -> Self {
+        PolicyStateReader {
+            policy,
+            state,
+            counts: 0,
+            floats: 0,
+            windows: 0,
+        }
+    }
+
+    /// A [`PolicyStateError::Mismatch`] attributed to this reader's policy,
+    /// for callers with shape checks of their own (e.g. window capacities).
+    pub fn mismatch(&self, detail: String) -> PolicyStateError {
+        PolicyStateError::Mismatch {
+            policy: self.policy,
+            detail,
+        }
+    }
+
+    /// The next integer array, which must have exactly `len` entries.
+    pub fn counts(&mut self, len: usize) -> Result<&'a [u64], PolicyStateError> {
+        let arr = self
+            .state
+            .counts
+            .get(self.counts)
+            .ok_or_else(|| self.mismatch(format!("missing count array {}", self.counts)))?;
+        if arr.len() != len {
+            return Err(self.mismatch(format!(
+                "count array {} has {} entries, expected {len}",
+                self.counts,
+                arr.len()
+            )));
+        }
+        self.counts += 1;
+        Ok(arr)
+    }
+
+    /// The next real-valued array, which must have exactly `len` entries.
+    pub fn floats(&mut self, len: usize) -> Result<&'a [f64], PolicyStateError> {
+        let arr = self
+            .state
+            .floats
+            .get(self.floats)
+            .ok_or_else(|| self.mismatch(format!("missing float array {}", self.floats)))?;
+        if arr.len() != len {
+            return Err(self.mismatch(format!(
+                "float array {} has {} entries, expected {len}",
+                self.floats,
+                arr.len()
+            )));
+        }
+        self.floats += 1;
+        Ok(arr)
+    }
+
+    /// The next window ring (variable length — occupancy is data, not shape).
+    pub fn window(&mut self) -> Result<&'a [f64], PolicyStateError> {
+        let arr = self
+            .state
+            .windows
+            .get(self.windows)
+            .ok_or_else(|| self.mismatch(format!("missing window ring {}", self.windows)))?;
+        self.windows += 1;
+        Ok(arr)
+    }
+
+    /// The saved RNG state; an error if the policy expected one and the bag
+    /// has none.
+    pub fn rng(&mut self) -> Result<[u64; 4], PolicyStateError> {
+        self.state
+            .rng
+            .ok_or_else(|| self.mismatch("missing RNG state".into()))
+    }
+
+    /// Asserts every array (and any RNG state) was consumed.
+    pub fn finish(self) -> Result<(), PolicyStateError> {
+        if self.counts != self.state.counts.len()
+            || self.floats != self.state.floats.len()
+            || self.windows != self.state.windows.len()
+        {
+            return Err(self.mismatch(format!(
+                "unconsumed state: read {}/{} count, {}/{} float, {}/{} window arrays",
+                self.counts,
+                self.state.counts.len(),
+                self.floats,
+                self.state.floats.len(),
+                self.windows,
+                self.state.windows.len()
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Encodes an `Option<usize>` register (e.g. a "last selected" memory) as a
+/// 2-entry count array for [`PolicyState`].
+pub fn save_opt_index(slot: Option<usize>, out: &mut PolicyState) {
+    match slot {
+        Some(i) => out.counts.push(vec![1, i as u64]),
+        None => out.counts.push(vec![0, 0]),
+    }
+}
+
+/// Decodes a register saved by [`save_opt_index`].
+pub fn load_opt_index(
+    reader: &mut PolicyStateReader<'_>,
+) -> Result<Option<usize>, PolicyStateError> {
+    let arr = reader.counts(2)?;
+    Ok(if arr[0] == 0 {
+        None
+    } else {
+        Some(arr[1] as usize)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reader_consumes_in_order_and_checks_lengths() {
+        let state = PolicyState {
+            counts: vec![vec![1, 2, 3]],
+            floats: vec![vec![0.5], vec![0.25, 0.75]],
+            windows: vec![vec![0.1, 0.2]],
+            rng: Some([1, 2, 3, 4]),
+        };
+        let mut r = PolicyStateReader::new("T", &state);
+        assert_eq!(r.counts(3).unwrap(), &[1, 2, 3]);
+        assert_eq!(r.floats(1).unwrap(), &[0.5]);
+        assert_eq!(r.floats(2).unwrap(), &[0.25, 0.75]);
+        assert_eq!(r.window().unwrap(), &[0.1, 0.2]);
+        assert_eq!(r.rng().unwrap(), [1, 2, 3, 4]);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn wrong_lengths_and_leftovers_are_rejected() {
+        let state = PolicyState {
+            counts: vec![vec![1, 2]],
+            floats: vec![vec![0.5]],
+            ..PolicyState::default()
+        };
+        let mut r = PolicyStateReader::new("T", &state);
+        assert!(matches!(
+            r.counts(3),
+            Err(PolicyStateError::Mismatch { policy: "T", .. })
+        ));
+        // Leftover arrays fail `finish`.
+        let mut r = PolicyStateReader::new("T", &state);
+        r.counts(2).unwrap();
+        assert!(r.finish().is_err());
+        // Missing RNG fails.
+        let mut r = PolicyStateReader::new("T", &state);
+        assert!(r.rng().is_err());
+        // Missing arrays fail.
+        let mut r = PolicyStateReader::new("T", &state);
+        r.counts(2).unwrap();
+        assert!(r.counts(2).is_err());
+        assert!(r.window().is_err());
+    }
+
+    #[test]
+    fn opt_index_round_trips() {
+        for slot in [None, Some(0), Some(17)] {
+            let mut state = PolicyState::new();
+            save_opt_index(slot, &mut state);
+            let mut r = PolicyStateReader::new("T", &state);
+            assert_eq!(load_opt_index(&mut r).unwrap(), slot);
+            r.finish().unwrap();
+        }
+    }
+
+    #[test]
+    fn errors_render_their_context() {
+        let unsupported = PolicyStateError::Unsupported { policy: "X" }.to_string();
+        assert!(unsupported.contains('X'));
+        let mismatch = PolicyStateError::Mismatch {
+            policy: "Y",
+            detail: "wrong".into(),
+        }
+        .to_string();
+        assert!(mismatch.contains('Y') && mismatch.contains("wrong"));
+    }
+}

@@ -96,6 +96,19 @@ impl<F: Default> FeedbackBatch<F> {
         &mut slot.1
     }
 
+    /// Visits the queued (undrained) events in arrival order without
+    /// consuming them.
+    ///
+    /// This is the durable-capture path: persisting the pending queue in
+    /// arrival order and re-queueing on restore reproduces the stable-sort
+    /// tie order of the eventual [`FeedbackBatch::drain_in_order`] exactly,
+    /// so a snapshot taken mid-flight does not perturb the flush.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &F)> {
+        self.entries[..self.live]
+            .iter()
+            .map(|(round, f)| (*round, f))
+    }
+
     /// Queues an event for `round` by value. The slot's warm allocations are
     /// dropped in favour of the ones `event` already owns — use
     /// [`FeedbackBatch::push_slot`] and fill in place when queueing must not
@@ -242,6 +255,22 @@ mod tests {
         let mut drained = Vec::new();
         batch.drain_in_order(|round, fb| drained.push((round, fb.clone())));
         assert_eq!(drained, vec![(1, direct)]);
+    }
+
+    #[test]
+    fn iter_visits_arrival_order_without_consuming() {
+        let mut batch: FeedbackBatch<f64> = FeedbackBatch::new();
+        batch.push(3, 0.3);
+        batch.push(1, 0.1);
+        batch.push(3, 0.33);
+        let seen: Vec<(u64, f64)> = batch.iter().map(|(round, &x)| (round, x)).collect();
+        // Arrival order, not round order: the drain's stable sort is what
+        // imposes round order, and a capture must precede it.
+        assert_eq!(seen, vec![(3, 0.3), (1, 0.1), (3, 0.33)]);
+        assert_eq!(batch.len(), 3);
+        // Warm (drained) slots are never visited.
+        batch.drain_in_order(|_, _| {});
+        assert_eq!(batch.iter().count(), 0);
     }
 
     #[test]

@@ -220,6 +220,60 @@ pub fn render_metrics(
         stats.overload_rejections.load(Ordering::Relaxed),
     );
 
+    // Durable-store counters only exist when the engine was started with a
+    // `StoreConfig`; an in-memory engine scrapes without any netband_store_*
+    // families at all, so dashboards can tell "no persistence" from "idle".
+    if let Some(store) = engine.store_metrics()? {
+        reg.set_counter(
+            "netband_store_wal_appends_total",
+            "Records appended to the write-ahead logs",
+            &[],
+            store.appends,
+        );
+        reg.set_counter(
+            "netband_store_fsyncs_total",
+            "fsync barriers issued by the write-ahead logs",
+            &[],
+            store.fsyncs,
+        );
+        reg.set_gauge(
+            "netband_store_wal_bytes",
+            "Live write-ahead log bytes not yet covered by a snapshot",
+            &[],
+            store.wal_bytes as f64,
+        );
+        reg.set_counter(
+            "netband_store_compactions_total",
+            "Snapshot compactions that truncated a WAL prefix",
+            &[],
+            store.compactions,
+        );
+        reg.set_counter(
+            "netband_store_evictions_total",
+            "Tenants spilled from RAM to the disk eviction tier",
+            &[],
+            store.evictions,
+        );
+        reg.set_counter(
+            "netband_store_rehydrations_total",
+            "Tenants loaded back from the disk eviction tier",
+            &[],
+            store.rehydrations,
+        );
+        reg.set_counter(
+            "netband_store_recovered_records_total",
+            "WAL records replayed during the last recovery",
+            &[],
+            store.recovered_records,
+        );
+        reg.set_counter(
+            "netband_store_recovered_tenants_total",
+            "Tenants restored from snapshots during the last recovery",
+            &[],
+            store.recovered_tenants,
+        );
+    }
+
     Ok(reg.render_text())
 }
 

@@ -63,7 +63,9 @@ pub fn error_to_wire(error: &ServeError) -> (WireErrorCode, String) {
         ServeError::Env(_)
         | ServeError::FeedbackKindMismatch(_)
         | ServeError::InvalidRound { .. }
-        | ServeError::InvalidFlushPolicy { .. } => WireErrorCode::Invalid,
+        | ServeError::InvalidFlushPolicy { .. }
+        | ServeError::Store(_)
+        | ServeError::NotPersistable(_) => WireErrorCode::Invalid,
     };
     (code, error.to_string())
 }

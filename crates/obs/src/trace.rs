@@ -90,6 +90,19 @@ pub enum TraceKind {
         /// Index of the overloaded shard.
         shard: u32,
     },
+    /// A mutation was appended to the shard's write-ahead log (durable
+    /// engines only).
+    WalAppended {
+        /// WAL size in bytes after the append.
+        bytes: u64,
+    },
+    /// The shard's WAL was compacted into a fresh epoch snapshot.
+    SnapshotCompacted {
+        /// Tenants captured by the snapshot (resident plus disk tier).
+        tenants: u32,
+    },
+    /// An evicted tenant was read back from the disk tier into RAM.
+    TenantRehydrated,
 }
 
 impl TraceKind {
@@ -103,6 +116,9 @@ impl TraceKind {
             TraceKind::FlushApplied { .. } => "flush_applied",
             TraceKind::FeedbackRejected => "feedback_rejected",
             TraceKind::ShardOverloaded { .. } => "shard_overloaded",
+            TraceKind::WalAppended { .. } => "wal_appended",
+            TraceKind::SnapshotCompacted { .. } => "snapshot_compacted",
+            TraceKind::TenantRehydrated => "tenant_rehydrated",
         }
     }
 }

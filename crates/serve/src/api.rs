@@ -256,6 +256,14 @@ pub enum ServeError {
     Overloaded,
     /// The engine (or the target shard) has shut down.
     EngineDown,
+    /// The durable store failed: recovery found corrupt files, or a disk
+    /// operation failed. Carries the rendered [`netband_store::StoreError`]
+    /// (the structured error is not `Clone`/`PartialEq`, which this enum is).
+    Store(String),
+    /// A tenant cannot live on a store-enabled engine: it was not built from
+    /// a scenario document (so its policy structure cannot be rebuilt on
+    /// recovery), or its policy does not support durable state capture.
+    NotPersistable(TenantId),
 }
 
 impl fmt::Display for ServeError {
@@ -289,6 +297,12 @@ impl fmt::Display for ServeError {
                 write!(f, "shard command queue is full (overloaded); retry later")
             }
             ServeError::EngineDown => write!(f, "serving engine has shut down"),
+            ServeError::Store(message) => write!(f, "durable store error: {message}"),
+            ServeError::NotPersistable(id) => write!(
+                f,
+                "tenant {id:?} cannot be persisted: register it from a scenario document \
+                 with a state-capturing policy, or start the engine without a store"
+            ),
         }
     }
 }
@@ -304,6 +318,12 @@ impl From<EnvError> for ServeError {
 impl From<SpecError> for ServeError {
     fn from(e: SpecError) -> Self {
         ServeError::Spec(e)
+    }
+}
+
+impl From<netband_store::StoreError> for ServeError {
+    fn from(e: netband_store::StoreError) -> Self {
+        ServeError::Store(e.to_string())
     }
 }
 

@@ -8,10 +8,12 @@ use std::thread::JoinHandle;
 
 use netband_obs::{TraceKind, TraceRing};
 use netband_spec::FleetSpec;
+use netband_store::{StoreConfig, StoreMetrics};
 
 use crate::api::{DecideReply, FeedbackEvent, RegisterTenantSpec, ServeError};
+use crate::durable;
 use crate::metrics::{MetricsReport, TenantTelemetry, TraceReport};
-use crate::shard::{shard_loop, Command};
+use crate::shard::{shard_loop, Command, ShardBoot};
 use crate::snapshot::TenantSnapshot;
 use crate::tenant::TenantSpec;
 
@@ -39,7 +41,7 @@ pub fn stable_tenant_hash(id: &str) -> u64 {
 }
 
 /// Engine sizing.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EngineConfig {
     /// Number of shard worker threads. Tenants are assigned to shards by
     /// [`stable_tenant_hash`] (an explicitly specified FNV-1a, stable across
@@ -53,6 +55,13 @@ pub struct EngineConfig {
     /// When a ring is full the oldest events are overwritten; the number of
     /// overwritten events is reported by the drained ring's `dropped` count.
     pub trace_capacity: usize,
+    /// Durable store configuration. `None` (the default) keeps the engine
+    /// purely in-memory — no files are touched and behaviour is byte-for-byte
+    /// identical to pre-store releases. `Some` gives every shard a write-ahead
+    /// log plus snapshot store under `store.dir` and (optionally) a resident
+    /// cap backed by the disk eviction tier; see
+    /// [`ServeEngine::try_start`].
+    pub store: Option<StoreConfig>,
 }
 
 impl EngineConfig {
@@ -62,6 +71,7 @@ impl EngineConfig {
             shards: shards.max(1),
             queue_capacity: 1024,
             trace_capacity: 256,
+            store: None,
         }
     }
 
@@ -74,6 +84,16 @@ impl EngineConfig {
     /// Overrides the trace-ring capacity (per shard and for the engine ring).
     pub fn with_trace_capacity(mut self, capacity: usize) -> Self {
         self.trace_capacity = capacity.max(1);
+        self
+    }
+
+    /// Enables the durable store: per-shard write-ahead logs, compacted
+    /// snapshots, and (when `store` carries a resident cap) the disk
+    /// eviction tier, all under `store`'s directory. Start the engine with
+    /// [`ServeEngine::try_start`] to surface recovery errors instead of
+    /// panicking.
+    pub fn with_store(mut self, store: StoreConfig) -> Self {
+        self.store = Some(store);
         self
     }
 }
@@ -131,27 +151,60 @@ impl ServeEngine {
     /// constructors already clamp; this keeps a hand-built
     /// `EngineConfig { shards: 0, .. }` from producing an engine whose
     /// routing divides by zero).
+    ///
+    /// # Panics
+    ///
+    /// When the config carries a store and opening or recovering it fails
+    /// (unreadable directory, corrupt snapshot/WAL, a log written by a
+    /// different shard count). Use [`ServeEngine::try_start`] to handle
+    /// those as errors.
     pub fn start(config: EngineConfig) -> Self {
+        ServeEngine::try_start(config).expect("open and recover the engine's durable store")
+    }
+
+    /// Starts the shard worker threads, recovering each shard's durable
+    /// state first when the config carries a store.
+    ///
+    /// Recovery runs serially on the calling thread *before* any worker is
+    /// spawned: each shard's latest valid snapshot set is loaded and its WAL
+    /// tail replayed through the ordinary decide/feedback paths, so a
+    /// `kill -9` at any round resumes bit-exactly. Store-less configs never
+    /// fail.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Store`] when the store cannot be opened, a complete WAL
+    /// record fails its CRC or decode (torn *tails* are truncated silently —
+    /// that is the crash contract — but corruption mid-log is loud), or
+    /// replay references state the log cannot reproduce.
+    pub fn try_start(config: EngineConfig) -> Result<Self, ServeError> {
         let shards = config.shards.max(1);
+        let trace_capacity = config.trace_capacity.max(1);
+        let mut boots = Vec::with_capacity(shards);
+        for shard in 0..shards {
+            boots.push(match &config.store {
+                Some(store) => durable::recover_shard(store, shard)?,
+                None => ShardBoot::in_memory(),
+            });
+        }
         let mut senders = Vec::with_capacity(shards);
         let mut handles = Vec::with_capacity(shards);
-        let trace_capacity = config.trace_capacity.max(1);
-        for shard in 0..shards {
+        for (shard, boot) in boots.into_iter().enumerate() {
             let (sender, receiver) = sync_channel(config.queue_capacity);
             let handle = std::thread::Builder::new()
                 .name(format!("netband-shard-{shard}"))
-                .spawn(move || shard_loop(receiver, trace_capacity))
+                .spawn(move || shard_loop(receiver, trace_capacity, boot))
                 .expect("spawn shard worker thread");
             senders.push(sender);
             handles.push(handle);
         }
-        ServeEngine {
+        Ok(ServeEngine {
             senders,
             handles,
             queue_capacity: config.queue_capacity.max(1),
             overload_rejections: AtomicU64::new(0),
             trace: Mutex::new(TraceRing::new(trace_capacity)),
-        }
+        })
     }
 
     /// Starts an engine with `shards` workers and default queue sizing.
@@ -471,6 +524,31 @@ impl ServeEngine {
         Ok(all)
     }
 
+    /// The durable store's counters summed across every shard — WAL appends
+    /// and fsyncs, the live WAL-size gauge, compactions, evictions and
+    /// rehydrations, and what recovery replayed at boot. `Ok(None)` when the
+    /// engine runs without a store. Acts as a queue barrier per shard, like
+    /// [`ServeEngine::metrics`].
+    pub fn store_metrics(&self) -> Result<Option<StoreMetrics>, ServeError> {
+        let mut responses = Vec::with_capacity(self.senders.len());
+        for sender in &self.senders {
+            let (reply, response) = sync_channel(1);
+            sender
+                .send(Command::StoreMetrics { reply })
+                .map_err(|_| ServeError::EngineDown)?;
+            responses.push(response);
+        }
+        let mut total: Option<StoreMetrics> = None;
+        for response in responses {
+            if let Some(shard) = response.recv().map_err(|_| ServeError::EngineDown)? {
+                total
+                    .get_or_insert_with(StoreMetrics::default)
+                    .absorb(&shard);
+            }
+        }
+        Ok(total)
+    }
+
     /// Drains every trace ring — one per shard plus the engine-level ring
     /// that records caller-side overload rejections — into a
     /// [`TraceReport`]. Draining resets the rings (events are returned once);
@@ -532,6 +610,7 @@ mod tests {
             shards: 0,
             queue_capacity: 4,
             trace_capacity: 0,
+            store: None,
         });
         assert_eq!(engine.num_shards(), 1);
         assert_eq!(engine.shard_of("any"), 0);

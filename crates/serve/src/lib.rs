@@ -130,6 +130,7 @@
 
 pub mod api;
 pub mod client;
+mod durable;
 pub mod engine;
 pub mod metrics;
 mod shard;
@@ -153,3 +154,8 @@ pub use metrics::{
 };
 pub use snapshot::TenantSnapshot;
 pub use tenant::{DynCombinatorialPolicy, DynSinglePolicy, TenantSpec};
+
+/// Durable-store configuration and counters, re-exported from
+/// `netband-store` so engine embedders need only this crate; see
+/// [`EngineConfig::with_store`].
+pub use netband_store::{StoreConfig, StoreMetrics};

@@ -84,6 +84,10 @@ pub struct TenantSnapshot {
     pub(crate) auto_feedback: bool,
     pub(crate) echo_feedback: bool,
     pub(crate) metrics: TenantMetrics,
+    /// The scenario document the tenant was registered from, carried through
+    /// snapshots so a restore onto a store-enabled engine can persist the
+    /// tenant (durable recovery rebuilds structure from this document).
+    pub(crate) origin: Option<Box<netband_spec::ScenarioSpec>>,
 }
 
 impl TenantSnapshot {

@@ -63,6 +63,12 @@ pub struct TenantSpec {
     auto_feedback: bool,
     echo_feedback: bool,
     drift: Option<DriftSchedule>,
+    /// The scenario document the spec was built from, when it came through
+    /// [`TenantSpec::from_scenario`]. Durable engines require it: recovery
+    /// rebuilds policy structure from the document and restores only learned
+    /// state on top. Hand-constructed specs have no document and therefore
+    /// cannot be hosted by a store-enabled engine.
+    origin: Option<Box<netband_spec::ScenarioSpec>>,
     kind: SpecKind,
 }
 
@@ -95,6 +101,7 @@ impl TenantSpec {
             auto_feedback: false,
             echo_feedback: true,
             drift: None,
+            origin: None,
             kind: SpecKind::Single {
                 policy: Box::new(policy),
                 scenario,
@@ -119,6 +126,7 @@ impl TenantSpec {
             auto_feedback: false,
             echo_feedback: true,
             drift: None,
+            origin: None,
             kind: SpecKind::Combinatorial {
                 policy: Box::new(policy),
                 family,
@@ -145,6 +153,7 @@ impl TenantSpec {
             auto_feedback: false,
             echo_feedback: true,
             drift: None,
+            origin: None,
             kind: SpecKind::Single { policy, scenario },
         }
     }
@@ -167,6 +176,7 @@ impl TenantSpec {
             auto_feedback: false,
             echo_feedback: true,
             drift: None,
+            origin: None,
             kind: SpecKind::Combinatorial {
                 policy,
                 family,
@@ -216,10 +226,11 @@ impl TenantSpec {
                 )
             }
         };
-        let spec = match drift {
+        let mut spec = match drift {
             Some(drift) => spec.with_drift(drift),
             None => spec,
         };
+        spec.origin = Some(Box::new(scenario.clone()));
         Ok(spec.with_flush(flush))
     }
 
@@ -235,6 +246,13 @@ impl TenantSpec {
     /// path.
     pub fn with_drift(mut self, drift: DriftSchedule) -> Self {
         self.drift = Some(drift);
+        // A hand-attached schedule is not part of the scenario document the
+        // spec may have been built from, so the spec can no longer be rebuilt
+        // from that document — drop the origin rather than let a durable
+        // recovery silently resurrect the tenant without its drift. (Drift
+        // that arrives *inside* the document is attached before the origin is
+        // recorded, so spec-driven drifting tenants stay persistable.)
+        self.origin = None;
         self
     }
 
@@ -332,6 +350,10 @@ pub(crate) struct Tenant {
     pub(crate) auto_feedback: bool,
     pub(crate) echo_feedback: bool,
     pub(crate) metrics: TenantMetrics,
+    /// The scenario document the tenant was registered from, when it came
+    /// through [`TenantSpec::from_scenario`]; required for durable capture
+    /// (see `crate::durable`).
+    pub(crate) origin: Option<Box<netband_spec::ScenarioSpec>>,
 }
 
 impl Tenant {
@@ -348,6 +370,7 @@ impl Tenant {
             auto_feedback,
             echo_feedback,
             drift,
+            origin,
             kind,
         } = spec;
         let drift = drift.filter(|d| !d.is_trivial());
@@ -405,6 +428,7 @@ impl Tenant {
             auto_feedback,
             echo_feedback,
             metrics: TenantMetrics::default(),
+            origin,
         })
     }
 
@@ -673,6 +697,7 @@ impl Tenant {
             auto_feedback: self.auto_feedback,
             echo_feedback: self.echo_feedback,
             metrics: self.metrics.clone(),
+            origin: self.origin.clone(),
         }
     }
 
@@ -696,6 +721,7 @@ impl Tenant {
             auto_feedback,
             echo_feedback,
             metrics,
+            origin,
         } = snapshot;
         let bandit = NetworkedBandit::new(graph, arms)?;
         // Base means are derived from the arm set, so they are rebuilt rather
@@ -743,6 +769,7 @@ impl Tenant {
             auto_feedback,
             echo_feedback,
             metrics,
+            origin,
         })
     }
 

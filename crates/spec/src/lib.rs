@@ -77,6 +77,7 @@ pub mod json;
 pub mod model;
 pub mod policy;
 pub mod presets;
+pub mod store;
 pub mod wire;
 
 pub use error::SpecError;
@@ -86,6 +87,9 @@ pub use model::{
     ScenarioSpec, SideBonus, WorkloadSpec, SPEC_VERSION,
 };
 pub use policy::AnyPolicy;
+pub use store::{
+    ShardSnapshot, StoredTenantMetrics, StoredTenantSnapshot, WalRecord, STORE_VERSION,
+};
 pub use wire::{
     WireArmStat, WireDecision, WireErrorCode, WireEvent, WireFeedback, WireLatency, WireMetrics,
     WireReply, WireRequest, WireResponse, WireTelemetry,

@@ -92,8 +92,8 @@ pub mod prelude {
     pub use netband_obs::{parse_exposition, LatencyHistogram, Registry, TraceRing};
     pub use netband_serve::{
         DecideReply, Decision, EngineConfig, FeedbackEvent, FlushPolicy, MetricsReport,
-        RegisterTenantSpec, ServeClient, ServeEngine, ServeError, TenantSnapshot, TenantSpec,
-        TenantTelemetry, TraceReport,
+        RegisterTenantSpec, ServeClient, ServeEngine, ServeError, StoreConfig, StoreMetrics,
+        TenantSnapshot, TenantSpec, TenantTelemetry, TraceReport,
     };
     pub use netband_sim::{
         replicate, replicate_spec, run_built, run_combinatorial, run_single, run_single_coupled,

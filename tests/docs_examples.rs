@@ -6,10 +6,12 @@
 //! boot; `docs/ARCHITECTURE.md` additionally documents the wire protocol
 //! with literal request/response frames. This harness extracts each fence
 //! and pushes it through the strict codec, trying in order: [`ScenarioSpec`]
-//! → [`FleetSpec`] → [`WireRequest`] → [`WireResponse`] (validating where a
-//! `validate()` exists). A stale example (renamed field, removed variant,
-//! wrong arity) fails CI with the file, the fence number, and the codec's
-//! error for the most likely intended kind.
+//! → [`FleetSpec`] → [`WireRequest`] → [`WireResponse`] → [`WalRecord`] →
+//! [`ShardSnapshot`] (validating where a `validate()` exists; the last two
+//! cover the durability section's literal WAL records and snapshot
+//! documents). A stale example (renamed field, removed variant, wrong arity)
+//! fails CI with the file, the fence number, and the codec's error for the
+//! most likely intended kind.
 
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -80,12 +82,22 @@ fn check_fence(doc: &Path, line: usize, body: &str) {
         Ok(_) => return,
         Err(e) => e,
     };
+    let wal_err = match netband::spec::WalRecord::from_json_text(body) {
+        Ok(_) => return,
+        Err(e) => e,
+    };
+    let snapshot_err = match netband::spec::ShardSnapshot::from_json_text(body) {
+        Ok(_) => return,
+        Err(e) => e,
+    };
     panic!(
         "{}:{line}: example parses as none of the documented kinds:\n\
          - ScenarioSpec: {scenario_err}\n\
          - FleetSpec: {fleet_err}\n\
          - WireRequest: {request_err}\n\
-         - WireResponse: {response_err}",
+         - WireResponse: {response_err}\n\
+         - WalRecord: {wal_err}\n\
+         - ShardSnapshot: {snapshot_err}",
         doc.display()
     );
 }
@@ -116,11 +128,12 @@ fn every_readme_example_parses_and_validates() {
     check_doc("README.md", 1);
 }
 
-/// The wire-protocol section documents literal frames; every one of them must
-/// be a strictly-parseable wire document.
+/// The wire-protocol section documents literal frames and the durability
+/// section literal WAL records; every one of them must be a
+/// strictly-parseable document.
 #[test]
 fn every_architecture_example_parses_and_validates() {
-    check_doc("docs/ARCHITECTURE.md", 7);
+    check_doc("docs/ARCHITECTURE.md", 12);
 }
 
 /// The committed drifting fixture is itself a documented example workflow;

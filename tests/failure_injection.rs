@@ -2,6 +2,13 @@
 //! behave predictably on empty graphs, single arms, point-mass rewards, huge
 //! strategies, invalid pulls, and other corners a downstream user will
 //! eventually hit.
+//!
+//! The second half is the durable-store **crash matrix**: engines killed
+//! mid-run at adversarial rounds must recover their exact learning state from
+//! disk (snapshot + WAL replay), mid-log corruption must fail recovery
+//! loudly, and the disk eviction tier must be invisible to results.
+
+mod common;
 
 use netband::prelude::*;
 use rand::rngs::StdRng;
@@ -209,4 +216,347 @@ fn exp3_and_softmax_survive_very_long_runs_without_overflow() {
     // If weights overflowed, selections would become NaN-driven and constant 0.
     let arm = exp3.select_arm(20_001);
     assert!(arm < 3);
+}
+
+// ===== durable store: the crash matrix ======================================
+
+mod durability {
+    use std::collections::HashSet;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    use super::common::{
+        assert_golden, drift_scenario, golden_specs, DRIFT_CHANGE_ROUND, DRIFT_HORIZON,
+    };
+    use netband::prelude::*;
+    use netband::serve::TraceKind;
+
+    /// A fresh per-test data directory, removed on drop. Crashed engines leak
+    /// their file handles (like a killed process would); unlinking under them
+    /// is fine on POSIX.
+    struct DataDir(PathBuf);
+
+    impl DataDir {
+        fn new(tag: &str) -> DataDir {
+            static SEQ: AtomicU64 = AtomicU64::new(0);
+            let dir = std::env::temp_dir().join(format!(
+                "netband_crash_{tag}_{}_{}",
+                std::process::id(),
+                SEQ.fetch_add(1, Ordering::Relaxed)
+            ));
+            std::fs::remove_dir_all(&dir).ok();
+            DataDir(dir)
+        }
+
+        /// A single-shard engine config over this directory with a small
+        /// compaction threshold, so the crash matrix exercises *both*
+        /// recovery inputs (a committed snapshot set and a WAL tail) rather
+        /// than only a genesis log.
+        fn engine_config(&self) -> EngineConfig {
+            EngineConfig::new(1).with_store(StoreConfig::new(&self.0).with_compact_every(97))
+        }
+    }
+
+    impl Drop for DataDir {
+        fn drop(&mut self) {
+            std::fs::remove_dir_all(&self.0).ok();
+        }
+    }
+
+    /// Drives `rounds` closed-loop rounds: decide, then return the echoed
+    /// feedback for the same round (the golden-trace serving discipline).
+    fn serve_rounds(engine: &ServeEngine, tenant: &str, rounds: usize) {
+        for _ in 0..rounds {
+            let reply = engine.decide(tenant).expect("decide");
+            let event = reply.feedback.expect("echoed feedback");
+            engine
+                .feedback(tenant, reply.round, event)
+                .expect("feedback");
+        }
+    }
+
+    /// Simulates `kill -9` at a command boundary: waits until everything
+    /// enqueued has been executed (the metrics call is a queue barrier that
+    /// writes nothing durable), then abandons the engine — no shutdown, no
+    /// drain, no final fsync. Threads and file handles are leaked exactly as
+    /// a killed process would leave them.
+    fn kill(engine: ServeEngine) {
+        engine.metrics().expect("barrier before the crash");
+        std::mem::forget(engine);
+    }
+
+    /// Kills an engine serving `spec` after `crash_round` rounds, recovers a
+    /// second engine from the same directory, finishes the horizon there, and
+    /// asserts the stitched run reproduces the committed fixture bit for bit.
+    fn crash_recover_and_check(fixture: &'static str, spec: &ScenarioSpec, crash_round: usize) {
+        let dir = DataDir::new(fixture);
+        let first = ServeEngine::start(dir.engine_config());
+        first
+            .register_tenant_spec(&RegisterTenantSpec::new(fixture, spec.clone()))
+            .expect("register from spec");
+        serve_rounds(&first, fixture, crash_round);
+        kill(first);
+
+        let second = ServeEngine::try_start(dir.engine_config()).expect("recover from disk");
+        let telemetry = second.telemetry(fixture).expect("recovered tenant exists");
+        assert_eq!(
+            telemetry.round, crash_round as u64,
+            "{fixture}: recovery must resume at the crash round, not reset"
+        );
+        let store = second
+            .store_metrics()
+            .expect("store metrics")
+            .expect("engine has a store");
+        // Early crashes recover purely from the WAL (no snapshot committed
+        // yet); later ones load snapshot tenants plus a log tail. Either way
+        // recovery must have read *something* back.
+        assert!(
+            store.recovered_records + store.recovered_tenants >= 1,
+            "{fixture}: recovery read nothing from disk"
+        );
+        serve_rounds(&second, fixture, spec.horizon - crash_round);
+        let snapshot = second.evict_tenant(fixture).expect("evict");
+        second.shutdown();
+        assert_golden(fixture, &snapshot.run_result());
+    }
+
+    /// The crash matrix over the four golden DFL traces: kill at the first
+    /// round, mid-horizon (past the compaction threshold, so recovery loads a
+    /// snapshot *and* replays a WAL tail), and the second-to-last round.
+    #[test]
+    fn killed_engines_recover_every_golden_trace_bit_exact() {
+        for (fixture, spec) in golden_specs() {
+            for crash_round in [1, spec.horizon / 2, spec.horizon - 1] {
+                crash_recover_and_check(fixture, &spec, crash_round);
+            }
+        }
+    }
+
+    /// The drifting fixture's crash matrix brackets the change point: killed
+    /// one round before it, exactly on it, and at the horizon's edge, the
+    /// recovered tenant must cross (or have crossed) the change point itself
+    /// and still match the fixture — drift is a pure function of the
+    /// recovered round counter.
+    #[test]
+    fn killed_drifting_engines_recover_across_the_change_point() {
+        let spec = drift_scenario();
+        let change = DRIFT_CHANGE_ROUND as usize;
+        for crash_round in [1, change - 1, change, DRIFT_HORIZON - 1] {
+            crash_recover_and_check("drift_cts", &spec, crash_round);
+        }
+    }
+
+    /// Mid-log corruption is *not* a torn tail: a complete WAL frame whose
+    /// CRC no longer matches must fail recovery loudly instead of silently
+    /// truncating acknowledged work.
+    #[test]
+    fn corrupted_wal_frames_fail_recovery_loudly() {
+        let dir = DataDir::new("crc");
+        let (fixture, spec) = golden_specs().remove(0);
+        let engine = ServeEngine::start(dir.engine_config());
+        engine
+            .register_tenant_spec(&RegisterTenantSpec::new(fixture, spec))
+            .expect("register from spec");
+        serve_rounds(&engine, fixture, 20);
+        kill(engine);
+
+        let shard_dir = dir.0.join("shard-0");
+        let wal = std::fs::read_dir(&shard_dir)
+            .expect("shard dir exists")
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .find(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("wal-") && n.ends_with(".log"))
+            })
+            .expect("shard WAL exists");
+        let mut bytes = std::fs::read(&wal).expect("read WAL");
+        assert!(bytes.len() > 64, "WAL unexpectedly small");
+        // Flip one payload byte inside the first record — a complete frame,
+        // nowhere near the tail.
+        bytes[40] ^= 0x01;
+        std::fs::write(&wal, &bytes).expect("write corrupted WAL");
+
+        let err = ServeEngine::try_start(dir.engine_config())
+            .err()
+            .expect("recovery over a corrupt log must fail");
+        match &err {
+            ServeError::Store(message) => assert!(
+                message.contains("corrupt") || message.contains("store"),
+                "unexpected store error text: {message}"
+            ),
+            other => panic!("expected ServeError::Store, got {other:?}"),
+        }
+    }
+
+    // ===== the disk eviction tier ===========================================
+
+    /// 64 tenants on a 4-shard engine whose resident cap (8 per shard) is
+    /// half its tenant load, under interleaved round-robin traffic: every
+    /// decision and the final telemetry must be bit-exact against an
+    /// uncapped, store-less reference engine, and the trace ring must show
+    /// the evicted/rehydrated churn that made that possible.
+    #[test]
+    fn eviction_tier_is_bit_exact_against_an_uncapped_reference() {
+        let dir = DataDir::new("evict");
+        let (_, base) = golden_specs().remove(0);
+        let capped = ServeEngine::start(
+            EngineConfig::new(4)
+                .with_trace_capacity(1 << 16)
+                .with_store(StoreConfig::new(&dir.0).with_resident_cap(8)),
+        );
+        let reference = ServeEngine::start(EngineConfig::new(4));
+        let ids: Vec<String> = (0..64).map(|i| format!("tenant-{i:02}")).collect();
+        for (i, id) in ids.iter().enumerate() {
+            let mut spec = base.clone();
+            spec.seed = spec.seed.wrapping_add(i as u64); // distinct reward streams
+            for engine in [&capped, &reference] {
+                engine
+                    .register_tenant_spec(&RegisterTenantSpec::new(id, spec.clone()))
+                    .expect("register from spec");
+            }
+        }
+
+        for _ in 0..30 {
+            for id in &ids {
+                let a = capped.decide(id).expect("capped decide");
+                let b = reference.decide(id).expect("reference decide");
+                assert_eq!(a.round, b.round, "{id}: round skew");
+                assert_eq!(a.decision, b.decision, "{id}: decision diverged");
+                assert_eq!(
+                    a.reward.to_bits(),
+                    b.reward.to_bits(),
+                    "{id}: reward diverged at round {}",
+                    a.round
+                );
+                let ea = a.feedback.expect("echoed feedback");
+                let eb = b.feedback.expect("echoed feedback");
+                capped.feedback(id, a.round, ea).expect("capped feedback");
+                reference
+                    .feedback(id, b.round, eb)
+                    .expect("reference feedback");
+            }
+        }
+
+        // Telemetry parity, floats compared as bit patterns.
+        let ta = capped.telemetry_all().expect("capped telemetry");
+        let tb = reference.telemetry_all().expect("reference telemetry");
+        assert_eq!(ta.len(), tb.len());
+        for (x, y) in ta.iter().zip(&tb) {
+            assert_eq!(x, y, "telemetry diverged for {}", x.id);
+            assert_eq!(
+                x.total_reward.to_bits(),
+                y.total_reward.to_bits(),
+                "{}",
+                x.id
+            );
+            assert_eq!(
+                x.optimal_reward.to_bits(),
+                y.optimal_reward.to_bits(),
+                "{}",
+                x.id
+            );
+            let means: Vec<u64> = x.arm_means.iter().map(|m| m.to_bits()).collect();
+            let expected: Vec<u64> = y.arm_means.iter().map(|m| m.to_bits()).collect();
+            assert_eq!(means, expected, "{}: estimator bits diverged", x.id);
+        }
+
+        // The tier actually churned, and the churn is observable: counters…
+        let store = capped
+            .store_metrics()
+            .expect("store metrics")
+            .expect("engine has a store");
+        assert!(store.evictions > 0, "no evictions under a halved cap");
+        assert!(store.rehydrations > 0, "no rehydrations under churn");
+        // …and paired trace events.
+        let trace = capped.trace().expect("trace");
+        let mut evicted: HashSet<String> = HashSet::new();
+        let mut rehydrated: HashSet<String> = HashSet::new();
+        for event in trace.shards.iter().flatten() {
+            match event.kind {
+                TraceKind::TenantEvicted => {
+                    evicted.insert(event.tenant.as_str().to_owned());
+                }
+                TraceKind::TenantRehydrated => {
+                    assert!(
+                        evicted.contains(event.tenant.as_str()),
+                        "{} rehydrated before ever being evicted",
+                        event.tenant
+                    );
+                    rehydrated.insert(event.tenant.as_str().to_owned());
+                }
+                _ => {}
+            }
+        }
+        assert!(!rehydrated.is_empty(), "no evicted/rehydrated pairs traced");
+        capped.shutdown();
+        reference.shutdown();
+    }
+
+    /// The durable-store counters reach the Prometheus-style exposition only
+    /// when the engine actually has a store: a durable scrape carries the
+    /// `netband_store_*` families with live values, an in-memory scrape
+    /// carries none — dashboards can tell "no persistence" from "idle".
+    #[test]
+    fn store_counters_reach_the_exposition_only_when_durable() {
+        use netband::net::render_metrics;
+        use netband::obs::ExpositionLine;
+
+        fn store_samples(engine: &ServeEngine) -> Vec<(String, f64)> {
+            let stats = NetStats::new();
+            let text = render_metrics(engine, &stats).expect("render exposition");
+            netband::obs::parse_exposition(&text)
+                .expect("exposition parses")
+                .into_iter()
+                .filter_map(|line| match line {
+                    ExpositionLine::Sample { name, value, .. }
+                        if name.starts_with("netband_store_") =>
+                    {
+                        Some((name, value))
+                    }
+                    _ => None,
+                })
+                .collect()
+        }
+
+        let dir = DataDir::new("scrape");
+        let (fixture, spec) = golden_specs().remove(0);
+        let durable = ServeEngine::start(dir.engine_config());
+        durable
+            .register_tenant_spec(&RegisterTenantSpec::new(fixture, spec.clone()))
+            .expect("register from spec");
+        serve_rounds(&durable, fixture, 8);
+
+        let samples = store_samples(&durable);
+        for family in [
+            "netband_store_wal_appends_total",
+            "netband_store_fsyncs_total",
+            "netband_store_wal_bytes",
+            "netband_store_compactions_total",
+            "netband_store_evictions_total",
+            "netband_store_rehydrations_total",
+            "netband_store_recovered_records_total",
+            "netband_store_recovered_tenants_total",
+        ] {
+            assert!(
+                samples.iter().any(|(name, _)| name == family),
+                "{family} missing from the durable scrape"
+            );
+        }
+        let appends = samples
+            .iter()
+            .find(|(name, _)| name == "netband_store_wal_appends_total")
+            .map(|(_, value)| *value)
+            .unwrap();
+        // register + 8 × (decide + feedback) = 17 logged mutations.
+        assert_eq!(appends, 17.0, "WAL append counter out of step");
+        durable.shutdown();
+
+        let in_memory = ServeEngine::start(EngineConfig::new(1));
+        assert!(
+            store_samples(&in_memory).is_empty(),
+            "in-memory engines must not expose netband_store_* families"
+        );
+        in_memory.shutdown();
+    }
 }
