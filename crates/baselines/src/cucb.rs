@@ -7,6 +7,7 @@
 //! structural difference from DFL-CSO/DFL-CSR.
 
 use netband_core::estimator::ArmEstimators;
+use netband_core::kernels;
 use netband_core::{CombinatorialPolicy, PolicyState, PolicyStateError, PolicyStateReader};
 use netband_env::feasible::FeasibleSet;
 use netband_env::{CombinatorialFeedback, StrategyFamily};
@@ -61,12 +62,7 @@ impl Cucb {
     ///
     /// Panics if `arm` is out of range.
     pub fn arm_index(&self, arm: ArmId, t: usize) -> f64 {
-        let count = self.estimates.count(arm);
-        if count == 0 {
-            // Large finite value so that oracle sums stay finite.
-            return 2.0 + (t.max(1) as f64).ln().sqrt();
-        }
-        self.estimates.mean(arm) + (1.5 * (t.max(1) as f64).ln() / count as f64).sqrt()
+        kernels::cucb_index(self.estimates.mean(arm), self.estimates.count(arm), t)
     }
 }
 
@@ -76,10 +72,14 @@ impl CombinatorialPolicy for Cucb {
     }
 
     fn select_strategy(&mut self, t: usize) -> Vec<ArmId> {
-        for i in 0..self.num_arms() {
-            let w = self.arm_index(i, t);
-            self.weights_scratch[i] = w;
-        }
+        // Per-arm score table in one chunked sweep (`ln t` and the
+        // unplayed-arm sentinel hoisted), bit-identical to `arm_index`.
+        kernels::cucb_scores_into(
+            self.estimates.means(),
+            self.estimates.counts(),
+            t,
+            &mut self.weights_scratch,
+        );
         self.family
             .argmax_by_arm_weights(&self.weights_scratch, &self.graph)
             .expect("CUCB requires a non-empty feasible family")

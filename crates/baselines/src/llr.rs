@@ -7,6 +7,7 @@
 //! arms are updated.
 
 use netband_core::estimator::ArmEstimators;
+use netband_core::kernels;
 use netband_core::{CombinatorialPolicy, PolicyState, PolicyStateError, PolicyStateReader};
 use netband_env::feasible::FeasibleSet;
 use netband_env::{CombinatorialFeedback, StrategyFamily};
@@ -58,12 +59,12 @@ impl Llr {
     ///
     /// Panics if `arm` is out of range.
     pub fn arm_index(&self, arm: ArmId, t: usize) -> f64 {
-        let count = self.estimates.count(arm);
-        let m = self.family.max_size().max(1) as f64;
-        if count == 0 {
-            return 2.0 + ((m + 1.0) * (t.max(1) as f64).ln()).sqrt();
-        }
-        self.estimates.mean(arm) + ((m + 1.0) * (t.max(1) as f64).ln() / count as f64).sqrt()
+        kernels::llr_index(
+            self.estimates.mean(arm),
+            self.estimates.count(arm),
+            self.family.max_size(),
+            t,
+        )
     }
 }
 
@@ -73,10 +74,15 @@ impl CombinatorialPolicy for Llr {
     }
 
     fn select_strategy(&mut self, t: usize) -> Vec<ArmId> {
-        for i in 0..self.num_arms() {
-            let w = self.arm_index(i, t);
-            self.weights_scratch[i] = w;
-        }
+        // Per-arm score table in one chunked sweep (`(M + 1) ln t` and the
+        // unplayed-arm sentinel hoisted), bit-identical to `arm_index`.
+        kernels::llr_scores_into(
+            self.estimates.means(),
+            self.estimates.counts(),
+            self.family.max_size(),
+            t,
+            &mut self.weights_scratch,
+        );
         self.family
             .argmax_by_arm_weights(&self.weights_scratch, &self.graph)
             .expect("LLR requires a non-empty feasible family")

@@ -5,7 +5,8 @@
 //! side observations are ignored, which is exactly the handicap the comparison
 //! is designed to expose.
 
-use netband_core::estimator::{load_running_means, moss_index, save_running_means, RunningMean};
+use netband_core::estimator::{moss_index, ArmEstimators};
+use netband_core::kernels;
 use netband_core::{PolicyState, PolicyStateError, PolicyStateReader, SinglePlayPolicy};
 use netband_env::SinglePlayFeedback;
 
@@ -19,7 +20,11 @@ use crate::ArmId;
 /// a fixed horizon `n` as in the original MOSS paper.
 #[derive(Debug, Clone)]
 pub struct Moss {
-    estimates: Vec<RunningMean>,
+    /// Flat per-arm pull counts and running means — the same struct-of-arrays
+    /// storage the DFL policies use, so selection is one kernel sweep. The
+    /// per-arm recurrence is [`RunningMean`](netband_core::estimator::RunningMean)'s,
+    /// bit for bit.
+    estimates: ArmEstimators,
     /// `Some(n)` for the horizon-aware variant, `None` for the anytime variant.
     horizon: Option<usize>,
 }
@@ -28,7 +33,7 @@ impl Moss {
     /// Anytime MOSS over `num_arms` arms.
     pub fn new(num_arms: usize) -> Self {
         Moss {
-            estimates: vec![RunningMean::new(); num_arms],
+            estimates: ArmEstimators::new(num_arms),
             horizon: None,
         }
     }
@@ -37,7 +42,7 @@ impl Moss {
     /// current time slot.
     pub fn with_horizon(num_arms: usize, horizon: usize) -> Self {
         Moss {
-            estimates: vec![RunningMean::new(); num_arms],
+            estimates: ArmEstimators::new(num_arms),
             horizon: Some(horizon.max(1)),
         }
     }
@@ -53,7 +58,7 @@ impl Moss {
     ///
     /// Panics if `arm` is out of range.
     pub fn pull_count(&self, arm: ArmId) -> u64 {
-        self.estimates[arm].count()
+        self.estimates.count(arm)
     }
 
     /// The MOSS index of an arm at time `t`.
@@ -62,9 +67,13 @@ impl Moss {
     ///
     /// Panics if `arm` is out of range.
     pub fn index(&self, arm: ArmId, t: usize) -> f64 {
-        let est = &self.estimates[arm];
         let time = self.horizon.unwrap_or(t);
-        moss_index(est.mean(), est.count(), time, self.num_arms())
+        moss_index(
+            self.estimates.mean(arm),
+            self.estimates.count(arm),
+            time,
+            self.num_arms(),
+        )
     }
 }
 
@@ -75,38 +84,43 @@ impl SinglePlayPolicy for Moss {
 
     fn select_arm(&mut self, t: usize) -> ArmId {
         debug_assert!(self.num_arms() > 0, "cannot select from zero arms");
-        (0..self.num_arms())
-            .max_by(|&a, &b| {
-                self.index(a, t)
-                    .partial_cmp(&self.index(b, t))
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            })
-            .unwrap_or(0)
+        // Fused kernel sweep; `max_by` with partial_cmp-or-Equal is exactly
+        // the kernel's last-max tie-breaking, so selections are unchanged.
+        let time = self.horizon.unwrap_or(t);
+        kernels::moss_argmax(
+            self.estimates.means(),
+            self.estimates.counts(),
+            time,
+            self.num_arms(),
+        )
+        .unwrap_or(0)
     }
 
     fn update(&mut self, _t: usize, feedback: &SinglePlayFeedback) {
         // MOSS ignores side observations: only the pulled arm's direct reward is
         // folded in.
         if feedback.arm < self.estimates.len() {
-            self.estimates[feedback.arm].update(feedback.direct_reward);
+            self.estimates.update(feedback.arm, feedback.direct_reward);
         }
     }
 
     fn reset(&mut self) {
-        for est in &mut self.estimates {
-            est.reset();
-        }
+        self.estimates.reset();
+    }
+
+    fn arm_estimators(&self) -> Option<&ArmEstimators> {
+        Some(&self.estimates)
     }
 
     fn save_state(&self) -> Option<PolicyState> {
         let mut state = PolicyState::new();
-        save_running_means(&self.estimates, &mut state);
+        self.estimates.save_state(&mut state);
         Some(state)
     }
 
     fn load_state(&mut self, state: &PolicyState) -> Result<(), PolicyStateError> {
         let mut reader = PolicyStateReader::new(self.name(), state);
-        load_running_means(&mut self.estimates, &mut reader)?;
+        self.estimates.load_state(&mut reader)?;
         reader.finish()
     }
 }

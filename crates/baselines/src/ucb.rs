@@ -3,7 +3,8 @@
 //! Distribution-dependent single-play baselines. Like MOSS they learn only from
 //! the pulled arm's direct reward.
 
-use netband_core::estimator::{argmax_last, ArmEstimators};
+use netband_core::estimator::ArmEstimators;
+use netband_core::kernels;
 use netband_core::{PolicyState, PolicyStateError, PolicyStateReader, SinglePlayPolicy};
 use netband_env::SinglePlayFeedback;
 
@@ -91,12 +92,11 @@ impl Ucb1 {
     ///
     /// Panics if `arm` is out of range.
     pub fn index(&self, arm: ArmId, t: usize) -> f64 {
-        let count = self.arms.estimates.count(arm);
-        if count == 0 {
-            return f64::INFINITY;
-        }
-        let t = t.max(1) as f64;
-        self.arms.estimates.mean(arm) + (2.0 * t.ln() / count as f64).sqrt()
+        kernels::ucb1_index(
+            self.arms.estimates.mean(arm),
+            self.arms.estimates.count(arm),
+            t,
+        )
     }
 }
 
@@ -106,7 +106,9 @@ impl SinglePlayPolicy for Ucb1 {
     }
 
     fn select_arm(&mut self, t: usize) -> ArmId {
-        argmax_last((0..self.num_arms()).map(|arm| self.index(arm, t))).unwrap_or(0)
+        // Fused kernel sweep, bit-identical to `argmax_last` over `index`.
+        kernels::ucb1_argmax(self.arms.estimates.means(), self.arms.estimates.counts(), t)
+            .unwrap_or(0)
     }
 
     fn update(&mut self, _t: usize, feedback: &SinglePlayFeedback) {
@@ -172,14 +174,12 @@ impl UcbTuned {
     ///
     /// Panics if `arm` is out of range.
     pub fn index(&self, arm: ArmId, t: usize) -> f64 {
-        let count = self.arms.estimates.count(arm);
-        if count == 0 {
-            return f64::INFINITY;
-        }
-        let t = t.max(1) as f64;
-        let count_f = count as f64;
-        let v = self.arms.variance_estimate(arm) + (2.0 * t.ln() / count_f).sqrt();
-        self.arms.estimates.mean(arm) + (t.ln() / count_f * v.min(0.25)).sqrt()
+        kernels::ucb_tuned_index(
+            self.arms.estimates.mean(arm),
+            self.arms.estimates.count(arm),
+            self.arms.sum_sq[arm],
+            t,
+        )
     }
 }
 
@@ -189,7 +189,15 @@ impl SinglePlayPolicy for UcbTuned {
     }
 
     fn select_arm(&mut self, t: usize) -> ArmId {
-        argmax_last((0..self.num_arms()).map(|arm| self.index(arm, t))).unwrap_or(0)
+        // Fused kernel sweep over the three parallel arrays, bit-identical to
+        // `argmax_last` over `index`.
+        kernels::ucb_tuned_argmax(
+            self.arms.estimates.means(),
+            self.arms.estimates.counts(),
+            &self.arms.sum_sq,
+            t,
+        )
+        .unwrap_or(0)
     }
 
     fn update(&mut self, _t: usize, feedback: &SinglePlayFeedback) {

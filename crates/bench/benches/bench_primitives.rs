@@ -4,6 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use netband_core::estimator::moss_index;
+use netband_core::kernels;
 use netband_core::{DflSso, DflSsr, SinglePlayPolicy};
 use netband_env::feasible::FeasibleSet;
 use netband_env::{ArmSet, NetworkedBandit, PullBuffer, StrategyFamily};
@@ -15,6 +16,37 @@ fn bench_index(c: &mut Criterion) {
     c.bench_function("moss_index", |b| {
         b.iter(|| std::hint::black_box(moss_index(0.42, 17, 9_999, 100)))
     });
+}
+
+fn bench_score_kernels(c: &mut Criterion) {
+    // Chunked score sweeps vs their scalar references, and the fused
+    // score+argmax pass, at the batch sizes the policies actually see. The
+    // same workloads (plus 1024-arm cells and JSON output) live in the
+    // hand-rolled `bench_kernels` harness.
+    for &n in &[8usize, 64] {
+        let means: Vec<f64> = (0..n).map(|i| ((i * 31) % 100) as f64 / 100.0).collect();
+        let counts: Vec<u64> = (0..n).map(|i| ((i * 7) % 37) as u64).collect();
+        let name = format!("score_kernels_{n}_arms");
+        let mut group = c.benchmark_group(&name);
+        group.bench_function("moss_scalar", |b| {
+            let mut out = Vec::with_capacity(n);
+            b.iter(|| {
+                kernels::moss_scores_scalar(&means, &counts, 9_999, n, &mut out);
+                std::hint::black_box(out.last().copied())
+            })
+        });
+        group.bench_function("moss_chunked", |b| {
+            let mut out = Vec::with_capacity(n);
+            b.iter(|| {
+                kernels::moss_scores_into(&means, &counts, 9_999, n, &mut out);
+                std::hint::black_box(out.last().copied())
+            })
+        });
+        group.bench_function("moss_argmax_fused", |b| {
+            b.iter(|| std::hint::black_box(kernels::moss_argmax(&means, &counts, 9_999, n)))
+        });
+        group.finish();
+    }
 }
 
 fn bench_clique_cover(c: &mut Criterion) {
@@ -203,6 +235,7 @@ fn bench_ssr_select(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_index,
+    bench_score_kernels,
     bench_clique_cover,
     bench_strategy_graph,
     bench_oracle,

@@ -9,16 +9,23 @@
 //!
 //! Every run sweeps the shard counts {1, 4, 16} against feedback batch sizes
 //! {1, 32, 1024} over 64 single-play tenants driven by 16 client threads with
-//! delayed, out-of-order feedback — once through the per-call
-//! `ServeEngine::decide`/`feedback` API and once through the batched
+//! delayed, out-of-order feedback — through the per-call
+//! `ServeEngine::decide`/`feedback` API, the batched
 //! `ServeClient::decide_many`/`feedback_many` API (one channel round-trip per
-//! window) — prints a table, and writes the results to `BENCH_serve.json` at
-//! the workspace root — the checked-in serving perf trajectory.
+//! window), and the mixed fan-out `ServeClient::decide_many_mixed` (each
+//! client batches all its tenants into one request that fans across every
+//! target shard concurrently) — prints a table, and writes the results to
+//! `BENCH_serve.json` at the workspace root — the checked-in serving perf
+//! trajectory (per-shard scaling curves per API, plus the recorded
+//! `available_parallelism` to judge them against).
 //!
 //! Set `NETBAND_BENCH_FAST=1` for a smoke run (CI) that skips the JSON write
 //! and **fails** if any cell's throughput drops below [`FLOOR_DECIDES_PER_SEC`]
 //! — a conservative floor that catches pathological hot-path regressions
-//! without judging machine-dependent shard scaling.
+//! without judging machine-dependent shard scaling — or if the batched API at
+//! window size 1 falls below [`BATCH_1_PARITY`] of the per-call API (the
+//! batch-1 degradation gate: the batched client must route 1-element windows
+//! through the per-call commands instead of paying the buffer round-trip).
 
 use std::path::PathBuf;
 use std::time::Instant;
@@ -43,6 +50,13 @@ const BATCH_SIZES: [usize; 3] = [1, 32, 1024];
 /// regression such as an accidental per-decide lock or channel storm.
 const FLOOR_DECIDES_PER_SEC: f64 = 50_000.0;
 
+/// Smoke-mode floor on `batched / per_call` throughput at window size 1 on
+/// one shard. With the batch-1 fast path the ratio sits near (slightly
+/// above) 1.0; the regression this pins — batch-1 windows paying the full
+/// buffer round-trip — showed up as ~0.85. Kept conservative because smoke
+/// runs are short and the container is small.
+const BATCH_1_PARITY: f64 = 0.6;
+
 /// Which client API a cell drives the engine through.
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum Api {
@@ -52,6 +66,10 @@ enum Api {
     /// `ServeClient::decide_many` / `feedback_many`: one command round-trip
     /// per window, pooled reply channels, recycled buffers.
     Batched,
+    /// `ServeClient::decide_many_mixed`: each client thread serves **all** its
+    /// tenants per window through one mixed batch fanned out to every target
+    /// shard before any reply is collected.
+    Mixed,
 }
 
 impl Api {
@@ -59,6 +77,7 @@ impl Api {
         match self {
             Api::PerCall => "per_call",
             Api::Batched => "batched",
+            Api::Mixed => "mixed",
         }
     }
 }
@@ -135,6 +154,39 @@ fn drive_batched(
     }
 }
 
+/// One client thread's whole tenant set through the mixed fan-out API: every
+/// window is a single `decide_many_mixed` across all the thread's tenants
+/// (partitioned over the shards and served concurrently), then one
+/// `feedback_many` per tenant with its window reversed.
+fn drive_mixed(
+    client: &mut netband_serve::ServeClient<'_>,
+    ids: &[String],
+    rounds: usize,
+    batch: usize,
+) {
+    let mut replies = Vec::new();
+    let mut remaining = rounds;
+    while remaining > 0 {
+        let chunk = remaining.min(batch);
+        client
+            .decide_many_mixed(ids.iter().map(|id| (id.as_str(), chunk)), &mut replies)
+            .expect("decide_many_mixed");
+        // Replies come back in request order: tenant `i` owns the contiguous
+        // slot range [i * chunk, (i + 1) * chunk).
+        for (i, id) in ids.iter().enumerate() {
+            let window = replies[i * chunk..(i + 1) * chunk]
+                .iter_mut()
+                .rev()
+                .map(|slot| {
+                    let reply = slot.as_mut().expect("decide");
+                    (reply.round, reply.feedback.take().expect("echo"))
+                });
+            client.feedback_many(id, window).expect("feedback_many");
+        }
+        remaining -= chunk;
+    }
+}
+
 /// One sweep cell: an engine with `shards` workers serving `TENANTS` tenants,
 /// `CLIENTS` client threads looping decide → (windowed, reversed) feedback
 /// through the cell's API.
@@ -150,12 +202,25 @@ fn run_cell(api: Api, shards: usize, batch: usize, rounds: usize) -> Cell {
         for client in 0..CLIENTS {
             let engine = &engine;
             scope.spawn(move || {
-                let mut batched_client = (api == Api::Batched).then(|| engine.client());
-                for index in (client..TENANTS).step_by(CLIENTS) {
-                    let id = format!("bench-{index:02}");
-                    match &mut batched_client {
-                        Some(c) => drive_batched(c, &id, rounds, batch),
-                        None => drive_per_call(engine, &id, rounds, batch),
+                let ids: Vec<String> = (client..TENANTS)
+                    .step_by(CLIENTS)
+                    .map(|index| format!("bench-{index:02}"))
+                    .collect();
+                match api {
+                    Api::PerCall => {
+                        for id in &ids {
+                            drive_per_call(engine, id, rounds, batch);
+                        }
+                    }
+                    Api::Batched => {
+                        let mut c = engine.client();
+                        for id in &ids {
+                            drive_batched(&mut c, id, rounds, batch);
+                        }
+                    }
+                    Api::Mixed => {
+                        let mut c = engine.client();
+                        drive_mixed(&mut c, &ids, rounds, batch);
                     }
                 }
             });
@@ -233,7 +298,7 @@ fn main() {
         "api", "shards", "batch", "decides", "secs", "decides/sec"
     );
     let mut cells = Vec::new();
-    for api in [Api::PerCall, Api::Batched] {
+    for api in [Api::PerCall, Api::Batched, Api::Mixed] {
         for &shards in &SHARD_COUNTS {
             for &batch in &BATCH_SIZES {
                 let cell = run_cell(api, shards, batch, rounds);
@@ -277,6 +342,12 @@ fn main() {
         four.decides_per_sec(),
         four.decides_per_sec() / batched.decides_per_sec()
     );
+    let mixed = pick(Api::Mixed, 4);
+    println!(
+        "mixed fan-out, 4 shards (batch 32): {:.0} decides/sec ({:.2}x vs batched)",
+        mixed.decides_per_sec(),
+        mixed.decides_per_sec() / four.decides_per_sec()
+    );
 
     if fast {
         // CI smoke gate: any cell below the conservative floor is a
@@ -293,6 +364,20 @@ fn main() {
             );
         }
         println!("smoke floor ok: every cell >= {FLOOR_DECIDES_PER_SEC:.0} decides/sec");
+        // The batch-1 degradation gate.
+        let one = |api: Api| {
+            cells
+                .iter()
+                .find(|c| c.api == api && c.shards == 1 && c.batch == 1)
+                .unwrap()
+                .decides_per_sec()
+        };
+        let ratio = one(Api::Batched) / one(Api::PerCall);
+        assert!(
+            ratio >= BATCH_1_PARITY,
+            "batch-1 regression: batched ran at {ratio:.2}x per_call (floor {BATCH_1_PARITY})"
+        );
+        println!("batch-1 parity ok: batched = {ratio:.2}x per_call at window size 1");
     } else {
         write_json(&cells, rounds);
     }

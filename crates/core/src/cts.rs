@@ -24,7 +24,7 @@ use netband_env::feasible::FeasibleSet;
 use netband_env::{CombinatorialFeedback, StrategyFamily};
 use netband_graph::{RelationGraph, StrategyBank};
 
-use crate::estimator::{argmax_last, ArmEstimators, EstimatorKind};
+use crate::estimator::{ArmEstimators, EstimatorKind};
 use crate::policy::CombinatorialPolicy;
 use crate::state::{PolicyState, PolicyStateError, PolicyStateReader};
 use crate::ArmId;
@@ -61,6 +61,9 @@ pub struct CombinatorialThompson {
     seed: u64,
     /// Per-round posterior sample vector `θ`, reused across rounds.
     theta: Vec<f64>,
+    /// Per-round flat effective-count table (one estimator-kind dispatch per
+    /// decide instead of one per arm), reused across rounds.
+    eff_scratch: Vec<f64>,
 }
 
 impl CombinatorialThompson {
@@ -94,6 +97,7 @@ impl CombinatorialThompson {
             rng: StdRng::seed_from_u64(seed),
             seed,
             theta: vec![0.0; k],
+            eff_scratch: Vec::with_capacity(k),
         }
     }
 
@@ -124,10 +128,18 @@ impl CombinatorialThompson {
         (1.0 + s, 1.0 + (n - s))
     }
 
-    /// Draws one posterior sample per arm into the scratch vector.
+    /// Draws one posterior sample per arm into the scratch vector. The
+    /// effective counts are materialised as one flat table first
+    /// ([`ArmEstimators::effective_counts_into`]); the per-arm pseudo-count
+    /// arithmetic and the RNG draw order are unchanged, so the sampled `θ`
+    /// stream is bit-identical to the per-arm dispatching loop it replaces.
     fn sample_theta(&mut self) {
-        for arm in 0..self.estimates.len() {
-            let (a, b) = self.pseudo_counts(arm);
+        self.estimates.effective_counts_into(&mut self.eff_scratch);
+        let means = self.estimates.means();
+        for (arm, &mean) in means.iter().enumerate() {
+            let n = self.eff_scratch[arm];
+            let s = (mean * n).clamp(0.0, n.max(0.0));
+            let (a, b) = (1.0 + s, 1.0 + (n - s));
             self.theta[arm] = sample_beta(a, b, &mut self.rng);
         }
     }
@@ -151,11 +163,11 @@ impl CombinatorialPolicy for CombinatorialThompson {
     fn select_strategy_into(&mut self, _t: usize, out: &mut Vec<ArmId>) {
         self.sample_theta();
         if let Some(bank) = &self.enumerated {
-            let x = argmax_last(
-                bank.iter()
-                    .map(|row| row.iter().map(|&i| self.theta[i]).sum::<f64>()),
-            )
-            .expect("CTS requires a non-empty feasible strategy set");
+            // θ is the per-decide score table; one contiguous bank scan with
+            // the same row-order summation and last-max tie-breaking.
+            let x = bank
+                .argmax_row_sums(&self.theta)
+                .expect("CTS requires a non-empty feasible strategy set");
             out.clear();
             out.extend_from_slice(bank.row(x));
         } else {

@@ -19,7 +19,8 @@ use netband_env::CombinatorialFeedback;
 use netband_graph::strategy::StrategyId;
 use netband_graph::StrategyRelationGraph;
 
-use crate::estimator::{argmax_last, moss_index, ArmEstimators};
+use crate::estimator::{moss_index, ArmEstimators};
+use crate::kernels;
 use crate::policy::CombinatorialPolicy;
 use crate::state::{
     load_opt_index, save_opt_index, PolicyState, PolicyStateError, PolicyStateReader,
@@ -130,8 +131,15 @@ impl DflCso {
     }
 
     /// The com-arm that would be selected at time `t` (without mutating state).
+    /// One fused score+argmax sweep over the flat com-arm estimates,
+    /// bit-identical to `argmax_last` over [`DflCso::index`].
     pub fn best_strategy_index(&self, t: usize) -> Option<StrategyId> {
-        argmax_last((0..self.num_strategies()).map(|x| self.index(x, t)))
+        kernels::moss_argmax(
+            self.estimates.means(),
+            self.estimates.counts(),
+            t,
+            self.num_strategies(),
+        )
     }
 }
 

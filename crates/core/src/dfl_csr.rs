@@ -20,7 +20,8 @@ use netband_env::feasible::FeasibleSet;
 use netband_env::{CombinatorialFeedback, StrategyFamily};
 use netband_graph::{RelationGraph, StrategyBank};
 
-use crate::estimator::{argmax_last, csr_index, ArmEstimators};
+use crate::estimator::{csr_index, ArmEstimators};
+use crate::kernels;
 use crate::policy::CombinatorialPolicy;
 use crate::state::{PolicyState, PolicyStateError, PolicyStateReader};
 use crate::ArmId;
@@ -48,16 +49,8 @@ impl EnumeratedFamily {
         }
     }
 
-    fn len(&self) -> usize {
-        self.strategies.len()
-    }
-
     fn strategy(&self, x: usize) -> &[ArmId] {
         self.strategies.row(x)
-    }
-
-    fn observation_set(&self, x: usize) -> &[ArmId] {
-        self.observation_sets.row(x)
     }
 }
 
@@ -157,25 +150,27 @@ impl CombinatorialPolicy for DflCsr {
     }
 
     fn select_strategy_into(&mut self, t: usize, out: &mut Vec<ArmId>) {
-        for arm in 0..self.num_arms() {
-            let w = self.arm_index(arm, t);
-            self.weights_scratch[arm] = w;
-        }
+        // Per-arm score table `w_i(t)`, computed once per decide by the
+        // chunked kernel (the `t^{2/3}` power and zero-count sentinel are
+        // hoisted out of the sweep; values are bit-identical to `arm_index`).
+        kernels::csr_scores_into(
+            self.estimates.means(),
+            self.estimates.counts(),
+            t,
+            self.num_arms(),
+            &mut self.weights_scratch,
+        );
         out.clear();
         if let Some(enumerated) = &self.enumerated {
             // Fast path: the feasible set was enumerated at construction, so
-            // the per-round optimisation is one linear scan over the flattened
-            // (s_x, Y_x) rows; each coverage weight is summed once, in row
-            // order, and `argmax_last` keeps the `max_by` tie-breaking of the
+            // the per-round optimisation is one contiguous scan of the
+            // flattened Y_x rows over the score table; `argmax_row_sums`
+            // keeps the row-order summation and last-max tie-breaking of the
             // comparator-based scan it replaces.
-            let best = argmax_last((0..enumerated.len()).map(|x| {
-                enumerated
-                    .observation_set(x)
-                    .iter()
-                    .map(|&i| self.weights_scratch[i])
-                    .sum::<f64>()
-            }));
-            if let Some(x) = best {
+            if let Some(x) = enumerated
+                .observation_sets
+                .argmax_row_sums(&self.weights_scratch)
+            {
                 out.extend_from_slice(enumerated.strategy(x));
                 return;
             }

@@ -17,7 +17,8 @@
 use netband_env::SinglePlayFeedback;
 use netband_graph::RelationGraph;
 
-use crate::estimator::{argmax_last, moss_index, ArmEstimators};
+use crate::estimator::{moss_index, ArmEstimators};
+use crate::kernels;
 use crate::policy::SinglePlayPolicy;
 use crate::state::{PolicyState, PolicyStateError, PolicyStateReader};
 use crate::ArmId;
@@ -118,9 +119,15 @@ impl SinglePlayPolicy for DflSso {
 
     fn select_arm(&mut self, t: usize) -> ArmId {
         debug_assert!(self.num_arms() > 0, "cannot select from zero arms");
-        // Single pass over the flat estimate arrays; `argmax_last` keeps the
-        // `max_by` tie-breaking so selections are unchanged.
-        argmax_last((0..self.num_arms()).map(|arm| self.index(arm, t))).unwrap_or(0)
+        // Fused score+argmax sweep over the flat estimate arrays; the kernel
+        // reproduces `moss_index` + `argmax_last` bit for bit.
+        kernels::moss_argmax(
+            self.estimates.means(),
+            self.estimates.counts(),
+            t,
+            self.num_arms(),
+        )
+        .unwrap_or(0)
     }
 
     fn update(&mut self, _t: usize, feedback: &SinglePlayFeedback) {

@@ -21,7 +21,8 @@
 use netband_env::SinglePlayFeedback;
 use netband_graph::{CsrGraph, RelationGraph};
 
-use crate::estimator::{argmax_last, moss_index, ArmEstimators};
+use crate::estimator::{moss_index, ArmEstimators};
+use crate::kernels;
 use crate::policy::SinglePlayPolicy;
 use crate::state::{PolicyState, PolicyStateError, PolicyStateReader};
 use crate::ArmId;
@@ -116,9 +117,16 @@ impl SinglePlayPolicy for DflSsr {
 
     fn select_arm(&mut self, t: usize) -> ArmId {
         debug_assert!(self.num_arms() > 0, "cannot select from zero arms");
-        // Single pass; `argmax_last` preserves the `max_by` tie-breaking. Each
-        // index scans one packed closed-neighbourhood row of the CSR snapshot.
-        argmax_last((0..self.num_arms()).map(|arm| self.index(arm, t))).unwrap_or(0)
+        // Fused kernel: one sweep over the packed closed-neighbourhood rows
+        // computing `Ob_i`, `B̄_i`, and the MOSS index per arm, with the round
+        // invariants hoisted; reproduces `index` + `argmax_last` bit for bit.
+        kernels::ssr_argmax(
+            &self.csr,
+            self.arm_estimates.counts(),
+            self.arm_estimates.means(),
+            t,
+        )
+        .unwrap_or(0)
     }
 
     fn update(&mut self, _t: usize, feedback: &SinglePlayFeedback) {

@@ -297,6 +297,21 @@ impl ArmEstimators {
         }
     }
 
+    /// Writes [`effective_count`](ArmEstimators::effective_count) for every
+    /// arm into `out` (cleared first) in one contiguous pass, so score
+    /// kernels can sweep a flat `f64` table instead of re-dispatching on the
+    /// estimator kind per arm.
+    pub fn effective_counts_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        match self.kind {
+            EstimatorKind::Stationary => out.extend(self.counts.iter().map(|&c| c as f64)),
+            EstimatorKind::Discounted { .. } => out.extend_from_slice(&self.weights),
+            EstimatorKind::SlidingWindow { .. } => {
+                out.extend(self.windows.iter().map(|w| w.len() as f64))
+            }
+        }
+    }
+
     /// Folds one observation of arm `i` into its mean.
     ///
     /// For [`EstimatorKind::Stationary`] this is the [`RunningMean`]

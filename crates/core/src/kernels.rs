@@ -1,0 +1,590 @@
+//! Chunked score kernels over the flat estimator arrays.
+//!
+//! Every policy in this workspace scores candidates by mapping an index
+//! formula over the struct-of-arrays state of
+//! [`ArmEstimators`](crate::estimator::ArmEstimators) (or the
+//! parallel arrays the UCB baselines keep) and taking an argmax. Written
+//! naively, each per-arm evaluation recomputes the round's invariants —
+//! `t as f64`, `ln t`, the `t^{2/3}` power of the CSR index, the zero-count
+//! sentinel — once *per arm*, and the bounds checks of indexed access keep
+//! the compiler from lifting the loop.
+//!
+//! The kernels here restructure those loops into the shape the optimizer can
+//! work with:
+//!
+//! * **Hoisted invariants** — everything that depends only on `t`, `k`, or
+//!   the family is computed once per call, before the sweep.
+//! * **Chunk-of-N sweeps** — the hot loop walks the input slices in fixed
+//!   [`CHUNK`]-wide blocks (plus a scalar tail), so the inner block is a
+//!   bounds-check-free, fixed-trip-count loop the auto-vectorizer/unroller
+//!   can lift.
+//! * **Fused score+argmax passes** — selection kernels compute a chunk of
+//!   scores into a stack buffer and fold it into the running
+//!   [`argmax_last`](crate::estimator::argmax_last)-style maximum without
+//!   materialising a score vector.
+//!
+//! # Bit-exactness contract
+//!
+//! A kernel never re-associates floating-point arithmetic: each element's
+//! score is computed by *the same sequence of f64 operations* as the scalar
+//! reference (`moss_index`, `csr_index`, the UCB formulas), with only
+//! per-call invariants factored out — and only where the source expression
+//! already multiplied or divided by that exact subexpression. Tie-breaking
+//! replicates [`argmax_last`](crate::estimator::argmax_last) (last maximum
+//! wins; NaN compares as equal, so
+//! a later NaN replaces the incumbent). The golden-trace,
+//! serve-equivalence, and net-equivalence suites therefore pin the kernels
+//! transitively, and `tests/kernel_equivalence.rs` pins every kernel
+//! directly against its scalar reference on arbitrary states, in debug and
+//! release.
+//!
+//! The scalar references stay in [`crate::estimator`] (and as the
+//! single-element index functions below); they remain the definition of the
+//! math, the kernels are the shipping execution of it.
+
+use netband_graph::CsrGraph;
+
+use crate::estimator::{csr_index_weighted, log_plus, moss_index_weighted};
+
+/// Width of the fixed-size inner blocks the kernels sweep in. Eight f64 lanes
+/// span two AVX2 registers (or four NEON ones) and keep the scalar tail ≤ 7
+/// elements.
+pub const CHUNK: usize = 8;
+
+#[inline(always)]
+fn argmax_step(best: &mut Option<(usize, f64)>, i: usize, v: f64) {
+    // Exactly `argmax_last`: keep the incumbent only when it is strictly
+    // greater; ties and incomparable (NaN) pairs fall to the newer index.
+    let keep_incumbent = best
+        .map(|(_, b)| b.partial_cmp(&v) == Some(std::cmp::Ordering::Greater))
+        .unwrap_or(false);
+    if !keep_incumbent {
+        *best = Some((i, v));
+    }
+}
+
+/// Chunked sweep over two parallel slices, writing `el(a, b)` per element.
+/// `out` is resized to the zipped length (like the scalar `zip` references).
+#[inline(always)]
+fn fill2<A: Copy, B: Copy>(out: &mut Vec<f64>, a: &[A], b: &[B], mut el: impl FnMut(A, B) -> f64) {
+    let n = a.len().min(b.len());
+    out.clear();
+    out.resize(n, 0.0);
+    let mut i = 0;
+    while i + CHUNK <= n {
+        let (ac, bc) = (&a[i..i + CHUNK], &b[i..i + CHUNK]);
+        let oc = &mut out[i..i + CHUNK];
+        for l in 0..CHUNK {
+            oc[l] = el(ac[l], bc[l]);
+        }
+        i += CHUNK;
+    }
+    while i < n {
+        out[i] = el(a[i], b[i]);
+        i += 1;
+    }
+}
+
+/// Chunked fused score+argmax over two parallel slices.
+#[inline(always)]
+fn argmax2<A: Copy, B: Copy>(a: &[A], b: &[B], mut el: impl FnMut(A, B) -> f64) -> Option<usize> {
+    let n = a.len().min(b.len());
+    let mut best: Option<(usize, f64)> = None;
+    let mut i = 0;
+    while i + CHUNK <= n {
+        let (ac, bc) = (&a[i..i + CHUNK], &b[i..i + CHUNK]);
+        let mut buf = [0.0f64; CHUNK];
+        for l in 0..CHUNK {
+            buf[l] = el(ac[l], bc[l]);
+        }
+        for (l, &v) in buf.iter().enumerate() {
+            argmax_step(&mut best, i + l, v);
+        }
+        i += CHUNK;
+    }
+    while i < n {
+        argmax_step(&mut best, i, el(a[i], b[i]));
+        i += 1;
+    }
+    best.map(|(i, _)| i)
+}
+
+// ----- MOSS / CSR (the paper's DFL indices) ---------------------------------
+
+#[inline(always)]
+fn moss_el(mean: f64, count: u64, t_f: f64, k_f: f64) -> f64 {
+    if count == 0 {
+        return f64::INFINITY;
+    }
+    let count_f = count as f64;
+    mean + (log_plus(t_f / (k_f * count_f)) / count_f).sqrt()
+}
+
+/// Fills `out` with [`moss_index`](crate::estimator::moss_index) per arm:
+/// `out[i] = moss_index(means[i], counts[i], t, k)`, with `t as f64` and the
+/// candidate count hoisted out of the sweep.
+pub fn moss_scores_into(means: &[f64], counts: &[u64], t: usize, k: usize, out: &mut Vec<f64>) {
+    let t_f = t as f64;
+    let k_f = k.max(1) as f64;
+    fill2(out, means, counts, |mean, count| {
+        moss_el(mean, count, t_f, k_f)
+    });
+}
+
+/// [`moss_scores_into`] over real-valued effective counts (see
+/// [`ArmEstimators::effective_counts_into`](crate::estimator::ArmEstimators::effective_counts_into)):
+/// `out[i] = moss_index_weighted(means[i], counts[i], t, k)`.
+pub fn moss_scores_weighted_into(
+    means: &[f64],
+    counts: &[f64],
+    t: usize,
+    k: usize,
+    out: &mut Vec<f64>,
+) {
+    let t_f = t as f64;
+    let k_f = k.max(1) as f64;
+    fill2(out, means, counts, |mean, count: f64| {
+        if count <= 0.0 {
+            f64::INFINITY
+        } else {
+            mean + (log_plus(t_f / (k_f * count)) / count).sqrt()
+        }
+    });
+}
+
+/// Fused MOSS score+argmax: the arm
+/// [`argmax_last`](crate::estimator::argmax_last) would select over
+/// [`moss_index`](crate::estimator::moss_index) values, without materialising
+/// the score vector. This is the whole per-round selection of DFL-SSO and
+/// DFL-CSO.
+pub fn moss_argmax(means: &[f64], counts: &[u64], t: usize, k: usize) -> Option<usize> {
+    let t_f = t as f64;
+    let k_f = k.max(1) as f64;
+    argmax2(means, counts, |mean, count| moss_el(mean, count, t_f, k_f))
+}
+
+/// Fills `out` with [`csr_index`](crate::estimator::csr_index) per arm. The
+/// expensive invariants — `t^{2/3}` and the zero-count exploration sentinel,
+/// both recomputed per arm by the scalar form — are hoisted to one evaluation
+/// per call.
+pub fn csr_scores_into(means: &[f64], counts: &[u64], t: usize, k: usize, out: &mut Vec<f64>) {
+    let t_pow = (t.max(1) as f64).powf(2.0 / 3.0);
+    let k_f = k.max(1) as f64;
+    let unobserved = 1.0 + (log_plus(t_pow) + 1.0).sqrt();
+    fill2(out, means, counts, |mean, count: u64| {
+        if count == 0 {
+            unobserved
+        } else {
+            let count_f = count as f64;
+            mean + (log_plus(t_pow / (k_f * count_f)) / count_f).sqrt()
+        }
+    });
+}
+
+/// [`csr_scores_into`] over real-valued effective counts:
+/// `out[i] = csr_index_weighted(means[i], counts[i], t, k)`.
+pub fn csr_scores_weighted_into(
+    means: &[f64],
+    counts: &[f64],
+    t: usize,
+    k: usize,
+    out: &mut Vec<f64>,
+) {
+    let t_pow = (t.max(1) as f64).powf(2.0 / 3.0);
+    let k_f = k.max(1) as f64;
+    let unobserved = 1.0 + (log_plus(t_pow) + 1.0).sqrt();
+    fill2(out, means, counts, |mean, count: f64| {
+        if count <= 0.0 {
+            unobserved
+        } else {
+            mean + (log_plus(t_pow / (k_f * count)) / count).sqrt()
+        }
+    });
+}
+
+// ----- DFL-SSR (neighbourhood min/sum sweep) --------------------------------
+
+#[inline(always)]
+fn ssr_el(csr: &CsrGraph, counts: &[u64], means: &[f64], arm: usize, k_f: f64, t_f: f64) -> f64 {
+    // One packed closed-neighbourhood row: `Ob_i = min_j O_j` and
+    // `B̄_i = Σ_j X̄_j`, summed in row order — the exact order (and f64
+    // operation sequence) of `DflSsr::side_observation_count` /
+    // `side_reward_estimate`.
+    let row = csr.closed_neighborhood(arm);
+    let mut min_count = u64::MAX;
+    let mut sum = 0.0;
+    for &j in row {
+        min_count = min_count.min(counts[j]);
+        sum += means[j];
+    }
+    if row.is_empty() {
+        min_count = 0;
+    }
+    let normalised = sum / k_f;
+    moss_el(normalised, min_count, t_f, k_f)
+}
+
+/// Fills `out` with the DFL-SSR index (`moss_index` of the per-arm
+/// neighbourhood min-count and mean-sum, normalised by `K`) for every arm.
+pub fn ssr_scores_into(
+    csr: &CsrGraph,
+    counts: &[u64],
+    means: &[f64],
+    t: usize,
+    out: &mut Vec<f64>,
+) {
+    let k = csr.num_vertices();
+    let k_f = k.max(1) as f64;
+    let t_f = t as f64;
+    out.clear();
+    out.resize(k, 0.0);
+    for (arm, slot) in out.iter_mut().enumerate() {
+        *slot = ssr_el(csr, counts, means, arm, k_f, t_f);
+    }
+}
+
+/// Fused DFL-SSR score+argmax over the packed closed-neighbourhood rows.
+pub fn ssr_argmax(csr: &CsrGraph, counts: &[u64], means: &[f64], t: usize) -> Option<usize> {
+    let k = csr.num_vertices();
+    let k_f = k.max(1) as f64;
+    let t_f = t as f64;
+    let mut best: Option<(usize, f64)> = None;
+    for arm in 0..k {
+        argmax_step(&mut best, arm, ssr_el(csr, counts, means, arm, k_f, t_f));
+    }
+    best.map(|(arm, _)| arm)
+}
+
+// ----- UCB family (baseline indices) ----------------------------------------
+
+/// The UCB1 index `mean + sqrt(2 ln t / count)` (∞ before the first pull) —
+/// the scalar reference of [`ucb1_argmax`].
+pub fn ucb1_index(mean: f64, count: u64, t: usize) -> f64 {
+    if count == 0 {
+        return f64::INFINITY;
+    }
+    let t = t.max(1) as f64;
+    mean + (2.0 * t.ln() / count as f64).sqrt()
+}
+
+/// Fused UCB1 score+argmax with `2 ln t` hoisted out of the sweep.
+pub fn ucb1_argmax(means: &[f64], counts: &[u64], t: usize) -> Option<usize> {
+    let two_ln_t = 2.0 * (t.max(1) as f64).ln();
+    argmax2(means, counts, |mean, count: u64| {
+        if count == 0 {
+            f64::INFINITY
+        } else {
+            mean + (two_ln_t / count as f64).sqrt()
+        }
+    })
+}
+
+/// The UCB-Tuned index (∞ before the first pull): the exploration width is
+/// scaled by `min(1/4, V_i)` where `V_i` is the empirical variance estimate
+/// `max(sum_sq/n − mean², 0) + sqrt(2 ln t / n)`. Scalar reference of
+/// [`ucb_tuned_argmax`].
+pub fn ucb_tuned_index(mean: f64, count: u64, sum_sq: f64, t: usize) -> f64 {
+    if count == 0 {
+        return f64::INFINITY;
+    }
+    let t = t.max(1) as f64;
+    let count_f = count as f64;
+    let variance = (sum_sq / count_f - mean * mean).max(0.0);
+    let v = variance + (2.0 * t.ln() / count_f).sqrt();
+    mean + (t.ln() / count_f * v.min(0.25)).sqrt()
+}
+
+/// Fused UCB-Tuned score+argmax over the parallel `(means, counts, sum_sq)`
+/// arrays, with `ln t` and `2 ln t` hoisted out of the sweep.
+pub fn ucb_tuned_argmax(means: &[f64], counts: &[u64], sum_sq: &[f64], t: usize) -> Option<usize> {
+    let n = means.len().min(counts.len()).min(sum_sq.len());
+    let ln_t = (t.max(1) as f64).ln();
+    let two_ln_t = 2.0 * ln_t;
+    let el = |mean: f64, count: u64, sq: f64| {
+        if count == 0 {
+            return f64::INFINITY;
+        }
+        let count_f = count as f64;
+        let variance = (sq / count_f - mean * mean).max(0.0);
+        let v = variance + (two_ln_t / count_f).sqrt();
+        mean + (ln_t / count_f * v.min(0.25)).sqrt()
+    };
+    let mut best: Option<(usize, f64)> = None;
+    let mut i = 0;
+    while i + CHUNK <= n {
+        let mut buf = [0.0f64; CHUNK];
+        let (mc, cc, sc) = (
+            &means[i..i + CHUNK],
+            &counts[i..i + CHUNK],
+            &sum_sq[i..i + CHUNK],
+        );
+        for l in 0..CHUNK {
+            buf[l] = el(mc[l], cc[l], sc[l]);
+        }
+        for (l, &v) in buf.iter().enumerate() {
+            argmax_step(&mut best, i + l, v);
+        }
+        i += CHUNK;
+    }
+    while i < n {
+        argmax_step(&mut best, i, el(means[i], counts[i], sum_sq[i]));
+        i += 1;
+    }
+    best.map(|(i, _)| i)
+}
+
+/// The CUCB per-arm index `mean + sqrt(1.5 ln t / count)`, with a large
+/// *finite* value before the first play so oracle sums stay finite. Scalar
+/// reference of [`cucb_scores_into`].
+pub fn cucb_index(mean: f64, count: u64, t: usize) -> f64 {
+    if count == 0 {
+        return 2.0 + (t.max(1) as f64).ln().sqrt();
+    }
+    mean + (1.5 * (t.max(1) as f64).ln() / count as f64).sqrt()
+}
+
+/// Fills `out` with the CUCB index per arm; `ln t`, `1.5 ln t`, and the
+/// unplayed-arm sentinel are hoisted out of the sweep.
+pub fn cucb_scores_into(means: &[f64], counts: &[u64], t: usize, out: &mut Vec<f64>) {
+    let ln_t = (t.max(1) as f64).ln();
+    let unplayed = 2.0 + ln_t.sqrt();
+    let bonus = 1.5 * ln_t;
+    fill2(out, means, counts, |mean, count: u64| {
+        if count == 0 {
+            unplayed
+        } else {
+            mean + (bonus / count as f64).sqrt()
+        }
+    });
+}
+
+/// The LLR per-arm index `mean + sqrt((M + 1) ln t / count)` for maximum
+/// strategy size `max_size`, with a large finite value before the first play.
+/// Scalar reference of [`llr_scores_into`].
+pub fn llr_index(mean: f64, count: u64, max_size: usize, t: usize) -> f64 {
+    let m = max_size.max(1) as f64;
+    if count == 0 {
+        return 2.0 + ((m + 1.0) * (t.max(1) as f64).ln()).sqrt();
+    }
+    mean + ((m + 1.0) * (t.max(1) as f64).ln() / count as f64).sqrt()
+}
+
+/// Fills `out` with the LLR index per arm; `(M + 1) ln t` and the
+/// unplayed-arm sentinel are hoisted out of the sweep.
+pub fn llr_scores_into(
+    means: &[f64],
+    counts: &[u64],
+    max_size: usize,
+    t: usize,
+    out: &mut Vec<f64>,
+) {
+    let m = max_size.max(1) as f64;
+    let bonus = (m + 1.0) * (t.max(1) as f64).ln();
+    let unplayed = 2.0 + bonus.sqrt();
+    fill2(out, means, counts, |mean, count: u64| {
+        if count == 0 {
+            unplayed
+        } else {
+            mean + (bonus / count as f64).sqrt()
+        }
+    });
+}
+
+// ----- scalar references (per-element loops over the original functions) ----
+
+/// Scalar reference of [`moss_scores_into`]: a per-arm loop over
+/// [`moss_index`](crate::estimator::moss_index). Kept as the definition the
+/// chunked kernel is pinned against.
+pub fn moss_scores_scalar(means: &[f64], counts: &[u64], t: usize, k: usize, out: &mut Vec<f64>) {
+    out.clear();
+    out.extend(
+        means
+            .iter()
+            .zip(counts)
+            .map(|(&m, &c)| crate::estimator::moss_index(m, c, t, k)),
+    );
+}
+
+/// Scalar reference of [`moss_scores_weighted_into`].
+pub fn moss_scores_weighted_scalar(
+    means: &[f64],
+    counts: &[f64],
+    t: usize,
+    k: usize,
+    out: &mut Vec<f64>,
+) {
+    out.clear();
+    out.extend(
+        means
+            .iter()
+            .zip(counts)
+            .map(|(&m, &c)| moss_index_weighted(m, c, t, k)),
+    );
+}
+
+/// Scalar reference of [`csr_scores_into`]: a per-arm loop over
+/// [`csr_index`](crate::estimator::csr_index).
+pub fn csr_scores_scalar(means: &[f64], counts: &[u64], t: usize, k: usize, out: &mut Vec<f64>) {
+    out.clear();
+    out.extend(
+        means
+            .iter()
+            .zip(counts)
+            .map(|(&m, &c)| crate::estimator::csr_index(m, c, t, k)),
+    );
+}
+
+/// Scalar reference of [`csr_scores_weighted_into`].
+pub fn csr_scores_weighted_scalar(
+    means: &[f64],
+    counts: &[f64],
+    t: usize,
+    k: usize,
+    out: &mut Vec<f64>,
+) {
+    out.clear();
+    out.extend(
+        means
+            .iter()
+            .zip(counts)
+            .map(|(&m, &c)| csr_index_weighted(m, c, t, k)),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimator::{argmax_last, csr_index, moss_index};
+
+    fn state(n: usize) -> (Vec<f64>, Vec<u64>) {
+        let means: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin().abs()).collect();
+        let counts: Vec<u64> = (0..n).map(|i| (i as u64 * 7) % 5).collect();
+        (means, counts)
+    }
+
+    #[test]
+    fn moss_kernel_is_bit_identical_to_the_scalar_reference() {
+        for n in [0, 1, 7, 8, 9, 64, 100] {
+            let (means, counts) = state(n);
+            let (mut fast, mut slow) = (Vec::new(), Vec::new());
+            for t in [1, 2, 100, 9999] {
+                moss_scores_into(&means, &counts, t, n, &mut fast);
+                moss_scores_scalar(&means, &counts, t, n, &mut slow);
+                assert_eq!(
+                    fast.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                    slow.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                    "n={n} t={t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn csr_kernel_is_bit_identical_to_the_scalar_reference() {
+        for n in [1, 8, 33] {
+            let (means, counts) = state(n);
+            let (mut fast, mut slow) = (Vec::new(), Vec::new());
+            for t in [1, 17, 4242] {
+                csr_scores_into(&means, &counts, t, n, &mut fast);
+                csr_scores_scalar(&means, &counts, t, n, &mut slow);
+                assert_eq!(
+                    fast.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                    slow.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_kernels_match_their_scalar_references() {
+        let means: Vec<f64> = (0..20).map(|i| i as f64 / 20.0).collect();
+        let counts: Vec<f64> = (0..20).map(|i| (i as f64 * 0.6) - 1.0).collect();
+        let (mut fast, mut slow) = (Vec::new(), Vec::new());
+        moss_scores_weighted_into(&means, &counts, 50, 20, &mut fast);
+        moss_scores_weighted_scalar(&means, &counts, 50, 20, &mut slow);
+        assert_eq!(fast, slow);
+        csr_scores_weighted_into(&means, &counts, 50, 20, &mut fast);
+        csr_scores_weighted_scalar(&means, &counts, 50, 20, &mut slow);
+        assert_eq!(
+            fast.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            slow.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+        );
+    }
+
+    #[test]
+    fn fused_argmax_matches_score_then_argmax_including_ties() {
+        // All-zero counts: every score is +inf, so the *last* arm must win,
+        // exactly like `argmax_last` over the scalar scores.
+        let means = vec![0.5; 13];
+        let counts = vec![0u64; 13];
+        assert_eq!(moss_argmax(&means, &counts, 10, 13), Some(12));
+        for n in [1, 9, 40] {
+            let (means, counts) = state(n);
+            for t in [1, 3, 500] {
+                let fused = moss_argmax(&means, &counts, t, n);
+                let scalar = argmax_last(
+                    means
+                        .iter()
+                        .zip(&counts)
+                        .map(|(&m, &c)| moss_index(m, c, t, n)),
+                );
+                assert_eq!(fused, scalar, "n={n} t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn ucb_kernels_match_their_scalar_indices() {
+        for n in [1, 8, 21] {
+            let (means, counts) = state(n);
+            let sum_sq: Vec<f64> = means.iter().map(|m| m * m * 1.3).collect();
+            for t in [1, 64, 1000] {
+                assert_eq!(
+                    ucb1_argmax(&means, &counts, t),
+                    argmax_last(
+                        means
+                            .iter()
+                            .zip(&counts)
+                            .map(|(&m, &c)| ucb1_index(m, c, t))
+                    ),
+                );
+                assert_eq!(
+                    ucb_tuned_argmax(&means, &counts, &sum_sq, t),
+                    argmax_last((0..n).map(|i| ucb_tuned_index(means[i], counts[i], sum_sq[i], t))),
+                );
+                let mut fast = Vec::new();
+                cucb_scores_into(&means, &counts, t, &mut fast);
+                for i in 0..n {
+                    assert_eq!(
+                        fast[i].to_bits(),
+                        cucb_index(means[i], counts[i], t).to_bits()
+                    );
+                }
+                llr_scores_into(&means, &counts, 3, t, &mut fast);
+                for i in 0..n {
+                    assert_eq!(
+                        fast[i].to_bits(),
+                        llr_index(means[i], counts[i], 3, t).to_bits()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn csr_kernel_hoists_the_sentinel_without_changing_it() {
+        let mut out = Vec::new();
+        csr_scores_into(&[0.0, 0.9], &[0, 4], 123, 2, &mut out);
+        assert_eq!(out[0].to_bits(), csr_index(0.0, 0, 123, 2).to_bits());
+        assert_eq!(out[1].to_bits(), csr_index(0.9, 4, 123, 2).to_bits());
+    }
+
+    #[test]
+    fn ssr_kernel_handles_empty_graphs() {
+        let csr = netband_graph::RelationGraph::empty(0).to_csr();
+        assert_eq!(ssr_argmax(&csr, &[], &[], 5), None);
+        let mut out = Vec::new();
+        ssr_scores_into(&csr, &[], &[], 5, &mut out);
+        assert!(out.is_empty());
+    }
+}

@@ -55,6 +55,7 @@ pub mod dfl_sso;
 pub mod dfl_ssr;
 pub mod estimator;
 pub mod heuristics;
+pub mod kernels;
 pub mod policy;
 pub mod state;
 
@@ -84,6 +85,7 @@ pub mod prelude {
         ArmEstimators, EstimatorKind, RunningMean,
     };
     pub use crate::heuristics::{DflSsoGreedyNeighbor, DflSsrGreedyNeighbor};
+    pub use crate::kernels;
     pub use crate::policy::{
         CombinatorialPolicy, DynCombinatorialPolicy, DynSinglePolicy, SinglePlayPolicy,
     };

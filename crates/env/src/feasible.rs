@@ -55,7 +55,10 @@ pub trait FeasibleSet {
     /// is empty.
     fn argmax_by_arm_weights(&self, weights: &[f64], graph: &RelationGraph) -> Option<Vec<ArmId>> {
         let bank = self.enumerate(graph)?;
-        argmax_row_by(&bank, |row| strategy_weight(row, weights)).map(|x| bank.row(x).to_vec())
+        // `weights` is the per-arm score table; one contiguous bank scan with
+        // the same row-order summation and last-max tie-breaking as the
+        // `argmax_row_by` + `strategy_weight` pair it replaces.
+        bank.argmax_row_sums(weights).map(|x| bank.row(x).to_vec())
     }
 
     /// The feasible strategy maximising `Σ_{i ∈ Y_s} w_i`, or `None` if the
@@ -100,43 +103,69 @@ fn argmax_row_by(bank: &StrategyBank, mut weight: impl FnMut(&[ArmId]) -> f64) -
 }
 
 /// Flat-bank scan of the neighbourhood-weight objective: every row's `Y_s` is
-/// materialised into one reusable scratch buffer (sorted ascending, exactly the
-/// order [`neighborhood_weight`] sums in), so the scan performs no per-candidate
-/// allocation while keeping the floating-point summation order — and hence the
-/// argmax — bit-identical to the nested scan it replaces.
+/// built through one reusable mark table (no per-row sort for dense unions),
+/// and summed in ascending arm order — exactly the order
+/// [`neighborhood_weight`] sums in, so the floating-point summation order —
+/// and hence the argmax — stays bit-identical to the nested scan it replaces.
 fn argmax_neighborhood_in_bank(
     bank: &StrategyBank,
     weights: &[f64],
     graph: &RelationGraph,
 ) -> Option<Vec<ArmId>> {
     let mut scratch: Vec<ArmId> = Vec::new();
+    let mut mark = vec![false; graph.num_vertices()];
     argmax_row_by(bank, |row| {
-        neighborhood_weight_with(row, weights, graph, &mut scratch)
+        neighborhood_weight_with(row, weights, graph, &mut scratch, &mut mark)
     })
     .map(|x| bank.row(x).to_vec())
 }
 
-/// [`neighborhood_weight`] with a caller-provided scratch buffer for the
-/// sorted union `Y_s` (cleared and refilled per call; no allocation once
-/// warm). Summation runs over the ascending deduplicated union — the same
-/// order a `BTreeSet`-built neighbourhood sums in.
+/// [`neighborhood_weight`] with caller-provided scratch state (cleared and
+/// refilled per call; no allocation once warm). The union `Y_s` is collected
+/// through the mark table instead of sort+dedup; the sum still runs over the
+/// ascending deduplicated union — the same order a `BTreeSet`-built
+/// neighbourhood sums in — via a marked sweep of the arm range when the union
+/// is dense, or a sort of the (already unique) members when it is sparse.
+/// Both branches add the identical f64 sequence.
 fn neighborhood_weight_with(
     strategy: &[ArmId],
     weights: &[f64],
     graph: &RelationGraph,
     scratch: &mut Vec<ArmId>,
+    mark: &mut [bool],
 ) -> f64 {
     scratch.clear();
     for &v in strategy {
-        scratch.push(v);
-        scratch.extend_from_slice(graph.neighbors(v));
+        if !mark[v] {
+            mark[v] = true;
+            scratch.push(v);
+        }
+        for &u in graph.neighbors(v) {
+            if !mark[u] {
+                mark[u] = true;
+                scratch.push(u);
+            }
+        }
     }
-    scratch.sort_unstable();
-    scratch.dedup();
-    scratch
-        .iter()
-        .map(|&i| weights.get(i).copied().unwrap_or(0.0))
-        .sum()
+    let sum = if scratch.len() * 4 >= mark.len() {
+        let mut acc = 0.0;
+        for (i, &m) in mark.iter().enumerate() {
+            if m {
+                acc += weights.get(i).copied().unwrap_or(0.0);
+            }
+        }
+        acc
+    } else {
+        scratch.sort_unstable();
+        scratch
+            .iter()
+            .map(|&i| weights.get(i).copied().unwrap_or(0.0))
+            .sum()
+    };
+    for &i in scratch.iter() {
+        mark[i] = false;
+    }
+    sum
 }
 
 /// Greedy weighted max-coverage construction used when a family is too large to
@@ -368,8 +397,10 @@ impl FeasibleSet for StrategyFamily {
         match self {
             StrategyFamily::Explicit { strategies } => {
                 // Explicit sets are scanned directly off the stored bank —
-                // no enumeration copy, one contiguous walk.
-                argmax_row_by(strategies, |row| strategy_weight(row, weights))
+                // no enumeration copy, one contiguous walk over the per-arm
+                // score table.
+                strategies
+                    .argmax_row_sums(weights)
                     .map(|x| strategies.row(x).to_vec())
             }
             StrategyFamily::AtMostM { num_arms, m } => {
@@ -409,8 +440,7 @@ impl FeasibleSet for StrategyFamily {
                 // Exact on enumerable instances; greedy weighted independent set
                 // otherwise.
                 if let Some(bank) = self.enumerate(graph) {
-                    argmax_row_by(&bank, |row| strategy_weight(row, weights))
-                        .map(|x| bank.row(x).to_vec())
+                    bank.argmax_row_sums(weights).map(|x| bank.row(x).to_vec())
                 } else {
                     let mut greedy = netband_graph::independent::greedy_max_weight_independent_set(
                         graph, weights,

@@ -177,6 +177,39 @@ impl StrategyBank {
     pub fn to_rows(&self) -> Vec<Vec<ArmId>> {
         self.iter().map(<[ArmId]>::to_vec).collect()
     }
+
+    /// Index of the row with the largest sum of per-arm scores, scanning the
+    /// flat `offsets`/`arms` arrays contiguously.
+    ///
+    /// This is the oracle-scan kernel: callers precompute a per-arm score
+    /// `table` once per decide (one chunked kernel sweep) and this method
+    /// reduces every row over it in a single linear walk. Semantics match the
+    /// scalar oracle exactly:
+    ///
+    /// * each row's weight is the sum of `table[arm]` **in row order** (arm
+    ///   ids beyond `table` contribute `0.0`), the same f64 operation
+    ///   sequence as `strategy_weight`;
+    /// * ties break to the **last** maximal row, and incomparable (NaN)
+    ///   weights compare as equal — i.e. `argmax_last` selection.
+    ///
+    /// Returns `None` for an empty bank.
+    pub fn argmax_row_sums(&self, table: &[f64]) -> Option<usize> {
+        let mut best: Option<(usize, f64)> = None;
+        for (x, w) in self.offsets.windows(2).enumerate() {
+            let row = &self.arms[w[0] as usize..w[1] as usize];
+            let mut sum = 0.0;
+            for &arm in row {
+                sum += table.get(arm).copied().unwrap_or(0.0);
+            }
+            let keep_incumbent = best
+                .map(|(_, b)| b.partial_cmp(&sum) == Some(std::cmp::Ordering::Greater))
+                .unwrap_or(false);
+            if !keep_incumbent {
+                best = Some((x, sum));
+            }
+        }
+        best.map(|(x, _)| x)
+    }
 }
 
 /// The default bank is empty — same state as [`StrategyBank::new`] (a derived
@@ -300,5 +333,21 @@ mod tests {
         let bank = StrategyBank::with_capacity(8, 32);
         assert!(bank.is_empty());
         assert_eq!(bank.len(), 0);
+    }
+
+    #[test]
+    fn argmax_row_sums_sums_in_row_order_and_breaks_ties_late() {
+        let bank: StrategyBank = vec![vec![0, 1], vec![2], vec![1, 0]].into();
+        // Rows 0 and 2 tie exactly (same members): the last one wins.
+        assert_eq!(bank.argmax_row_sums(&[0.5, 0.25, 0.6]), Some(2));
+        // A strictly larger row keeps winning regardless of position.
+        assert_eq!(bank.argmax_row_sums(&[0.5, 0.25, 0.9]), Some(1));
+        // Out-of-range arm ids contribute 0, and NaN rows compare as equal,
+        // replacing the incumbent (argmax_last semantics).
+        let sparse: StrategyBank = vec![vec![0], vec![9]].into();
+        assert_eq!(sparse.argmax_row_sums(&[-1.0]), Some(1));
+        let nan: StrategyBank = vec![vec![0], vec![1]].into();
+        assert_eq!(nan.argmax_row_sums(&[1.0, f64::NAN]), Some(1));
+        assert_eq!(StrategyBank::new().argmax_row_sums(&[1.0]), None);
     }
 }

@@ -5,24 +5,39 @@
 //! pays, for every decision, a fresh reply-channel allocation plus two channel
 //! hops. A [`ServeClient`] removes both costs from the steady state:
 //!
-//! * **Pooled reply channels** — the client owns one long-lived reply channel;
-//!   every batch command carries a clone of its sender (an `Arc` bump, no
-//!   allocation) instead of a freshly constructed `sync_channel`.
+//! * **Per-shard reply pooling** — the client owns one long-lived reply
+//!   channel *per shard*; every batch command carries a clone of its target
+//!   shard's sender (an `Arc` bump, no allocation) instead of a freshly
+//!   constructed `sync_channel`. Because no two shards ever share a reply
+//!   channel, shards completing concurrent batches never contend on the
+//!   client side, and a mixed fan-out collects each shard's batch from its
+//!   own lane.
 //! * **Batched commands** — [`ServeClient::decide_many`] serves `n` decisions
-//!   over a single command/reply round-trip; [`ServeClient::feedback_many`]
-//!   ingests a whole window of feedback with one fire-and-forget command.
+//!   over a single command/reply round-trip;
+//!   [`ServeClient::decide_many_mixed`] fans a mixed-tenant batch out to
+//!   **all** target shards first and only then collects, so the shards serve
+//!   their partitions concurrently; [`ServeClient::feedback_many`] ingests a
+//!   whole window of feedback with one fire-and-forget command.
 //! * **Recycled buffers** — request buffers (including their tenant-id
 //!   strings) circulate client → shard → client, and the caller's reply
 //!   vector is handed to the shard as the reply buffer, so its warm
 //!   [`DecideReply`] slots (decision vectors, echoed feedback buffers) are
 //!   refilled in place. A steady-state `decide_many` loop that reuses its
 //!   `out` vector allocates nothing on either side of the channel.
+//! * **Batch-1 degradation** — a 1-element `decide_many` (and a 1-event
+//!   `feedback_many`) routes through the lighter per-call commands
+//!   (`Command::Decide` / `Command::Feedback`) over the pooled reply channel:
+//!   at batch size 1 the batch buffer round-trip costs more than it saves,
+//!   so the batched client degrades to (slightly better than) the per-call
+//!   transport instead of underperforming it.
 //!
 //! Batching changes *transport*, not semantics: a `decide_many(t, n, ..)` is
-//! bit-identical to `n` consecutive `decide(t)` calls, and `feedback_many`
-//! applies its events through the same per-event ingestion (including flush
-//! thresholds) as per-call feedback. `tests/serve_equivalence.rs` pins this
-//! with a randomly-chunked interleaving proptest.
+//! bit-identical to `n` consecutive `decide(t)` calls, a
+//! `decide_many_mixed` is bit-identical to the per-tenant `decide_many`
+//! calls it replaces, and `feedback_many` applies its events through the
+//! same per-event ingestion (including flush thresholds) as per-call
+//! feedback. `tests/serve_equivalence.rs` pins this with a randomly-chunked
+//! interleaving proptest.
 //!
 //! # Example
 //!
@@ -74,15 +89,21 @@ const FEEDBACK_POOL_CAPACITY: usize = 8;
 const REPLY_POLL: Duration = Duration::from_millis(100);
 
 /// A client handle over a [`ServeEngine`]: the batched, buffer-recycling
-/// counterpart of the engine's per-call methods. Cheap to create (two
-/// channels); intended usage is one client per driving thread, living for the
-/// whole session. See the [module docs](self) for the full protocol.
+/// counterpart of the engine's per-call methods. Cheap to create (one reply
+/// lane per shard plus two pooled channels); intended usage is one client per
+/// driving thread, living for the whole session. See the
+/// [module docs](self) for the full protocol.
 pub struct ServeClient<'e> {
     engine: &'e ServeEngine,
-    /// The client's long-lived batch reply channel; each `DecideMany` command
-    /// carries a clone of `reply_tx`.
-    reply_tx: SyncSender<DecideBatch>,
-    reply_rx: Receiver<DecideBatch>,
+    /// One long-lived batch reply lane **per shard**; a `DecideMany` addressed
+    /// to shard `s` carries a clone of `batch_reply[s].0`, and its batch is
+    /// collected from `batch_reply[s].1`. Dedicated lanes keep concurrently
+    /// completing shards from contending on a shared reply channel and let a
+    /// mixed fan-out collect each shard independently.
+    batch_reply: Vec<(SyncSender<DecideBatch>, Receiver<DecideBatch>)>,
+    /// Pooled reply channel for the batch-1 fast path (`Command::Decide`).
+    single_reply_tx: SyncSender<Result<DecideReply, ServeError>>,
+    single_reply_rx: Receiver<Result<DecideReply, ServeError>>,
     /// Return path for drained feedback request buffers.
     recycle_tx: SyncSender<Vec<FeedbackRequest>>,
     recycle_rx: Receiver<Vec<FeedbackRequest>>,
@@ -92,21 +113,43 @@ pub struct ServeClient<'e> {
     feedback_pool: Vec<Vec<FeedbackRequest>>,
     /// Reply buffer backing [`ServeClient::decide`].
     single_scratch: Vec<Result<DecideReply, ServeError>>,
+    /// Per-shard request assembly buffers for the mixed fan-out (entry strings
+    /// stay warm across calls).
+    shard_requests: Vec<Vec<DecideRequest>>,
+    /// Per-shard reply buffers for the mixed fan-out (warm `DecideReply`
+    /// slots circulate between these and the caller's `out` via swaps).
+    shard_replies: Vec<Vec<Result<DecideReply, ServeError>>>,
+    /// Per-shard entry/slot cursors, reused by partition and reassembly.
+    shard_cursors: Vec<usize>,
+    /// Shards addressed by the current mixed batch, in first-touch order.
+    touched: Vec<usize>,
+    /// `(shard, count)` per original mixed request, for in-order reassembly.
+    plan: Vec<(usize, usize)>,
 }
 
 impl<'e> ServeClient<'e> {
     pub(crate) fn new(engine: &'e ServeEngine) -> Self {
-        let (reply_tx, reply_rx) = sync_channel(engine.num_shards().max(1));
+        let shards = engine.num_shards().max(1);
+        // Capacity 1 per lane: a client keeps at most one batch in flight per
+        // shard, so the shard's reply send never blocks.
+        let batch_reply = (0..shards).map(|_| sync_channel(1)).collect();
+        let (single_reply_tx, single_reply_rx) = sync_channel(1);
         let (recycle_tx, recycle_rx) = sync_channel(FEEDBACK_POOL_CAPACITY);
         ServeClient {
             engine,
-            reply_tx,
-            reply_rx,
+            batch_reply,
+            single_reply_tx,
+            single_reply_rx,
             recycle_tx,
             recycle_rx,
             request_pool: Vec::new(),
             feedback_pool: Vec::new(),
             single_scratch: Vec::new(),
+            shard_requests: (0..shards).map(|_| Vec::new()).collect(),
+            shard_replies: (0..shards).map(|_| Vec::new()).collect(),
+            shard_cursors: vec![0; shards],
+            touched: Vec::new(),
+            plan: Vec::new(),
         }
     }
 
@@ -170,6 +213,12 @@ impl<'e> ServeClient<'e> {
             out.clear();
             return Ok(());
         }
+        if n == 1 {
+            // At batch size 1 the buffer round-trip costs more than it
+            // amortises; degrade to the per-call command over the pooled
+            // single-reply channel.
+            return self.decide_one_into(tenant, out, block);
+        }
         let mut requests = self.request_pool.pop().unwrap_or_default();
         write_decide_requests(&mut requests, tenant, n);
         let replies = std::mem::take(out);
@@ -178,7 +227,7 @@ impl<'e> ServeClient<'e> {
             tag: shard as u64,
             requests,
             replies,
-            reply: self.reply_tx.clone(),
+            reply: self.batch_reply[shard].0.clone(),
         };
         if block {
             self.engine.send_to_shard(shard, command)?;
@@ -200,6 +249,165 @@ impl<'e> ServeClient<'e> {
         let batch = self.wait_reply(shard)?;
         self.request_pool.push(batch.requests);
         *out = batch.replies;
+        Ok(())
+    }
+
+    /// The batch-1 fast path: one `Command::Decide` over the pooled
+    /// single-reply channel — the per-call transport minus its fresh
+    /// reply-channel allocation. Semantics (results, metrics, WAL traffic)
+    /// are identical to a 1-element `DecideMany`.
+    fn decide_one_into(
+        &mut self,
+        tenant: &str,
+        out: &mut Vec<Result<DecideReply, ServeError>>,
+        block: bool,
+    ) -> Result<(), ServeError> {
+        let shard = self.engine.shard_of(tenant);
+        let command = Command::Decide {
+            tenant: tenant.to_owned(),
+            reply: self.single_reply_tx.clone(),
+        };
+        if block {
+            self.engine.send_to_shard(shard, command)?;
+        } else if let Err(bounced) = self.engine.try_send_to_shard(shard, command) {
+            return Err(match bounced {
+                TrySendError::Full(_) => ServeError::Overloaded,
+                TrySendError::Disconnected(_) => ServeError::EngineDown,
+            });
+        }
+        // Same liveness-polling wait as the batch lanes: the pooled channel
+        // outlives the command, so a dead shard must not hang a plain `recv`.
+        let result = loop {
+            match self.single_reply_rx.recv_timeout(REPLY_POLL) {
+                Ok(result) => break result,
+                Err(RecvTimeoutError::Timeout) => {
+                    if self.engine.shard_is_down(shard) {
+                        if let Ok(result) = self.single_reply_rx.try_recv() {
+                            break result;
+                        }
+                        return Err(ServeError::EngineDown);
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => return Err(ServeError::EngineDown),
+            }
+        };
+        out.clear();
+        out.push(result);
+        Ok(())
+    }
+
+    /// Serves a mixed-tenant batch — `(tenant, count)` pairs in caller order —
+    /// by partitioning it across the owning shards, sending **all** per-shard
+    /// `DecideMany` commands before collecting any reply, and reassembling
+    /// the replies into `out` in the original request order. The target
+    /// shards therefore serve their partitions concurrently instead of
+    /// shard-at-a-time; results are bit-identical to issuing one
+    /// [`ServeClient::decide_many`] per `(tenant, count)` pair in order
+    /// (tenants are shard-pinned, so cross-shard completion order cannot
+    /// affect any tenant's round sequence).
+    ///
+    /// Buffer discipline matches `decide_many`: per-shard request/reply
+    /// buffers live in the client and recycle across calls, and `out`'s warm
+    /// slots are swapped (not cloned) with the shard buffers, so a
+    /// steady-state mixed loop allocates nothing. Zero-count pairs are
+    /// skipped; an empty batch clears `out`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::EngineDown`] when the engine or any addressed shard has
+    /// shut down (outstanding replies from the other shards are still
+    /// collected so the client stays usable); per-decision failures land in
+    /// the corresponding `out` entry. `out`'s contents are unspecified after
+    /// an error.
+    pub fn decide_many_mixed<'a, I>(
+        &mut self,
+        requests: I,
+        out: &mut Vec<Result<DecideReply, ServeError>>,
+    ) -> Result<(), ServeError>
+    where
+        I: IntoIterator<Item = (&'a str, usize)>,
+    {
+        self.plan.clear();
+        self.touched.clear();
+        for cursor in self.shard_cursors.iter_mut() {
+            *cursor = 0;
+        }
+        let mut total = 0usize;
+        for (tenant, n) in requests {
+            if n == 0 {
+                continue;
+            }
+            let shard = self.engine.shard_of(tenant);
+            if self.shard_cursors[shard] == 0 {
+                self.touched.push(shard);
+            }
+            append_decide_requests(
+                &mut self.shard_requests[shard],
+                &mut self.shard_cursors[shard],
+                tenant,
+                n,
+            );
+            self.plan.push((shard, n));
+            total += n;
+        }
+        if total == 0 {
+            out.clear();
+            return Ok(());
+        }
+        out.resize_with(total, || Err(ServeError::EngineDown));
+
+        // Fan-out: every shard's command goes on the wire before any reply is
+        // collected, so the shards work their partitions in parallel.
+        let mut sent = 0usize;
+        let mut failure: Option<ServeError> = None;
+        for &shard in &self.touched {
+            let mut requests = std::mem::take(&mut self.shard_requests[shard]);
+            requests.truncate(self.shard_cursors[shard]);
+            let replies = std::mem::take(&mut self.shard_replies[shard]);
+            let command = Command::DecideMany {
+                tag: shard as u64,
+                requests,
+                replies,
+                reply: self.batch_reply[shard].0.clone(),
+            };
+            if let Err(e) = self.engine.send_to_shard(shard, command) {
+                failure = Some(e);
+                break;
+            }
+            sent += 1;
+        }
+        // Collect every in-flight batch even after a failure, so the
+        // per-shard reply lanes are clean for the next call.
+        for idx in 0..sent {
+            let shard = self.touched[idx];
+            match self.wait_reply(shard) {
+                Ok(batch) => {
+                    self.shard_requests[shard] = batch.requests;
+                    self.shard_replies[shard] = batch.replies;
+                }
+                Err(e) => {
+                    failure.get_or_insert(e);
+                }
+            }
+        }
+        if let Some(e) = failure {
+            return Err(e);
+        }
+
+        // Reassemble in original request order. Swapping (rather than moving)
+        // keeps both `out`'s and the shard buffers' slots warm.
+        for cursor in self.shard_cursors.iter_mut() {
+            *cursor = 0;
+        }
+        let mut i = 0usize;
+        for &(shard, n) in &self.plan {
+            let cursor = self.shard_cursors[shard];
+            for slot in 0..n {
+                std::mem::swap(&mut out[i], &mut self.shard_replies[shard][cursor + slot]);
+                i += 1;
+            }
+            self.shard_cursors[shard] = cursor + n;
+        }
         Ok(())
     }
 
@@ -290,6 +498,12 @@ impl<'e> ServeClient<'e> {
             self.feedback_pool.push(buffer);
             return Ok(0);
         }
+        if used == 1 {
+            // Batch-1 fast path: a single fire-and-forget `Command::Feedback`
+            // skips the buffer recycle round-trip entirely.
+            let entry = buffer.pop().expect("one used entry");
+            return self.feedback_one(buffer, entry, block);
+        }
         let shard = self.engine.shard_of(tenant);
         let command = Command::FeedbackMany {
             events: buffer,
@@ -311,6 +525,52 @@ impl<'e> ServeClient<'e> {
         Ok(used)
     }
 
+    /// Sends one feedback event as a per-call `Command::Feedback` (same
+    /// per-event semantics as a 1-element window, no recycle round-trip).
+    /// `buffer` is the already-emptied pool buffer the event was staged in;
+    /// it returns to the pool on every path, and a bounced event's tenant
+    /// string is recovered into it first.
+    fn feedback_one(
+        &mut self,
+        mut buffer: Vec<FeedbackRequest>,
+        entry: FeedbackRequest,
+        block: bool,
+    ) -> Result<usize, ServeError> {
+        let shard = self.engine.shard_of(&entry.tenant);
+        let command = Command::Feedback {
+            tenant: entry.tenant,
+            round: entry.round,
+            event: entry.event,
+        };
+        if block {
+            let sent = self.engine.send_to_shard(shard, command);
+            self.feedback_pool.push(buffer);
+            sent?;
+        } else if let Err(bounced) = self.engine.try_send_to_shard(shard, command) {
+            let (command, error) = match bounced {
+                TrySendError::Full(c) => (c, ServeError::Overloaded),
+                TrySendError::Disconnected(c) => (c, ServeError::EngineDown),
+            };
+            if let Command::Feedback {
+                tenant,
+                round,
+                event,
+            } = command
+            {
+                buffer.push(FeedbackRequest {
+                    tenant,
+                    round,
+                    event,
+                });
+            }
+            self.feedback_pool.push(buffer);
+            return Err(error);
+        } else {
+            self.feedback_pool.push(buffer);
+        }
+        Ok(1)
+    }
+
     /// Moves buffers the shards have finished with back into the local pool.
     fn reclaim_feedback_buffers(&mut self) {
         while let Ok(buffer) = self.recycle_rx.try_recv() {
@@ -318,24 +578,25 @@ impl<'e> ServeClient<'e> {
         }
     }
 
-    /// Waits for the in-flight batch. The pooled reply channel outlives any
-    /// single command, so a shard that died *without* replying would leave a
-    /// plain `recv` hanging; the wait therefore polls shard liveness at a
-    /// coarse interval and converts a dead shard into
+    /// Waits for the in-flight batch on `shard`'s dedicated reply lane. The
+    /// lane outlives any single command, so a shard that died *without*
+    /// replying would leave a plain `recv` hanging; the wait therefore polls
+    /// shard liveness at a coarse interval and converts a dead shard into
     /// [`ServeError::EngineDown`] (after draining a reply the shard may have
     /// managed to send first).
-    fn wait_reply(&mut self, shard: usize) -> Result<DecideBatch, ServeError> {
+    fn wait_reply(&self, shard: usize) -> Result<DecideBatch, ServeError> {
+        let rx = &self.batch_reply[shard].1;
         loop {
-            match self.reply_rx.recv_timeout(REPLY_POLL) {
+            match rx.recv_timeout(REPLY_POLL) {
                 Ok(batch) => {
-                    // One batch in flight per client, so the echoed tag can
-                    // only be the shard we just addressed.
+                    // At most one batch in flight per shard per client, so the
+                    // echoed tag can only be the lane's own shard.
                     debug_assert_eq!(batch.tag, shard as u64);
                     return Ok(batch);
                 }
                 Err(RecvTimeoutError::Timeout) => {
                     if self.engine.shard_is_down(shard) {
-                        if let Ok(batch) = self.reply_rx.try_recv() {
+                        if let Ok(batch) = rx.try_recv() {
                             return Ok(batch);
                         }
                         return Err(ServeError::EngineDown);
@@ -347,15 +608,20 @@ impl<'e> ServeClient<'e> {
     }
 }
 
-/// Writes a `(tenant, n)` request list into a recycled buffer, reusing entry
-/// strings. `n` is split across entries only when it exceeds the `u32` count
-/// width of a single request.
-fn write_decide_requests(requests: &mut Vec<DecideRequest>, tenant: &str, mut n: usize) {
-    let mut entries = 0usize;
+/// Appends a `(tenant, n)` request to a recycled buffer at `*entries`,
+/// reusing entry strings in place and advancing the cursor. `n` is split
+/// across entries only when it exceeds the `u32` count width of a single
+/// request.
+fn append_decide_requests(
+    requests: &mut Vec<DecideRequest>,
+    entries: &mut usize,
+    tenant: &str,
+    mut n: usize,
+) {
     while n > 0 {
         let count = u32::try_from(n).unwrap_or(u32::MAX);
-        if entries < requests.len() {
-            let entry = &mut requests[entries];
+        if *entries < requests.len() {
+            let entry = &mut requests[*entries];
             entry.tenant.clear();
             entry.tenant.push_str(tenant);
             entry.count = count;
@@ -365,9 +631,16 @@ fn write_decide_requests(requests: &mut Vec<DecideRequest>, tenant: &str, mut n:
                 count,
             });
         }
-        entries += 1;
+        *entries += 1;
         n -= count as usize;
     }
+}
+
+/// Writes a single `(tenant, n)` request list into a recycled buffer,
+/// truncating any stale tail entries.
+fn write_decide_requests(requests: &mut Vec<DecideRequest>, tenant: &str, n: usize) {
+    let mut entries = 0usize;
+    append_decide_requests(requests, &mut entries, tenant, n);
     requests.truncate(entries);
 }
 
@@ -558,6 +831,124 @@ mod tests {
         assert_eq!(report.total_decides(), 4);
         // The rejected feedback window was never enqueued.
         assert_eq!(report.shards[0].rejected, 0);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn batch_1_fast_path_matches_per_call_decide_and_feedback() {
+        let fast = engine_with_tenant("t", 3);
+        let per_call = engine_with_tenant("t", 3);
+        let mut client = fast.client();
+        let mut out = Vec::new();
+        for _ in 0..9 {
+            // n == 1 routes through `Command::Decide` / `Command::Feedback`.
+            client.decide_many("t", 1, &mut out).unwrap();
+            assert_eq!(out.len(), 1);
+            let mine = out[0].as_mut().unwrap();
+            let theirs = per_call.decide("t").unwrap();
+            assert_eq!(&*mine, &theirs);
+            let event = mine.feedback.take().unwrap();
+            let round = mine.round;
+            assert_eq!(client.feedback_many("t", [(round, event)]).unwrap(), 1);
+            per_call
+                .feedback("t", theirs.round, theirs.feedback.unwrap())
+                .unwrap();
+        }
+        fast.drain().unwrap();
+        per_call.drain().unwrap();
+        // Same command traffic on both sides: metrics agree exactly.
+        let (m_fast, m_per_call) = (fast.metrics().unwrap(), per_call.metrics().unwrap());
+        assert_eq!(m_fast.tenants, m_per_call.tenants);
+        assert_eq!(m_fast.total_decides(), m_per_call.total_decides());
+        fast.shutdown();
+        per_call.shutdown();
+    }
+
+    fn engine_with_tenants(ids: &[&str], shards: usize) -> ServeEngine {
+        let engine = ServeEngine::with_shards(shards);
+        for (i, id) in ids.iter().enumerate() {
+            let graph = generators::path(5);
+            let bandit = NetworkedBandit::new(graph.clone(), ArmSet::linear_bernoulli(5)).unwrap();
+            let spec = TenantSpec::single(
+                *id,
+                bandit,
+                DflSso::new(graph),
+                SingleScenario::SideObservation,
+                11 + i as u64,
+            )
+            .with_flush(FlushPolicy::batched(4));
+            engine.create_tenant(spec).unwrap();
+        }
+        engine
+    }
+
+    #[test]
+    fn mixed_batches_match_sequential_per_tenant_batches() {
+        let ids = ["t0", "t1", "t2", "t3"];
+        let mixed = engine_with_tenants(&ids, 3);
+        let sequential = engine_with_tenants(&ids, 3);
+        // Repeated tenants, a zero-count entry, an unknown tenant, and an
+        // order that interleaves shards.
+        let requests: &[(&str, usize)] = &[
+            ("t2", 3),
+            ("t0", 2),
+            ("t2", 1),
+            ("t1", 0),
+            ("ghost", 2),
+            ("t3", 4),
+            ("t0", 1),
+        ];
+        let mut client = mixed.client();
+        let mut out = Vec::new();
+        client
+            .decide_many_mixed(requests.iter().copied(), &mut out)
+            .unwrap();
+
+        let mut expected = Vec::new();
+        let mut seq_client = sequential.client();
+        let mut scratch = Vec::new();
+        for &(tenant, n) in requests {
+            seq_client.decide_many(tenant, n, &mut scratch).unwrap();
+            expected.append(&mut scratch);
+        }
+        assert_eq!(out.len(), expected.len());
+        for (i, (got, want)) in out.iter().zip(&expected).enumerate() {
+            assert_eq!(got, want, "slot {i}");
+        }
+        // Steady state: a second mixed batch reuses the per-shard buffers and
+        // still reassembles in caller order.
+        client
+            .decide_many_mixed(requests.iter().copied(), &mut out)
+            .unwrap();
+        for &(tenant, n) in requests {
+            seq_client.decide_many(tenant, n, &mut scratch).unwrap();
+            expected.append(&mut scratch);
+        }
+        for (i, (got, want)) in out.iter().zip(&expected[13..]).enumerate() {
+            assert_eq!(got, want, "second batch slot {i}");
+        }
+        mixed.drain().unwrap();
+        sequential.drain().unwrap();
+        assert_eq!(
+            mixed.metrics().unwrap().tenants,
+            sequential.metrics().unwrap().tenants
+        );
+        mixed.shutdown();
+        sequential.shutdown();
+    }
+
+    #[test]
+    fn empty_mixed_batch_clears_out_and_is_a_no_op() {
+        let engine = engine_with_tenant("t", 1);
+        let mut client = engine.client();
+        let mut out = Vec::new();
+        client.decide_many("t", 2, &mut out).unwrap();
+        client.decide_many_mixed([("t", 0usize)], &mut out).unwrap();
+        assert!(out.is_empty());
+        client
+            .decide_many_mixed(std::iter::empty::<(&str, usize)>(), &mut out)
+            .unwrap();
+        assert!(out.is_empty());
         engine.shutdown();
     }
 

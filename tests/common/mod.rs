@@ -53,6 +53,25 @@ pub fn csr_family() -> StrategyFamily {
     StrategyFamily::at_most_m(NUM_ARMS, 3)
 }
 
+/// Shard count for the suites whose assertions must hold at *any* shard
+/// count. Tenants are shard-pinned, so serve/net behaviour may not depend on
+/// how many shard workers exist; CI exercises both regimes by exporting
+/// `NETBAND_TEST_SHARDS` once above `available_parallelism` and once at 1,
+/// and this helper applies the override wherever a suite opts in.
+pub fn test_shards(default: usize) -> usize {
+    match std::env::var("NETBAND_TEST_SHARDS") {
+        Ok(v) => {
+            let shards: usize = v
+                .trim()
+                .parse()
+                .unwrap_or_else(|e| panic!("NETBAND_TEST_SHARDS={v:?} is not a shard count: {e}"));
+            assert!(shards >= 1, "NETBAND_TEST_SHARDS must be at least 1");
+            shards
+        }
+        Err(_) => default,
+    }
+}
+
 pub fn fixtures_dir() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("tests")

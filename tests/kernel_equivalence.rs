@@ -1,0 +1,304 @@
+//! Property-based equivalence gate for the chunked score kernels
+//! (`netband_core::kernels`) and the restructured oracle scans.
+//!
+//! Every kernel is pinned **bit-exactly** (`f64::to_bits`) against the scalar
+//! per-arm index functions it replaced, over arbitrary estimator states
+//! (stationary, discounted, and sliding-window histories), arbitrary raw
+//! score arrays (including unplayed arms), and arbitrary strategy banks and
+//! weight tables (including NaN and ±∞ entries, which exercise the last-max
+//! tie-breaking). The suite runs in both debug and release CI jobs: the
+//! release run is the one that proves the auto-vectorised code paths stay on
+//! the same f64 operation sequence.
+
+use std::cmp::Ordering;
+
+use netband::prelude::*;
+use netband_core::estimator::{argmax_last, ArmEstimators, EstimatorKind};
+use netband_core::kernels;
+use netband_env::feasible::{neighborhood_weight, strategy_weight, FeasibleSet};
+use netband_graph::{CsrGraph, StrategyBank};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Bitwise equality over score vectors: NaNs of identical payload compare
+/// equal, -0.0 and 0.0 do not — exactly the contract the golden traces pin.
+fn bits_eq(a: &[f64], b: &[f64]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+/// An arbitrary estimator state: random kind, then a random stream of
+/// updates interleaved with `advance_round` calls (which drive the
+/// discounted decay and are no-ops for the other kinds).
+fn arb_estimators(max_arms: usize) -> impl Strategy<Value = ArmEstimators> {
+    let kind = prop_oneof![
+        Just(EstimatorKind::Stationary),
+        (0.5f64..=1.0).prop_map(|gamma| EstimatorKind::Discounted { gamma }),
+        (1usize..12).prop_map(|window| EstimatorKind::SlidingWindow { window }),
+    ];
+    (1usize..=max_arms, kind).prop_flat_map(|(n, kind)| {
+        proptest::collection::vec((0..n, 0.0f64..1.0, proptest::bool::ANY), 0..160).prop_map(
+            move |ops| {
+                let mut est = ArmEstimators::with_kind(n, kind);
+                for (arm, reward, advance) in ops {
+                    est.update(arm, reward);
+                    if advance {
+                        est.advance_round();
+                    }
+                }
+                est
+            },
+        )
+    })
+}
+
+/// Arbitrary raw per-arm arrays for the kernels that take plain slices:
+/// means in `[0, 1)`, counts with a healthy share of zeros (unplayed-arm
+/// sentinels), and non-negative sums of squares.
+fn arb_arrays(max_arms: usize) -> impl Strategy<Value = (Vec<f64>, Vec<u64>, Vec<f64>)> {
+    (1usize..=max_arms).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(0.0f64..1.0, n..=n),
+            proptest::collection::vec(prop_oneof![Just(0u64), 1u64..500], n..=n),
+            proptest::collection::vec(0.0f64..500.0, n..=n),
+        )
+    })
+}
+
+/// A weight-table entry: ordinary values plus the pathological ones that
+/// stress the `partial_cmp`-based tie-breaking.
+fn arb_weight() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        8 => -1.0f64..1.0,
+        1 => Just(0.0f64),
+        1 => Just(f64::INFINITY),
+        1 => Just(f64::NEG_INFINITY),
+        1 => Just(f64::NAN),
+    ]
+}
+
+/// An arbitrary strategy bank over `num_arms + 2` arm ids (the overhang
+/// exercises the out-of-range-arm → weight 0.0 path), possibly empty.
+fn arb_bank(num_arms: usize) -> impl Strategy<Value = StrategyBank> {
+    proptest::collection::vec(proptest::collection::vec(0usize..num_arms + 2, 0..5), 0..24)
+        .prop_map(|rows| {
+            let mut bank = StrategyBank::new();
+            for row in &rows {
+                bank.push_row(row);
+            }
+            bank
+        })
+}
+
+/// Reference for [`StrategyBank::argmax_row_sums`]: the `argmax_row_by` +
+/// [`strategy_weight`] pair it replaced — rows visited in order, NaN compares
+/// `Equal`, the last maximal row wins.
+fn argmax_rows_reference(bank: &StrategyBank, weights: &[f64]) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (x, row) in bank.iter().enumerate() {
+        let w = strategy_weight(row, weights);
+        best = match best {
+            Some((bx, bw))
+                if bw.partial_cmp(&w).unwrap_or(Ordering::Equal) == Ordering::Greater =>
+            {
+                Some((bx, bw))
+            }
+            _ => Some((x, w)),
+        };
+    }
+    best.map(|(x, _)| x)
+}
+
+fn arb_graph(max_vertices: usize) -> impl Strategy<Value = RelationGraph> {
+    (2usize..=max_vertices).prop_flat_map(|n| {
+        proptest::collection::vec((0..n, 0..n), 0..(n * 2)).prop_map(move |pairs| {
+            let edges: Vec<(usize, usize)> = pairs.into_iter().filter(|&(u, v)| u != v).collect();
+            RelationGraph::from_edges(n, &edges)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// MOSS/CSR chunked sweeps (integer and weighted counts) are bit-identical
+    /// to the scalar per-arm reference over arbitrary estimator states.
+    #[test]
+    fn chunked_score_kernels_match_scalar_bitwise(
+        est in arb_estimators(70),
+        t in 1usize..10_000,
+    ) {
+        let k = est.len();
+        let (means, counts) = (est.means(), est.counts());
+        let (mut chunked, mut scalar) = (Vec::new(), Vec::new());
+
+        kernels::moss_scores_into(means, counts, t, k, &mut chunked);
+        kernels::moss_scores_scalar(means, counts, t, k, &mut scalar);
+        prop_assert!(bits_eq(&chunked, &scalar), "moss diverged");
+
+        kernels::csr_scores_into(means, counts, t, k, &mut chunked);
+        kernels::csr_scores_scalar(means, counts, t, k, &mut scalar);
+        prop_assert!(bits_eq(&chunked, &scalar), "csr diverged");
+
+        let mut eff = Vec::new();
+        est.effective_counts_into(&mut eff);
+        kernels::moss_scores_weighted_into(means, &eff, t, k, &mut chunked);
+        kernels::moss_scores_weighted_scalar(means, &eff, t, k, &mut scalar);
+        prop_assert!(bits_eq(&chunked, &scalar), "weighted moss diverged");
+
+        kernels::csr_scores_weighted_into(means, &eff, t, k, &mut chunked);
+        kernels::csr_scores_weighted_scalar(means, &eff, t, k, &mut scalar);
+        prop_assert!(bits_eq(&chunked, &scalar), "weighted csr diverged");
+    }
+
+    /// Fused score+argmax passes pick exactly the arm `argmax_last` picks on
+    /// the scalar score vector (same last-max tie-breaking, including the
+    /// all-∞ cold-start ties).
+    #[test]
+    fn fused_argmax_matches_scalar_argmax(
+        est in arb_estimators(70),
+        t in 1usize..10_000,
+    ) {
+        let k = est.len();
+        let (means, counts) = (est.means(), est.counts());
+        let mut scores = Vec::new();
+
+        kernels::moss_scores_scalar(means, counts, t, k, &mut scores);
+        prop_assert_eq!(
+            kernels::moss_argmax(means, counts, t, k),
+            argmax_last(scores.iter().copied())
+        );
+
+        let ucb1: Vec<f64> = means
+            .iter()
+            .zip(counts)
+            .map(|(&m, &c)| kernels::ucb1_index(m, c, t))
+            .collect();
+        prop_assert_eq!(
+            kernels::ucb1_argmax(means, counts, t),
+            argmax_last(ucb1.iter().copied())
+        );
+    }
+
+    /// The raw-slice kernels (UCB-Tuned, CUCB, LLR) reproduce their scalar
+    /// index functions element for element and pick the same argmax.
+    #[test]
+    fn ucb_family_kernels_match_index_functions(
+        arrays in arb_arrays(70),
+        t in 1usize..10_000,
+        max_size in 1usize..8,
+    ) {
+        let (means, counts, sum_sq) = arrays;
+        let tuned: Vec<f64> = (0..means.len())
+            .map(|i| kernels::ucb_tuned_index(means[i], counts[i], sum_sq[i], t))
+            .collect();
+        prop_assert_eq!(
+            kernels::ucb_tuned_argmax(&means, &counts, &sum_sq, t),
+            argmax_last(tuned.iter().copied())
+        );
+
+        let mut out = Vec::new();
+        kernels::cucb_scores_into(&means, &counts, t, &mut out);
+        let cucb: Vec<f64> = (0..means.len())
+            .map(|i| kernels::cucb_index(means[i], counts[i], t))
+            .collect();
+        prop_assert!(bits_eq(&out, &cucb), "cucb diverged");
+
+        kernels::llr_scores_into(&means, &counts, max_size, t, &mut out);
+        let llr: Vec<f64> = (0..means.len())
+            .map(|i| kernels::llr_index(means[i], counts[i], max_size, t))
+            .collect();
+        prop_assert!(bits_eq(&out, &llr), "llr diverged");
+    }
+
+    /// The fused DFL-SSR kernel reproduces the nested closed-neighbourhood
+    /// scan (`min` count, mean sum, normalised MOSS index) bit for bit on
+    /// arbitrary graphs and estimator states.
+    #[test]
+    fn ssr_kernel_matches_neighborhood_reference(
+        graph in arb_graph(24),
+        seed in 0u64..1_000,
+        rounds in 0usize..120,
+        t in 1usize..10_000,
+    ) {
+        use rand::Rng;
+        let k = graph.num_vertices();
+        let mut est = ArmEstimators::new(k);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..rounds {
+            let arm = rng.gen_range(0..k);
+            est.update(arm, rng.gen_range(0.0..1.0));
+        }
+        let csr = CsrGraph::from_graph(&graph);
+
+        let reference: Vec<f64> = (0..k)
+            .map(|arm| {
+                let nbhd = graph.closed_neighborhood(arm);
+                let count = nbhd.iter().map(|&j| est.count(j)).min().unwrap_or(0);
+                let sum: f64 = nbhd.iter().map(|&j| est.mean(j)).sum();
+                netband_core::estimator::moss_index(sum / k.max(1) as f64, count, t, k.max(1))
+            })
+            .collect();
+
+        let mut scores = Vec::new();
+        kernels::ssr_scores_into(&csr, est.counts(), est.means(), t, &mut scores);
+        prop_assert!(bits_eq(&scores, &reference), "ssr scores diverged");
+        prop_assert_eq!(
+            kernels::ssr_argmax(&csr, est.counts(), est.means(), t),
+            argmax_last(reference.iter().copied())
+        );
+    }
+
+    /// `StrategyBank::argmax_row_sums` (the precomputed-score-table oracle
+    /// scan) agrees with the `argmax_row_by` + `strategy_weight` reference on
+    /// arbitrary banks and weight tables — including NaN/±∞ weights and
+    /// out-of-range arm ids.
+    #[test]
+    fn bank_row_sum_argmax_matches_reference(
+        bank in arb_bank(16),
+        weights in proptest::collection::vec(arb_weight(), 16..=16),
+    ) {
+        prop_assert_eq!(
+            bank.argmax_row_sums(&weights),
+            argmax_rows_reference(&bank, &weights)
+        );
+    }
+
+    /// The mark-table neighbourhood-union oracle behind
+    /// `argmax_by_neighborhood_weights` selects exactly the strategy the
+    /// public [`neighborhood_weight`] reference selects on arbitrary graphs,
+    /// banks, and weight tables.
+    #[test]
+    fn neighborhood_oracle_matches_reference(
+        graph in arb_graph(14),
+        rows in proptest::collection::vec(
+            proptest::collection::vec(0usize..14, 1..4), 1..16),
+        weights in proptest::collection::vec(arb_weight(), 14..=14),
+    ) {
+        let n = graph.num_vertices();
+        let mut bank = StrategyBank::new();
+        for row in &rows {
+            let mut row: Vec<usize> = row.iter().map(|&a| a % n).collect();
+            row.sort_unstable();
+            row.dedup();
+            bank.push_row(&row);
+        }
+        let family = StrategyFamily::explicit(bank.clone());
+        let chosen = family.argmax_by_neighborhood_weights(&weights[..n], &graph);
+
+        let mut best: Option<(usize, f64)> = None;
+        for (x, row) in bank.iter().enumerate() {
+            let w = neighborhood_weight(row, &weights[..n], &graph);
+            best = match best {
+                Some((bx, bw))
+                    if bw.partial_cmp(&w).unwrap_or(Ordering::Equal) == Ordering::Greater =>
+                {
+                    Some((bx, bw))
+                }
+                _ => Some((x, w)),
+            };
+        }
+        let expected = best.map(|(x, _)| bank.row(x).to_vec());
+        prop_assert_eq!(chosen, expected);
+    }
+}

@@ -18,12 +18,15 @@ mod common;
 
 use std::sync::Arc;
 
-use common::{assert_golden, golden_specs};
+use common::{assert_golden, golden_specs, test_shards};
 use netband::net::proto::{decision_to_wire, event_from_wire, event_to_wire};
 use netband::prelude::*;
 
-/// A single-shard engine fronted by a loopback server, plus one connected
-/// client.
+/// An engine fronted by a loopback server, plus one connected client. The
+/// served engines default to a single shard but honour `NETBAND_TEST_SHARDS`
+/// (tenants are shard-pinned, so the golden comparisons — always against a
+/// 1-shard reference — must hold at any shard count, above or below the
+/// machine's core count).
 fn loopback(engine: ServeEngine, config: ServerConfig) -> (NetServer, NetClient) {
     let server =
         NetServer::bind(Arc::new(engine), "127.0.0.1:0", config).expect("bind loopback server");
@@ -49,7 +52,10 @@ fn placeholder_event() -> WireEvent {
 /// reproduce the committed golden fixture.
 #[test]
 fn tcp_round_trip_reproduces_all_four_golden_traces() {
-    let (server, mut client) = loopback(ServeEngine::with_shards(1), ServerConfig::default());
+    let (server, mut client) = loopback(
+        ServeEngine::with_shards(test_shards(1)),
+        ServerConfig::default(),
+    );
     for (fixture, spec) in golden_specs() {
         let reference = ServeEngine::with_shards(1);
         reference
@@ -137,7 +143,10 @@ fn chunked_wire_batches_match_the_in_process_batched_client() {
     spec.feedback = FeedbackSpec::Batched { max_pending: 8 };
     const CHUNK: usize = 16;
 
-    let (server, mut client) = loopback(ServeEngine::with_shards(1), ServerConfig::default());
+    let (server, mut client) = loopback(
+        ServeEngine::with_shards(test_shards(1)),
+        ServerConfig::default(),
+    );
     client
         .register_tenant("wire", spec.clone())
         .expect("register wire tenant");

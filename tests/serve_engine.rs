@@ -6,6 +6,8 @@
 //! many tenants, many client threads, feedback arriving late, in batches and
 //! out of order — and the bookkeeping the engine reports about them.
 
+mod common;
+
 use netband::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -73,18 +75,21 @@ fn drive_with_delayed_feedback(
     total
 }
 
-/// The tentpole end-to-end scenario: a 4-shard engine hosting 16 mixed
-/// tenants, driven by 4 concurrent client threads, feedback delayed in
-/// out-of-order windows. Every command is accounted for in the metrics
-/// report, and every tenant reaches its full horizon.
+/// The tentpole end-to-end scenario: a multi-shard engine (4 by default,
+/// overridable via `NETBAND_TEST_SHARDS` so CI covers shards above and below
+/// the core count) hosting 16 mixed tenants, driven by 4 concurrent client
+/// threads, feedback delayed in out-of-order windows. Every command is
+/// accounted for in the metrics report, and every tenant reaches its full
+/// horizon.
 #[test]
 fn multi_shard_engine_serves_concurrent_clients_with_delayed_feedback() {
     const TENANTS: usize = 16;
     const ROUNDS: usize = 40;
     const CLIENTS: usize = 4;
 
-    let engine = ServeEngine::start(EngineConfig::new(4).with_queue_capacity(64));
-    assert_eq!(engine.num_shards(), 4);
+    let shards = common::test_shards(4);
+    let engine = ServeEngine::start(EngineConfig::new(shards).with_queue_capacity(64));
+    assert_eq!(engine.num_shards(), shards);
     for index in 0..TENANTS {
         engine
             .create_tenant(tenant_spec(index, FlushPolicy::batched(8)))
@@ -115,7 +120,7 @@ fn multi_shard_engine_serves_concurrent_clients_with_delayed_feedback() {
         assert!(metrics.batches_flushed > 0, "{id}");
         assert!(metrics.max_batch >= 8, "{id}: flush threshold respected");
     }
-    assert_eq!(report.shards.len(), 4);
+    assert_eq!(report.shards.len(), shards);
     let commands: u64 = report.shards.iter().map(|s| s.commands).sum();
     assert!(commands >= report.total_decides() + report.total_feedback_events());
     assert_eq!(report.decide_latency().count(), (TENANTS * ROUNDS) as u64);
@@ -128,7 +133,7 @@ fn multi_shard_engine_serves_concurrent_clients_with_delayed_feedback() {
 /// threads the shared engine was juggling.
 #[test]
 fn tenant_runs_are_independent_of_cohabitation_and_threading() {
-    let shared = ServeEngine::with_shards(3);
+    let shared = ServeEngine::with_shards(common::test_shards(3));
     for index in 0..6 {
         shared
             .create_tenant(tenant_spec(index, FlushPolicy::batched(4)))

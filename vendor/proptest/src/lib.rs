@@ -7,6 +7,8 @@
 //! * the [`strategy::Strategy`] trait with `prop_map` / `prop_flat_map`,
 //!   implemented for integer and float ranges and for tuples of strategies,
 //! * [`collection::vec`] with `Range` / `RangeInclusive` size specifications,
+//! * [`strategy::Just`], [`bool::ANY`], and the [`prop_oneof!`] weighted
+//!   union macro,
 //! * [`prelude::ProptestConfig`] (`with_cases`),
 //! * the [`proptest!`] macro and the [`prop_assert!`] family.
 //!
@@ -161,6 +163,83 @@ pub mod strategy {
     impl_tuple_strategy!(A, B);
     impl_tuple_strategy!(A, B, C);
     impl_tuple_strategy!(A, B, C, D);
+
+    /// Strategy that always yields a clone of the wrapped value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Weighted union of same-valued strategies; built by [`prop_oneof!`].
+    ///
+    /// [`prop_oneof!`]: crate::prop_oneof
+    pub struct OneOf<V> {
+        #[allow(clippy::type_complexity)]
+        arms: Vec<(u32, Box<dyn Fn(&mut TestRng) -> V>)>,
+    }
+
+    impl<V> OneOf<V> {
+        /// An empty union; populate it with [`OneOf::with`].
+        #[allow(clippy::new_without_default)]
+        pub fn new() -> Self {
+            OneOf { arms: Vec::new() }
+        }
+
+        /// Adds an arm drawn with probability `weight / total_weight`.
+        pub fn with<S>(mut self, weight: u32, strat: S) -> Self
+        where
+            S: Strategy<Value = V> + 'static,
+        {
+            self.arms
+                .push((weight, Box::new(move |rng| strat.generate(rng))));
+            self
+        }
+    }
+
+    impl<V> Strategy for OneOf<V> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let total: u32 = self.arms.iter().map(|(w, _)| *w).sum();
+            assert!(total > 0, "prop_oneof! needs at least one weighted arm");
+            let mut pick = rng.gen_range(0..total);
+            for (weight, arm) in &self.arms {
+                if pick < *weight {
+                    return arm(rng);
+                }
+                pick -= weight;
+            }
+            unreachable!("weighted pick exceeded total weight")
+        }
+    }
+}
+
+/// Boolean strategies.
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Strategy yielding uniformly random booleans (see [`ANY`]).
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// The canonical boolean strategy.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.gen()
+        }
+    }
 }
 
 /// Strategies for collections.
@@ -231,9 +310,22 @@ pub mod collection {
 /// One-stop import mirroring `proptest::prelude`.
 pub mod prelude {
     pub use crate::collection;
-    pub use crate::strategy::Strategy;
+    pub use crate::strategy::{Just, Strategy};
     pub use crate::test_runner::ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Weighted (`weight => strategy`) or uniform (`strategy, ...`) union of
+/// strategies producing the same value type, mirroring proptest's macro of
+/// the same name.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new()$(.with($weight as u32, $strat))+
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new()$(.with(1u32, $strat))+
+    };
 }
 
 /// Asserts a condition inside a property, reporting the failing case.
